@@ -1,0 +1,68 @@
+// Ablation A4: the buffer-size crossover (§9's headline conclusion).
+// Sweep the server RAM from 64 MB to 4 GB and, at each size, report
+// every scheme's best configuration: declustered wins while buffer is
+// scarce; prefetch-without-parity-disk overtakes it once buffer is
+// abundant, because declustered keeps reserving disk bandwidth instead.
+// Also contrasts the §7.2 staggered-group buffer halving.
+
+#include <cstdio>
+
+#include "analysis/optimizer.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace cmfs;
+  bench::PrintHeader(
+      "A4: best clips vs buffer size (optimal p per cell), d = 32");
+  std::printf("%-28s", "B:");
+  const long long sizes[] = {64, 128, 256, 512, 1024, 2048, 4096};
+  for (long long mb : sizes) std::printf("%7lldM", mb);
+  std::printf("\n");
+  for (Scheme scheme : bench::PaperSchemes()) {
+    std::printf("%-28s", SchemeName(scheme));
+    for (long long mb : sizes) {
+      CapacityConfig config = bench::PaperCapacityConfig(mb * kMiB, 2);
+      Result<OptimizerResult> opt = ComputeOptimal(
+          scheme, config, bench::PaperParityGroups());
+      std::printf("%8d", opt.ok() ? opt->best.total_clips : -1);
+    }
+    std::printf("\n");
+  }
+
+  bench::PrintHeader(
+      "A4b: declustered vs prefetch-flat crossover at fixed p");
+  for (int p : {4, 8, 16}) {
+    std::printf("  p = %d\n", p);
+    std::printf("  %8s %12s %14s %10s\n", "B", "declustered",
+                "prefetch-flat", "winner");
+    for (long long mb : sizes) {
+      CapacityConfig config = bench::PaperCapacityConfig(mb * kMiB, p);
+      const int decl = ComputeCapacity(Scheme::kDeclustered, config)
+                           ->total_clips;
+      const int flat =
+          ComputeCapacity(Scheme::kPrefetchFlat, config)->total_clips;
+      std::printf("  %6lldM %12d %14d %10s\n", mb, decl, flat,
+                  decl >= flat ? "declustered" : "flat");
+    }
+  }
+
+  bench::PrintHeader(
+      "A4c: effect of the staggered-group optimization (p/2 buffering)");
+  std::printf("  %-28s %10s %10s\n", "scheme (B=256M, best p)",
+              "plain p*b", "staggered");
+  for (Scheme scheme :
+       {Scheme::kPrefetchFlat, Scheme::kPrefetchParityDisk}) {
+    CapacityConfig config = bench::PaperCapacityConfig(256 * kMiB, 2);
+    config.staggered_prefetch = false;
+    const int plain = ComputeOptimal(scheme, config,
+                                     bench::PaperParityGroups())
+                          ->best.total_clips;
+    config.staggered_prefetch = true;
+    const int staggered = ComputeOptimal(scheme, config,
+                                         bench::PaperParityGroups())
+                              ->best.total_clips;
+    std::printf("  %-28s %10d %10d\n", SchemeName(scheme), plain,
+                staggered);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation A2: dynamic vs static reservation (§5's motivation), and
+// FIFO head-of-line vs first-fit admission. The static scheme can
+// reject a clip whose (disk, row) cohort is full even when bandwidth is
+// free; the dynamic scheme reserves contingency only where the clip's
+// parity groups live. Measured on a 13-disk array with the exact
+// (13,4,1) cyclic design.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/driver.h"
+
+namespace {
+
+using namespace cmfs;
+
+SimResult Run(Scheme scheme, AdmissionPolicy policy, int q, int f) {
+  SimConfig config;
+  config.scheme = scheme;
+  config.num_disks = 13;
+  config.parity_group = 4;
+  config.q = q;
+  config.f = f;
+  config.rows = 4;  // (13-1)/(4-1)
+  config.policy = policy;
+  config.max_wait_rounds = 100;
+  config.workload.num_clips = 200;
+  config.workload.clip_blocks = 200;
+  config.workload.duration_tu = 200;
+  config.workload.arrivals_per_tu = 4.0;
+  Result<SimResult> result = RunCapacitySim(config);
+  CMFS_CHECK(result.ok());
+  return *result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cmfs;
+  const int q = 10;
+  bench::PrintHeader(
+      "A2: static (f = 1..3) vs dynamic reservation, d = 13, p = 4");
+  std::printf("  %-14s %-14s %9s %12s %12s %10s\n", "scheme", "policy",
+              "admitted", "mean resp", "max resp", "max conc");
+  for (AdmissionPolicy policy :
+       {AdmissionPolicy::kFifoHeadOfLine, AdmissionPolicy::kFirstFit,
+        AdmissionPolicy::kAgedFirstFit}) {
+    const char* policy_name =
+        policy == AdmissionPolicy::kFifoHeadOfLine ? "fifo-hol"
+        : policy == AdmissionPolicy::kFirstFit     ? "first-fit"
+                                                   : "aged-ff";
+    for (int f : {1, 2, 3}) {
+      const SimResult r = Run(Scheme::kDeclustered, policy, q, f);
+      char name[32];
+      std::snprintf(name, sizeof(name), "static f=%d", f);
+      std::printf("  %-14s %-14s %9lld %9.2f TU %9.2f TU %10d\n", name,
+                  policy_name, static_cast<long long>(r.admitted),
+                  r.mean_response_tu, r.max_response_tu, r.max_concurrent);
+    }
+    const SimResult r = Run(Scheme::kDynamic, policy, q, 0);
+    std::printf("  %-14s %-14s %9lld %9.2f TU %9.2f TU %10d\n", "dynamic",
+                policy_name, static_cast<long long>(r.admitted),
+                r.mean_response_tu, r.max_response_tu, r.max_concurrent);
+  }
+  std::printf(
+      "\nthe dynamic scheme admits with whatever contingency the live "
+      "mix needs instead of a fixed per-(disk,row) cap, trading admission "
+      "cost (O(d) invariant checks) for utilization and response time.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation A1: effect of the static contingency reservation f on the
+// declustered scheme (motivates §5's dynamic reservation). For fixed
+// (d = 32, B = 256 MB) and several parity group sizes, sweep f and show
+// per-disk capacity min(q - f, r*f): too little f starves the row
+// constraint, too much wastes bandwidth; the optimum is what Figure 4's
+// procedure picks.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/capacity.h"
+#include "analysis/capacity_internal.h"
+#include "analysis/continuity.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace cmfs;
+  const std::int64_t B = 256 * kMiB;
+  for (int p : {4, 8, 16}) {
+    const int d = 32;
+    const double rows = (d - 1.0) / (p - 1.0);
+    char title[96];
+    std::snprintf(title, sizeof(title),
+                  "A1: declustered capacity vs f (p = %d, r = %.2f)", p,
+                  rows);
+    bench::PrintHeader(title);
+    std::printf("  %3s %4s %10s %10s %10s %8s\n", "f", "q", "q-f", "r*f",
+                "per-disk", "total");
+    CapacityConfig config = bench::PaperCapacityConfig(B, p);
+    const double buffer_factor = 2.0 * (d - 1) + p;
+    int best_f = 0;
+    int best_total = 0;
+    for (int f = 1; f <= 16; ++f) {
+      const auto feasible = [&](int q) {
+        const std::int64_t b = static_cast<std::int64_t>(
+            static_cast<double>(B) / ((q - f) * buffer_factor));
+        if (b <= 0) return false;
+        return MaxClipsPerRound(config.disk, config.server.playback_rate,
+                                b) >= q;
+      };
+      const int q = capacity_internal::LargestFeasibleQ(f + 1, 30,
+                                                        feasible);
+      if (q <= f) continue;
+      const int row_cap = static_cast<int>(rows * f);
+      const int per_disk = std::min(q - f, row_cap);
+      const int total = per_disk * d;
+      std::printf("  %3d %4d %10d %10d %10d %8d%s\n", f, q, q - f,
+                  row_cap, per_disk, total,
+                  total > best_total ? "  <- best so far" : "");
+      if (total > best_total) {
+        best_total = total;
+        best_f = f;
+      }
+    }
+    Result<CapacityResult> model =
+        ComputeCapacity(Scheme::kDeclustered, config);
+    std::printf("  computeOptimal picks f = %d (%d clips); sweep best "
+                "f = %d (%d clips)\n",
+                model->f, model->total_clips, best_f, best_total);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation A6: online rebuild speed. After a disk swap, the rebuilder
+// reconstructs the replacement under a per-source-disk read budget (the
+// contingency reservation f, so client service is untouched). The
+// declustered layout's sources spread over every survivor, so it rebuilds
+// ~(d-1)/(p-1) times faster than a clustered layout, whose reads
+// serialize on the p-1 cluster peers — declustering helps recovery
+// *time*, not just recovery-time service quality.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bibd/design_factory.h"
+#include "core/content.h"
+#include "core/rebuild.h"
+#include "layout/declustered_layout.h"
+#include "layout/layout.h"
+#include "layout/parity_disk_layout.h"
+
+namespace {
+
+using namespace cmfs;
+
+RebuildStats Rebuild(const Layout& layout, int num_disks,
+                     std::int64_t blocks, int budget) {
+  const std::int64_t block_size = 16;
+  DiskArray array(num_disks, DiskParams::Sigmod96(), block_size);
+  for (std::int64_t i = 0; i < blocks; ++i) {
+    CMFS_CHECK(WriteDataBlock(layout, array, 0, i,
+                              PatternBlock(0, i, block_size))
+                   .ok());
+  }
+  const int target = 0;
+  const std::int64_t scan = 2 * blocks / num_disks + 4;
+  CMFS_CHECK(array.FailDisk(target).ok());
+  CMFS_CHECK(array.StartRebuild(target).ok());
+  Rebuilder rebuilder(&layout, &array, target, scan, budget);
+  CMFS_CHECK(rebuilder.RunToCompletion().ok());
+  return rebuilder.stats();
+}
+
+}  // namespace
+
+int main() {
+  using namespace cmfs;
+  bench::PrintHeader(
+      "A6: rebuild rounds vs read budget (same data volume)");
+  const std::int64_t blocks = 1560;  // divisible by both shapes
+
+  Result<FactoryDesign> design = BuildDesign(13, 4);
+  CMFS_CHECK(design.ok());
+  Result<Pgt> pgt = Pgt::FromDesign(design->design);
+  CMFS_CHECK(pgt.ok());
+  DeclusteredLayout declustered(*std::move(pgt), blocks);
+  ParityDiskLayout clustered(12, 4, blocks);
+
+  std::printf("  %7s | %21s | %21s\n", "", "declustered (13,4,1)",
+              "parity-disk (12,4)");
+  std::printf("  %7s | %10s %10s | %10s %10s\n", "budget", "rounds",
+              "blk/round", "rounds", "blk/round");
+  for (int budget : {1, 2, 4, 8}) {
+    const RebuildStats decl = Rebuild(declustered, 13, blocks, budget);
+    const RebuildStats clus = Rebuild(clustered, 12, blocks, budget);
+    std::printf("  %7d | %10lld %10.1f | %10lld %10.1f\n", budget,
+                static_cast<long long>(decl.rounds),
+                static_cast<double>(decl.blocks_rebuilt) / decl.rounds,
+                static_cast<long long>(clus.rounds),
+                static_cast<double>(clus.blocks_rebuilt) / clus.rounds);
+  }
+  std::printf(
+      "\ndeclustered rebuild parallelism approaches (d-1)/(p-1) = 4x the "
+      "clustered layout's at equal budget.\n");
+  return 0;
+}

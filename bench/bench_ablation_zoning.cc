@@ -1,0 +1,77 @@
+// Ablation A8: multi-zone recording. Figure 1's r_d = 45 Mbps is the
+// *inner-track* rate; a zoned era disk transferred 1.5-2x faster on its
+// outer cylinders. The analytical model keeps the conservative inner
+// rate (as the paper does), so on a zoned surface every round finishes
+// early — this bench measures that slack, i.e. the admission headroom a
+// zone-aware admission controller could reclaim.
+
+#include <cstdio>
+
+#include "analysis/continuity.h"
+#include "bench/bench_util.h"
+#include "core/content.h"
+#include "core/controller_factory.h"
+#include "core/server.h"
+#include "layout/layout.h"
+
+namespace {
+
+using namespace cmfs;
+
+double WorstRound(const DiskParams& disk_params, int q,
+                  std::int64_t block_size) {
+  const int d = 6;
+  SetupOptions options;
+  options.scheme = Scheme::kPrefetchParityDisk;
+  options.num_disks = d;
+  options.parity_group = 3;
+  options.q = q;
+  options.capacity_blocks = 4000;
+  Result<ServerSetup> setup = MakeSetup(options);
+  CMFS_CHECK(setup.ok());
+  DiskArray array(d, disk_params, block_size);
+  for (std::int64_t i = 0; i < 600; ++i) {
+    CMFS_CHECK(WriteDataBlock(*setup->layout, array, 0, i,
+                              PatternBlock(0, i, block_size))
+                   .ok());
+  }
+  ServerConfig config;
+  config.block_size = block_size;
+  config.time_rounds = true;
+  Server server(&array, setup->controller.get(), config);
+  for (int i = 0; i < 8 * q; ++i) {
+    server.TryAdmit(i, 0, (i % 12) * 2, 60);
+  }
+  CMFS_CHECK(server.RunRounds(70).ok());
+  return server.metrics().max_round_time;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cmfs;
+  const double rp = MbpsToBytesPerSec(1.5);
+  bench::PrintHeader(
+      "A8: round-time slack on zoned disks (Eq. 1 uses the inner rate)");
+  std::printf("  %3s %10s %10s | %10s %10s %10s\n", "q", "b", "bound",
+              "flat", "zoned 1.5x", "zoned 2.0x");
+  for (int q : {8, 12, 16}) {
+    const DiskParams flat = DiskParams::Sigmod96();
+    const std::int64_t b = MinBlockSizeForClips(flat, rp, q);
+    const double bound = SecToMs(RoundLength(rp, b));
+    const double t_flat = SecToMs(WorstRound(flat, q, b));
+    const double t_15 =
+        SecToMs(WorstRound(DiskParams::Sigmod96Zoned(1.5), q, b));
+    const double t_20 =
+        SecToMs(WorstRound(DiskParams::Sigmod96Zoned(2.0), q, b));
+    std::printf(
+        "  %3d %7lld KB %7.1f ms | %7.1f ms %7.1f ms %7.1f ms\n", q,
+        static_cast<long long>(b / kKiB), bound, t_flat, t_15, t_20);
+  }
+  std::printf(
+      "\nzoning shortens the busiest rounds well below the Equation-1 "
+      "bound; a zone-aware bound (or placing popular clips on outer "
+      "cylinders) converts that slack into extra admitted clips — the "
+      "direction the authors took in later work.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 1 reproduction: the disk/system parameter table, the derived
+// round quota q as a function of block size (Equation 1), and the §1
+// reliability motivation (a 200-disk server fails every ~60 days).
+
+#include <cstdio>
+
+#include "analysis/continuity.h"
+#include "analysis/reliability.h"
+#include "bench/bench_util.h"
+#include "disk/disk_params.h"
+#include "util/units.h"
+
+int main() {
+  using namespace cmfs;
+  bench::PrintHeader("Figure 1: notation and parameter values");
+  const DiskParams disk = DiskParams::Sigmod96();
+  const ServerParams server = ServerParams::Sigmod96(256 * kMiB);
+  std::printf("  inner track transfer rate  r_d      %6.1f Mbps\n",
+              BytesPerSecToMbps(disk.transfer_rate));
+  std::printf("  settle time                t_settle %6.2f ms\n",
+              SecToMs(disk.settle_time));
+  std::printf("  seek latency (worst)       t_seek   %6.2f ms\n",
+              SecToMs(disk.worst_seek));
+  std::printf("  rotational latency (worst) t_rot    %6.2f ms\n",
+              SecToMs(disk.worst_rotational));
+  std::printf("  total latency (worst)      t_lat    %6.2f ms\n",
+              SecToMs(disk.WorstLatency()));
+  std::printf("  disk capacity              C_d      %6lld GB\n",
+              static_cast<long long>(disk.capacity_bytes / kGiB));
+  std::printf("  playback rate (MPEG-1)     r_p      %6.1f Mbps\n",
+              BytesPerSecToMbps(server.playback_rate));
+  std::printf("  number of disks            d        %6d\n",
+              server.num_disks);
+
+  bench::PrintHeader("Equation 1: max clips per round q vs block size b");
+  std::printf("  %10s %6s %12s %12s\n", "b", "q", "round len", "svc time");
+  for (std::int64_t b = 32 * kKiB; b <= 4 * kMiB; b *= 2) {
+    const int q = MaxClipsPerRound(disk, server.playback_rate, b);
+    std::printf("  %7lld KB %6d %9.1f ms %9.1f ms\n",
+                static_cast<long long>(b / kKiB), q,
+                SecToMs(RoundLength(server.playback_rate, b)),
+                SecToMs(RoundServiceTime(disk, q, b)));
+  }
+  std::printf("  asymptote: q < r_d / r_p = %.0f\n",
+              disk.transfer_rate / server.playback_rate);
+
+  bench::PrintHeader("Section 1 motivation: array MTTF");
+  for (int disks : {1, 32, 200}) {
+    const double mttf = ArrayMttfHours(300000.0, disks);
+    std::printf("  %4d disks: MTTF %9.0f h = %7.1f days\n", disks, mttf,
+                mttf / 24.0);
+  }
+  std::printf(
+      "  with single-parity groups of 8 and 24 h repair (200 disks): "
+      "MTTDL %.2e h\n",
+      ParityProtectedMttdlHours(300000.0, 200, 8, 24.0));
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Microbenchmarks (google-benchmark) of the hot paths: XOR parity
+// reconstruction, parity-group table queries, placement arithmetic,
+// admission-control rounds, and block-design construction.
+
+#include <benchmark/benchmark.h>
+
+#include "bibd/design_factory.h"
+#include "core/controller_factory.h"
+#include "core/declustered_controller.h"
+#include "disk/disk_array.h"
+#include "layout/declustered_layout.h"
+#include "util/rng.h"
+
+namespace cmfs {
+namespace {
+
+void BM_XorBlock(benchmark::State& state) {
+  const std::int64_t block_size = state.range(0);
+  DiskArray array(2, DiskParams::Sigmod96(), block_size);
+  Block dst(static_cast<std::size_t>(block_size), 0x5a);
+  Block src(static_cast<std::size_t>(block_size), 0xa5);
+  for (auto _ : state) {
+    array.XorInto(dst, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * block_size);
+}
+BENCHMARK(BM_XorBlock)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_BuildDesign(benchmark::State& state) {
+  const int v = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto design = BuildDesign(v, k);
+    benchmark::DoNotOptimize(design.ok());
+  }
+}
+BENCHMARK(BM_BuildDesign)
+    ->Args({7, 3})     // cyclic difference family
+    ->Args({32, 2})    // all pairs
+    ->Args({32, 4})    // greedy fallback (local search dominates)
+    ->Args({32, 16});  // greedy fallback, small instance
+
+void BM_DeclusteredAddressing(benchmark::State& state) {
+  auto design = BuildDesign(32, 4);
+  auto pgt = Pgt::FromDesign(design->design);
+  DeclusteredLayout layout(*std::move(pgt), 1 << 20);
+  std::int64_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout.DataAddress(0, index));
+    index = (index + 97) & ((1 << 20) - 1);
+  }
+}
+BENCHMARK(BM_DeclusteredAddressing);
+
+void BM_DeclusteredGroupLookup(benchmark::State& state) {
+  auto design = BuildDesign(32, 4);
+  auto pgt = Pgt::FromDesign(design->design);
+  DeclusteredLayout layout(*std::move(pgt), 1 << 20);
+  std::int64_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout.GroupOf(0, index));
+    index = (index + 97) & ((1 << 20) - 1);
+  }
+}
+BENCHMARK(BM_DeclusteredGroupLookup);
+
+void BM_AdmissionRound(benchmark::State& state) {
+  // One accounting round with `streams` active streams (the per-round
+  // cost of the capacity simulator).
+  const int streams = static_cast<int>(state.range(0));
+  SetupOptions options;
+  options.scheme = Scheme::kDeclustered;
+  options.num_disks = 32;
+  options.parity_group = 4;
+  options.q = 32;
+  options.f = 2;
+  options.ideal_pgt = true;
+  options.ideal_rows = 10;
+  options.capacity_blocks = 1 << 24;
+  auto setup = MakeSetup(options);
+  int admitted = 0;
+  for (int i = 0; admitted < streams && i < streams * 50; ++i) {
+    if (setup->controller->TryAdmit(i, 0, (i * 37) % (1 << 16),
+                                    1 << 20)) {
+      ++admitted;
+    }
+  }
+  for (auto _ : state) {
+    setup->controller->Round(-1, nullptr);
+  }
+  state.SetItemsProcessed(state.iterations() * admitted);
+}
+BENCHMARK(BM_AdmissionRound)->Arg(100)->Arg(500);
+
+void BM_TryAdmitRejectPath(benchmark::State& state) {
+  SetupOptions options;
+  options.scheme = Scheme::kDeclustered;
+  options.num_disks = 32;
+  options.parity_group = 4;
+  options.q = 4;
+  options.f = 1;
+  options.ideal_pgt = true;
+  options.ideal_rows = 10;
+  options.capacity_blocks = 1 << 24;
+  auto setup = MakeSetup(options);
+  // Saturate disk 0.
+  int id = 0;
+  while (setup->controller->TryAdmit(id, 0, (id % 10) * 32, 1 << 20)) {
+    ++id;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        setup->controller->TryAdmit(id, 0, 0, 1 << 20));
+  }
+}
+BENCHMARK(BM_TryAdmitRejectPath);
+
+}  // namespace
+}  // namespace cmfs
+
+BENCHMARK_MAIN();

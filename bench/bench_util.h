@@ -1,0 +1,68 @@
+#ifndef CMFS_BENCH_BENCH_UTIL_H_
+#define CMFS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "analysis/capacity.h"
+#include "util/units.h"
+
+// Shared helpers for the reproduction benches. Each bench binary prints
+// the rows/series of one table or figure from the paper (see
+// EXPERIMENTS.md for the paper-vs-measured comparison).
+
+namespace cmfs::bench {
+
+inline const std::vector<int>& PaperParityGroups() {
+  static const std::vector<int> kGroups = {2, 4, 8, 16, 32};
+  return kGroups;
+}
+
+inline const std::vector<Scheme>& PaperSchemes() {
+  static const std::vector<Scheme> kSchemes = {
+      Scheme::kStreamingRaid, Scheme::kDeclustered, Scheme::kPrefetchFlat,
+      Scheme::kPrefetchParityDisk, Scheme::kNonClustered};
+  return kSchemes;
+}
+
+inline CapacityConfig PaperCapacityConfig(std::int64_t buffer_bytes,
+                                          int parity_group) {
+  CapacityConfig config;
+  config.disk = DiskParams::Sigmod96();
+  config.server = ServerParams::Sigmod96(buffer_bytes);
+  config.parity_group = parity_group;
+  return config;
+}
+
+// Integer PGT rows for the simulation: round((d-1)/(p-1)), min 1 — the
+// concrete row count an actual table would have.
+inline int SimRows(int num_disks, int parity_group) {
+  const int rows = (num_disks - 1) / (parity_group - 1);
+  return rows < 1 ? 1 : rows;
+}
+
+// Optional CSV sink: pass "--csv <path>" to a figure bench to also write
+// machine-readable rows (scheme,p,buffer_mb,value) for plotting.
+inline std::FILE* OpenCsvFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--csv") {
+      return std::fopen(argv[i + 1], "w");
+    }
+  }
+  return nullptr;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n==== %s ====\n", title);
+}
+
+inline void PrintGroupSizeHeader() {
+  std::printf("%-28s", "p:");
+  for (int p : PaperParityGroups()) std::printf("%8d", p);
+  std::printf("\n");
+}
+
+}  // namespace cmfs::bench
+
+#endif  // CMFS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// Quickstart: build a small fault-tolerant CM server, admit a few
+// streams, kill a disk mid-playback, and watch every delivery stay on
+// time and bit-exact.
+//
+//   $ ./examples/quickstart
+//
+// This walks the full public API surface: design factory -> parity group
+// table -> declustered layout -> admission controller -> server.
+
+#include <cstdio>
+
+#include "bibd/design_factory.h"
+#include "core/content.h"
+#include "core/controller_factory.h"
+#include "core/server.h"
+#include "layout/layout.h"
+
+int main() {
+  using namespace cmfs;
+
+  // 1. A 9-disk array with parity groups of 3, declustered with a real
+  //    (9, 3, 1) design (the affine plane AG(2,3)).
+  SetupOptions options;
+  options.scheme = Scheme::kDeclustered;
+  options.num_disks = 9;
+  options.parity_group = 3;
+  options.q = 8;  // blocks a disk may serve per round
+  options.f = 2;  // contingency reservation per disk
+  options.capacity_blocks = 900;
+  Result<ServerSetup> setup = MakeSetup(options);
+  if (!setup.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 setup.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. A simulated disk array storing deterministic clip content; parity
+  //    is maintained incrementally by WriteDataBlock.
+  const std::int64_t block_size = 256;
+  DiskArray array(options.num_disks, DiskParams::Sigmod96(), block_size);
+  const std::int64_t clip_blocks = 120;
+  const int num_clips = 6;
+  for (int clip = 0; clip < num_clips; ++clip) {
+    for (std::int64_t i = 0; i < clip_blocks; ++i) {
+      const std::int64_t index = clip * clip_blocks + i;
+      Status st = WriteDataBlock(*setup->layout, array, 0, index,
+                                 PatternBlock(0, index, block_size));
+      if (!st.ok()) {
+        std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  std::printf("stored %d clips of %lld blocks each\n", num_clips,
+              static_cast<long long>(clip_blocks));
+
+  // 3. The server executes rounds: retrieval via C-SCAN, buffering,
+  //    on-deadline delivery, and XOR reconstruction after failures.
+  ServerConfig server_config;
+  server_config.block_size = block_size;
+  Server server(&array, setup->controller.get(), server_config);
+
+  for (int clip = 0; clip < num_clips; ++clip) {
+    const bool admitted =
+        server.TryAdmit(clip, 0, clip * clip_blocks, clip_blocks);
+    std::printf("client %d -> %s\n", clip,
+                admitted ? "admitted" : "rejected (no bandwidth)");
+  }
+
+  // 4. Run 30 healthy rounds, then lose disk 4 and keep going.
+  if (Status st = server.RunRounds(30); !st.ok()) {
+    std::fprintf(stderr, "round failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("round 30: disk 4 fails!\n");
+  if (Status st = server.FailDisk(4); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (Status st = server.RunRounds(120); !st.ok()) {
+    std::fprintf(stderr, "degraded round failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  // 5. Every delivered block was verified bit-for-bit against the
+  //    original content — including blocks rebuilt from parity.
+  std::printf("%s\n", server.metrics().ToString().c_str());
+  std::printf(
+      "all %lld deliveries on time and bit-exact; %lld reconstruction "
+      "reads absorbed by the contingency reservation\n",
+      static_cast<long long>(server.metrics().deliveries),
+      static_cast<long long>(server.metrics().recovery_reads));
+  return 0;
+}

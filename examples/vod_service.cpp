@@ -1,0 +1,138 @@
+// Video-on-demand service scenario (the workload §1 motivates): a clip
+// catalog, Poisson client arrivals, admission control, and live service
+// through a disk failure — run under two different schemes so their
+// operational behaviour can be compared side by side.
+//
+//   $ ./examples/vod_service
+
+#include <cstdio>
+#include <deque>
+
+#include "core/content.h"
+#include "core/controller_factory.h"
+#include "core/server.h"
+#include "layout/layout.h"
+#include "media/catalog.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cmfs;
+
+struct ServiceReport {
+  int arrivals = 0;
+  int admitted = 0;
+  ServerMetrics metrics;
+};
+
+// Runs a 300-round VOD service with Poisson arrivals and a disk failure
+// at round 60.
+Result<ServiceReport> RunService(Scheme scheme, int q, int f) {
+  const int d = 8;
+  const int p = 4;
+  const std::int64_t block_size = 64;
+
+  // Catalog: 20 clips, lengths padded to whole parity groups (p-1 = 3).
+  Catalog catalog;
+  for (int i = 0; i < 20; ++i) {
+    Status st = catalog.AddClip({i, 30 + 3 * (i % 4)});
+    if (!st.ok()) return st;
+  }
+  const auto extents = catalog.Concatenate(1);
+
+  SetupOptions options;
+  options.scheme = scheme;
+  options.num_disks = d;
+  options.parity_group = p;
+  options.q = q;
+  options.f = f;
+  options.capacity_blocks = catalog.total_blocks() + p;
+  Result<ServerSetup> setup = MakeSetup(options);
+  if (!setup.ok()) return setup.status();
+
+  DiskArray array(d, DiskParams::Sigmod96(), block_size);
+  for (const ClipExtent& e : extents) {
+    for (std::int64_t i = 0; i < e.length_blocks; ++i) {
+      Status st = WriteDataBlock(
+          *setup->layout, array, e.space, e.start_block + i,
+          PatternBlock(e.space, e.start_block + i, block_size));
+      if (!st.ok()) return st;
+    }
+  }
+
+  ServerConfig server_config;
+  server_config.block_size = block_size;
+  server_config.allow_hiccups = scheme == Scheme::kNonClustered;
+  server_config.load_window_rounds =
+      scheme == Scheme::kStreamingRaid ? p - 1 : 1;
+  Server server(&array, setup->controller.get(), server_config);
+
+  Rng rng(2026);
+  ServiceReport report;
+  std::deque<int> pending;
+  StreamId next_id = 0;
+  double next_arrival = 0.0;
+
+  for (int round = 0; round < 300; ++round) {
+    while (next_arrival <= round) {
+      pending.push_back(static_cast<int>(rng.NextBounded(20)));
+      ++report.arrivals;
+      next_arrival += rng.NextExponential(0.15);  // ~0.15 clients/round
+    }
+    // First-fit admission over the pending list.
+    for (auto it = pending.begin(); it != pending.end();) {
+      const ClipExtent& e = extents[static_cast<std::size_t>(*it)];
+      if (server.TryAdmit(next_id, e.space, e.start_block,
+                          e.length_blocks)) {
+        ++next_id;
+        ++report.admitted;
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (round == 60) {
+      Status st = server.FailDisk(1);
+      if (!st.ok()) return st;
+    }
+    Status st = server.RunRound();
+    if (!st.ok()) return st;
+  }
+  report.metrics = server.metrics();
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cmfs;
+  std::printf("VOD service: 8 disks, p=4, disk 1 dies at round 60\n\n");
+  struct Run {
+    Scheme scheme;
+    int q, f;
+  };
+  for (const Run& run :
+       {Run{Scheme::kDeclustered, 8, 1},
+        Run{Scheme::kPrefetchParityDisk, 8, 0},
+        Run{Scheme::kNonClustered, 8, 0}}) {
+    Result<ServiceReport> report = RunService(run.scheme, run.q, run.f);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", SchemeName(run.scheme),
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-28s arrivals=%d admitted=%d\n", SchemeName(run.scheme),
+                report->arrivals, report->admitted);
+    std::printf("  %s\n", report->metrics.ToString().c_str());
+    if (report->metrics.hiccups > 0) {
+      std::printf(
+          "  NOTE: %lld playback hiccups during the failure transition — "
+          "the discontinuity §2 predicts for the non-clustered scheme\n",
+          static_cast<long long>(report->metrics.hiccups));
+    } else {
+      std::printf("  zero hiccups: service continuity preserved\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "analysis/capacity.h"
+
+#include <cstdio>
+
+namespace cmfs {
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kDeclustered:
+      return "declustered-parity";
+    case Scheme::kDynamic:
+      return "dynamic-reservation";
+    case Scheme::kPrefetchParityDisk:
+      return "prefetch-with-parity-disk";
+    case Scheme::kPrefetchFlat:
+      return "prefetch-without-parity-disk";
+    case Scheme::kStreamingRaid:
+      return "streaming-raid";
+    case Scheme::kNonClustered:
+      return "non-clustered";
+  }
+  return "unknown";
+}
+
+std::string CapacityResult::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s{p=%d, q=%d, f=%d, b=%lld B, r=%.2f, per_unit=%d, "
+                "total=%d}",
+                SchemeName(scheme), parity_group, q, f,
+                static_cast<long long>(block_size), rows, per_unit_clips,
+                total_clips);
+  return buf;
+}
+
+Result<CapacityResult> ComputeCapacity(Scheme scheme,
+                                       const CapacityConfig& config) {
+  if (config.parity_group < 2) {
+    return Status::InvalidArgument("parity group must be >= 2");
+  }
+  if (config.parity_group > config.server.num_disks) {
+    return Status::InvalidArgument("parity group exceeds array size");
+  }
+  switch (scheme) {
+    case Scheme::kDeclustered:
+    case Scheme::kDynamic:
+      // §5 changes *when* contingency is reserved, not the worst-case
+      // capacity; its analytical model is the declustered one.
+      return DeclusteredCapacity(config);
+    case Scheme::kPrefetchParityDisk:
+      return PrefetchParityDiskCapacity(config);
+    case Scheme::kPrefetchFlat:
+      return PrefetchFlatCapacity(config);
+    case Scheme::kStreamingRaid:
+      return StreamingRaidCapacity(config);
+    case Scheme::kNonClustered:
+      return NonClusteredCapacity(config);
+  }
+  return Status::InvalidArgument("unknown scheme");
+}
+
+Result<int> MinParityGroupForStorage(const DiskParams& disk, int num_disks,
+                                     std::int64_t storage_bytes) {
+  if (num_disks <= 0) return Status::InvalidArgument("need disks");
+  if (storage_bytes < 0) return Status::InvalidArgument("negative storage");
+  const double raw =
+      static_cast<double>(num_disks) * disk.capacity_bytes;
+  if (static_cast<double>(storage_bytes) >= raw) {
+    return Status::InvalidArgument("storage exceeds raw array capacity");
+  }
+  // S <= (p-1)/p * d * C_d  <=>  p >= d*C_d / (d*C_d - S).
+  const double p_min = raw / (raw - static_cast<double>(storage_bytes));
+  int p = static_cast<int>(p_min);
+  if (static_cast<double>(p) < p_min) ++p;
+  return std::max(p, 2);
+}
+
+}  // namespace cmfs

@@ -1,0 +1,33 @@
+#ifndef CMFS_ANALYSIS_CAPACITY_INTERNAL_H_
+#define CMFS_ANALYSIS_CAPACITY_INTERNAL_H_
+
+#include <functional>
+
+// Shared helpers for the per-scheme capacity solvers. Internal to the
+// analysis library.
+
+namespace cmfs::capacity_internal {
+
+// Largest q in [lo, hi] with feasible(q), or lo - 1 if none. feasible
+// must be monotone non-increasing in q (true for every scheme: raising q
+// shrinks the buffer-constrained block size and lengthens the round's
+// service demand).
+inline int LargestFeasibleQ(int lo, int hi,
+                            const std::function<bool(int)>& feasible) {
+  if (lo > hi || !feasible(lo)) return lo - 1;
+  int good = lo;
+  int bad = hi + 1;
+  while (bad - good > 1) {
+    const int mid = good + (bad - good) / 2;
+    if (feasible(mid)) {
+      good = mid;
+    } else {
+      bad = mid;
+    }
+  }
+  return good;
+}
+
+}  // namespace cmfs::capacity_internal
+
+#endif  // CMFS_ANALYSIS_CAPACITY_INTERNAL_H_

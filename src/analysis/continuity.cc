@@ -1,0 +1,54 @@
+#include "analysis/continuity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace cmfs {
+
+double RoundServiceTime(const DiskParams& disk, int q,
+                        std::int64_t block_size, int num_seeks) {
+  CMFS_CHECK(q >= 0);
+  const double per_request = static_cast<double>(block_size) /
+                                 disk.transfer_rate +
+                             disk.worst_rotational + disk.settle_time;
+  return q * per_request + num_seeks * disk.worst_seek;
+}
+
+double RoundLength(double playback_rate, std::int64_t block_size) {
+  CMFS_CHECK(playback_rate > 0.0);
+  return static_cast<double>(block_size) / playback_rate;
+}
+
+int MaxClipsPerRound(const DiskParams& disk, double playback_rate,
+                     std::int64_t block_size, int num_seeks) {
+  const double budget =
+      RoundLength(playback_rate, block_size) - num_seeks * disk.worst_seek;
+  if (budget <= 0.0) return 0;
+  const double per_request = static_cast<double>(block_size) /
+                                 disk.transfer_rate +
+                             disk.worst_rotational + disk.settle_time;
+  return static_cast<int>(budget / per_request);
+}
+
+std::int64_t MinBlockSizeForClips(const DiskParams& disk,
+                                  double playback_rate, int q,
+                                  int num_seeks) {
+  CMFS_CHECK(q >= 1);
+  // Solve q*(b/r_d + T) + S*t_seek <= b/r_p for b:
+  //   b * (1/r_p - q/r_d) >= q*T + S*t_seek.
+  const double slope = 1.0 / playback_rate - q / disk.transfer_rate;
+  if (slope <= 0.0) return 0;  // q beyond the r_d / r_p asymptote.
+  const double fixed =
+      q * (disk.worst_rotational + disk.settle_time) +
+      num_seeks * disk.worst_seek;
+  std::int64_t b = static_cast<std::int64_t>(std::ceil(fixed / slope));
+  // Nudge past floating-point boundary effects so the inverse is exact.
+  while (MaxClipsPerRound(disk, playback_rate, b, num_seeks) < q) {
+    b += std::max<std::int64_t>(1, b >> 20);
+  }
+  return b;
+}
+
+}  // namespace cmfs

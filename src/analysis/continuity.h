@@ -1,0 +1,39 @@
+#ifndef CMFS_ANALYSIS_CONTINUITY_H_
+#define CMFS_ANALYSIS_CONTINUITY_H_
+
+#include <cstdint>
+
+#include "disk/disk_params.h"
+
+// Round-continuity bound (Equation 1 of the paper):
+//
+//   q * (b/r_d + t_rot + t_settle) + num_seeks * t_seek  <=  b / r_p
+//
+// The left side is the worst-case time to service q block reads in one
+// C-SCAN round (num_seeks = 2 full strokes normally; footnote 2 adds one
+// more for schemes that may need a mid-round seek after a failure); the
+// right side is the round length — the time one block lasts at playback
+// rate r_p.
+
+namespace cmfs {
+
+// Worst-case time to retrieve q blocks of size `block_size` in one round.
+double RoundServiceTime(const DiskParams& disk, int q,
+                        std::int64_t block_size, int num_seeks = 2);
+
+// Round length b / r_p in seconds.
+double RoundLength(double playback_rate, std::int64_t block_size);
+
+// Largest q satisfying Equation 1 for the given block size (>= 0).
+int MaxClipsPerRound(const DiskParams& disk, double playback_rate,
+                     std::int64_t block_size, int num_seeks = 2);
+
+// Smallest block size (bytes) for which Equation 1 admits q clips, or 0
+// if q is unachievable at any block size (q >= r_d / r_p).
+std::int64_t MinBlockSizeForClips(const DiskParams& disk,
+                                  double playback_rate, int q,
+                                  int num_seeks = 2);
+
+}  // namespace cmfs
+
+#endif  // CMFS_ANALYSIS_CONTINUITY_H_

@@ -1,0 +1,64 @@
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/capacity.h"
+#include "analysis/capacity_internal.h"
+#include "analysis/continuity.h"
+
+// §7.1: declustered parity. Buffer constraint (failure-inclusive):
+//
+//   2*(q-f)*(d-1)*b + (q-f)*p*b <= B
+//
+// (2b per clip on the d-1 survivors plus p*b for the failed disk's clips
+// being reconstructed). A disk serves at most min(q - f, r*f) clips: q - f
+// from the bandwidth reservation, r*f because at most f of its per-round
+// reads may share a PGT row and there are r rows.
+
+namespace cmfs {
+
+Result<CapacityResult> DeclusteredCapacity(const CapacityConfig& config) {
+  const int d = config.server.num_disks;
+  const int p = config.parity_group;
+  const double B = static_cast<double>(config.server.buffer_bytes);
+  const double rows =
+      config.rows_override.value_or((d - 1.0) / (p - 1.0));
+  if (rows < 1.0) {
+    return Status::InvalidArgument("declustered PGT needs at least 1 row");
+  }
+
+  // Equation 1's asymptote: q < r_d / r_p regardless of block size.
+  const int q_hi = static_cast<int>(config.disk.transfer_rate /
+                                    config.server.playback_rate);
+
+  CapacityResult best;
+  best.scheme = Scheme::kDeclustered;
+  best.parity_group = p;
+  best.rows = rows;
+
+  const double buffer_factor = 2.0 * (d - 1) + p;
+  for (int f = 1; f <= q_hi; ++f) {
+    const auto feasible = [&](int q) {
+      const std::int64_t b = static_cast<std::int64_t>(
+          B / ((q - f) * buffer_factor));
+      if (b <= 0) return false;
+      return MaxClipsPerRound(config.disk, config.server.playback_rate, b,
+                              config.num_seeks) >= q;
+    };
+    const int q =
+        capacity_internal::LargestFeasibleQ(f + 1, q_hi, feasible);
+    if (q <= f) continue;
+    const int per_disk = std::min(
+        q - f, static_cast<int>(std::floor(rows * f)));
+    if (per_disk > best.per_unit_clips) {
+      best.q = q;
+      best.f = f;
+      best.block_size =
+          static_cast<std::int64_t>(B / ((q - f) * buffer_factor));
+      best.per_unit_clips = per_disk;
+      best.total_clips = per_disk * d;
+    }
+  }
+  return best;
+}
+
+}  // namespace cmfs

@@ -1,0 +1,78 @@
+#include "analysis/gss.h"
+
+#include <cstdio>
+
+#include "analysis/capacity_internal.h"
+
+namespace cmfs {
+
+std::string GssResult::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "GssResult{g=%d, q=%d, b=%lld B, total=%d}", groups, q,
+                static_cast<long long>(block_size), total_clips);
+  return buf;
+}
+
+int GssMaxClipsPerRound(const DiskParams& disk, double playback_rate,
+                        std::int64_t block_size, int groups) {
+  CMFS_CHECK(groups >= 1);
+  CMFS_CHECK(playback_rate > 0.0);
+  const double budget = static_cast<double>(block_size) / playback_rate -
+                        (groups + 1) * disk.worst_seek;
+  if (budget <= 0.0) return 0;
+  const double per_request = static_cast<double>(block_size) /
+                                 disk.transfer_rate +
+                             disk.worst_rotational + disk.settle_time;
+  return static_cast<int>(budget / per_request);
+}
+
+std::int64_t GssBufferPerStream(std::int64_t block_size, int groups) {
+  CMFS_CHECK(groups >= 1);
+  return block_size + (block_size + groups - 1) / groups;
+}
+
+Result<GssResult> GssCapacity(const GssConfig& config, int groups) {
+  if (groups < 1) return Status::InvalidArgument("need g >= 1");
+  if (config.num_disks < 1 || config.buffer_bytes < 1 ||
+      config.playback_rate <= 0.0) {
+    return Status::InvalidArgument("incomplete GSS config");
+  }
+  const double B = static_cast<double>(config.buffer_bytes);
+  const double per_block_factor =
+      (1.0 + 1.0 / groups) * config.num_disks;
+  const int q_hi = static_cast<int>(config.disk.transfer_rate /
+                                    config.playback_rate);
+
+  GssResult best;
+  best.groups = groups;
+  const auto feasible = [&](int q) {
+    const std::int64_t b =
+        static_cast<std::int64_t>(B / (q * per_block_factor));
+    if (b <= 0) return false;
+    return GssMaxClipsPerRound(config.disk, config.playback_rate, b,
+                               groups) >= q;
+  };
+  const int q = capacity_internal::LargestFeasibleQ(1, q_hi, feasible);
+  if (q >= 1) {
+    best.q = q;
+    best.block_size =
+        static_cast<std::int64_t>(B / (q * per_block_factor));
+    best.total_clips = q * config.num_disks;
+  }
+  return best;
+}
+
+Result<GssResult> OptimizeGss(const GssConfig& config, int max_groups) {
+  if (max_groups < 1) return Status::InvalidArgument("need max_groups >= 1");
+  GssResult best;
+  for (int g = 1; g <= max_groups; ++g) {
+    Result<GssResult> result = GssCapacity(config, g);
+    if (!result.ok()) return result.status();
+    if (result->total_clips > best.total_clips) best = *result;
+  }
+  if (best.total_clips == 0) best.groups = 1;
+  return best;
+}
+
+}  // namespace cmfs

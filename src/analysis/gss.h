@@ -1,0 +1,65 @@
+#ifndef CMFS_ANALYSIS_GSS_H_
+#define CMFS_ANALYSIS_GSS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "disk/disk_params.h"
+#include "util/status.h"
+
+// Grouped Sweeping Scheme (GSS) — the scheduling family of the paper's
+// [CKY93] citation, of which Equation 1's C-SCAN round is the g = 1
+// special case.
+//
+// GSS splits each round into g sub-rounds; the streams are partitioned
+// into g groups and each group is served by its own C-SCAN sweep inside
+// its sub-round. More groups mean more full-stroke seeks per round
+// (g + 1 strokes instead of 2) but less buffering per stream: a stream's
+// fetch time is pinned to a 1/g slice of the round, so the
+// double-buffer shrinks from 2b toward b(1 + 1/g):
+//
+//   continuity:  q*(b/r_d + t_rot + t_settle) + (g+1)*t_seek <= b/r_p
+//   buffer:      (1 + 1/g)*b per stream
+//
+// For small server buffers, an interior g beats both pure C-SCAN (g=1)
+// and pure round-robin (g=q): exactly CKY93's trade-off, quantified by
+// bench_ablation_gss on the paper's parameters.
+
+namespace cmfs {
+
+struct GssConfig {
+  DiskParams disk;
+  // Playback rate r_p (bytes/second).
+  double playback_rate = 0.0;
+  int num_disks = 0;
+  std::int64_t buffer_bytes = 0;
+};
+
+struct GssResult {
+  int groups = 0;               // g
+  int q = 0;                    // streams per disk per round
+  std::int64_t block_size = 0;  // chosen b
+  int total_clips = 0;          // q * d
+
+  std::string ToString() const;
+};
+
+// Largest q satisfying the GSS continuity constraint at (b, g).
+int GssMaxClipsPerRound(const DiskParams& disk, double playback_rate,
+                        std::int64_t block_size, int groups);
+
+// Per-stream buffer requirement at (b, g): (1 + 1/g) * b, rounded up.
+std::int64_t GssBufferPerStream(std::int64_t block_size, int groups);
+
+// Best q for a fixed g under the server-wide buffer constraint
+// q * d * GssBufferPerStream(b, g) <= B (block size chosen at the
+// constraint boundary, as in §7).
+Result<GssResult> GssCapacity(const GssConfig& config, int groups);
+
+// Sweeps g in [1, max_groups] and returns the best configuration.
+Result<GssResult> OptimizeGss(const GssConfig& config,
+                              int max_groups = 32);
+
+}  // namespace cmfs
+
+#endif  // CMFS_ANALYSIS_GSS_H_

@@ -1,0 +1,60 @@
+#include <algorithm>
+
+#include "analysis/capacity.h"
+#include "analysis/capacity_internal.h"
+#include "analysis/continuity.h"
+
+// §7.4: the non-clustered scheme [BGM95]. Dedicated parity disk per
+// cluster, but during normal operation clips buffer only 2 blocks; on a
+// failure, whole parity groups are read for the failed cluster (p/2 per
+// clip with staggering), so the buffer constraint is
+//
+//   2*b*q*(d/p - 1)*(p-1) + (p/2)*b*q*(p-1) <= B.
+//
+// Capacity per data disk is q (no reservation); total q*d*(p-1)/p. The
+// scheme may lose blocks during the transition to degraded mode — the
+// only scheme here without full continuity.
+
+namespace cmfs {
+
+Result<CapacityResult> NonClusteredCapacity(const CapacityConfig& config) {
+  const int d = config.server.num_disks;
+  const int p = config.parity_group;
+  const double B = static_cast<double>(config.server.buffer_bytes);
+  const double clusters = static_cast<double>(d) / p;
+
+  CapacityResult best;
+  best.scheme = Scheme::kNonClustered;
+  best.parity_group = p;
+
+  const int q_hi = static_cast<int>(config.disk.transfer_rate /
+                                    config.server.playback_rate);
+  // The staggered-group optimization is [BGM95]'s own and applies to this
+  // scheme's degraded-mode buffering unconditionally (the paper quotes
+  // the non-clustered scheme as having "the least buffer space
+  // overhead", which holds only with it).
+  const double buffer_factor =
+      (2.0 * (clusters - 1.0) + 0.5 * p) * (p - 1);
+  if (buffer_factor <= 0.0) {
+    return Status::InvalidArgument("degenerate non-clustered config");
+  }
+  const auto feasible = [&](int q) {
+    const std::int64_t b =
+        static_cast<std::int64_t>(B / (q * buffer_factor));
+    if (b <= 0) return false;
+    return MaxClipsPerRound(config.disk, config.server.playback_rate, b,
+                            config.num_seeks) >= q;
+  };
+  const int q = capacity_internal::LargestFeasibleQ(1, q_hi, feasible);
+  if (q >= 1) {
+    best.q = q;
+    best.block_size =
+        static_cast<std::int64_t>(B / (q * buffer_factor));
+    best.per_unit_clips = q;
+    best.total_clips =
+        static_cast<int>(q * d * (p - 1.0) / p);
+  }
+  return best;
+}
+
+}  // namespace cmfs

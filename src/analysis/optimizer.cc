@@ -1,0 +1,42 @@
+#include "analysis/optimizer.h"
+
+namespace cmfs {
+
+Result<OptimizerResult> ComputeOptimal(Scheme scheme,
+                                       const CapacityConfig& base_config,
+                                       const std::vector<int>& group_sizes,
+                                       std::int64_t storage_bytes) {
+  Result<int> p_min = MinParityGroupForStorage(
+      base_config.disk, base_config.server.num_disks, storage_bytes);
+  if (!p_min.ok()) return p_min.status();
+
+  OptimizerResult out;
+  for (int p : group_sizes) {
+    if (p < *p_min || p > base_config.server.num_disks) continue;
+    CapacityConfig config = base_config;
+    config.parity_group = p;
+    Result<CapacityResult> cap = ComputeCapacity(scheme, config);
+    if (!cap.ok()) continue;  // Structurally impossible at this p.
+    out.sweep.push_back(*cap);
+    if (cap->total_clips > out.best.total_clips) {
+      out.best = *cap;
+    }
+  }
+  if (out.sweep.empty()) {
+    return Status::InvalidArgument(
+        "no parity group size in the sweep is admissible");
+  }
+  return out;
+}
+
+Result<OptimizerResult> ComputeOptimalFullSweep(
+    Scheme scheme, const CapacityConfig& base_config,
+    std::int64_t storage_bytes) {
+  std::vector<int> sizes;
+  for (int p = 2; p <= base_config.server.num_disks; ++p) {
+    sizes.push_back(p);
+  }
+  return ComputeOptimal(scheme, base_config, sizes, storage_bytes);
+}
+
+}  // namespace cmfs

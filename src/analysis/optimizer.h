@@ -1,0 +1,36 @@
+#ifndef CMFS_ANALYSIS_OPTIMIZER_H_
+#define CMFS_ANALYSIS_OPTIMIZER_H_
+
+#include <vector>
+
+#include "analysis/capacity.h"
+
+// computeOptimal (Figure 4 of the paper): sweep the parity group size and
+// pick the (p, b, f, q) that maximizes concurrently serviced clips, while
+// honouring the storage-imposed lower bound p_min.
+
+namespace cmfs {
+
+struct OptimizerResult {
+  CapacityResult best;
+  // One entry per evaluated parity group size, in sweep order (for the
+  // Figure 5 curves).
+  std::vector<CapacityResult> sweep;
+};
+
+// Sweeps p over `group_sizes` (each >= p_min is required; values below
+// p_min or above d are skipped). storage_bytes sets p_min; pass 0 when
+// storage is not a constraint (the Figure 5/6 setting).
+Result<OptimizerResult> ComputeOptimal(Scheme scheme,
+                                       const CapacityConfig& base_config,
+                                       const std::vector<int>& group_sizes,
+                                       std::int64_t storage_bytes = 0);
+
+// Convenience: sweeps every p in [p_min, d].
+Result<OptimizerResult> ComputeOptimalFullSweep(
+    Scheme scheme, const CapacityConfig& base_config,
+    std::int64_t storage_bytes = 0);
+
+}  // namespace cmfs
+
+#endif  // CMFS_ANALYSIS_OPTIMIZER_H_

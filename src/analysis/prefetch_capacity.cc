@@ -1,0 +1,96 @@
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/capacity.h"
+#include "analysis/capacity_internal.h"
+#include "analysis/continuity.h"
+
+// §7.2: pre-fetching schemes (with the staggered-group optimization, each
+// clip buffers p/2 blocks on average).
+//
+// Without parity disks (§6.2): buffer (p/2)*b*(q-f)*d <= B; a disk serves
+// at most min(q - f, (d-(p-1))*f) clips — the second bound because clips
+// whose data blocks have parity on the same disk are capped at f and
+// there are d-(p-1) such parity-home classes.
+//
+// With parity disks (§6.1): no reservation (parity disks absorb the
+// failure load); buffer (p/2)*b*q*(d*(p-1)/p) <= B; total q*d*(p-1)/p.
+
+namespace cmfs {
+
+Result<CapacityResult> PrefetchFlatCapacity(const CapacityConfig& config) {
+  const int d = config.server.num_disks;
+  const int p = config.parity_group;
+  const double B = static_cast<double>(config.server.buffer_bytes);
+  if (p - 1 >= d) {
+    return Status::InvalidArgument("flat layout needs d > p-1");
+  }
+  const int classes = d - (p - 1);
+  const int q_hi = static_cast<int>(config.disk.transfer_rate /
+                                    config.server.playback_rate);
+
+  CapacityResult best;
+  best.scheme = Scheme::kPrefetchFlat;
+  best.parity_group = p;
+  best.rows = classes;
+
+  const double per_clip_blocks = config.staggered_prefetch ? 0.5 * p : p;
+  const double buffer_factor = per_clip_blocks * d;
+  for (int f = 1; f <= q_hi; ++f) {
+    const auto feasible = [&](int q) {
+      const std::int64_t b = static_cast<std::int64_t>(
+          B / ((q - f) * buffer_factor));
+      if (b <= 0) return false;
+      return MaxClipsPerRound(config.disk, config.server.playback_rate, b,
+                              config.num_seeks) >= q;
+    };
+    const int q =
+        capacity_internal::LargestFeasibleQ(f + 1, q_hi, feasible);
+    if (q <= f) continue;
+    const int per_disk = std::min(q - f, classes * f);
+    if (per_disk > best.per_unit_clips) {
+      best.q = q;
+      best.f = f;
+      best.block_size =
+          static_cast<std::int64_t>(B / ((q - f) * buffer_factor));
+      best.per_unit_clips = per_disk;
+      best.total_clips = per_disk * d;
+    }
+  }
+  return best;
+}
+
+Result<CapacityResult> PrefetchParityDiskCapacity(
+    const CapacityConfig& config) {
+  const int d = config.server.num_disks;
+  const int p = config.parity_group;
+  const double B = static_cast<double>(config.server.buffer_bytes);
+  const double data_disks = static_cast<double>(d) * (p - 1) / p;
+  const int q_hi = static_cast<int>(config.disk.transfer_rate /
+                                    config.server.playback_rate);
+
+  CapacityResult best;
+  best.scheme = Scheme::kPrefetchParityDisk;
+  best.parity_group = p;
+
+  const double per_clip_blocks = config.staggered_prefetch ? 0.5 * p : p;
+  const double buffer_factor = per_clip_blocks * data_disks;
+  const auto feasible = [&](int q) {
+    const std::int64_t b =
+        static_cast<std::int64_t>(B / (q * buffer_factor));
+    if (b <= 0) return false;
+    return MaxClipsPerRound(config.disk, config.server.playback_rate, b,
+                            config.num_seeks) >= q;
+  };
+  const int q = capacity_internal::LargestFeasibleQ(1, q_hi, feasible);
+  if (q >= 1) {
+    best.q = q;
+    best.block_size =
+        static_cast<std::int64_t>(B / (q * buffer_factor));
+    best.per_unit_clips = q;
+    best.total_clips = static_cast<int>(q * data_disks);
+  }
+  return best;
+}
+
+}  // namespace cmfs

@@ -1,0 +1,23 @@
+#include "analysis/reliability.h"
+
+#include "util/status.h"
+
+namespace cmfs {
+
+double ArrayMttfHours(double disk_mttf_hours, int num_disks) {
+  CMFS_CHECK(disk_mttf_hours > 0.0);
+  CMFS_CHECK(num_disks > 0);
+  return disk_mttf_hours / num_disks;
+}
+
+double ParityProtectedMttdlHours(double disk_mttf_hours, int num_disks,
+                                 int group_size, double repair_hours) {
+  CMFS_CHECK(disk_mttf_hours > 0.0);
+  CMFS_CHECK(num_disks > 0);
+  CMFS_CHECK(group_size >= 2);
+  CMFS_CHECK(repair_hours > 0.0);
+  return disk_mttf_hours * disk_mttf_hours /
+         (static_cast<double>(num_disks) * (group_size - 1) * repair_hours);
+}
+
+}  // namespace cmfs

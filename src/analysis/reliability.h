@@ -1,0 +1,25 @@
+#ifndef CMFS_ANALYSIS_RELIABILITY_H_
+#define CMFS_ANALYSIS_RELIABILITY_H_
+
+// Reliability model behind the paper's motivation (§1): a single disk's
+// MTTF of ~300,000 hours drops to 1,500 hours (~60 days) for a 200-disk
+// array, which is why the schemes exist. We also provide the standard
+// Markov two-state approximation for the MTTDL of a parity-protected
+// array with repair, to quantify what the schemes buy.
+
+namespace cmfs {
+
+// MTTF of an unprotected array of n disks (first failure): mttf_disk / n.
+double ArrayMttfHours(double disk_mttf_hours, int num_disks);
+
+// Mean time to data loss of a single-parity-protected array: data is lost
+// only if a second disk in some parity group fails during the first
+// failure's repair window. Standard approximation:
+//   MTTDL = mttf^2 / (n * (g - 1) * mttr)
+// with n disks, parity groups of g disks, repair time mttr.
+double ParityProtectedMttdlHours(double disk_mttf_hours, int num_disks,
+                                 int group_size, double repair_hours);
+
+}  // namespace cmfs
+
+#endif  // CMFS_ANALYSIS_RELIABILITY_H_

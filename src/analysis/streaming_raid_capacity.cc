@@ -1,0 +1,53 @@
+#include <algorithm>
+
+#include "analysis/capacity.h"
+#include "analysis/capacity_internal.h"
+#include "analysis/continuity.h"
+
+// §7.3: streaming RAID [TPBG93]. Each cluster of p disks (one parity) is a
+// logical disk; whole parity groups of (p-1) blocks are retrieved per
+// access, so the round is (p-1)*b/r_p long:
+//
+//   2*t_seek + q*(t_rot + t_settle + b/r_d) <= (p-1)*b / r_p
+//
+// which is Equation 1 with an effective playback rate r_p/(p-1). (The
+// paper's rendering of this constraint omits t_settle; we keep it for
+// consistency with Equation 1 — it shifts q by well under 1.) Buffer:
+// 2*(p-1)*b per clip, q clips per cluster, d/p clusters.
+
+namespace cmfs {
+
+Result<CapacityResult> StreamingRaidCapacity(const CapacityConfig& config) {
+  const int d = config.server.num_disks;
+  const int p = config.parity_group;
+  const double B = static_cast<double>(config.server.buffer_bytes);
+  const double clusters = static_cast<double>(d) / p;
+
+  CapacityResult best;
+  best.scheme = Scheme::kStreamingRaid;
+  best.parity_group = p;
+
+  // q per cluster can exceed the per-disk asymptote by (p-1)x.
+  const int q_hi = static_cast<int>(
+      (p - 1) * config.disk.transfer_rate / config.server.playback_rate);
+  const double buffer_factor = 2.0 * (p - 1) * clusters;
+  const double effective_rate = config.server.playback_rate / (p - 1);
+  const auto feasible = [&](int q) {
+    const std::int64_t b =
+        static_cast<std::int64_t>(B / (q * buffer_factor));
+    if (b <= 0) return false;
+    return MaxClipsPerRound(config.disk, effective_rate, b,
+                            config.num_seeks) >= q;
+  };
+  const int q = capacity_internal::LargestFeasibleQ(1, q_hi, feasible);
+  if (q >= 1) {
+    best.q = q;
+    best.block_size =
+        static_cast<std::int64_t>(B / (q * buffer_factor));
+    best.per_unit_clips = q;
+    best.total_clips = static_cast<int>(q * clusters);
+  }
+  return best;
+}
+
+}  // namespace cmfs

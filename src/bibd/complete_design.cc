@@ -1,0 +1,66 @@
+#include <algorithm>
+#include <numeric>
+
+#include "bibd/constructions.h"
+
+namespace cmfs {
+
+namespace {
+
+// C(v, k) with overflow guard; returns -1 if it exceeds `cap`.
+long long BinomialCapped(int v, int k, long long cap) {
+  long long result = 1;
+  for (int i = 1; i <= k; ++i) {
+    result = result * (v - k + i) / i;
+    if (result > cap) return -1;
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<Design> CompleteDesign(int v, int k) {
+  if (v <= 0 || k <= 0 || k > v) {
+    return Status::InvalidArgument("need 0 < k <= v");
+  }
+  constexpr long long kMaxSets = 100000;
+  if (BinomialCapped(v, k, kMaxSets) < 0) {
+    return Status::InvalidArgument("complete design too large");
+  }
+  Design design;
+  design.v = v;
+  design.k = k;
+  // Enumerate k-subsets in lexicographic order.
+  std::vector<int> cur(static_cast<std::size_t>(k));
+  std::iota(cur.begin(), cur.end(), 0);
+  for (;;) {
+    design.sets.push_back(cur);
+    // Advance to the next combination.
+    int i = k - 1;
+    while (i >= 0 && cur[static_cast<std::size_t>(i)] == v - k + i) --i;
+    if (i < 0) break;
+    ++cur[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      cur[static_cast<std::size_t>(j)] =
+          cur[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+  return design;
+}
+
+Result<Design> AllPairsDesign(int v) {
+  if (v < 2) return Status::InvalidArgument("need v >= 2");
+  return CompleteDesign(v, 2);
+}
+
+Result<Design> TrivialDesign(int v) {
+  if (v < 1) return Status::InvalidArgument("need v >= 1");
+  Design design;
+  design.v = v;
+  design.k = v;
+  design.sets.emplace_back(static_cast<std::size_t>(v));
+  std::iota(design.sets.back().begin(), design.sets.back().end(), 0);
+  return design;
+}
+
+}  // namespace cmfs

@@ -1,0 +1,50 @@
+#ifndef CMFS_BIBD_CONSTRUCTIONS_H_
+#define CMFS_BIBD_CONSTRUCTIONS_H_
+
+#include <cstdint>
+
+#include "bibd/design.h"
+#include "util/status.h"
+
+// Constructive generators for the block-design families the paper's layout
+// needs. The paper cites BIBD tables from Hall's "Combinatorial Theory"
+// [MH86]; since we cannot ship the book, we generate designs instead (see
+// DESIGN.md substitution table).
+
+namespace cmfs {
+
+// All C(v, k) k-subsets of {0..v-1}: the complete design, a
+// BIBD(v, k, C(v-2, k-2)). Guarded to small instances (C(v, k) <= 100000).
+Result<Design> CompleteDesign(int v, int k);
+
+// All v*(v-1)/2 pairs: BIBD(v, 2, 1) with r = v - 1. This is the k = 2
+// instance the paper's d = 32, p = 2 configuration uses.
+Result<Design> AllPairsDesign(int v);
+
+// The single set {0..v-1}: the trivial k = v "design" (r = 1). Used for
+// p = d, where the whole array is one parity group.
+Result<Design> TrivialDesign(int v);
+
+// Searches (backtracking) for a cyclic (v, k, 1) difference family: base
+// sets whose pairwise differences cover Z_v \ {0} exactly once; the design
+// is all v translates of each base set, a BIBD(v, k, 1) with
+// r = (v-1)/(k-1). Exists only when k*(k-1) divides v-1 and the search
+// succeeds (e.g. (7,3), (13,3), (13,4), (21,5), (31,6)).
+Result<Design> CyclicDifferenceFamilyDesign(int v, int k);
+
+// Projective plane of prime-power order q: BIBD(q^2+q+1, q+1, 1).
+Result<Design> ProjectivePlaneDesign(int q);
+
+// Affine plane of prime-power order q: BIBD(q^2, q, 1) with r = q + 1.
+Result<Design> AffinePlaneDesign(int q);
+
+// Randomized near-balanced fallback for (v, k) with no lambda = 1 BIBD.
+// Produces an equireplicate design: s = v*r/k sets (requires k | v*r),
+// every object in exactly r sets, with pair coverage made as even as
+// possible by greedy choice plus local-search swaps. The caller must
+// consult ComputeStats for the achieved max pair coverage.
+Result<Design> GreedyBalancedDesign(int v, int k, int r, std::uint64_t seed);
+
+}  // namespace cmfs
+
+#endif  // CMFS_BIBD_CONSTRUCTIONS_H_

@@ -1,0 +1,81 @@
+#include "bibd/design.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cmfs {
+
+std::string DesignStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "DesignStats{r=[%d,%d], lambda=[%d,%d]}", min_replication,
+                max_replication, min_pair_coverage, max_pair_coverage);
+  return buf;
+}
+
+Status ValidateDesign(const Design& design) {
+  if (design.v <= 0) return Status::InvalidArgument("v must be positive");
+  if (design.k <= 0 || design.k > design.v) {
+    return Status::InvalidArgument("k must be in [1, v]");
+  }
+  if (design.sets.empty()) {
+    return Status::InvalidArgument("design has no sets");
+  }
+  for (const auto& set : design.sets) {
+    if (static_cast<int>(set.size()) != design.k) {
+      return Status::InvalidArgument("set size != k");
+    }
+    if (!std::is_sorted(set.begin(), set.end())) {
+      return Status::InvalidArgument("set not sorted");
+    }
+    if (std::adjacent_find(set.begin(), set.end()) != set.end()) {
+      return Status::InvalidArgument("set has duplicate objects");
+    }
+    if (set.front() < 0 || set.back() >= design.v) {
+      return Status::InvalidArgument("object id out of range");
+    }
+  }
+  return Status::Ok();
+}
+
+DesignStats ComputeStats(const Design& design) {
+  CMFS_CHECK(ValidateDesign(design).ok());
+  const int v = design.v;
+  std::vector<int> replication(static_cast<std::size_t>(v), 0);
+  // Pair coverage indexed by i*v + j for i < j.
+  std::vector<int> pairs(static_cast<std::size_t>(v) * v, 0);
+  for (const auto& set : design.sets) {
+    for (std::size_t a = 0; a < set.size(); ++a) {
+      ++replication[static_cast<std::size_t>(set[a])];
+      for (std::size_t b = a + 1; b < set.size(); ++b) {
+        ++pairs[static_cast<std::size_t>(set[a]) * v + set[b]];
+      }
+    }
+  }
+  DesignStats stats;
+  stats.min_replication = *std::min_element(replication.begin(),
+                                            replication.end());
+  stats.max_replication = *std::max_element(replication.begin(),
+                                            replication.end());
+  if (v == 1) {
+    return stats;  // No pairs to measure.
+  }
+  stats.min_pair_coverage = pairs[1];  // pair (0,1) as seed
+  stats.max_pair_coverage = pairs[1];
+  for (int i = 0; i < v; ++i) {
+    for (int j = i + 1; j < v; ++j) {
+      const int c = pairs[static_cast<std::size_t>(i) * v + j];
+      stats.min_pair_coverage = std::min(stats.min_pair_coverage, c);
+      stats.max_pair_coverage = std::max(stats.max_pair_coverage, c);
+    }
+  }
+  return stats;
+}
+
+bool IsBibd(const Design& design, int lambda) {
+  if (!ValidateDesign(design).ok()) return false;
+  const DesignStats stats = ComputeStats(design);
+  return stats.IsBalanced() && stats.min_pair_coverage == lambda;
+}
+
+}  // namespace cmfs

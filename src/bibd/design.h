@@ -1,0 +1,66 @@
+#ifndef CMFS_BIBD_DESIGN_H_
+#define CMFS_BIBD_DESIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+// Block designs (§4.1 of the paper).
+//
+// A design is an arrangement of v objects (disks) into sets ("blocks" in
+// the combinatorics literature; the paper says "sets" to avoid clashing
+// with disk blocks, and so do we). A Balanced Incomplete Block Design
+// BIBD(v, k, lambda) has every set of size k, every object in exactly r
+// sets, and every pair of distinct objects together in exactly lambda
+// sets, with r*(k-1) = lambda*(v-1) and s*k = v*r.
+//
+// lambda = 1 designs give the paper's ideal declustering: a failed disk's
+// reconstruction load spreads so each survivor serves at most one
+// additional read per lost read. Exact lambda = 1 designs do not exist for
+// most (v, k) — including the paper's own d = 32 with p in {4, 8, 16} —
+// so the library also produces near-balanced designs and reports their
+// exact balance via DesignStats; the admission controllers consume
+// max_pair_coverage to stay safe (see docs in pgt.h).
+
+namespace cmfs {
+
+struct Design {
+  int v = 0;  // number of objects (disks)
+  int k = 0;  // set size (parity group size p)
+  // Each set: sorted, distinct object ids in [0, v).
+  std::vector<std::vector<int>> sets;
+
+  int num_sets() const { return static_cast<int>(sets.size()); }
+};
+
+// Exact structural measurements of a design.
+struct DesignStats {
+  int min_replication = 0;   // min over objects of #sets containing it
+  int max_replication = 0;
+  int min_pair_coverage = 0;  // min over object pairs of #sets with both
+  int max_pair_coverage = 0;
+
+  bool equireplicate() const { return min_replication == max_replication; }
+  // True iff the design is a BIBD with this lambda.
+  bool IsBalanced() const {
+    return equireplicate() && min_pair_coverage == max_pair_coverage;
+  }
+
+  std::string ToString() const;
+};
+
+// Validates structural well-formedness: every set has size k, sorted,
+// distinct, ids in range; at least one set.
+Status ValidateDesign(const Design& design);
+
+// Computes replication/pair-coverage statistics. The design must be
+// structurally valid.
+DesignStats ComputeStats(const Design& design);
+
+// True iff `design` is a BIBD(v, k, lambda).
+bool IsBibd(const Design& design, int lambda);
+
+}  // namespace cmfs
+
+#endif  // CMFS_BIBD_DESIGN_H_

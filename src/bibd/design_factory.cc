@@ -1,0 +1,85 @@
+#include "bibd/design_factory.h"
+
+#include <cmath>
+#include <optional>
+
+#include "bibd/constructions.h"
+#include "bibd/galois_field.h"
+
+namespace cmfs {
+
+namespace {
+
+FactoryDesign Finish(Design design, std::string method) {
+  FactoryDesign out;
+  out.stats = ComputeStats(design);
+  out.design = std::move(design);
+  out.method = std::move(method);
+  return out;
+}
+
+}  // namespace
+
+Result<FactoryDesign> BuildDesign(int v, int k, std::uint64_t seed) {
+  if (v <= 1 || k < 2 || k > v) {
+    return Status::InvalidArgument("need v > 1 and 2 <= k <= v");
+  }
+  if (k == v) {
+    Result<Design> d = TrivialDesign(v);
+    CMFS_CHECK(d.ok());
+    return Finish(*std::move(d), "trivial");
+  }
+  if (k == 2) {
+    Result<Design> d = AllPairsDesign(v);
+    CMFS_CHECK(d.ok());
+    return Finish(*std::move(d), "all-pairs");
+  }
+  if ((v - 1) % (k * (k - 1)) == 0 && v <= 128) {
+    Result<Design> d = CyclicDifferenceFamilyDesign(v, k);
+    if (d.ok()) return Finish(*std::move(d), "cyclic-difference-family");
+  }
+  {
+    const int q = k - 1;
+    if (q >= 2 && q <= 256 && IsPrimePower(q) && v == q * q + q + 1) {
+      Result<Design> d = ProjectivePlaneDesign(q);
+      CMFS_CHECK(d.ok());
+      return Finish(*std::move(d), "projective-plane");
+    }
+  }
+  if (k <= 256 && IsPrimePower(k) && v == k * k) {
+    Result<Design> d = AffinePlaneDesign(k);
+    CMFS_CHECK(d.ok());
+    return Finish(*std::move(d), "affine-plane");
+  }
+  // Fallback: near-balanced design with replication as close as possible
+  // to the ideal r = (v-1)/(k-1), nudged so k divides v*r. The local
+  // search is seed-sensitive, so restart a few times and keep the design
+  // with the lowest max pair coverage (what the admission controllers'
+  // reservations scale with).
+  int r = std::max(
+      1, static_cast<int>(std::lround((v - 1.0) / (k - 1.0))));
+  while ((static_cast<long long>(v) * r) % k != 0) ++r;
+  std::optional<Design> best;
+  int best_lambda = 0;
+  constexpr int kRestarts = 6;
+  for (int attempt = 0; attempt < kRestarts; ++attempt) {
+    Result<Design> d = GreedyBalancedDesign(
+        v, k, r, seed + 0x9e3779b9ull * static_cast<std::uint64_t>(attempt));
+    if (!d.ok()) {
+      if (!best.has_value() && attempt == kRestarts - 1) return d.status();
+      continue;
+    }
+    const int lambda = ComputeStats(*d).max_pair_coverage;
+    if (!best.has_value() || lambda < best_lambda) {
+      best_lambda = lambda;
+      best = *std::move(d);
+      if (best_lambda <= 1) break;  // Cannot do better than a packing.
+    }
+  }
+  if (!best.has_value()) {
+    return Status::Internal("greedy fallback produced no design");
+  }
+  return Finish(*std::move(best), "greedy-balanced");
+}
+
+}  // namespace cmfs

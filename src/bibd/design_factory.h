@@ -1,0 +1,38 @@
+#ifndef CMFS_BIBD_DESIGN_FACTORY_H_
+#define CMFS_BIBD_DESIGN_FACTORY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "bibd/design.h"
+#include "util/status.h"
+
+// Chooses the best available construction for a (v, k) declustering
+// design, standing in for the paper's lookup into Hall's BIBD tables.
+
+namespace cmfs {
+
+struct FactoryDesign {
+  Design design;
+  DesignStats stats;
+  // Which construction produced it: "all-pairs", "trivial",
+  // "cyclic-difference-family", "projective-plane", "affine-plane",
+  // "greedy-balanced".
+  std::string method;
+
+  bool exact_bibd() const {
+    return stats.IsBalanced();
+  }
+};
+
+// Builds a design for v disks with parity group size k. Preference order:
+// exact lambda = 1 constructions (all-pairs for k = 2; cyclic difference
+// family; projective/affine planes; trivial for k = v), then the greedy
+// near-balanced fallback with r as close as possible to (v-1)/(k-1),
+// rounded to satisfy k | v*r.
+Result<FactoryDesign> BuildDesign(int v, int k,
+                                  std::uint64_t seed = 0x5eedULL);
+
+}  // namespace cmfs
+
+#endif  // CMFS_BIBD_DESIGN_FACTORY_H_

@@ -1,0 +1,126 @@
+#include <algorithm>
+
+#include "bibd/constructions.h"
+
+// Cyclic (v, k, 1) difference families by backtracking.
+//
+// A family of t = (v-1)/(k*(k-1)) base sets over Z_v whose pairwise
+// differences (in both directions) cover Z_v \ {0} exactly once yields a
+// BIBD(v, k, 1) when each base set is developed into its v cyclic
+// translates. Each base set is normalized to contain 0 and be ascending,
+// which loses no generality (translation invariance).
+
+namespace cmfs {
+
+namespace {
+
+class FamilySearch {
+ public:
+  FamilySearch(int v, int k, int t)
+      : v_(v), k_(k), t_(t), diff_used_(static_cast<std::size_t>(v), false) {}
+
+  bool Run() { return ExtendFamily(0, 1); }
+
+  const std::vector<std::vector<int>>& base_sets() const {
+    return base_sets_;
+  }
+
+ private:
+  // Tries to add base sets starting from index `set_idx`; `min_second` is a
+  // symmetry-breaking lower bound on the second element of the next set.
+  bool ExtendFamily(int set_idx, int min_second) {
+    if (set_idx == t_) return true;
+    std::vector<int> current = {0};
+    return ExtendSet(current, min_second, set_idx);
+  }
+
+  bool ExtendSet(std::vector<int>& current, int min_next, int set_idx) {
+    if (static_cast<int>(current.size()) == k_) {
+      base_sets_.push_back(current);
+      // Order sets by their second element to prune permutations.
+      if (ExtendFamily(set_idx + 1, current[1] + 1)) return true;
+      base_sets_.pop_back();
+      return false;
+    }
+    for (int e = min_next; e < v_; ++e) {
+      if (!TryMark(current, e)) continue;
+      current.push_back(e);
+      if (ExtendSet(current, e + 1, set_idx)) return true;
+      current.pop_back();
+      Unmark(current, e);
+    }
+    return false;
+  }
+
+  // Marks differences of e against all of `current` if all are unused.
+  bool TryMark(const std::vector<int>& current, int e) {
+    std::vector<int> marked;
+    for (int x : current) {
+      const int d1 = (e - x + v_) % v_;
+      const int d2 = (x - e + v_) % v_;
+      if (diff_used_[static_cast<std::size_t>(d1)] ||
+          diff_used_[static_cast<std::size_t>(d2)]) {
+        for (int d : marked) diff_used_[static_cast<std::size_t>(d)] = false;
+        return false;
+      }
+      diff_used_[static_cast<std::size_t>(d1)] = true;
+      marked.push_back(d1);
+      // d2 == d1 exactly when the difference is self-paired (2*d1 == v).
+      if (d2 != d1) {
+        diff_used_[static_cast<std::size_t>(d2)] = true;
+        marked.push_back(d2);
+      }
+    }
+    return true;
+  }
+
+  void Unmark(const std::vector<int>& current, int e) {
+    for (int x : current) {
+      const int d1 = (e - x + v_) % v_;
+      const int d2 = (x - e + v_) % v_;
+      diff_used_[static_cast<std::size_t>(d1)] = false;
+      diff_used_[static_cast<std::size_t>(d2)] = false;
+    }
+  }
+
+  int v_;
+  int k_;
+  int t_;
+  std::vector<bool> diff_used_;
+  std::vector<std::vector<int>> base_sets_;
+};
+
+}  // namespace
+
+Result<Design> CyclicDifferenceFamilyDesign(int v, int k) {
+  if (v < 3 || k < 2 || k > v) {
+    return Status::InvalidArgument("need v >= 3, 2 <= k <= v");
+  }
+  const int pair_diffs = k * (k - 1);
+  if ((v - 1) % pair_diffs != 0) {
+    return Status::NotFound("k*(k-1) does not divide v-1");
+  }
+  if (v > 128) {
+    return Status::InvalidArgument("search limited to v <= 128");
+  }
+  const int t = (v - 1) / pair_diffs;
+  FamilySearch search(v, k, t);
+  if (!search.Run()) {
+    return Status::NotFound("no cyclic difference family found");
+  }
+  Design design;
+  design.v = v;
+  design.k = k;
+  for (const auto& base : search.base_sets()) {
+    for (int shift = 0; shift < v; ++shift) {
+      std::vector<int> set;
+      set.reserve(static_cast<std::size_t>(k));
+      for (int x : base) set.push_back((x + shift) % v);
+      std::sort(set.begin(), set.end());
+      design.sets.push_back(std::move(set));
+    }
+  }
+  return design;
+}
+
+}  // namespace cmfs

@@ -1,0 +1,172 @@
+#include "bibd/galois_field.h"
+
+namespace cmfs {
+
+namespace {
+
+int SmallestPrimeFactor(int x) {
+  for (int d = 2; d * d <= x; ++d) {
+    if (x % d == 0) return d;
+  }
+  return x;
+}
+
+// Polynomials over GF(p) encoded as base-p digit vectors (ints).
+std::vector<int> Digits(int value, int p, int width) {
+  std::vector<int> digits(static_cast<std::size_t>(width), 0);
+  for (int i = 0; i < width && value > 0; ++i) {
+    digits[static_cast<std::size_t>(i)] = value % p;
+    value /= p;
+  }
+  return digits;
+}
+
+int FromDigits(const std::vector<int>& digits, int p) {
+  int value = 0;
+  for (std::size_t i = digits.size(); i > 0; --i) {
+    value = value * p + digits[i - 1];
+  }
+  return value;
+}
+
+// (a * b) mod modulus, all monic-degree handled via digit arithmetic.
+// `modulus` is the digit vector of a monic polynomial of degree n.
+std::vector<int> PolyMulMod(const std::vector<int>& a,
+                            const std::vector<int>& b,
+                            const std::vector<int>& modulus, int p, int n) {
+  std::vector<int> prod(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      prod[i + j] = (prod[i + j] + a[i] * b[j]) % p;
+    }
+  }
+  // Reduce: x^n = -(modulus minus leading term).
+  for (std::size_t deg = prod.size(); deg-- > static_cast<std::size_t>(n);) {
+    const int coeff = prod[deg];
+    if (coeff == 0) continue;
+    prod[deg] = 0;
+    for (int i = 0; i < n; ++i) {
+      const int sub =
+          (coeff * modulus[static_cast<std::size_t>(i)]) % p;
+      prod[deg - n + static_cast<std::size_t>(i)] =
+          ((prod[deg - n + static_cast<std::size_t>(i)] - sub) % p + p) %
+          p;
+    }
+  }
+  prod.resize(static_cast<std::size_t>(n));
+  return prod;
+}
+
+// True iff the monic polynomial (digits `poly`, degree n) is irreducible
+// over GF(p): no monic divisor of degree 1..n/2.
+bool IsIrreducible(const std::vector<int>& poly, int p, int n) {
+  // Try every monic polynomial of degree d as a divisor via polynomial
+  // long division.
+  for (int d = 1; 2 * d <= n; ++d) {
+    int count = 1;
+    for (int i = 0; i < d; ++i) count *= p;  // p^d lower coefficients
+    for (int low = 0; low < count; ++low) {
+      std::vector<int> divisor = Digits(low, p, d + 1);
+      divisor[static_cast<std::size_t>(d)] = 1;  // monic
+      // Long division of poly (degree n, monic) by divisor.
+      std::vector<int> rem = poly;
+      for (int deg = n; deg >= d; --deg) {
+        const int lead = rem[static_cast<std::size_t>(deg)];
+        if (lead == 0) continue;
+        for (int i = 0; i <= d; ++i) {
+          const int idx = deg - d + i;
+          rem[static_cast<std::size_t>(idx)] =
+              ((rem[static_cast<std::size_t>(idx)] -
+                lead * divisor[static_cast<std::size_t>(i)]) %
+                   p +
+               p) %
+              p;
+        }
+      }
+      bool zero = true;
+      for (int i = 0; i < d; ++i) {
+        if (rem[static_cast<std::size_t>(i)] != 0) zero = false;
+      }
+      if (zero) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsPrimePower(int q) {
+  if (q < 2) return false;
+  const int p = SmallestPrimeFactor(q);
+  while (q % p == 0) q /= p;
+  return q == 1;
+}
+
+Result<GaloisField> GaloisField::Make(int q) {
+  if (q < 2 || q > 256) {
+    return Status::InvalidArgument("GF order must be in [2, 256]");
+  }
+  if (!IsPrimePower(q)) {
+    return Status::InvalidArgument("GF order must be a prime power");
+  }
+  GaloisField field;
+  field.q_ = q;
+  field.p_ = SmallestPrimeFactor(q);
+  field.n_ = 0;
+  for (int x = q; x > 1; x /= field.p_) ++field.n_;
+
+  // Find the first monic irreducible polynomial of degree n.
+  std::vector<int> modulus;
+  {
+    int count = 1;
+    for (int i = 0; i < field.n_; ++i) count *= field.p_;
+    for (int low = 0; low < count; ++low) {
+      std::vector<int> candidate = Digits(low, field.p_, field.n_ + 1);
+      candidate[static_cast<std::size_t>(field.n_)] = 1;
+      if (IsIrreducible(candidate, field.p_, field.n_)) {
+        modulus = candidate;
+        break;
+      }
+    }
+    CMFS_CHECK(!modulus.empty());  // Irreducibles exist for every (p, n).
+  }
+
+  field.add_.resize(static_cast<std::size_t>(q) * q);
+  field.mul_.resize(static_cast<std::size_t>(q) * q);
+  field.neg_.resize(static_cast<std::size_t>(q));
+  field.inv_.assign(static_cast<std::size_t>(q), -1);
+  for (int a = 0; a < q; ++a) {
+    const std::vector<int> da = Digits(a, field.p_, field.n_);
+    // Negation: digitwise mod-p negation.
+    std::vector<int> neg = da;
+    for (int& digit : neg) digit = (field.p_ - digit) % field.p_;
+    field.neg_[static_cast<std::size_t>(a)] = FromDigits(neg, field.p_);
+    for (int b = 0; b < q; ++b) {
+      const std::vector<int> db = Digits(b, field.p_, field.n_);
+      std::vector<int> sum(static_cast<std::size_t>(field.n_));
+      for (int i = 0; i < field.n_; ++i) {
+        sum[static_cast<std::size_t>(i)] =
+            (da[static_cast<std::size_t>(i)] +
+             db[static_cast<std::size_t>(i)]) %
+            field.p_;
+      }
+      field.add_[field.Index(a, b)] = FromDigits(sum, field.p_);
+      field.mul_[field.Index(a, b)] = FromDigits(
+          PolyMulMod(da, db, modulus, field.p_, field.n_), field.p_);
+      if (field.mul_[field.Index(a, b)] == 1) {
+        field.inv_[static_cast<std::size_t>(a)] = b;
+      }
+    }
+  }
+  return field;
+}
+
+int GaloisField::Inv(int a) const {
+  CMFS_CHECK(a > 0 && a < q_);
+  const int inverse = inv_[static_cast<std::size_t>(a)];
+  CMFS_CHECK(inverse >= 0);
+  return inverse;
+}
+
+}  // namespace cmfs

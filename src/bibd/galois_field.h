@@ -1,0 +1,61 @@
+#ifndef CMFS_BIBD_GALOIS_FIELD_H_
+#define CMFS_BIBD_GALOIS_FIELD_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+// Finite field GF(q) for prime powers q (arithmetic tables).
+//
+// Extends the projective/affine-plane BIBD constructions beyond prime
+// orders: AG(2,4) gives the exact (16,4,1) design for a 16-disk array
+// with parity groups of 4, PG(2,4) gives (21,5,1), AG(2,8) gives
+// (64,8,1), and so on — cases the paper would have looked up in Hall's
+// tables.
+//
+// Elements are integers in [0, q) encoding polynomial coefficient
+// vectors over GF(p) in base p (value = sum coeff_i * p^i). The modulus
+// is the lexicographically first monic irreducible polynomial of degree
+// n, found by sieve.
+
+namespace cmfs {
+
+class GaloisField {
+ public:
+  // q must be a prime power <= 256.
+  static Result<GaloisField> Make(int q);
+
+  int q() const { return q_; }
+  int p() const { return p_; }  // characteristic
+  int n() const { return n_; }  // extension degree
+
+  int Add(int a, int b) const { return add_[Index(a, b)]; }
+  int Mul(int a, int b) const { return mul_[Index(a, b)]; }
+  int Neg(int a) const { return neg_[static_cast<std::size_t>(a)]; }
+  int Sub(int a, int b) const { return Add(a, Neg(b)); }
+  // Multiplicative inverse; a must be nonzero.
+  int Inv(int a) const;
+
+ private:
+  GaloisField() = default;
+
+  std::size_t Index(int a, int b) const {
+    CMFS_DCHECK(a >= 0 && a < q_ && b >= 0 && b < q_);
+    return static_cast<std::size_t>(a) * q_ + b;
+  }
+
+  int q_ = 0;
+  int p_ = 0;
+  int n_ = 0;
+  std::vector<int> add_;
+  std::vector<int> mul_;
+  std::vector<int> neg_;
+  std::vector<int> inv_;
+};
+
+// True iff q = p^n for a prime p, n >= 1.
+bool IsPrimePower(int q);
+
+}  // namespace cmfs
+
+#endif  // CMFS_BIBD_GALOIS_FIELD_H_

@@ -1,0 +1,146 @@
+#include "bibd/pgt.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cmfs {
+
+Result<Pgt> Pgt::FromDesign(const Design& design) {
+  Status valid = ValidateDesign(design);
+  if (!valid.ok()) return valid;
+  const DesignStats stats = ComputeStats(design);
+  if (!stats.equireplicate()) {
+    return Status::InvalidArgument(
+        "PGT requires an equireplicate design; got " + stats.ToString());
+  }
+
+  Pgt pgt;
+  pgt.num_disks_ = design.v;
+  pgt.group_size_ = design.k;
+  pgt.rows_ = stats.min_replication;
+  pgt.max_pair_coverage_ = stats.max_pair_coverage;
+  pgt.sets_ = design.sets;
+
+  // Column i = ascending set ids containing disk i (the paper's ordering).
+  pgt.columns_.assign(static_cast<std::size_t>(design.v), {});
+  for (int set_id = 0; set_id < design.num_sets(); ++set_id) {
+    for (int disk : design.sets[static_cast<std::size_t>(set_id)]) {
+      pgt.columns_[static_cast<std::size_t>(disk)].push_back(set_id);
+    }
+  }
+  // Set ids were appended in ascending order already, but be explicit.
+  for (auto& col : pgt.columns_) std::sort(col.begin(), col.end());
+
+  // Invert: row of each set within each member's column.
+  pgt.row_of_.assign(static_cast<std::size_t>(design.num_sets()), {});
+  for (int set_id = 0; set_id < design.num_sets(); ++set_id) {
+    const auto& members = design.sets[static_cast<std::size_t>(set_id)];
+    auto& rows = pgt.row_of_[static_cast<std::size_t>(set_id)];
+    rows.reserve(members.size());
+    for (int disk : members) {
+      const auto& col = pgt.columns_[static_cast<std::size_t>(disk)];
+      const auto it = std::lower_bound(col.begin(), col.end(), set_id);
+      CMFS_CHECK(it != col.end() && *it == set_id);
+      rows.push_back(static_cast<int>(it - col.begin()));
+    }
+  }
+
+  // Delta sets for the dynamic-reservation scheme.
+  pgt.delta_.assign(
+      static_cast<std::size_t>(design.v) * pgt.rows_, {});
+  for (int col = 0; col < design.v; ++col) {
+    for (int row = 0; row < pgt.rows_; ++row) {
+      const int set_id = pgt.columns_[static_cast<std::size_t>(col)]
+                                     [static_cast<std::size_t>(row)];
+      auto& delta = pgt.delta_[static_cast<std::size_t>(col) * pgt.rows_ +
+                               row];
+      for (int other : pgt.sets_[static_cast<std::size_t>(set_id)]) {
+        if (other == col) continue;
+        delta.push_back((other - col + design.v) % design.v);
+      }
+      std::sort(delta.begin(), delta.end());
+    }
+  }
+  pgt.row_delta_.assign(static_cast<std::size_t>(pgt.rows_), {});
+  for (int row = 0; row < pgt.rows_; ++row) {
+    std::set<int> uni;
+    for (int col = 0; col < design.v; ++col) {
+      const auto& delta =
+          pgt.delta_[static_cast<std::size_t>(col) * pgt.rows_ + row];
+      uni.insert(delta.begin(), delta.end());
+    }
+    pgt.row_delta_[static_cast<std::size_t>(row)].assign(uni.begin(),
+                                                         uni.end());
+  }
+  return pgt;
+}
+
+Pgt Pgt::Ideal(int num_disks, int group_size, int rows) {
+  CMFS_CHECK(num_disks > 0 && rows > 0);
+  CMFS_CHECK(group_size >= 2 && group_size <= num_disks);
+  Pgt pgt;
+  pgt.num_disks_ = num_disks;
+  pgt.group_size_ = group_size;
+  pgt.rows_ = rows;
+  pgt.max_pair_coverage_ = 1;  // The idealization: lambda == 1 everywhere.
+  return pgt;
+}
+
+int Pgt::max_pair_coverage() const { return max_pair_coverage_; }
+
+int Pgt::SetAt(int row, int col) const {
+  CMFS_CHECK(has_sets());
+  CMFS_CHECK(row >= 0 && row < rows_);
+  CMFS_CHECK(col >= 0 && col < num_disks_);
+  return columns_[static_cast<std::size_t>(col)]
+                 [static_cast<std::size_t>(row)];
+}
+
+const std::vector<int>& Pgt::SetMembers(int set_id) const {
+  CMFS_CHECK(has_sets());
+  CMFS_CHECK(set_id >= 0 &&
+             set_id < static_cast<int>(sets_.size()));
+  return sets_[static_cast<std::size_t>(set_id)];
+}
+
+int Pgt::RowOf(int set_id, int col) const {
+  CMFS_CHECK(has_sets());
+  const auto& members = SetMembers(set_id);
+  const auto it = std::lower_bound(members.begin(), members.end(), col);
+  CMFS_CHECK(it != members.end() && *it == col);
+  return row_of_[static_cast<std::size_t>(set_id)]
+                [static_cast<std::size_t>(it - members.begin())];
+}
+
+const std::vector<int>& Pgt::DeltaSet(int row, int col) const {
+  CMFS_CHECK(has_sets());
+  CMFS_CHECK(row >= 0 && row < rows_);
+  CMFS_CHECK(col >= 0 && col < num_disks_);
+  return delta_[static_cast<std::size_t>(col) * rows_ + row];
+}
+
+const std::vector<int>& Pgt::RowDelta(int row) const {
+  CMFS_CHECK(has_sets());
+  CMFS_CHECK(row >= 0 && row < rows_);
+  return row_delta_[static_cast<std::size_t>(row)];
+}
+
+std::string Pgt::ToString() const {
+  if (!has_sets()) {
+    return "Pgt{ideal, d=" + std::to_string(num_disks_) +
+           ", p=" + std::to_string(group_size_) +
+           ", r=" + std::to_string(rows_) + "}";
+  }
+  std::string out;
+  for (int row = 0; row < rows_; ++row) {
+    for (int col = 0; col < num_disks_; ++col) {
+      if (col > 0) out += ' ';
+      out += 'S';
+      out += std::to_string(SetAt(row, col));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cmfs

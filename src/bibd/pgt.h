@@ -1,0 +1,90 @@
+#ifndef CMFS_BIBD_PGT_H_
+#define CMFS_BIBD_PGT_H_
+
+#include <string>
+#include <vector>
+
+#include "bibd/design.h"
+#include "util/status.h"
+
+// Parity Group Table (§4.1 of the paper).
+//
+// The PGT has one column per disk; column i lists, in ascending set-id
+// order, the r sets of the design that contain disk i. Disk block j of
+// disk i is "mapped to" the set at row (j mod r) of column i, and within
+// each window of r consecutive disk blocks the blocks mapped to the same
+// set form one parity group.
+//
+// Two fidelity levels:
+//  - FromDesign(): backed by a real (near-)BIBD; supports parity-group
+//    queries, reconstruction targets, and the dynamic scheme's Delta sets.
+//    max_pair_coverage() reports the design's lambda_max: the number of
+//    rows of column j whose sets also contain disk i is at most lambda_max,
+//    so a failed disk j adds at most lambda_max * f reads to survivor i
+//    when at most f of j's per-row reads share a row. lambda_max == 1 for
+//    exact BIBDs (the paper's assumption).
+//  - Ideal(): row structure only (r rows, no sets), for capacity
+//    simulations that never exercise reconstruction. Set queries
+//    CMFS_CHECK-fail.
+
+namespace cmfs {
+
+class Pgt {
+ public:
+  // Builds the PGT of an equireplicate design (every disk in the same
+  // number of sets). Fails otherwise.
+  static Result<Pgt> FromDesign(const Design& design);
+
+  // Row-structure-only PGT with the given number of rows.
+  static Pgt Ideal(int num_disks, int group_size, int rows);
+
+  int num_disks() const { return num_disks_; }
+  int group_size() const { return group_size_; }
+  // Number of rows r (sets per column).
+  int rows() const { return rows_; }
+  bool has_sets() const { return !columns_.empty(); }
+  // lambda_max of the backing design (1 for exact lambda = 1 BIBDs, and
+  // by definition 1 for Ideal tables).
+  int max_pair_coverage() const;
+
+  // Set id at (row, col). Requires has_sets().
+  int SetAt(int row, int col) const;
+  // Members (disks) of a set, ascending. Requires has_sets().
+  const std::vector<int>& SetMembers(int set_id) const;
+  // Row at which `set_id` appears in column `col`; the set must contain
+  // col. Requires has_sets().
+  int RowOf(int set_id, int col) const;
+
+  // Dynamic-reservation scheme (§5): Delta_{row,col} = column offsets
+  // (mod d, in (0, d)) from col to every other column containing
+  // SetAt(row, col). Requires has_sets().
+  const std::vector<int>& DeltaSet(int row, int col) const;
+  // Delta_row = union over columns of DeltaSet(row, col), ascending.
+  const std::vector<int>& RowDelta(int row) const;
+
+  // Multi-line rendering matching the paper's table layout (for docs and
+  // golden tests): entries are "S<id>".
+  std::string ToString() const;
+
+ private:
+  Pgt() = default;
+
+  int num_disks_ = 0;
+  int group_size_ = 0;
+  int rows_ = 0;
+  // sets_[set_id] = member disks; empty for Ideal.
+  std::vector<std::vector<int>> sets_;
+  // columns_[col][row] = set id; empty for Ideal.
+  std::vector<std::vector<int>> columns_;
+  // row_of_[set_id][member_index] = row of set in that member's column.
+  std::vector<std::vector<int>> row_of_;
+  // delta_[col * rows_ + row]; empty for Ideal.
+  std::vector<std::vector<int>> delta_;
+  // row_delta_[row]; empty for Ideal.
+  std::vector<std::vector<int>> row_delta_;
+  int max_pair_coverage_ = 0;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_BIBD_PGT_H_

@@ -1,0 +1,91 @@
+#include <algorithm>
+#include <array>
+
+#include "bibd/constructions.h"
+#include "bibd/galois_field.h"
+
+// Projective and affine planes over GF(q), q any prime power (GF
+// arithmetic from galois_field.h). PG(2, q) is a BIBD(q^2+q+1, q+1, 1);
+// AG(2, q) is a BIBD(q^2, q, 1).
+
+namespace cmfs {
+
+namespace {
+
+// Canonical homogeneous coordinates of the q^2+q+1 points of PG(2, q):
+// (1, y, z), then (0, 1, z), then (0, 0, 1).
+std::vector<std::array<int, 3>> ProjectivePoints(int q) {
+  std::vector<std::array<int, 3>> pts;
+  pts.reserve(static_cast<std::size_t>(q) * q + q + 1);
+  for (int y = 0; y < q; ++y) {
+    for (int z = 0; z < q; ++z) pts.push_back({1, y, z});
+  }
+  for (int z = 0; z < q; ++z) pts.push_back({0, 1, z});
+  pts.push_back({0, 0, 1});
+  return pts;
+}
+
+}  // namespace
+
+Result<Design> ProjectivePlaneDesign(int q) {
+  Result<GaloisField> field = GaloisField::Make(q);
+  if (!field.ok()) {
+    return Status::InvalidArgument("order must be a prime power <= 256");
+  }
+  const GaloisField& gf = *field;
+  const auto points = ProjectivePoints(q);
+  // Lines have the same canonical coordinate forms (point-line duality);
+  // point (x,y,z) lies on line [a,b,c] iff ax + by + cz == 0 in GF(q).
+  const auto& lines = points;
+  Design design;
+  design.v = static_cast<int>(points.size());
+  design.k = q + 1;
+  for (const auto& line : lines) {
+    std::vector<int> set;
+    set.reserve(static_cast<std::size_t>(q + 1));
+    for (int point = 0; point < design.v; ++point) {
+      const auto& pt = points[static_cast<std::size_t>(point)];
+      const int dot = gf.Add(gf.Add(gf.Mul(line[0], pt[0]),
+                                    gf.Mul(line[1], pt[1])),
+                             gf.Mul(line[2], pt[2]));
+      if (dot == 0) set.push_back(point);
+    }
+    CMFS_CHECK(static_cast<int>(set.size()) == q + 1);
+    design.sets.push_back(std::move(set));
+  }
+  return design;
+}
+
+Result<Design> AffinePlaneDesign(int q) {
+  Result<GaloisField> field = GaloisField::Make(q);
+  if (!field.ok()) {
+    return Status::InvalidArgument("order must be a prime power <= 256");
+  }
+  const GaloisField& gf = *field;
+  Design design;
+  design.v = q * q;
+  design.k = q;
+  // Point (x, y) has index x*q + y. Lines y = m*x + c, plus verticals
+  // x = c: q^2 + q lines of q points each, r = q + 1.
+  for (int m = 0; m < q; ++m) {
+    for (int c = 0; c < q; ++c) {
+      std::vector<int> set;
+      set.reserve(static_cast<std::size_t>(q));
+      for (int x = 0; x < q; ++x) {
+        const int y = gf.Add(gf.Mul(m, x), c);
+        set.push_back(x * q + y);
+      }
+      std::sort(set.begin(), set.end());
+      design.sets.push_back(std::move(set));
+    }
+  }
+  for (int c = 0; c < q; ++c) {
+    std::vector<int> set;
+    set.reserve(static_cast<std::size_t>(q));
+    for (int y = 0; y < q; ++y) set.push_back(c * q + y);
+    design.sets.push_back(std::move(set));
+  }
+  return design;
+}
+
+}  // namespace cmfs

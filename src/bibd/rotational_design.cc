@@ -1,0 +1,163 @@
+#include <algorithm>
+#include <numeric>
+
+#include "bibd/constructions.h"
+#include "util/rng.h"
+
+// Near-balanced fallback designs (GreedyBalancedDesign).
+//
+// For most (v, k) — including the paper's own d = 32, p in {4, 8, 16} —
+// no BIBD(v, k, 1) exists. This generator produces an equireplicate design
+// (every object in exactly r sets) whose pair coverage is flattened by
+// local search: it greedily deals objects into sets preferring the least
+// co-occurring partners, then hill-climbs on the sum of squared pair
+// coverages with replication-preserving swaps. The achieved
+// max_pair_coverage is reported via ComputeStats and consumed by the
+// admission controllers (contingency scales with it; see pgt.h).
+
+namespace cmfs {
+
+namespace {
+
+class PairMatrix {
+ public:
+  explicit PairMatrix(int v) : v_(v), c_(static_cast<std::size_t>(v) * v, 0) {}
+
+  int Get(int a, int b) const { return c_[Index(a, b)]; }
+  void Add(int a, int b, int delta) { c_[Index(a, b)] += delta; }
+
+ private:
+  std::size_t Index(int a, int b) const {
+    if (a > b) std::swap(a, b);
+    return static_cast<std::size_t>(a) * v_ + b;
+  }
+
+  int v_;
+  std::vector<int> c_;
+};
+
+// Cost contribution of co-occurrence count c is c^2; swaps that flatten the
+// coverage profile strictly reduce the total.
+long long SwapDelta(const PairMatrix& pairs, const std::vector<int>& set,
+                    int out, int in) {
+  long long delta = 0;
+  for (int z : set) {
+    if (z == out) continue;
+    const long long c_out = pairs.Get(out, z);
+    const long long c_in = pairs.Get(in, z);
+    // Removing (out, z): c^2 -> (c-1)^2; adding (in, z): c^2 -> (c+1)^2.
+    delta += -(2 * c_out - 1) + (2 * c_in + 1);
+  }
+  return delta;
+}
+
+void ApplySetChange(PairMatrix& pairs, const std::vector<int>& set, int out,
+                    int in) {
+  for (int z : set) {
+    if (z == out) continue;
+    pairs.Add(out, z, -1);
+    pairs.Add(in, z, +1);
+  }
+}
+
+}  // namespace
+
+Result<Design> GreedyBalancedDesign(int v, int k, int r, std::uint64_t seed) {
+  if (v <= 0 || k <= 1 || k > v || r <= 0) {
+    return Status::InvalidArgument("need v > 0, 1 < k <= v, r > 0");
+  }
+  if ((static_cast<long long>(v) * r) % k != 0) {
+    return Status::InvalidArgument("k must divide v*r for equireplication");
+  }
+  const int s = static_cast<int>(static_cast<long long>(v) * r / k);
+  Rng rng(seed);
+  PairMatrix pairs(v);
+  std::vector<int> remaining(static_cast<std::size_t>(v), r);
+
+  Design design;
+  design.v = v;
+  design.k = k;
+  design.sets.reserve(static_cast<std::size_t>(s));
+
+  // Greedy deal: for each set pick, one at a time, the object with the most
+  // remaining capacity, breaking ties by least added co-occurrence, then
+  // randomly. Dealing by largest remaining capacity cannot strand capacity:
+  // counts stay within 1 of each other, so the last sets still see k
+  // distinct objects with remaining > 0.
+  for (int set_idx = 0; set_idx < s; ++set_idx) {
+    std::vector<int> set;
+    for (int pick = 0; pick < k; ++pick) {
+      int best = -1;
+      long long best_key = 0;
+      int num_ties = 0;
+      for (int x = 0; x < v; ++x) {
+        if (remaining[static_cast<std::size_t>(x)] == 0) continue;
+        if (std::find(set.begin(), set.end(), x) != set.end()) continue;
+        long long cooc = 0;
+        for (int z : set) cooc += pairs.Get(x, z);
+        // Higher remaining dominates; among those, lower co-occurrence.
+        const long long key =
+            static_cast<long long>(remaining[static_cast<std::size_t>(x)]) *
+                1000000 -
+            cooc;
+        if (best == -1 || key > best_key) {
+          best = x;
+          best_key = key;
+          num_ties = 1;
+        } else if (key == best_key) {
+          // Reservoir-sample among ties for randomized restarts.
+          ++num_ties;
+          if (rng.NextBounded(static_cast<std::uint64_t>(num_ties)) == 0) {
+            best = x;
+          }
+        }
+      }
+      if (best < 0) {
+        return Status::Internal("greedy deal stranded capacity");
+      }
+      for (int z : set) pairs.Add(best, z, +1);
+      set.push_back(best);
+      --remaining[static_cast<std::size_t>(best)];
+    }
+    std::sort(set.begin(), set.end());
+    design.sets.push_back(std::move(set));
+  }
+
+  // Local search: swap memberships between two sets (replication-neutral);
+  // accept strictly improving swaps on the squared-coverage objective.
+  const long long budget = 4000LL * s;
+  long long since_improvement = 0;
+  while (since_improvement < budget) {
+    ++since_improvement;
+    auto& s1 = design.sets[rng.NextBounded(design.sets.size())];
+    auto& s2 = design.sets[rng.NextBounded(design.sets.size())];
+    if (&s1 == &s2) continue;
+    const int x = s1[rng.NextBounded(s1.size())];
+    const int y = s2[rng.NextBounded(s2.size())];
+    if (x == y) continue;
+    if (std::find(s1.begin(), s1.end(), y) != s1.end()) continue;
+    if (std::find(s2.begin(), s2.end(), x) != s2.end()) continue;
+    // Move x: s1 -> s2 and y: s2 -> s1.
+    const long long d1 = SwapDelta(pairs, s1, x, y);
+    ApplySetChange(pairs, s1, x, y);
+    std::replace(s1.begin(), s1.end(), x, y);
+    const long long d2 = SwapDelta(pairs, s2, y, x);
+    if (d1 + d2 < 0) {
+      ApplySetChange(pairs, s2, y, x);
+      std::replace(s2.begin(), s2.end(), y, x);
+      std::sort(s1.begin(), s1.end());
+      std::sort(s2.begin(), s2.end());
+      since_improvement = 0;
+    } else {
+      // Roll back the first half (while s1 still holds y, so the skip-self
+      // logic in ApplySetChange sees the same membership as the forward
+      // application did).
+      ApplySetChange(pairs, s1, y, x);
+      std::replace(s1.begin(), s1.end(), y, x);
+    }
+  }
+  for (auto& set : design.sets) std::sort(set.begin(), set.end());
+  return design;
+}
+
+}  // namespace cmfs

@@ -1,0 +1,54 @@
+#include "core/buffer_pool.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/status.h"
+
+namespace cmfs {
+
+BufferPool::BufferPool(std::int64_t block_size) : block_size_(block_size) {
+  CMFS_CHECK(block_size > 0);
+}
+
+void BufferPool::Put(StreamId stream, int space, std::int64_t index,
+                     Block data, bool parity_pending) {
+  CMFS_CHECK(static_cast<std::int64_t>(data.size()) == block_size_);
+  entries_[Key{stream, space, index}] =
+      Entry{std::move(data), parity_pending};
+  high_water_ = std::max(high_water_, resident_blocks());
+}
+
+void BufferPool::Accumulate(StreamId stream, int space, std::int64_t index,
+                            const Block& data) {
+  CMFS_CHECK(static_cast<std::int64_t>(data.size()) == block_size_);
+  auto [it, inserted] = entries_.try_emplace(
+      Key{stream, space, index},
+      Entry{Block(static_cast<std::size_t>(block_size_), 0), false});
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    it->second.data[i] ^= data[i];
+  }
+  if (inserted) high_water_ = std::max(high_water_, resident_blocks());
+}
+
+BufferPool::Entry* BufferPool::Find(StreamId stream, int space,
+                                    std::int64_t index) {
+  auto it = entries_.find(Key{stream, space, index});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool BufferPool::Erase(StreamId stream, int space, std::int64_t index) {
+  return entries_.erase(Key{stream, space, index}) > 0;
+}
+
+void BufferPool::DropStream(StreamId stream) {
+  auto it = entries_.lower_bound(
+      Key{stream, std::numeric_limits<int>::min(),
+          std::numeric_limits<std::int64_t>::min()});
+  while (it != entries_.end() && std::get<0>(it->first) == stream) {
+    it = entries_.erase(it);
+  }
+}
+
+}  // namespace cmfs

@@ -1,0 +1,66 @@
+#ifndef CMFS_CORE_BUFFER_POOL_H_
+#define CMFS_CORE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "core/round_plan.h"
+#include "disk/sim_disk.h"
+
+// Server RAM buffer: blocks fetched from disk but not yet transmitted.
+//
+// Entries are keyed by (stream, space, logical index). An entry may hold
+// a parity block standing in for a data block lost to a disk failure
+// (parity_pending); the server XORs the buffered group peers into it as
+// soon as they are all present, before the block's delivery round.
+
+namespace cmfs {
+
+class BufferPool {
+ public:
+  explicit BufferPool(std::int64_t block_size);
+
+  struct Entry {
+    Block data;
+    // True while the entry holds raw parity awaiting reconstruction.
+    bool parity_pending = false;
+  };
+
+  // Inserts (or replaces) an entry.
+  void Put(StreamId stream, int space, std::int64_t index, Block data,
+           bool parity_pending);
+
+  // XORs `data` into the entry, creating a zero-filled one if absent.
+  // Used to accumulate on-the-fly reconstruction reads; by the end of the
+  // round the entry equals the lost block.
+  void Accumulate(StreamId stream, int space, std::int64_t index,
+                  const Block& data);
+
+  // nullptr if absent.
+  Entry* Find(StreamId stream, int space, std::int64_t index);
+
+  // Removes one entry (no-op if absent; returns whether it existed).
+  bool Erase(StreamId stream, int space, std::int64_t index);
+
+  // Drops everything a stream still holds.
+  void DropStream(StreamId stream);
+
+  std::int64_t block_size() const { return block_size_; }
+  // Blocks currently resident / the max ever resident.
+  std::int64_t resident_blocks() const {
+    return static_cast<std::int64_t>(entries_.size());
+  }
+  std::int64_t high_water_blocks() const { return high_water_; }
+
+ private:
+  using Key = std::tuple<StreamId, int, std::int64_t>;
+
+  std::int64_t block_size_;
+  std::int64_t high_water_ = 0;
+  std::map<Key, Entry> entries_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_BUFFER_POOL_H_

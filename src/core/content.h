@@ -1,0 +1,20 @@
+#ifndef CMFS_CORE_CONTENT_H_
+#define CMFS_CORE_CONTENT_H_
+
+#include <cstdint>
+
+#include "disk/sim_disk.h"
+
+// Deterministic synthetic CM content. Every logical data block's bytes
+// are a pure function of (space, index), so the server can verify each
+// delivered block bit-for-bit — including blocks reconstructed from
+// parity after a disk failure — without storing a golden copy.
+
+namespace cmfs {
+
+// Deterministic pseudo-random bytes for logical block (space, index).
+Block PatternBlock(int space, std::int64_t index, std::int64_t block_size);
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_CONTENT_H_

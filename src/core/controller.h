@@ -1,0 +1,57 @@
+#ifndef CMFS_CORE_CONTROLLER_H_
+#define CMFS_CORE_CONTROLLER_H_
+
+#include <cstdint>
+
+#include "analysis/capacity.h"
+#include "core/round_plan.h"
+#include "layout/layout.h"
+
+// Scheme controller: owns the admission-control state and round mechanics
+// of one fault-tolerance scheme (§4, §5, §6 and the two baselines). The
+// controller decides who may enter and which blocks move each round; the
+// Server (core/server.h) executes plans against real disks, and the
+// capacity simulator (sim/driver.h) drives admission/rounds alone.
+
+namespace cmfs {
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  virtual Scheme scheme() const = 0;
+  virtual const Layout& layout() const = 0;
+  // Round quota: max blocks a disk may serve per round (per cluster per
+  // super-round for streaming RAID). The fault-tolerance invariant is
+  // that this is never exceeded, failure or not.
+  virtual int q() const = 0;
+  // Contingency reservation per disk (0 for schemes without one).
+  virtual int f() const { return 0; }
+
+  // Attempts to admit a stream whose first block is logical block `start`
+  // of `space` and which runs for `length` blocks. On success registers
+  // the stream (takes effect next round) and returns true; on failure
+  // leaves no trace. Ids must be unique among active streams.
+  virtual bool TryAdmit(StreamId id, int space, std::int64_t start,
+                        std::int64_t length) = 0;
+
+  // Number of streams currently holding resources.
+  virtual int num_active() const = 0;
+
+  // Cancels an active stream (client stop / VCR pause): its bandwidth
+  // slot frees immediately and its remaining blocks are never fetched.
+  // Returns false if the id is unknown. Resuming is a fresh TryAdmit at
+  // the paused position — all admission constraints are re-checked, so
+  // the invariants survive arbitrary churn.
+  virtual bool Cancel(StreamId id) = 0;
+
+  // Executes one round: advances fetch/play cursors of every active
+  // stream, releases completed streams, and appends this round's physical
+  // reads and due deliveries to `plan` (which may be null for pure
+  // capacity accounting). failed_disk is the currently failed disk or -1.
+  virtual void Round(int failed_disk, RoundPlan* plan) = 0;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_CONTROLLER_H_

@@ -1,0 +1,123 @@
+#include "core/controller_factory.h"
+
+#include <utility>
+
+#include "bibd/design_factory.h"
+#include "core/declustered_controller.h"
+#include "core/dynamic_controller.h"
+#include "core/nonclustered_controller.h"
+#include "core/prefetch_flat_controller.h"
+#include "core/prefetch_parity_disk_controller.h"
+#include "core/streaming_raid_controller.h"
+#include "layout/declustered_layout.h"
+#include "layout/flat_parity_layout.h"
+#include "layout/parity_disk_layout.h"
+#include "layout/superclip_layout.h"
+
+namespace cmfs {
+
+namespace {
+
+Result<Pgt> MakePgt(const SetupOptions& options) {
+  if (options.ideal_pgt) {
+    if (options.ideal_rows < 1) {
+      return Status::InvalidArgument("ideal PGT needs ideal_rows >= 1");
+    }
+    return Pgt::Ideal(options.num_disks, options.parity_group,
+                      options.ideal_rows);
+  }
+  if (options.design.has_value()) {
+    return Pgt::FromDesign(*options.design);
+  }
+  Result<FactoryDesign> design =
+      BuildDesign(options.num_disks, options.parity_group, options.seed);
+  if (!design.ok()) return design.status();
+  return Pgt::FromDesign(design->design);
+}
+
+}  // namespace
+
+Result<ServerSetup> MakeSetup(const SetupOptions& options) {
+  if (options.num_disks < 2 || options.parity_group < 2 ||
+      options.parity_group > options.num_disks) {
+    return Status::InvalidArgument("need 2 <= p <= d");
+  }
+  if (options.q < 1 || options.capacity_blocks < 1) {
+    return Status::InvalidArgument("need q >= 1 and capacity >= 1");
+  }
+
+  ServerSetup setup;
+  switch (options.scheme) {
+    case Scheme::kDeclustered: {
+      Result<Pgt> pgt = MakePgt(options);
+      if (!pgt.ok()) return pgt.status();
+      auto layout = std::make_unique<DeclusteredLayout>(
+          *std::move(pgt), options.capacity_blocks);
+      setup.controller = std::make_unique<DeclusteredController>(
+          layout.get(), options.q, options.f);
+      setup.layout = std::move(layout);
+      break;
+    }
+    case Scheme::kDynamic: {
+      if (options.ideal_pgt) {
+        return Status::InvalidArgument(
+            "dynamic reservation needs a real design (Delta sets)");
+      }
+      Result<Pgt> pgt = MakePgt(options);
+      if (!pgt.ok()) return pgt.status();
+      auto layout = std::make_unique<SuperclipLayout>(
+          *std::move(pgt), options.capacity_blocks);
+      setup.controller =
+          std::make_unique<DynamicController>(layout.get(), options.q);
+      setup.layout = std::move(layout);
+      break;
+    }
+    case Scheme::kPrefetchParityDisk: {
+      if (options.num_disks % options.parity_group != 0) {
+        return Status::InvalidArgument("parity-disk layout needs p | d");
+      }
+      auto layout = std::make_unique<ParityDiskLayout>(
+          options.num_disks, options.parity_group, options.capacity_blocks);
+      setup.controller = std::make_unique<PrefetchParityDiskController>(
+          layout.get(), options.q);
+      setup.layout = std::move(layout);
+      break;
+    }
+    case Scheme::kPrefetchFlat: {
+      if (options.num_disks <= options.parity_group - 1) {
+        return Status::InvalidArgument("flat layout needs d > p-1");
+      }
+      auto layout = std::make_unique<FlatParityLayout>(
+          options.num_disks, options.parity_group, options.capacity_blocks);
+      setup.controller = std::make_unique<PrefetchFlatController>(
+          layout.get(), options.q, options.f);
+      setup.layout = std::move(layout);
+      break;
+    }
+    case Scheme::kStreamingRaid: {
+      if (options.num_disks % options.parity_group != 0) {
+        return Status::InvalidArgument("streaming RAID needs p | d");
+      }
+      auto layout = std::make_unique<ParityDiskLayout>(
+          options.num_disks, options.parity_group, options.capacity_blocks);
+      setup.controller = std::make_unique<StreamingRaidController>(
+          layout.get(), options.q);
+      setup.layout = std::move(layout);
+      break;
+    }
+    case Scheme::kNonClustered: {
+      if (options.num_disks % options.parity_group != 0) {
+        return Status::InvalidArgument("non-clustered needs p | d");
+      }
+      auto layout = std::make_unique<ParityDiskLayout>(
+          options.num_disks, options.parity_group, options.capacity_blocks);
+      setup.controller = std::make_unique<NonClusteredController>(
+          layout.get(), options.q);
+      setup.layout = std::move(layout);
+      break;
+    }
+  }
+  return setup;
+}
+
+}  // namespace cmfs

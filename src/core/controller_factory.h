@@ -1,0 +1,48 @@
+#ifndef CMFS_CORE_CONTROLLER_FACTORY_H_
+#define CMFS_CORE_CONTROLLER_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "bibd/design.h"
+#include "core/controller.h"
+#include "util/status.h"
+
+// Builds a (layout, controller) pair for any scheme from one options
+// struct — the single entry point examples, tests and the simulation
+// harness use.
+
+namespace cmfs {
+
+struct SetupOptions {
+  Scheme scheme = Scheme::kDeclustered;
+  int num_disks = 0;
+  int parity_group = 0;
+  // Round quota / contingency reservation, typically from the §7 capacity
+  // model. f is only read by the declustered and prefetch-flat schemes.
+  int q = 0;
+  int f = 1;
+  // Logical data blocks addressable per space.
+  std::int64_t capacity_blocks = 0;
+  // Declustered/dynamic only: an explicit design to build the PGT from;
+  // when absent the factory calls BuildDesign(num_disks, parity_group).
+  std::optional<Design> design;
+  // Declustered only: skip the design entirely and use an Ideal PGT with
+  // `ideal_rows` rows (capacity simulation mode: no parity groups, no
+  // failures, Round() with a null plan).
+  bool ideal_pgt = false;
+  int ideal_rows = 0;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+struct ServerSetup {
+  std::unique_ptr<Layout> layout;
+  std::unique_ptr<Controller> controller;
+};
+
+Result<ServerSetup> MakeSetup(const SetupOptions& options);
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_CONTROLLER_FACTORY_H_

@@ -1,0 +1,115 @@
+#include "core/declustered_controller.h"
+
+#include <algorithm>
+
+namespace cmfs {
+
+DeclusteredController::DeclusteredController(const DeclusteredLayout* layout,
+                                             int q, int f)
+    : layout_(layout), q_(q), f_(f) {
+  CMFS_CHECK(layout != nullptr);
+  CMFS_CHECK(q >= 1 && f >= 1);
+  reserved_ = layout_->core().pgt().max_pair_coverage() * f;
+  CMFS_CHECK(q_ > reserved_);
+  disk_count_.assign(static_cast<std::size_t>(layout_->num_disks()), 0);
+  row_count_.assign(static_cast<std::size_t>(layout_->num_disks()) *
+                        layout_->core().rows(),
+                    0);
+}
+
+bool DeclusteredController::TryAdmit(StreamId id, int space,
+                                     std::int64_t start,
+                                     std::int64_t length) {
+  CMFS_CHECK(space == 0);
+  CMFS_CHECK(start >= 0 && length >= 1);
+  const int disk = layout_->DiskOf(start);
+  const int row = layout_->RowOfIndex(start);
+  const std::size_t row_slot =
+      static_cast<std::size_t>(disk) * layout_->core().rows() + row;
+  if (disk_count_[static_cast<std::size_t>(disk)] >= q_ - reserved_) {
+    return false;
+  }
+  if (row_count_[row_slot] >= f_) return false;
+  ++disk_count_[static_cast<std::size_t>(disk)];
+  ++row_count_[row_slot];
+  streams_.push_back(StreamState{id, start, length, 0, 0});
+  return true;
+}
+
+int DeclusteredController::num_active() const {
+  return static_cast<int>(streams_.size());
+}
+
+void DeclusteredController::RebuildCounts() {
+  std::fill(disk_count_.begin(), disk_count_.end(), 0);
+  std::fill(row_count_.begin(), row_count_.end(), 0);
+  for (const StreamState& s : streams_) {
+    if (s.fetched >= s.length) continue;  // Draining playback only.
+    const std::int64_t next = s.start + s.fetched;
+    const int disk = layout_->DiskOf(next);
+    const int row = layout_->RowOfIndex(next);
+    ++disk_count_[static_cast<std::size_t>(disk)];
+    ++row_count_[static_cast<std::size_t>(disk) * layout_->core().rows() +
+                 row];
+  }
+}
+
+void DeclusteredController::Round(int failed_disk, RoundPlan* plan) {
+  for (StreamState& s : streams_) {
+    // Deliver the block fetched in the previous round.
+    if (s.played < s.fetched) {
+      if (plan != nullptr) {
+        plan->deliveries.push_back(Delivery{s.id, 0, s.start + s.played});
+      }
+      ++s.played;
+    }
+    // Fetch the next block.
+    if (s.fetched < s.length) {
+      if (plan != nullptr) {
+        const std::int64_t index = s.start + s.fetched;
+        const BlockAddress addr = layout_->DataAddress(0, index);
+        if (addr.disk != failed_disk) {
+          plan->reads.push_back(
+              RoundRead{s.id, addr, ReadKind::kData, 0, index});
+        } else {
+          // Degraded read: every surviving member of the parity group
+          // plus the parity block, reconstructed by XOR before delivery
+          // next round.
+          const ParityGroupInfo group = layout_->GroupOf(0, index);
+          for (const BlockAddress& member : group.data) {
+            if (member == addr) continue;
+            plan->reads.push_back(
+                RoundRead{s.id, member, ReadKind::kRecovery, 0, index});
+          }
+          plan->reads.push_back(
+              RoundRead{s.id, group.parity, ReadKind::kRecovery, 0, index});
+        }
+      }
+      ++s.fetched;
+    }
+  }
+  // Retire streams whose playback has drained.
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    if (it->played >= it->length) {
+      if (plan != nullptr) plan->completed.push_back(it->id);
+      it = streams_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  RebuildCounts();
+}
+
+
+bool DeclusteredController::Cancel(StreamId id) {
+  for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+    if (it->id == id) {
+      streams_.erase(it);
+      RebuildCounts();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cmfs

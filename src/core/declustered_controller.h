@@ -1,0 +1,72 @@
+#ifndef CMFS_CORE_DECLUSTERED_CONTROLLER_H_
+#define CMFS_CORE_DECLUSTERED_CONTROLLER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/controller.h"
+#include "layout/declustered_layout.h"
+
+// Declustered-parity scheme with static contingency reservation (§4).
+//
+// Admission maintains two invariants on every disk's upcoming round:
+//   (a) at most q - lambda_max * f streams are in the service list, and
+//   (b) at most f of them read blocks mapped to the same PGT row.
+// On a failure, each block lost on disk x generates one read on every
+// other member of its parity group; since at most f of x's reads share a
+// row and two disks co-occur in at most lambda_max rows' sets, a survivor
+// absorbs at most lambda_max * f extra reads — within its reservation.
+// With an exact lambda = 1 BIBD this is the paper's q - f / f rule.
+//
+// Streams advance one disk per round; the row advances by one (mod r)
+// when the disk wraps, so both caps are preserved without re-checking
+// (the paper's Properties 1 and 2).
+
+namespace cmfs {
+
+class DeclusteredController : public Controller {
+ public:
+  // q, f from the §7 capacity model (or chosen by the caller). The layout
+  // may be backed by a real design (full functionality) or an Ideal PGT
+  // (capacity accounting only: Round() must then be called with a null
+  // plan and no failure).
+  DeclusteredController(const DeclusteredLayout* layout, int q, int f);
+
+  Scheme scheme() const override { return Scheme::kDeclustered; }
+  const Layout& layout() const override { return *layout_; }
+  int q() const override { return q_; }
+  int f() const override { return f_; }
+  // Reservation actually withheld from admission: lambda_max * f.
+  int reserved() const { return reserved_; }
+
+  bool TryAdmit(StreamId id, int space, std::int64_t start,
+                std::int64_t length) override;
+  int num_active() const override;
+  bool Cancel(StreamId id) override;
+  void Round(int failed_disk, RoundPlan* plan) override;
+
+ private:
+  struct StreamState {
+    StreamId id = -1;
+    std::int64_t start = 0;
+    std::int64_t length = 0;
+    std::int64_t fetched = 0;
+    std::int64_t played = 0;
+  };
+
+  void RebuildCounts();
+
+  const DeclusteredLayout* layout_;
+  int q_;
+  int f_;
+  int reserved_;
+  std::vector<StreamState> streams_;
+  // Service-list sizes for the upcoming round, per disk and per
+  // (disk, row).
+  std::vector<int> disk_count_;
+  std::vector<int> row_count_;  // disk * rows + row
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_DECLUSTERED_CONTROLLER_H_

@@ -1,0 +1,143 @@
+#include "core/dynamic_controller.h"
+
+#include <algorithm>
+
+namespace cmfs {
+
+DynamicController::DynamicController(const SuperclipLayout* layout, int q)
+    : layout_(layout), q_(q) {
+  CMFS_CHECK(layout != nullptr);
+  CMFS_CHECK(layout->core().pgt().has_sets());
+  CMFS_CHECK(q >= 1);
+}
+
+bool DynamicController::CheckOffset(int offset, int extra_space,
+                                    std::int64_t extra_next) const {
+  const int d = layout_->num_disks();
+  const Pgt& pgt = layout_->core().pgt();
+  std::vector<int> serving(static_cast<std::size_t>(d), 0);
+  // extra[i * d + j]: reads disk i absorbs if disk j fails.
+  std::vector<int> extra(static_cast<std::size_t>(d) * d, 0);
+
+  const auto account = [&](int space, std::int64_t next) {
+    const int disk = static_cast<int>((next + offset) % d);
+    ++serving[static_cast<std::size_t>(disk)];
+    for (int delta : pgt.DeltaSet(space, disk)) {
+      const int peer = (disk + delta) % d;
+      ++extra[static_cast<std::size_t>(peer) * d + disk];
+    }
+  };
+
+  for (const StreamState& s : streams_) {
+    if (s.fetched >= s.length) continue;
+    // Conservative: streams are assumed to keep fetching through the
+    // whole window; completions only shed load.
+    account(s.space, s.start + s.fetched);
+  }
+  if (extra_next >= 0) account(extra_space, extra_next);
+
+  for (int i = 0; i < d; ++i) {
+    int worst = 0;
+    for (int j = 0; j < d; ++j) {
+      worst = std::max(worst, extra[static_cast<std::size_t>(i) * d + j]);
+    }
+    if (serving[static_cast<std::size_t>(i)] + worst > q_) return false;
+  }
+  return true;
+}
+
+bool DynamicController::TryAdmit(StreamId id, int space, std::int64_t start,
+                                 std::int64_t length) {
+  CMFS_CHECK(space >= 0 && space < layout_->num_spaces());
+  CMFS_CHECK(start >= 0 && length >= 1);
+  for (int offset = 0; offset < layout_->num_disks(); ++offset) {
+    if (!CheckOffset(offset, space, start)) return false;
+  }
+  streams_.push_back(StreamState{id, space, start, length, 0, 0});
+  return true;
+}
+
+int DynamicController::num_active() const {
+  return static_cast<int>(streams_.size());
+}
+
+int DynamicController::MinHeadroom() const {
+  // Binary-search-free: recompute the invariant margin directly.
+  const int d = layout_->num_disks();
+  const Pgt& pgt = layout_->core().pgt();
+  std::vector<int> serving(static_cast<std::size_t>(d), 0);
+  std::vector<int> extra(static_cast<std::size_t>(d) * d, 0);
+  for (const StreamState& s : streams_) {
+    if (s.fetched >= s.length) continue;
+    const int disk = static_cast<int>((s.start + s.fetched) % d);
+    ++serving[static_cast<std::size_t>(disk)];
+    for (int delta : pgt.DeltaSet(s.space, disk)) {
+      const int peer = (disk + delta) % d;
+      ++extra[static_cast<std::size_t>(peer) * d + disk];
+    }
+  }
+  int headroom = q_;
+  for (int i = 0; i < d; ++i) {
+    int worst = 0;
+    for (int j = 0; j < d; ++j) {
+      worst = std::max(worst, extra[static_cast<std::size_t>(i) * d + j]);
+    }
+    headroom = std::min(
+        headroom, q_ - serving[static_cast<std::size_t>(i)] - worst);
+  }
+  return headroom;
+}
+
+void DynamicController::Round(int failed_disk, RoundPlan* plan) {
+  for (StreamState& s : streams_) {
+    if (s.played < s.fetched) {
+      if (plan != nullptr) {
+        plan->deliveries.push_back(
+            Delivery{s.id, s.space, s.start + s.played});
+      }
+      ++s.played;
+    }
+    if (s.fetched < s.length) {
+      if (plan != nullptr) {
+        const std::int64_t index = s.start + s.fetched;
+        const BlockAddress addr = layout_->DataAddress(s.space, index);
+        if (addr.disk != failed_disk) {
+          plan->reads.push_back(
+              RoundRead{s.id, addr, ReadKind::kData, s.space, index});
+        } else {
+          const ParityGroupInfo group = layout_->GroupOf(s.space, index);
+          for (const BlockAddress& member : group.data) {
+            if (member == addr) continue;
+            plan->reads.push_back(RoundRead{s.id, member,
+                                            ReadKind::kRecovery, s.space,
+                                            index});
+          }
+          plan->reads.push_back(RoundRead{
+              s.id, group.parity, ReadKind::kRecovery, s.space, index});
+        }
+      }
+      ++s.fetched;
+    }
+  }
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    if (it->played >= it->length) {
+      if (plan != nullptr) plan->completed.push_back(it->id);
+      it = streams_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+
+bool DynamicController::Cancel(StreamId id) {
+  for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+    if (it->id == id) {
+      streams_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cmfs

@@ -1,0 +1,72 @@
+#ifndef CMFS_CORE_DYNAMIC_CONTROLLER_H_
+#define CMFS_CORE_DYNAMIC_CONTROLLER_H_
+
+#include <vector>
+
+#include "core/controller.h"
+#include "layout/superclip_layout.h"
+
+// Dynamic-reservation scheme (§5).
+//
+// Clips live in super-clips, one per PGT row, so a stream's row never
+// changes; contingency bandwidth is reserved per-stream on exactly the
+// disks holding its parity-group peers (the Delta sets of the PGT),
+// adapting reservations to the live workload instead of withholding a
+// fixed f everywhere.
+//
+// Admission invariant (generalized from the paper's cont_i(j,l) form so
+// it stays exact for near-balanced designs): for every disk i,
+//
+//   serving(i) + max_j extra(i, j) <= q
+//
+// where extra(i, j) = number of streams currently reading disk j whose
+// parity group for that block includes disk i — i.e. the reads disk i
+// would absorb if j failed right now. TryAdmit verifies the invariant
+// for the next d rounds (one full rotation; streams only complete after
+// that, which can only relax it).
+
+namespace cmfs {
+
+class DynamicController : public Controller {
+ public:
+  // The layout must be backed by a real design (Delta sets required).
+  DynamicController(const SuperclipLayout* layout, int q);
+
+  Scheme scheme() const override { return Scheme::kDynamic; }
+  const Layout& layout() const override { return *layout_; }
+  int q() const override { return q_; }
+
+  bool TryAdmit(StreamId id, int space, std::int64_t start,
+                std::int64_t length) override;
+  int num_active() const override;
+  bool Cancel(StreamId id) override;
+  void Round(int failed_disk, RoundPlan* plan) override;
+
+  // Current worst-case load headroom: min over disks of
+  // q - serving(i) - max_j extra(i, j) for the upcoming round.
+  int MinHeadroom() const;
+
+ private:
+  struct StreamState {
+    StreamId id = -1;
+    int space = 0;
+    std::int64_t start = 0;
+    std::int64_t length = 0;
+    std::int64_t fetched = 0;
+    std::int64_t played = 0;
+  };
+
+  // Verifies the invariant at rotation offset `offset` (0 = upcoming
+  // round) with all current streams plus an optional extra stream at
+  // (space, next_index).
+  bool CheckOffset(int offset, int extra_space,
+                   std::int64_t extra_next) const;
+
+  const SuperclipLayout* layout_;
+  int q_;
+  std::vector<StreamState> streams_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_DYNAMIC_CONTROLLER_H_

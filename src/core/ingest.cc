@@ -1,0 +1,94 @@
+#include "core/ingest.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/content.h"
+
+namespace cmfs {
+
+std::string IngestStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "IngestStats{rounds=%lld, written=%lld, completed=%lld, "
+                "max_disk_ops=%d}",
+                static_cast<long long>(rounds),
+                static_cast<long long>(blocks_written),
+                static_cast<long long>(completed_recordings),
+                max_disk_round_ops);
+  return buf;
+}
+
+IngestController::IngestController(const Layout* layout, DiskArray* array,
+                                   int max_recordings_per_disk,
+                                   BlockSource source)
+    : layout_(layout),
+      array_(array),
+      max_per_disk_(max_recordings_per_disk),
+      source_(std::move(source)) {
+  CMFS_CHECK(layout != nullptr && array != nullptr);
+  CMFS_CHECK(max_recordings_per_disk >= 1);
+  if (!source_) {
+    const std::int64_t block_size = array->block_size();
+    source_ = [block_size](int space, std::int64_t index) {
+      return PatternBlock(space, index, block_size);
+    };
+  }
+  disk_count_.assign(static_cast<std::size_t>(layout->num_disks()), 0);
+}
+
+bool IngestController::TryAdmit(StreamId id, int space, std::int64_t start,
+                                std::int64_t length) {
+  CMFS_CHECK(space >= 0 && space < layout_->num_spaces());
+  CMFS_CHECK(start >= 0 && length >= 1);
+  CMFS_CHECK(start + length <= layout_->space_capacity(space));
+  const int disk = layout_->DiskOf(start);
+  if (disk_count_[static_cast<std::size_t>(disk)] >= max_per_disk_) {
+    return false;
+  }
+  ++disk_count_[static_cast<std::size_t>(disk)];
+  recordings_.push_back(Recording{id, space, start, length, 0});
+  return true;
+}
+
+void IngestController::RebuildCounts() {
+  std::fill(disk_count_.begin(), disk_count_.end(), 0);
+  for (const Recording& rec : recordings_) {
+    ++disk_count_[static_cast<std::size_t>(
+        layout_->DiskOf(rec.start + rec.written))];
+  }
+}
+
+Status IngestController::Round() {
+  ++stats_.rounds;
+  std::vector<int> round_ops(
+      static_cast<std::size_t>(layout_->num_disks()), 0);
+  for (Recording& rec : recordings_) {
+    const std::int64_t index = rec.start + rec.written;
+    const ParityGroupInfo group = layout_->GroupOf(rec.space, index);
+    Status st = WriteDataBlock(*layout_, *array_, rec.space, index,
+                               source_(rec.space, index));
+    if (!st.ok()) return st;
+    // 2 ops (read-modify-write) on the data disk, 2 on the parity disk.
+    const int data_disk = layout_->DiskOf(index);
+    round_ops[static_cast<std::size_t>(data_disk)] += 2;
+    round_ops[static_cast<std::size_t>(group.parity.disk)] += 2;
+    ++stats_.blocks_written;
+    ++rec.written;
+  }
+  for (int ops : round_ops) {
+    stats_.max_disk_round_ops = std::max(stats_.max_disk_round_ops, ops);
+  }
+  for (auto it = recordings_.begin(); it != recordings_.end();) {
+    if (it->written >= it->length) {
+      ++stats_.completed_recordings;
+      it = recordings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  RebuildCounts();
+  return Status::Ok();
+}
+
+}  // namespace cmfs

@@ -1,0 +1,88 @@
+#ifndef CMFS_CORE_INGEST_H_
+#define CMFS_CORE_INGEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/round_plan.h"
+#include "disk/disk_array.h"
+#include "layout/layout.h"
+#include "util/status.h"
+
+// Recording path: the write-side counterpart of playback. A CM server
+// also ingests clips (live capture, content loading) at the playback
+// rate — one block per round per recording — while keeping every parity
+// group consistent, so the new clip is immediately fault-tolerant and
+// playable.
+//
+// Each logical-block write is a read-modify-write of two physical
+// blocks (old data + parity in, new data + parity out): 2 ops on the
+// data disk and 2 on the group's parity-home disk. Admission caps
+// concurrent recordings per disk so the write load stays within the
+// bandwidth the operator carves out of q for ingest.
+
+namespace cmfs {
+
+struct IngestStats {
+  std::int64_t rounds = 0;
+  std::int64_t blocks_written = 0;
+  std::int64_t completed_recordings = 0;
+  // Max disk ops (reads + writes) charged to one disk in one round.
+  int max_disk_round_ops = 0;
+
+  std::string ToString() const;
+};
+
+class IngestController {
+ public:
+  // Produces the bytes of logical block (space, index) of a recording —
+  // the "capture device". Defaults to the deterministic content pattern
+  // so playback verification works end to end.
+  using BlockSource = std::function<Block(int space, std::int64_t index)>;
+
+  // `max_recordings_per_disk` caps the recordings whose current write
+  // position is on one disk (each costs 2 ops there plus 2 on a parity
+  // disk per round).
+  IngestController(const Layout* layout, DiskArray* array,
+                   int max_recordings_per_disk,
+                   BlockSource source = nullptr);
+
+  // Starts recording `length` blocks at logical `start` of `space`
+  // (the region must be allocated to this clip by the caller). Takes
+  // effect next round; false if the write slot is full.
+  bool TryAdmit(StreamId id, int space, std::int64_t start,
+                std::int64_t length);
+
+  int num_active() const { return static_cast<int>(recordings_.size()); }
+
+  // Writes one block for every active recording (data + parity update)
+  // and advances cursors; completed recordings are released.
+  Status Round();
+
+  const IngestStats& stats() const { return stats_; }
+
+ private:
+  struct Recording {
+    StreamId id = -1;
+    int space = 0;
+    std::int64_t start = 0;
+    std::int64_t length = 0;
+    std::int64_t written = 0;
+  };
+
+  void RebuildCounts();
+
+  const Layout* layout_;
+  DiskArray* array_;
+  int max_per_disk_;
+  BlockSource source_;
+  std::vector<Recording> recordings_;
+  std::vector<int> disk_count_;
+  IngestStats stats_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_INGEST_H_

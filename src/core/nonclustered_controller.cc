@@ -1,0 +1,171 @@
+#include "core/nonclustered_controller.h"
+
+#include <algorithm>
+
+namespace cmfs {
+
+NonClusteredController::NonClusteredController(
+    const ParityDiskLayout* layout, int q)
+    : layout_(layout), q_(q) {
+  CMFS_CHECK(layout != nullptr);
+  CMFS_CHECK(q >= 1);
+  disk_count_.assign(static_cast<std::size_t>(layout->num_disks()), 0);
+}
+
+bool NonClusteredController::TryAdmit(StreamId id, int space,
+                                      std::int64_t start,
+                                      std::int64_t length) {
+  CMFS_CHECK(space == 0);
+  CMFS_CHECK(start >= 0 && length >= 1);
+  CMFS_CHECK(start % (layout_->group_size() - 1) == 0);
+  CMFS_CHECK(length % (layout_->group_size() - 1) == 0);
+  const int disk = layout_->DiskOf(start);
+  if (disk_count_[static_cast<std::size_t>(disk)] >= q_) return false;
+  ++disk_count_[static_cast<std::size_t>(disk)];
+  streams_.push_back(StreamState{id, start, length, 0, 0});
+  return true;
+}
+
+int NonClusteredController::num_active() const {
+  return static_cast<int>(streams_.size());
+}
+
+void NonClusteredController::RebuildCounts() {
+  std::fill(disk_count_.begin(), disk_count_.end(), 0);
+  for (const StreamState& s : streams_) {
+    if (s.fetched >= s.length) continue;
+    ++disk_count_[static_cast<std::size_t>(
+        layout_->DiskOf(s.start + s.fetched))];
+  }
+}
+
+void NonClusteredController::Round(int failed_disk, RoundPlan* plan) {
+  const int span = layout_->group_size() - 1;
+  // Degraded mode applies only when a *data* disk is down; a dead parity
+  // disk never blocks a data read.
+  const bool degraded =
+      failed_disk >= 0 && !layout_->IsParityDisk(failed_disk);
+  const int failed_cluster =
+      degraded ? failed_disk / layout_->group_size() : -1;
+  // The scheme has no contingency reservation, so degraded-mode
+  // whole-group reads from differently-phased streams can collide on one
+  // disk. Reads are budgeted to q per disk per round; a stream whose
+  // fetch does not fit is DEFERRED one round (its playback stalls — the
+  // soft failure mode the paper accepts for this baseline, alongside the
+  // transition losses).
+  std::vector<int> round_reads(
+      static_cast<std::size_t>(layout_->num_disks()), 0);
+  const auto fits = [&](const std::vector<int>& disks) {
+    for (int disk : disks) {
+      if (round_reads[static_cast<std::size_t>(disk)] >= q_) return false;
+    }
+    return true;
+  };
+  const auto charge = [&](const std::vector<int>& disks) {
+    for (int disk : disks) ++round_reads[static_cast<std::size_t>(disk)];
+  };
+
+  for (StreamState& s : streams_) {
+    if (s.played < s.fetched) {
+      if (plan != nullptr) {
+        plan->deliveries.push_back(Delivery{s.id, 0, s.start + s.played});
+      }
+      ++s.played;
+    }
+    // Skip fetching while bulk-fetched blocks are still queued for
+    // delivery (the whole-group read put us ahead of the 1-block lag).
+    if (s.fetched >= s.length || s.fetched - s.played > 1) continue;
+
+    const std::int64_t index = s.start + s.fetched;
+    const std::int64_t group = index / span;
+    const bool group_at_risk =
+        degraded && layout_->ClusterOfGroup(group) == failed_cluster;
+    if (!group_at_risk) {
+      const BlockAddress addr = layout_->DataAddress(0, index);
+      if (!fits({addr.disk})) continue;  // Deferred to next round.
+      charge({addr.disk});
+      if (plan != nullptr) {
+        plan->reads.push_back(
+            RoundRead{s.id, addr, ReadKind::kData, 0, index});
+      }
+      ++s.fetched;
+      continue;
+    }
+    if (index % span == 0) {
+      // Group boundary: fetch the whole group (surviving members plus
+      // parity) in one round; continuity holds from here on.
+      const std::int64_t count =
+          std::min<std::int64_t>(span, s.length - s.fetched);
+      std::vector<int> touched;
+      std::int64_t missing = -1;
+      for (std::int64_t offset = 0; offset < count; ++offset) {
+        const std::int64_t i = index + offset;
+        const BlockAddress addr = layout_->DataAddress(0, i);
+        if (addr.disk != failed_disk) {
+          touched.push_back(addr.disk);
+        } else {
+          missing = i;
+        }
+      }
+      ParityGroupInfo g;
+      if (missing >= 0) {
+        g = layout_->GroupOf(0, missing);
+        touched.push_back(g.parity.disk);
+      }
+      if (!fits(touched)) continue;  // Deferred to next round.
+      charge(touched);
+      if (plan != nullptr) {
+        for (std::int64_t offset = 0; offset < count; ++offset) {
+          const std::int64_t i = index + offset;
+          const BlockAddress addr = layout_->DataAddress(0, i);
+          if (addr.disk != failed_disk) {
+            plan->reads.push_back(
+                RoundRead{s.id, addr, ReadKind::kData, 0, i});
+          }
+        }
+        if (missing >= 0) {
+          plan->reads.push_back(
+              RoundRead{s.id, g.parity, ReadKind::kParity, 0, missing});
+        }
+      }
+      s.fetched += count;
+    } else {
+      // Mid-group at transition time: the peers needed to reconstruct a
+      // lost block were never buffered (2-block buffers). Blocks on the
+      // failed disk are simply lost — the scheme's documented hiccup.
+      const BlockAddress addr = layout_->DataAddress(0, index);
+      if (addr.disk != failed_disk) {
+        if (!fits({addr.disk})) continue;  // Deferred to next round.
+        charge({addr.disk});
+        if (plan != nullptr) {
+          plan->reads.push_back(
+              RoundRead{s.id, addr, ReadKind::kData, 0, index});
+        }
+      }
+      ++s.fetched;
+    }
+  }
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    if (it->played >= it->length) {
+      if (plan != nullptr) plan->completed.push_back(it->id);
+      it = streams_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  RebuildCounts();
+}
+
+
+bool NonClusteredController::Cancel(StreamId id) {
+  for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+    if (it->id == id) {
+      streams_.erase(it);
+      RebuildCounts();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cmfs

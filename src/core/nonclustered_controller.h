@@ -1,0 +1,56 @@
+#ifndef CMFS_CORE_NONCLUSTERED_CONTROLLER_H_
+#define CMFS_CORE_NONCLUSTERED_CONTROLLER_H_
+
+#include <vector>
+
+#include "core/controller.h"
+#include "layout/parity_disk_layout.h"
+
+// Non-clustered baseline [BGM95].
+//
+// Same clustered layout with dedicated parity disks as §6.1, but during
+// normal operation clips buffer only 2 blocks (no read-ahead) and read
+// one block per round; admission keeps each data disk's service list at
+// <= q. After a failure, whole parity groups are read — but only for
+// groups living in the failed disk's cluster — restoring continuity from
+// the next group boundary onward. Blocks of the in-flight group that sat
+// on the failed disk and had not been fetched are LOST: the paper calls
+// out exactly this transition discontinuity, and the server surfaces it
+// as counted hiccups rather than a hard failure.
+
+namespace cmfs {
+
+class NonClusteredController : public Controller {
+ public:
+  NonClusteredController(const ParityDiskLayout* layout, int q);
+
+  Scheme scheme() const override { return Scheme::kNonClustered; }
+  const Layout& layout() const override { return *layout_; }
+  int q() const override { return q_; }
+
+  bool TryAdmit(StreamId id, int space, std::int64_t start,
+                std::int64_t length) override;
+  int num_active() const override;
+  bool Cancel(StreamId id) override;
+  void Round(int failed_disk, RoundPlan* plan) override;
+
+ private:
+  struct StreamState {
+    StreamId id = -1;
+    std::int64_t start = 0;
+    std::int64_t length = 0;
+    std::int64_t fetched = 0;
+    std::int64_t played = 0;
+  };
+
+  void RebuildCounts();
+
+  const ParityDiskLayout* layout_;
+  int q_;
+  std::vector<StreamState> streams_;
+  std::vector<int> disk_count_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_NONCLUSTERED_CONTROLLER_H_

@@ -1,0 +1,107 @@
+#include "core/prefetch_flat_controller.h"
+
+#include <algorithm>
+
+namespace cmfs {
+
+PrefetchFlatController::PrefetchFlatController(
+    const FlatParityLayout* layout, int q, int f)
+    : layout_(layout), q_(q), f_(f) {
+  CMFS_CHECK(layout != nullptr);
+  CMFS_CHECK(q >= 1 && f >= 1 && q > f);
+  lag_ = layout->group_size() - 1;
+  classes_ = layout->num_disks() - (layout->group_size() - 1);
+  disk_count_.assign(static_cast<std::size_t>(layout->num_disks()), 0);
+  class_count_.assign(
+      static_cast<std::size_t>(layout->num_disks()) * classes_, 0);
+}
+
+bool PrefetchFlatController::TryAdmit(StreamId id, int space,
+                                      std::int64_t start,
+                                      std::int64_t length) {
+  CMFS_CHECK(space == 0);
+  CMFS_CHECK(start >= 0 && length >= 1);
+  CMFS_CHECK(start % (layout_->group_size() - 1) == 0);
+  CMFS_CHECK(length % (layout_->group_size() - 1) == 0);
+  const int disk = layout_->DiskOf(start);
+  const int cls =
+      layout_->ParityClassOfSlot(start / layout_->num_disks());
+  const std::size_t slot =
+      static_cast<std::size_t>(disk) * classes_ + cls;
+  if (disk_count_[static_cast<std::size_t>(disk)] >= q_ - f_) return false;
+  if (class_count_[slot] >= f_) return false;
+  ++disk_count_[static_cast<std::size_t>(disk)];
+  ++class_count_[slot];
+  streams_.push_back(StreamState{id, start, length, 0, 0});
+  return true;
+}
+
+int PrefetchFlatController::num_active() const {
+  return static_cast<int>(streams_.size());
+}
+
+void PrefetchFlatController::RebuildCounts() {
+  std::fill(disk_count_.begin(), disk_count_.end(), 0);
+  std::fill(class_count_.begin(), class_count_.end(), 0);
+  for (const StreamState& s : streams_) {
+    if (s.fetched >= s.length) continue;
+    const std::int64_t next = s.start + s.fetched;
+    const int disk = layout_->DiskOf(next);
+    const int cls =
+        layout_->ParityClassOfSlot(next / layout_->num_disks());
+    ++disk_count_[static_cast<std::size_t>(disk)];
+    ++class_count_[static_cast<std::size_t>(disk) * classes_ + cls];
+  }
+}
+
+void PrefetchFlatController::Round(int failed_disk, RoundPlan* plan) {
+  for (StreamState& s : streams_) {
+    if (s.played < s.fetched &&
+        (s.fetched - s.played >= lag_ || s.fetched >= s.length)) {
+      if (plan != nullptr) {
+        plan->deliveries.push_back(Delivery{s.id, 0, s.start + s.played});
+      }
+      ++s.played;
+    }
+    if (s.fetched < s.length) {
+      if (plan != nullptr) {
+        const std::int64_t index = s.start + s.fetched;
+        const BlockAddress addr = layout_->DataAddress(0, index);
+        if (addr.disk != failed_disk) {
+          plan->reads.push_back(
+              RoundRead{s.id, addr, ReadKind::kData, 0, index});
+        } else {
+          // One parity read, absorbed by the contingency reservation on
+          // the group's parity-home disk.
+          const ParityGroupInfo group = layout_->GroupOf(0, index);
+          plan->reads.push_back(
+              RoundRead{s.id, group.parity, ReadKind::kParity, 0, index});
+        }
+      }
+      ++s.fetched;
+    }
+  }
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    if (it->played >= it->length) {
+      if (plan != nullptr) plan->completed.push_back(it->id);
+      it = streams_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  RebuildCounts();
+}
+
+
+bool PrefetchFlatController::Cancel(StreamId id) {
+  for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+    if (it->id == id) {
+      streams_.erase(it);
+      RebuildCounts();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cmfs

@@ -1,0 +1,61 @@
+#ifndef CMFS_CORE_PREFETCH_FLAT_CONTROLLER_H_
+#define CMFS_CORE_PREFETCH_FLAT_CONTROLLER_H_
+
+#include <vector>
+
+#include "core/controller.h"
+#include "layout/flat_parity_layout.h"
+
+// Pre-fetching without parity disks (§6.2, uniform flat placement).
+//
+// As in §6.1, a failed disk costs one parity read per lost block, but the
+// parity blocks live on ordinary data disks, so contingency bandwidth f
+// is reserved on every disk and admission keeps, per disk,
+//   (a) service list <= q - f, and
+//   (b) streams whose current blocks' parity lives on the same disk <= f
+// (the "parity-home class" of a stream: slot mod (d-(p-1)); all streams
+// of one disk in one class hit the same parity disk if this disk fails).
+// The class advances by one (mod d-(p-1)) when the stream's disk wraps,
+// mirroring the declustered scheme's row-advance property.
+
+namespace cmfs {
+
+class PrefetchFlatController : public Controller {
+ public:
+  PrefetchFlatController(const FlatParityLayout* layout, int q, int f);
+
+  Scheme scheme() const override { return Scheme::kPrefetchFlat; }
+  const Layout& layout() const override { return *layout_; }
+  int q() const override { return q_; }
+  int f() const override { return f_; }
+
+  bool TryAdmit(StreamId id, int space, std::int64_t start,
+                std::int64_t length) override;
+  int num_active() const override;
+  bool Cancel(StreamId id) override;
+  void Round(int failed_disk, RoundPlan* plan) override;
+
+ private:
+  struct StreamState {
+    StreamId id = -1;
+    std::int64_t start = 0;
+    std::int64_t length = 0;
+    std::int64_t fetched = 0;
+    std::int64_t played = 0;
+  };
+
+  void RebuildCounts();
+
+  const FlatParityLayout* layout_;
+  int q_;
+  int f_;
+  int lag_;
+  int classes_;  // d - (p-1)
+  std::vector<StreamState> streams_;
+  std::vector<int> disk_count_;
+  std::vector<int> class_count_;  // disk * classes_ + class
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_PREFETCH_FLAT_CONTROLLER_H_

@@ -1,0 +1,97 @@
+#include "core/prefetch_parity_disk_controller.h"
+
+#include <algorithm>
+
+namespace cmfs {
+
+PrefetchParityDiskController::PrefetchParityDiskController(
+    const ParityDiskLayout* layout, int q)
+    : layout_(layout), q_(q) {
+  CMFS_CHECK(layout != nullptr);
+  CMFS_CHECK(q >= 1);
+  lag_ = layout->group_size() - 1;
+  disk_count_.assign(static_cast<std::size_t>(layout->num_disks()), 0);
+}
+
+bool PrefetchParityDiskController::TryAdmit(StreamId id, int space,
+                                            std::int64_t start,
+                                            std::int64_t length) {
+  CMFS_CHECK(space == 0);
+  CMFS_CHECK(start >= 0 && length >= 1);
+  // Groups must align with the stream (paper: clips start at cluster
+  // boundaries and are padded to whole groups) so buffered peers always
+  // cover the group.
+  CMFS_CHECK(start % (layout_->group_size() - 1) == 0);
+  CMFS_CHECK(length % (layout_->group_size() - 1) == 0);
+  const int disk = layout_->DiskOf(start);
+  if (disk_count_[static_cast<std::size_t>(disk)] >= q_) return false;
+  ++disk_count_[static_cast<std::size_t>(disk)];
+  streams_.push_back(StreamState{id, start, length, 0, 0});
+  return true;
+}
+
+int PrefetchParityDiskController::num_active() const {
+  return static_cast<int>(streams_.size());
+}
+
+void PrefetchParityDiskController::RebuildCounts() {
+  std::fill(disk_count_.begin(), disk_count_.end(), 0);
+  for (const StreamState& s : streams_) {
+    if (s.fetched >= s.length) continue;
+    ++disk_count_[static_cast<std::size_t>(
+        layout_->DiskOf(s.start + s.fetched))];
+  }
+}
+
+void PrefetchParityDiskController::Round(int failed_disk, RoundPlan* plan) {
+  for (StreamState& s : streams_) {
+    // Deliver once the read-ahead window is full (or is draining).
+    if (s.played < s.fetched &&
+        (s.fetched - s.played >= lag_ || s.fetched >= s.length)) {
+      if (plan != nullptr) {
+        plan->deliveries.push_back(Delivery{s.id, 0, s.start + s.played});
+      }
+      ++s.played;
+    }
+    if (s.fetched < s.length) {
+      if (plan != nullptr) {
+        const std::int64_t index = s.start + s.fetched;
+        const BlockAddress addr = layout_->DataAddress(0, index);
+        if (addr.disk != failed_disk) {
+          plan->reads.push_back(
+              RoundRead{s.id, addr, ReadKind::kData, 0, index});
+        } else {
+          // Peers are (or will be, before this group plays) buffered:
+          // fetch only the parity block, from the cluster's parity disk.
+          const ParityGroupInfo group = layout_->GroupOf(0, index);
+          plan->reads.push_back(
+              RoundRead{s.id, group.parity, ReadKind::kParity, 0, index});
+        }
+      }
+      ++s.fetched;
+    }
+  }
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    if (it->played >= it->length) {
+      if (plan != nullptr) plan->completed.push_back(it->id);
+      it = streams_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  RebuildCounts();
+}
+
+
+bool PrefetchParityDiskController::Cancel(StreamId id) {
+  for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+    if (it->id == id) {
+      streams_.erase(it);
+      RebuildCounts();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cmfs

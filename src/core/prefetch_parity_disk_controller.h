@@ -1,0 +1,56 @@
+#ifndef CMFS_CORE_PREFETCH_PARITY_DISK_CONTROLLER_H_
+#define CMFS_CORE_PREFETCH_PARITY_DISK_CONTROLLER_H_
+
+#include <vector>
+
+#include "core/controller.h"
+#include "layout/parity_disk_layout.h"
+
+// Pre-fetching with dedicated parity disks (§6.1).
+//
+// Each stream buffers p blocks (p-1 read-ahead plus the block playing);
+// because its whole parity group is buffered before the group's first
+// block plays, a failed data disk costs only one parity read per lost
+// block — served by the cluster's otherwise-idle parity disk, so no
+// contingency bandwidth is reserved: admission only keeps every data
+// disk's service list at <= q. Streams must start on a parity-group
+// boundary (clip starts are aligned to clusters, as in the paper).
+
+namespace cmfs {
+
+class PrefetchParityDiskController : public Controller {
+ public:
+  PrefetchParityDiskController(const ParityDiskLayout* layout, int q);
+
+  Scheme scheme() const override { return Scheme::kPrefetchParityDisk; }
+  const Layout& layout() const override { return *layout_; }
+  int q() const override { return q_; }
+
+  bool TryAdmit(StreamId id, int space, std::int64_t start,
+                std::int64_t length) override;
+  int num_active() const override;
+  bool Cancel(StreamId id) override;
+  void Round(int failed_disk, RoundPlan* plan) override;
+
+ private:
+  struct StreamState {
+    StreamId id = -1;
+    std::int64_t start = 0;
+    std::int64_t length = 0;
+    std::int64_t fetched = 0;
+    std::int64_t played = 0;
+  };
+
+  void RebuildCounts();
+
+  const ParityDiskLayout* layout_;
+  int q_;
+  // Playback lag: delivery starts once p-1 blocks are buffered.
+  int lag_;
+  std::vector<StreamState> streams_;
+  std::vector<int> disk_count_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_PREFETCH_PARITY_DISK_CONTROLLER_H_

@@ -1,0 +1,116 @@
+#include "core/rebuild.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cmfs {
+
+std::string RebuildStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "RebuildStats{rounds=%lld, blocks=%lld, reads=%lld, "
+                "max_disk_round=%d}",
+                static_cast<long long>(rounds),
+                static_cast<long long>(blocks_rebuilt),
+                static_cast<long long>(source_reads),
+                max_disk_round_reads);
+  return buf;
+}
+
+Rebuilder::Rebuilder(const Layout* layout, DiskArray* array,
+                     int target_disk, std::int64_t blocks_per_disk,
+                     int read_budget)
+    : layout_(layout),
+      array_(array),
+      target_disk_(target_disk),
+      blocks_per_disk_(blocks_per_disk),
+      read_budget_(read_budget) {
+  CMFS_CHECK(layout != nullptr && array != nullptr);
+  CMFS_CHECK(target_disk >= 0 && target_disk < array->num_disks());
+  CMFS_CHECK(blocks_per_disk >= 0);
+  CMFS_CHECK(read_budget >= 1);
+}
+
+double Rebuilder::progress() const {
+  if (blocks_per_disk_ == 0) return 1.0;
+  return static_cast<double>(next_block_) /
+         static_cast<double>(blocks_per_disk_);
+}
+
+Result<int> Rebuilder::RunRound() {
+  if (done()) return 0;
+  if (array_->disk(target_disk_).state() == SimDisk::State::kFailed) {
+    return Status::FailedPrecondition(
+        "target disk must be swapped (StartRebuild) before rebuilding");
+  }
+  ++stats_.rounds;
+  std::vector<int> round_reads(
+      static_cast<std::size_t>(array_->num_disks()), 0);
+  int rebuilt = 0;
+
+  while (next_block_ < blocks_per_disk_) {
+    Result<ParityGroupInfo> group = layout_->GroupOfPhysical(
+        BlockAddress{target_disk_, next_block_});
+    if (!group.ok()) {
+      if (group.status().code() == StatusCode::kInvalidArgument) {
+        // Outside the layout's data/parity regions: nothing stored there
+        // (a fresh disk already reads as zeros).
+        ++next_block_;
+        continue;
+      }
+      return group.status();
+    }
+
+    // The sources: every group member except the target block itself.
+    std::vector<BlockAddress> sources;
+    sources.reserve(group->data.size());
+    const BlockAddress target{target_disk_, next_block_};
+    for (const BlockAddress& member : group->data) {
+      if (member == target) continue;
+      sources.push_back(member);
+    }
+    if (!(group->parity == target)) sources.push_back(group->parity);
+
+    // Budget check: does this block's read set fit what is left of this
+    // round? (The target block must be a member of its own group.)
+    CMFS_CHECK(sources.size() == group->data.size());
+    bool fits = true;
+    for (const BlockAddress& src : sources) {
+      if (round_reads[static_cast<std::size_t>(src.disk)] >=
+          read_budget_) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) break;  // Round full; resume next round.
+
+    Result<Block> value = array_->XorOf(sources);
+    if (!value.ok()) return value.status();
+    Status st = array_->Write(target, *value);
+    if (!st.ok()) return st;
+
+    for (const BlockAddress& src : sources) {
+      const int reads = ++round_reads[static_cast<std::size_t>(src.disk)];
+      stats_.max_disk_round_reads =
+          std::max(stats_.max_disk_round_reads, reads);
+    }
+    stats_.source_reads += static_cast<std::int64_t>(sources.size());
+    ++stats_.blocks_rebuilt;
+    ++rebuilt;
+    ++next_block_;
+  }
+  return rebuilt;
+}
+
+Status Rebuilder::RunToCompletion() {
+  while (!done()) {
+    Result<int> rebuilt = RunRound();
+    if (!rebuilt.ok()) return rebuilt.status();
+    if (*rebuilt == 0) {
+      return Status::Internal("rebuild stalled: budget admits no block");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cmfs

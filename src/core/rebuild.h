@@ -1,0 +1,76 @@
+#ifndef CMFS_CORE_REBUILD_H_
+#define CMFS_CORE_REBUILD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "disk/disk_array.h"
+#include "layout/layout.h"
+#include "util/status.h"
+
+// Online rebuild of a replaced disk (the operational step the paper's
+// failure model implies: data on the failed disk is inaccessible "until
+// the disk has been repaired").
+//
+// After the failed disk is swapped for a blank one, every block it held
+// (data *and* parity) is the XOR of the surviving members of its parity
+// group. The rebuilder reconstructs those blocks round by round under a
+// strict per-source-disk read budget, so it can run concurrently with
+// client service: give it the contingency reservation f as its budget
+// and the combined per-disk load stays within the round quota q
+// (service <= q - f by admission, rebuild <= f by construction).
+//
+// Declustered layouts rebuild fastest at a given budget because each
+// target block's sources are spread over the whole array; clustered
+// layouts serialize on the p-1 cluster peers
+// (bench_ablation_rebuild.cc quantifies this).
+
+namespace cmfs {
+
+struct RebuildStats {
+  std::int64_t rounds = 0;
+  std::int64_t blocks_rebuilt = 0;
+  std::int64_t source_reads = 0;
+  // Max reads charged to one source disk in one round (must be <= the
+  // configured budget).
+  int max_disk_round_reads = 0;
+
+  std::string ToString() const;
+};
+
+class Rebuilder {
+ public:
+  // Rebuilds physical blocks [0, blocks_per_disk) of `target_disk`. The
+  // target must be healthy (already swapped in / repaired); all other
+  // disks must stay healthy for the duration. `read_budget` caps the
+  // reads charged to each source disk per round (>= 1).
+  Rebuilder(const Layout* layout, DiskArray* array, int target_disk,
+            std::int64_t blocks_per_disk, int read_budget);
+
+  // Runs one rebuild round: reconstructs as many pending target blocks
+  // as the budget allows and writes them to the target disk. Returns the
+  // number of blocks rebuilt this round (0 once done()).
+  Result<int> RunRound();
+
+  // Runs rounds until completion; fails if no progress is possible.
+  Status RunToCompletion();
+
+  bool done() const { return next_block_ >= blocks_per_disk_; }
+  // Fraction of the target rebuilt, in [0, 1].
+  double progress() const;
+  const RebuildStats& stats() const { return stats_; }
+
+ private:
+  const Layout* layout_;
+  DiskArray* array_;
+  int target_disk_;
+  std::int64_t blocks_per_disk_;
+  int read_budget_;
+  std::int64_t next_block_ = 0;
+  RebuildStats stats_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_REBUILD_H_

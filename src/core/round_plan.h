@@ -1,0 +1,59 @@
+#ifndef CMFS_CORE_ROUND_PLAN_H_
+#define CMFS_CORE_ROUND_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/disk_array.h"
+
+// Per-round work plan emitted by a scheme controller: which physical
+// blocks to read this round and which logical blocks must be delivered
+// (transmitted to clients) this round. The server executes the plan
+// against the disk array and the buffer pool; capacity simulations ignore
+// it entirely.
+
+namespace cmfs {
+
+using StreamId = int;
+
+enum class ReadKind {
+  // Normal retrieval of a stream's next data block.
+  kData,
+  // Parity block fetched in place of a data block on the failed disk
+  // (pre-fetching schemes: the peers are already buffered).
+  kParity,
+  // Surviving data/parity block fetched to reconstruct a lost block
+  // on-the-fly (declustered/dynamic schemes: whole-group degraded read).
+  kRecovery,
+};
+
+struct RoundRead {
+  StreamId stream = -1;
+  BlockAddress addr;
+  ReadKind kind = ReadKind::kData;
+  // Logical block this read serves: for kData the block itself; for
+  // kParity/kRecovery the block being reconstructed.
+  int space = 0;
+  std::int64_t index = -1;
+};
+
+// A block that must leave the buffer for the client this round. Missing
+// it is a playback hiccup — forbidden for every scheme except the
+// non-clustered baseline's failure transition.
+struct Delivery {
+  StreamId stream = -1;
+  int space = 0;
+  std::int64_t index = -1;
+};
+
+struct RoundPlan {
+  std::vector<RoundRead> reads;
+  std::vector<Delivery> deliveries;
+  // Streams whose final delivery happened this round (resources already
+  // released inside the controller).
+  std::vector<StreamId> completed;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_ROUND_PLAN_H_

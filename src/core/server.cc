@@ -1,0 +1,346 @@
+#include "core/server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "core/content.h"
+
+namespace cmfs {
+
+std::string ServerMetrics::ToString() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "ServerMetrics{rounds=%lld, reads=%lld (recovery=%lld), "
+      "deliveries=%lld, hiccups=%lld, completed=%lld, max_window=%d, "
+      "buf_hw=%lld blk, max_round=%.1f ms}",
+      static_cast<long long>(rounds), static_cast<long long>(total_reads),
+      static_cast<long long>(recovery_reads),
+      static_cast<long long>(deliveries), static_cast<long long>(hiccups),
+      static_cast<long long>(completed_streams), max_disk_window_reads,
+      static_cast<long long>(buffer_high_water_blocks),
+      max_round_time * 1e3);
+  return buf;
+}
+
+Server::Server(DiskArray* array, Controller* controller,
+               const ServerConfig& config)
+    : array_(array),
+      controller_(controller),
+      config_(config),
+      pool_(config.block_size),
+      scheduler_(array->disk(0).params(), config.seek_curve),
+      rng_(config.seed) {
+  CMFS_CHECK(array != nullptr && controller != nullptr);
+  CMFS_CHECK(config.block_size == array->block_size());
+  CMFS_CHECK(config.load_window_rounds >= 1);
+  window_reads_.assign(static_cast<std::size_t>(array->num_disks()), 0);
+  round_cylinders_.assign(static_cast<std::size_t>(array->num_disks()), {});
+  metrics_.per_disk_reads.assign(
+      static_cast<std::size_t>(array->num_disks()), 0);
+  metrics_.per_disk_recovery_reads.assign(
+      static_cast<std::size_t>(array->num_disks()), 0);
+}
+
+bool Server::TryAdmit(StreamId id, int space, std::int64_t start,
+                      std::int64_t length) {
+  CMFS_CHECK(streams_.find(id) == streams_.end());
+  if (!controller_->TryAdmit(id, space, start, length)) return false;
+  streams_[id] = StreamRecord{space, start, length, 0, false};
+  if (config_.trace != nullptr) {
+    config_.trace->Record(TraceEvent{metrics_.rounds,
+                                     TraceEventType::kAdmit, id,
+                                     BlockAddress{}, ReadKind::kData,
+                                     space, start});
+  }
+  return true;
+}
+
+Status Server::PauseStream(StreamId id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream " + std::to_string(id));
+  }
+  if (it->second.paused) {
+    return Status::FailedPrecondition("stream already paused");
+  }
+  if (!controller_->Cancel(id)) {
+    return Status::Internal("controller lost track of an active stream");
+  }
+  // Buffered-but-undelivered blocks are re-fetched on resume.
+  DropStreamBuffers(id);
+  it->second.paused = true;
+  if (config_.trace != nullptr) {
+    config_.trace->Record(TraceEvent{metrics_.rounds,
+                                     TraceEventType::kPause, id,
+                                     BlockAddress{}, ReadKind::kData,
+                                     it->second.space, -1});
+  }
+  return Status::Ok();
+}
+
+void Server::DropStreamBuffers(StreamId id) {
+  pool_.DropStream(id);
+  pending_parity_.erase(
+      pending_parity_.lower_bound(
+          {id, std::numeric_limits<int>::min(),
+           std::numeric_limits<std::int64_t>::min()}),
+      pending_parity_.upper_bound(
+          {id, std::numeric_limits<int>::max(),
+           std::numeric_limits<std::int64_t>::max()}));
+}
+
+Status Server::ResumeStream(StreamId id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream " + std::to_string(id));
+  }
+  StreamRecord& record = it->second;
+  if (!record.paused) {
+    return Status::FailedPrecondition("stream is not paused");
+  }
+  std::int64_t resume_at = record.start + record.delivered;
+  std::int64_t remaining = record.length - record.delivered;
+  if (remaining <= 0) {
+    streams_.erase(it);
+    return Status::Ok();  // Nothing left to play.
+  }
+  // The clustered schemes require group-aligned extents; rewind to the
+  // last parity-group boundary (replaying at most p-2 blocks).
+  const Scheme scheme = controller_->scheme();
+  if (scheme != Scheme::kDeclustered && scheme != Scheme::kDynamic) {
+    const std::int64_t span = controller_->layout().group_size() - 1;
+    const std::int64_t rewind = resume_at % span;
+    resume_at -= rewind;
+    remaining += rewind;
+  }
+  if (!controller_->TryAdmit(id, record.space, resume_at, remaining)) {
+    return Status::ResourceExhausted(
+        "no bandwidth at the resume position right now");
+  }
+  // The stream's logical indices continue from the resume point; treat
+  // it as a fresh extent whose deliveries count from zero.
+  record.start = resume_at;
+  record.length = remaining;
+  record.delivered = 0;
+  record.paused = false;
+  if (config_.trace != nullptr) {
+    config_.trace->Record(TraceEvent{metrics_.rounds,
+                                     TraceEventType::kResume, id,
+                                     BlockAddress{}, ReadKind::kData,
+                                     record.space, resume_at});
+  }
+  return Status::Ok();
+}
+
+Status Server::CancelStream(StreamId id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream " + std::to_string(id));
+  }
+  if (!it->second.paused && !controller_->Cancel(id)) {
+    return Status::Internal("controller lost track of an active stream");
+  }
+  DropStreamBuffers(id);
+  streams_.erase(it);
+  if (config_.trace != nullptr) {
+    config_.trace->Record(TraceEvent{metrics_.rounds,
+                                     TraceEventType::kCancel, id,
+                                     BlockAddress{}, ReadKind::kData, 0,
+                                     -1});
+  }
+  return Status::Ok();
+}
+
+Status Server::ExecuteReads(const RoundPlan& plan) {
+  for (auto& cyls : round_cylinders_) cyls.clear();
+  for (const RoundRead& read : plan.reads) {
+    Result<Block> block = array_->Read(read.addr);
+    if (!block.ok()) {
+      return Status::Internal("controller scheduled unreadable block: " +
+                              block.status().ToString());
+    }
+    ++metrics_.total_reads;
+    ++window_reads_[static_cast<std::size_t>(read.addr.disk)];
+    if (config_.trace != nullptr) {
+      config_.trace->Record(TraceEvent{metrics_.rounds,
+                                       TraceEventType::kRead, read.stream,
+                                       read.addr, read.kind, read.space,
+                                       read.index});
+    }
+    ++metrics_.per_disk_reads[static_cast<std::size_t>(read.addr.disk)];
+    if (read.kind != ReadKind::kData) {
+      ++metrics_.per_disk_recovery_reads[static_cast<std::size_t>(
+          read.addr.disk)];
+    }
+    if (config_.time_rounds) {
+      round_cylinders_[static_cast<std::size_t>(read.addr.disk)].push_back(
+          array_->disk(read.addr.disk).CylinderOf(read.addr.block));
+    }
+    switch (read.kind) {
+      case ReadKind::kData:
+        pool_.Put(read.stream, read.space, read.index, *std::move(block),
+                  /*parity_pending=*/false);
+        break;
+      case ReadKind::kParity:
+        ++metrics_.recovery_reads;
+        pool_.Put(read.stream, read.space, read.index, *std::move(block),
+                  /*parity_pending=*/true);
+        pending_parity_.insert({read.stream, read.space, read.index});
+        break;
+      case ReadKind::kRecovery:
+        ++metrics_.recovery_reads;
+        pool_.Accumulate(read.stream, read.space, read.index, *block);
+        break;
+    }
+  }
+  if (config_.time_rounds) {
+    for (int disk = 0; disk < array_->num_disks(); ++disk) {
+      const auto& cyls = round_cylinders_[static_cast<std::size_t>(disk)];
+      if (cyls.empty()) continue;
+      const RoundTiming timing = scheduler_.TimeRound(
+          cyls, config_.block_size,
+          config_.sample_rotation ? &rng_ : nullptr);
+      metrics_.max_round_time =
+          std::max(metrics_.max_round_time, timing.Total());
+    }
+  }
+  return Status::Ok();
+}
+
+Status Server::Reconstruct() {
+  // Reconstruct any buffered parity block whose group peers are all in
+  // the pool. Peers are fetched no later than one round before the
+  // group's first delivery, so pending entries resolve before they are
+  // due.
+  const Layout& layout = controller_->layout();
+  for (auto it = pending_parity_.begin(); it != pending_parity_.end();) {
+    const auto [stream, space, index] = *it;
+    BufferPool::Entry* entry = pool_.Find(stream, space, index);
+    CMFS_CHECK(entry != nullptr && entry->parity_pending);
+    bool complete = true;
+    for (std::int64_t peer : layout.GroupPeers(space, index)) {
+      BufferPool::Entry* peer_entry = pool_.Find(stream, space, peer);
+      if (peer_entry == nullptr || peer_entry->parity_pending) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) {
+      ++it;
+      continue;
+    }
+    for (std::int64_t peer : layout.GroupPeers(space, index)) {
+      const BufferPool::Entry* peer_entry =
+          pool_.Find(stream, space, peer);
+      for (std::size_t i = 0; i < entry->data.size(); ++i) {
+        entry->data[i] ^= peer_entry->data[i];
+      }
+    }
+    entry->parity_pending = false;
+    it = pending_parity_.erase(it);
+  }
+  return Status::Ok();
+}
+
+Status Server::Deliver(const RoundPlan& plan) {
+  for (const Delivery& delivery : plan.deliveries) {
+    BufferPool::Entry* entry =
+        pool_.Find(delivery.stream, delivery.space, delivery.index);
+    if (entry == nullptr || entry->parity_pending) {
+      ++metrics_.hiccups;
+      if (config_.trace != nullptr) {
+        config_.trace->Record(TraceEvent{
+            metrics_.rounds, TraceEventType::kHiccup, delivery.stream,
+            BlockAddress{}, ReadKind::kData, delivery.space,
+            delivery.index});
+      }
+      if (!config_.allow_hiccups) {
+        return Status::Internal(
+            "missed delivery: stream " + std::to_string(delivery.stream) +
+            " block " + std::to_string(delivery.index));
+      }
+      pending_parity_.erase(
+          {delivery.stream, delivery.space, delivery.index});
+      pool_.Erase(delivery.stream, delivery.space, delivery.index);
+      continue;
+    }
+    if (config_.verify_content) {
+      const Block expected = PatternBlock(delivery.space, delivery.index,
+                                          config_.block_size);
+      if (entry->data != expected) {
+        return Status::Internal(
+            "corrupt delivery: stream " + std::to_string(delivery.stream) +
+            " block " + std::to_string(delivery.index));
+      }
+    }
+    ++metrics_.deliveries;
+    pool_.Erase(delivery.stream, delivery.space, delivery.index);
+    auto it = streams_.find(delivery.stream);
+    if (it != streams_.end()) ++it->second.delivered;
+    if (config_.trace != nullptr) {
+      config_.trace->Record(TraceEvent{
+          metrics_.rounds, TraceEventType::kDelivery, delivery.stream,
+          BlockAddress{}, ReadKind::kData, delivery.space,
+          delivery.index});
+    }
+  }
+  return Status::Ok();
+}
+
+Status Server::CheckLoadWindow() {
+  ++window_round_;
+  if (window_round_ < config_.load_window_rounds) return Status::Ok();
+  window_round_ = 0;
+  for (int disk = 0; disk < array_->num_disks(); ++disk) {
+    const int reads = window_reads_[static_cast<std::size_t>(disk)];
+    metrics_.max_disk_window_reads =
+        std::max(metrics_.max_disk_window_reads, reads);
+    if (reads > controller_->q()) {
+      return Status::Internal(
+          "disk " + std::to_string(disk) + " served " +
+          std::to_string(reads) + " blocks in a window; q = " +
+          std::to_string(controller_->q()));
+    }
+  }
+  std::fill(window_reads_.begin(), window_reads_.end(), 0);
+  return Status::Ok();
+}
+
+Status Server::RunRound() {
+  RoundPlan plan;
+  controller_->Round(array_->failed_disk(), &plan);
+  ++metrics_.rounds;
+
+  Status st = ExecuteReads(plan);
+  if (!st.ok()) return st;
+  st = Reconstruct();
+  if (!st.ok()) return st;
+  st = Deliver(plan);
+  if (!st.ok()) return st;
+
+  for (StreamId stream : plan.completed) {
+    ++metrics_.completed_streams;
+    pool_.DropStream(stream);
+    streams_.erase(stream);
+    if (config_.trace != nullptr) {
+      config_.trace->Record(TraceEvent{metrics_.rounds,
+                                       TraceEventType::kComplete, stream,
+                                       BlockAddress{}, ReadKind::kData, 0,
+                                       -1});
+    }
+  }
+  metrics_.buffer_high_water_blocks = pool_.high_water_blocks();
+  return CheckLoadWindow();
+}
+
+Status Server::RunRounds(int n) {
+  for (int i = 0; i < n; ++i) {
+    Status st = RunRound();
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+}  // namespace cmfs

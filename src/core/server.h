@@ -1,0 +1,149 @@
+#ifndef CMFS_CORE_SERVER_H_
+#define CMFS_CORE_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/buffer_pool.h"
+#include "core/controller.h"
+#include "core/trace.h"
+#include "disk/cscan_scheduler.h"
+#include "disk/disk_array.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+// The continuous-media server: executes each round's plan against the
+// simulated disk array — reads blocks (C-SCAN per disk), reconstructs
+// lost blocks from parity, buffers, and delivers to clients on deadline —
+// while enforcing the fault-tolerance invariants the paper proves:
+//
+//   * no disk ever serves more than q blocks per round window, failed or
+//     not (the contingency-bandwidth guarantee);
+//   * every delivery is on time and bit-exact, except the non-clustered
+//     baseline's documented transition hiccups, which are counted.
+
+namespace cmfs {
+
+struct ServerConfig {
+  std::int64_t block_size = 0;
+  // Declared server buffer (for reporting; the analytic models guarantee
+  // the pool stays within it at the controller's admission limits).
+  std::int64_t buffer_bytes = 0;
+  // Verify delivered bytes against the deterministic content pattern.
+  bool verify_content = true;
+  // Count missed deliveries instead of failing the round (non-clustered
+  // transition; all other schemes must run with this off).
+  bool allow_hiccups = false;
+  // Rounds per load-check window (1 normally; p-1 for streaming RAID,
+  // whose quota q is per super-round).
+  int load_window_rounds = 1;
+  // If true, time every disk's round with the C-SCAN service model and
+  // record the worst observed round time (Equation 1 validation).
+  bool time_rounds = false;
+  SeekCurve seek_curve = SeekCurve::kLinear;
+  // Sample rotational latency instead of charging the worst case.
+  bool sample_rotation = false;
+  // Optional event trace (owned by the caller, must outlive the server).
+  // Records admissions, reads, deliveries, hiccups and stream lifecycle
+  // events for offline QoS analysis (core/trace.h).
+  Trace* trace = nullptr;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+struct ServerMetrics {
+  std::int64_t rounds = 0;
+  std::int64_t total_reads = 0;
+  std::int64_t recovery_reads = 0;  // kParity + kRecovery
+  std::int64_t deliveries = 0;
+  std::int64_t hiccups = 0;
+  std::int64_t completed_streams = 0;
+  // Max blocks served by one disk within one load window.
+  int max_disk_window_reads = 0;
+  std::int64_t buffer_high_water_blocks = 0;
+  // Worst per-disk round service time observed (seconds; only when
+  // time_rounds). Compare against block_size / playback_rate.
+  double max_round_time = 0.0;
+  // Cumulative reads per disk (failure-load-distribution ablation).
+  std::vector<std::int64_t> per_disk_reads;
+  // Cumulative recovery (kParity/kRecovery) reads per disk.
+  std::vector<std::int64_t> per_disk_recovery_reads;
+
+  std::string ToString() const;
+};
+
+class Server {
+ public:
+  // The array must have been populated (data + parity) under the
+  // controller's layout; `controller` and `array` must outlive the server.
+  Server(DiskArray* array, Controller* controller,
+         const ServerConfig& config);
+
+  // Admission passthrough (takes effect next round).
+  bool TryAdmit(StreamId id, int space, std::int64_t start,
+                std::int64_t length);
+
+  // VCR-style pause: the stream's bandwidth slot frees and its buffered
+  // blocks are dropped; playback position is remembered. Resume re-runs
+  // admission at the paused position (kResourceExhausted if the server
+  // is currently full there) and replays from the next undelivered
+  // block. Cancel drops a stream entirely (client stop / churn).
+  Status PauseStream(StreamId id);
+  Status ResumeStream(StreamId id);
+  Status CancelStream(StreamId id);
+
+  Status FailDisk(int disk) { return array_->FailDisk(disk); }
+
+  // Executes one round. Fails (kInternal) on any invariant violation:
+  // quota overrun, missed/corrupt delivery (unless allow_hiccups), read
+  // error.
+  Status RunRound();
+
+  // RunRound() `n` times, stopping at the first error.
+  Status RunRounds(int n);
+
+  const ServerMetrics& metrics() const { return metrics_; }
+  const Controller& controller() const { return *controller_; }
+  int num_active() const { return controller_->num_active(); }
+
+ private:
+  Status ExecuteReads(const RoundPlan& plan);
+  Status Reconstruct();
+  Status Deliver(const RoundPlan& plan);
+  Status CheckLoadWindow();
+  // Evicts a stream's buffered blocks and pending reconstructions.
+  void DropStreamBuffers(StreamId id);
+
+  // Stream bookkeeping for pause/resume: progress is tracked by counting
+  // deliveries, so no controller cooperation beyond Cancel is needed.
+  struct StreamRecord {
+    int space = 0;
+    std::int64_t start = 0;
+    std::int64_t length = 0;
+    std::int64_t delivered = 0;
+    bool paused = false;
+  };
+
+  DiskArray* array_;
+  Controller* controller_;
+  ServerConfig config_;
+  BufferPool pool_;
+  CScanScheduler scheduler_;
+  Rng rng_;
+  ServerMetrics metrics_;
+  // Keys of buffered entries awaiting parity reconstruction.
+  std::set<std::tuple<StreamId, int, std::int64_t>> pending_parity_;
+  // Reads per disk in the current load window.
+  std::vector<int> window_reads_;
+  std::map<StreamId, StreamRecord> streams_;
+  int window_round_ = 0;
+  // Cylinders touched per disk this round (for timing).
+  std::vector<std::vector<int>> round_cylinders_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_SERVER_H_

@@ -1,0 +1,114 @@
+#include "core/streaming_raid_controller.h"
+
+#include <algorithm>
+
+namespace cmfs {
+
+StreamingRaidController::StreamingRaidController(
+    const ParityDiskLayout* layout, int q)
+    : layout_(layout), q_(q) {
+  CMFS_CHECK(layout != nullptr);
+  CMFS_CHECK(q >= 1);
+  CMFS_CHECK(layout->group_size() >= 2);
+  cluster_count_.assign(static_cast<std::size_t>(layout->num_clusters()),
+                        0);
+}
+
+int StreamingRaidController::ClusterOfNext(const StreamState& s) const {
+  const std::int64_t group =
+      (s.start + s.fetched) / (layout_->group_size() - 1);
+  return layout_->ClusterOfGroup(group);
+}
+
+bool StreamingRaidController::TryAdmit(StreamId id, int space,
+                                       std::int64_t start,
+                                       std::int64_t length) {
+  CMFS_CHECK(space == 0);
+  CMFS_CHECK(start >= 0 && length >= 1);
+  CMFS_CHECK(start % (layout_->group_size() - 1) == 0);
+  CMFS_CHECK(length % (layout_->group_size() - 1) == 0);
+  StreamState s{id, start, length, 0, 0};
+  const int cluster = ClusterOfNext(s);
+  if (cluster_count_[static_cast<std::size_t>(cluster)] >= q_) return false;
+  ++cluster_count_[static_cast<std::size_t>(cluster)];
+  streams_.push_back(s);
+  return true;
+}
+
+int StreamingRaidController::num_active() const {
+  return static_cast<int>(streams_.size());
+}
+
+void StreamingRaidController::RebuildCounts() {
+  std::fill(cluster_count_.begin(), cluster_count_.end(), 0);
+  for (const StreamState& s : streams_) {
+    if (s.fetched >= s.length) continue;
+    ++cluster_count_[static_cast<std::size_t>(ClusterOfNext(s))];
+  }
+}
+
+void StreamingRaidController::Round(int failed_disk, RoundPlan* plan) {
+  const int span = layout_->group_size() - 1;
+  for (StreamState& s : streams_) {
+    // Playback starts once the first whole group is buffered and then
+    // proceeds one block per round without interruption (the next group
+    // lands exactly as the previous one drains).
+    if (s.played < s.fetched &&
+        (s.played > 0 || s.fetched >= span || s.fetched >= s.length)) {
+      if (plan != nullptr) {
+        plan->deliveries.push_back(Delivery{s.id, 0, s.start + s.played});
+      }
+      ++s.played;
+    }
+    // Whole-group fetch at super-round boundaries.
+    if (round_in_super_ == 0 && s.fetched < s.length) {
+      const std::int64_t first = s.start + s.fetched;
+      const std::int64_t count =
+          std::min<std::int64_t>(span, s.length - s.fetched);
+      if (plan != nullptr) {
+        std::int64_t missing = -1;
+        for (std::int64_t offset = 0; offset < count; ++offset) {
+          const std::int64_t index = first + offset;
+          const BlockAddress addr = layout_->DataAddress(0, index);
+          if (addr.disk != failed_disk) {
+            plan->reads.push_back(
+                RoundRead{s.id, addr, ReadKind::kData, 0, index});
+          } else {
+            missing = index;
+          }
+        }
+        if (missing >= 0) {
+          const ParityGroupInfo group = layout_->GroupOf(0, missing);
+          CMFS_CHECK(group.parity.disk != failed_disk);
+          plan->reads.push_back(RoundRead{s.id, group.parity,
+                                          ReadKind::kParity, 0, missing});
+        }
+      }
+      s.fetched += count;
+    }
+  }
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    if (it->played >= it->length) {
+      if (plan != nullptr) plan->completed.push_back(it->id);
+      it = streams_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  round_in_super_ = (round_in_super_ + 1) % span;
+  RebuildCounts();
+}
+
+
+bool StreamingRaidController::Cancel(StreamId id) {
+  for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+    if (it->id == id) {
+      streams_.erase(it);
+      RebuildCounts();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cmfs

@@ -1,0 +1,64 @@
+#ifndef CMFS_CORE_STREAMING_RAID_CONTROLLER_H_
+#define CMFS_CORE_STREAMING_RAID_CONTROLLER_H_
+
+#include <vector>
+
+#include "core/controller.h"
+#include "layout/parity_disk_layout.h"
+
+// Streaming RAID baseline [TPBG93].
+//
+// Clusters of p disks behave as logical disks; the retrieval granularity
+// is a whole parity group, fetched at super-round boundaries (one
+// super-round = p-1 normal rounds: the playback time of one group).
+// Because a group read touches each cluster disk for one block, a failed
+// disk is masked by reading the group's parity block instead — no
+// reservation, no admission change; admission only keeps each cluster's
+// service list at <= q streams. q here is a per-cluster, per-super-round
+// quota (the §7.3 model's q).
+//
+// Normal-mode reads skip the parity block (TPBG93 fetches it always; the
+// per-disk load and all guarantees are identical because the parity disk
+// has the same q budget — see DESIGN.md).
+
+namespace cmfs {
+
+class StreamingRaidController : public Controller {
+ public:
+  StreamingRaidController(const ParityDiskLayout* layout, int q);
+
+  Scheme scheme() const override { return Scheme::kStreamingRaid; }
+  const Layout& layout() const override { return *layout_; }
+  int q() const override { return q_; }
+
+  // Rounds per super-round (= p - 1).
+  int super_round_length() const { return layout_->group_size() - 1; }
+
+  bool TryAdmit(StreamId id, int space, std::int64_t start,
+                std::int64_t length) override;
+  int num_active() const override;
+  bool Cancel(StreamId id) override;
+  void Round(int failed_disk, RoundPlan* plan) override;
+
+ private:
+  struct StreamState {
+    StreamId id = -1;
+    std::int64_t start = 0;
+    std::int64_t length = 0;
+    std::int64_t fetched = 0;
+    std::int64_t played = 0;
+  };
+
+  int ClusterOfNext(const StreamState& s) const;
+  void RebuildCounts();
+
+  const ParityDiskLayout* layout_;
+  int q_;
+  int round_in_super_ = 0;
+  std::vector<StreamState> streams_;
+  std::vector<int> cluster_count_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_STREAMING_RAID_CONTROLLER_H_

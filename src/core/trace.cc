@@ -1,0 +1,117 @@
+#include "core/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/status.h"
+
+namespace cmfs {
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kAdmit:
+      return "admit";
+    case TraceEventType::kRead:
+      return "read";
+    case TraceEventType::kDelivery:
+      return "delivery";
+    case TraceEventType::kHiccup:
+      return "hiccup";
+    case TraceEventType::kComplete:
+      return "complete";
+    case TraceEventType::kPause:
+      return "pause";
+    case TraceEventType::kResume:
+      return "resume";
+    case TraceEventType::kCancel:
+      return "cancel";
+  }
+  return "unknown";
+}
+
+std::map<StreamId, std::int64_t> Trace::MaxDeliveryGaps() const {
+  // last delivery round per stream; -1 while "paused" (gap excluded).
+  std::map<StreamId, std::int64_t> last;
+  std::map<StreamId, std::int64_t> max_gap;
+  std::map<StreamId, bool> has_prev;
+  for (const TraceEvent& event : events_) {
+    switch (event.type) {
+      case TraceEventType::kPause:
+      case TraceEventType::kResume:
+        // Break the chain across a viewer-requested pause.
+        has_prev[event.stream] = false;
+        break;
+      case TraceEventType::kDelivery: {
+        auto& prev_valid = has_prev[event.stream];
+        if (prev_valid) {
+          const std::int64_t gap = event.round - last[event.stream];
+          auto [it, inserted] = max_gap.try_emplace(event.stream, gap);
+          if (!inserted) it->second = std::max(it->second, gap);
+        }
+        last[event.stream] = event.round;
+        prev_valid = true;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return max_gap;
+}
+
+std::map<StreamId, std::int64_t> Trace::StartupLatencies() const {
+  std::map<StreamId, std::int64_t> admitted;
+  std::map<StreamId, std::int64_t> latency;
+  for (const TraceEvent& event : events_) {
+    if (event.type == TraceEventType::kAdmit) {
+      admitted[event.stream] = event.round;
+    } else if (event.type == TraceEventType::kDelivery) {
+      auto it = admitted.find(event.stream);
+      if (it != admitted.end() &&
+          latency.find(event.stream) == latency.end()) {
+        latency[event.stream] = event.round - it->second;
+      }
+    }
+  }
+  return latency;
+}
+
+std::vector<std::int64_t> Trace::PerDiskReads(int num_disks) const {
+  CMFS_CHECK(num_disks > 0);
+  std::vector<std::int64_t> reads(static_cast<std::size_t>(num_disks), 0);
+  for (const TraceEvent& event : events_) {
+    if (event.type == TraceEventType::kRead) {
+      CMFS_CHECK(event.addr.disk >= 0 && event.addr.disk < num_disks);
+      ++reads[static_cast<std::size_t>(event.addr.disk)];
+    }
+  }
+  return reads;
+}
+
+std::int64_t Trace::Count(TraceEventType type) const {
+  std::int64_t count = 0;
+  for (const TraceEvent& event : events_) {
+    if (event.type == type) ++count;
+  }
+  return count;
+}
+
+std::string Trace::ToString(std::size_t max_events) const {
+  std::string out;
+  const std::size_t n = std::min(max_events, events_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[i];
+    char line[128];
+    std::snprintf(line, sizeof(line), "[%lld] %s stream=%d idx=%lld\n",
+                  static_cast<long long>(e.round),
+                  TraceEventTypeName(e.type), e.stream,
+                  static_cast<long long>(e.index));
+    out += line;
+  }
+  if (events_.size() > n) {
+    out += "... (" + std::to_string(events_.size() - n) + " more)\n";
+  }
+  return out;
+}
+
+}  // namespace cmfs

@@ -1,0 +1,78 @@
+#ifndef CMFS_CORE_TRACE_H_
+#define CMFS_CORE_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/round_plan.h"
+
+// Structured event trace: the server's observability surface. When a
+// Trace is attached (ServerConfig::trace), every admission, block read,
+// delivery, hiccup and lifecycle event is recorded with its round number,
+// enabling offline QoS analysis — most importantly *delivery jitter*:
+// the paper's continuity guarantee says a playing stream receives exactly
+// one block per round, so its max inter-delivery gap must be 1 even
+// through failures. trace_test.cc asserts exactly that.
+
+namespace cmfs {
+
+enum class TraceEventType {
+  kAdmit,
+  kRead,
+  kDelivery,
+  kHiccup,
+  kComplete,
+  kPause,
+  kResume,
+  kCancel,
+};
+
+const char* TraceEventTypeName(TraceEventType type);
+
+struct TraceEvent {
+  std::int64_t round = 0;
+  TraceEventType type = TraceEventType::kAdmit;
+  StreamId stream = -1;
+  // For kRead: the physical address and the read kind.
+  BlockAddress addr;
+  ReadKind read_kind = ReadKind::kData;
+  // Logical block (kRead/kDelivery/kHiccup).
+  int space = 0;
+  std::int64_t index = -1;
+};
+
+class Trace {
+ public:
+  void Record(const TraceEvent& event) { events_.push_back(event); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  // Max gap (in rounds) between consecutive deliveries, per stream.
+  // 1 = perfectly periodic playback. Streams with fewer than two
+  // deliveries are omitted. Gaps across a pause/resume of the stream are
+  // excluded (the viewer asked for them).
+  std::map<StreamId, std::int64_t> MaxDeliveryGaps() const;
+
+  // Rounds from admission to first delivery, per stream (startup
+  // latency: 1 for the non-prefetching schemes, ~p-1 for prefetching).
+  std::map<StreamId, std::int64_t> StartupLatencies() const;
+
+  // Total blocks read per disk.
+  std::vector<std::int64_t> PerDiskReads(int num_disks) const;
+
+  // Number of events of one type.
+  std::int64_t Count(TraceEventType type) const;
+
+  // Compact one-line-per-event rendering (debugging aid).
+  std::string ToString(std::size_t max_events = 50) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_TRACE_H_

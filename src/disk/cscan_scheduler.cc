@@ -1,0 +1,50 @@
+#include "disk/cscan_scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace cmfs {
+
+CScanScheduler::CScanScheduler(const DiskParams& params, SeekCurve curve)
+    : params_(params), seek_model_(params, curve) {}
+
+std::vector<std::size_t> CScanScheduler::Order(
+    const std::vector<int>& cylinders) {
+  std::vector<std::size_t> order(cylinders.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&cylinders](std::size_t a, std::size_t b) {
+                     return cylinders[a] < cylinders[b];
+                   });
+  return order;
+}
+
+RoundTiming CScanScheduler::TimeRound(const std::vector<int>& cylinders,
+                                      std::int64_t block_size,
+                                      Rng* rng) const {
+  RoundTiming t;
+  t.num_requests = static_cast<int>(cylinders.size());
+  if (cylinders.empty()) return t;
+
+  const std::vector<std::size_t> order = Order(cylinders);
+  int head = 0;  // The sweep starts at the low end each round.
+  for (std::size_t idx : order) {
+    const int cyl = cylinders[idx];
+    CMFS_CHECK(cyl >= 0 && cyl < params_.num_cylinders);
+    t.seek_time += seek_model_.SeekTime(cyl - head);
+    head = cyl;
+    t.rotation_time += (rng != nullptr)
+                           ? rng->NextDouble() * params_.worst_rotational
+                           : params_.worst_rotational;
+    t.settle_time += params_.settle_time;
+    t.transfer_time +=
+        static_cast<double>(block_size) / params_.TransferRateAt(cyl);
+  }
+  // Full-stroke return so the next round again starts at the low end.
+  t.seek_time += seek_model_.SeekTime(params_.num_cylinders - 1);
+  return t;
+}
+
+}  // namespace cmfs

@@ -1,0 +1,58 @@
+#ifndef CMFS_DISK_CSCAN_SCHEDULER_H_
+#define CMFS_DISK_CSCAN_SCHEDULER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "disk/disk_params.h"
+#include "disk/seek_model.h"
+#include "util/rng.h"
+
+// C-SCAN disk scheduling for round-based retrieval (§3 of the paper).
+//
+// Each round the head starts at the low end, sweeps upward servicing every
+// request in ascending cylinder order, then performs one full-stroke return
+// seek — so the head crosses the disk at most twice per round, which is
+// where Equation 1's "2 * t_seek" term comes from.
+
+namespace cmfs {
+
+// Cost breakdown of servicing one round on one disk.
+struct RoundTiming {
+  double seek_time = 0.0;      // sweep seeks + return stroke
+  double rotation_time = 0.0;  // per-request rotational latency
+  double settle_time = 0.0;    // per-request head settle
+  double transfer_time = 0.0;  // per-request block transfer
+  int num_requests = 0;
+
+  double Total() const {
+    return seek_time + rotation_time + settle_time + transfer_time;
+  }
+};
+
+class CScanScheduler {
+ public:
+  CScanScheduler(const DiskParams& params, SeekCurve curve);
+
+  // Service order for one round: indices into `cylinders`, ascending by
+  // cylinder (ties in input order). The head services the whole batch in a
+  // single upward sweep.
+  static std::vector<std::size_t> Order(const std::vector<int>& cylinders);
+
+  // Times one round of block reads at the given cylinders, each of
+  // block_size bytes. If rng is non-null, rotational latency is sampled
+  // uniformly in [0, t_rot); otherwise the worst case t_rot is charged per
+  // request (the accounting used by Equation 1).
+  RoundTiming TimeRound(const std::vector<int>& cylinders,
+                        std::int64_t block_size, Rng* rng) const;
+
+  const SeekModel& seek_model() const { return seek_model_; }
+
+ private:
+  DiskParams params_;
+  SeekModel seek_model_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_DISK_CSCAN_SCHEDULER_H_

@@ -1,0 +1,101 @@
+#include "disk/disk_array.h"
+
+#include <string>
+
+namespace cmfs {
+
+DiskArray::DiskArray(int num_disks, const DiskParams& params,
+                     std::int64_t block_size)
+    : block_size_(block_size) {
+  CMFS_CHECK(num_disks > 0);
+  disks_.reserve(static_cast<std::size_t>(num_disks));
+  for (int i = 0; i < num_disks; ++i) {
+    disks_.emplace_back(params, block_size);
+  }
+}
+
+SimDisk& DiskArray::disk(int i) {
+  CMFS_CHECK(i >= 0 && i < num_disks());
+  return disks_[static_cast<std::size_t>(i)];
+}
+
+const SimDisk& DiskArray::disk(int i) const {
+  CMFS_CHECK(i >= 0 && i < num_disks());
+  return disks_[static_cast<std::size_t>(i)];
+}
+
+Status DiskArray::Write(const BlockAddress& addr, const Block& data) {
+  if (addr.disk < 0 || addr.disk >= num_disks()) {
+    return Status::InvalidArgument("disk index out of range");
+  }
+  return disks_[static_cast<std::size_t>(addr.disk)].Write(addr.block, data);
+}
+
+Result<Block> DiskArray::Read(const BlockAddress& addr) const {
+  if (addr.disk < 0 || addr.disk >= num_disks()) {
+    return Status::InvalidArgument("disk index out of range");
+  }
+  return disks_[static_cast<std::size_t>(addr.disk)].Read(addr.block);
+}
+
+Status DiskArray::FailDisk(int i) {
+  if (i < 0 || i >= num_disks()) {
+    return Status::InvalidArgument("disk index out of range");
+  }
+  const int already = failed_disk();
+  if (already >= 0 && already != i) {
+    return Status::FailedPrecondition(
+        "disk " + std::to_string(already) +
+        " is already failed; single-failure model");
+  }
+  disks_[static_cast<std::size_t>(i)].Fail();
+  return Status::Ok();
+}
+
+Status DiskArray::StartRebuild(int i) {
+  if (i < 0 || i >= num_disks()) {
+    return Status::InvalidArgument("disk index out of range");
+  }
+  SimDisk& disk = disks_[static_cast<std::size_t>(i)];
+  if (disk.state() != SimDisk::State::kFailed) {
+    return Status::FailedPrecondition("only a failed disk can be swapped");
+  }
+  disk.StartRebuild();
+  return Status::Ok();
+}
+
+Status DiskArray::RepairDisk(int i) {
+  if (i < 0 || i >= num_disks()) {
+    return Status::InvalidArgument("disk index out of range");
+  }
+  disks_[static_cast<std::size_t>(i)].Repair();
+  return Status::Ok();
+}
+
+int DiskArray::failed_disk() const {
+  for (int i = 0; i < num_disks(); ++i) {
+    if (disks_[static_cast<std::size_t>(i)].failed()) return i;
+  }
+  return -1;
+}
+
+void DiskArray::XorInto(Block& dst, const Block& src) const {
+  CMFS_CHECK(static_cast<std::int64_t>(dst.size()) == block_size_);
+  CMFS_CHECK(static_cast<std::int64_t>(src.size()) == block_size_);
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+Result<Block> DiskArray::XorOf(const std::vector<BlockAddress>& addrs) const {
+  if (addrs.empty()) {
+    return Status::InvalidArgument("XorOf over empty address list");
+  }
+  Block acc(static_cast<std::size_t>(block_size_), 0);
+  for (const BlockAddress& addr : addrs) {
+    Result<Block> blk = Read(addr);
+    if (!blk.ok()) return blk.status();
+    XorInto(acc, *blk);
+  }
+  return acc;
+}
+
+}  // namespace cmfs

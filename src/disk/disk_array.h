@@ -1,0 +1,71 @@
+#ifndef CMFS_DISK_DISK_ARRAY_H_
+#define CMFS_DISK_DISK_ARRAY_H_
+
+#include <memory>
+#include <vector>
+
+#include "disk/disk_params.h"
+#include "disk/sim_disk.h"
+#include "util/status.h"
+
+// Array of d homogeneous simulated disks plus the XOR parity primitive the
+// fault-tolerance schemes are built on. The paper's model tolerates a
+// single simultaneous disk failure; the array enforces that invariant.
+
+namespace cmfs {
+
+// Physical location of a disk block within the array.
+struct BlockAddress {
+  int disk = -1;
+  std::int64_t block = -1;
+
+  friend bool operator==(const BlockAddress& a, const BlockAddress& b) {
+    return a.disk == b.disk && a.block == b.block;
+  }
+};
+
+class DiskArray {
+ public:
+  DiskArray(int num_disks, const DiskParams& params, std::int64_t block_size);
+
+  // Disks are not copyable resources; the array is move-only.
+  DiskArray(DiskArray&&) = default;
+  DiskArray& operator=(DiskArray&&) = default;
+  DiskArray(const DiskArray&) = delete;
+  DiskArray& operator=(const DiskArray&) = delete;
+
+  int num_disks() const { return static_cast<int>(disks_.size()); }
+  std::int64_t block_size() const { return block_size_; }
+
+  SimDisk& disk(int i);
+  const SimDisk& disk(int i) const;
+
+  Status Write(const BlockAddress& addr, const Block& data);
+  Result<Block> Read(const BlockAddress& addr) const;
+
+  // Fails disk i. Rejects a second concurrent failure (the paper's schemes
+  // guarantee continuity only under a single failure).
+  Status FailDisk(int i);
+  // Swaps in a blank replacement for a failed disk: reads keep failing
+  // (clients use degraded mode) while the rebuilder writes it back.
+  Status StartRebuild(int i);
+  Status RepairDisk(int i);
+  // Index of the failed disk, or -1 if all disks are healthy.
+  int failed_disk() const;
+
+  // dst ^= src, elementwise. Both must be block_size() long.
+  void XorInto(Block& dst, const Block& src) const;
+
+  // XOR of the given blocks; used both to compute parity at placement time
+  // and to reconstruct a lost block from the surviving members of its
+  // parity group. `addrs` must be non-empty and all on healthy disks.
+  Result<Block> XorOf(const std::vector<BlockAddress>& addrs) const;
+
+ private:
+  std::int64_t block_size_;
+  std::vector<SimDisk> disks_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_DISK_DISK_ARRAY_H_

@@ -1,0 +1,65 @@
+#include "disk/disk_params.h"
+
+#include <cstdio>
+
+#include "util/units.h"
+
+namespace cmfs {
+
+DiskParams DiskParams::Sigmod96() {
+  DiskParams p;
+  p.transfer_rate = MbpsToBytesPerSec(45.0);
+  p.settle_time = MsToSec(0.6);
+  p.worst_seek = MsToSec(17.0);
+  p.worst_rotational = MsToSec(8.34);
+  p.capacity_bytes = 2 * kGiB;
+  p.num_cylinders = 2000;
+  p.min_seek = MsToSec(1.5);
+  return p;
+}
+
+DiskParams DiskParams::Sigmod96Zoned(double outer_ratio) {
+  DiskParams p = Sigmod96();
+  p.outer_transfer_rate = p.transfer_rate * outer_ratio;
+  return p;
+}
+
+double DiskParams::TransferRateAt(int cylinder) const {
+  if (outer_transfer_rate <= 0.0 || num_cylinders <= 1) {
+    return transfer_rate;
+  }
+  const double frac =
+      static_cast<double>(cylinder) / (num_cylinders - 1);
+  return outer_transfer_rate +
+         (transfer_rate - outer_transfer_rate) * frac;
+}
+
+std::string DiskParams::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "DiskParams{rd=%.1f Mbps, tsettle=%.2f ms, tseek=%.2f ms, "
+                "trot=%.2f ms, Cd=%lld MiB}",
+                BytesPerSecToMbps(transfer_rate), SecToMs(settle_time),
+                SecToMs(worst_seek), SecToMs(worst_rotational),
+                static_cast<long long>(capacity_bytes / kMiB));
+  return buf;
+}
+
+ServerParams ServerParams::Sigmod96(std::int64_t buffer_bytes) {
+  ServerParams p;
+  p.playback_rate = MbpsToBytesPerSec(1.5);
+  p.num_disks = 32;
+  p.buffer_bytes = buffer_bytes;
+  return p;
+}
+
+std::string ServerParams::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "ServerParams{rp=%.2f Mbps, d=%d, B=%lld MiB}",
+                BytesPerSecToMbps(playback_rate), num_disks,
+                static_cast<long long>(buffer_bytes / kMiB));
+  return buf;
+}
+
+}  // namespace cmfs

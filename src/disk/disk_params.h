@@ -1,0 +1,78 @@
+#ifndef CMFS_DISK_DISK_PARAMS_H_
+#define CMFS_DISK_DISK_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+// Disk and system parameters (Figure 1 of the paper).
+
+namespace cmfs {
+
+// Physical parameters of one disk. All times in seconds, rates in
+// bytes/second, sizes in bytes.
+struct DiskParams {
+  // Inner-track transfer rate r_d. The paper uses the inner-track (lowest)
+  // rate so the continuity bound is conservative on a zoned disk.
+  double transfer_rate = 0.0;
+  // Outer-track transfer rate for the zoned (multi-zone recording) disk
+  // model; 0 disables zoning. Era disks transferred 1.5-2x faster on the
+  // outer cylinders; the service-time simulator interpolates linearly by
+  // cylinder (cylinder 0 = outermost = fastest) while the analytical
+  // model keeps using the conservative inner rate, and
+  // bench_ablation_zoning measures the slack that leaves on the table.
+  double outer_transfer_rate = 0.0;
+  // Head settle time t_settle.
+  double settle_time = 0.0;
+  // Worst-case (full stroke) seek latency t_seek.
+  double worst_seek = 0.0;
+  // Worst-case rotational latency t_rot (one full revolution).
+  double worst_rotational = 0.0;
+  // Disk capacity C_d.
+  std::int64_t capacity_bytes = 0;
+
+  // Geometry used by the service-time simulator (not by the analytical
+  // model, which only consumes the worst-case figures above).
+  int num_cylinders = 2000;
+  // Minimum (track-to-track) seek time; anchors the low end of the seek
+  // curve. The high end is anchored at worst_seek.
+  double min_seek = 0.0;
+
+  // Total worst-case per-request latency t_lat = t_seek + t_rot + t_settle.
+  double WorstLatency() const {
+    return worst_seek + worst_rotational + settle_time;
+  }
+
+  // Transfer rate at a given cylinder: linear interpolation from
+  // outer_transfer_rate (cylinder 0) to transfer_rate (last cylinder);
+  // the flat inner rate when zoning is disabled.
+  double TransferRateAt(int cylinder) const;
+
+  // The exact parameter values from Figure 1 of the paper:
+  //   r_d = 45 Mbps, t_settle = 0.6 ms, t_seek = 17 ms, t_rot = 8.34 ms,
+  //   C_d = 2 GB.
+  static DiskParams Sigmod96();
+
+  // Sigmod96 plus a zoned recording surface with the given outer:inner
+  // rate ratio (e.g. 1.6).
+  static DiskParams Sigmod96Zoned(double outer_ratio);
+
+  std::string ToString() const;
+};
+
+// Server-wide parameters (lower half of Figure 1).
+struct ServerParams {
+  // Playback rate r_p for a clip (bytes/second). Figure 1: 1.5 Mbps MPEG-1.
+  double playback_rate = 0.0;
+  // Number of disks d.
+  int num_disks = 0;
+  // Total server RAM buffer B in bytes.
+  std::int64_t buffer_bytes = 0;
+
+  static ServerParams Sigmod96(std::int64_t buffer_bytes);
+
+  std::string ToString() const;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_DISK_DISK_PARAMS_H_

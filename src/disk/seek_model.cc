@@ -1,0 +1,39 @@
+#include "disk/seek_model.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace cmfs {
+
+SeekModel::SeekModel(const DiskParams& params, SeekCurve curve)
+    : curve_(curve), num_cylinders_(params.num_cylinders) {
+  CMFS_CHECK(params.num_cylinders >= 2);
+  CMFS_CHECK(params.worst_seek > 0.0);
+  const double max_dist = static_cast<double>(num_cylinders_ - 1);
+  if (curve == SeekCurve::kLinear) {
+    a_ = 0.0;
+    b_ = 0.0;
+    c_ = params.worst_seek / max_dist;
+  } else {
+    CMFS_CHECK(params.min_seek > 0.0);
+    CMFS_CHECK(params.worst_seek >= params.min_seek);
+    const double span = params.worst_seek - params.min_seek;
+    // Anchor seek(1) == min_seek and seek(max_dist) == worst_seek with
+    // the min->max span split evenly between the sqrt and linear terms:
+    //   b*(sqrt(D)-1) = c*(D-1) = span/2.
+    b_ = span / (2.0 * (std::sqrt(max_dist) - 1.0));
+    c_ = span / (2.0 * (max_dist - 1.0));
+    a_ = params.min_seek - b_ - c_;
+    CMFS_CHECK(a_ >= 0.0);
+  }
+}
+
+double SeekModel::SeekTime(int dist) const {
+  CMFS_DCHECK(dist >= 0 && dist < num_cylinders_);
+  if (dist == 0) return 0.0;
+  return a_ + b_ * std::sqrt(static_cast<double>(dist)) +
+         c_ * static_cast<double>(dist);
+}
+
+}  // namespace cmfs

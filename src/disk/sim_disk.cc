@@ -1,0 +1,64 @@
+#include "disk/sim_disk.h"
+
+#include <algorithm>
+#include <string>
+
+namespace cmfs {
+
+SimDisk::SimDisk(const DiskParams& params, std::int64_t block_size)
+    : params_(params), block_size_(block_size) {
+  CMFS_CHECK(block_size > 0);
+  num_blocks_ = params.capacity_bytes / block_size;
+  CMFS_CHECK(num_blocks_ > 0);
+  blocks_per_cylinder_ =
+      (num_blocks_ + params.num_cylinders - 1) / params.num_cylinders;
+}
+
+Status SimDisk::Write(std::int64_t block, const Block& data) {
+  if (state_ == State::kFailed) {
+    return Status::FailedPrecondition("write to failed disk");
+  }
+  if (block < 0 || block >= num_blocks_) {
+    return Status::InvalidArgument("block " + std::to_string(block) +
+                                   " out of range");
+  }
+  if (static_cast<std::int64_t>(data.size()) != block_size_) {
+    return Status::InvalidArgument("write size != block size");
+  }
+  content_[block] = data;
+  return Status::Ok();
+}
+
+Result<Block> SimDisk::Read(std::int64_t block) const {
+  if (state_ != State::kHealthy) {
+    return Status::FailedPrecondition("read from failed/rebuilding disk");
+  }
+  if (block < 0 || block >= num_blocks_) {
+    return Status::InvalidArgument("block " + std::to_string(block) +
+                                   " out of range");
+  }
+  auto it = content_.find(block);
+  if (it == content_.end()) {
+    return Block(static_cast<std::size_t>(block_size_), 0);
+  }
+  return it->second;
+}
+
+bool SimDisk::IsWritten(std::int64_t block) const {
+  return content_.find(block) != content_.end();
+}
+
+std::int64_t SimDisk::HighestWrittenBlock() const {
+  std::int64_t highest = -1;
+  for (const auto& [block, data] : content_) {
+    highest = std::max(highest, block);
+  }
+  return highest;
+}
+
+int SimDisk::CylinderOf(std::int64_t block) const {
+  CMFS_DCHECK(block >= 0 && block < num_blocks_);
+  return static_cast<int>(block / blocks_per_cylinder_);
+}
+
+}  // namespace cmfs

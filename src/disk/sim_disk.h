@@ -1,0 +1,77 @@
+#ifndef CMFS_DISK_SIM_DISK_H_
+#define CMFS_DISK_SIM_DISK_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "disk/disk_params.h"
+#include "util/status.h"
+
+// Byte-accurate simulated disk.
+//
+// Content is stored sparsely (only blocks that were written); unwritten
+// blocks read back as zeros, which is also the XOR identity so parity
+// computations over partially-filled parity groups remain exact. A failed
+// disk rejects all I/O until repaired — the fault the paper's schemes must
+// mask.
+
+namespace cmfs {
+
+using Block = std::vector<std::uint8_t>;
+
+class SimDisk {
+ public:
+  SimDisk(const DiskParams& params, std::int64_t block_size);
+
+  // Number of block_size-sized blocks that fit in the capacity.
+  std::int64_t num_blocks() const { return num_blocks_; }
+  std::int64_t block_size() const { return block_size_; }
+  const DiskParams& params() const { return params_; }
+
+  // Whole-block write. data.size() must equal block_size().
+  Status Write(std::int64_t block, const Block& data);
+
+  // Whole-block read; zero-filled if the block was never written.
+  Result<Block> Read(std::int64_t block) const;
+
+  // True if the block has been written since construction/repair.
+  bool IsWritten(std::int64_t block) const;
+
+  // Highest block index ever written (-1 if none) — the natural scan
+  // bound for a full-disk rebuild.
+  std::int64_t HighestWrittenBlock() const;
+
+  // Failure lifecycle. Fail() drops no data (a failed disk is
+  // inaccessible, not erased). StartRebuild() models a blank replacement
+  // being populated: content is cleared, writes succeed (the rebuilder's),
+  // reads still fail so clients keep using degraded-mode reconstruction.
+  // Repair() completes the cycle and restores full access.
+  enum class State { kHealthy, kFailed, kRebuilding };
+
+  void Fail() { state_ = State::kFailed; }
+  void StartRebuild() {
+    state_ = State::kRebuilding;
+    content_.clear();
+  }
+  void Repair() { state_ = State::kHealthy; }
+  State state() const { return state_; }
+  // True while reads are unavailable (failed or rebuilding).
+  bool failed() const { return state_ != State::kHealthy; }
+
+  // Cylinder holding this block, for C-SCAN timing. Blocks are laid out
+  // densely: cylinder = block / blocks_per_cylinder.
+  int CylinderOf(std::int64_t block) const;
+
+ private:
+  DiskParams params_;
+  std::int64_t block_size_;
+  std::int64_t num_blocks_;
+  std::int64_t blocks_per_cylinder_;
+  State state_ = State::kHealthy;
+  std::unordered_map<std::int64_t, Block> content_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_DISK_SIM_DISK_H_

@@ -1,0 +1,117 @@
+#include "layout/declustered_layout.h"
+
+#include <algorithm>
+
+namespace cmfs {
+
+DeclusteredCore::DeclusteredCore(Pgt pgt) : pgt_(std::move(pgt)) {
+  // An Ideal (row-structure-only) PGT is accepted: row/disk routing works,
+  // while set/parity-group queries CHECK-fail inside Pgt.
+}
+
+int DeclusteredCore::ParityMember(int set_id, std::int64_t n) const {
+  const auto& members = pgt_.SetMembers(set_id);
+  const int k = static_cast<int>(members.size());
+  // Successive instances rotate parity over the members in descending
+  // member order, matching the paper's example (instances 0,1,2 of
+  // S0 = {0,1,3} put parity on disks 3, 1, 0).
+  const int idx = (k - 1 - static_cast<int>(n % k)) % k;
+  return members[static_cast<std::size_t>(idx)];
+}
+
+bool DeclusteredCore::IsParityBlock(int disk, std::int64_t block) const {
+  const int row = static_cast<int>(block % rows());
+  const std::int64_t n = block / rows();
+  const int set_id = pgt_.SetAt(row, disk);
+  return ParityMember(set_id, n) == disk;
+}
+
+std::int64_t DeclusteredCore::InstanceOf(int disk, int row,
+                                         std::int64_t m) const {
+  const int set_id = pgt_.SetAt(row, disk);
+  const auto& members = pgt_.SetMembers(set_id);
+  const int k = static_cast<int>(members.size());
+  const auto it = std::lower_bound(members.begin(), members.end(), disk);
+  CMFS_CHECK(it != members.end() && *it == disk);
+  const int pos = static_cast<int>(it - members.begin());
+  // Instance n holds parity on this disk iff n mod k == k - 1 - pos; the
+  // m-th data instance skips that residue.
+  const int parity_residue = k - 1 - pos;
+  const std::int64_t period = m / (k - 1);
+  int offset = static_cast<int>(m % (k - 1));
+  if (offset >= parity_residue) ++offset;
+  return period * k + offset;
+}
+
+std::int64_t DeclusteredCore::DataSlot(int disk, int row,
+                                       std::int64_t m) const {
+  return InstanceOf(disk, row, m) * rows() + row;
+}
+
+ParityGroupInfo DeclusteredCore::GroupForInstance(int disk, int row,
+                                                  std::int64_t n) const {
+  const int set_id = pgt_.SetAt(row, disk);
+  const auto& members = pgt_.SetMembers(set_id);
+  const int parity_disk = ParityMember(set_id, n);
+  ParityGroupInfo group;
+  group.data.reserve(members.size() - 1);
+  for (int member : members) {
+    const std::int64_t block =
+        n * rows() + pgt_.RowOf(set_id, member);
+    if (member == parity_disk) {
+      group.parity = BlockAddress{member, block};
+    } else {
+      group.data.push_back(BlockAddress{member, block});
+    }
+  }
+  return group;
+}
+
+DeclusteredLayout::DeclusteredLayout(Pgt pgt, std::int64_t capacity)
+    : core_(std::move(pgt)), capacity_(capacity) {
+  CMFS_CHECK(capacity > 0);
+}
+
+std::int64_t DeclusteredLayout::space_capacity(int space) const {
+  CMFS_CHECK(space == 0);
+  return capacity_;
+}
+
+int DeclusteredLayout::RowOfIndex(std::int64_t index) const {
+  return static_cast<int>((index / num_disks()) % core_.rows());
+}
+
+BlockAddress DeclusteredLayout::DataAddress(int space,
+                                            std::int64_t index) const {
+  CMFS_CHECK(space == 0);
+  CMFS_CHECK(index >= 0 && index < capacity_);
+  const int disk = static_cast<int>(index % num_disks());
+  const int row = RowOfIndex(index);
+  // One data block lands on each (disk, row) per d*r logical blocks.
+  const std::int64_t m =
+      index / (static_cast<std::int64_t>(num_disks()) * core_.rows());
+  return BlockAddress{disk, core_.DataSlot(disk, row, m)};
+}
+
+Result<ParityGroupInfo> DeclusteredLayout::GroupOfPhysical(
+    const BlockAddress& addr) const {
+  if (addr.disk < 0 || addr.disk >= num_disks() || addr.block < 0) {
+    return Status::InvalidArgument("address out of range");
+  }
+  const int row = static_cast<int>(addr.block % core_.rows());
+  const std::int64_t n = addr.block / core_.rows();
+  return core_.GroupForInstance(addr.disk, row, n);
+}
+
+ParityGroupInfo DeclusteredLayout::GroupOf(int space,
+                                           std::int64_t index) const {
+  CMFS_CHECK(space == 0);
+  CMFS_CHECK(index >= 0 && index < capacity_);
+  const int disk = static_cast<int>(index % num_disks());
+  const int row = RowOfIndex(index);
+  const std::int64_t m =
+      index / (static_cast<std::int64_t>(num_disks()) * core_.rows());
+  return core_.GroupForInstance(disk, row, core_.InstanceOf(disk, row, m));
+}
+
+}  // namespace cmfs

@@ -1,0 +1,80 @@
+#ifndef CMFS_LAYOUT_DECLUSTERED_LAYOUT_H_
+#define CMFS_LAYOUT_DECLUSTERED_LAYOUT_H_
+
+#include <memory>
+
+#include "bibd/pgt.h"
+#include "layout/layout.h"
+
+// Declustered-parity placement (§4.1, Figure 2 of the paper).
+//
+// Disk block b of disk i is mapped to the set PGT[b mod r][i]; within each
+// window of r consecutive disk blocks, blocks mapped to the same set form
+// one parity group, whose parity member rotates over the set's disks in
+// successive instances (matching the paper's worked example exactly — see
+// tests/declustered_layout_test.cc).
+
+namespace cmfs {
+
+// PGT-based address arithmetic shared by the declustered (§4) and
+// super-clip (§5) layouts. All functions are O(1) or O(p).
+class DeclusteredCore {
+ public:
+  explicit DeclusteredCore(Pgt pgt);
+
+  const Pgt& pgt() const { return pgt_; }
+  int num_disks() const { return pgt_.num_disks(); }
+  int rows() const { return pgt_.rows(); }
+  int group_size() const { return pgt_.group_size(); }
+
+  // True iff physical block `block` of `disk` holds parity.
+  bool IsParityBlock(int disk, std::int64_t block) const;
+
+  // Physical block index of the m-th data (non-parity) block of `disk`
+  // among blocks mapped to `row` (m = 0, 1, ...). This realizes Figure 2's
+  // "minimum n >= 0 for which disk block j + n*r is not a parity block and
+  // not already allocated".
+  std::int64_t DataSlot(int disk, int row, std::int64_t m) const;
+
+  // Group instance index n such that DataSlot(disk, row, m) == n*r + row.
+  std::int64_t InstanceOf(int disk, int row, std::int64_t m) const;
+
+  // Parity group of instance n of the set at (row, disk): data members on
+  // each non-parity member disk, parity on the rotating parity member.
+  ParityGroupInfo GroupForInstance(int disk, int row, std::int64_t n) const;
+
+  // Member disk holding parity for instance n of `set_id`.
+  int ParityMember(int set_id, std::int64_t n) const;
+
+ private:
+  Pgt pgt_;
+};
+
+// Single-address-space declustered layout: consecutive logical data blocks
+// on consecutive disks, with the row advancing by one (mod r) each time
+// the disk index wraps — the concatenated-super-clip placement of §4.1.
+class DeclusteredLayout : public Layout {
+ public:
+  // `capacity` = logical data blocks addressable (space 0).
+  DeclusteredLayout(Pgt pgt, std::int64_t capacity);
+
+  int num_disks() const override { return core_.num_disks(); }
+  int group_size() const override { return core_.group_size(); }
+  std::int64_t space_capacity(int space) const override;
+  BlockAddress DataAddress(int space, std::int64_t index) const override;
+  ParityGroupInfo GroupOf(int space, std::int64_t index) const override;
+  Result<ParityGroupInfo> GroupOfPhysical(
+      const BlockAddress& addr) const override;
+
+  const DeclusteredCore& core() const { return core_; }
+  // PGT row of logical block `index`: (index / d) mod r.
+  int RowOfIndex(std::int64_t index) const;
+
+ private:
+  DeclusteredCore core_;
+  std::int64_t capacity_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_LAYOUT_DECLUSTERED_LAYOUT_H_

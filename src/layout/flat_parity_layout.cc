@@ -1,0 +1,135 @@
+#include "layout/flat_parity_layout.h"
+
+namespace cmfs {
+
+FlatParityLayout::FlatParityLayout(int num_disks, int group_size,
+                                   std::int64_t capacity)
+    : num_disks_(num_disks), group_size_(group_size), capacity_(capacity) {
+  CMFS_CHECK(group_size >= 2);
+  CMFS_CHECK(num_disks > group_size - 1);
+  CMFS_CHECK(capacity > 0);
+  // Pad the data region to whole groups so every group member (some may
+  // lie beyond the stored data and read as zeros) has a data slot.
+  const std::int64_t padded =
+      (capacity + group_size - 2) / (group_size - 1) * (group_size - 1);
+  data_slots_per_disk_ = (padded + num_disks - 1) / num_disks;
+
+  // Assign parity slots: one region after the data slots, filled per disk
+  // in group-id order.
+  const std::int64_t num_groups = padded / (group_size - 1);
+  parity_slot_.resize(static_cast<std::size_t>(num_groups));
+  std::vector<std::int64_t> next(static_cast<std::size_t>(num_disks),
+                                 data_slots_per_disk_);
+  parity_groups_by_disk_.assign(static_cast<std::size_t>(num_disks), {});
+  for (std::int64_t g = 0; g < num_groups; ++g) {
+    const int disk = ParityDiskOfGroup(g);
+    parity_slot_[static_cast<std::size_t>(g)] =
+        next[static_cast<std::size_t>(disk)]++;
+    parity_groups_by_disk_[static_cast<std::size_t>(disk)].push_back(g);
+  }
+}
+
+std::int64_t FlatParityLayout::space_capacity(int space) const {
+  CMFS_CHECK(space == 0);
+  return capacity_;
+}
+
+int FlatParityLayout::ParityDiskOfGroup(std::int64_t group) const {
+  // General (wrap-around) form of the paper's rule: the group occupies
+  // p-1 consecutive disks (mod d); its parity goes to the
+  // (slot mod (d-(p-1)))-th disk following the group's last disk, which
+  // is always outside the group. With (p-1) | d this reduces exactly to
+  // the paper's aligned-cluster formula.
+  const int last_disk = static_cast<int>(
+      ((group + 1) * (group_size_ - 1) - 1) % num_disks_);
+  const std::int64_t slot = group * (group_size_ - 1) / num_disks_;
+  return (last_disk + 1 + ParityClassOfSlot(slot)) % num_disks_;
+}
+
+BlockAddress FlatParityLayout::DataAddress(int space,
+                                           std::int64_t index) const {
+  CMFS_CHECK(space == 0);
+  CMFS_CHECK(index >= 0 && index < capacity_);
+  return BlockAddress{static_cast<int>(index % num_disks_),
+                      index / num_disks_};
+}
+
+ParityGroupInfo FlatParityLayout::GroupOf(int space,
+                                          std::int64_t index) const {
+  CMFS_CHECK(space == 0);
+  CMFS_CHECK(index >= 0 && index < capacity_);
+  const std::int64_t group = index / (group_size_ - 1);
+  ParityGroupInfo info;
+  info.data.reserve(static_cast<std::size_t>(group_size_ - 1));
+  for (std::int64_t n = group * (group_size_ - 1);
+       n < (group + 1) * (group_size_ - 1); ++n) {
+    info.data.push_back(
+        BlockAddress{static_cast<int>(n % num_disks_), n / num_disks_});
+  }
+  info.parity = BlockAddress{ParityDiskOfGroup(group),
+                             parity_slot_[static_cast<std::size_t>(group)]};
+  return info;
+}
+
+namespace {
+
+ParityGroupInfo FlatGroupInfo(std::int64_t group, int group_size,
+                              int num_disks,
+                              const std::vector<std::int64_t>& parity_slot,
+                              int parity_disk) {
+  ParityGroupInfo info;
+  info.data.reserve(static_cast<std::size_t>(group_size - 1));
+  for (std::int64_t n = group * (group_size - 1);
+       n < (group + 1) * (group_size - 1); ++n) {
+    info.data.push_back(
+        BlockAddress{static_cast<int>(n % num_disks), n / num_disks});
+  }
+  info.parity = BlockAddress{
+      parity_disk, parity_slot[static_cast<std::size_t>(group)]};
+  return info;
+}
+
+}  // namespace
+
+Result<ParityGroupInfo> FlatParityLayout::GroupOfPhysical(
+    const BlockAddress& addr) const {
+  if (addr.disk < 0 || addr.disk >= num_disks_ || addr.block < 0) {
+    return Status::InvalidArgument("address out of range");
+  }
+  if (addr.block < data_slots_per_disk_) {
+    // Data region: invert n = block * d + disk.
+    const std::int64_t n = addr.block * num_disks_ + addr.disk;
+    const std::int64_t group = n / (group_size_ - 1);
+    if (group >= static_cast<std::int64_t>(parity_slot_.size())) {
+      return Status::InvalidArgument("block beyond the padded data region");
+    }
+    return FlatGroupInfo(group, group_size_, num_disks_, parity_slot_,
+                         ParityDiskOfGroup(group));
+  }
+  // Parity region: slots were assigned per disk in group-id order.
+  const auto& groups =
+      parity_groups_by_disk_[static_cast<std::size_t>(addr.disk)];
+  const std::int64_t offset = addr.block - data_slots_per_disk_;
+  if (offset >= static_cast<std::int64_t>(groups.size())) {
+    return Status::InvalidArgument("block beyond the parity region");
+  }
+  const std::int64_t group = groups[static_cast<std::size_t>(offset)];
+  return FlatGroupInfo(group, group_size_, num_disks_, parity_slot_,
+                       addr.disk);
+}
+
+std::vector<std::int64_t> FlatParityLayout::GroupPeers(
+    int space, std::int64_t index) const {
+  CMFS_CHECK(space == 0);
+  CMFS_CHECK(index >= 0 && index < capacity_);
+  const std::int64_t group = index / (group_size_ - 1);
+  std::vector<std::int64_t> peers;
+  peers.reserve(static_cast<std::size_t>(group_size_ - 2));
+  for (std::int64_t i = group * (group_size_ - 1);
+       i < (group + 1) * (group_size_ - 1) && i < capacity_; ++i) {
+    if (i != index) peers.push_back(i);
+  }
+  return peers;
+}
+
+}  // namespace cmfs

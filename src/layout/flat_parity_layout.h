@@ -1,0 +1,72 @@
+#ifndef CMFS_LAYOUT_FLAT_PARITY_LAYOUT_H_
+#define CMFS_LAYOUT_FLAT_PARITY_LAYOUT_H_
+
+#include <vector>
+
+#include "layout/layout.h"
+
+// Uniform, flat parity placement without parity disks (§6.2, Figure 3).
+//
+// Data blocks go round-robin over ALL disks; p-1 consecutive data blocks
+// occupy p-1 consecutive disks and form a parity group whose parity block
+// is stored on the (slot mod (d-(p-1)))-th disk following the group's
+// last disk — rotating parity over the disks *outside* the group, which
+// spreads the failure-time parity-fetch load uniformly. Parity blocks
+// live in a region after the data slots, assigned per disk in group-id
+// order.
+//
+// When (p-1) | d the groups tile the array into the paper's fixed
+// clusters and the §6.2 admission rule's per-class bound is exact. The
+// layout also accepts (p-1) not dividing d (the paper's own d=32 sweep
+// needs p in {4,8,16,32}): groups then wrap around the array; parity
+// correctness and reconstruction are unaffected, but the per-class
+// admission bound is only approximate, so failure drills should use
+// divisible configurations (see DESIGN.md).
+
+namespace cmfs {
+
+class FlatParityLayout : public Layout {
+ public:
+  // Requires p >= 2, d > p-1. `capacity` = logical data blocks.
+  FlatParityLayout(int num_disks, int group_size, std::int64_t capacity);
+
+  int num_disks() const override { return num_disks_; }
+  int group_size() const override { return group_size_; }
+  std::int64_t space_capacity(int space) const override;
+  BlockAddress DataAddress(int space, std::int64_t index) const override;
+  ParityGroupInfo GroupOf(int space, std::int64_t index) const override;
+  std::vector<std::int64_t> GroupPeers(int space,
+                                       std::int64_t index) const override;
+  Result<ParityGroupInfo> GroupOfPhysical(
+      const BlockAddress& addr) const override;
+
+  // Disk holding the parity of group `group` (the paper's formula,
+  // generalized to wrap-around groups).
+  int ParityDiskOfGroup(std::int64_t group) const;
+  // Residue class i mod (d-(p-1)) of slot i — all groups of a cluster in
+  // the same class share a parity disk, which is what the §6.2 admission
+  // rule constrains ("clips accessing data blocks with parity blocks on
+  // the same disk").
+  int ParityClassOfSlot(std::int64_t slot) const {
+    return static_cast<int>(slot % (num_disks_ - (group_size_ - 1)));
+  }
+
+  // Number of data slots per disk (capacity rounded up); the parity
+  // region starts at this block index.
+  std::int64_t data_slots_per_disk() const { return data_slots_per_disk_; }
+
+ private:
+  int num_disks_;
+  int group_size_;
+  std::int64_t capacity_;
+  std::int64_t data_slots_per_disk_;
+  // Physical block index of each group's parity block on its parity disk.
+  std::vector<std::int64_t> parity_slot_;
+  // Reverse map: per disk, the group ids whose parity occupies slots
+  // data_slots_per_disk_, data_slots_per_disk_ + 1, ... in order.
+  std::vector<std::vector<std::int64_t>> parity_groups_by_disk_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_LAYOUT_FLAT_PARITY_LAYOUT_H_

@@ -1,0 +1,99 @@
+#include "layout/layout.h"
+
+#include <set>
+#include <string>
+#include <utility>
+
+namespace cmfs {
+
+std::vector<std::int64_t> Layout::GroupPeers(int space,
+                                             std::int64_t index) const {
+  (void)space;
+  (void)index;
+  CMFS_CHECK(false && "GroupPeers: groups are not contiguous logical runs");
+  return {};
+}
+
+Status WriteDataBlock(const Layout& layout, DiskArray& array, int space,
+                      std::int64_t index, const Block& data) {
+  if (space < 0 || space >= layout.num_spaces()) {
+    return Status::InvalidArgument("space out of range");
+  }
+  if (index < 0 || index >= layout.space_capacity(space)) {
+    return Status::InvalidArgument("logical index out of range");
+  }
+  const BlockAddress addr = layout.DataAddress(space, index);
+  Result<Block> old_data = array.Read(addr);
+  if (!old_data.ok()) return old_data.status();
+
+  const ParityGroupInfo group = layout.GroupOf(space, index);
+  Result<Block> parity = array.Read(group.parity);
+  if (!parity.ok()) return parity.status();
+
+  // parity' = parity ^ old ^ new keeps the group XOR-zero invariant.
+  Block new_parity = *std::move(parity);
+  array.XorInto(new_parity, *old_data);
+  array.XorInto(new_parity, data);
+
+  Status st = array.Write(addr, data);
+  if (!st.ok()) return st;
+  return array.Write(group.parity, new_parity);
+}
+
+Result<Block> ReadDataBlock(const Layout& layout, const DiskArray& array,
+                            int space, std::int64_t index) {
+  if (space < 0 || space >= layout.num_spaces()) {
+    return Status::InvalidArgument("space out of range");
+  }
+  if (index < 0 || index >= layout.space_capacity(space)) {
+    return Status::InvalidArgument("logical index out of range");
+  }
+  const BlockAddress addr = layout.DataAddress(space, index);
+  if (!array.disk(addr.disk).failed()) {
+    return array.Read(addr);
+  }
+  // Degraded mode: XOR the surviving group members and the parity block.
+  const ParityGroupInfo group = layout.GroupOf(space, index);
+  std::vector<BlockAddress> survivors;
+  survivors.reserve(group.data.size());
+  for (const BlockAddress& member : group.data) {
+    if (member == addr) continue;
+    survivors.push_back(member);
+  }
+  survivors.push_back(group.parity);
+  return array.XorOf(survivors);
+}
+
+Status VerifyParity(const Layout& layout, const DiskArray& array,
+                    std::int64_t blocks_per_space,
+                    std::int64_t* groups_checked) {
+  std::int64_t checked = 0;
+  for (int space = 0; space < layout.num_spaces(); ++space) {
+    // Parity addresses are unique per group, so they dedupe group visits.
+    std::set<std::pair<int, std::int64_t>> seen;
+    const std::int64_t limit =
+        std::min(blocks_per_space, layout.space_capacity(space));
+    for (std::int64_t index = 0; index < limit; ++index) {
+      const ParityGroupInfo group = layout.GroupOf(space, index);
+      if (!seen.insert({group.parity.disk, group.parity.block}).second) {
+        continue;
+      }
+      std::vector<BlockAddress> all = group.data;
+      all.push_back(group.parity);
+      Result<Block> acc = array.XorOf(all);
+      if (!acc.ok()) return acc.status();
+      for (std::uint8_t byte : *acc) {
+        if (byte != 0) {
+          return Status::Internal(
+              "parity group containing space " + std::to_string(space) +
+              " block " + std::to_string(index) + " does not XOR to zero");
+        }
+      }
+      ++checked;
+    }
+  }
+  if (groups_checked != nullptr) *groups_checked = checked;
+  return Status::Ok();
+}
+
+}  // namespace cmfs

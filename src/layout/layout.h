@@ -1,0 +1,94 @@
+#ifndef CMFS_LAYOUT_LAYOUT_H_
+#define CMFS_LAYOUT_LAYOUT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "disk/disk_array.h"
+#include "util/status.h"
+
+// Data/parity placement engines, one per scheme (§4.1, §5.1, §6.1, §6.2).
+//
+// A layout maps the logical blocks of one or more address spaces
+// (super-clips) onto physical (disk, disk-block) addresses and defines the
+// parity groups. Controllers consult it for stream routing; the storage
+// path uses it to write data, compute parity, and reconstruct after a
+// failure.
+
+namespace cmfs {
+
+// One parity group: the physical addresses of its k-1 data blocks (some of
+// which may be beyond the stored data and thus read as zeros) plus its
+// parity block.
+struct ParityGroupInfo {
+  std::vector<BlockAddress> data;
+  BlockAddress parity;
+};
+
+class Layout {
+ public:
+  virtual ~Layout() = default;
+
+  virtual int num_disks() const = 0;
+  // Parity group size p (data members + parity).
+  virtual int group_size() const = 0;
+  // Number of logical address spaces (super-clips). 1 except for the
+  // dynamic-reservation layout, which has one per PGT row.
+  virtual int num_spaces() const { return 1; }
+  // Logical data blocks addressable per space.
+  virtual std::int64_t space_capacity(int space) const = 0;
+
+  // Physical address of logical data block `index` of `space`.
+  virtual BlockAddress DataAddress(int space, std::int64_t index) const = 0;
+
+  // Parity group containing that data block.
+  virtual ParityGroupInfo GroupOf(int space, std::int64_t index) const = 0;
+
+  // Logical indices (same space) of the other data members of `index`'s
+  // parity group. Only meaningful for layouts whose groups are contiguous
+  // logical runs (the pre-fetching/clustered layouts, where the server
+  // reconstructs from buffered peers); others CHECK-fail.
+  virtual std::vector<std::int64_t> GroupPeers(int space,
+                                               std::int64_t index) const;
+
+  // Reverse map for rebuild: the parity group containing physical block
+  // `addr`, whether it holds data or parity. Because every group XORs to
+  // zero, the block's content equals the XOR of the other members —
+  // which is how a replacement disk is reconstructed online
+  // (core/rebuild.h). Fails for physical blocks outside the layout's
+  // data/parity regions.
+  virtual Result<ParityGroupInfo> GroupOfPhysical(
+      const BlockAddress& addr) const = 0;
+
+  // Disk that serves logical block `index`; equals DataAddress().disk but
+  // never requires a capacity check, so controllers can route arbitrarily
+  // far ahead. Default: round-robin over all disks; layouts with dedicated
+  // parity disks stripe over data disks only and override.
+  virtual int DiskOf(std::int64_t index) const {
+    return static_cast<int>(index % num_disks());
+  }
+};
+
+// Writes `data` as logical block `index` of `space` and updates the
+// group's parity block incrementally (parity ^= old_data ^ new_data). The
+// group's parity disk must be healthy.
+Status WriteDataBlock(const Layout& layout, DiskArray& array, int space,
+                      std::int64_t index, const Block& data);
+
+// Reads logical block `index`. If its disk has failed, reconstructs the
+// block by XOR-ing the surviving members of its parity group (the paper's
+// degraded-mode read).
+Result<Block> ReadDataBlock(const Layout& layout, const DiskArray& array,
+                            int space, std::int64_t index);
+
+// Verifies that every parity group touching the first `blocks_per_space`
+// logical blocks of every space XORs to zero (parity invariant). Returns
+// the number of groups checked via *groups_checked if non-null.
+Status VerifyParity(const Layout& layout, const DiskArray& array,
+                    std::int64_t blocks_per_space,
+                    std::int64_t* groups_checked = nullptr);
+
+}  // namespace cmfs
+
+#endif  // CMFS_LAYOUT_LAYOUT_H_

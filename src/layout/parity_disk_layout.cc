@@ -1,0 +1,97 @@
+#include "layout/parity_disk_layout.h"
+
+namespace cmfs {
+
+ParityDiskLayout::ParityDiskLayout(int num_disks, int group_size,
+                                   std::int64_t capacity)
+    : num_disks_(num_disks), group_size_(group_size), capacity_(capacity) {
+  CMFS_CHECK(group_size >= 2);
+  CMFS_CHECK(num_disks >= group_size);
+  CMFS_CHECK(num_disks % group_size == 0);
+  CMFS_CHECK(capacity > 0);
+}
+
+std::int64_t ParityDiskLayout::space_capacity(int space) const {
+  CMFS_CHECK(space == 0);
+  return capacity_;
+}
+
+bool ParityDiskLayout::IsParityDisk(int disk) const {
+  CMFS_CHECK(disk >= 0 && disk < num_disks_);
+  return disk % group_size_ == group_size_ - 1;
+}
+
+int ParityDiskLayout::PhysicalDataDisk(int data_disk_index) const {
+  CMFS_CHECK(data_disk_index >= 0 && data_disk_index < num_data_disks());
+  const int cluster = data_disk_index / (group_size_ - 1);
+  const int within = data_disk_index % (group_size_ - 1);
+  return cluster * group_size_ + within;
+}
+
+int ParityDiskLayout::ClusterOfGroup(std::int64_t group) const {
+  return static_cast<int>(group % num_clusters());
+}
+
+int ParityDiskLayout::DiskOf(std::int64_t index) const {
+  return PhysicalDataDisk(static_cast<int>(index % num_data_disks()));
+}
+
+BlockAddress ParityDiskLayout::DataAddress(int space,
+                                           std::int64_t index) const {
+  CMFS_CHECK(space == 0);
+  CMFS_CHECK(index >= 0 && index < capacity_);
+  const std::int64_t slot = index / num_data_disks();
+  return BlockAddress{DiskOf(index), slot};
+}
+
+namespace {
+
+ParityGroupInfo ClusterGroupInfo(int cluster, std::int64_t slot,
+                                 int group_size) {
+  ParityGroupInfo info;
+  info.data.reserve(static_cast<std::size_t>(group_size - 1));
+  for (int within = 0; within < group_size - 1; ++within) {
+    info.data.push_back(BlockAddress{cluster * group_size + within, slot});
+  }
+  info.parity = BlockAddress{cluster * group_size + group_size - 1, slot};
+  return info;
+}
+
+}  // namespace
+
+ParityGroupInfo ParityDiskLayout::GroupOf(int space,
+                                          std::int64_t index) const {
+  CMFS_CHECK(space == 0);
+  CMFS_CHECK(index >= 0 && index < capacity_);
+  const std::int64_t group = index / (group_size_ - 1);
+  return ClusterGroupInfo(ClusterOfGroup(group), group / num_clusters(),
+                          group_size_);
+}
+
+Result<ParityGroupInfo> ParityDiskLayout::GroupOfPhysical(
+    const BlockAddress& addr) const {
+  if (addr.disk < 0 || addr.disk >= num_disks_ || addr.block < 0) {
+    return Status::InvalidArgument("address out of range");
+  }
+  // Every group occupies one slot across its whole cluster (data disks
+  // and parity disk alike), so the reverse map is immediate.
+  return ClusterGroupInfo(addr.disk / group_size_, addr.block,
+                          group_size_);
+}
+
+
+std::vector<std::int64_t> ParityDiskLayout::GroupPeers(int space,
+                                            std::int64_t index) const {
+  CMFS_CHECK(space == 0);
+  CMFS_CHECK(index >= 0 && index < capacity_);
+  const std::int64_t group = index / (group_size_ - 1);
+  std::vector<std::int64_t> peers;
+  peers.reserve(static_cast<std::size_t>(group_size_ - 2));
+  for (std::int64_t i = group * (group_size_ - 1);
+       i < (group + 1) * (group_size_ - 1) && i < capacity_; ++i) {
+    if (i != index) peers.push_back(i);
+  }
+  return peers;
+}
+
+}  // namespace cmfs

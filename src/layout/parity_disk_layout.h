@@ -1,0 +1,54 @@
+#ifndef CMFS_LAYOUT_PARITY_DISK_LAYOUT_H_
+#define CMFS_LAYOUT_PARITY_DISK_LAYOUT_H_
+
+#include "layout/layout.h"
+
+// Clustered layout with dedicated parity disks (§6.1 of the paper).
+//
+// The d disks form d/p clusters of p disks; the last disk of each cluster
+// is its parity disk and the other p-1 hold data. Data blocks go
+// round-robin over the data disks (in global order), so p-1 consecutive
+// data blocks occupy the p-1 data disks of one cluster and form a parity
+// group together with a block on the cluster's parity disk; group g of
+// cluster c lands in "slot" g/num_clusters on every member disk.
+//
+// Three schemes place data this way and differ only in retrieval policy,
+// so they share this class: pre-fetching with parity disks (§6.1),
+// streaming RAID [TPBG93] (reads whole groups), and the non-clustered
+// scheme [BGM95] (2-block buffering, degraded-mode whole-group reads).
+
+namespace cmfs {
+
+class ParityDiskLayout : public Layout {
+ public:
+  // Requires p >= 2, p | d. `capacity` = logical data blocks (space 0).
+  ParityDiskLayout(int num_disks, int group_size, std::int64_t capacity);
+
+  int num_disks() const override { return num_disks_; }
+  int group_size() const override { return group_size_; }
+  std::int64_t space_capacity(int space) const override;
+  BlockAddress DataAddress(int space, std::int64_t index) const override;
+  ParityGroupInfo GroupOf(int space, std::int64_t index) const override;
+  std::vector<std::int64_t> GroupPeers(int space,
+                                       std::int64_t index) const override;
+  Result<ParityGroupInfo> GroupOfPhysical(
+      const BlockAddress& addr) const override;
+  int DiskOf(std::int64_t index) const override;
+
+  int num_clusters() const { return num_disks_ / group_size_; }
+  int num_data_disks() const { return num_clusters() * (group_size_ - 1); }
+  bool IsParityDisk(int disk) const;
+  // Physical disk of the i-th data disk (0 <= i < num_data_disks()).
+  int PhysicalDataDisk(int data_disk_index) const;
+  // Cluster holding parity group `group` (= index / (p-1)).
+  int ClusterOfGroup(std::int64_t group) const;
+
+ private:
+  int num_disks_;
+  int group_size_;
+  std::int64_t capacity_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_LAYOUT_PARITY_DISK_LAYOUT_H_

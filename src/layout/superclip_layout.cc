@@ -1,0 +1,44 @@
+#include "layout/superclip_layout.h"
+
+namespace cmfs {
+
+SuperclipLayout::SuperclipLayout(Pgt pgt, std::int64_t capacity_per_space)
+    : core_(std::move(pgt)), capacity_per_space_(capacity_per_space) {
+  CMFS_CHECK(capacity_per_space > 0);
+}
+
+std::int64_t SuperclipLayout::space_capacity(int space) const {
+  CMFS_CHECK(space >= 0 && space < num_spaces());
+  return capacity_per_space_;
+}
+
+BlockAddress SuperclipLayout::DataAddress(int space,
+                                          std::int64_t index) const {
+  CMFS_CHECK(space >= 0 && space < num_spaces());
+  CMFS_CHECK(index >= 0 && index < capacity_per_space_);
+  const int disk = static_cast<int>(index % num_disks());
+  const std::int64_t m = index / num_disks();
+  return BlockAddress{disk, core_.DataSlot(disk, space, m)};
+}
+
+Result<ParityGroupInfo> SuperclipLayout::GroupOfPhysical(
+    const BlockAddress& addr) const {
+  if (addr.disk < 0 || addr.disk >= num_disks() || addr.block < 0) {
+    return Status::InvalidArgument("address out of range");
+  }
+  const int row = static_cast<int>(addr.block % core_.rows());
+  const std::int64_t n = addr.block / core_.rows();
+  return core_.GroupForInstance(addr.disk, row, n);
+}
+
+ParityGroupInfo SuperclipLayout::GroupOf(int space,
+                                         std::int64_t index) const {
+  CMFS_CHECK(space >= 0 && space < num_spaces());
+  CMFS_CHECK(index >= 0 && index < capacity_per_space_);
+  const int disk = static_cast<int>(index % num_disks());
+  const std::int64_t m = index / num_disks();
+  return core_.GroupForInstance(disk, space,
+                                core_.InstanceOf(disk, space, m));
+}
+
+}  // namespace cmfs

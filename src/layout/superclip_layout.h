@@ -1,0 +1,42 @@
+#ifndef CMFS_LAYOUT_SUPERCLIP_LAYOUT_H_
+#define CMFS_LAYOUT_SUPERCLIP_LAYOUT_H_
+
+#include "layout/declustered_layout.h"
+
+// Super-clip layout for the dynamic-reservation scheme (§5.1).
+//
+// The physical data/parity structure is identical to the declustered
+// layout (same PGT, same parity-group instances); only the logical
+// addressing differs: there are r address spaces, one per PGT row, and
+// space k's blocks land exclusively on disk blocks mapped to row k —
+// block i of super-clip SC_k goes to disk (i mod d) at the (i div d)-th
+// row-k data slot. A stream of SC_k therefore stays in row k forever,
+// which is what makes per-stream contingency reservation tractable.
+
+namespace cmfs {
+
+class SuperclipLayout : public Layout {
+ public:
+  // `capacity_per_space` = logical data blocks addressable in each of the
+  // r spaces.
+  SuperclipLayout(Pgt pgt, std::int64_t capacity_per_space);
+
+  int num_disks() const override { return core_.num_disks(); }
+  int group_size() const override { return core_.group_size(); }
+  int num_spaces() const override { return core_.rows(); }
+  std::int64_t space_capacity(int space) const override;
+  BlockAddress DataAddress(int space, std::int64_t index) const override;
+  ParityGroupInfo GroupOf(int space, std::int64_t index) const override;
+  Result<ParityGroupInfo> GroupOfPhysical(
+      const BlockAddress& addr) const override;
+
+  const DeclusteredCore& core() const { return core_; }
+
+ private:
+  DeclusteredCore core_;
+  std::int64_t capacity_per_space_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_LAYOUT_SUPERCLIP_LAYOUT_H_

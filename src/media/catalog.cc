@@ -1,0 +1,57 @@
+#include "media/catalog.h"
+
+#include <algorithm>
+
+namespace cmfs {
+
+Status Catalog::AddClip(const ClipSpec& spec) {
+  if (spec.length_blocks <= 0) {
+    return Status::InvalidArgument("clip length must be positive");
+  }
+  if (spec.id != num_clips()) {
+    return Status::InvalidArgument("clip ids must be dense and in order");
+  }
+  clips_.push_back(spec);
+  total_blocks_ += spec.length_blocks;
+  return Status::Ok();
+}
+
+const ClipSpec& Catalog::clip(ClipId id) const {
+  CMFS_CHECK(id >= 0 && id < num_clips());
+  return clips_[static_cast<std::size_t>(id)];
+}
+
+std::vector<ClipExtent> Catalog::Concatenate(int num_spaces,
+                                             int align) const {
+  CMFS_CHECK(num_spaces >= 1);
+  CMFS_CHECK(align >= 1);
+  std::vector<std::int64_t> cursor(static_cast<std::size_t>(num_spaces), 0);
+  std::vector<ClipExtent> extents;
+  extents.reserve(clips_.size());
+  for (const ClipSpec& spec : clips_) {
+    const auto it = std::min_element(cursor.begin(), cursor.end());
+    const int space = static_cast<int>(it - cursor.begin());
+    ClipExtent extent;
+    extent.id = spec.id;
+    extent.space = space;
+    extent.start_block = *it;  // Already a multiple of align.
+    extent.length_blocks =
+        (spec.length_blocks + align - 1) / align * align;
+    *it += extent.length_blocks;
+    extents.push_back(extent);
+  }
+  return extents;
+}
+
+std::vector<std::int64_t> Catalog::SpaceSizes(int num_spaces,
+                                              int align) const {
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(num_spaces), 0);
+  for (const ClipExtent& e : Concatenate(num_spaces, align)) {
+    sizes[static_cast<std::size_t>(e.space)] =
+        std::max(sizes[static_cast<std::size_t>(e.space)],
+                 e.start_block + e.length_blocks);
+  }
+  return sizes;
+}
+
+}  // namespace cmfs

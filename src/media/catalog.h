@@ -1,0 +1,60 @@
+#ifndef CMFS_MEDIA_CATALOG_H_
+#define CMFS_MEDIA_CATALOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "media/clip.h"
+#include "util/status.h"
+
+// Catalog of stored clips and their assignment to logical address spaces.
+//
+// Single-super-clip schemes (§4, §6) concatenate every clip into one
+// logical space; the dynamic-reservation scheme (§5) concatenates clips
+// into r super-clips, each clip wholly inside one of them. The catalog
+// performs both assignments and records, per clip, its space and starting
+// logical block.
+
+namespace cmfs {
+
+struct ClipExtent {
+  ClipId id = -1;
+  int space = 0;                   // super-clip index (0 for single-space)
+  std::int64_t start_block = 0;    // logical index of the clip's first block
+  std::int64_t length_blocks = 0;
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Appends a clip; ids must be dense (0, 1, 2, ...).
+  Status AddClip(const ClipSpec& spec);
+
+  int num_clips() const { return static_cast<int>(clips_.size()); }
+  const ClipSpec& clip(ClipId id) const;
+  std::int64_t total_blocks() const { return total_blocks_; }
+
+  // Concatenates all clips, in id order, into `num_spaces` logical spaces.
+  // num_spaces == 1 gives the paper's single super-clip; num_spaces == r
+  // gives §5's super-clips. Clips are assigned greedily to the currently
+  // shortest space, which keeps space lengths within one clip of each
+  // other. With align > 1, every extent starts on a multiple of `align`
+  // and is padded to a whole multiple of it — the paper's "padding clips
+  // at the end" so parity groups of p-1 = align blocks never straddle
+  // clips (required by the clustered schemes). Returns one extent per
+  // clip, in id order; extent lengths include the padding.
+  std::vector<ClipExtent> Concatenate(int num_spaces, int align = 1) const;
+
+  // Number of blocks in each space under the same assignment.
+  std::vector<std::int64_t> SpaceSizes(int num_spaces,
+                                       int align = 1) const;
+
+ private:
+  std::vector<ClipSpec> clips_;
+  std::int64_t total_blocks_ = 0;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_MEDIA_CATALOG_H_

@@ -1,0 +1,24 @@
+#ifndef CMFS_MEDIA_CLIP_H_
+#define CMFS_MEDIA_CLIP_H_
+
+#include <cstdint>
+
+// Continuous-media clip model (§3 of the paper). Clips are CBR encoded; at
+// one block consumed per round, a clip's duration in rounds equals its
+// length in blocks, so lengths are carried in blocks.
+
+namespace cmfs {
+
+using ClipId = int;
+
+struct ClipSpec {
+  ClipId id = -1;
+  // Clip length in blocks (== playback duration in rounds). The paper pads
+  // clips to a whole number of blocks ("appending advertisements"); the
+  // catalog takes that as already done.
+  std::int64_t length_blocks = 0;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_MEDIA_CLIP_H_

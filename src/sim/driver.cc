@@ -1,0 +1,170 @@
+#include "sim/driver.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <queue>
+#include <optional>
+#include <utility>
+
+#include "bibd/design_factory.h"
+
+namespace cmfs {
+
+std::string SimResult::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "SimResult{arrivals=%lld, admitted=%lld, pending=%lld, "
+                "max_concurrent=%d, resp=%.2f/%.2f TU}",
+                static_cast<long long>(arrivals),
+                static_cast<long long>(admitted),
+                static_cast<long long>(still_pending), max_concurrent,
+                mean_response_tu, max_response_tu);
+  return buf;
+}
+
+Result<SimResult> RunCapacitySim(const SimConfig& config) {
+  Rng rng(config.workload.seed);
+
+  // Clip lengths must be whole parity groups for the clustered schemes.
+  const WorkloadConfig& workload = config.workload;
+  const bool clustered = config.scheme == Scheme::kPrefetchParityDisk ||
+                         config.scheme == Scheme::kPrefetchFlat ||
+                         config.scheme == Scheme::kStreamingRaid ||
+                         config.scheme == Scheme::kNonClustered;
+  const int span = clustered ? config.parity_group - 1 : 1;
+  const std::vector<std::int64_t> lengths =
+      GenerateClipLengths(workload, span, rng);
+
+  // The dynamic scheme needs a real design (Delta sets); its row count
+  // comes from the constructed design, not config.rows.
+  std::optional<Design> design;
+  int rows = config.rows;
+  if (config.scheme == Scheme::kDynamic) {
+    Result<FactoryDesign> built = BuildDesign(
+        config.num_disks, config.parity_group, config.workload.seed);
+    if (!built.ok()) return built.status();
+    rows = built->stats.min_replication;
+    design = std::move(built->design);
+  }
+
+  const std::vector<ClipPlacement> placements =
+      GeneratePlacements(config.scheme, config.num_disks, rows,
+                         config.parity_group, workload, rng);
+  const std::vector<Arrival> arrivals = GenerateArrivals(workload, rng);
+
+  SetupOptions options;
+  options.scheme = config.scheme;
+  options.num_disks = config.num_disks;
+  options.parity_group = config.parity_group;
+  options.q = config.q;
+  options.f = config.f;
+  options.capacity_blocks = RequiredCapacity(placements, lengths);
+  if (config.scheme == Scheme::kDeclustered) {
+    options.ideal_pgt = true;  // Capacity accounting only; no failures.
+    options.ideal_rows = rows;
+  }
+  options.design = std::move(design);
+  options.seed = config.workload.seed;
+  Result<ServerSetup> setup = MakeSetup(options);
+  if (!setup.ok()) return setup.status();
+  Controller& controller = *setup->controller;
+
+  SimResult result;
+  result.arrivals = static_cast<std::int64_t>(arrivals.size());
+
+  std::deque<Arrival> pending;
+  std::size_t next_arrival = 0;
+  StreamId next_id = 0;
+  double total_response_tu = 0.0;
+  // Scheduled early departures (round, stream), soonest first.
+  std::priority_queue<std::pair<std::int64_t, StreamId>,
+                      std::vector<std::pair<std::int64_t, StreamId>>,
+                      std::greater<>>
+      departures;
+  // Round at which a stream of each clip last started (for batching).
+  std::vector<std::int64_t> last_start(
+      static_cast<std::size_t>(workload.num_clips),
+      -static_cast<std::int64_t>(1) << 40);
+
+  const std::int64_t total_rounds =
+      static_cast<std::int64_t>(workload.duration_tu) *
+      workload.rounds_per_tu;
+  for (std::int64_t round = 0; round < total_rounds; ++round) {
+    controller.Round(/*failed_disk=*/-1, /*plan=*/nullptr);
+    while (!departures.empty() && departures.top().first <= round) {
+      if (controller.Cancel(departures.top().second)) ++result.reneged;
+      departures.pop();
+    }
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].round <= round) {
+      pending.push_back(arrivals[next_arrival]);
+      ++next_arrival;
+    }
+
+    const auto admit = [&](const Arrival& a) {
+      const ClipPlacement& placement =
+          placements[static_cast<std::size_t>(a.clip)];
+      const bool joins_batch =
+          config.batch_window_rounds > 0 &&
+          round - last_start[static_cast<std::size_t>(a.clip)] <=
+              config.batch_window_rounds;
+      if (!joins_batch) {
+        if (!controller.TryAdmit(next_id, placement.space,
+                                 placement.start,
+                                 lengths[static_cast<std::size_t>(
+                                     a.clip)])) {
+          return false;
+        }
+        if (config.renege_prob > 0.0 &&
+            rng.NextDouble() < config.renege_prob) {
+          const std::int64_t watched = 1 + static_cast<std::int64_t>(
+              rng.NextBounded(static_cast<std::uint64_t>(
+                  lengths[static_cast<std::size_t>(a.clip)])));
+          departures.push({round + watched, next_id});
+        }
+        ++next_id;
+        last_start[static_cast<std::size_t>(a.clip)] = round;
+      } else {
+        ++result.batched;
+      }
+      ++result.admitted;
+      const double response =
+          static_cast<double>(round - a.round) / workload.rounds_per_tu;
+      total_response_tu += response;
+      result.max_response_tu = std::max(result.max_response_tu, response);
+      result.max_concurrent =
+          std::max(result.max_concurrent, controller.num_active());
+      return true;
+    };
+
+    if (config.policy == AdmissionPolicy::kFifoHeadOfLine) {
+      while (!pending.empty() && admit(pending.front())) {
+        pending.pop_front();
+      }
+    } else {
+      // First-fit, optionally gated: when the head has aged past the
+      // limit, nothing behind it may jump the queue until it enters.
+      const bool gated =
+          config.policy == AdmissionPolicy::kAgedFirstFit &&
+          !pending.empty() &&
+          round - pending.front().round > config.max_wait_rounds;
+      for (auto it = pending.begin(); it != pending.end();) {
+        const bool is_head = it == pending.begin();
+        if (gated && !is_head) break;
+        it = admit(*it) ? pending.erase(it) : std::next(it);
+      }
+    }
+  }
+
+  result.still_pending = static_cast<std::int64_t>(pending.size()) +
+                         static_cast<std::int64_t>(arrivals.size() -
+                                                   next_arrival);
+  if (result.admitted > 0) {
+    result.mean_response_tu =
+        total_response_tu / static_cast<double>(result.admitted);
+  }
+  return result;
+}
+
+}  // namespace cmfs

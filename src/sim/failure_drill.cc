@@ -1,0 +1,100 @@
+#include "sim/failure_drill.h"
+
+#include <utility>
+#include <vector>
+
+#include "bibd/design_factory.h"
+#include "core/content.h"
+#include "layout/layout.h"
+
+namespace cmfs {
+
+Result<DrillResult> RunFailureDrill(const DrillConfig& config) {
+  Rng rng(config.seed);
+
+  // Clip lengths in the clustered schemes must be whole parity groups.
+  std::int64_t stream_blocks = config.stream_blocks;
+  const int span = config.parity_group - 1;
+  if (config.scheme != Scheme::kDeclustered &&
+      config.scheme != Scheme::kDynamic && stream_blocks % span != 0) {
+    stream_blocks += span - stream_blocks % span;
+  }
+
+  std::optional<Design> design;
+  int rows = 1;
+  if (config.scheme == Scheme::kDeclustered ||
+      config.scheme == Scheme::kDynamic) {
+    Result<FactoryDesign> built =
+        BuildDesign(config.num_disks, config.parity_group, config.seed);
+    if (!built.ok()) return built.status();
+    rows = built->stats.min_replication;
+    design = std::move(built->design);
+  }
+
+  WorkloadConfig workload;
+  workload.num_clips = config.num_streams;
+  workload.clip_blocks = stream_blocks;
+  const std::vector<ClipPlacement> placements =
+      GeneratePlacements(config.scheme, config.num_disks, rows,
+                         config.parity_group, workload, rng);
+
+  SetupOptions options;
+  options.scheme = config.scheme;
+  options.num_disks = config.num_disks;
+  options.parity_group = config.parity_group;
+  options.q = config.q;
+  options.f = config.f;
+  options.capacity_blocks = RequiredCapacity(
+      placements, std::vector<std::int64_t>(placements.size(),
+                                            stream_blocks));
+  options.design = std::move(design);
+  options.seed = config.seed;
+  Result<ServerSetup> setup = MakeSetup(options);
+  if (!setup.ok()) return setup.status();
+
+  DiskParams disk_params = DiskParams::Sigmod96();
+  DiskArray array(config.num_disks, disk_params, config.block_size);
+
+  // Populate every stream's extent with deterministic content (parity is
+  // maintained incrementally by WriteDataBlock).
+  for (const ClipPlacement& placement : placements) {
+    for (std::int64_t i = 0; i < stream_blocks; ++i) {
+      Status st = WriteDataBlock(
+          *setup->layout, array, placement.space, placement.start + i,
+          PatternBlock(placement.space, placement.start + i,
+                       config.block_size));
+      if (!st.ok()) return st;
+    }
+  }
+
+  ServerConfig server_config;
+  server_config.block_size = config.block_size;
+  server_config.allow_hiccups =
+      config.allow_hiccups || config.scheme == Scheme::kNonClustered;
+  server_config.load_window_rounds =
+      config.scheme == Scheme::kStreamingRaid ? span : 1;
+  server_config.seed = config.seed;
+  Server server(&array, setup->controller.get(), server_config);
+
+  DrillResult result;
+  for (int i = 0; i < config.num_streams; ++i) {
+    const ClipPlacement& placement = placements[static_cast<std::size_t>(i)];
+    if (server.TryAdmit(i, placement.space, placement.start,
+                        stream_blocks)) {
+      ++result.admitted;
+    }
+  }
+
+  for (int round = 0; round < config.total_rounds; ++round) {
+    if (round == config.fail_round) {
+      Status st = server.FailDisk(config.fail_disk);
+      if (!st.ok()) return st;
+    }
+    Status st = server.RunRound();
+    if (!st.ok()) return st;
+  }
+  result.metrics = server.metrics();
+  return result;
+}
+
+}  // namespace cmfs

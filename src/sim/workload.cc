@@ -1,0 +1,116 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace cmfs {
+
+std::vector<ClipPlacement> GeneratePlacements(Scheme scheme, int num_disks,
+                                              int rows, int parity_group,
+                                              const WorkloadConfig& config,
+                                              Rng& rng) {
+  CMFS_CHECK(num_disks >= 2);
+  std::vector<ClipPlacement> placements;
+  placements.reserve(static_cast<std::size_t>(config.num_clips));
+  for (int clip = 0; clip < config.num_clips; ++clip) {
+    ClipPlacement placement;
+    switch (scheme) {
+      case Scheme::kDeclustered: {
+        // Random disk(C) and row(C): start = row*d + disk lands the first
+        // block on `disk` mapped to `row`.
+        CMFS_CHECK(rows >= 1);
+        const int disk =
+            static_cast<int>(rng.NextBounded(
+                static_cast<std::uint64_t>(num_disks)));
+        const int row = static_cast<int>(
+            rng.NextBounded(static_cast<std::uint64_t>(rows)));
+        placement.start =
+            static_cast<std::int64_t>(row) * num_disks + disk;
+        break;
+      }
+      case Scheme::kDynamic: {
+        CMFS_CHECK(rows >= 1);
+        placement.space = static_cast<int>(
+            rng.NextBounded(static_cast<std::uint64_t>(rows)));
+        placement.start = static_cast<std::int64_t>(
+            rng.NextBounded(static_cast<std::uint64_t>(num_disks)));
+        break;
+      }
+      case Scheme::kPrefetchParityDisk:
+      case Scheme::kPrefetchFlat:
+      case Scheme::kStreamingRaid:
+      case Scheme::kNonClustered: {
+        // Group-aligned start; randomizing the group randomizes disk(C)
+        // and, for the flat scheme, the parity-home class (its row(C)
+        // analog) — so the window spans one full class cycle of
+        // d * (d-(p-1)) groups.
+        const int span = parity_group - 1;
+        CMFS_CHECK(span >= 1);
+        const std::uint64_t groups = std::max<std::uint64_t>(
+            static_cast<std::uint64_t>(4 * num_disks),
+            static_cast<std::uint64_t>(num_disks) *
+                static_cast<std::uint64_t>(
+                    std::max(1, num_disks - (parity_group - 1))));
+        placement.start =
+            static_cast<std::int64_t>(rng.NextBounded(groups)) * span;
+        break;
+      }
+    }
+    placements.push_back(placement);
+  }
+  return placements;
+}
+
+std::vector<Arrival> GenerateArrivals(const WorkloadConfig& config,
+                                      Rng& rng) {
+  CMFS_CHECK(config.arrivals_per_tu > 0.0);
+  CMFS_CHECK(config.rounds_per_tu >= 1);
+  ZipfSampler sampler(static_cast<std::size_t>(config.num_clips),
+                      config.zipf_theta);
+  std::vector<Arrival> arrivals;
+  double t = 0.0;  // time units
+  const double horizon = static_cast<double>(config.duration_tu);
+  for (;;) {
+    t += rng.NextExponential(config.arrivals_per_tu);
+    if (t >= horizon) break;
+    Arrival a;
+    a.round = static_cast<std::int64_t>(t * config.rounds_per_tu);
+    a.clip = static_cast<int>(sampler.Sample(rng));
+    arrivals.push_back(a);
+  }
+  return arrivals;
+}
+
+std::vector<std::int64_t> GenerateClipLengths(const WorkloadConfig& config,
+                                              int span, Rng& rng) {
+  CMFS_CHECK(span >= 1);
+  CMFS_CHECK(config.clip_length_jitter >= 0.0 &&
+             config.clip_length_jitter <= 1.0);
+  std::vector<std::int64_t> lengths;
+  lengths.reserve(static_cast<std::size_t>(config.num_clips));
+  for (int clip = 0; clip < config.num_clips; ++clip) {
+    double length = static_cast<double>(config.clip_blocks);
+    if (config.clip_length_jitter > 0.0) {
+      const double u = 2.0 * rng.NextDouble() - 1.0;
+      length *= 1.0 + config.clip_length_jitter * u;
+    }
+    std::int64_t blocks = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(length));
+    if (blocks % span != 0) blocks += span - blocks % span;
+    lengths.push_back(blocks);
+  }
+  return lengths;
+}
+
+std::int64_t RequiredCapacity(const std::vector<ClipPlacement>& placements,
+                              const std::vector<std::int64_t>& lengths) {
+  CMFS_CHECK(placements.size() == lengths.size());
+  std::int64_t capacity = 1;
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    capacity = std::max(capacity, placements[i].start + lengths[i]);
+  }
+  return capacity;
+}
+
+}  // namespace cmfs

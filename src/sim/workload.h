@@ -1,0 +1,75 @@
+#ifndef CMFS_SIM_WORKLOAD_H_
+#define CMFS_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/capacity.h"
+#include "util/rng.h"
+
+// Workload model of §8.2: a catalog of clips with random placements,
+// Poisson client arrivals, and a clip-choice distribution (uniform in the
+// paper; Zipf popularity skew as an extension).
+
+namespace cmfs {
+
+struct WorkloadConfig {
+  // Catalog: 1000 clips of 50 time units in the paper.
+  int num_clips = 1000;
+  // Clip length in blocks (= rounds): 50 TU at rounds_per_tu rounds each.
+  std::int64_t clip_blocks = 500;
+  // Poisson arrival rate per time unit (paper: 20).
+  double arrivals_per_tu = 20.0;
+  // Round <-> time-unit mapping (see DESIGN.md): 1 TU = 10 rounds.
+  int rounds_per_tu = 10;
+  // Simulation horizon (paper: 600 TU).
+  int duration_tu = 600;
+  // Zipf skew for clip choice; 0 = uniform (the paper's setting).
+  double zipf_theta = 0.0;
+  // Per-clip length jitter: lengths drawn uniformly from
+  // [clip_blocks*(1-j), clip_blocks*(1+j)], min 1. 0 = the paper's
+  // fixed-length catalog.
+  double clip_length_jitter = 0.0;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+// Placement of one clip in a scheme's logical address space: the random
+// disk(C) / row(C) of §8.2, realized per scheme.
+struct ClipPlacement {
+  int space = 0;
+  std::int64_t start = 0;
+};
+
+// One client request.
+struct Arrival {
+  std::int64_t round = 0;  // arrival round
+  int clip = 0;
+};
+
+// Random clip placements compatible with `scheme` on an array of
+// `num_disks` disks with the given declustered row count (ignored by the
+// clustered schemes). Returns num_clips placements; the largest start
+// plus clip_blocks bounds the layout capacity needed.
+std::vector<ClipPlacement> GeneratePlacements(Scheme scheme, int num_disks,
+                                              int rows, int parity_group,
+                                              const WorkloadConfig& config,
+                                              Rng& rng);
+
+// Poisson arrival sequence over the whole horizon, with clip ids drawn
+// uniformly (or Zipf for zipf_theta > 0). Sorted by round.
+std::vector<Arrival> GenerateArrivals(const WorkloadConfig& config,
+                                      Rng& rng);
+
+// Per-clip lengths: clip_blocks with the configured jitter applied,
+// rounded up to whole parity groups of `span` blocks (pass 1 for the
+// non-clustered-layout schemes).
+std::vector<std::int64_t> GenerateClipLengths(const WorkloadConfig& config,
+                                              int span, Rng& rng);
+
+// Smallest layout capacity (blocks per space) covering all placements.
+std::int64_t RequiredCapacity(const std::vector<ClipPlacement>& placements,
+                              const std::vector<std::int64_t>& lengths);
+
+}  // namespace cmfs
+
+#endif  // CMFS_SIM_WORKLOAD_H_

@@ -1,0 +1,62 @@
+#ifndef CMFS_UTIL_RNG_H_
+#define CMFS_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// Deterministic pseudo-random number generator for simulations.
+//
+// We implement the generator and the distributions ourselves (xoshiro256**
+// seeded via splitmix64) instead of using <random>'s distributions, whose
+// output is implementation-defined: the SIGMOD-1996 simulation results in
+// EXPERIMENTS.md must be bit-reproducible across toolchains.
+
+namespace cmfs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  std::uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling, so
+  // the result is exactly uniform.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  // Exponentially distributed with the given rate (mean 1/rate). rate > 0.
+  double NextExponential(double rate);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+// Zipf(n, theta) sampler over {0, .., n-1} using inverse-CDF bisection on
+// precomputed harmonic weights. theta = 0 degenerates to uniform. Used by
+// the workload generator's popularity-skew extension.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double theta);
+
+  std::size_t Sample(Rng& rng) const;
+
+  std::size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::size_t n_;
+  double theta_;
+  // cdf_[i] = P(X <= i); cdf_.back() == 1.0.
+  std::vector<double> cdf_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_UTIL_RNG_H_

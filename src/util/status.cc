@@ -1,0 +1,46 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cmfs {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace internal_check {
+
+void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CMFS_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace cmfs

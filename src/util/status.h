@@ -1,0 +1,126 @@
+#ifndef CMFS_UTIL_STATUS_H_
+#define CMFS_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+// Error handling model for the library. The codebase does not use C++
+// exceptions; fallible operations return Status (or Result<T> for a value),
+// and internal invariant violations abort via CMFS_CHECK.
+
+namespace cmfs {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kResourceExhausted,   // admission rejected: no bandwidth/buffer
+  kFailedPrecondition,  // e.g. operation on a failed disk
+  kUnimplemented,
+  kInternal,
+};
+
+// Value-semantic status: code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Name of a status code, e.g. "kInvalidArgument" -> "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+// Result<T>: either a value or an error status. Accessing the value of an
+// error result aborts.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace cmfs
+
+// Fatal invariant check, active in all build types (database-style: never
+// run on corrupted internal state).
+#define CMFS_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::cmfs::internal_check::CheckFailed(#cond, __FILE__, __LINE__);     \
+    }                                                                     \
+  } while (false)
+
+#define CMFS_DCHECK(cond) assert(cond)
+
+namespace cmfs::internal_check {
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
+}  // namespace cmfs::internal_check
+
+#endif  // CMFS_UTIL_STATUS_H_

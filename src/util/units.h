@@ -1,0 +1,44 @@
+#ifndef CMFS_UTIL_UNITS_H_
+#define CMFS_UTIL_UNITS_H_
+
+#include <cstdint>
+
+// Unit conventions for the whole library.
+//
+// The paper (SIGMOD 1996) uses era conventions: transfer and playback rates
+// are quoted in Mbps (10^6 bits per second) while storage sizes are quoted
+// in MB/GB (2^20 / 2^30 bytes). Internally everything is carried in bytes
+// (for sizes) and seconds (for times) as doubles; these helpers perform the
+// conversions exactly once at the boundary.
+
+namespace cmfs {
+
+inline constexpr double kBitsPerByte = 8.0;
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+// Rates: Mbps means 10^6 bits/second (decimal, as disk datasheets use).
+constexpr double MbpsToBytesPerSec(double mbps) {
+  return mbps * 1e6 / kBitsPerByte;
+}
+
+constexpr double BytesPerSecToMbps(double bytes_per_sec) {
+  return bytes_per_sec * kBitsPerByte / 1e6;
+}
+
+// Times.
+constexpr double MsToSec(double ms) { return ms * 1e-3; }
+constexpr double SecToMs(double sec) { return sec * 1e3; }
+
+// Sizes.
+constexpr double MiBToBytes(double mib) {
+  return mib * static_cast<double>(kMiB);
+}
+constexpr double GiBToBytes(double gib) {
+  return gib * static_cast<double>(kGiB);
+}
+
+}  // namespace cmfs
+
+#endif  // CMFS_UTIL_UNITS_H_

@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include "analysis/capacity.h"
+#include "analysis/continuity.h"
+#include "analysis/gss.h"
+#include "analysis/optimizer.h"
+#include "analysis/reliability.h"
+#include "util/units.h"
+
+namespace cmfs {
+namespace {
+
+CapacityConfig PaperConfig(std::int64_t buffer_bytes, int p) {
+  CapacityConfig config;
+  config.disk = DiskParams::Sigmod96();
+  config.server = ServerParams::Sigmod96(buffer_bytes);
+  config.parity_group = p;
+  return config;
+}
+
+// ---------- Equation 1 ----------
+
+TEST(ContinuityTest, QIncreasesWithBlockSizeTowardAsymptote) {
+  const DiskParams disk = DiskParams::Sigmod96();
+  const double rp = MbpsToBytesPerSec(1.5);
+  int prev = 0;
+  for (std::int64_t b = 32 * kKiB; b <= 32 * kMiB; b *= 2) {
+    const int q = MaxClipsPerRound(disk, rp, b);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+  // Asymptote: q < r_d / r_p = 30.
+  EXPECT_LT(prev, 30);
+  EXPECT_GE(prev, 25);
+}
+
+TEST(ContinuityTest, TinyBlocksAdmitNothing) {
+  const DiskParams disk = DiskParams::Sigmod96();
+  const double rp = MbpsToBytesPerSec(1.5);
+  // Round shorter than two seeks: b/rp < 34 ms => b < ~6.4 KB.
+  EXPECT_EQ(MaxClipsPerRound(disk, rp, 4 * kKiB), 0);
+}
+
+TEST(ContinuityTest, ServiceTimeMatchesBoundAtMaxQ) {
+  const DiskParams disk = DiskParams::Sigmod96();
+  const double rp = MbpsToBytesPerSec(1.5);
+  const std::int64_t b = 256 * kKiB;
+  const int q = MaxClipsPerRound(disk, rp, b);
+  ASSERT_GT(q, 0);
+  EXPECT_LE(RoundServiceTime(disk, q, b), RoundLength(rp, b));
+  EXPECT_GT(RoundServiceTime(disk, q + 1, b), RoundLength(rp, b));
+}
+
+TEST(ContinuityTest, MinBlockSizeInvertsMaxClips) {
+  const DiskParams disk = DiskParams::Sigmod96();
+  const double rp = MbpsToBytesPerSec(1.5);
+  for (int q : {1, 5, 10, 20, 25}) {
+    const std::int64_t b = MinBlockSizeForClips(disk, rp, q);
+    ASSERT_GT(b, 0) << q;
+    EXPECT_GE(MaxClipsPerRound(disk, rp, b), q);
+    if (b > 1) {
+      EXPECT_LT(MaxClipsPerRound(disk, rp, b / 2), q);
+    }
+  }
+  // Beyond the asymptote nothing works.
+  EXPECT_EQ(MinBlockSizeForClips(disk, rp, 30), 0);
+}
+
+TEST(ContinuityTest, ExtraFailureSeekShrinksQ) {
+  const DiskParams disk = DiskParams::Sigmod96();
+  const double rp = MbpsToBytesPerSec(1.5);
+  const std::int64_t b = 64 * kKiB;
+  EXPECT_GE(MaxClipsPerRound(disk, rp, b, 2),
+            MaxClipsPerRound(disk, rp, b, 3));
+}
+
+// ---------- Per-scheme capacity models ----------
+
+TEST(CapacityTest, Figure5LeftGoldenValues) {
+  // Regression-pins our reproduction of Figure 5 (B = 256 MB); these are
+  // this library's computed values (see EXPERIMENTS.md for the
+  // paper-vs-measured discussion).
+  struct Row {
+    Scheme scheme;
+    int clips[5];  // p = 2, 4, 8, 16, 32
+  };
+  const Row rows[] = {
+      {Scheme::kStreamingRaid, {400, 456, 400, 318, 241}},
+      {Scheme::kDeclustered, {672, 640, 576, 480, 384}},
+      {Scheme::kPrefetchFlat, {672, 576, 448, 352, 160}},
+      {Scheme::kPrefetchParityDisk, {400, 480, 448, 360, 248}},
+      {Scheme::kNonClustered, {400, 552, 616, 540, 372}},
+  };
+  const int ps[5] = {2, 4, 8, 16, 32};
+  for (const Row& row : rows) {
+    for (int i = 0; i < 5; ++i) {
+      Result<CapacityResult> cap =
+          ComputeCapacity(row.scheme, PaperConfig(256 * kMiB, ps[i]));
+      ASSERT_TRUE(cap.ok()) << SchemeName(row.scheme) << " p=" << ps[i];
+      EXPECT_EQ(cap->total_clips, row.clips[i])
+          << SchemeName(row.scheme) << " p=" << ps[i];
+    }
+  }
+}
+
+TEST(CapacityTest, DeclusteredShrinksWithParityGroup) {
+  // Figure 5: declustered (and prefetch-flat) decrease monotonically in p.
+  for (std::int64_t B : {256 * kMiB, 2048 * kMiB}) {
+    int prev = 1 << 30;
+    for (int p : {2, 4, 8, 16, 32}) {
+      Result<CapacityResult> cap =
+          ComputeCapacity(Scheme::kDeclustered, PaperConfig(B, p));
+      ASSERT_TRUE(cap.ok());
+      EXPECT_LE(cap->total_clips, prev) << "B=" << B << " p=" << p;
+      prev = cap->total_clips;
+    }
+  }
+}
+
+TEST(CapacityTest, ClusteredSchemesPeakAtIntermediateP) {
+  // Figure 5: streaming RAID / parity-disk / non-clustered rise then fall.
+  for (Scheme scheme : {Scheme::kStreamingRaid, Scheme::kPrefetchParityDisk,
+                        Scheme::kNonClustered}) {
+    Result<CapacityResult> p2 =
+        ComputeCapacity(scheme, PaperConfig(256 * kMiB, 2));
+    Result<CapacityResult> p4 =
+        ComputeCapacity(scheme, PaperConfig(256 * kMiB, 4));
+    Result<CapacityResult> p8 =
+        ComputeCapacity(scheme, PaperConfig(256 * kMiB, 8));
+    Result<CapacityResult> p32 =
+        ComputeCapacity(scheme, PaperConfig(256 * kMiB, 32));
+    ASSERT_TRUE(p2.ok() && p4.ok() && p8.ok() && p32.ok());
+    const int peak = std::max(p4->total_clips, p8->total_clips);
+    EXPECT_GT(peak, p2->total_clips) << SchemeName(scheme);
+    EXPECT_GT(peak, p32->total_clips) << SchemeName(scheme);
+  }
+}
+
+TEST(CapacityTest, DeclusteredBestOverallAtSmallBuffer) {
+  // §9: "for low and medium buffer sizes, the declustered parity scheme
+  // outperforms the remaining schemes."
+  int best_declustered = 0;
+  for (int p : {2, 4, 8, 16, 32}) {
+    best_declustered = std::max(
+        best_declustered, ComputeCapacity(Scheme::kDeclustered,
+                                          PaperConfig(256 * kMiB, p))
+                              ->total_clips);
+  }
+  for (Scheme scheme : {Scheme::kStreamingRaid, Scheme::kPrefetchFlat,
+                        Scheme::kPrefetchParityDisk,
+                        Scheme::kNonClustered}) {
+    for (int p : {2, 4, 8, 16, 32}) {
+      EXPECT_LE(ComputeCapacity(scheme, PaperConfig(256 * kMiB, p))
+                    ->total_clips,
+                best_declustered)
+          << SchemeName(scheme) << " p=" << p;
+    }
+  }
+}
+
+TEST(CapacityTest, PrefetchFlatBeatsDeclusteredAtLargeBuffer) {
+  // §9: at higher buffer sizes, prefetch-without-parity-disk wins because
+  // declustered reserves 1/3 (p=16) to 1/2 (p=32) of each disk.
+  for (int p : {2, 4, 8, 16}) {
+    Result<CapacityResult> flat =
+        ComputeCapacity(Scheme::kPrefetchFlat, PaperConfig(2048 * kMiB, p));
+    Result<CapacityResult> decl =
+        ComputeCapacity(Scheme::kDeclustered, PaperConfig(2048 * kMiB, p));
+    ASSERT_TRUE(flat.ok() && decl.ok());
+    EXPECT_GE(flat->total_clips, decl->total_clips) << p;
+  }
+}
+
+TEST(CapacityTest, DeclusteredReservationFractionsMatchPaper) {
+  // "for parity group sizes of 16 and 32, the declustered parity scheme
+  // requires 1/3 and 1/2, respectively, of the bandwidth on each disk to
+  // be reserved."
+  Result<CapacityResult> p16 =
+      ComputeCapacity(Scheme::kDeclustered, PaperConfig(2048 * kMiB, 16));
+  ASSERT_TRUE(p16.ok());
+  EXPECT_NEAR(static_cast<double>(p16->f) / p16->q, 1.0 / 3.0, 0.08);
+  Result<CapacityResult> p32 =
+      ComputeCapacity(Scheme::kDeclustered, PaperConfig(2048 * kMiB, 32));
+  ASSERT_TRUE(p32.ok());
+  EXPECT_NEAR(static_cast<double>(p32->f) / p32->q, 1.0 / 2.0, 0.05);
+}
+
+TEST(CapacityTest, NonClusteredBestAtP16LargeBuffer) {
+  // "the non-clustered scheme performs the best for larger parity group
+  // sizes" (2 GB, p = 16).
+  const int ncl = ComputeCapacity(Scheme::kNonClustered,
+                                  PaperConfig(2048 * kMiB, 16))
+                      ->total_clips;
+  for (Scheme scheme : {Scheme::kStreamingRaid, Scheme::kDeclustered,
+                        Scheme::kPrefetchFlat,
+                        Scheme::kPrefetchParityDisk}) {
+    EXPECT_GE(ncl,
+              ComputeCapacity(scheme, PaperConfig(2048 * kMiB, 16))
+                  ->total_clips)
+        << SchemeName(scheme);
+  }
+}
+
+TEST(CapacityTest, MoreBufferNeverHurts) {
+  for (Scheme scheme : {Scheme::kDeclustered, Scheme::kPrefetchFlat,
+                        Scheme::kPrefetchParityDisk, Scheme::kStreamingRaid,
+                        Scheme::kNonClustered}) {
+    for (int p : {2, 4, 8, 16}) {
+      int prev = 0;
+      for (std::int64_t B : {64 * kMiB, 256 * kMiB, 1024 * kMiB,
+                             4096 * kMiB}) {
+        const int clips =
+            ComputeCapacity(scheme, PaperConfig(B, p))->total_clips;
+        EXPECT_GE(clips, prev) << SchemeName(scheme) << " p=" << p;
+        prev = clips;
+      }
+    }
+  }
+}
+
+TEST(CapacityTest, RowsOverrideControlsReservation) {
+  CapacityConfig config = PaperConfig(256 * kMiB, 4);
+  config.rows_override = 1.0;  // One row: r*f >= q-f forces huge f.
+  Result<CapacityResult> one = DeclusteredCapacity(config);
+  config.rows_override = 10.0;
+  Result<CapacityResult> ten = DeclusteredCapacity(config);
+  ASSERT_TRUE(one.ok() && ten.ok());
+  EXPECT_LT(one->total_clips, ten->total_clips);
+  EXPECT_GT(one->f, ten->f);
+}
+
+TEST(CapacityTest, DynamicUsesDeclusteredModel) {
+  const CapacityConfig config = PaperConfig(256 * kMiB, 4);
+  EXPECT_EQ(ComputeCapacity(Scheme::kDynamic, config)->total_clips,
+            ComputeCapacity(Scheme::kDeclustered, config)->total_clips);
+}
+
+TEST(CapacityTest, InvalidConfigsRejected) {
+  EXPECT_FALSE(ComputeCapacity(Scheme::kDeclustered,
+                               PaperConfig(256 * kMiB, 1))
+                   .ok());
+  EXPECT_FALSE(ComputeCapacity(Scheme::kDeclustered,
+                               PaperConfig(256 * kMiB, 33))
+                   .ok());
+}
+
+TEST(CapacityTest, StaggeredPrefetchTogglesBufferHalving) {
+  CapacityConfig config = PaperConfig(256 * kMiB, 8);
+  config.staggered_prefetch = true;
+  const int staggered =
+      PrefetchFlatCapacity(config)->total_clips;
+  config.staggered_prefetch = false;
+  const int plain = PrefetchFlatCapacity(config)->total_clips;
+  EXPECT_GT(staggered, plain);
+}
+
+// ---------- Optimizer (Figure 4) ----------
+
+TEST(OptimizerTest, PicksBestAcrossSweep) {
+  CapacityConfig config = PaperConfig(256 * kMiB, 2);
+  Result<OptimizerResult> opt = ComputeOptimal(
+      Scheme::kNonClustered, config, {2, 4, 8, 16, 32});
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt->sweep.size(), 5u);
+  EXPECT_EQ(opt->best.parity_group, 8);  // Non-clustered peaks at 8.
+  for (const CapacityResult& r : opt->sweep) {
+    EXPECT_LE(r.total_clips, opt->best.total_clips);
+  }
+}
+
+TEST(OptimizerTest, StorageBoundRaisesMinimumParityGroup) {
+  const DiskParams disk = DiskParams::Sigmod96();
+  // 60 GiB on 32 x 2 GiB disks: S/dCd = 15/16 => p_min = 16.
+  Result<int> p_min = MinParityGroupForStorage(disk, 32, 60 * kGiB);
+  ASSERT_TRUE(p_min.ok());
+  EXPECT_EQ(*p_min, 16);
+  CapacityConfig config = PaperConfig(256 * kMiB, 2);
+  Result<OptimizerResult> opt = ComputeOptimal(
+      Scheme::kDeclustered, config, {2, 4, 8, 16, 32}, 60 * kGiB);
+  ASSERT_TRUE(opt.ok());
+  for (const CapacityResult& r : opt->sweep) {
+    EXPECT_GE(r.parity_group, 16);
+  }
+}
+
+TEST(OptimizerTest, MinParityGroupEdgeCases) {
+  const DiskParams disk = DiskParams::Sigmod96();
+  EXPECT_EQ(*MinParityGroupForStorage(disk, 32, 0), 2);
+  EXPECT_FALSE(MinParityGroupForStorage(disk, 32, 64 * kGiB).ok());
+  EXPECT_FALSE(MinParityGroupForStorage(disk, 32, 65 * kGiB).ok());
+}
+
+TEST(OptimizerTest, FullSweepCoversRange) {
+  CapacityConfig config = PaperConfig(256 * kMiB, 2);
+  Result<OptimizerResult> opt =
+      ComputeOptimalFullSweep(Scheme::kStreamingRaid, config);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt->sweep.size(), 31u);  // p = 2..32.
+}
+
+// ---------- GSS ([CKY93]) ----------
+
+TEST(GssTest, GroupOneMatchesEquationOne) {
+  const DiskParams disk = DiskParams::Sigmod96();
+  const double rp = MbpsToBytesPerSec(1.5);
+  for (std::int64_t b : {64 * kKiB, 256 * kKiB, 1024 * kKiB}) {
+    // g = 1: (g+1) strokes = the 2-seek C-SCAN accounting of Equation 1.
+    EXPECT_EQ(GssMaxClipsPerRound(disk, rp, b, 1),
+              MaxClipsPerRound(disk, rp, b));
+  }
+}
+
+TEST(GssTest, MoreGroupsCostSeeksButSaveBuffer) {
+  const DiskParams disk = DiskParams::Sigmod96();
+  const double rp = MbpsToBytesPerSec(1.5);
+  const std::int64_t b = 256 * kKiB;
+  // Bandwidth side: q shrinks (weakly) with g at fixed b.
+  int prev_q = 1 << 30;
+  for (int g : {1, 2, 4, 8, 16}) {
+    const int q = GssMaxClipsPerRound(disk, rp, b, g);
+    EXPECT_LE(q, prev_q) << g;
+    prev_q = q;
+  }
+  // Buffer side: per-stream buffer shrinks with g, from 2b toward b.
+  EXPECT_EQ(GssBufferPerStream(b, 1), 2 * b);
+  EXPECT_LT(GssBufferPerStream(b, 4), GssBufferPerStream(b, 2));
+  EXPECT_GE(GssBufferPerStream(b, 1 << 20), b);
+}
+
+TEST(GssTest, SmallBuffersFavourInteriorG) {
+  GssConfig config;
+  config.disk = DiskParams::Sigmod96();
+  config.playback_rate = MbpsToBytesPerSec(1.5);
+  config.num_disks = 32;
+  config.buffer_bytes = 64 * kMiB;
+  Result<GssResult> best_small = OptimizeGss(config);
+  ASSERT_TRUE(best_small.ok());
+  EXPECT_GT(best_small->groups, 1);
+  EXPECT_GT(best_small->total_clips,
+            GssCapacity(config, 1)->total_clips);
+  // Plenty of buffer: the seek cost dominates and g = 1 wins.
+  config.buffer_bytes = 4096 * kMiB;
+  Result<GssResult> best_large = OptimizeGss(config);
+  ASSERT_TRUE(best_large.ok());
+  EXPECT_EQ(best_large->groups, 1);
+}
+
+TEST(GssTest, RejectsBadConfigs) {
+  GssConfig config;
+  EXPECT_FALSE(GssCapacity(config, 1).ok());
+  config.disk = DiskParams::Sigmod96();
+  config.playback_rate = MbpsToBytesPerSec(1.5);
+  config.num_disks = 8;
+  config.buffer_bytes = kMiB;
+  EXPECT_FALSE(GssCapacity(config, 0).ok());
+  EXPECT_FALSE(OptimizeGss(config, 0).ok());
+}
+
+// ---------- Reliability (§1) ----------
+
+TEST(ReliabilityTest, PaperMotivationNumbers) {
+  // "a server with, say, 200 disks has an MTTF of 1500 hours or about 60
+  // days."
+  const double mttf = ArrayMttfHours(300000.0, 200);
+  EXPECT_DOUBLE_EQ(mttf, 1500.0);
+  EXPECT_NEAR(mttf / 24.0, 62.5, 0.1);
+}
+
+TEST(ReliabilityTest, ParityProtectionBuysOrdersOfMagnitude) {
+  const double unprotected = ArrayMttfHours(300000.0, 32);
+  const double protected_mttdl =
+      ParityProtectedMttdlHours(300000.0, 32, 4, 24.0);
+  EXPECT_GT(protected_mttdl, 1000.0 * unprotected);
+  // Bigger groups are more exposed.
+  EXPECT_GT(ParityProtectedMttdlHours(300000.0, 32, 4, 24.0),
+            ParityProtectedMttdlHours(300000.0, 32, 16, 24.0));
+  // Slower repair is worse.
+  EXPECT_GT(ParityProtectedMttdlHours(300000.0, 32, 4, 24.0),
+            ParityProtectedMttdlHours(300000.0, 32, 4, 240.0));
+}
+
+}  // namespace
+}  // namespace cmfs

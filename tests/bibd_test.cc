@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bibd/constructions.h"
+#include "bibd/design.h"
+#include "bibd/design_factory.h"
+
+namespace cmfs {
+namespace {
+
+// The paper's Example 1: the (7, 3, 1) BIBD.
+Design PaperExampleDesign() {
+  Design d;
+  d.v = 7;
+  d.k = 3;
+  d.sets = {{0, 1, 3}, {1, 2, 4}, {2, 3, 5}, {3, 4, 6},
+            {0, 4, 5}, {1, 5, 6}, {0, 2, 6}};
+  return d;
+}
+
+TEST(DesignTest, PaperExampleIsBibd1) {
+  const Design d = PaperExampleDesign();
+  ASSERT_TRUE(ValidateDesign(d).ok());
+  const DesignStats stats = ComputeStats(d);
+  EXPECT_EQ(stats.min_replication, 3);
+  EXPECT_EQ(stats.max_replication, 3);
+  EXPECT_EQ(stats.min_pair_coverage, 1);
+  EXPECT_EQ(stats.max_pair_coverage, 1);
+  EXPECT_TRUE(IsBibd(d, 1));
+  EXPECT_FALSE(IsBibd(d, 2));
+}
+
+TEST(DesignTest, ValidationCatchesMalformedSets) {
+  Design d;
+  d.v = 5;
+  d.k = 2;
+  d.sets = {{0, 1}};
+  EXPECT_TRUE(ValidateDesign(d).ok());
+  d.sets = {{1, 0}};  // unsorted
+  EXPECT_FALSE(ValidateDesign(d).ok());
+  d.sets = {{1, 1}};  // duplicate
+  EXPECT_FALSE(ValidateDesign(d).ok());
+  d.sets = {{0, 5}};  // out of range
+  EXPECT_FALSE(ValidateDesign(d).ok());
+  d.sets = {{0, 1, 2}};  // wrong size
+  EXPECT_FALSE(ValidateDesign(d).ok());
+  d.sets = {};
+  EXPECT_FALSE(ValidateDesign(d).ok());
+}
+
+TEST(DesignTest, BibdCountingIdentitiesHold) {
+  // r*(k-1) = lambda*(v-1) and s*k = v*r for any BIBD we construct.
+  for (auto [v, k] : std::vector<std::pair<int, int>>{
+           {7, 3}, {13, 4}, {9, 3}, {21, 5}, {31, 6}}) {
+    Result<FactoryDesign> d = BuildDesign(v, k);
+    ASSERT_TRUE(d.ok()) << v << "," << k;
+    ASSERT_TRUE(d->exact_bibd()) << v << "," << k;
+    const int r = d->stats.min_replication;
+    const int lambda = d->stats.min_pair_coverage;
+    EXPECT_EQ(r * (k - 1), lambda * (v - 1)) << v << "," << k;
+    EXPECT_EQ(d->design.num_sets() * k, v * r) << v << "," << k;
+  }
+}
+
+TEST(CompleteDesignTest, AllPairsIsBibd1) {
+  Result<Design> d = AllPairsDesign(6);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_sets(), 15);
+  EXPECT_TRUE(IsBibd(*d, 1));
+}
+
+TEST(CompleteDesignTest, CompleteDesignLambda) {
+  // C(5,3) = 10 sets; lambda = C(3,1) = 3.
+  Result<Design> d = CompleteDesign(5, 3);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_sets(), 10);
+  EXPECT_TRUE(IsBibd(*d, 3));
+}
+
+TEST(CompleteDesignTest, RejectsHugeInstances) {
+  EXPECT_FALSE(CompleteDesign(64, 16).ok());
+  EXPECT_FALSE(CompleteDesign(3, 5).ok());
+}
+
+TEST(TrivialDesignTest, SingleSetCoversAll) {
+  Result<Design> d = TrivialDesign(8);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->num_sets(), 1);
+  EXPECT_EQ(d->sets[0].size(), 8u);
+  const DesignStats stats = ComputeStats(*d);
+  EXPECT_EQ(stats.min_replication, 1);
+  EXPECT_EQ(stats.min_pair_coverage, 1);
+}
+
+TEST(DifferenceFamilyTest, Finds7_3) {
+  Result<Design> d = CyclicDifferenceFamilyDesign(7, 3);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_sets(), 7);
+  EXPECT_TRUE(IsBibd(*d, 1));
+  // The canonical base block {0,1,3} developed cyclically gives exactly
+  // the paper's S0..S6 in order.
+  EXPECT_EQ(d->sets, PaperExampleDesign().sets);
+}
+
+TEST(DifferenceFamilyTest, Finds13_4And21_5And31_6) {
+  for (auto [v, k] : std::vector<std::pair<int, int>>{
+           {13, 4}, {21, 5}, {31, 6}, {13, 3}, {19, 3}}) {
+    Result<Design> d = CyclicDifferenceFamilyDesign(v, k);
+    ASSERT_TRUE(d.ok()) << v << "," << k;
+    EXPECT_TRUE(IsBibd(*d, 1)) << v << "," << k;
+  }
+}
+
+TEST(DifferenceFamilyTest, RejectsArithmeticallyImpossible) {
+  // k*(k-1) must divide v-1.
+  EXPECT_EQ(CyclicDifferenceFamilyDesign(8, 3).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(CyclicDifferenceFamilyDesign(12, 4).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ProjectivePlaneTest, SmallOrdersAreBibd1) {
+  for (int q : {2, 3, 5, 7}) {
+    Result<Design> d = ProjectivePlaneDesign(q);
+    ASSERT_TRUE(d.ok()) << q;
+    EXPECT_EQ(d->v, q * q + q + 1);
+    EXPECT_EQ(d->k, q + 1);
+    EXPECT_EQ(d->num_sets(), q * q + q + 1);
+    EXPECT_TRUE(IsBibd(*d, 1)) << q;
+  }
+}
+
+TEST(ProjectivePlaneTest, RejectsNonPrimePowerOrders) {
+  EXPECT_FALSE(ProjectivePlaneDesign(6).ok());
+  EXPECT_FALSE(ProjectivePlaneDesign(10).ok());
+  EXPECT_FALSE(ProjectivePlaneDesign(1).ok());
+}
+
+TEST(AffinePlaneTest, SmallOrdersAreBibd1) {
+  for (int q : {2, 3, 5}) {
+    Result<Design> d = AffinePlaneDesign(q);
+    ASSERT_TRUE(d.ok()) << q;
+    EXPECT_EQ(d->v, q * q);
+    EXPECT_EQ(d->num_sets(), q * q + q);
+    EXPECT_TRUE(IsBibd(*d, 1)) << q;
+  }
+}
+
+// ---- Greedy near-balanced fallback: parameterized property sweep ----
+
+struct GreedyCase {
+  int v;
+  int k;
+  int r;
+  int max_lambda;  // quality bar the construction must meet
+};
+
+class GreedyDesignTest : public ::testing::TestWithParam<GreedyCase> {};
+
+TEST_P(GreedyDesignTest, EquireplicateWithBoundedPairCoverage) {
+  const GreedyCase c = GetParam();
+  Result<Design> d = GreedyBalancedDesign(c.v, c.k, c.r, 0x5eed);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(ValidateDesign(*d).ok());
+  const DesignStats stats = ComputeStats(*d);
+  EXPECT_EQ(stats.min_replication, c.r);
+  EXPECT_EQ(stats.max_replication, c.r);
+  EXPECT_LE(stats.max_pair_coverage, c.max_lambda);
+  EXPECT_EQ(d->num_sets() * c.k, c.v * c.r);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GreedyDesignTest,
+    ::testing::Values(GreedyCase{32, 4, 10, 2}, GreedyCase{32, 8, 4, 3},
+                      GreedyCase{32, 16, 2, 2}, GreedyCase{16, 4, 5, 2},
+                      GreedyCase{24, 6, 5, 3}, GreedyCase{12, 3, 5, 2},
+                      GreedyCase{10, 5, 4, 3}, GreedyCase{8, 4, 7, 4}));
+
+TEST(GreedyDesignTest, RejectsNonDivisibleReplication) {
+  EXPECT_FALSE(GreedyBalancedDesign(10, 4, 3, 1).ok());  // 30 % 4 != 0
+}
+
+TEST(GreedyDesignTest, DeterministicForSeed) {
+  Result<Design> a = GreedyBalancedDesign(16, 4, 5, 7);
+  Result<Design> b = GreedyBalancedDesign(16, 4, 5, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->sets, b->sets);
+}
+
+// ---- Factory dispatch ----
+
+TEST(DesignFactoryTest, PrefersExactConstructions) {
+  EXPECT_EQ(BuildDesign(32, 2)->method, "all-pairs");
+  EXPECT_EQ(BuildDesign(32, 32)->method, "trivial");
+  EXPECT_EQ(BuildDesign(7, 3)->method, "cyclic-difference-family");
+  EXPECT_EQ(BuildDesign(9, 3)->method, "affine-plane");
+  EXPECT_EQ(BuildDesign(7, 3)->stats.max_pair_coverage, 1);
+}
+
+TEST(DesignFactoryTest, FallsBackToGreedyForPaperD32) {
+  for (int p : {4, 8, 16}) {
+    Result<FactoryDesign> d = BuildDesign(32, p);
+    ASSERT_TRUE(d.ok()) << p;
+    EXPECT_EQ(d->method, "greedy-balanced") << p;
+    // Replication close to the paper's ideal (d-1)/(p-1).
+    const double ideal = 31.0 / (p - 1);
+    EXPECT_NEAR(d->stats.min_replication, ideal, 1.0) << p;
+  }
+}
+
+TEST(DesignFactoryTest, RejectsDegenerate) {
+  EXPECT_FALSE(BuildDesign(1, 1).ok());
+  EXPECT_FALSE(BuildDesign(4, 5).ok());
+  EXPECT_FALSE(BuildDesign(4, 1).ok());
+}
+
+TEST(DesignFactoryTest, EveryDisksSetListIsDistinctSets) {
+  // No disk appears twice in one set; no set duplicated per column usage.
+  Result<FactoryDesign> d = BuildDesign(32, 8);
+  ASSERT_TRUE(d.ok());
+  for (const auto& set : d->design.sets) {
+    std::set<int> uniq(set.begin(), set.end());
+    EXPECT_EQ(uniq.size(), set.size());
+  }
+}
+
+}  // namespace
+}  // namespace cmfs

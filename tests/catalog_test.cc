@@ -1,0 +1,95 @@
+#include "media/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace cmfs {
+namespace {
+
+TEST(CatalogTest, AddClipEnforcesDenseIds) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.AddClip({0, 10}).ok());
+  EXPECT_TRUE(catalog.AddClip({1, 20}).ok());
+  EXPECT_FALSE(catalog.AddClip({3, 5}).ok());   // Gap.
+  EXPECT_FALSE(catalog.AddClip({1, 5}).ok());   // Duplicate.
+  EXPECT_FALSE(catalog.AddClip({2, 0}).ok());   // Empty clip.
+  EXPECT_FALSE(catalog.AddClip({2, -3}).ok());  // Negative.
+  EXPECT_EQ(catalog.num_clips(), 2);
+  EXPECT_EQ(catalog.total_blocks(), 30);
+}
+
+TEST(CatalogTest, SingleSpaceConcatenationIsContiguous) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddClip({0, 10}).ok());
+  ASSERT_TRUE(catalog.AddClip({1, 5}).ok());
+  ASSERT_TRUE(catalog.AddClip({2, 7}).ok());
+  const auto extents = catalog.Concatenate(1);
+  ASSERT_EQ(extents.size(), 3u);
+  EXPECT_EQ(extents[0].start_block, 0);
+  EXPECT_EQ(extents[1].start_block, 10);
+  EXPECT_EQ(extents[2].start_block, 15);
+  for (const auto& e : extents) EXPECT_EQ(e.space, 0);
+  EXPECT_EQ(catalog.SpaceSizes(1)[0], 22);
+}
+
+TEST(CatalogTest, MultiSpaceAssignmentBalances) {
+  Catalog catalog;
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(catalog.AddClip({i, 10}).ok());
+  }
+  const auto sizes = catalog.SpaceSizes(3);
+  ASSERT_EQ(sizes.size(), 3u);
+  for (auto size : sizes) EXPECT_EQ(size, 30);
+  // Each clip wholly inside one space, extents non-overlapping per space.
+  const auto extents = catalog.Concatenate(3);
+  std::vector<std::int64_t> cursor(3, 0);
+  for (const auto& e : extents) {
+    EXPECT_EQ(e.start_block, cursor[static_cast<std::size_t>(e.space)]);
+    cursor[static_cast<std::size_t>(e.space)] += e.length_blocks;
+  }
+}
+
+TEST(CatalogTest, UnevenClipsStayWithinOneClipOfBalance) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddClip({0, 100}).ok());
+  ASSERT_TRUE(catalog.AddClip({1, 1}).ok());
+  ASSERT_TRUE(catalog.AddClip({2, 1}).ok());
+  ASSERT_TRUE(catalog.AddClip({3, 1}).ok());
+  const auto extents = catalog.Concatenate(2);
+  // The three small clips go to the space not holding the big one.
+  EXPECT_EQ(extents[0].space, 0);
+  EXPECT_EQ(extents[1].space, 1);
+  EXPECT_EQ(extents[2].space, 1);
+  EXPECT_EQ(extents[3].space, 1);
+}
+
+TEST(CatalogTest, AlignedConcatenationPadsToGroups) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddClip({0, 10}).ok());  // pads to 12
+  ASSERT_TRUE(catalog.AddClip({1, 9}).ok());   // already aligned
+  ASSERT_TRUE(catalog.AddClip({2, 1}).ok());   // pads to 3
+  const auto extents = catalog.Concatenate(1, /*align=*/3);
+  ASSERT_EQ(extents.size(), 3u);
+  for (const auto& e : extents) {
+    EXPECT_EQ(e.start_block % 3, 0) << e.id;
+    EXPECT_EQ(e.length_blocks % 3, 0) << e.id;
+    EXPECT_GE(e.length_blocks, catalog.clip(e.id).length_blocks);
+  }
+  EXPECT_EQ(extents[0].length_blocks, 12);
+  EXPECT_EQ(extents[1].start_block, 12);
+  EXPECT_EQ(extents[2].length_blocks, 3);
+  EXPECT_EQ(catalog.SpaceSizes(1, 3)[0], 24);
+}
+
+TEST(CatalogTest, AlignedMultiSpaceKeepsAlignmentPerSpace) {
+  Catalog catalog;
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(catalog.AddClip({i, 5 + i}).ok());
+  }
+  for (const auto& e : catalog.Concatenate(3, /*align=*/4)) {
+    EXPECT_EQ(e.start_block % 4, 0);
+    EXPECT_EQ(e.length_blocks % 4, 0);
+  }
+}
+
+}  // namespace
+}  // namespace cmfs

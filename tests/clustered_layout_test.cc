@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/flat_parity_layout.h"
+#include "layout/parity_disk_layout.h"
+
+namespace cmfs {
+namespace {
+
+// ---------- Figure 3: flat placement, d = 9, p = 4 ----------
+
+TEST(FlatParityLayoutTest, Figure3ParityDisksReproduced) {
+  FlatParityLayout layout(9, 4, 54);
+  // Figure 3: P_g is the parity of D_{3g}, D_{3g+1}, D_{3g+2}; transcribed
+  // parity disks for the 18 groups.
+  const int expected_parity_disk[18] = {3, 6, 0,   // P0  P1  P2
+                                        4, 7, 1,   // P3  P4  P5
+                                        5, 8, 2,   // P6  P7  P8
+                                        6, 0, 3,   // P9  P10 P11
+                                        7, 1, 4,   // P12 P13 P14
+                                        8, 2, 5};  // P15 P16 P17
+  for (std::int64_t g = 0; g < 18; ++g) {
+    EXPECT_EQ(layout.ParityDiskOfGroup(g), expected_parity_disk[g])
+        << "P" << g;
+  }
+}
+
+TEST(FlatParityLayoutTest, Figure3DataPlacement) {
+  FlatParityLayout layout(9, 4, 54);
+  // D_n sits on disk n mod 9 at slot n / 9 — the first six rows of
+  // Figure 3.
+  for (std::int64_t n = 0; n < 54; ++n) {
+    const BlockAddress addr = layout.DataAddress(0, n);
+    EXPECT_EQ(addr.disk, static_cast<int>(n % 9));
+    EXPECT_EQ(addr.block, n / 9);
+  }
+  EXPECT_EQ(layout.data_slots_per_disk(), 6);
+}
+
+TEST(FlatParityLayoutTest, ParityOutsideOwnGroupAndInParityRegion) {
+  FlatParityLayout layout(9, 4, 54);
+  for (std::int64_t n = 0; n < 54; ++n) {
+    const ParityGroupInfo group = layout.GroupOf(0, n);
+    EXPECT_GE(group.parity.block, layout.data_slots_per_disk());
+    for (const BlockAddress& member : group.data) {
+      EXPECT_NE(member.disk, group.parity.disk);
+      EXPECT_LT(member.block, layout.data_slots_per_disk());
+    }
+  }
+}
+
+TEST(FlatParityLayoutTest, ParityLoadSpreadEvenly) {
+  // Each disk holds exactly 2 of the 18 parity blocks in Figure 3.
+  FlatParityLayout layout(9, 4, 54);
+  std::vector<int> per_disk(9, 0);
+  for (std::int64_t g = 0; g < 18; ++g) {
+    ++per_disk[static_cast<std::size_t>(layout.ParityDiskOfGroup(g))];
+  }
+  for (int c : per_disk) EXPECT_EQ(c, 2);
+}
+
+TEST(FlatParityLayoutTest, ParitySlotsDistinctPerDisk) {
+  FlatParityLayout layout(9, 4, 54);
+  std::set<std::pair<int, std::int64_t>> seen;
+  for (std::int64_t n = 0; n < 54; n += 3) {
+    const ParityGroupInfo group = layout.GroupOf(0, n);
+    EXPECT_TRUE(
+        seen.insert({group.parity.disk, group.parity.block}).second);
+  }
+}
+
+TEST(FlatParityLayoutTest, WrapAroundGroupsForNonDividingP) {
+  // d = 32, p = 4: the paper's own sweep; groups wrap around the array.
+  FlatParityLayout layout(32, 4, 3 * 32 * 29);
+  for (std::int64_t n = 0; n < layout.space_capacity(0); n += 17) {
+    const ParityGroupInfo group = layout.GroupOf(0, n);
+    ASSERT_EQ(group.data.size(), 3u);
+    std::set<int> disks;
+    for (const BlockAddress& member : group.data) {
+      disks.insert(member.disk);
+      EXPECT_NE(member.disk, group.parity.disk);
+    }
+    EXPECT_EQ(disks.size(), 3u);  // Distinct member disks despite wrap.
+  }
+}
+
+TEST(FlatParityLayoutTest, ParityClassDeterminesHomeDiskWhenAligned) {
+  // With (p-1) | d, two groups of the same cluster and class share a
+  // parity disk — the §6.2 admission rule's foundation.
+  FlatParityLayout layout(9, 4, 54 * 7);
+  for (std::int64_t g = 0; g < 18; ++g) {
+    const std::int64_t slot = g / 3;
+    const std::int64_t g2 = g + 3 * 6;  // Same cluster, class cycle later.
+    if ((g2 + 1) * 3 <= layout.space_capacity(0)) {
+      EXPECT_EQ(layout.ParityClassOfSlot(slot),
+                layout.ParityClassOfSlot(slot + 6));
+      EXPECT_EQ(layout.ParityDiskOfGroup(g), layout.ParityDiskOfGroup(g2));
+    }
+  }
+}
+
+// ---------- Clustered layout with dedicated parity disks ----------
+
+TEST(ParityDiskLayoutTest, ParityDisksAreClusterLasts) {
+  ParityDiskLayout layout(8, 4, 120);
+  EXPECT_EQ(layout.num_clusters(), 2);
+  EXPECT_EQ(layout.num_data_disks(), 6);
+  for (int disk = 0; disk < 8; ++disk) {
+    EXPECT_EQ(layout.IsParityDisk(disk), disk == 3 || disk == 7);
+  }
+  EXPECT_EQ(layout.PhysicalDataDisk(0), 0);
+  EXPECT_EQ(layout.PhysicalDataDisk(2), 2);
+  EXPECT_EQ(layout.PhysicalDataDisk(3), 4);  // Skips parity disk 3.
+  EXPECT_EQ(layout.PhysicalDataDisk(5), 6);
+}
+
+TEST(ParityDiskLayoutTest, DataNeverLandsOnParityDisks) {
+  ParityDiskLayout layout(8, 4, 120);
+  for (std::int64_t n = 0; n < 120; ++n) {
+    const BlockAddress addr = layout.DataAddress(0, n);
+    EXPECT_FALSE(layout.IsParityDisk(addr.disk)) << n;
+    EXPECT_EQ(addr.disk, layout.DiskOf(n));
+  }
+}
+
+TEST(ParityDiskLayoutTest, GroupsLiveInOneClusterAtOneSlot) {
+  ParityDiskLayout layout(8, 4, 120);
+  for (std::int64_t n = 0; n < 120; ++n) {
+    const ParityGroupInfo group = layout.GroupOf(0, n);
+    ASSERT_EQ(group.data.size(), 3u);
+    const int cluster = group.data[0].disk / 4;
+    for (const BlockAddress& member : group.data) {
+      EXPECT_EQ(member.disk / 4, cluster);
+      EXPECT_EQ(member.block, group.parity.block);
+      EXPECT_FALSE(layout.IsParityDisk(member.disk));
+    }
+    EXPECT_EQ(group.parity.disk, cluster * 4 + 3);
+  }
+}
+
+TEST(ParityDiskLayoutTest, ConsecutiveGroupsRotateClusters) {
+  ParityDiskLayout layout(8, 4, 120);
+  for (std::int64_t g = 0; g < 40 - 1; ++g) {
+    EXPECT_EQ(layout.ClusterOfGroup(g), static_cast<int>(g % 2));
+  }
+}
+
+TEST(ParityDiskLayoutTest, GroupPeersAreContiguousRun) {
+  ParityDiskLayout layout(8, 4, 120);
+  const auto peers = layout.GroupPeers(0, 7);  // Group 2 = {6, 7, 8}.
+  EXPECT_EQ(peers, (std::vector<std::int64_t>{6, 8}));
+}
+
+TEST(ParityDiskLayoutTest, P2DegeneratesToMirroring) {
+  // p = 2: one data disk + one parity disk per cluster; every group is a
+  // single data block plus its mirror-like parity.
+  ParityDiskLayout layout(4, 2, 50);
+  EXPECT_EQ(layout.num_data_disks(), 2);
+  for (std::int64_t n = 0; n < 50; ++n) {
+    const ParityGroupInfo group = layout.GroupOf(0, n);
+    EXPECT_EQ(group.data.size(), 1u);
+    EXPECT_TRUE(layout.GroupPeers(0, n).empty());
+  }
+}
+
+}  // namespace
+}  // namespace cmfs

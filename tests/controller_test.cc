@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include "bibd/design_factory.h"
+#include "core/declustered_controller.h"
+#include "core/dynamic_controller.h"
+#include "core/nonclustered_controller.h"
+#include "core/prefetch_flat_controller.h"
+#include "core/prefetch_parity_disk_controller.h"
+#include "core/streaming_raid_controller.h"
+
+namespace cmfs {
+namespace {
+
+DeclusteredLayout MakeDeclustered(int d, int p, std::int64_t capacity) {
+  Result<FactoryDesign> design = BuildDesign(d, p);
+  CMFS_CHECK(design.ok());
+  Result<Pgt> pgt = Pgt::FromDesign(design->design);
+  CMFS_CHECK(pgt.ok());
+  return DeclusteredLayout(*std::move(pgt), capacity);
+}
+
+// ---------- Declustered (§4) ----------
+
+TEST(DeclusteredControllerTest, EnforcesPerDiskAndPerRowCaps) {
+  const DeclusteredLayout layout = MakeDeclustered(7, 3, 10000);
+  // q = 5, f = 1, lambda = 1 => per disk cap 4, per (disk,row) cap 1.
+  DeclusteredController controller(&layout, 5, 1);
+  EXPECT_EQ(controller.reserved(), 1);
+  // Four streams on disk 0, rows 0,1,2 then row 0 again.
+  EXPECT_TRUE(controller.TryAdmit(0, 0, 0, 100));        // disk0 row0
+  EXPECT_TRUE(controller.TryAdmit(1, 0, 7, 100));        // disk0 row1
+  EXPECT_TRUE(controller.TryAdmit(2, 0, 14, 100));       // disk0 row2
+  EXPECT_FALSE(controller.TryAdmit(3, 0, 21, 100));      // row0 again: f
+  // Different disk is fine.
+  EXPECT_TRUE(controller.TryAdmit(4, 0, 1, 100));
+  EXPECT_EQ(controller.num_active(), 4);
+}
+
+TEST(DeclusteredControllerTest, PerDiskCapBinds) {
+  const DeclusteredLayout layout = MakeDeclustered(7, 3, 10000);
+  // q = 4, f = 1 => per-disk cap 3 < rows.
+  DeclusteredController controller(&layout, 4, 1);
+  EXPECT_TRUE(controller.TryAdmit(0, 0, 0, 100));
+  EXPECT_TRUE(controller.TryAdmit(1, 0, 7, 100));
+  EXPECT_TRUE(controller.TryAdmit(2, 0, 14, 100));
+  EXPECT_FALSE(controller.TryAdmit(3, 0, 21, 100));
+}
+
+TEST(DeclusteredControllerTest, SlotsFreeWhenFetchingEnds) {
+  const DeclusteredLayout layout = MakeDeclustered(7, 3, 10000);
+  DeclusteredController controller(&layout, 5, 1);
+  ASSERT_TRUE(controller.TryAdmit(0, 0, 0, 3));
+  ASSERT_FALSE(controller.TryAdmit(1, 0, 0, 3));  // Same (disk,row).
+  // After 3 rounds the stream has fetched everything; slot frees even
+  // though the final delivery drains one round later.
+  RoundPlan plan;
+  controller.Round(-1, &plan);
+  controller.Round(-1, &plan);
+  controller.Round(-1, &plan);
+  EXPECT_TRUE(controller.TryAdmit(1, 0, 0, 3));
+}
+
+TEST(DeclusteredControllerTest, CohortMovesTogether) {
+  const DeclusteredLayout layout = MakeDeclustered(7, 3, 10000);
+  DeclusteredController controller(&layout, 5, 1);
+  ASSERT_TRUE(controller.TryAdmit(0, 0, 0, 100));
+  controller.Round(-1, nullptr);
+  // Stream moved to disk 1 row 0: that slot is now taken...
+  EXPECT_FALSE(controller.TryAdmit(1, 0, 1, 100));
+  // ...but its old slot (disk 0 row 0) is free again.
+  EXPECT_TRUE(controller.TryAdmit(2, 0, 0, 100));
+}
+
+TEST(DeclusteredControllerTest, DegradedRoundReadsWholeGroup) {
+  const DeclusteredLayout layout = MakeDeclustered(7, 3, 10000);
+  DeclusteredController controller(&layout, 5, 1);
+  ASSERT_TRUE(controller.TryAdmit(0, 0, 0, 10));
+  RoundPlan plan;
+  controller.Round(/*failed_disk=*/0, &plan);
+  // Block 0 lives on disk 0: expect k-1 = 2 recovery reads (one
+  // surviving member + parity), none on the failed disk.
+  ASSERT_EQ(plan.reads.size(), 2u);
+  for (const RoundRead& read : plan.reads) {
+    EXPECT_EQ(read.kind, ReadKind::kRecovery);
+    EXPECT_NE(read.addr.disk, 0);
+    EXPECT_EQ(read.index, 0);
+  }
+}
+
+TEST(DeclusteredControllerTest, LambdaMaxScalesReservation) {
+  // Greedy (8,4) designs have lambda_max >= 2; the controller must
+  // withhold lambda_max * f.
+  Result<FactoryDesign> design = BuildDesign(8, 4);
+  ASSERT_TRUE(design.ok());
+  ASSERT_GT(design->stats.max_pair_coverage, 1);
+  Result<Pgt> pgt = Pgt::FromDesign(design->design);
+  ASSERT_TRUE(pgt.ok());
+  const int lambda = pgt->max_pair_coverage();
+  DeclusteredLayout layout(*std::move(pgt), 10000);
+  DeclusteredController controller(&layout, 10, 2);
+  EXPECT_EQ(controller.reserved(), lambda * 2);
+}
+
+TEST(DeclusteredControllerTest, CancelFreesSlotImmediately) {
+  const DeclusteredLayout layout = MakeDeclustered(7, 3, 10000);
+  DeclusteredController controller(&layout, 5, 1);
+  ASSERT_TRUE(controller.TryAdmit(0, 0, 0, 100));
+  ASSERT_FALSE(controller.TryAdmit(1, 0, 0, 100));
+  EXPECT_TRUE(controller.Cancel(0));
+  EXPECT_FALSE(controller.Cancel(0));  // Already gone.
+  EXPECT_TRUE(controller.TryAdmit(1, 0, 0, 100));
+  EXPECT_EQ(controller.num_active(), 1);
+}
+
+TEST(ControllerCancelTest, AllSchemesSupportCancel) {
+  // Cancel on every controller frees the slot for an identical admit.
+  ParityDiskLayout pd_layout(8, 4, 9000);
+  PrefetchParityDiskController pd(&pd_layout, 1);
+  ASSERT_TRUE(pd.TryAdmit(0, 0, 0, 30));
+  ASSERT_FALSE(pd.TryAdmit(1, 0, 0, 30));
+  ASSERT_TRUE(pd.Cancel(0));
+  EXPECT_TRUE(pd.TryAdmit(1, 0, 0, 30));
+
+  FlatParityLayout flat_layout(9, 4, 90000);
+  PrefetchFlatController flat(&flat_layout, 4, 1);
+  ASSERT_TRUE(flat.TryAdmit(0, 0, 0, 30));
+  ASSERT_FALSE(flat.TryAdmit(1, 0, 54, 30));  // Same (disk, class).
+  ASSERT_TRUE(flat.Cancel(0));
+  EXPECT_TRUE(flat.TryAdmit(1, 0, 54, 30));
+
+  ParityDiskLayout sr_layout(8, 4, 9000);
+  StreamingRaidController sr(&sr_layout, 1);
+  ASSERT_TRUE(sr.TryAdmit(0, 0, 0, 30));
+  ASSERT_FALSE(sr.TryAdmit(1, 0, 6, 30));  // Same cluster.
+  ASSERT_TRUE(sr.Cancel(0));
+  EXPECT_TRUE(sr.TryAdmit(1, 0, 6, 30));
+
+  ParityDiskLayout ncl_layout(8, 4, 9000);
+  NonClusteredController ncl(&ncl_layout, 1);
+  ASSERT_TRUE(ncl.TryAdmit(0, 0, 0, 30));
+  ASSERT_FALSE(ncl.TryAdmit(1, 0, 0, 30));
+  ASSERT_TRUE(ncl.Cancel(0));
+  EXPECT_TRUE(ncl.TryAdmit(1, 0, 0, 30));
+}
+
+// ---------- Dynamic (§5) ----------
+
+SuperclipLayout MakeSuperclip(int d, int p, std::int64_t capacity) {
+  Result<FactoryDesign> design = BuildDesign(d, p);
+  CMFS_CHECK(design.ok());
+  Result<Pgt> pgt = Pgt::FromDesign(design->design);
+  CMFS_CHECK(pgt.ok());
+  return SuperclipLayout(*std::move(pgt), capacity);
+}
+
+TEST(DynamicControllerTest, AdmitsUpToInvariant) {
+  const SuperclipLayout layout = MakeSuperclip(7, 3, 700);
+  DynamicController controller(&layout, 4);
+  int admitted = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (controller.TryAdmit(i, i % 3, i % 7, 50)) ++admitted;
+  }
+  EXPECT_GT(admitted, 0);
+  EXPECT_LT(admitted, 40);
+  EXPECT_GE(controller.MinHeadroom(), 0);
+}
+
+TEST(DynamicControllerTest, ReservesOnlyWhereGroupsLive) {
+  const SuperclipLayout layout = MakeSuperclip(7, 3, 700);
+  // q = 2: a single stream reserves contingency on its two group-peer
+  // disks each round; a disjoint second stream may still enter.
+  DynamicController controller(&layout, 2);
+  ASSERT_TRUE(controller.TryAdmit(0, 0, 0, 50));
+  // Headroom drops by 1 serving + 1 contingency somewhere.
+  EXPECT_LE(controller.MinHeadroom(), 1);
+}
+
+TEST(DynamicControllerTest, AdaptiveVsStaticMotivation) {
+  // §5's motivating scenario: the static scheme rejects a clip whose
+  // (disk, row) cohort is full even when bandwidth is free; the dynamic
+  // scheme admits by reserving contingency only where needed.
+  const int d = 7;
+  Result<FactoryDesign> design = BuildDesign(d, 3);
+  ASSERT_TRUE(design.ok());
+  Result<Pgt> pgt_s = Pgt::FromDesign(design->design);
+  Result<Pgt> pgt_d = Pgt::FromDesign(design->design);
+  ASSERT_TRUE(pgt_s.ok() && pgt_d.ok());
+  DeclusteredLayout static_layout(*std::move(pgt_s), 10000);
+  SuperclipLayout dynamic_layout(*std::move(pgt_d), 10000);
+  const int q = 8;
+  DeclusteredController static_ctrl(&static_layout, q, /*f=*/1);
+  DynamicController dynamic_ctrl(&dynamic_layout, q);
+  // Two clips starting on the same disk and row.
+  EXPECT_TRUE(static_ctrl.TryAdmit(0, 0, 0, 100));
+  EXPECT_FALSE(static_ctrl.TryAdmit(1, 0, 0, 100));  // f = 1 blocks it.
+  EXPECT_TRUE(dynamic_ctrl.TryAdmit(0, 0, 0, 100));
+  EXPECT_TRUE(dynamic_ctrl.TryAdmit(1, 0, 0, 100));  // Dynamic admits.
+}
+
+// ---------- Prefetch with parity disks (§6.1) ----------
+
+TEST(PrefetchParityDiskControllerTest, PerDataDiskCap) {
+  ParityDiskLayout layout(8, 4, 9000);
+  PrefetchParityDiskController controller(&layout, 2);
+  EXPECT_TRUE(controller.TryAdmit(0, 0, 0, 30));
+  EXPECT_TRUE(controller.TryAdmit(1, 0, 0, 30));
+  EXPECT_FALSE(controller.TryAdmit(2, 0, 0, 30));  // Data disk 0 full.
+  EXPECT_TRUE(controller.TryAdmit(3, 0, 3, 30));   // Data disk 3 free.
+}
+
+TEST(PrefetchParityDiskControllerTest, PlaybackLagIsGroupSize) {
+  ParityDiskLayout layout(8, 4, 9000);
+  PrefetchParityDiskController controller(&layout, 4);
+  ASSERT_TRUE(controller.TryAdmit(0, 0, 0, 9));
+  RoundPlan plan;
+  // Rounds 1..p-1 = 3: fetch only, no deliveries.
+  for (int r = 0; r < 3; ++r) {
+    plan = RoundPlan();
+    controller.Round(-1, &plan);
+    EXPECT_EQ(plan.reads.size(), 1u) << r;
+    EXPECT_TRUE(plan.deliveries.empty()) << r;
+  }
+  // Round 4: first delivery.
+  plan = RoundPlan();
+  controller.Round(-1, &plan);
+  ASSERT_EQ(plan.deliveries.size(), 1u);
+  EXPECT_EQ(plan.deliveries[0].index, 0);
+}
+
+TEST(PrefetchParityDiskControllerTest, FailedDiskCostsOneParityRead) {
+  ParityDiskLayout layout(8, 4, 9000);
+  PrefetchParityDiskController controller(&layout, 4);
+  ASSERT_TRUE(controller.TryAdmit(0, 0, 0, 9));
+  RoundPlan plan;
+  controller.Round(/*failed_disk=*/0, &plan);
+  ASSERT_EQ(plan.reads.size(), 1u);
+  EXPECT_EQ(plan.reads[0].kind, ReadKind::kParity);
+  // Parity disk of cluster 0 is disk 3.
+  EXPECT_EQ(plan.reads[0].addr.disk, 3);
+  EXPECT_EQ(plan.reads[0].index, 0);
+}
+
+// ---------- Prefetch flat (§6.2) ----------
+
+TEST(PrefetchFlatControllerTest, PerDiskAndPerClassCaps) {
+  FlatParityLayout layout(9, 4, 90000);
+  // q = 4, f = 1: per disk 3, per (disk, class) 1. Class = slot mod 6.
+  PrefetchFlatController controller(&layout, 4, 1);
+  EXPECT_TRUE(controller.TryAdmit(0, 0, 0, 30));    // disk0 class0
+  EXPECT_FALSE(controller.TryAdmit(1, 0, 54, 30));  // disk0 slot6=class0
+  EXPECT_TRUE(controller.TryAdmit(2, 0, 9, 30));    // disk0 class1
+  EXPECT_TRUE(controller.TryAdmit(3, 0, 18, 30));   // disk0 class2
+  EXPECT_FALSE(controller.TryAdmit(4, 0, 27, 30));  // disk0 full (q-f=3)
+}
+
+TEST(PrefetchFlatControllerTest, FailureReadsGoToParityHome) {
+  FlatParityLayout layout(9, 4, 90000);
+  PrefetchFlatController controller(&layout, 6, 2);
+  ASSERT_TRUE(controller.TryAdmit(0, 0, 0, 30));
+  RoundPlan plan;
+  controller.Round(/*failed_disk=*/0, &plan);
+  ASSERT_EQ(plan.reads.size(), 1u);
+  EXPECT_EQ(plan.reads[0].kind, ReadKind::kParity);
+  EXPECT_EQ(plan.reads[0].addr.disk, layout.ParityDiskOfGroup(0));
+}
+
+// ---------- Streaming RAID ----------
+
+TEST(StreamingRaidControllerTest, GroupsFetchedAtBoundaries) {
+  ParityDiskLayout layout(8, 4, 9000);
+  StreamingRaidController controller(&layout, 3);
+  EXPECT_EQ(controller.super_round_length(), 3);
+  ASSERT_TRUE(controller.TryAdmit(0, 0, 0, 9));
+  RoundPlan plan;
+  controller.Round(-1, &plan);  // Boundary: whole group.
+  EXPECT_EQ(plan.reads.size(), 3u);
+  plan = RoundPlan();
+  controller.Round(-1, &plan);  // Mid super-round: nothing.
+  EXPECT_TRUE(plan.reads.empty());
+  EXPECT_EQ(plan.deliveries.size(), 1u);  // But playback proceeds.
+}
+
+TEST(StreamingRaidControllerTest, PerClusterQuota) {
+  ParityDiskLayout layout(8, 4, 9000);
+  StreamingRaidController controller(&layout, 2);
+  // Groups 0 and 2 are in cluster 0; group 1 in cluster 1.
+  EXPECT_TRUE(controller.TryAdmit(0, 0, 0, 30));   // cluster 0
+  EXPECT_TRUE(controller.TryAdmit(1, 0, 6, 30));   // cluster 0 (group 2)
+  EXPECT_FALSE(controller.TryAdmit(2, 0, 12, 30)); // cluster 0 full
+  EXPECT_TRUE(controller.TryAdmit(3, 0, 3, 30));   // cluster 1
+}
+
+TEST(StreamingRaidControllerTest, FailureSwapsInParityRead) {
+  ParityDiskLayout layout(8, 4, 9000);
+  StreamingRaidController controller(&layout, 3);
+  ASSERT_TRUE(controller.TryAdmit(0, 0, 0, 9));
+  RoundPlan plan;
+  controller.Round(/*failed_disk=*/1, &plan);
+  ASSERT_EQ(plan.reads.size(), 3u);
+  int parity_reads = 0;
+  for (const RoundRead& read : plan.reads) {
+    EXPECT_NE(read.addr.disk, 1);
+    if (read.kind == ReadKind::kParity) ++parity_reads;
+  }
+  EXPECT_EQ(parity_reads, 1);
+}
+
+// ---------- Non-clustered ----------
+
+TEST(NonClusteredControllerTest, NormalModeSingleBlockLag1) {
+  ParityDiskLayout layout(8, 4, 9000);
+  NonClusteredController controller(&layout, 3);
+  ASSERT_TRUE(controller.TryAdmit(0, 0, 0, 9));
+  RoundPlan plan;
+  controller.Round(-1, &plan);
+  EXPECT_EQ(plan.reads.size(), 1u);
+  EXPECT_TRUE(plan.deliveries.empty());
+  plan = RoundPlan();
+  controller.Round(-1, &plan);
+  EXPECT_EQ(plan.reads.size(), 1u);
+  ASSERT_EQ(plan.deliveries.size(), 1u);
+  EXPECT_EQ(plan.deliveries[0].index, 0);
+}
+
+TEST(NonClusteredControllerTest, DegradedModeBulkReadsOnlyFailedCluster) {
+  ParityDiskLayout layout(8, 4, 9000);
+  NonClusteredController controller(&layout, 3);
+  ASSERT_TRUE(controller.TryAdmit(0, 0, 0, 12));
+  // Fail disk 0 (cluster 0) before the stream starts group 0.
+  RoundPlan plan;
+  controller.Round(/*failed_disk=*/0, &plan);
+  // Group 0 is at risk: whole-group read = 2 survivors + parity.
+  ASSERT_EQ(plan.reads.size(), 3u);
+  int parity_reads = 0;
+  for (const RoundRead& read : plan.reads) {
+    EXPECT_NE(read.addr.disk, 0);
+    if (read.kind == ReadKind::kParity) ++parity_reads;
+  }
+  EXPECT_EQ(parity_reads, 1);
+  // Next round: bulk data still queued for delivery, no new reads.
+  plan = RoundPlan();
+  controller.Round(0, &plan);
+  EXPECT_TRUE(plan.reads.empty());
+  EXPECT_EQ(plan.deliveries.size(), 1u);
+  // Once the lag drains, group 1 (cluster 1) is healthy: back to
+  // single-block reads.
+  plan = RoundPlan();
+  controller.Round(0, &plan);
+  ASSERT_EQ(plan.reads.size(), 1u);
+  EXPECT_EQ(plan.reads[0].kind, ReadKind::kData);
+  EXPECT_EQ(plan.reads[0].index, 3);
+}
+
+TEST(NonClusteredControllerTest, MidGroupTransitionLosesFailedBlocks) {
+  ParityDiskLayout layout(8, 4, 9000);
+  NonClusteredController controller(&layout, 3);
+  // Stream starts at group 0 (cluster 0); let it fetch block 0, then
+  // fail disk 1 — block 1 (disk 1) is mid-group and lost.
+  ASSERT_TRUE(controller.TryAdmit(0, 0, 0, 12));
+  RoundPlan plan;
+  controller.Round(-1, &plan);
+  ASSERT_EQ(plan.reads.size(), 1u);
+  plan = RoundPlan();
+  controller.Round(/*failed_disk=*/1, &plan);
+  // Block 1 was on disk 1: lost (no read), delivery of block 0 happens.
+  EXPECT_TRUE(plan.reads.empty());
+  ASSERT_EQ(plan.deliveries.size(), 1u);
+  plan = RoundPlan();
+  controller.Round(1, &plan);
+  // Block 2 (disk 2) is fetched normally.
+  ASSERT_EQ(plan.reads.size(), 1u);
+  EXPECT_EQ(plan.reads[0].addr.disk, 2);
+}
+
+TEST(NonClusteredControllerTest, ParityDiskFailureIsHarmless) {
+  ParityDiskLayout layout(8, 4, 9000);
+  NonClusteredController controller(&layout, 3);
+  ASSERT_TRUE(controller.TryAdmit(0, 0, 0, 12));
+  RoundPlan plan;
+  controller.Round(/*failed_disk=*/3, &plan);  // Cluster 0's parity disk.
+  ASSERT_EQ(plan.reads.size(), 1u);
+  EXPECT_EQ(plan.reads[0].kind, ReadKind::kData);
+}
+
+}  // namespace
+}  // namespace cmfs

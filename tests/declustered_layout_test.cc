@@ -1,0 +1,177 @@
+#include "layout/declustered_layout.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cmfs {
+namespace {
+
+Design PaperExampleDesign() {
+  Design d;
+  d.v = 7;
+  d.k = 3;
+  d.sets = {{0, 1, 3}, {1, 2, 4}, {2, 3, 5}, {3, 4, 6},
+            {0, 4, 5}, {1, 5, 6}, {0, 2, 6}};
+  return d;
+}
+
+DeclusteredLayout PaperLayout(std::int64_t capacity = 42) {
+  Result<Pgt> pgt = Pgt::FromDesign(PaperExampleDesign());
+  CMFS_CHECK(pgt.ok());
+  return DeclusteredLayout(*std::move(pgt), capacity);
+}
+
+// §4.1's block-to-set map with data/parity labels, disks 0..2, blocks
+// 0..8 (transcribed from the paper's example):
+//   disk 0: S0d S4d S6d S0d S4d S6d S0p S4p S6p
+//   disk 1: S0d S1d S5d S0p S1d S5d S0d S1p S5p
+//   disk 2: S1d S2d S6d S1p S2d S6p S1d S2p S6d
+TEST(DeclusteredLayoutTest, PaperBlockToSetMapReproduced) {
+  const DeclusteredLayout layout = PaperLayout();
+  const DeclusteredCore& core = layout.core();
+  struct Entry {
+    int set;
+    bool parity;
+  };
+  const Entry expected[3][9] = {
+      {{0, false}, {4, false}, {6, false}, {0, false}, {4, false},
+       {6, false}, {0, true}, {4, true}, {6, true}},
+      {{0, false}, {1, false}, {5, false}, {0, true}, {1, false},
+       {5, false}, {0, false}, {1, true}, {5, true}},
+      {{1, false}, {2, false}, {6, false}, {1, true}, {2, false},
+       {6, true}, {1, false}, {2, true}, {6, false}},
+  };
+  for (int disk = 0; disk < 3; ++disk) {
+    for (std::int64_t block = 0; block < 9; ++block) {
+      const int row = static_cast<int>(block % 3);
+      EXPECT_EQ(core.pgt().SetAt(row, disk),
+                expected[disk][block].set)
+          << "disk " << disk << " block " << block;
+      EXPECT_EQ(core.IsParityBlock(disk, block),
+                expected[disk][block].parity)
+          << "disk " << disk << " block " << block;
+    }
+  }
+}
+
+// The paper's full placement table (9 disk blocks x 7 disks); "P" marks
+// parity blocks, D<i> the i-th data block of the concatenated super-clip.
+TEST(DeclusteredLayoutTest, PaperPlacementTableReproduced) {
+  const DeclusteredLayout layout = PaperLayout();
+  const std::string expected[9][7] = {
+      {"D0", "D1", "D2", "P", "P", "P", "P"},
+      {"D7", "D8", "D9", "D10", "D11", "P", "P"},
+      {"D14", "D15", "D16", "D17", "D18", "D19", "P"},
+      {"D21", "P", "P", "D3", "D4", "D5", "D6"},
+      {"D28", "D29", "D30", "P", "P", "D12", "D13"},
+      {"D35", "D36", "P", "D38", "P", "P", "D20"},
+      {"P", "D22", "D23", "D24", "D25", "D26", "D27"},
+      {"P", "P", "P", "D31", "D32", "D33", "D34"},
+      {"P", "P", "D37", "P", "D39", "D40", "D41"},
+  };
+  // Forward map every logical block and check it lands where the paper
+  // says; check parity cells via IsParityBlock.
+  std::string actual[9][7];
+  for (int disk = 0; disk < 7; ++disk) {
+    for (std::int64_t block = 0; block < 9; ++block) {
+      if (layout.core().IsParityBlock(disk, block)) {
+        actual[block][disk] = "P";
+      }
+    }
+  }
+  for (std::int64_t logical = 0; logical < 42; ++logical) {
+    const BlockAddress addr = layout.DataAddress(0, logical);
+    ASSERT_LT(addr.block, 9);
+    ASSERT_TRUE(actual[addr.block][addr.disk].empty())
+        << "collision at disk " << addr.disk << " block " << addr.block;
+    actual[addr.block][addr.disk] = "D" + std::to_string(logical);
+  }
+  for (int block = 0; block < 9; ++block) {
+    for (int disk = 0; disk < 7; ++disk) {
+      EXPECT_EQ(actual[block][disk], expected[block][disk])
+          << "disk " << disk << " block " << block;
+    }
+  }
+}
+
+// "P0 is the parity block for data blocks D0 and D1, while P1 is the
+// parity block for data blocks D8 and D2."
+TEST(DeclusteredLayoutTest, PaperParityGroupExamples) {
+  const DeclusteredLayout layout = PaperLayout();
+  // D0 and D1 share a group with parity on disk 3, block 0 (P0).
+  const ParityGroupInfo g0 = layout.GroupOf(0, 0);
+  const ParityGroupInfo g1 = layout.GroupOf(0, 1);
+  EXPECT_EQ(g0.parity, (BlockAddress{3, 0}));
+  EXPECT_EQ(g1.parity, (BlockAddress{3, 0}));
+  ASSERT_EQ(g0.data.size(), 2u);
+  EXPECT_EQ(g0.data[0], layout.DataAddress(0, 0));
+  EXPECT_EQ(g0.data[1], layout.DataAddress(0, 1));
+  // D8 and D2 share a group with parity on disk 4, block 0 (P1).
+  const ParityGroupInfo g2 = layout.GroupOf(0, 2);
+  EXPECT_EQ(g2.parity, (BlockAddress{4, 0}));
+  const ParityGroupInfo g8 = layout.GroupOf(0, 8);
+  EXPECT_EQ(g8.parity, (BlockAddress{4, 0}));
+}
+
+// "Block 0 on disks 0, 1 and 3 are all mapped to S0 and thus form a
+// single parity group. In the three successive parity groups mapped to
+// set S0 (on disk blocks 0, 3, 6), parity blocks are stored on disks 3,
+// 1 and 0 respectively."
+TEST(DeclusteredLayoutTest, ParityRotatesOverSetMembers) {
+  const DeclusteredLayout layout = PaperLayout();
+  const DeclusteredCore& core = layout.core();
+  EXPECT_EQ(core.ParityMember(0, 0), 3);
+  EXPECT_EQ(core.ParityMember(0, 1), 1);
+  EXPECT_EQ(core.ParityMember(0, 2), 0);
+  EXPECT_EQ(core.ParityMember(0, 3), 3);  // Period k.
+}
+
+TEST(DeclusteredLayoutTest, RowAdvancesOnDiskWrap) {
+  const DeclusteredLayout layout = PaperLayout(200);
+  // Row = (index / d) mod r: the paper's Property 2 substrate.
+  for (std::int64_t i = 0; i + 1 < 200; ++i) {
+    const int row = layout.RowOfIndex(i);
+    const int next_row = layout.RowOfIndex(i + 1);
+    if ((i + 1) % 7 == 0) {
+      EXPECT_EQ(next_row, (row + 1) % 3);
+    } else {
+      EXPECT_EQ(next_row, row);
+    }
+  }
+}
+
+TEST(DeclusteredLayoutTest, DataSlotSkipsExactlyParityBlocks) {
+  const DeclusteredLayout layout = PaperLayout();
+  const DeclusteredCore& core = layout.core();
+  for (int disk = 0; disk < 7; ++disk) {
+    for (int row = 0; row < 3; ++row) {
+      for (std::int64_t m = 0; m < 10; ++m) {
+        const std::int64_t slot = core.DataSlot(disk, row, m);
+        EXPECT_EQ(slot % 3, row);
+        EXPECT_FALSE(core.IsParityBlock(disk, slot));
+        if (m > 0) {
+          EXPECT_GT(slot, core.DataSlot(disk, row, m - 1));
+        }
+      }
+    }
+  }
+}
+
+TEST(DeclusteredLayoutTest, StorageOverheadMatchesParityFraction) {
+  // Exactly 1/k of the blocks in each (disk, row) sequence hold parity.
+  const DeclusteredLayout layout = PaperLayout();
+  const DeclusteredCore& core = layout.core();
+  for (int disk = 0; disk < 7; ++disk) {
+    int parity = 0;
+    // Whole parity-rotation periods: k * r = 9 blocks each.
+    const int total = 270;
+    for (std::int64_t block = 0; block < total; ++block) {
+      if (core.IsParityBlock(disk, block)) ++parity;
+    }
+    EXPECT_EQ(parity, total / 3) << disk;
+  }
+}
+
+}  // namespace
+}  // namespace cmfs

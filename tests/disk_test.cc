@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "disk/cscan_scheduler.h"
+#include "disk/disk_array.h"
+#include "disk/disk_params.h"
+#include "disk/seek_model.h"
+#include "disk/sim_disk.h"
+#include "util/units.h"
+
+namespace cmfs {
+namespace {
+
+TEST(DiskParamsTest, Sigmod96MatchesFigure1) {
+  const DiskParams p = DiskParams::Sigmod96();
+  EXPECT_DOUBLE_EQ(BytesPerSecToMbps(p.transfer_rate), 45.0);
+  EXPECT_DOUBLE_EQ(SecToMs(p.settle_time), 0.6);
+  EXPECT_DOUBLE_EQ(SecToMs(p.worst_seek), 17.0);
+  EXPECT_DOUBLE_EQ(SecToMs(p.worst_rotational), 8.34);
+  EXPECT_EQ(p.capacity_bytes, 2 * kGiB);
+  // t_lat = 25.94 ms (the paper's table rounds the total to 25.5).
+  EXPECT_NEAR(SecToMs(p.WorstLatency()), 17.0 + 8.34 + 0.6, 1e-9);
+}
+
+TEST(DiskParamsTest, Sigmod96ServerMatchesFigure1) {
+  const ServerParams s = ServerParams::Sigmod96(256 * kMiB);
+  EXPECT_DOUBLE_EQ(BytesPerSecToMbps(s.playback_rate), 1.5);
+  EXPECT_EQ(s.num_disks, 32);
+  EXPECT_EQ(s.buffer_bytes, 256 * kMiB);
+}
+
+TEST(DiskParamsTest, ZonedTransferInterpolatesOuterToInner) {
+  const DiskParams p = DiskParams::Sigmod96Zoned(2.0);
+  EXPECT_DOUBLE_EQ(p.TransferRateAt(0), 2.0 * p.transfer_rate);
+  EXPECT_DOUBLE_EQ(p.TransferRateAt(p.num_cylinders - 1),
+                   p.transfer_rate);
+  const double mid = p.TransferRateAt(p.num_cylinders / 2);
+  EXPECT_GT(mid, p.transfer_rate);
+  EXPECT_LT(mid, 2.0 * p.transfer_rate);
+}
+
+TEST(DiskParamsTest, UnzonedTransferIsFlat) {
+  const DiskParams p = DiskParams::Sigmod96();
+  EXPECT_DOUBLE_EQ(p.TransferRateAt(0), p.transfer_rate);
+  EXPECT_DOUBLE_EQ(p.TransferRateAt(1234), p.transfer_rate);
+}
+
+TEST(CScanTest, ZonedRoundsAreNeverSlowerThanFlat) {
+  const DiskParams flat = DiskParams::Sigmod96();
+  const DiskParams zoned = DiskParams::Sigmod96Zoned(1.6);
+  CScanScheduler flat_sched(flat, SeekCurve::kLinear);
+  CScanScheduler zoned_sched(zoned, SeekCurve::kLinear);
+  const std::vector<int> cylinders = {10, 500, 999, 1500, 1990};
+  const RoundTiming t_flat =
+      flat_sched.TimeRound(cylinders, 256 * kKiB, nullptr);
+  const RoundTiming t_zoned =
+      zoned_sched.TimeRound(cylinders, 256 * kKiB, nullptr);
+  EXPECT_LT(t_zoned.transfer_time, t_flat.transfer_time);
+  EXPECT_DOUBLE_EQ(t_zoned.seek_time, t_flat.seek_time);
+}
+
+TEST(SeekModelTest, LinearAnchorsFullStroke) {
+  const DiskParams p = DiskParams::Sigmod96();
+  SeekModel model(p, SeekCurve::kLinear);
+  EXPECT_DOUBLE_EQ(model.SeekTime(0), 0.0);
+  EXPECT_NEAR(model.SeekTime(p.num_cylinders - 1), p.worst_seek, 1e-12);
+  // Linear: half the distance, half the time.
+  EXPECT_NEAR(model.SeekTime((p.num_cylinders - 1) / 2),
+              p.worst_seek / 2.0, p.worst_seek / (p.num_cylinders - 1));
+}
+
+TEST(SeekModelTest, LinearSweepSumsToAtMostFullStroke) {
+  const DiskParams p = DiskParams::Sigmod96();
+  SeekModel model(p, SeekCurve::kLinear);
+  // Any partition of the stroke into segments costs exactly one stroke —
+  // the accounting behind Equation 1's 2*t_seek term.
+  double total = 0.0;
+  int pos = 0;
+  for (int next = 7; next < p.num_cylinders; next += 97) {
+    total += model.SeekTime(next - pos);
+    pos = next;
+  }
+  total += model.SeekTime(p.num_cylinders - 1 - pos);
+  EXPECT_NEAR(total, p.worst_seek, 1e-9);
+}
+
+TEST(SeekModelTest, RuemmlerWilkesAnchorsAndMonotone) {
+  const DiskParams p = DiskParams::Sigmod96();
+  SeekModel model(p, SeekCurve::kRuemmlerWilkes);
+  EXPECT_DOUBLE_EQ(model.SeekTime(0), 0.0);
+  EXPECT_NEAR(model.SeekTime(1), p.min_seek, 1e-12);
+  EXPECT_NEAR(model.SeekTime(p.num_cylinders - 1), p.worst_seek, 1e-12);
+  double prev = 0.0;
+  for (int d = 1; d < p.num_cylinders; d += 50) {
+    const double t = model.SeekTime(d);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(SeekModelTest, ConcaveCurveMakesShortSeeksExpensive) {
+  const DiskParams p = DiskParams::Sigmod96();
+  SeekModel rw(p, SeekCurve::kRuemmlerWilkes);
+  SeekModel lin(p, SeekCurve::kLinear);
+  // 20 short seeks cost more under the concave curve than the linear one
+  // — why Equation 1 needs the settle term to stay safe in practice.
+  EXPECT_GT(20 * rw.SeekTime(50), 20 * lin.SeekTime(50));
+}
+
+TEST(CScanTest, OrderIsAscendingByCylinder) {
+  const std::vector<int> cylinders = {500, 10, 300, 10, 1999};
+  const auto order = CScanScheduler::Order(cylinders);
+  ASSERT_EQ(order.size(), 5u);
+  // Ascending; ties keep input order (stable).
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[3], 0u);
+  EXPECT_EQ(order[4], 4u);
+}
+
+TEST(CScanTest, EmptyRoundCostsNothing) {
+  CScanScheduler sched(DiskParams::Sigmod96(), SeekCurve::kLinear);
+  const RoundTiming t = sched.TimeRound({}, 64 * kKiB, nullptr);
+  EXPECT_EQ(t.num_requests, 0);
+  EXPECT_DOUBLE_EQ(t.Total(), 0.0);
+}
+
+TEST(CScanTest, WorstCaseRoundWithinEquation1Budget) {
+  const DiskParams p = DiskParams::Sigmod96();
+  CScanScheduler sched(p, SeekCurve::kLinear);
+  const std::int64_t b = 128 * kKiB;
+  const int q = 10;
+  // Adversarial spread: q requests across the whole surface.
+  std::vector<int> cylinders;
+  for (int i = 0; i < q; ++i) {
+    cylinders.push_back(i * (p.num_cylinders - 1) / (q - 1));
+  }
+  const RoundTiming t = sched.TimeRound(cylinders, b, nullptr);
+  const double bound =
+      q * (static_cast<double>(b) / p.transfer_rate + p.worst_rotational +
+           p.settle_time) +
+      2 * p.worst_seek;
+  EXPECT_LE(t.Total(), bound + 1e-9);
+  EXPECT_EQ(t.num_requests, q);
+}
+
+TEST(CScanTest, SampledRotationNeverExceedsWorstCase) {
+  const DiskParams p = DiskParams::Sigmod96();
+  CScanScheduler sched(p, SeekCurve::kLinear);
+  Rng rng(42);
+  const std::vector<int> cylinders = {5, 900, 1500};
+  const RoundTiming worst = sched.TimeRound(cylinders, 64 * kKiB, nullptr);
+  for (int i = 0; i < 20; ++i) {
+    const RoundTiming sampled =
+        sched.TimeRound(cylinders, 64 * kKiB, &rng);
+    EXPECT_LE(sampled.Total(), worst.Total());
+    EXPECT_EQ(sampled.seek_time, worst.seek_time);
+    EXPECT_EQ(sampled.transfer_time, worst.transfer_time);
+  }
+}
+
+TEST(SimDiskTest, ReadBackWhatWasWritten) {
+  SimDisk disk(DiskParams::Sigmod96(), 512);
+  Block data(512, 0xab);
+  ASSERT_TRUE(disk.Write(3, data).ok());
+  Result<Block> r = disk.Read(3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, data);
+  EXPECT_TRUE(disk.IsWritten(3));
+}
+
+TEST(SimDiskTest, UnwrittenBlocksReadAsZeros) {
+  SimDisk disk(DiskParams::Sigmod96(), 512);
+  Result<Block> r = disk.Read(100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Block(512, 0));
+  EXPECT_FALSE(disk.IsWritten(100));
+}
+
+TEST(SimDiskTest, FailureRejectsIoAndRepairRestores) {
+  SimDisk disk(DiskParams::Sigmod96(), 512);
+  ASSERT_TRUE(disk.Write(0, Block(512, 1)).ok());
+  disk.Fail();
+  EXPECT_EQ(disk.Read(0).status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(disk.Write(1, Block(512, 2)).code(),
+            StatusCode::kFailedPrecondition);
+  disk.Repair();
+  ASSERT_TRUE(disk.Read(0).ok());
+  EXPECT_EQ((*disk.Read(0))[0], 1);  // Failure does not erase data.
+}
+
+TEST(SimDiskTest, BoundsAndSizeChecks) {
+  SimDisk disk(DiskParams::Sigmod96(), 512);
+  EXPECT_EQ(disk.Write(-1, Block(512, 0)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(disk.Write(disk.num_blocks(), Block(512, 0)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(disk.Write(0, Block(100, 0)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(disk.Read(-5).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimDiskTest, CylindersCoverDiskMonotonically) {
+  SimDisk disk(DiskParams::Sigmod96(), 64 * kKiB);
+  EXPECT_EQ(disk.CylinderOf(0), 0);
+  int prev = 0;
+  for (std::int64_t b = 0; b < disk.num_blocks();
+       b += disk.num_blocks() / 100) {
+    const int c = disk.CylinderOf(b);
+    EXPECT_GE(c, prev);
+    EXPECT_LT(c, DiskParams::Sigmod96().num_cylinders);
+    prev = c;
+  }
+}
+
+TEST(DiskArrayTest, SingleFailureModelEnforced) {
+  DiskArray array(4, DiskParams::Sigmod96(), 512);
+  ASSERT_TRUE(array.FailDisk(2).ok());
+  EXPECT_EQ(array.failed_disk(), 2);
+  EXPECT_TRUE(array.FailDisk(2).ok());  // Idempotent.
+  EXPECT_EQ(array.FailDisk(1).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(array.RepairDisk(2).ok());
+  EXPECT_EQ(array.failed_disk(), -1);
+  EXPECT_TRUE(array.FailDisk(1).ok());
+}
+
+TEST(DiskArrayTest, XorOfReconstructsMissingBlock) {
+  DiskArray array(4, DiskParams::Sigmod96(), 8);
+  const Block a = {1, 2, 3, 4, 5, 6, 7, 8};
+  const Block b = {8, 7, 6, 5, 4, 3, 2, 1};
+  Block parity(8, 0);
+  for (int i = 0; i < 8; ++i) {
+    parity[static_cast<std::size_t>(i)] =
+        a[static_cast<std::size_t>(i)] ^ b[static_cast<std::size_t>(i)];
+  }
+  ASSERT_TRUE(array.Write({0, 0}, a).ok());
+  ASSERT_TRUE(array.Write({1, 0}, b).ok());
+  ASSERT_TRUE(array.Write({2, 0}, parity).ok());
+  // Lose disk 0; a == b XOR parity.
+  ASSERT_TRUE(array.FailDisk(0).ok());
+  Result<Block> rec = array.XorOf({{1, 0}, {2, 0}});
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(*rec, a);
+}
+
+TEST(DiskArrayTest, XorOfRejectsFailedSource) {
+  DiskArray array(3, DiskParams::Sigmod96(), 8);
+  ASSERT_TRUE(array.FailDisk(1).ok());
+  EXPECT_FALSE(array.XorOf({{1, 0}}).ok());
+  EXPECT_FALSE(array.XorOf({}).ok());
+}
+
+TEST(DiskArrayTest, ReadWriteRouteToCorrectDisk) {
+  DiskArray array(3, DiskParams::Sigmod96(), 8);
+  ASSERT_TRUE(array.Write({2, 5}, Block(8, 9)).ok());
+  EXPECT_TRUE(array.disk(2).IsWritten(5));
+  EXPECT_FALSE(array.disk(1).IsWritten(5));
+  EXPECT_EQ(array.Read({3, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cmfs

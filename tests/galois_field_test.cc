@@ -1,0 +1,118 @@
+#include "bibd/galois_field.h"
+
+#include <gtest/gtest.h>
+
+#include "bibd/constructions.h"
+#include "bibd/design_factory.h"
+
+namespace cmfs {
+namespace {
+
+TEST(GaloisFieldTest, PrimePowerDetection) {
+  for (int q : {2, 3, 4, 5, 7, 8, 9, 16, 25, 27, 32, 49, 64, 81, 121,
+                125, 128, 243, 256}) {
+    EXPECT_TRUE(IsPrimePower(q)) << q;
+  }
+  for (int q : {1, 6, 10, 12, 15, 20, 24, 36, 100}) {
+    EXPECT_FALSE(IsPrimePower(q)) << q;
+  }
+}
+
+class GaloisFieldAxiomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaloisFieldAxiomTest, FieldAxiomsHold) {
+  const int q = GetParam();
+  Result<GaloisField> field = GaloisField::Make(q);
+  ASSERT_TRUE(field.ok());
+  const GaloisField& gf = *field;
+  EXPECT_EQ(gf.q(), q);
+  for (int a = 0; a < q; ++a) {
+    // Additive/multiplicative identities and inverses.
+    EXPECT_EQ(gf.Add(a, 0), a);
+    EXPECT_EQ(gf.Mul(a, 1), a);
+    EXPECT_EQ(gf.Mul(a, 0), 0);
+    EXPECT_EQ(gf.Add(a, gf.Neg(a)), 0);
+    if (a != 0) {
+      EXPECT_EQ(gf.Mul(a, gf.Inv(a)), 1) << "a=" << a;
+    }
+    for (int b = 0; b < q; ++b) {
+      // Commutativity.
+      EXPECT_EQ(gf.Add(a, b), gf.Add(b, a));
+      EXPECT_EQ(gf.Mul(a, b), gf.Mul(b, a));
+      // No zero divisors.
+      if (a != 0 && b != 0) {
+        EXPECT_NE(gf.Mul(a, b), 0) << a << "*" << b;
+      }
+      for (int c = 0; c < std::min(q, 8); ++c) {
+        // Associativity and distributivity (sampled for large q).
+        EXPECT_EQ(gf.Add(gf.Add(a, b), c), gf.Add(a, gf.Add(b, c)));
+        EXPECT_EQ(gf.Mul(gf.Mul(a, b), c), gf.Mul(a, gf.Mul(b, c)));
+        EXPECT_EQ(gf.Mul(a, gf.Add(b, c)),
+                  gf.Add(gf.Mul(a, b), gf.Mul(a, c)));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaloisFieldAxiomTest,
+                         ::testing::Values(2, 3, 4, 5, 8, 9, 16, 25, 27,
+                                           32));
+
+TEST(GaloisFieldTest, RejectsNonPrimePowers) {
+  EXPECT_FALSE(GaloisField::Make(6).ok());
+  EXPECT_FALSE(GaloisField::Make(12).ok());
+  EXPECT_FALSE(GaloisField::Make(1).ok());
+  EXPECT_FALSE(GaloisField::Make(512).ok());
+}
+
+TEST(GaloisFieldTest, PrimeFieldMatchesModularArithmetic) {
+  Result<GaloisField> field = GaloisField::Make(7);
+  ASSERT_TRUE(field.ok());
+  for (int a = 0; a < 7; ++a) {
+    for (int b = 0; b < 7; ++b) {
+      EXPECT_EQ(field->Add(a, b), (a + b) % 7);
+      EXPECT_EQ(field->Mul(a, b), (a * b) % 7);
+    }
+  }
+}
+
+TEST(PrimePowerPlaneTest, Gf4PlanesAreExactBibds) {
+  Result<Design> affine = AffinePlaneDesign(4);
+  ASSERT_TRUE(affine.ok());
+  EXPECT_EQ(affine->v, 16);
+  EXPECT_EQ(affine->k, 4);
+  EXPECT_TRUE(IsBibd(*affine, 1));
+
+  Result<Design> projective = ProjectivePlaneDesign(4);
+  ASSERT_TRUE(projective.ok());
+  EXPECT_EQ(projective->v, 21);
+  EXPECT_EQ(projective->k, 5);
+  EXPECT_TRUE(IsBibd(*projective, 1));
+}
+
+TEST(PrimePowerPlaneTest, LargerPrimePowerOrders) {
+  for (int q : {8, 9}) {
+    Result<Design> affine = AffinePlaneDesign(q);
+    ASSERT_TRUE(affine.ok()) << q;
+    EXPECT_TRUE(IsBibd(*affine, 1)) << q;
+    Result<Design> projective = ProjectivePlaneDesign(q);
+    ASSERT_TRUE(projective.ok()) << q;
+    EXPECT_TRUE(IsBibd(*projective, 1)) << q;
+  }
+}
+
+TEST(PrimePowerPlaneTest, FactoryNowUsesPrimePowerPlanes) {
+  // d = 16, p = 4: previously a greedy fallback, now the exact AG(2,4).
+  Result<FactoryDesign> d16 = BuildDesign(16, 4);
+  ASSERT_TRUE(d16.ok());
+  EXPECT_EQ(d16->method, "affine-plane");
+  EXPECT_TRUE(d16->exact_bibd());
+  // d = 64, p = 8: AG(2,8).
+  Result<FactoryDesign> d64 = BuildDesign(64, 8);
+  ASSERT_TRUE(d64.ok());
+  EXPECT_EQ(d64->method, "affine-plane");
+  EXPECT_TRUE(d64->exact_bibd());
+}
+
+}  // namespace
+}  // namespace cmfs

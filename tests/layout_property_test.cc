@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "bibd/design_factory.h"
+#include "core/content.h"
+#include "layout/declustered_layout.h"
+#include "layout/flat_parity_layout.h"
+#include "layout/parity_disk_layout.h"
+#include "layout/superclip_layout.h"
+
+// Cross-layout property suite: every placement engine must (a) be
+// injective, (b) keep data and parity disjoint, (c) maintain the
+// XOR-zero parity invariant under writes, and (d) reconstruct any block
+// after any single disk failure.
+
+namespace cmfs {
+namespace {
+
+struct LayoutCase {
+  std::string name;
+  int num_disks;
+  int parity_group;
+  std::int64_t capacity;
+
+  enum Kind { kDeclustered, kSuperclip, kParityDisk, kFlat } kind;
+};
+
+std::unique_ptr<Layout> MakeLayout(const LayoutCase& c) {
+  switch (c.kind) {
+    case LayoutCase::kDeclustered: {
+      Result<FactoryDesign> d = BuildDesign(c.num_disks, c.parity_group);
+      CMFS_CHECK(d.ok());
+      Result<Pgt> pgt = Pgt::FromDesign(d->design);
+      CMFS_CHECK(pgt.ok());
+      return std::make_unique<DeclusteredLayout>(*std::move(pgt),
+                                                 c.capacity);
+    }
+    case LayoutCase::kSuperclip: {
+      Result<FactoryDesign> d = BuildDesign(c.num_disks, c.parity_group);
+      CMFS_CHECK(d.ok());
+      Result<Pgt> pgt = Pgt::FromDesign(d->design);
+      CMFS_CHECK(pgt.ok());
+      return std::make_unique<SuperclipLayout>(*std::move(pgt),
+                                               c.capacity);
+    }
+    case LayoutCase::kParityDisk:
+      return std::make_unique<ParityDiskLayout>(c.num_disks,
+                                                c.parity_group, c.capacity);
+    case LayoutCase::kFlat:
+      return std::make_unique<FlatParityLayout>(c.num_disks,
+                                                c.parity_group, c.capacity);
+  }
+  return nullptr;
+}
+
+class LayoutPropertyTest : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(LayoutPropertyTest, DataAddressesInjectiveAndDisjointFromParity) {
+  const LayoutCase c = GetParam();
+  const auto layout = MakeLayout(c);
+  std::set<std::pair<int, std::int64_t>> data_addrs;
+  for (int space = 0; space < layout->num_spaces(); ++space) {
+    for (std::int64_t i = 0; i < layout->space_capacity(space); ++i) {
+      const BlockAddress addr = layout->DataAddress(space, i);
+      EXPECT_TRUE(data_addrs.insert({addr.disk, addr.block}).second)
+          << c.name << " space " << space << " index " << i;
+      EXPECT_EQ(addr.disk, layout->DiskOf(i));
+    }
+  }
+  // No parity block may alias a data block.
+  for (int space = 0; space < layout->num_spaces(); ++space) {
+    for (std::int64_t i = 0; i < layout->space_capacity(space); ++i) {
+      const ParityGroupInfo group = layout->GroupOf(space, i);
+      EXPECT_EQ(data_addrs.count({group.parity.disk, group.parity.block}),
+                0u)
+          << c.name;
+    }
+  }
+}
+
+TEST_P(LayoutPropertyTest, GroupContainsOwnBlockOnceParityOutside) {
+  const LayoutCase c = GetParam();
+  const auto layout = MakeLayout(c);
+  for (int space = 0; space < layout->num_spaces(); ++space) {
+    for (std::int64_t i = 0; i < layout->space_capacity(space); ++i) {
+      const BlockAddress self = layout->DataAddress(space, i);
+      const ParityGroupInfo group = layout->GroupOf(space, i);
+      EXPECT_EQ(static_cast<int>(group.data.size()), c.parity_group - 1);
+      int self_count = 0;
+      std::set<int> disks;
+      for (const BlockAddress& member : group.data) {
+        if (member == self) ++self_count;
+        disks.insert(member.disk);
+        EXPECT_FALSE(member == group.parity);
+      }
+      EXPECT_EQ(self_count, 1);
+      // Members occupy distinct disks (single-failure tolerance).
+      EXPECT_EQ(disks.size(), group.data.size());
+      EXPECT_EQ(disks.count(group.parity.disk), 0u);
+    }
+  }
+}
+
+TEST_P(LayoutPropertyTest, WritesKeepParityInvariant) {
+  const LayoutCase c = GetParam();
+  const auto layout = MakeLayout(c);
+  const std::int64_t block_size = 32;
+  DiskArray array(c.num_disks, DiskParams::Sigmod96(), block_size);
+  for (int space = 0; space < layout->num_spaces(); ++space) {
+    // Leave gaps (every third block unwritten = zeros).
+    for (std::int64_t i = 0; i < layout->space_capacity(space); ++i) {
+      if (i % 3 == 2) continue;
+      ASSERT_TRUE(WriteDataBlock(*layout, array, space, i,
+                                 PatternBlock(space, i, block_size))
+                      .ok());
+    }
+  }
+  std::int64_t groups = 0;
+  EXPECT_TRUE(
+      VerifyParity(*layout, array, /*blocks_per_space=*/1 << 20, &groups)
+          .ok());
+  EXPECT_GT(groups, 0);
+}
+
+TEST_P(LayoutPropertyTest, ReconstructsEveryBlockUnderEveryFailure) {
+  const LayoutCase c = GetParam();
+  const auto layout = MakeLayout(c);
+  const std::int64_t block_size = 16;
+  DiskArray array(c.num_disks, DiskParams::Sigmod96(), block_size);
+  for (int space = 0; space < layout->num_spaces(); ++space) {
+    for (std::int64_t i = 0; i < layout->space_capacity(space); ++i) {
+      ASSERT_TRUE(WriteDataBlock(*layout, array, space, i,
+                                 PatternBlock(space, i, block_size))
+                      .ok());
+    }
+  }
+  for (int failed = 0; failed < c.num_disks; ++failed) {
+    ASSERT_TRUE(array.FailDisk(failed).ok());
+    for (int space = 0; space < layout->num_spaces(); ++space) {
+      for (std::int64_t i = 0; i < layout->space_capacity(space); ++i) {
+        Result<Block> block = ReadDataBlock(*layout, array, space, i);
+        ASSERT_TRUE(block.ok())
+            << c.name << " failed=" << failed << " index=" << i;
+        EXPECT_EQ(*block, PatternBlock(space, i, block_size))
+            << c.name << " failed=" << failed << " index=" << i;
+      }
+    }
+    ASSERT_TRUE(array.RepairDisk(failed).ok());
+  }
+}
+
+TEST_P(LayoutPropertyTest, PhysicalReverseMapMatchesForwardMap) {
+  // GroupOfPhysical(DataAddress(i)) must be the same group as GroupOf(i),
+  // and the physical block must be a member of it — the property the
+  // online rebuilder relies on.
+  const LayoutCase c = GetParam();
+  const auto layout = MakeLayout(c);
+  for (int space = 0; space < layout->num_spaces(); ++space) {
+    for (std::int64_t i = 0; i < layout->space_capacity(space); ++i) {
+      const BlockAddress addr = layout->DataAddress(space, i);
+      Result<ParityGroupInfo> reverse = layout->GroupOfPhysical(addr);
+      ASSERT_TRUE(reverse.ok()) << c.name << " index " << i;
+      const ParityGroupInfo forward = layout->GroupOf(space, i);
+      EXPECT_TRUE(reverse->parity == forward.parity)
+          << c.name << " index " << i;
+      ASSERT_EQ(reverse->data.size(), forward.data.size());
+      int self = 0;
+      for (const BlockAddress& member : reverse->data) {
+        if (member == addr) ++self;
+      }
+      EXPECT_EQ(self, 1) << c.name << " index " << i;
+      // The parity block's own reverse map also lands on this group.
+      Result<ParityGroupInfo> via_parity =
+          layout->GroupOfPhysical(forward.parity);
+      ASSERT_TRUE(via_parity.ok());
+      EXPECT_TRUE(via_parity->parity == forward.parity) << c.name;
+    }
+  }
+}
+
+TEST_P(LayoutPropertyTest, OverwriteKeepsParityConsistent) {
+  const LayoutCase c = GetParam();
+  const auto layout = MakeLayout(c);
+  const std::int64_t block_size = 16;
+  DiskArray array(c.num_disks, DiskParams::Sigmod96(), block_size);
+  const std::int64_t n = std::min<std::int64_t>(
+      layout->space_capacity(0), 4 * c.num_disks);
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(WriteDataBlock(*layout, array, 0, i,
+                               PatternBlock(0, i, block_size))
+                    .ok());
+  }
+  // Overwrite half the blocks with different content.
+  for (std::int64_t i = 0; i < n; i += 2) {
+    ASSERT_TRUE(WriteDataBlock(*layout, array, 0, i,
+                               PatternBlock(7, i + 1000, block_size))
+                    .ok());
+  }
+  EXPECT_TRUE(VerifyParity(*layout, array, n, nullptr).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LayoutPropertyTest,
+    ::testing::Values(
+        LayoutCase{"declustered-7-3", 7, 3, 84, LayoutCase::kDeclustered},
+        LayoutCase{"declustered-9-3", 9, 3, 108, LayoutCase::kDeclustered},
+        LayoutCase{"declustered-13-4", 13, 4, 104,
+                   LayoutCase::kDeclustered},
+        LayoutCase{"declustered-8-4-greedy", 8, 4, 96,
+                   LayoutCase::kDeclustered},
+        LayoutCase{"declustered-6-6-trivial", 6, 6, 60,
+                   LayoutCase::kDeclustered},
+        LayoutCase{"declustered-8-2-pairs", 8, 2, 64,
+                   LayoutCase::kDeclustered},
+        LayoutCase{"superclip-7-3", 7, 3, 28, LayoutCase::kSuperclip},
+        LayoutCase{"superclip-13-4", 13, 4, 26, LayoutCase::kSuperclip},
+        LayoutCase{"paritydisk-8-4", 8, 4, 90, LayoutCase::kParityDisk},
+        LayoutCase{"paritydisk-6-3", 6, 3, 64, LayoutCase::kParityDisk},
+        LayoutCase{"paritydisk-4-2", 4, 2, 40, LayoutCase::kParityDisk},
+        LayoutCase{"flat-9-4", 9, 4, 108, LayoutCase::kFlat},
+        LayoutCase{"flat-8-3", 8, 3, 80, LayoutCase::kFlat},
+        LayoutCase{"flat-32-4-wrap", 32, 4, 192, LayoutCase::kFlat},
+        LayoutCase{"flat-6-4-wrap", 6, 4, 60, LayoutCase::kFlat}),
+    [](const ::testing::TestParamInfo<LayoutCase>& info) {
+      std::string name = info.param.name;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace cmfs

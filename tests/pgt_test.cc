@@ -1,0 +1,174 @@
+#include "bibd/pgt.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "bibd/design_factory.h"
+
+namespace cmfs {
+namespace {
+
+Design PaperExampleDesign() {
+  Design d;
+  d.v = 7;
+  d.k = 3;
+  d.sets = {{0, 1, 3}, {1, 2, 4}, {2, 3, 5}, {3, 4, 6},
+            {0, 4, 5}, {1, 5, 6}, {0, 2, 6}};
+  return d;
+}
+
+TEST(PgtTest, PaperExampleTableReproducedExactly) {
+  Result<Pgt> pgt = Pgt::FromDesign(PaperExampleDesign());
+  ASSERT_TRUE(pgt.ok());
+  EXPECT_EQ(pgt->num_disks(), 7);
+  EXPECT_EQ(pgt->rows(), 3);
+  EXPECT_EQ(pgt->group_size(), 3);
+  EXPECT_EQ(pgt->max_pair_coverage(), 1);
+  // §4.1's PGT:
+  //   row 0: S0 S0 S1 S0 S1 S2 S3
+  //   row 1: S4 S1 S2 S2 S3 S4 S5
+  //   row 2: S6 S5 S6 S3 S4 S5 S6
+  const int expected[3][7] = {{0, 0, 1, 0, 1, 2, 3},
+                              {4, 1, 2, 2, 3, 4, 5},
+                              {6, 5, 6, 3, 4, 5, 6}};
+  for (int row = 0; row < 3; ++row) {
+    for (int col = 0; col < 7; ++col) {
+      EXPECT_EQ(pgt->SetAt(row, col), expected[row][col])
+          << "row " << row << " col " << col;
+    }
+  }
+  EXPECT_EQ(pgt->ToString(),
+            "S0 S0 S1 S0 S1 S2 S3\n"
+            "S4 S1 S2 S2 S3 S4 S5\n"
+            "S6 S5 S6 S3 S4 S5 S6\n");
+}
+
+TEST(PgtTest, RowOfInvertsSetAt) {
+  Result<Pgt> pgt = Pgt::FromDesign(PaperExampleDesign());
+  ASSERT_TRUE(pgt.ok());
+  for (int row = 0; row < pgt->rows(); ++row) {
+    for (int col = 0; col < pgt->num_disks(); ++col) {
+      const int set = pgt->SetAt(row, col);
+      EXPECT_EQ(pgt->RowOf(set, col), row);
+    }
+  }
+}
+
+TEST(PgtTest, ColumnsListExactlyTheSetsContainingTheDisk) {
+  Result<Pgt> pgt = Pgt::FromDesign(PaperExampleDesign());
+  ASSERT_TRUE(pgt.ok());
+  for (int col = 0; col < 7; ++col) {
+    std::set<int> from_columns;
+    for (int row = 0; row < 3; ++row) {
+      from_columns.insert(pgt->SetAt(row, col));
+    }
+    ASSERT_EQ(from_columns.size(), 3u) << col;
+    for (int set : from_columns) {
+      const auto& members = pgt->SetMembers(set);
+      EXPECT_TRUE(std::binary_search(members.begin(), members.end(), col));
+    }
+  }
+}
+
+TEST(PgtTest, DeltaSetsPointAtGroupPeers) {
+  Result<Pgt> pgt = Pgt::FromDesign(PaperExampleDesign());
+  ASSERT_TRUE(pgt.ok());
+  const int d = pgt->num_disks();
+  for (int row = 0; row < pgt->rows(); ++row) {
+    for (int col = 0; col < d; ++col) {
+      const int set = pgt->SetAt(row, col);
+      const auto& members = pgt->SetMembers(set);
+      const auto& delta = pgt->DeltaSet(row, col);
+      ASSERT_EQ(delta.size(), members.size() - 1);
+      std::set<int> reached;
+      for (int offset : delta) {
+        EXPECT_GT(offset, 0);
+        EXPECT_LT(offset, d);
+        reached.insert((col + offset) % d);
+      }
+      // Exactly the other member disks.
+      std::set<int> expected(members.begin(), members.end());
+      expected.erase(col);
+      EXPECT_EQ(reached, expected);
+    }
+  }
+}
+
+TEST(PgtTest, RowDeltaIsUnionOfColumnDeltas) {
+  Result<Pgt> pgt = Pgt::FromDesign(PaperExampleDesign());
+  ASSERT_TRUE(pgt.ok());
+  for (int row = 0; row < pgt->rows(); ++row) {
+    std::set<int> expected;
+    for (int col = 0; col < pgt->num_disks(); ++col) {
+      const auto& delta = pgt->DeltaSet(row, col);
+      expected.insert(delta.begin(), delta.end());
+    }
+    const auto& row_delta = pgt->RowDelta(row);
+    EXPECT_EQ(std::set<int>(row_delta.begin(), row_delta.end()), expected);
+  }
+}
+
+TEST(PgtTest, RejectsNonEquireplicateDesign) {
+  Design d;
+  d.v = 4;
+  d.k = 2;
+  d.sets = {{0, 1}, {0, 2}, {0, 3}};  // Disk 0 in 3 sets, disk 1 in 1.
+  EXPECT_FALSE(Pgt::FromDesign(d).ok());
+}
+
+TEST(PgtTest, IdealHasRowStructureOnly) {
+  Pgt pgt = Pgt::Ideal(32, 4, 10);
+  EXPECT_FALSE(pgt.has_sets());
+  EXPECT_EQ(pgt.num_disks(), 32);
+  EXPECT_EQ(pgt.group_size(), 4);
+  EXPECT_EQ(pgt.rows(), 10);
+  EXPECT_EQ(pgt.max_pair_coverage(), 1);
+  EXPECT_EQ(pgt.ToString(), "Pgt{ideal, d=32, p=4, r=10}");
+}
+
+TEST(PgtDeathTest, IdealSetQueriesCheckFail) {
+  Pgt pgt = Pgt::Ideal(8, 4, 2);
+  EXPECT_DEATH(pgt.SetAt(0, 0), "has_sets");
+  EXPECT_DEATH(pgt.SetMembers(0), "has_sets");
+  EXPECT_DEATH(pgt.DeltaSet(0, 0), "has_sets");
+}
+
+// Property sweep over factory designs: the PGT invariants the admission
+// arguments rely on.
+class PgtPropertyTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PgtPropertyTest, ColumnStructureConsistent) {
+  const auto [v, k] = GetParam();
+  Result<FactoryDesign> design = BuildDesign(v, k);
+  ASSERT_TRUE(design.ok());
+  Result<Pgt> pgt = Pgt::FromDesign(design->design);
+  ASSERT_TRUE(pgt.ok());
+  EXPECT_EQ(pgt->rows(), design->stats.min_replication);
+  EXPECT_EQ(pgt->max_pair_coverage(), design->stats.max_pair_coverage);
+  // Each column's sets are ascending and distinct and contain the disk.
+  for (int col = 0; col < v; ++col) {
+    int prev = -1;
+    for (int row = 0; row < pgt->rows(); ++row) {
+      const int set = pgt->SetAt(row, col);
+      EXPECT_GT(set, prev);
+      prev = set;
+      const auto& members = pgt->SetMembers(set);
+      EXPECT_TRUE(std::binary_search(members.begin(), members.end(), col));
+      EXPECT_EQ(pgt->RowOf(set, col), row);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PgtPropertyTest,
+                         ::testing::Values(std::pair{7, 3}, std::pair{9, 3},
+                                           std::pair{13, 4},
+                                           std::pair{32, 4},
+                                           std::pair{32, 8},
+                                           std::pair{32, 2},
+                                           std::pair{21, 5}));
+
+}  // namespace
+}  // namespace cmfs

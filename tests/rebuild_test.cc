@@ -1,0 +1,173 @@
+#include "core/rebuild.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bibd/design_factory.h"
+#include "core/content.h"
+#include "core/controller_factory.h"
+#include "core/server.h"
+#include "layout/declustered_layout.h"
+#include "layout/flat_parity_layout.h"
+#include "layout/parity_disk_layout.h"
+
+namespace cmfs {
+namespace {
+
+constexpr std::int64_t kBlockSize = 16;
+
+// Populates `blocks` logical blocks, snapshots the target disk, runs the
+// full swap cycle (fail -> blank replacement -> rebuild -> repair), and
+// verifies every block of the target matches the snapshot.
+void RoundTrip(const Layout& layout, int num_disks, std::int64_t blocks,
+               int target, int budget, RebuildStats* stats_out = nullptr) {
+  DiskArray array(num_disks, DiskParams::Sigmod96(), kBlockSize);
+  for (int space = 0; space < layout.num_spaces(); ++space) {
+    const std::int64_t limit =
+        std::min(blocks, layout.space_capacity(space));
+    for (std::int64_t i = 0; i < limit; ++i) {
+      ASSERT_TRUE(WriteDataBlock(layout, array, space, i,
+                                 PatternBlock(space, i, kBlockSize))
+                      .ok());
+    }
+  }
+  const std::int64_t scan = 4 * blocks / num_disks + 8;
+  std::vector<Block> snapshot;
+  for (std::int64_t b = 0; b < scan; ++b) {
+    snapshot.push_back(*array.disk(target).Read(b));
+  }
+
+  ASSERT_TRUE(array.FailDisk(target).ok());
+  ASSERT_TRUE(array.StartRebuild(target).ok());  // Blank replacement.
+  EXPECT_EQ(array.disk(target).state(), SimDisk::State::kRebuilding);
+  EXPECT_EQ(array.failed_disk(), target);  // Still degraded for readers.
+
+  Rebuilder rebuilder(&layout, &array, target, scan, budget);
+  ASSERT_TRUE(rebuilder.RunToCompletion().ok());
+  EXPECT_TRUE(rebuilder.done());
+  EXPECT_DOUBLE_EQ(rebuilder.progress(), 1.0);
+  EXPECT_LE(rebuilder.stats().max_disk_round_reads, budget);
+  ASSERT_TRUE(array.RepairDisk(target).ok());
+
+  for (std::int64_t b = 0; b < scan; ++b) {
+    Result<Block> rebuilt = array.disk(target).Read(b);
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_EQ(*rebuilt, snapshot[static_cast<std::size_t>(b)])
+        << "target " << target << " block " << b;
+  }
+  if (stats_out != nullptr) *stats_out = rebuilder.stats();
+}
+
+TEST(RebuildTest, DeclusteredEveryDiskRoundTrips) {
+  Result<FactoryDesign> design = BuildDesign(7, 3);
+  ASSERT_TRUE(design.ok());
+  Result<Pgt> pgt = Pgt::FromDesign(design->design);
+  ASSERT_TRUE(pgt.ok());
+  DeclusteredLayout layout(*std::move(pgt), 140);
+  for (int target = 0; target < 7; ++target) {
+    RoundTrip(layout, 7, 140, target, /*budget=*/2);
+  }
+}
+
+TEST(RebuildTest, ParityDiskLayoutIncludingParityDisks) {
+  ParityDiskLayout layout(8, 4, 120);
+  for (int target : {0, 2, 3, 7}) {  // Data disks and parity disks.
+    RoundTrip(layout, 8, 120, target, /*budget=*/3);
+  }
+}
+
+TEST(RebuildTest, FlatLayoutRebuildsDataAndParityRegions) {
+  FlatParityLayout layout(9, 4, 108);
+  for (int target : {0, 4, 8}) {
+    RoundTrip(layout, 9, 108, target, /*budget=*/3);
+  }
+}
+
+TEST(RebuildTest, BudgetControlsDuration) {
+  Result<FactoryDesign> design = BuildDesign(9, 3);
+  ASSERT_TRUE(design.ok());
+  Result<Pgt> pgt = Pgt::FromDesign(design->design);
+  ASSERT_TRUE(pgt.ok());
+  DeclusteredLayout layout(*std::move(pgt), 270);
+  RebuildStats slow;
+  RoundTrip(layout, 9, 270, 2, /*budget=*/1, &slow);
+  RebuildStats fast;
+  RoundTrip(layout, 9, 270, 2, /*budget=*/4, &fast);
+  EXPECT_EQ(slow.blocks_rebuilt, fast.blocks_rebuilt);
+  EXPECT_GT(slow.rounds, fast.rounds);
+  EXPECT_LE(slow.max_disk_round_reads, 1);
+  EXPECT_LE(fast.max_disk_round_reads, 4);
+}
+
+TEST(RebuildTest, RejectsFailedTargetUntilSwapped) {
+  ParityDiskLayout layout(8, 4, 60);
+  DiskArray array(8, DiskParams::Sigmod96(), kBlockSize);
+  ASSERT_TRUE(array.FailDisk(1).ok());
+  Rebuilder rebuilder(&layout, &array, 1, 10, 2);
+  EXPECT_EQ(rebuilder.RunRound().status().code(),
+            StatusCode::kFailedPrecondition);
+  // Swapping in a blank disk unblocks it.
+  ASSERT_TRUE(array.StartRebuild(1).ok());
+  Result<int> progressed = rebuilder.RunRound();
+  ASSERT_TRUE(progressed.ok());
+  EXPECT_GT(*progressed, 0);
+}
+
+TEST(RebuildTest, StartRebuildRequiresFailedDisk) {
+  DiskArray array(4, DiskParams::Sigmod96(), kBlockSize);
+  EXPECT_EQ(array.StartRebuild(0).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RebuildTest, ServiceContinuesDuringRebuildWithinQuota) {
+  // Full repair cycle under live service: fail -> degraded playback ->
+  // swap -> online rebuild at budget f while clients keep playing
+  // (still degraded: the rebuilding disk serves no reads) -> repair ->
+  // normal service. No hiccups anywhere; every stream completes.
+  SetupOptions options;
+  options.scheme = Scheme::kDeclustered;
+  options.num_disks = 9;
+  options.parity_group = 3;
+  options.q = 8;
+  options.f = 2;
+  options.capacity_blocks = 900;
+  Result<ServerSetup> setup = MakeSetup(options);
+  ASSERT_TRUE(setup.ok());
+
+  DiskArray array(9, DiskParams::Sigmod96(), kBlockSize);
+  for (std::int64_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE(WriteDataBlock(*setup->layout, array, 0, i,
+                               PatternBlock(0, i, kBlockSize))
+                    .ok());
+  }
+  ServerConfig server_config;
+  server_config.block_size = kBlockSize;
+  Server server(&array, setup->controller.get(), server_config);
+  int admitted = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (server.TryAdmit(i, 0, 10 * i, 120)) ++admitted;
+  }
+  ASSERT_GT(admitted, 6);
+
+  ASSERT_TRUE(server.RunRounds(10).ok());
+  ASSERT_TRUE(server.FailDisk(4).ok());
+  ASSERT_TRUE(server.RunRounds(10).ok());  // Degraded service.
+
+  ASSERT_TRUE(array.StartRebuild(4).ok());
+  const std::int64_t scan = 200;
+  Rebuilder rebuilder(setup->layout.get(), &array, 4, scan, options.f);
+  while (!rebuilder.done()) {
+    Result<int> progressed = rebuilder.RunRound();
+    ASSERT_TRUE(progressed.ok());
+    ASSERT_TRUE(server.RunRound().ok());  // Still degraded.
+  }
+  ASSERT_TRUE(array.RepairDisk(4).ok());
+  ASSERT_TRUE(server.RunRounds(140).ok());  // Back to normal reads.
+  EXPECT_EQ(server.metrics().hiccups, 0);
+  EXPECT_EQ(server.metrics().completed_streams, admitted);
+  EXPECT_LE(rebuilder.stats().max_disk_round_reads, options.f);
+}
+
+}  // namespace
+}  // namespace cmfs

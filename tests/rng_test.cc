@@ -1,0 +1,111 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cmfs {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(7);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 2000; ++i) {
+    ++seen[rng.NextBounded(8)];
+  }
+  for (int count : seen) {
+    // Expected 250 each; allow a wide tolerance.
+    EXPECT_GT(count, 150);
+    EXPECT_LT(count, 350);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(5);
+  const double rate = 20.0;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.005);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t x = rng.NextInt(-2, 2);
+    ASSERT_GE(x, -2);
+    ASSERT_LE(x, 2);
+    saw_lo |= (x == -2);
+    saw_hi |= (x == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(11);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[zipf.Sample(rng)];
+  for (int count : seen) {
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(ZipfTest, PositiveThetaSkewsTowardLowIds) {
+  Rng rng(11);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> seen(100, 0);
+  for (int i = 0; i < 20000; ++i) ++seen[zipf.Sample(rng)];
+  EXPECT_GT(seen[0], seen[50] * 5);
+  EXPECT_GT(seen[0], seen[99] * 10);
+}
+
+TEST(ZipfTest, SingleItemAlwaysZero) {
+  Rng rng(1);
+  ZipfSampler zipf(1, 1.2);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace cmfs

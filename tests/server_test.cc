@@ -1,0 +1,281 @@
+#include "core/server.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/continuity.h"
+#include "bibd/design_factory.h"
+#include "core/content.h"
+#include "core/controller_factory.h"
+#include "layout/layout.h"
+#include "util/units.h"
+
+namespace cmfs {
+namespace {
+
+constexpr std::int64_t kBlockSize = 32;
+
+struct Rig {
+  ServerSetup setup;
+  std::unique_ptr<DiskArray> array;
+  std::unique_ptr<Server> server;
+};
+
+Rig MakeRig(const SetupOptions& options, std::int64_t populate_blocks,
+            bool allow_hiccups = false) {
+  Rig rig;
+  Result<ServerSetup> setup = MakeSetup(options);
+  CMFS_CHECK(setup.ok());
+  rig.setup = *std::move(setup);
+  rig.array = std::make_unique<DiskArray>(
+      options.num_disks, DiskParams::Sigmod96(), kBlockSize);
+  for (int space = 0; space < rig.setup.layout->num_spaces(); ++space) {
+    const std::int64_t limit =
+        std::min(populate_blocks, rig.setup.layout->space_capacity(space));
+    for (std::int64_t i = 0; i < limit; ++i) {
+      CMFS_CHECK(WriteDataBlock(*rig.setup.layout, *rig.array, space, i,
+                                PatternBlock(space, i, kBlockSize))
+                     .ok());
+    }
+  }
+  ServerConfig config;
+  config.block_size = kBlockSize;
+  config.allow_hiccups = allow_hiccups;
+  rig.server = std::make_unique<Server>(rig.array.get(),
+                                        rig.setup.controller.get(), config);
+  return rig;
+}
+
+SetupOptions DeclusteredOptions() {
+  SetupOptions options;
+  options.scheme = Scheme::kDeclustered;
+  options.num_disks = 7;
+  options.parity_group = 3;
+  options.q = 6;
+  options.f = 1;
+  options.capacity_blocks = 420;
+  return options;
+}
+
+TEST(ServerTest, HealthyStreamDeliversEverythingBitExact) {
+  Rig rig = MakeRig(DeclusteredOptions(), 420);
+  ASSERT_TRUE(rig.server->TryAdmit(0, 0, 0, 40));
+  ASSERT_TRUE(rig.server->RunRounds(60).ok());
+  const ServerMetrics& m = rig.server->metrics();
+  EXPECT_EQ(m.deliveries, 40);
+  EXPECT_EQ(m.hiccups, 0);
+  EXPECT_EQ(m.completed_streams, 1);
+  EXPECT_EQ(m.recovery_reads, 0);
+  EXPECT_EQ(m.total_reads, 40);
+}
+
+TEST(ServerTest, FailureMidStreamStillBitExact) {
+  Rig rig = MakeRig(DeclusteredOptions(), 420);
+  ASSERT_TRUE(rig.server->TryAdmit(0, 0, 0, 40));
+  ASSERT_TRUE(rig.server->RunRounds(10).ok());
+  ASSERT_TRUE(rig.server->FailDisk(2).ok());
+  ASSERT_TRUE(rig.server->RunRounds(50).ok());
+  const ServerMetrics& m = rig.server->metrics();
+  EXPECT_EQ(m.deliveries, 40);
+  EXPECT_EQ(m.hiccups, 0);
+  EXPECT_GT(m.recovery_reads, 0);
+}
+
+TEST(ServerTest, DetectsCorruptedBlocks) {
+  Rig rig = MakeRig(DeclusteredOptions(), 420);
+  // Flip a byte behind the parity machinery's back.
+  const BlockAddress addr = rig.setup.layout->DataAddress(0, 5);
+  Result<Block> block = rig.array->Read(addr);
+  ASSERT_TRUE(block.ok());
+  (*block)[0] ^= 0xff;
+  ASSERT_TRUE(rig.array->disk(addr.disk).Write(addr.block, *block).ok());
+  ASSERT_TRUE(rig.server->TryAdmit(0, 0, 0, 10));
+  Status st = rig.server->RunRounds(20);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("corrupt"), std::string::npos);
+}
+
+TEST(ServerTest, EnforcesQuotaInvariant) {
+  // A controller with a quota below its own admissions would trip the
+  // server's window check: emulate by admitting more than q streams onto
+  // one disk via a generous controller, then verifying the server's
+  // accounting sees exactly the expected max window.
+  Rig rig = MakeRig(DeclusteredOptions(), 420);
+  for (int i = 0; i < 4; ++i) {
+    // Distinct rows of disk 0: starts 0, 7, 14 (rows 0,1,2).
+    rig.server->TryAdmit(i, 0, 7 * i, 30);
+  }
+  ASSERT_TRUE(rig.server->RunRounds(40).ok());
+  EXPECT_LE(rig.server->metrics().max_disk_window_reads, 6);
+  EXPECT_GT(rig.server->metrics().max_disk_window_reads, 0);
+}
+
+TEST(ServerTest, HiccupsForbiddenByDefault) {
+  SetupOptions options;
+  options.scheme = Scheme::kNonClustered;
+  options.num_disks = 8;
+  options.parity_group = 4;
+  options.q = 4;
+  options.capacity_blocks = 600;
+  Rig rig = MakeRig(options, 600, /*allow_hiccups=*/false);
+  ASSERT_TRUE(rig.server->TryAdmit(0, 0, 0, 30));
+  ASSERT_TRUE(rig.server->RunRounds(2).ok());
+  // Mid-group failure on the block about to be fetched loses it.
+  ASSERT_TRUE(rig.server->FailDisk(2).ok());
+  Status st = rig.server->RunRounds(10);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("missed delivery"), std::string::npos);
+}
+
+TEST(ServerTest, HiccupsCountedWhenAllowed) {
+  SetupOptions options;
+  options.scheme = Scheme::kNonClustered;
+  options.num_disks = 8;
+  options.parity_group = 4;
+  options.q = 4;
+  options.capacity_blocks = 600;
+  Rig rig = MakeRig(options, 600, /*allow_hiccups=*/true);
+  ASSERT_TRUE(rig.server->TryAdmit(0, 0, 0, 30));
+  ASSERT_TRUE(rig.server->RunRounds(2).ok());
+  ASSERT_TRUE(rig.server->FailDisk(2).ok());
+  ASSERT_TRUE(rig.server->RunRounds(40).ok());
+  const ServerMetrics& m = rig.server->metrics();
+  // Exactly the mid-group transition blocks are lost; playback continues.
+  EXPECT_GT(m.hiccups, 0);
+  EXPECT_LE(m.hiccups, 2);
+  EXPECT_EQ(m.deliveries + m.hiccups, 30);
+}
+
+TEST(ServerTest, PrefetchReconstructionUsesBufferNotDisks) {
+  SetupOptions options;
+  options.scheme = Scheme::kPrefetchParityDisk;
+  options.num_disks = 8;
+  options.parity_group = 4;
+  options.q = 4;
+  options.capacity_blocks = 600;
+  Rig rig = MakeRig(options, 600);
+  ASSERT_TRUE(rig.server->TryAdmit(0, 0, 0, 30));
+  ASSERT_TRUE(rig.server->FailDisk(0).ok());
+  ASSERT_TRUE(rig.server->RunRounds(40).ok());
+  const ServerMetrics& m = rig.server->metrics();
+  EXPECT_EQ(m.deliveries, 30);
+  EXPECT_EQ(m.hiccups, 0);
+  // 5 of the 30 blocks lived on data disk 0 (indices 0 mod 6): exactly
+  // 5 parity reads, no whole-group recovery traffic.
+  EXPECT_EQ(m.recovery_reads, 5);
+  EXPECT_EQ(m.total_reads, 30);
+}
+
+TEST(ServerTest, PauseFreesSlotAndResumeReplaysCleanly) {
+  Rig rig = MakeRig(DeclusteredOptions(), 420);
+  ASSERT_TRUE(rig.server->TryAdmit(0, 0, 0, 60));
+  ASSERT_TRUE(rig.server->RunRounds(20).ok());
+  const std::int64_t before = rig.server->metrics().deliveries;
+  ASSERT_TRUE(rig.server->PauseStream(0).ok());
+  EXPECT_EQ(rig.server->num_active(), 0);
+  // While paused, the slot is free for someone else.
+  ASSERT_TRUE(rig.server->TryAdmit(1, 0, 0, 10));
+  ASSERT_TRUE(rig.server->RunRounds(15).ok());
+  ASSERT_TRUE(rig.server->ResumeStream(0).ok());
+  ASSERT_TRUE(rig.server->RunRounds(60).ok());
+  const ServerMetrics& m = rig.server->metrics();
+  EXPECT_EQ(m.hiccups, 0);
+  EXPECT_EQ(m.completed_streams, 2);
+  // Stream 0's 60 blocks + stream 1's 10, no replay for declustered.
+  EXPECT_EQ(m.deliveries, 70);
+  EXPECT_GT(before, 0);
+}
+
+TEST(ServerTest, PauseResumeAcrossFailure) {
+  Rig rig = MakeRig(DeclusteredOptions(), 420);
+  ASSERT_TRUE(rig.server->TryAdmit(0, 0, 0, 60));
+  ASSERT_TRUE(rig.server->RunRounds(10).ok());
+  ASSERT_TRUE(rig.server->PauseStream(0).ok());
+  ASSERT_TRUE(rig.server->FailDisk(1).ok());
+  ASSERT_TRUE(rig.server->RunRounds(5).ok());
+  ASSERT_TRUE(rig.server->ResumeStream(0).ok());
+  ASSERT_TRUE(rig.server->RunRounds(70).ok());
+  EXPECT_EQ(rig.server->metrics().hiccups, 0);
+  EXPECT_EQ(rig.server->metrics().completed_streams, 1);
+}
+
+TEST(ServerTest, ResumeAlignsToGroupBoundaryForClusteredSchemes) {
+  SetupOptions options;
+  options.scheme = Scheme::kPrefetchParityDisk;
+  options.num_disks = 8;
+  options.parity_group = 4;
+  options.q = 4;
+  options.capacity_blocks = 600;
+  Rig rig = MakeRig(options, 600);
+  ASSERT_TRUE(rig.server->TryAdmit(0, 0, 0, 30));
+  // Pause mid-group (after some deliveries that are unlikely to be
+  // group-aligned), then resume: the server rewinds to the boundary.
+  ASSERT_TRUE(rig.server->RunRounds(11).ok());
+  ASSERT_TRUE(rig.server->PauseStream(0).ok());
+  ASSERT_TRUE(rig.server->RunRounds(3).ok());
+  ASSERT_TRUE(rig.server->ResumeStream(0).ok());
+  ASSERT_TRUE(rig.server->RunRounds(60).ok());
+  const ServerMetrics& m = rig.server->metrics();
+  EXPECT_EQ(m.hiccups, 0);
+  EXPECT_EQ(m.completed_streams, 1);
+  // All 30 blocks delivered, plus at most p-2 replayed ones.
+  EXPECT_GE(m.deliveries, 30);
+  EXPECT_LE(m.deliveries, 32);
+}
+
+TEST(ServerTest, CancelStreamFreesEverything) {
+  Rig rig = MakeRig(DeclusteredOptions(), 420);
+  ASSERT_TRUE(rig.server->TryAdmit(0, 0, 0, 60));
+  ASSERT_TRUE(rig.server->RunRounds(5).ok());
+  ASSERT_TRUE(rig.server->CancelStream(0).ok());
+  EXPECT_EQ(rig.server->num_active(), 0);
+  EXPECT_EQ(rig.server->CancelStream(0).code(), StatusCode::kNotFound);
+  // The slot is reusable immediately.
+  EXPECT_TRUE(rig.server->TryAdmit(1, 0, 0, 10));
+  ASSERT_TRUE(rig.server->RunRounds(15).ok());
+  EXPECT_EQ(rig.server->metrics().completed_streams, 1);
+}
+
+TEST(ServerTest, PauseResumeErrorsAreTyped) {
+  Rig rig = MakeRig(DeclusteredOptions(), 420);
+  EXPECT_EQ(rig.server->PauseStream(9).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(rig.server->TryAdmit(0, 0, 0, 30));
+  EXPECT_EQ(rig.server->ResumeStream(0).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(rig.server->PauseStream(0).ok());
+  EXPECT_EQ(rig.server->PauseStream(0).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ServerTest, RoundTimingStaysWithinContinuityBound) {
+  SetupOptions options = DeclusteredOptions();
+  Result<ServerSetup> setup = MakeSetup(options);
+  ASSERT_TRUE(setup.ok());
+  // Use a block size that satisfies Equation 1 for q = 6 under the real
+  // Figure-1 disk parameters.
+  const DiskParams disk = DiskParams::Sigmod96();
+  const double rp = MbpsToBytesPerSec(1.5);
+  const std::int64_t b = MinBlockSizeForClips(disk, rp, 6);
+  ASSERT_GT(b, 0);
+  DiskArray array(7, disk, b);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(WriteDataBlock(*setup->layout, array, 0, i,
+                               PatternBlock(0, i, b))
+                    .ok());
+  }
+  ServerConfig config;
+  config.block_size = b;
+  config.time_rounds = true;
+  Server server(&array, setup->controller.get(), config);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server.TryAdmit(i, 0, i, 60));
+  }
+  ASSERT_TRUE(server.FailDisk(3).ok());
+  ASSERT_TRUE(server.RunRounds(30).ok());
+  // Even with reconstruction reads, the worst observed round fits the
+  // round length b / r_p.
+  EXPECT_LE(server.metrics().max_round_time, RoundLength(rp, b));
+  EXPECT_GT(server.metrics().max_round_time, 0.0);
+}
+
+}  // namespace
+}  // namespace cmfs

@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/driver.h"
+#include "sim/reliability_sim.h"
+#include "sim/stats.h"
+#include "sim/workload.h"
+
+namespace cmfs {
+namespace {
+
+WorkloadConfig SmallWorkload() {
+  WorkloadConfig w;
+  w.num_clips = 100;
+  w.clip_blocks = 50;
+  w.arrivals_per_tu = 20.0;
+  w.rounds_per_tu = 10;
+  w.duration_tu = 60;
+  return w;
+}
+
+TEST(WorkloadTest, ArrivalsArePoissonish) {
+  Rng rng(1);
+  const WorkloadConfig w = SmallWorkload();
+  const auto arrivals = GenerateArrivals(w, rng);
+  // Expected 20 * 60 = 1200 arrivals.
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), 1200.0, 120.0);
+  // Sorted by round, all within the horizon.
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i].round, arrivals[i - 1].round);
+  }
+  EXPECT_LT(arrivals.back().round, 600);
+  // Clips drawn across the catalog.
+  std::set<int> clips;
+  for (const Arrival& a : arrivals) clips.insert(a.clip);
+  EXPECT_GT(clips.size(), 60u);
+}
+
+TEST(WorkloadTest, ZipfSkewConcentratesChoices) {
+  Rng rng(1);
+  WorkloadConfig w = SmallWorkload();
+  w.zipf_theta = 1.2;
+  const auto arrivals = GenerateArrivals(w, rng);
+  int clip0 = 0;
+  for (const Arrival& a : arrivals) {
+    if (a.clip == 0) ++clip0;
+  }
+  EXPECT_GT(clip0, static_cast<int>(arrivals.size()) / 20);
+}
+
+TEST(WorkloadTest, DeclusteredPlacementsCoverDisksAndRows) {
+  Rng rng(2);
+  WorkloadConfig w = SmallWorkload();
+  w.num_clips = 500;
+  const auto placements =
+      GeneratePlacements(Scheme::kDeclustered, 8, 3, 3, w, rng);
+  std::set<std::pair<int, int>> disk_rows;
+  for (const ClipPlacement& p : placements) {
+    EXPECT_EQ(p.space, 0);
+    const int disk = static_cast<int>(p.start % 8);
+    const int row = static_cast<int>((p.start / 8) % 3);
+    disk_rows.insert({disk, row});
+  }
+  EXPECT_EQ(disk_rows.size(), 24u);  // All 8 x 3 combinations hit.
+}
+
+TEST(WorkloadTest, DynamicPlacementsUseAllSpaces) {
+  Rng rng(3);
+  WorkloadConfig w = SmallWorkload();
+  const auto placements =
+      GeneratePlacements(Scheme::kDynamic, 7, 3, 3, w, rng);
+  std::set<int> spaces;
+  for (const ClipPlacement& p : placements) spaces.insert(p.space);
+  EXPECT_EQ(spaces.size(), 3u);
+}
+
+TEST(WorkloadTest, ClusteredPlacementsGroupAligned) {
+  Rng rng(4);
+  const WorkloadConfig w = SmallWorkload();
+  for (Scheme s : {Scheme::kPrefetchParityDisk, Scheme::kPrefetchFlat,
+                   Scheme::kStreamingRaid, Scheme::kNonClustered}) {
+    const auto placements = GeneratePlacements(s, 8, 0, 4, w, rng);
+    for (const ClipPlacement& p : placements) {
+      EXPECT_EQ(p.start % 3, 0);
+    }
+  }
+}
+
+TEST(WorkloadTest, RequiredCapacityCoversAll) {
+  const std::vector<ClipPlacement> placements = {{0, 10}, {0, 99}, {0, 5}};
+  EXPECT_EQ(RequiredCapacity(placements, {50, 50, 50}), 149);
+  EXPECT_EQ(RequiredCapacity(placements, {200, 10, 10}), 210);
+}
+
+TEST(WorkloadTest, ClipLengthJitterSpreadsAndAligns) {
+  Rng rng(9);
+  WorkloadConfig w = SmallWorkload();
+  w.num_clips = 400;
+  // No jitter: all lengths equal clip_blocks (span 1).
+  auto fixed = GenerateClipLengths(w, 1, rng);
+  for (std::int64_t len : fixed) EXPECT_EQ(len, w.clip_blocks);
+  // Jitter: spread within [0.5, 1.5]x, min/max differ, span respected.
+  w.clip_length_jitter = 0.5;
+  auto jittered = GenerateClipLengths(w, 3, rng);
+  std::int64_t lo = jittered[0];
+  std::int64_t hi = jittered[0];
+  for (std::int64_t len : jittered) {
+    EXPECT_EQ(len % 3, 0);
+    EXPECT_GE(len, static_cast<std::int64_t>(0.5 * w.clip_blocks));
+    EXPECT_LE(len, static_cast<std::int64_t>(1.5 * w.clip_blocks) + 3);
+    lo = std::min(lo, len);
+    hi = std::max(hi, len);
+  }
+  EXPECT_LT(lo, hi);
+}
+
+TEST(DriverTest, JitteredLengthsRunEndToEnd) {
+  SimConfig config;
+  config.scheme = Scheme::kStreamingRaid;
+  config.num_disks = 8;
+  config.parity_group = 4;
+  config.q = 6;
+  config.workload = SmallWorkload();
+  config.workload.clip_length_jitter = 0.4;
+  Result<SimResult> result = RunCapacitySim(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->admitted, 0);
+}
+
+TEST(DriverTest, AdmitsAtMostArrivals) {
+  SimConfig config;
+  config.scheme = Scheme::kPrefetchParityDisk;
+  config.num_disks = 8;
+  config.parity_group = 4;
+  config.q = 10;
+  config.workload = SmallWorkload();
+  Result<SimResult> result = RunCapacitySim(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->admitted, 0);
+  EXPECT_LE(result->admitted, result->arrivals);
+  EXPECT_EQ(result->admitted + result->still_pending, result->arrivals);
+}
+
+TEST(DriverTest, ThroughputScalesWithQ) {
+  SimConfig config;
+  config.scheme = Scheme::kDeclustered;
+  config.num_disks = 8;
+  config.parity_group = 2;
+  config.rows = 7;
+  config.f = 2;
+  config.workload = SmallWorkload();
+  config.policy = AdmissionPolicy::kFirstFit;
+  config.q = 6;
+  const auto low = RunCapacitySim(config);
+  config.q = 12;
+  const auto high = RunCapacitySim(config);
+  ASSERT_TRUE(low.ok() && high.ok());
+  EXPECT_GT(high->admitted, low->admitted);
+}
+
+TEST(DriverTest, DeterministicForSeed) {
+  SimConfig config;
+  config.scheme = Scheme::kNonClustered;
+  config.num_disks = 8;
+  config.parity_group = 4;
+  config.q = 8;
+  config.workload = SmallWorkload();
+  const auto a = RunCapacitySim(config);
+  const auto b = RunCapacitySim(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->admitted, b->admitted);
+  EXPECT_EQ(a->max_concurrent, b->max_concurrent);
+  EXPECT_DOUBLE_EQ(a->mean_response_tu, b->mean_response_tu);
+}
+
+TEST(DriverTest, FirstFitNeverAdmitsFewerThanHeadOfLine) {
+  SimConfig config;
+  config.scheme = Scheme::kDeclustered;
+  config.num_disks = 8;
+  config.parity_group = 2;
+  config.rows = 7;
+  config.q = 8;
+  config.f = 1;
+  config.workload = SmallWorkload();
+  config.policy = AdmissionPolicy::kFifoHeadOfLine;
+  const auto fifo = RunCapacitySim(config);
+  config.policy = AdmissionPolicy::kFirstFit;
+  const auto fit = RunCapacitySim(config);
+  ASSERT_TRUE(fifo.ok() && fit.ok());
+  EXPECT_GE(fit->admitted, fifo->admitted);
+}
+
+TEST(DriverTest, BatchingServesMoreUnderSkew) {
+  SimConfig config;
+  config.scheme = Scheme::kPrefetchParityDisk;
+  config.num_disks = 8;
+  config.parity_group = 4;
+  config.q = 6;
+  config.workload = SmallWorkload();
+  config.workload.zipf_theta = 1.2;
+  config.policy = AdmissionPolicy::kFirstFit;
+  const auto plain = RunCapacitySim(config);
+  config.batch_window_rounds = 50;
+  const auto batched = RunCapacitySim(config);
+  ASSERT_TRUE(plain.ok() && batched.ok());
+  EXPECT_EQ(plain->batched, 0);
+  EXPECT_GT(batched->batched, 0);
+  EXPECT_GT(batched->admitted, plain->admitted);
+  // Disk-bandwidth consumers (non-batched streams) never exceed the
+  // controller's capacity regardless of batching (q per data disk, plus
+  // the playback tails of completed fetches draining for p-1 rounds).
+  EXPECT_LE(batched->max_concurrent, 6 * 6 + 6);
+}
+
+TEST(DriverTest, BatchingOffUnderUniformIsNearNoop) {
+  SimConfig config;
+  config.scheme = Scheme::kPrefetchParityDisk;
+  config.num_disks = 8;
+  config.parity_group = 4;
+  config.q = 6;
+  config.workload = SmallWorkload();
+  config.workload.num_clips = 5000;  // Effectively no repeats.
+  config.batch_window_rounds = 20;
+  const auto result = RunCapacitySim(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->batched, result->admitted / 10);
+}
+
+TEST(DriverTest, ChurnFreesCapacityForMoreAdmissions) {
+  SimConfig config;
+  config.scheme = Scheme::kPrefetchParityDisk;
+  config.num_disks = 8;
+  config.parity_group = 4;
+  config.q = 4;
+  config.workload = SmallWorkload();
+  config.policy = AdmissionPolicy::kFirstFit;
+  const auto loyal = RunCapacitySim(config);
+  config.renege_prob = 0.5;
+  const auto churny = RunCapacitySim(config);
+  ASSERT_TRUE(loyal.ok() && churny.ok());
+  EXPECT_EQ(loyal->reneged, 0);
+  EXPECT_GT(churny->reneged, 0);
+  // Early departures free slots, so more clients get in overall.
+  EXPECT_GT(churny->admitted, loyal->admitted);
+}
+
+TEST(DriverTest, AgedFirstFitBoundsWaitingTime) {
+  // A contended declustered workload with f = 1 starves some requests
+  // under plain first-fit; the aging gate trades a little throughput for
+  // a bounded wait.
+  SimConfig config;
+  config.scheme = Scheme::kDeclustered;
+  config.num_disks = 8;
+  config.parity_group = 2;
+  config.rows = 7;
+  config.q = 8;
+  config.f = 1;
+  config.workload = SmallWorkload();
+  config.workload.arrivals_per_tu = 40.0;  // Heavy contention.
+  config.policy = AdmissionPolicy::kFirstFit;
+  const auto fit = RunCapacitySim(config);
+  config.policy = AdmissionPolicy::kAgedFirstFit;
+  config.max_wait_rounds = 50;
+  const auto aged = RunCapacitySim(config);
+  ASSERT_TRUE(fit.ok() && aged.ok());
+  EXPECT_LT(aged->max_response_tu, fit->max_response_tu);
+  // Throughput stays close to plain first-fit (well above HOL FIFO).
+  config.policy = AdmissionPolicy::kFifoHeadOfLine;
+  const auto fifo = RunCapacitySim(config);
+  ASSERT_TRUE(fifo.ok());
+  EXPECT_GT(aged->admitted, fifo->admitted);
+}
+
+TEST(DriverTest, MaxConcurrentRespectsCapacityBound) {
+  SimConfig config;
+  config.scheme = Scheme::kStreamingRaid;
+  config.num_disks = 8;
+  config.parity_group = 4;
+  config.q = 5;
+  config.workload = SmallWorkload();
+  Result<SimResult> result = RunCapacitySim(config);
+  ASSERT_TRUE(result.ok());
+  // q per cluster, 2 clusters of fetch slots; completed fetches drain
+  // their buffered group for up to one more super-round while a
+  // successor occupies the slot, so the ceiling is twice the slots.
+  EXPECT_LE(result->max_concurrent, 2 * 5 * 2);
+  EXPECT_GE(result->max_concurrent, 5 * 2);
+}
+
+TEST(DriverTest, DynamicSchemeRunsEndToEnd) {
+  SimConfig config;
+  config.scheme = Scheme::kDynamic;
+  config.num_disks = 7;
+  config.parity_group = 3;
+  config.q = 8;
+  config.workload = SmallWorkload();
+  config.workload.num_clips = 50;
+  config.workload.duration_tu = 30;
+  Result<SimResult> result = RunCapacitySim(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->admitted, 0);
+}
+
+TEST(ReliabilitySimTest, MatchesClosedFormWithinTolerance) {
+  ReliabilityConfig config;
+  config.num_disks = 16;
+  config.group_size = 4;
+  config.trials = 4000;
+  Result<ReliabilityResult> result = SimulateMttdl(config);
+  ASSERT_TRUE(result.ok());
+  // Monte-Carlo mean of an exponential-ish variable: +-10% at 4000
+  // trials is comfortable.
+  EXPECT_NEAR(result->mttdl_hours / result->analytic_hours, 1.0, 0.15);
+  EXPECT_GT(result->mean_failures_survived, 100.0);
+}
+
+TEST(ReliabilitySimTest, DeclusteredTradeoffIsMttdlNeutral) {
+  ReliabilityConfig config;
+  config.num_disks = 32;
+  config.group_size = 4;
+  config.trials = 3000;
+  config.declustered = false;
+  const auto clustered = SimulateMttdl(config);
+  config.declustered = true;
+  const auto declustered = SimulateMttdl(config);
+  ASSERT_TRUE(clustered.ok() && declustered.ok());
+  // Same analytic value by construction; simulations agree within noise.
+  EXPECT_NEAR(clustered->analytic_hours, declustered->analytic_hours,
+              1e-6 * clustered->analytic_hours);
+  EXPECT_NEAR(declustered->mttdl_hours / clustered->mttdl_hours, 1.0,
+              0.3);
+}
+
+TEST(ReliabilitySimTest, ShorterRepairRaisesMttdl) {
+  ReliabilityConfig config;
+  config.num_disks = 16;
+  config.group_size = 4;
+  config.trials = 1500;
+  config.repair_hours = 24.0;
+  const auto slow = SimulateMttdl(config);
+  config.repair_hours = 6.0;
+  const auto fast = SimulateMttdl(config);
+  ASSERT_TRUE(slow.ok() && fast.ok());
+  EXPECT_GT(fast->mttdl_hours, 2.0 * slow->mttdl_hours);
+}
+
+TEST(ReliabilitySimTest, RejectsBadConfig) {
+  ReliabilityConfig config;
+  config.num_disks = 2;
+  config.group_size = 4;
+  EXPECT_FALSE(SimulateMttdl(config).ok());
+  config.group_size = 2;
+  config.trials = 0;
+  EXPECT_FALSE(SimulateMttdl(config).ok());
+}
+
+TEST(StatsTest, SummaryBasics) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.Add(2.0);
+  s.Add(4.0);
+  s.Add(6.0);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_NEAR(s.stddev(), 1.632993, 1e-5);
+}
+
+TEST(StatsTest, LoadImbalance) {
+  EXPECT_DOUBLE_EQ(LoadImbalance({5, 5, 5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(LoadImbalance({0, 0, 0}), 0.0);
+  EXPECT_GT(LoadImbalance({10, 0, 0, 0}), 1.0);
+}
+
+}  // namespace
+}  // namespace cmfs

@@ -1,0 +1,167 @@
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "core/content.h"
+#include "core/controller_factory.h"
+#include "core/server.h"
+#include "layout/layout.h"
+
+namespace cmfs {
+namespace {
+
+constexpr std::int64_t kBlockSize = 16;
+
+struct Rig {
+  ServerSetup setup;
+  std::unique_ptr<DiskArray> array;
+  std::unique_ptr<Trace> trace;
+  std::unique_ptr<Server> server;
+};
+
+Rig MakeRig(Scheme scheme, int d, int p, int q, int f) {
+  Rig rig;
+  SetupOptions options;
+  options.scheme = scheme;
+  options.num_disks = d;
+  options.parity_group = p;
+  options.q = q;
+  options.f = f;
+  options.capacity_blocks = 900;
+  Result<ServerSetup> setup = MakeSetup(options);
+  CMFS_CHECK(setup.ok());
+  rig.setup = *std::move(setup);
+  rig.array =
+      std::make_unique<DiskArray>(d, DiskParams::Sigmod96(), kBlockSize);
+  for (int space = 0; space < rig.setup.layout->num_spaces(); ++space) {
+    const std::int64_t limit =
+        std::min<std::int64_t>(500, rig.setup.layout->space_capacity(space));
+    for (std::int64_t i = 0; i < limit; ++i) {
+      CMFS_CHECK(WriteDataBlock(*rig.setup.layout, *rig.array, space, i,
+                                PatternBlock(space, i, kBlockSize))
+                     .ok());
+    }
+  }
+  rig.trace = std::make_unique<Trace>();
+  ServerConfig config;
+  config.block_size = kBlockSize;
+  config.trace = rig.trace.get();
+  rig.server = std::make_unique<Server>(rig.array.get(),
+                                        rig.setup.controller.get(), config);
+  return rig;
+}
+
+// The continuity guarantee, measured: once playing, every stream gets
+// exactly one block per round — max inter-delivery gap 1 — even through
+// a mid-playback disk failure.
+struct JitterCase {
+  Scheme scheme;
+  int d, p, q, f;
+  int expected_startup;  // rounds from admission to first delivery
+};
+
+class TraceJitterTest : public ::testing::TestWithParam<JitterCase> {};
+
+TEST_P(TraceJitterTest, DeliveryJitterIsOneEvenThroughFailure) {
+  const JitterCase c = GetParam();
+  Rig rig = MakeRig(c.scheme, c.d, c.p, c.q, c.f);
+  const int span = c.p - 1;
+  int admitted = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (rig.server->TryAdmit(i, 0, i * span, 60 - 60 % span)) ++admitted;
+  }
+  ASSERT_GT(admitted, 2);
+  ASSERT_TRUE(rig.server->RunRounds(15).ok());
+  ASSERT_TRUE(rig.server->FailDisk(2).ok());
+  ASSERT_TRUE(rig.server->RunRounds(90).ok());
+
+  const auto gaps = rig.trace->MaxDeliveryGaps();
+  EXPECT_EQ(gaps.size(), static_cast<std::size_t>(admitted));
+  for (const auto& [stream, gap] : gaps) {
+    EXPECT_EQ(gap, 1) << SchemeName(c.scheme) << " stream " << stream;
+  }
+  const auto startup = rig.trace->StartupLatencies();
+  for (const auto& [stream, latency] : startup) {
+    EXPECT_EQ(latency, c.expected_startup)
+        << SchemeName(c.scheme) << " stream " << stream;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TraceJitterTest,
+    ::testing::Values(
+        // Non-prefetching: first delivery one round after admission.
+        JitterCase{Scheme::kDeclustered, 9, 3, 8, 2, 2},
+        // Prefetching: p-1 blocks buffered first.
+        JitterCase{Scheme::kPrefetchParityDisk, 8, 4, 6, 0, 4},
+        JitterCase{Scheme::kPrefetchFlat, 9, 4, 8, 2, 4},
+        // Streaming RAID: the whole first group lands at the first
+        // super-round boundary (round 1 here), so playback starts at
+        // round 2.
+        JitterCase{Scheme::kStreamingRaid, 8, 4, 6, 0, 2}));
+
+TEST(TraceTest, LifecycleEventsRecordedInOrder) {
+  Rig rig = MakeRig(Scheme::kDeclustered, 9, 3, 8, 2);
+  ASSERT_TRUE(rig.server->TryAdmit(0, 0, 0, 40));
+  ASSERT_TRUE(rig.server->RunRounds(10).ok());
+  ASSERT_TRUE(rig.server->PauseStream(0).ok());
+  ASSERT_TRUE(rig.server->RunRounds(3).ok());
+  ASSERT_TRUE(rig.server->ResumeStream(0).ok());
+  ASSERT_TRUE(rig.server->RunRounds(40).ok());
+
+  EXPECT_EQ(rig.trace->Count(TraceEventType::kAdmit), 1);
+  EXPECT_EQ(rig.trace->Count(TraceEventType::kPause), 1);
+  EXPECT_EQ(rig.trace->Count(TraceEventType::kResume), 1);
+  EXPECT_EQ(rig.trace->Count(TraceEventType::kComplete), 1);
+  EXPECT_EQ(rig.trace->Count(TraceEventType::kDelivery), 40);
+  EXPECT_EQ(rig.trace->Count(TraceEventType::kHiccup), 0);
+  // Rounds are non-decreasing through the log.
+  std::int64_t prev = -1;
+  for (const TraceEvent& event : rig.trace->events()) {
+    EXPECT_GE(event.round, prev);
+    prev = event.round;
+  }
+  // The pause gap is excluded from jitter by design.
+  const auto gaps = rig.trace->MaxDeliveryGaps();
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps.at(0), 1);
+}
+
+TEST(TraceTest, PerDiskReadsMatchServerMetrics) {
+  Rig rig = MakeRig(Scheme::kDeclustered, 9, 3, 8, 2);
+  for (int i = 0; i < 5; ++i) {
+    rig.server->TryAdmit(i, 0, 10 * i, 50);
+  }
+  ASSERT_TRUE(rig.server->RunRounds(60).ok());
+  const auto traced = rig.trace->PerDiskReads(9);
+  const auto& metered = rig.server->metrics().per_disk_reads;
+  ASSERT_EQ(traced.size(), metered.size());
+  for (std::size_t disk = 0; disk < traced.size(); ++disk) {
+    EXPECT_EQ(traced[disk], metered[disk]) << disk;
+  }
+  EXPECT_EQ(rig.trace->Count(TraceEventType::kRead),
+            rig.server->metrics().total_reads);
+}
+
+TEST(TraceTest, CancelRecorded) {
+  Rig rig = MakeRig(Scheme::kDeclustered, 9, 3, 8, 2);
+  ASSERT_TRUE(rig.server->TryAdmit(0, 0, 0, 40));
+  ASSERT_TRUE(rig.server->RunRounds(5).ok());
+  ASSERT_TRUE(rig.server->CancelStream(0).ok());
+  EXPECT_EQ(rig.trace->Count(TraceEventType::kCancel), 1);
+}
+
+TEST(TraceTest, ToStringRendersAndTruncates) {
+  Trace trace;
+  for (int i = 0; i < 10; ++i) {
+    trace.Record(TraceEvent{i, TraceEventType::kDelivery, 1,
+                            BlockAddress{}, ReadKind::kData, 0, i});
+  }
+  const std::string full = trace.ToString(100);
+  EXPECT_NE(full.find("[9] delivery stream=1 idx=9"), std::string::npos);
+  const std::string truncated = trace.ToString(3);
+  EXPECT_NE(truncated.find("(7 more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmfs
