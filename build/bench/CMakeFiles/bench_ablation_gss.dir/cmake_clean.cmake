@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gss.dir/bench_ablation_gss.cc.o"
+  "CMakeFiles/bench_ablation_gss.dir/bench_ablation_gss.cc.o.d"
+  "bench_ablation_gss"
+  "bench_ablation_gss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

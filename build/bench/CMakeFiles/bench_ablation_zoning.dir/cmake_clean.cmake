@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_zoning.dir/bench_ablation_zoning.cc.o"
+  "CMakeFiles/bench_ablation_zoning.dir/bench_ablation_zoning.cc.o.d"
+  "bench_ablation_zoning"
+  "bench_ablation_zoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_zoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_service.dir/vod_service.cpp.o"
+  "CMakeFiles/vod_service.dir/vod_service.cpp.o.d"
+  "vod_service"
+  "vod_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/capacity.cc" "src/CMakeFiles/cmfs_analysis.dir/analysis/capacity.cc.o" "gcc" "src/CMakeFiles/cmfs_analysis.dir/analysis/capacity.cc.o.d"
+  "/root/repo/src/analysis/continuity.cc" "src/CMakeFiles/cmfs_analysis.dir/analysis/continuity.cc.o" "gcc" "src/CMakeFiles/cmfs_analysis.dir/analysis/continuity.cc.o.d"
+  "/root/repo/src/analysis/declustered_capacity.cc" "src/CMakeFiles/cmfs_analysis.dir/analysis/declustered_capacity.cc.o" "gcc" "src/CMakeFiles/cmfs_analysis.dir/analysis/declustered_capacity.cc.o.d"
+  "/root/repo/src/analysis/gss.cc" "src/CMakeFiles/cmfs_analysis.dir/analysis/gss.cc.o" "gcc" "src/CMakeFiles/cmfs_analysis.dir/analysis/gss.cc.o.d"
+  "/root/repo/src/analysis/nonclustered_capacity.cc" "src/CMakeFiles/cmfs_analysis.dir/analysis/nonclustered_capacity.cc.o" "gcc" "src/CMakeFiles/cmfs_analysis.dir/analysis/nonclustered_capacity.cc.o.d"
+  "/root/repo/src/analysis/optimizer.cc" "src/CMakeFiles/cmfs_analysis.dir/analysis/optimizer.cc.o" "gcc" "src/CMakeFiles/cmfs_analysis.dir/analysis/optimizer.cc.o.d"
+  "/root/repo/src/analysis/prefetch_capacity.cc" "src/CMakeFiles/cmfs_analysis.dir/analysis/prefetch_capacity.cc.o" "gcc" "src/CMakeFiles/cmfs_analysis.dir/analysis/prefetch_capacity.cc.o.d"
+  "/root/repo/src/analysis/reliability.cc" "src/CMakeFiles/cmfs_analysis.dir/analysis/reliability.cc.o" "gcc" "src/CMakeFiles/cmfs_analysis.dir/analysis/reliability.cc.o.d"
+  "/root/repo/src/analysis/streaming_raid_capacity.cc" "src/CMakeFiles/cmfs_analysis.dir/analysis/streaming_raid_capacity.cc.o" "gcc" "src/CMakeFiles/cmfs_analysis.dir/analysis/streaming_raid_capacity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmfs_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

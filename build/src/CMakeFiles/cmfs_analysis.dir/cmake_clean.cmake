@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmfs_analysis.dir/analysis/capacity.cc.o"
+  "CMakeFiles/cmfs_analysis.dir/analysis/capacity.cc.o.d"
+  "CMakeFiles/cmfs_analysis.dir/analysis/continuity.cc.o"
+  "CMakeFiles/cmfs_analysis.dir/analysis/continuity.cc.o.d"
+  "CMakeFiles/cmfs_analysis.dir/analysis/declustered_capacity.cc.o"
+  "CMakeFiles/cmfs_analysis.dir/analysis/declustered_capacity.cc.o.d"
+  "CMakeFiles/cmfs_analysis.dir/analysis/gss.cc.o"
+  "CMakeFiles/cmfs_analysis.dir/analysis/gss.cc.o.d"
+  "CMakeFiles/cmfs_analysis.dir/analysis/nonclustered_capacity.cc.o"
+  "CMakeFiles/cmfs_analysis.dir/analysis/nonclustered_capacity.cc.o.d"
+  "CMakeFiles/cmfs_analysis.dir/analysis/optimizer.cc.o"
+  "CMakeFiles/cmfs_analysis.dir/analysis/optimizer.cc.o.d"
+  "CMakeFiles/cmfs_analysis.dir/analysis/prefetch_capacity.cc.o"
+  "CMakeFiles/cmfs_analysis.dir/analysis/prefetch_capacity.cc.o.d"
+  "CMakeFiles/cmfs_analysis.dir/analysis/reliability.cc.o"
+  "CMakeFiles/cmfs_analysis.dir/analysis/reliability.cc.o.d"
+  "CMakeFiles/cmfs_analysis.dir/analysis/streaming_raid_capacity.cc.o"
+  "CMakeFiles/cmfs_analysis.dir/analysis/streaming_raid_capacity.cc.o.d"
+  "libcmfs_analysis.a"
+  "libcmfs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmfs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

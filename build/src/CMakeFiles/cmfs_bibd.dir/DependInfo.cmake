@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bibd/complete_design.cc" "src/CMakeFiles/cmfs_bibd.dir/bibd/complete_design.cc.o" "gcc" "src/CMakeFiles/cmfs_bibd.dir/bibd/complete_design.cc.o.d"
+  "/root/repo/src/bibd/design.cc" "src/CMakeFiles/cmfs_bibd.dir/bibd/design.cc.o" "gcc" "src/CMakeFiles/cmfs_bibd.dir/bibd/design.cc.o.d"
+  "/root/repo/src/bibd/design_factory.cc" "src/CMakeFiles/cmfs_bibd.dir/bibd/design_factory.cc.o" "gcc" "src/CMakeFiles/cmfs_bibd.dir/bibd/design_factory.cc.o.d"
+  "/root/repo/src/bibd/difference_family.cc" "src/CMakeFiles/cmfs_bibd.dir/bibd/difference_family.cc.o" "gcc" "src/CMakeFiles/cmfs_bibd.dir/bibd/difference_family.cc.o.d"
+  "/root/repo/src/bibd/galois_field.cc" "src/CMakeFiles/cmfs_bibd.dir/bibd/galois_field.cc.o" "gcc" "src/CMakeFiles/cmfs_bibd.dir/bibd/galois_field.cc.o.d"
+  "/root/repo/src/bibd/pgt.cc" "src/CMakeFiles/cmfs_bibd.dir/bibd/pgt.cc.o" "gcc" "src/CMakeFiles/cmfs_bibd.dir/bibd/pgt.cc.o.d"
+  "/root/repo/src/bibd/projective_plane.cc" "src/CMakeFiles/cmfs_bibd.dir/bibd/projective_plane.cc.o" "gcc" "src/CMakeFiles/cmfs_bibd.dir/bibd/projective_plane.cc.o.d"
+  "/root/repo/src/bibd/rotational_design.cc" "src/CMakeFiles/cmfs_bibd.dir/bibd/rotational_design.cc.o" "gcc" "src/CMakeFiles/cmfs_bibd.dir/bibd/rotational_design.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

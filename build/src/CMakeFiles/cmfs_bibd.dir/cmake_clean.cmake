@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmfs_bibd.dir/bibd/complete_design.cc.o"
+  "CMakeFiles/cmfs_bibd.dir/bibd/complete_design.cc.o.d"
+  "CMakeFiles/cmfs_bibd.dir/bibd/design.cc.o"
+  "CMakeFiles/cmfs_bibd.dir/bibd/design.cc.o.d"
+  "CMakeFiles/cmfs_bibd.dir/bibd/design_factory.cc.o"
+  "CMakeFiles/cmfs_bibd.dir/bibd/design_factory.cc.o.d"
+  "CMakeFiles/cmfs_bibd.dir/bibd/difference_family.cc.o"
+  "CMakeFiles/cmfs_bibd.dir/bibd/difference_family.cc.o.d"
+  "CMakeFiles/cmfs_bibd.dir/bibd/galois_field.cc.o"
+  "CMakeFiles/cmfs_bibd.dir/bibd/galois_field.cc.o.d"
+  "CMakeFiles/cmfs_bibd.dir/bibd/pgt.cc.o"
+  "CMakeFiles/cmfs_bibd.dir/bibd/pgt.cc.o.d"
+  "CMakeFiles/cmfs_bibd.dir/bibd/projective_plane.cc.o"
+  "CMakeFiles/cmfs_bibd.dir/bibd/projective_plane.cc.o.d"
+  "CMakeFiles/cmfs_bibd.dir/bibd/rotational_design.cc.o"
+  "CMakeFiles/cmfs_bibd.dir/bibd/rotational_design.cc.o.d"
+  "libcmfs_bibd.a"
+  "libcmfs_bibd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmfs_bibd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmfs_bibd.a"
+)

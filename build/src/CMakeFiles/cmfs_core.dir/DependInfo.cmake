@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/buffer_pool.cc" "src/CMakeFiles/cmfs_core.dir/core/buffer_pool.cc.o" "gcc" "src/CMakeFiles/cmfs_core.dir/core/buffer_pool.cc.o.d"
+  "/root/repo/src/core/content.cc" "src/CMakeFiles/cmfs_core.dir/core/content.cc.o" "gcc" "src/CMakeFiles/cmfs_core.dir/core/content.cc.o.d"
+  "/root/repo/src/core/controller_factory.cc" "src/CMakeFiles/cmfs_core.dir/core/controller_factory.cc.o" "gcc" "src/CMakeFiles/cmfs_core.dir/core/controller_factory.cc.o.d"
+  "/root/repo/src/core/declustered_controller.cc" "src/CMakeFiles/cmfs_core.dir/core/declustered_controller.cc.o" "gcc" "src/CMakeFiles/cmfs_core.dir/core/declustered_controller.cc.o.d"
+  "/root/repo/src/core/dynamic_controller.cc" "src/CMakeFiles/cmfs_core.dir/core/dynamic_controller.cc.o" "gcc" "src/CMakeFiles/cmfs_core.dir/core/dynamic_controller.cc.o.d"
+  "/root/repo/src/core/ingest.cc" "src/CMakeFiles/cmfs_core.dir/core/ingest.cc.o" "gcc" "src/CMakeFiles/cmfs_core.dir/core/ingest.cc.o.d"
+  "/root/repo/src/core/nonclustered_controller.cc" "src/CMakeFiles/cmfs_core.dir/core/nonclustered_controller.cc.o" "gcc" "src/CMakeFiles/cmfs_core.dir/core/nonclustered_controller.cc.o.d"
+  "/root/repo/src/core/prefetch_flat_controller.cc" "src/CMakeFiles/cmfs_core.dir/core/prefetch_flat_controller.cc.o" "gcc" "src/CMakeFiles/cmfs_core.dir/core/prefetch_flat_controller.cc.o.d"
+  "/root/repo/src/core/prefetch_parity_disk_controller.cc" "src/CMakeFiles/cmfs_core.dir/core/prefetch_parity_disk_controller.cc.o" "gcc" "src/CMakeFiles/cmfs_core.dir/core/prefetch_parity_disk_controller.cc.o.d"
+  "/root/repo/src/core/rebuild.cc" "src/CMakeFiles/cmfs_core.dir/core/rebuild.cc.o" "gcc" "src/CMakeFiles/cmfs_core.dir/core/rebuild.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/CMakeFiles/cmfs_core.dir/core/server.cc.o" "gcc" "src/CMakeFiles/cmfs_core.dir/core/server.cc.o.d"
+  "/root/repo/src/core/streaming_raid_controller.cc" "src/CMakeFiles/cmfs_core.dir/core/streaming_raid_controller.cc.o" "gcc" "src/CMakeFiles/cmfs_core.dir/core/streaming_raid_controller.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/CMakeFiles/cmfs_core.dir/core/trace.cc.o" "gcc" "src/CMakeFiles/cmfs_core.dir/core/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmfs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmfs_bibd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmfs_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmfs_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmfs_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmfs_core.dir/core/buffer_pool.cc.o"
+  "CMakeFiles/cmfs_core.dir/core/buffer_pool.cc.o.d"
+  "CMakeFiles/cmfs_core.dir/core/content.cc.o"
+  "CMakeFiles/cmfs_core.dir/core/content.cc.o.d"
+  "CMakeFiles/cmfs_core.dir/core/controller_factory.cc.o"
+  "CMakeFiles/cmfs_core.dir/core/controller_factory.cc.o.d"
+  "CMakeFiles/cmfs_core.dir/core/declustered_controller.cc.o"
+  "CMakeFiles/cmfs_core.dir/core/declustered_controller.cc.o.d"
+  "CMakeFiles/cmfs_core.dir/core/dynamic_controller.cc.o"
+  "CMakeFiles/cmfs_core.dir/core/dynamic_controller.cc.o.d"
+  "CMakeFiles/cmfs_core.dir/core/ingest.cc.o"
+  "CMakeFiles/cmfs_core.dir/core/ingest.cc.o.d"
+  "CMakeFiles/cmfs_core.dir/core/nonclustered_controller.cc.o"
+  "CMakeFiles/cmfs_core.dir/core/nonclustered_controller.cc.o.d"
+  "CMakeFiles/cmfs_core.dir/core/prefetch_flat_controller.cc.o"
+  "CMakeFiles/cmfs_core.dir/core/prefetch_flat_controller.cc.o.d"
+  "CMakeFiles/cmfs_core.dir/core/prefetch_parity_disk_controller.cc.o"
+  "CMakeFiles/cmfs_core.dir/core/prefetch_parity_disk_controller.cc.o.d"
+  "CMakeFiles/cmfs_core.dir/core/rebuild.cc.o"
+  "CMakeFiles/cmfs_core.dir/core/rebuild.cc.o.d"
+  "CMakeFiles/cmfs_core.dir/core/server.cc.o"
+  "CMakeFiles/cmfs_core.dir/core/server.cc.o.d"
+  "CMakeFiles/cmfs_core.dir/core/streaming_raid_controller.cc.o"
+  "CMakeFiles/cmfs_core.dir/core/streaming_raid_controller.cc.o.d"
+  "CMakeFiles/cmfs_core.dir/core/trace.cc.o"
+  "CMakeFiles/cmfs_core.dir/core/trace.cc.o.d"
+  "libcmfs_core.a"
+  "libcmfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/cscan_scheduler.cc" "src/CMakeFiles/cmfs_disk.dir/disk/cscan_scheduler.cc.o" "gcc" "src/CMakeFiles/cmfs_disk.dir/disk/cscan_scheduler.cc.o.d"
+  "/root/repo/src/disk/disk_array.cc" "src/CMakeFiles/cmfs_disk.dir/disk/disk_array.cc.o" "gcc" "src/CMakeFiles/cmfs_disk.dir/disk/disk_array.cc.o.d"
+  "/root/repo/src/disk/disk_params.cc" "src/CMakeFiles/cmfs_disk.dir/disk/disk_params.cc.o" "gcc" "src/CMakeFiles/cmfs_disk.dir/disk/disk_params.cc.o.d"
+  "/root/repo/src/disk/seek_model.cc" "src/CMakeFiles/cmfs_disk.dir/disk/seek_model.cc.o" "gcc" "src/CMakeFiles/cmfs_disk.dir/disk/seek_model.cc.o.d"
+  "/root/repo/src/disk/sim_disk.cc" "src/CMakeFiles/cmfs_disk.dir/disk/sim_disk.cc.o" "gcc" "src/CMakeFiles/cmfs_disk.dir/disk/sim_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

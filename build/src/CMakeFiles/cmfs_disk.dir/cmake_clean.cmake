@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmfs_disk.dir/disk/cscan_scheduler.cc.o"
+  "CMakeFiles/cmfs_disk.dir/disk/cscan_scheduler.cc.o.d"
+  "CMakeFiles/cmfs_disk.dir/disk/disk_array.cc.o"
+  "CMakeFiles/cmfs_disk.dir/disk/disk_array.cc.o.d"
+  "CMakeFiles/cmfs_disk.dir/disk/disk_params.cc.o"
+  "CMakeFiles/cmfs_disk.dir/disk/disk_params.cc.o.d"
+  "CMakeFiles/cmfs_disk.dir/disk/seek_model.cc.o"
+  "CMakeFiles/cmfs_disk.dir/disk/seek_model.cc.o.d"
+  "CMakeFiles/cmfs_disk.dir/disk/sim_disk.cc.o"
+  "CMakeFiles/cmfs_disk.dir/disk/sim_disk.cc.o.d"
+  "libcmfs_disk.a"
+  "libcmfs_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmfs_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/declustered_layout.cc" "src/CMakeFiles/cmfs_layout.dir/layout/declustered_layout.cc.o" "gcc" "src/CMakeFiles/cmfs_layout.dir/layout/declustered_layout.cc.o.d"
+  "/root/repo/src/layout/flat_parity_layout.cc" "src/CMakeFiles/cmfs_layout.dir/layout/flat_parity_layout.cc.o" "gcc" "src/CMakeFiles/cmfs_layout.dir/layout/flat_parity_layout.cc.o.d"
+  "/root/repo/src/layout/layout.cc" "src/CMakeFiles/cmfs_layout.dir/layout/layout.cc.o" "gcc" "src/CMakeFiles/cmfs_layout.dir/layout/layout.cc.o.d"
+  "/root/repo/src/layout/parity_disk_layout.cc" "src/CMakeFiles/cmfs_layout.dir/layout/parity_disk_layout.cc.o" "gcc" "src/CMakeFiles/cmfs_layout.dir/layout/parity_disk_layout.cc.o.d"
+  "/root/repo/src/layout/superclip_layout.cc" "src/CMakeFiles/cmfs_layout.dir/layout/superclip_layout.cc.o" "gcc" "src/CMakeFiles/cmfs_layout.dir/layout/superclip_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmfs_bibd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmfs_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmfs_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmfs_layout.dir/layout/declustered_layout.cc.o"
+  "CMakeFiles/cmfs_layout.dir/layout/declustered_layout.cc.o.d"
+  "CMakeFiles/cmfs_layout.dir/layout/flat_parity_layout.cc.o"
+  "CMakeFiles/cmfs_layout.dir/layout/flat_parity_layout.cc.o.d"
+  "CMakeFiles/cmfs_layout.dir/layout/layout.cc.o"
+  "CMakeFiles/cmfs_layout.dir/layout/layout.cc.o.d"
+  "CMakeFiles/cmfs_layout.dir/layout/parity_disk_layout.cc.o"
+  "CMakeFiles/cmfs_layout.dir/layout/parity_disk_layout.cc.o.d"
+  "CMakeFiles/cmfs_layout.dir/layout/superclip_layout.cc.o"
+  "CMakeFiles/cmfs_layout.dir/layout/superclip_layout.cc.o.d"
+  "libcmfs_layout.a"
+  "libcmfs_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmfs_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmfs_media.dir/media/catalog.cc.o"
+  "CMakeFiles/cmfs_media.dir/media/catalog.cc.o.d"
+  "libcmfs_media.a"
+  "libcmfs_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmfs_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

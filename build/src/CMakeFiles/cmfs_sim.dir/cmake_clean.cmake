@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmfs_sim.dir/sim/driver.cc.o"
+  "CMakeFiles/cmfs_sim.dir/sim/driver.cc.o.d"
+  "CMakeFiles/cmfs_sim.dir/sim/failure_drill.cc.o"
+  "CMakeFiles/cmfs_sim.dir/sim/failure_drill.cc.o.d"
+  "CMakeFiles/cmfs_sim.dir/sim/reliability_sim.cc.o"
+  "CMakeFiles/cmfs_sim.dir/sim/reliability_sim.cc.o.d"
+  "CMakeFiles/cmfs_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/cmfs_sim.dir/sim/stats.cc.o.d"
+  "CMakeFiles/cmfs_sim.dir/sim/workload.cc.o"
+  "CMakeFiles/cmfs_sim.dir/sim/workload.cc.o.d"
+  "libcmfs_sim.a"
+  "libcmfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmfs_util.dir/util/rng.cc.o"
+  "CMakeFiles/cmfs_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/cmfs_util.dir/util/status.cc.o"
+  "CMakeFiles/cmfs_util.dir/util/status.cc.o.d"
+  "libcmfs_util.a"
+  "libcmfs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmfs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibd_test.dir/bibd_test.cc.o"
+  "CMakeFiles/bibd_test.dir/bibd_test.cc.o.d"
+  "bibd_test"
+  "bibd_test.pdb"
+  "bibd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

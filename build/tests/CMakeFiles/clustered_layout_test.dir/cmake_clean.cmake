@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustered_layout_test.dir/clustered_layout_test.cc.o"
+  "CMakeFiles/clustered_layout_test.dir/clustered_layout_test.cc.o.d"
+  "clustered_layout_test"
+  "clustered_layout_test.pdb"
+  "clustered_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustered_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declustered_layout_test.dir/declustered_layout_test.cc.o"
+  "CMakeFiles/declustered_layout_test.dir/declustered_layout_test.cc.o.d"
+  "declustered_layout_test"
+  "declustered_layout_test.pdb"
+  "declustered_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declustered_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

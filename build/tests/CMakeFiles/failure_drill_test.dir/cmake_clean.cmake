@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_drill_test.dir/failure_drill_test.cc.o"
+  "CMakeFiles/failure_drill_test.dir/failure_drill_test.cc.o.d"
+  "failure_drill_test"
+  "failure_drill_test.pdb"
+  "failure_drill_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_drill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

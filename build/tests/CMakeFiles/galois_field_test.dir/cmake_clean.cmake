@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galois_field_test.dir/galois_field_test.cc.o"
+  "CMakeFiles/galois_field_test.dir/galois_field_test.cc.o.d"
+  "galois_field_test"
+  "galois_field_test.pdb"
+  "galois_field_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galois_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

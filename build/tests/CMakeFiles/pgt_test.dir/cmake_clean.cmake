@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgt_test.dir/pgt_test.cc.o"
+  "CMakeFiles/pgt_test.dir/pgt_test.cc.o.d"
+  "pgt_test"
+  "pgt_test.pdb"
+  "pgt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/server_test.cc" "tests/CMakeFiles/server_test.dir/server_test.cc.o" "gcc" "tests/CMakeFiles/server_test.dir/server_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmfs_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmfs_bibd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmfs_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmfs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmfs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
