@@ -14,6 +14,9 @@ namespace {
 
 using namespace cmfs;
 
+// Per-disk recovery-read series accumulated for the JSON artifact.
+std::vector<PerDiskSeries> g_series;
+
 void RunAndReport(const char* label, const DrillConfig& config) {
   Result<DrillResult> result = RunFailureDrill(config);
   if (!result.ok()) {
@@ -21,6 +24,9 @@ void RunAndReport(const char* label, const DrillConfig& config) {
                 result.status().ToString().c_str());
     return;
   }
+  g_series.push_back(PerDiskSeries{
+      std::string(label) + ".recovery_reads",
+      result->metrics.per_disk_recovery_reads});
   const auto& recovery = result->metrics.per_disk_recovery_reads;
   std::printf("  %-28s recovery reads per disk:", label);
   std::vector<std::int64_t> survivors;
@@ -41,7 +47,7 @@ void RunAndReport(const char* label, const DrillConfig& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cmfs;
   bench::PrintHeader("A3: post-failure reconstruction load distribution");
 
@@ -102,5 +108,14 @@ int main() {
       "the clustered schemes route all of it to the failed cluster's "
       "peers (prefetch variants need only the parity block, so the "
       "absolute load is lower but concentrated).\n");
-  return 0;
+
+  BenchReport report;
+  report.bench = "bench_ablation_failure_load";
+  report.params = {{"q", base.q},
+                   {"num_streams", base.num_streams},
+                   {"fail_round", base.fail_round},
+                   {"fail_disk", base.fail_disk},
+                   {"total_rounds", base.total_rounds}};
+  report.per_disk = g_series;
+  return bench::MaybeWriteJsonReport(argc, argv, report) ? 0 : 1;
 }

@@ -2,16 +2,20 @@
 // units (§8.2). 32 disks, 1000 clips of 50 TU, Poisson arrivals at
 // 20/TU, random disk(C)/row(C) per clip, per-scheme (b, q, f) from the
 // §7 optimizer at each parity group size. 1 TU = 10 rounds (DESIGN.md).
+//
+//   --csv <path>   machine-readable rows (scheme,p,buffer_mb,admitted)
+//   --json <path>  full BenchReport artifact (docs/observability.md)
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "sim/driver.h"
 
 int main(int argc, char** argv) {
   using namespace cmfs;
-  std::FILE* csv = bench::OpenCsvFromArgs(argc, argv);
-  if (csv != nullptr) std::fprintf(csv, "scheme,p,buffer_mb,admitted\n");
+  CsvTable table;
+  table.columns = {"scheme", "p", "buffer_mb", "admitted"};
   for (long long mb : {256LL, 2048LL}) {
     char title[96];
     std::snprintf(title, sizeof(title),
@@ -44,10 +48,9 @@ int main(int argc, char** argv) {
           std::printf("%8s", "ERR");
         } else {
           std::printf("%8lld", static_cast<long long>(result->admitted));
-          if (csv != nullptr) {
-            std::fprintf(csv, "%s,%d,%lld,%lld\n", SchemeName(scheme), p,
-                         mb, static_cast<long long>(result->admitted));
-          }
+          table.AddRow({SchemeName(scheme), std::to_string(p),
+                        std::to_string(mb),
+                        std::to_string(result->admitted)});
         }
       }
       std::printf("\n");
@@ -56,6 +59,17 @@ int main(int argc, char** argv) {
   std::printf(
       "\narrivals offered: ~12000 per run; the paper's metric is the "
       "admitted count. Shapes match Figure 6: see EXPERIMENTS.md.\n");
-  if (csv != nullptr) std::fclose(csv);
-  return 0;
+
+  const std::string csv_path = bench::PathFromArgs(argc, argv, "csv");
+  if (!csv_path.empty() && !table.WriteFile(csv_path).ok()) {
+    std::fprintf(stderr, "--csv %s: write failed\n", csv_path.c_str());
+    return 1;
+  }
+  BenchReport report;
+  report.bench = "bench_fig6_simulation";
+  report.params = {{"num_disks", 32},
+                   {"horizon_tu", 600},
+                   {"arrival_rate_per_tu", 20}};
+  report.table = &table;
+  return bench::MaybeWriteJsonReport(argc, argv, report) ? 0 : 1;
 }

@@ -2,10 +2,12 @@
 #define CMFS_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "analysis/capacity.h"
+#include "obs/export.h"
 #include "util/units.h"
 
 // Shared helpers for the reproduction benches. Each bench binary prints
@@ -51,6 +53,35 @@ inline std::FILE* OpenCsvFromArgs(int argc, char** argv) {
     }
   }
   return nullptr;
+}
+
+// Value of "--<flag> <path>" if present, else "".
+inline std::string PathFromArgs(int argc, char** argv,
+                                std::string_view flag) {
+  const std::string dashed = "--" + std::string(flag);
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == dashed) return argv[i + 1];
+  }
+  return {};
+}
+
+// JSON artifact sink: every bench accepts "--json <path>" and writes its
+// BenchReport there (schema in docs/observability.md), the
+// machine-readable twin of its stdout table. Returns false (and prints
+// to stderr) only if the flag was given but the write failed — benches
+// exit nonzero in that case so CI catches exporter regressions.
+inline bool MaybeWriteJsonReport(int argc, char** argv,
+                                 const BenchReport& report) {
+  const std::string path = PathFromArgs(argc, argv, "json");
+  if (path.empty()) return true;
+  Status st = report.WriteJsonFile(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "--json %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
+    return false;
+  }
+  std::printf("\n[json] wrote %s\n", path.c_str());
+  return true;
 }
 
 inline void PrintHeader(const char* title) {

@@ -16,6 +16,9 @@
 #include "core/rebuild.h"
 #include "core/server.h"
 #include "layout/layout.h"
+#include "obs/metrics_registry.h"
+#include "obs/round_timeline.h"
+#include "obs/stats.h"
 
 int main() {
   using namespace cmfs;
@@ -35,8 +38,11 @@ int main() {
     return 1;
   }
   DiskArray array(d, DiskParams::Sigmod96(), block_size);
+  MetricsRegistry registry;
   ServerConfig server_config;
   server_config.block_size = block_size;
+  server_config.time_rounds = true;
+  server_config.metrics = &registry;
   Server server(&array, setup->controller.get(), server_config);
 
   // --- 1. Ingest: record two clips; parity is maintained as they land.
@@ -84,12 +90,20 @@ int main() {
   array.StartRebuild(4);
   Rebuilder rebuilder(setup->layout.get(), &array, 4,
                       std::max<std::int64_t>(scan, 1), options.f);
+  rebuilder.AttachMetrics(&registry);
   std::printf("[rebuild] reconstructing %lld blocks at budget f=%d...\n",
               static_cast<long long>(scan), options.f);
+  bool printed_eta = false;
   while (!rebuilder.done()) {
     if (!rebuilder.RunRound().ok() || !server.RunRound().ok()) {
       std::fprintf(stderr, "rebuild/serve failed\n");
       return 1;
+    }
+    if (!printed_eta && rebuilder.progress() >= 0.5) {
+      std::printf("[rebuild] 50%% rebuilt; ETA %.0f more rounds "
+                  "(gauge rebuild.eta_rounds)\n",
+                  rebuilder.EtaRounds());
+      printed_eta = true;
     }
   }
   array.RepairDisk(4);
@@ -102,11 +116,35 @@ int main() {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("[done] %s\n", server.metrics().ToString().c_str());
+
+  // --- 7. The operator's post-incident report, straight from the
+  //        telemetry layer: how long we ran degraded, what the failure
+  //        did to round time, and where the reconstruction load landed.
+  const FailureEpochReport report = server.timeline().EpochReport();
+  std::printf("\n[report] failure epochs (before / during / after):\n%s",
+              report.ToString().c_str());
+  const Histogram& round_time = server.timeline().round_time_histogram();
+  std::printf(
+      "[report] round time: p50=%.1fms p99=%.1fms max=%.1fms over %lld "
+      "rounds (%lld degraded)\n",
+      round_time.p50() * 1e3, round_time.p99() * 1e3,
+      round_time.max() * 1e3,
+      static_cast<long long>(server.timeline().total_recorded()),
+      static_cast<long long>(server.timeline().degraded_rounds()));
+  const auto& reads = server.metrics().per_disk_reads;
+  const auto& recovery = server.metrics().per_disk_recovery_reads;
+  std::printf(
+      "[report] per-disk load imbalance (cv): reads %.3f, recovery "
+      "reads %.3f (declustering spreads both)\n",
+      LoadImbalance(reads), LoadImbalance(recovery));
+  std::printf("[report] buffer occupancy: %s\n",
+              registry.FindHistogram("buffer.occupancy_blocks")
+                  ->ToString()
+                  .c_str());
   std::printf(
       "[done] %lld bit-exact deliveries, %lld hiccups, through ingest, "
       "pause/resume, failure, and online rebuild\n",
       static_cast<long long>(server.metrics().deliveries),
       static_cast<long long>(server.metrics().hiccups));
-  return server.metrics().hiccups == 0 ? 0 : 1;
+  return server.metrics().hiccups == 0 && report.saw_failure() ? 0 : 1;
 }

@@ -12,12 +12,28 @@ BufferPool::BufferPool(std::int64_t block_size) : block_size_(block_size) {
   CMFS_CHECK(block_size > 0);
 }
 
+void BufferPool::AttachMetrics(MetricsRegistry* registry) {
+  CMFS_CHECK(registry != nullptr);
+  occupancy_hist_ = registry->histogram("buffer.occupancy_blocks");
+  high_water_gauge_ = registry->gauge("buffer.high_water_blocks");
+}
+
+void BufferPool::OnInsert() {
+  high_water_ = std::max(high_water_, resident_blocks());
+  if (occupancy_hist_ != nullptr) {
+    occupancy_hist_->Add(static_cast<double>(resident_blocks()));
+  }
+  if (high_water_gauge_ != nullptr) {
+    high_water_gauge_->SetMax(static_cast<double>(high_water_));
+  }
+}
+
 void BufferPool::Put(StreamId stream, int space, std::int64_t index,
                      Block data, bool parity_pending) {
   CMFS_CHECK(static_cast<std::int64_t>(data.size()) == block_size_);
   entries_[Key{stream, space, index}] =
       Entry{std::move(data), parity_pending};
-  high_water_ = std::max(high_water_, resident_blocks());
+  OnInsert();
 }
 
 void BufferPool::Accumulate(StreamId stream, int space, std::int64_t index,
@@ -29,7 +45,7 @@ void BufferPool::Accumulate(StreamId stream, int space, std::int64_t index,
   for (std::size_t i = 0; i < data.size(); ++i) {
     it->second.data[i] ^= data[i];
   }
-  if (inserted) high_water_ = std::max(high_water_, resident_blocks());
+  if (inserted) OnInsert();
 }
 
 BufferPool::Entry* BufferPool::Find(StreamId stream, int space,

@@ -7,6 +7,7 @@
 
 #include "core/round_plan.h"
 #include "disk/sim_disk.h"
+#include "obs/metrics_registry.h"
 
 // Server RAM buffer: blocks fetched from disk but not yet transmitted.
 //
@@ -53,11 +54,21 @@ class BufferPool {
   }
   std::int64_t high_water_blocks() const { return high_water_; }
 
+  // Publishes an occupancy histogram ("buffer.occupancy_blocks", sampled
+  // at every insert) and a high-water gauge
+  // ("buffer.high_water_blocks") into the registry. The registry must
+  // outlive the pool.
+  void AttachMetrics(MetricsRegistry* registry);
+
  private:
   using Key = std::tuple<StreamId, int, std::int64_t>;
 
+  void OnInsert();
+
   std::int64_t block_size_;
   std::int64_t high_water_ = 0;
+  Histogram* occupancy_hist_ = nullptr;  // owned by the registry
+  Gauge* high_water_gauge_ = nullptr;
   std::map<Key, Entry> entries_;
 };
 

@@ -1,7 +1,9 @@
 #include "core/rebuild.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace cmfs {
 
@@ -35,6 +37,23 @@ double Rebuilder::progress() const {
   if (blocks_per_disk_ == 0) return 1.0;
   return static_cast<double>(next_block_) /
          static_cast<double>(blocks_per_disk_);
+}
+
+double Rebuilder::EtaRounds() const {
+  if (done()) return 0.0;
+  if (stats_.rounds == 0 || stats_.blocks_rebuilt == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double rate = static_cast<double>(stats_.blocks_rebuilt) /
+                      static_cast<double>(stats_.rounds);
+  return static_cast<double>(blocks_per_disk_ - next_block_) / rate;
+}
+
+void Rebuilder::AttachMetrics(MetricsRegistry* registry) {
+  CMFS_CHECK(registry != nullptr);
+  blocks_per_round_hist_ = registry->histogram("rebuild.blocks_per_round");
+  progress_gauge_ = registry->gauge("rebuild.progress");
+  eta_gauge_ = registry->gauge("rebuild.eta_rounds");
 }
 
 Result<int> Rebuilder::RunRound() {
@@ -98,6 +117,14 @@ Result<int> Rebuilder::RunRound() {
     ++stats_.blocks_rebuilt;
     ++rebuilt;
     ++next_block_;
+  }
+  if (blocks_per_round_hist_ != nullptr) {
+    blocks_per_round_hist_->Add(static_cast<double>(rebuilt));
+  }
+  if (progress_gauge_ != nullptr) progress_gauge_->Set(progress());
+  if (eta_gauge_ != nullptr) {
+    const double eta = EtaRounds();
+    eta_gauge_->Set(std::isfinite(eta) ? eta : -1.0);
   }
   return rebuilt;
 }

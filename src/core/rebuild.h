@@ -7,6 +7,7 @@
 
 #include "disk/disk_array.h"
 #include "layout/layout.h"
+#include "obs/metrics_registry.h"
 #include "util/status.h"
 
 // Online rebuild of a replaced disk (the operational step the paper's
@@ -56,9 +57,19 @@ class Rebuilder {
   // Runs rounds until completion; fails if no progress is possible.
   Status RunToCompletion();
 
+  // Publishes per-round telemetry into the registry (which must outlive
+  // the rebuilder): "rebuild.blocks_per_round" histogram,
+  // "rebuild.progress" gauge (0..1) and "rebuild.eta_rounds" gauge
+  // (remaining blocks / observed rebuild rate — the operator's answer to
+  // "how long until redundancy is restored?").
+  void AttachMetrics(MetricsRegistry* registry);
+
   bool done() const { return next_block_ >= blocks_per_disk_; }
   // Fraction of the target rebuilt, in [0, 1].
   double progress() const;
+  // Remaining rounds at the observed blocks/round rate (0 when done,
+  // +inf before any progress).
+  double EtaRounds() const;
   const RebuildStats& stats() const { return stats_; }
 
  private:
@@ -69,6 +80,9 @@ class Rebuilder {
   int read_budget_;
   std::int64_t next_block_ = 0;
   RebuildStats stats_;
+  Histogram* blocks_per_round_hist_ = nullptr;  // owned by the registry
+  Gauge* progress_gauge_ = nullptr;
+  Gauge* eta_gauge_ = nullptr;
 };
 
 }  // namespace cmfs

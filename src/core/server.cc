@@ -31,16 +31,34 @@ Server::Server(DiskArray* array, Controller* controller,
       config_(config),
       pool_(config.block_size),
       scheduler_(array->disk(0).params(), config.seek_curve),
-      rng_(config.seed) {
+      rng_(config.seed),
+      timeline_(config.timeline_capacity) {
   CMFS_CHECK(array != nullptr && controller != nullptr);
   CMFS_CHECK(config.block_size == array->block_size());
   CMFS_CHECK(config.load_window_rounds >= 1);
   window_reads_.assign(static_cast<std::size_t>(array->num_disks()), 0);
   round_cylinders_.assign(static_cast<std::size_t>(array->num_disks()), {});
+  round_disk_reads_.assign(static_cast<std::size_t>(array->num_disks()), 0);
   metrics_.per_disk_reads.assign(
       static_cast<std::size_t>(array->num_disks()), 0);
   metrics_.per_disk_recovery_reads.assign(
       static_cast<std::size_t>(array->num_disks()), 0);
+  if (config_.metrics != nullptr) {
+    pool_.AttachMetrics(config_.metrics);
+    round_time_hist_ = config_.metrics->histogram("server.round_time_s");
+    round_reads_hist_ = config_.metrics->histogram("server.round_reads");
+    disk_service_hists_.reserve(
+        static_cast<std::size_t>(array->num_disks()));
+    disk_round_reads_hists_.reserve(
+        static_cast<std::size_t>(array->num_disks()));
+    for (int disk = 0; disk < array->num_disks(); ++disk) {
+      const std::string prefix = "disk." + std::to_string(disk) + ".";
+      disk_service_hists_.push_back(
+          config_.metrics->histogram(prefix + "service_time_s"));
+      disk_round_reads_hists_.push_back(
+          config_.metrics->histogram(prefix + "round_reads"));
+    }
+  }
 }
 
 bool Server::TryAdmit(StreamId id, int space, std::int64_t start,
@@ -155,6 +173,8 @@ Status Server::CancelStream(StreamId id) {
 
 Status Server::ExecuteReads(const RoundPlan& plan) {
   for (auto& cyls : round_cylinders_) cyls.clear();
+  std::fill(round_disk_reads_.begin(), round_disk_reads_.end(), 0);
+  round_worst_time_ = 0.0;
   for (const RoundRead& read : plan.reads) {
     Result<Block> block = array_->Read(read.addr);
     if (!block.ok()) {
@@ -163,6 +183,7 @@ Status Server::ExecuteReads(const RoundPlan& plan) {
     }
     ++metrics_.total_reads;
     ++window_reads_[static_cast<std::size_t>(read.addr.disk)];
+    ++round_disk_reads_[static_cast<std::size_t>(read.addr.disk)];
     if (config_.trace != nullptr) {
       config_.trace->Record(TraceEvent{metrics_.rounds,
                                        TraceEventType::kRead, read.stream,
@@ -204,6 +225,22 @@ Status Server::ExecuteReads(const RoundPlan& plan) {
           config_.sample_rotation ? &rng_ : nullptr);
       metrics_.max_round_time =
           std::max(metrics_.max_round_time, timing.Total());
+      round_worst_time_ = std::max(round_worst_time_, timing.Total());
+      if (!disk_service_hists_.empty()) {
+        disk_service_hists_[static_cast<std::size_t>(disk)]->Add(
+            timing.Total());
+      }
+    }
+  }
+  if (config_.metrics != nullptr) {
+    round_reads_hist_->Add(static_cast<double>(plan.reads.size()));
+    if (config_.time_rounds) round_time_hist_->Add(round_worst_time_);
+    for (int disk = 0; disk < array_->num_disks(); ++disk) {
+      const int reads = round_disk_reads_[static_cast<std::size_t>(disk)];
+      if (reads > 0) {
+        disk_round_reads_hists_[static_cast<std::size_t>(disk)]->Add(
+            static_cast<double>(reads));
+      }
     }
   }
   return Status::Ok();
@@ -313,6 +350,13 @@ Status Server::RunRound() {
   controller_->Round(array_->failed_disk(), &plan);
   ++metrics_.rounds;
 
+  // Snapshot the cumulative counters so the round's sample is a delta.
+  const std::int64_t reads0 = metrics_.total_reads;
+  const std::int64_t recovery0 = metrics_.recovery_reads;
+  const std::int64_t deliveries0 = metrics_.deliveries;
+  const std::int64_t hiccups0 = metrics_.hiccups;
+  const std::int64_t completed0 = metrics_.completed_streams;
+
   Status st = ExecuteReads(plan);
   if (!st.ok()) return st;
   st = Reconstruct();
@@ -332,6 +376,34 @@ Status Server::RunRound() {
     }
   }
   metrics_.buffer_high_water_blocks = pool_.high_water_blocks();
+
+  RoundSample sample;
+  sample.round = metrics_.rounds;
+  sample.reads = static_cast<int>(metrics_.total_reads - reads0);
+  sample.recovery_reads =
+      static_cast<int>(metrics_.recovery_reads - recovery0);
+  sample.deliveries = static_cast<int>(metrics_.deliveries - deliveries0);
+  sample.hiccups = static_cast<int>(metrics_.hiccups - hiccups0);
+  sample.completed_streams =
+      static_cast<int>(metrics_.completed_streams - completed0);
+  sample.buffer_blocks = pool_.resident_blocks();
+  sample.worst_disk_time = round_worst_time_;
+  sample.degraded = array_->failed_disk() >= 0;
+  timeline_.Add(sample);
+
+  if (config_.metrics != nullptr) {
+    MetricsRegistry* reg = config_.metrics;
+    reg->counter("server.rounds")->Inc();
+    reg->counter("server.reads")->Inc(sample.reads);
+    reg->counter("server.recovery_reads")->Inc(sample.recovery_reads);
+    reg->counter("server.deliveries")->Inc(sample.deliveries);
+    reg->counter("server.hiccups")->Inc(sample.hiccups);
+    reg->counter("server.completed_streams")
+        ->Inc(sample.completed_streams);
+    if (sample.degraded) reg->counter("server.degraded_rounds")->Inc();
+    reg->gauge("server.active_streams")
+        ->Set(static_cast<double>(controller_->num_active()));
+  }
   return CheckLoadWindow();
 }
 

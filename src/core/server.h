@@ -13,6 +13,8 @@
 #include "core/trace.h"
 #include "disk/cscan_scheduler.h"
 #include "disk/disk_array.h"
+#include "obs/metrics_registry.h"
+#include "obs/round_timeline.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -47,10 +49,20 @@ struct ServerConfig {
   SeekCurve seek_curve = SeekCurve::kLinear;
   // Sample rotational latency instead of charging the worst case.
   bool sample_rotation = false;
-  // Optional event trace (owned by the caller, must outlive the server).
-  // Records admissions, reads, deliveries, hiccups and stream lifecycle
-  // events for offline QoS analysis (core/trace.h).
-  Trace* trace = nullptr;
+  // Optional event trace sink (owned by the caller, must outlive the
+  // server). Records admissions, reads, deliveries, hiccups and stream
+  // lifecycle events for offline QoS analysis (core/trace.h). Any
+  // TraceSink works: the unbounded Trace, a RingBufferTraceSink for
+  // long runs, or a CountingTraceSink.
+  TraceSink* trace = nullptr;
+  // Optional metrics registry (owned by the caller, must outlive the
+  // server). When set, the server publishes round/delivery counters,
+  // round-time and per-disk service-time histograms, and buffer-pool
+  // occupancy (names in docs/observability.md).
+  MetricsRegistry* metrics = nullptr;
+  // Per-round timeline retention: 0 keeps every RoundSample, N keeps a
+  // ring of the most recent N (aggregates still cover the full run).
+  std::size_t timeline_capacity = 0;
   std::uint64_t seed = 0x5eedULL;
 };
 
@@ -109,6 +121,11 @@ class Server {
   const Controller& controller() const { return *controller_; }
   int num_active() const { return controller_->num_active(); }
 
+  // Per-round telemetry timeline (always captured; one RoundSample per
+  // round). timeline().EpochReport() slices it before/during/after the
+  // failure window.
+  const RoundTimeline& timeline() const { return timeline_; }
+
  private:
   Status ExecuteReads(const RoundPlan& plan);
   Status Reconstruct();
@@ -142,6 +159,19 @@ class Server {
   int window_round_ = 0;
   // Cylinders touched per disk this round (for timing).
   std::vector<std::vector<int>> round_cylinders_;
+
+  // --- Telemetry ---
+  RoundTimeline timeline_;
+  // Worst per-disk service time of the round being executed (seconds).
+  double round_worst_time_ = 0.0;
+  // Reads issued per disk during the round being executed.
+  std::vector<int> round_disk_reads_;
+  // Registry instruments, resolved once in the constructor (all null
+  // when no registry is attached).
+  Histogram* round_time_hist_ = nullptr;
+  Histogram* round_reads_hist_ = nullptr;
+  std::vector<Histogram*> disk_service_hists_;
+  std::vector<Histogram*> disk_round_reads_hists_;
 };
 
 }  // namespace cmfs

@@ -29,12 +29,13 @@ const char* TraceEventTypeName(TraceEventType type) {
   return "unknown";
 }
 
-std::map<StreamId, std::int64_t> Trace::MaxDeliveryGaps() const {
+std::map<StreamId, std::int64_t> MaxDeliveryGaps(
+    const std::vector<TraceEvent>& events) {
   // last delivery round per stream; -1 while "paused" (gap excluded).
   std::map<StreamId, std::int64_t> last;
   std::map<StreamId, std::int64_t> max_gap;
   std::map<StreamId, bool> has_prev;
-  for (const TraceEvent& event : events_) {
+  for (const TraceEvent& event : events) {
     switch (event.type) {
       case TraceEventType::kPause:
       case TraceEventType::kResume:
@@ -59,10 +60,11 @@ std::map<StreamId, std::int64_t> Trace::MaxDeliveryGaps() const {
   return max_gap;
 }
 
-std::map<StreamId, std::int64_t> Trace::StartupLatencies() const {
+std::map<StreamId, std::int64_t> StartupLatencies(
+    const std::vector<TraceEvent>& events) {
   std::map<StreamId, std::int64_t> admitted;
   std::map<StreamId, std::int64_t> latency;
-  for (const TraceEvent& event : events_) {
+  for (const TraceEvent& event : events) {
     if (event.type == TraceEventType::kAdmit) {
       admitted[event.stream] = event.round;
     } else if (event.type == TraceEventType::kDelivery) {
@@ -76,10 +78,11 @@ std::map<StreamId, std::int64_t> Trace::StartupLatencies() const {
   return latency;
 }
 
-std::vector<std::int64_t> Trace::PerDiskReads(int num_disks) const {
+std::vector<std::int64_t> PerDiskReads(
+    const std::vector<TraceEvent>& events, int num_disks) {
   CMFS_CHECK(num_disks > 0);
   std::vector<std::int64_t> reads(static_cast<std::size_t>(num_disks), 0);
-  for (const TraceEvent& event : events_) {
+  for (const TraceEvent& event : events) {
     if (event.type == TraceEventType::kRead) {
       CMFS_CHECK(event.addr.disk >= 0 && event.addr.disk < num_disks);
       ++reads[static_cast<std::size_t>(event.addr.disk)];
@@ -88,19 +91,29 @@ std::vector<std::int64_t> Trace::PerDiskReads(int num_disks) const {
   return reads;
 }
 
-std::int64_t Trace::Count(TraceEventType type) const {
+std::int64_t CountEvents(const std::vector<TraceEvent>& events,
+                         TraceEventType type) {
   std::int64_t count = 0;
-  for (const TraceEvent& event : events_) {
+  for (const TraceEvent& event : events) {
     if (event.type == type) ++count;
   }
   return count;
 }
 
-std::string Trace::ToString(std::size_t max_events) const {
+std::string FormatEvents(const std::vector<TraceEvent>& events,
+                         std::size_t max_events,
+                         std::int64_t total_recorded) {
   std::string out;
-  const std::size_t n = std::min(max_events, events_.size());
+  if (total_recorded > static_cast<std::int64_t>(events.size())) {
+    out += "(window of " + std::to_string(events.size()) + " of " +
+           std::to_string(total_recorded) + " events; " +
+           std::to_string(total_recorded -
+                          static_cast<std::int64_t>(events.size())) +
+           " older events dropped)\n";
+  }
+  const std::size_t n = std::min(max_events, events.size());
   for (std::size_t i = 0; i < n; ++i) {
-    const TraceEvent& e = events_[i];
+    const TraceEvent& e = events[i];
     char line[128];
     std::snprintf(line, sizeof(line), "[%lld] %s stream=%d idx=%lld\n",
                   static_cast<long long>(e.round),
@@ -108,8 +121,60 @@ std::string Trace::ToString(std::size_t max_events) const {
                   static_cast<long long>(e.index));
     out += line;
   }
-  if (events_.size() > n) {
-    out += "... (" + std::to_string(events_.size() - n) + " more)\n";
+  if (events.size() > n) {
+    out += "... (" + std::to_string(events.size() - n) + " more)\n";
+  }
+  return out;
+}
+
+RingBufferTraceSink::RingBufferTraceSink(std::size_t capacity)
+    : capacity_(capacity) {
+  CMFS_CHECK(capacity > 0);
+  ring_.reserve(capacity);
+}
+
+void RingBufferTraceSink::Record(const TraceEvent& event) {
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  ring_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> RingBufferTraceSink::Window() const {
+  if (ring_.size() < capacity_) return ring_;
+  std::vector<TraceEvent> ordered;
+  ordered.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    ordered.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return ordered;
+}
+
+void CountingTraceSink::Record(const TraceEvent& event) {
+  ++total_;
+  ++counts_[static_cast<std::size_t>(event.type)];
+  last_round_ = std::max(last_round_, event.round);
+  if (event.type == TraceEventType::kRead && event.addr.disk >= 0) {
+    if (static_cast<std::size_t>(event.addr.disk) >= disk_reads_.size()) {
+      disk_reads_.resize(static_cast<std::size_t>(event.addr.disk) + 1, 0);
+    }
+    ++disk_reads_[static_cast<std::size_t>(event.addr.disk)];
+  }
+  if (downstream_ != nullptr) downstream_->Record(event);
+}
+
+std::string CountingTraceSink::ToString() const {
+  std::string out = "events=" + std::to_string(total_);
+  for (int i = 0; i < kNumTraceEventTypes; ++i) {
+    const auto type = static_cast<TraceEventType>(i);
+    const std::int64_t n = Count(type);
+    if (n == 0) continue;
+    out += " ";
+    out += TraceEventTypeName(type);
+    out += "=" + std::to_string(n);
   }
   return out;
 }

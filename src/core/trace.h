@@ -1,6 +1,7 @@
 #ifndef CMFS_CORE_TRACE_H_
 #define CMFS_CORE_TRACE_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -9,12 +10,18 @@
 #include "core/round_plan.h"
 
 // Structured event trace: the server's observability surface. When a
-// Trace is attached (ServerConfig::trace), every admission, block read,
+// sink is attached (ServerConfig::trace), every admission, block read,
 // delivery, hiccup and lifecycle event is recorded with its round number,
 // enabling offline QoS analysis — most importantly *delivery jitter*:
 // the paper's continuity guarantee says a playing stream receives exactly
 // one block per round, so its max inter-delivery gap must be 1 even
 // through failures. trace_test.cc asserts exactly that.
+//
+// The trace path is an interface (TraceSink) so the memory behavior can
+// be chosen per run: Trace keeps everything (tests, short drills),
+// RingBufferTraceSink keeps a bounded window (long simulations stay O(1)
+// in memory while the window remains analyzable), CountingTraceSink
+// keeps only O(1) aggregates and can stream events on to another sink.
 
 namespace cmfs {
 
@@ -28,6 +35,10 @@ enum class TraceEventType {
   kResume,
   kCancel,
 };
+
+// Number of TraceEventType values (keep in sync with the enum; the
+// exhaustiveness test in trace_test.cc catches drift).
+inline constexpr int kNumTraceEventTypes = 8;
 
 const char* TraceEventTypeName(TraceEventType type);
 
@@ -43,34 +54,145 @@ struct TraceEvent {
   std::int64_t index = -1;
 };
 
-class Trace {
+// Destination for server trace events. Record() is called on the hot
+// path, once per event; implementations must not fail.
+class TraceSink {
  public:
-  void Record(const TraceEvent& event) { events_.push_back(event); }
+  virtual ~TraceSink() = default;
+  virtual void Record(const TraceEvent& event) = 0;
+};
+
+// --- Analysis over an ordered event window -------------------------------
+// Free functions so every sink's window (full trace or ring window) is
+// analyzed identically.
+
+// Max gap (in rounds) between consecutive deliveries, per stream.
+// 1 = perfectly periodic playback. Streams with fewer than two
+// deliveries in the window are omitted. Gaps across a pause/resume of
+// the stream are excluded (the viewer asked for them).
+std::map<StreamId, std::int64_t> MaxDeliveryGaps(
+    const std::vector<TraceEvent>& events);
+
+// Rounds from admission to first delivery, per stream (startup latency:
+// 1 for the non-prefetching schemes, ~p-1 for prefetching).
+std::map<StreamId, std::int64_t> StartupLatencies(
+    const std::vector<TraceEvent>& events);
+
+// Total blocks read per disk.
+std::vector<std::int64_t> PerDiskReads(
+    const std::vector<TraceEvent>& events, int num_disks);
+
+// Number of events of one type.
+std::int64_t CountEvents(const std::vector<TraceEvent>& events,
+                         TraceEventType type);
+
+// Compact one-line-per-event rendering of the first `max_events` events;
+// states how many events were elided. `total_recorded` > events.size()
+// additionally reports events already dropped before the window (ring
+// sinks).
+std::string FormatEvents(const std::vector<TraceEvent>& events,
+                         std::size_t max_events,
+                         std::int64_t total_recorded = -1);
+
+// --- Sinks ---------------------------------------------------------------
+
+// Unbounded in-memory sink: keeps every event (the historical Trace).
+class Trace : public TraceSink {
+ public:
+  void Record(const TraceEvent& event) override {
+    events_.push_back(event);
+  }
 
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
 
-  // Max gap (in rounds) between consecutive deliveries, per stream.
-  // 1 = perfectly periodic playback. Streams with fewer than two
-  // deliveries are omitted. Gaps across a pause/resume of the stream are
-  // excluded (the viewer asked for them).
-  std::map<StreamId, std::int64_t> MaxDeliveryGaps() const;
+  std::map<StreamId, std::int64_t> MaxDeliveryGaps() const {
+    return cmfs::MaxDeliveryGaps(events_);
+  }
+  std::map<StreamId, std::int64_t> StartupLatencies() const {
+    return cmfs::StartupLatencies(events_);
+  }
+  std::vector<std::int64_t> PerDiskReads(int num_disks) const {
+    return cmfs::PerDiskReads(events_, num_disks);
+  }
+  std::int64_t Count(TraceEventType type) const {
+    return CountEvents(events_, type);
+  }
 
-  // Rounds from admission to first delivery, per stream (startup
-  // latency: 1 for the non-prefetching schemes, ~p-1 for prefetching).
-  std::map<StreamId, std::int64_t> StartupLatencies() const;
-
-  // Total blocks read per disk.
-  std::vector<std::int64_t> PerDiskReads(int num_disks) const;
-
-  // Number of events of one type.
-  std::int64_t Count(TraceEventType type) const;
-
-  // Compact one-line-per-event rendering (debugging aid).
-  std::string ToString(std::size_t max_events = 50) const;
+  // Compact one-line-per-event rendering (debugging aid); says how many
+  // events were elided when truncating.
+  std::string ToString(std::size_t max_events = 50) const {
+    return FormatEvents(events_, max_events);
+  }
 
  private:
   std::vector<TraceEvent> events_;
+};
+
+// Bounded sink: keeps the most recent `capacity` events. Memory is O(capacity)
+// no matter how long the run; the retained window is still fully
+// analyzable (jitter within the window, per-disk reads, ...).
+class RingBufferTraceSink : public TraceSink {
+ public:
+  explicit RingBufferTraceSink(std::size_t capacity);
+
+  void Record(const TraceEvent& event) override;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return ring_.size(); }
+  std::int64_t total_recorded() const { return total_; }
+  std::int64_t dropped() const {
+    return total_ - static_cast<std::int64_t>(ring_.size());
+  }
+
+  // Retained events, oldest first.
+  std::vector<TraceEvent> Window() const;
+
+  std::map<StreamId, std::int64_t> MaxDeliveryGaps() const {
+    return cmfs::MaxDeliveryGaps(Window());
+  }
+  std::int64_t Count(TraceEventType type) const {
+    return CountEvents(Window(), type);
+  }
+  std::string ToString(std::size_t max_events = 50) const {
+    return FormatEvents(Window(), max_events, total_);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;
+  std::int64_t total_ = 0;
+};
+
+// O(1) sink: per-type counts, per-disk read totals and the latest round
+// only. Optionally streams every event on to a downstream sink, so it
+// can sit in front of a ring buffer as a cheap always-on aggregator.
+class CountingTraceSink : public TraceSink {
+ public:
+  explicit CountingTraceSink(TraceSink* downstream = nullptr)
+      : downstream_(downstream) {}
+
+  void Record(const TraceEvent& event) override;
+
+  std::int64_t Count(TraceEventType type) const {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+  std::int64_t total() const { return total_; }
+  std::int64_t last_round() const { return last_round_; }
+  // Cumulative reads per disk; sized to the highest disk seen.
+  const std::vector<std::int64_t>& per_disk_reads() const {
+    return disk_reads_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::array<std::int64_t, kNumTraceEventTypes> counts_{};
+  std::vector<std::int64_t> disk_reads_;
+  std::int64_t total_ = 0;
+  std::int64_t last_round_ = -1;
+  TraceSink* downstream_;
 };
 
 }  // namespace cmfs

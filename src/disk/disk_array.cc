@@ -98,4 +98,16 @@ Result<Block> DiskArray::XorOf(const std::vector<BlockAddress>& addrs) const {
   return acc;
 }
 
+void DiskArray::ExportMetrics(MetricsRegistry* registry) const {
+  CMFS_CHECK(registry != nullptr);
+  for (int i = 0; i < num_disks(); ++i) {
+    const SimDisk& d = disks_[static_cast<std::size_t>(i)];
+    const std::string prefix = "disk." + std::to_string(i) + ".";
+    registry->counter(prefix + "reads")->Set(d.reads());
+    registry->counter(prefix + "writes")->Set(d.writes());
+    registry->counter(prefix + "rejected_ios")->Set(d.rejected_ios());
+  }
+  registry->gauge("disk.failed")->Set(failed_disk());
+}
+
 }  // namespace cmfs

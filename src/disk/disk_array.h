@@ -6,6 +6,7 @@
 
 #include "disk/disk_params.h"
 #include "disk/sim_disk.h"
+#include "obs/metrics_registry.h"
 #include "util/status.h"
 
 // Array of d homogeneous simulated disks plus the XOR parity primitive the
@@ -60,6 +61,12 @@ class DiskArray {
   // and to reconstruct a lost block from the surviving members of its
   // parity group. `addrs` must be non-empty and all on healthy disks.
   Result<Block> XorOf(const std::vector<BlockAddress>& addrs) const;
+
+  // Per-disk cumulative I/O counters as a telemetry snapshot:
+  // "disk.<i>.reads" / "disk.<i>.writes" / "disk.<i>.rejected_ios"
+  // counters plus a "disk.failed" gauge (index of the failed disk, -1 if
+  // healthy). Safe to call repeatedly; values are absolute.
+  void ExportMetrics(MetricsRegistry* registry) const;
 
  private:
   std::int64_t block_size_;

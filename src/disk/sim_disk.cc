@@ -16,6 +16,7 @@ SimDisk::SimDisk(const DiskParams& params, std::int64_t block_size)
 
 Status SimDisk::Write(std::int64_t block, const Block& data) {
   if (state_ == State::kFailed) {
+    ++rejected_ios_;
     return Status::FailedPrecondition("write to failed disk");
   }
   if (block < 0 || block >= num_blocks_) {
@@ -26,17 +27,20 @@ Status SimDisk::Write(std::int64_t block, const Block& data) {
     return Status::InvalidArgument("write size != block size");
   }
   content_[block] = data;
+  ++writes_;
   return Status::Ok();
 }
 
 Result<Block> SimDisk::Read(std::int64_t block) const {
   if (state_ != State::kHealthy) {
+    ++rejected_ios_;
     return Status::FailedPrecondition("read from failed/rebuilding disk");
   }
   if (block < 0 || block >= num_blocks_) {
     return Status::InvalidArgument("block " + std::to_string(block) +
                                    " out of range");
   }
+  ++reads_;
   auto it = content_.find(block);
   if (it == content_.end()) {
     return Block(static_cast<std::size_t>(block_size_), 0);

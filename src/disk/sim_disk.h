@@ -63,12 +63,23 @@ class SimDisk {
   // densely: cylinder = block / blocks_per_cylinder.
   int CylinderOf(std::int64_t block) const;
 
+  // Lifetime I/O telemetry (survives failure/repair cycles): successful
+  // reads and writes, plus I/Os rejected because the disk was down —
+  // the raw series behind the per-disk load-distribution reports.
+  std::int64_t reads() const { return reads_; }
+  std::int64_t writes() const { return writes_; }
+  std::int64_t rejected_ios() const { return rejected_ios_; }
+
  private:
   DiskParams params_;
   std::int64_t block_size_;
   std::int64_t num_blocks_;
   std::int64_t blocks_per_cylinder_;
   State state_ = State::kHealthy;
+  // mutable: Read() is logically const; counting it is telemetry.
+  mutable std::int64_t reads_ = 0;
+  std::int64_t writes_ = 0;
+  mutable std::int64_t rejected_ios_ = 0;
   std::unordered_map<std::int64_t, Block> content_;
 };
 

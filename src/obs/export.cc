@@ -1,0 +1,322 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/stats.h"
+
+namespace cmfs {
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  CMFS_CHECK(!has_value_.empty());
+  has_value_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  CMFS_CHECK(!has_value_.empty());
+  has_value_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+namespace {
+
+void AppendEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  CMFS_CHECK(!has_value_.empty() && !pending_key_);
+  if (has_value_.back()) out_ += ',';
+  has_value_.back() = true;
+  out_ += '"';
+  AppendEscaped(key, &out_);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!has_value_.empty()) {
+    if (has_value_.back()) out_ += ',';
+    has_value_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  BeforeValue();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no inf/nan
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::int64_t v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  BeforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view v) {
+  BeforeValue();
+  out_ += '"';
+  AppendEscaped(v, &out_);
+  out_ += '"';
+  return *this;
+}
+
+std::string JsonWriter::TakeString() {
+  CMFS_CHECK(has_value_.empty() && !pending_key_);
+  return std::move(out_);
+}
+
+void AppendHistogramJson(const Histogram& histogram, JsonWriter* json) {
+  json->BeginObject();
+  json->Key("count").Value(histogram.count());
+  if (histogram.count() > 0) {
+    json->Key("min").Value(histogram.min());
+    json->Key("max").Value(histogram.max());
+    json->Key("mean").Value(histogram.mean());
+    json->Key("p50").Value(histogram.p50());
+    json->Key("p95").Value(histogram.p95());
+    json->Key("p99").Value(histogram.p99());
+  }
+  json->EndObject();
+}
+
+void AppendRegistryJson(const MetricsRegistry& registry, JsonWriter* json) {
+  json->Key("counters").BeginObject();
+  for (const auto& [name, c] : registry.counters()) {
+    json->Key(name).Value(c.value());
+  }
+  json->EndObject();
+  json->Key("gauges").BeginObject();
+  for (const auto& [name, g] : registry.gauges()) {
+    json->Key(name).Value(g.value());
+  }
+  json->EndObject();
+  json->Key("histograms").BeginObject();
+  for (const auto& [name, h] : registry.histograms()) {
+    json->Key(name);
+    AppendHistogramJson(h, json);
+  }
+  json->EndObject();
+}
+
+namespace {
+
+void AppendEpochJson(const char* name, const EpochStats& epoch,
+                     JsonWriter* json) {
+  json->Key(name).BeginObject();
+  json->Key("rounds").Value(epoch.rounds);
+  if (epoch.rounds > 0) {
+    json->Key("first_round").Value(epoch.first_round);
+    json->Key("last_round").Value(epoch.last_round);
+    json->Key("reads").Value(epoch.reads);
+    json->Key("recovery_reads").Value(epoch.recovery_reads);
+    json->Key("deliveries").Value(epoch.deliveries);
+    json->Key("hiccups").Value(epoch.hiccups);
+    json->Key("round_time_s");
+    AppendHistogramJson(epoch.round_time, json);
+    json->Key("buffer_blocks_max").Value(epoch.buffer_blocks.max());
+  }
+  json->EndObject();
+}
+
+}  // namespace
+
+void AppendTimelineJson(const RoundTimeline& timeline, JsonWriter* json) {
+  const FailureEpochReport report = timeline.EpochReport();
+  json->BeginObject();
+  json->Key("rounds").Value(timeline.total_recorded());
+  json->Key("retained_rounds")
+      .Value(static_cast<std::int64_t>(timeline.size()));
+  json->Key("degraded_rounds").Value(timeline.degraded_rounds());
+  json->Key("round_time_s");
+  AppendHistogramJson(timeline.round_time_histogram(), json);
+  json->Key("epochs").BeginObject();
+  AppendEpochJson("before", report.before, json);
+  AppendEpochJson("during", report.during, json);
+  AppendEpochJson("after", report.after, json);
+  json->EndObject();
+  // Degraded-mode timeline, run-length encoded over the retained window.
+  json->Key("degraded_spans").BeginArray();
+  const std::vector<RoundSample> samples = timeline.Samples();
+  for (std::size_t i = 0; i < samples.size();) {
+    std::size_t j = i;
+    while (j + 1 < samples.size() &&
+           samples[j + 1].degraded == samples[i].degraded) {
+      ++j;
+    }
+    json->BeginObject();
+    json->Key("first_round").Value(samples[i].round);
+    json->Key("last_round").Value(samples[j].round);
+    json->Key("degraded").Value(samples[i].degraded);
+    json->EndObject();
+    i = j + 1;
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
+void AppendPerDiskJson(const PerDiskSeries& series, JsonWriter* json) {
+  json->BeginObject();
+  json->Key("values").BeginArray();
+  std::int64_t total = 0;
+  for (std::int64_t v : series.values) {
+    json->Value(v);
+    total += v;
+  }
+  json->EndArray();
+  json->Key("total").Value(total);
+  json->Key("load_imbalance").Value(LoadImbalance(series.values));
+  json->EndObject();
+}
+
+void CsvTable::AddRow(std::vector<std::string> row) {
+  CMFS_CHECK(row.size() == columns.size());
+  rows.push_back(std::move(row));
+}
+
+std::string CsvTable::ToCsv() const {
+  std::string out;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ',';
+    out += columns[i];
+  }
+  out += '\n';
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += row[i];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  const std::size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != contents.size() || !close_ok) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status CsvTable::WriteFile(const std::string& path) const {
+  return WriteStringToFile(path, ToCsv());
+}
+
+std::string BenchReport::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value(bench);
+  if (!scheme.empty()) json.Key("scheme").Value(scheme);
+  json.Key("params").BeginObject();
+  for (const auto& [name, value] : params) {
+    json.Key(name).Value(value);
+  }
+  json.EndObject();
+  if (metrics != nullptr) AppendRegistryJson(*metrics, &json);
+  if (!per_disk.empty()) {
+    json.Key("per_disk").BeginObject();
+    for (const PerDiskSeries& series : per_disk) {
+      json.Key(series.name);
+      AppendPerDiskJson(series, &json);
+    }
+    json.EndObject();
+  }
+  if (timeline != nullptr) {
+    json.Key("timeline");
+    AppendTimelineJson(*timeline, &json);
+  }
+  if (table != nullptr) {
+    json.Key("table").BeginObject();
+    json.Key("columns").BeginArray();
+    for (const std::string& c : table->columns) json.Value(c);
+    json.EndArray();
+    json.Key("rows").BeginArray();
+    for (const auto& row : table->rows) {
+      json.BeginArray();
+      for (const std::string& cell : row) json.Value(cell);
+      json.EndArray();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  return json.TakeString();
+}
+
+Status BenchReport::WriteJsonFile(const std::string& path) const {
+  return WriteStringToFile(path, ToJson() + "\n");
+}
+
+}  // namespace cmfs

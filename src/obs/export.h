@@ -1,0 +1,100 @@
+#ifndef CMFS_OBS_EXPORT_H_
+#define CMFS_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/round_timeline.h"
+#include "util/status.h"
+
+// Machine-readable export of the telemetry layer: a minimal JSON emitter
+// (no external deps) plus the bench artifact schema every bench_* binary
+// writes with --json <path>. The schema (documented in
+// docs/observability.md) is:
+//
+//   { "bench": ..., "scheme": ..., "params": {...},
+//     "counters": {...}, "gauges": {...},
+//     "histograms": {name: {count,min,max,mean,p50,p95,p99}},
+//     "per_disk": {name: {values, total, load_imbalance}},
+//     "timeline": {rounds, degraded_rounds, round_time, epochs:{...}},
+//     "table": {columns: [...], rows: [[...], ...]} }
+
+namespace cmfs {
+
+// Streaming JSON writer. Handles commas, nesting and string escaping;
+// the caller is responsible for well-formed Begin/End pairing (checked).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(std::int64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<std::int64_t>(v)); }
+  JsonWriter& Value(bool v);
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+
+  // The finished document; CHECK-fails if containers are still open.
+  std::string TakeString();
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: whether it already holds a value.
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+// Digest of one histogram: count/min/max/mean plus p50/p95/p99.
+void AppendHistogramJson(const Histogram& histogram, JsonWriter* json);
+// All counters, gauges and histogram digests of a registry.
+void AppendRegistryJson(const MetricsRegistry& registry, JsonWriter* json);
+// Timeline digest: totals, degraded-round count, full-run round-time
+// digest, per-epoch (before/during/after) aggregates, and the per-round
+// degraded-mode timeline as [round, degraded] run-length spans.
+void AppendTimelineJson(const RoundTimeline& timeline, JsonWriter* json);
+
+// A per-disk integer series (reads, recovery reads, queue depth...);
+// exported with its total and LoadImbalance (cv).
+struct PerDiskSeries {
+  std::string name;
+  std::vector<std::int64_t> values;
+};
+void AppendPerDiskJson(const PerDiskSeries& series, JsonWriter* json);
+
+// Plain tabular data — the machine-readable twin of the benches' stdout
+// tables. Cells are preformatted strings so schemes and numbers mix.
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  void AddRow(std::vector<std::string> row);
+  std::string ToCsv() const;
+  Status WriteFile(const std::string& path) const;
+};
+
+// The bench artifact: everything optional except `bench`.
+struct BenchReport {
+  std::string bench;
+  std::string scheme;
+  std::vector<std::pair<std::string, double>> params;
+  const MetricsRegistry* metrics = nullptr;
+  const RoundTimeline* timeline = nullptr;
+  std::vector<PerDiskSeries> per_disk;
+  const CsvTable* table = nullptr;
+
+  std::string ToJson() const;
+  Status WriteJsonFile(const std::string& path) const;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_OBS_EXPORT_H_

@@ -1,0 +1,142 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/status.h"
+
+namespace cmfs {
+
+Histogram::Histogram() : Histogram(Options{}) {}
+
+Histogram::Histogram(const Options& options) : options_(options) {
+  CMFS_CHECK(options.min_value > 0.0);
+  CMFS_CHECK(options.octaves >= 1);
+  CMFS_CHECK(options.sub_buckets_per_octave >= 1);
+  // +2: underflow bucket at the front, overflow bucket at the back.
+  counts_.assign(static_cast<std::size_t>(options.octaves) *
+                         static_cast<std::size_t>(
+                             options.sub_buckets_per_octave) +
+                     2,
+                 0);
+}
+
+std::size_t Histogram::BucketIndex(double value) const {
+  if (!(value >= options_.min_value)) return 0;  // underflow (and NaN)
+  const double ratio = value / options_.min_value;
+  const int octave = static_cast<int>(std::floor(std::log2(ratio)));
+  if (octave >= options_.octaves) return counts_.size() - 1;  // overflow
+  const double within = ratio / std::exp2(octave);  // in [1, 2)
+  int sub = static_cast<int>((within - 1.0) *
+                             options_.sub_buckets_per_octave);
+  sub = std::clamp(sub, 0, options_.sub_buckets_per_octave - 1);
+  return 1 +
+         static_cast<std::size_t>(octave) *
+             static_cast<std::size_t>(options_.sub_buckets_per_octave) +
+         static_cast<std::size_t>(sub);
+}
+
+double Histogram::BucketLowerBound(std::size_t index) const {
+  CMFS_CHECK(index < counts_.size());
+  if (index == 0) return 0.0;
+  if (index == counts_.size() - 1) {
+    return options_.min_value * std::exp2(options_.octaves);
+  }
+  const std::size_t tracked = index - 1;
+  const std::size_t sub_per =
+      static_cast<std::size_t>(options_.sub_buckets_per_octave);
+  const std::size_t octave = tracked / sub_per;
+  const std::size_t sub = tracked % sub_per;
+  return options_.min_value * std::exp2(static_cast<double>(octave)) *
+         (1.0 + static_cast<double>(sub) / static_cast<double>(sub_per));
+}
+
+double Histogram::BucketUpperBound(std::size_t index) const {
+  CMFS_CHECK(index < counts_.size());
+  if (index == 0) return options_.min_value;
+  if (index == counts_.size() - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return BucketLowerBound(index + 1);
+}
+
+void Histogram::Add(double value) {
+  ++counts_[BucketIndex(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  CMFS_CHECK(options_ == other.options_);
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::min() const {
+  return count_ == 0 ? std::numeric_limits<double>::infinity() : min_;
+}
+
+double Histogram::max() const {
+  return count_ == 0 ? -std::numeric_limits<double>::infinity() : max_;
+}
+
+double Histogram::Percentile(double percentile) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(percentile, 0.0, 100.0);
+  std::int64_t rank = static_cast<std::int64_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(count_)));
+  rank = std::max<std::int64_t>(rank, 1);
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      // The bucket's upper bound over-reports by at most one bucket
+      // width; clamping to the exact extrema keeps p0/p100 honest.
+      return std::clamp(BucketUpperBound(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%lld mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+                static_cast<long long>(count_), mean(), p50(), p95(),
+                p99(), count_ == 0 ? 0.0 : max_);
+  return buf;
+}
+
+}  // namespace cmfs

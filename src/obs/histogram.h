@@ -1,0 +1,94 @@
+#ifndef CMFS_OBS_HISTOGRAM_H_
+#define CMFS_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Fixed-memory log-linear histogram (HDR-style): values are bucketed by
+// power-of-two octave above a configured floor, with a fixed number of
+// linear sub-buckets per octave, so relative quantile error is bounded by
+// 1/sub_buckets_per_octave across the whole tracked range while memory
+// stays O(octaves * sub_buckets) regardless of sample count. This is the
+// distribution primitive behind every telemetry series in the server:
+// the paper's guarantees (round time under B/r_p, reconstruction load
+// spread) are statements about tails, not means, so benches report
+// p50/p95/p99/max from these rather than scalar averages.
+
+namespace cmfs {
+
+class Histogram {
+ public:
+  struct Options {
+    // Lower bound of the first tracked bucket. Values below it land in a
+    // dedicated underflow bucket (they still count toward quantiles via
+    // the exact observed min).
+    double min_value = 1e-6;
+    // Powers of two covered above min_value; values at or above
+    // min_value * 2^octaves land in the overflow bucket.
+    int octaves = 48;
+    // Linear subdivisions per octave; bounds the relative bucket width
+    // (and so the quantile error) at 1/sub_buckets_per_octave.
+    int sub_buckets_per_octave = 16;
+
+    friend bool operator==(const Options& a, const Options& b) {
+      return a.min_value == b.min_value && a.octaves == b.octaves &&
+             a.sub_buckets_per_octave == b.sub_buckets_per_octave;
+    }
+  };
+
+  Histogram();  // default Options
+  explicit Histogram(const Options& options);
+
+  void Add(double value);
+  // Adds another histogram recorded with identical Options (CHECK-fails
+  // otherwise). Merge is associative and commutative, so shard-local
+  // histograms can be combined in any order.
+  void Merge(const Histogram& other);
+  void Reset();
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  // Exact observed extrema; +inf / -inf respectively while empty (so they
+  // never poison a min/max fold the way a 0.0 sentinel would).
+  double min() const;
+  double max() const;
+
+  // Value at or below which `percentile` percent of samples fall
+  // (percentile in [0, 100]). Returns the upper bound of the covering
+  // bucket, clamped to the exact observed [min, max]; 0.0 when empty.
+  double Percentile(double percentile) const;
+  double p50() const { return Percentile(50.0); }
+  double p95() const { return Percentile(95.0); }
+  double p99() const { return Percentile(99.0); }
+
+  const Options& options() const { return options_; }
+  // Bucket introspection (tested directly; also used by the exporters to
+  // dump non-empty buckets).
+  std::size_t num_buckets() const { return counts_.size(); }
+  std::size_t BucketIndex(double value) const;
+  // Inclusive lower / exclusive upper value bound of a tracked bucket.
+  // The underflow bucket (index 0) spans [0, min_value); the overflow
+  // bucket spans [min_value * 2^octaves, +inf).
+  double BucketLowerBound(std::size_t index) const;
+  double BucketUpperBound(std::size_t index) const;
+  std::int64_t bucket_count(std::size_t index) const {
+    return counts_[index];
+  }
+
+  // "n=... mean=... p50=... p95=... p99=... max=..."
+  std::string ToString() const;
+
+ private:
+  Options options_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;  // valid only when count_ > 0
+  double max_ = 0.0;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_OBS_HISTOGRAM_H_

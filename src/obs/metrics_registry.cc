@@ -1,0 +1,73 @@
+#include "obs/metrics_registry.h"
+
+#include <cstdio>
+
+namespace cmfs {
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  return &counters_[name];
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  return &gauges_[name];
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const Histogram::Options& options) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(options)).first;
+  }
+  return &it->second;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].Inc(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_[name].SetMax(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.options())->Merge(h);
+  }
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(line, sizeof(line), "counter %-32s %lld\n", name.c_str(),
+                  static_cast<long long>(c.value()));
+    out += line;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(line, sizeof(line), "gauge   %-32s %.6g\n", name.c_str(),
+                  g.value());
+    out += line;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(line, sizeof(line), "histo   %-32s %s\n", name.c_str(),
+                  h.ToString().c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace cmfs

@@ -1,0 +1,86 @@
+#ifndef CMFS_OBS_METRICS_REGISTRY_H_
+#define CMFS_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/histogram.h"
+
+// Named-metric registry: the single attachment point through which the
+// server, disk array, buffer pool and rebuilder publish telemetry.
+// Instruments are created on first use and live as long as the registry;
+// returned pointers are stable (std::map nodes never move), so hot paths
+// look a metric up once and hold the pointer.
+//
+// Naming convention (see docs/observability.md for the full catalog):
+// dot-separated "<subsystem>.<metric>[_<unit>]", e.g. "server.round_time_s",
+// "disk.3.round_reads", "rebuild.eta_rounds".
+
+namespace cmfs {
+
+// Monotonic event count.
+class Counter {
+ public:
+  void Inc(std::int64_t delta = 1) { value_ += delta; }
+  // Overwrites the value — for mirroring an externally-accumulated total
+  // (e.g. DiskArray::ExportMetrics) into the registry.
+  void Set(std::int64_t value) { value_ = value; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void SetMax(double value) { value_ = value_ > value ? value_ : value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  // Find-or-create. histogram() ignores `options` if the name already
+  // exists (first registration wins).
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name,
+                       const Histogram::Options& options =
+                           Histogram::Options{});
+
+  // nullptr if the instrument was never registered.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  // Deterministically ordered views for the exporters.
+  const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  // Folds another registry in: counters add, gauges take the max (the
+  // merged view of a high-water mark), histograms merge bucket-wise.
+  // Histograms sharing a name must share Options.
+  void MergeFrom(const MetricsRegistry& other);
+
+  // One instrument per line, sorted by name (debugging aid).
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,102 @@
+#include "obs/round_timeline.h"
+
+#include <cstdio>
+
+namespace cmfs {
+
+void EpochStats::Absorb(const RoundSample& s) {
+  if (rounds == 0) first_round = s.round;
+  last_round = s.round;
+  ++rounds;
+  reads += s.reads;
+  recovery_reads += s.recovery_reads;
+  deliveries += s.deliveries;
+  hiccups += s.hiccups;
+  round_time.Add(s.worst_disk_time);
+  buffer_blocks.Add(static_cast<double>(s.buffer_blocks));
+}
+
+std::string EpochStats::ToString() const {
+  if (rounds == 0) return "(no rounds)";
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "rounds %lld-%lld (%lld): reads=%lld (recovery=%lld) "
+      "deliveries=%lld hiccups=%lld round_time{p50=%.2fms p99=%.2fms "
+      "max=%.2fms} buf_max=%.0f blk",
+      static_cast<long long>(first_round),
+      static_cast<long long>(last_round), static_cast<long long>(rounds),
+      static_cast<long long>(reads), static_cast<long long>(recovery_reads),
+      static_cast<long long>(deliveries), static_cast<long long>(hiccups),
+      round_time.p50() * 1e3, round_time.p99() * 1e3,
+      round_time.count() == 0 ? 0.0 : round_time.max() * 1e3,
+      buffer_blocks.count() == 0 ? 0.0 : buffer_blocks.max());
+  return buf;
+}
+
+std::string FailureEpochReport::ToString() const {
+  std::string out;
+  out += "before:  " + before.ToString() + "\n";
+  out += "during:  " + during.ToString() + "\n";
+  out += "after:   " + after.ToString() + "\n";
+  out += "degraded rounds: " + std::to_string(degraded_rounds) + "\n";
+  return out;
+}
+
+RoundTimeline::RoundTimeline(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ > 0) samples_.reserve(capacity_);
+}
+
+void RoundTimeline::Add(const RoundSample& sample) {
+  ++total_;
+  if (sample.degraded) ++degraded_rounds_;
+  round_time_.Add(sample.worst_disk_time);
+  if (capacity_ == 0) {
+    samples_.push_back(sample);
+    return;
+  }
+  if (samples_.size() < capacity_) {
+    samples_.push_back(sample);
+  } else {
+    samples_[next_] = sample;
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::size_t RoundTimeline::size() const { return samples_.size(); }
+
+std::vector<RoundSample> RoundTimeline::Samples() const {
+  if (capacity_ == 0 || samples_.size() < capacity_) return samples_;
+  std::vector<RoundSample> ordered;
+  ordered.reserve(samples_.size());
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    ordered.push_back(samples_[(next_ + i) % samples_.size()]);
+  }
+  return ordered;
+}
+
+FailureEpochReport RoundTimeline::EpochReport() const {
+  FailureEpochReport report;
+  const std::vector<RoundSample> ordered = Samples();
+  // Locate the degraded window [first_degraded, last_degraded].
+  std::size_t first_degraded = ordered.size();
+  std::size_t last_degraded = 0;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    if (!ordered[i].degraded) continue;
+    if (first_degraded == ordered.size()) first_degraded = i;
+    last_degraded = i;
+    ++report.degraded_rounds;
+  }
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    if (first_degraded == ordered.size() || i < first_degraded) {
+      report.before.Absorb(ordered[i]);
+    } else if (i <= last_degraded) {
+      report.during.Absorb(ordered[i]);
+    } else {
+      report.after.Absorb(ordered[i]);
+    }
+  }
+  return report;
+}
+
+}  // namespace cmfs

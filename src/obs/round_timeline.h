@@ -1,0 +1,98 @@
+#ifndef CMFS_OBS_ROUND_TIMELINE_H_
+#define CMFS_OBS_ROUND_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/stats.h"
+
+// Per-round telemetry timeline. Server::RunRound appends one RoundSample
+// per round; the timeline can then be sliced into a failure-epoch report
+// — before / during / after a disk failure — which is exactly the shape
+// of the paper's claims: round service time must stay under B/r_p in
+// *every* epoch, and degraded-mode rounds are where the reconstruction
+// load lands. A capacity bound (ring mode) keeps week-long simulations
+// at O(capacity) memory.
+
+namespace cmfs {
+
+struct RoundSample {
+  std::int64_t round = 0;
+  int reads = 0;
+  int recovery_reads = 0;  // kParity + kRecovery reads this round
+  int deliveries = 0;
+  int hiccups = 0;
+  int completed_streams = 0;
+  std::int64_t buffer_blocks = 0;  // pool occupancy at end of round
+  // Worst per-disk C-SCAN service time this round, seconds (0 unless
+  // ServerConfig::time_rounds).
+  double worst_disk_time = 0.0;
+  // True while any disk is failed or rebuilding.
+  bool degraded = false;
+};
+
+// Aggregates over one epoch (a contiguous run of rounds).
+struct EpochStats {
+  std::int64_t rounds = 0;
+  std::int64_t first_round = -1;
+  std::int64_t last_round = -1;
+  std::int64_t reads = 0;
+  std::int64_t recovery_reads = 0;
+  std::int64_t deliveries = 0;
+  std::int64_t hiccups = 0;
+  // Distribution of worst_disk_time (seconds) across the epoch's rounds.
+  Histogram round_time;
+  Summary buffer_blocks;
+
+  void Absorb(const RoundSample& s);
+  std::string ToString() const;
+};
+
+// Before / during / after the (single) failure window. "during" spans
+// the first degraded round through the last degraded round observed.
+struct FailureEpochReport {
+  EpochStats before;
+  EpochStats during;
+  EpochStats after;
+  std::int64_t degraded_rounds = 0;
+
+  bool saw_failure() const { return during.rounds > 0; }
+  std::string ToString() const;
+};
+
+class RoundTimeline {
+ public:
+  // capacity 0 = keep every sample; otherwise a ring of the most recent
+  // `capacity` samples (aggregate stats still cover the full run).
+  explicit RoundTimeline(std::size_t capacity = 0);
+
+  void Add(const RoundSample& sample);
+
+  // Retained samples, oldest first.
+  std::vector<RoundSample> Samples() const;
+  std::size_t size() const;
+  std::int64_t total_recorded() const { return total_; }
+  std::int64_t dropped() const {
+    return total_ - static_cast<std::int64_t>(size());
+  }
+
+  // Epoch report over the *retained* window.
+  FailureEpochReport EpochReport() const;
+  // Round-time distribution over the full run (not just the window).
+  const Histogram& round_time_histogram() const { return round_time_; }
+  std::int64_t degraded_rounds() const { return degraded_rounds_; }
+
+ private:
+  std::size_t capacity_;  // 0 = unbounded
+  std::vector<RoundSample> samples_;
+  std::size_t next_ = 0;  // ring cursor when bounded
+  std::int64_t total_ = 0;
+  std::int64_t degraded_rounds_ = 0;
+  Histogram round_time_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_OBS_ROUND_TIMELINE_H_

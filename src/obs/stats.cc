@@ -1,0 +1,72 @@
+#include "obs/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace cmfs {
+
+void Summary::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+void Summary::Merge(const Summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+double Summary::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Summary::min() const {
+  return count_ == 0 ? std::numeric_limits<double>::infinity() : min_;
+}
+
+double Summary::max() const {
+  return count_ == 0 ? -std::numeric_limits<double>::infinity() : max_;
+}
+
+double Summary::stddev() const {
+  if (count_ == 0) return 0.0;
+  const double m = mean();
+  const double var = sum_sq_ / static_cast<double>(count_) - m * m;
+  return var <= 0.0 ? 0.0 : std::sqrt(var);
+}
+
+std::string Summary::ToString() const {
+  if (count_ == 0) return "n=0 (empty)";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "n=%lld mean=%.3f min=%.3f max=%.3f sd=%.3f",
+                static_cast<long long>(count_), mean(), min_, max_,
+                stddev());
+  return buf;
+}
+
+double LoadImbalance(const std::vector<std::int64_t>& loads) {
+  Summary s;
+  for (std::int64_t x : loads) s.Add(static_cast<double>(x));
+  return s.mean() == 0.0 ? 0.0 : s.stddev() / s.mean();
+}
+
+}  // namespace cmfs

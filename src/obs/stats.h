@@ -1,0 +1,51 @@
+#ifndef CMFS_OBS_STATS_H_
+#define CMFS_OBS_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Small statistics helpers shared by the telemetry layer, the benches
+// and the ablations. (Historically lived in sim/stats.h, which now
+// forwards here so the exporters can use them without depending on the
+// simulation library.)
+
+namespace cmfs {
+
+// Streaming summary of a scalar series.
+class Summary {
+ public:
+  void Add(double x);
+
+  // Merges another summary; either side may be empty. Correctly combines
+  // extrema (an empty side contributes nothing — see min()/max()).
+  void Merge(const Summary& other);
+
+  std::int64_t count() const { return count_; }
+  double mean() const;
+  // Exact observed extrema; +inf / -inf respectively while empty, so an
+  // empty summary is the identity under min/max folds (the old 0.0
+  // sentinel silently dragged merged minima to zero).
+  double min() const;
+  double max() const;
+  // Population standard deviation.
+  double stddev() const;
+
+  std::string ToString() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;  // valid only when count_ > 0
+  double max_ = 0.0;
+};
+
+// Coefficient of variation (stddev/mean) of a load vector — used by the
+// failure-load-distribution ablation to show declustering spreads the
+// reconstruction load evenly. Returns 0 for an all-zero vector.
+double LoadImbalance(const std::vector<std::int64_t>& loads);
+
+}  // namespace cmfs
+
+#endif  // CMFS_OBS_STATS_H_

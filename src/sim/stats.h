@@ -1,41 +1,9 @@
 #ifndef CMFS_SIM_STATS_H_
 #define CMFS_SIM_STATS_H_
 
-#include <cstdint>
-#include <string>
-#include <vector>
+// Summary and LoadImbalance moved to obs/stats.h so the telemetry
+// exporters can use them; this shim keeps existing includes working.
 
-// Small statistics helpers shared by the benches and ablations.
-
-namespace cmfs {
-
-// Streaming summary of a scalar series.
-class Summary {
- public:
-  void Add(double x);
-
-  std::int64_t count() const { return count_; }
-  double mean() const;
-  double min() const { return min_; }
-  double max() const { return max_; }
-  // Population standard deviation.
-  double stddev() const;
-
-  std::string ToString() const;
-
- private:
-  std::int64_t count_ = 0;
-  double sum_ = 0.0;
-  double sum_sq_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-};
-
-// Coefficient of variation (stddev/mean) of a load vector — used by the
-// failure-load-distribution ablation to show declustering spreads the
-// reconstruction load evenly. Returns 0 for an all-zero vector.
-double LoadImbalance(const std::vector<std::int64_t>& loads);
-
-}  // namespace cmfs
+#include "obs/stats.h"  // IWYU pragma: export
 
 #endif  // CMFS_SIM_STATS_H_

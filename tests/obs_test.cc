@@ -1,0 +1,508 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/content.h"
+#include "core/controller_factory.h"
+#include "core/rebuild.h"
+#include "core/server.h"
+#include "layout/layout.h"
+#include "obs/export.h"
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
+#include "obs/round_timeline.h"
+#include "obs/stats.h"
+
+namespace cmfs {
+namespace {
+
+// ---------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, BucketBoundaries) {
+  Histogram::Options opts;
+  opts.min_value = 1.0;
+  opts.octaves = 4;
+  opts.sub_buckets_per_octave = 2;
+  Histogram h(opts);
+  // underflow + 4*2 tracked + overflow.
+  ASSERT_EQ(h.num_buckets(), 10u);
+
+  EXPECT_EQ(h.BucketIndex(0.0), 0u);
+  EXPECT_EQ(h.BucketIndex(0.99), 0u);
+  EXPECT_EQ(h.BucketIndex(1.0), 1u);   // [1, 1.5)
+  EXPECT_EQ(h.BucketIndex(1.49), 1u);
+  EXPECT_EQ(h.BucketIndex(1.5), 2u);   // [1.5, 2)
+  EXPECT_EQ(h.BucketIndex(2.0), 3u);   // [2, 3)
+  EXPECT_EQ(h.BucketIndex(3.0), 4u);   // [3, 4)
+  EXPECT_EQ(h.BucketIndex(4.0), 5u);   // [4, 6)
+  EXPECT_EQ(h.BucketIndex(8.0), 7u);   // [8, 12)
+  EXPECT_EQ(h.BucketIndex(15.9), 8u);  // [12, 16)
+  EXPECT_EQ(h.BucketIndex(16.0), 9u);  // overflow
+  EXPECT_EQ(h.BucketIndex(1e9), 9u);
+
+  EXPECT_DOUBLE_EQ(h.BucketLowerBound(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.BucketLowerBound(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(1), 1.5);
+  EXPECT_DOUBLE_EQ(h.BucketLowerBound(5), 4.0);
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(5), 6.0);
+  EXPECT_DOUBLE_EQ(h.BucketLowerBound(9), 16.0);
+  EXPECT_TRUE(std::isinf(h.BucketUpperBound(9)));
+
+  // Every tracked value lands in a bucket whose bounds contain it.
+  for (double v : {1.0, 1.3, 2.7, 5.5, 9.0, 13.2, 15.99}) {
+    const std::size_t idx = h.BucketIndex(v);
+    EXPECT_GE(v, h.BucketLowerBound(idx)) << v;
+    EXPECT_LT(v, h.BucketUpperBound(idx)) << v;
+  }
+}
+
+TEST(HistogramTest, EmptyAndExtrema) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_TRUE(std::isinf(h.min()));
+  EXPECT_GT(h.min(), 0.0);
+  EXPECT_TRUE(std::isinf(h.max()));
+  EXPECT_LT(h.max(), 0.0);
+
+  h.Add(5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  // A single sample: every percentile is that sample (clamped exactly).
+  EXPECT_DOUBLE_EQ(h.Percentile(1), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 5.0);
+}
+
+TEST(HistogramTest, PercentileMonotoneAndAccurate) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  double prev = 0.0;
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+  // Relative error bounded by one sub-bucket (1/16 by default).
+  EXPECT_NEAR(h.Percentile(50), 500.0, 500.0 / 16 + 1);
+  EXPECT_NEAR(h.Percentile(99), 990.0, 990.0 / 16 + 1);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1000.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  auto fill = [](Histogram* h, int lo, int hi) {
+    for (int i = lo; i < hi; ++i) h->Add(static_cast<double>(i));
+  };
+  Histogram a, b, c;
+  fill(&a, 1, 100);
+  fill(&b, 50, 400);
+  fill(&c, 300, 1000);
+
+  // (a + b) + c
+  Histogram left;
+  left.Merge(a);
+  left.Merge(b);
+  left.Merge(c);
+  // a + (c + b)
+  Histogram right_inner;
+  right_inner.Merge(c);
+  right_inner.Merge(b);
+  Histogram right;
+  right.Merge(a);
+  right.Merge(right_inner);
+
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_DOUBLE_EQ(left.sum(), right.sum());
+  EXPECT_DOUBLE_EQ(left.min(), right.min());
+  EXPECT_DOUBLE_EQ(left.max(), right.max());
+  for (std::size_t i = 0; i < left.num_buckets(); ++i) {
+    EXPECT_EQ(left.bucket_count(i), right.bucket_count(i)) << i;
+  }
+  for (double p : {50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(left.Percentile(p), right.Percentile(p)) << p;
+  }
+
+  // Merging an empty histogram is the identity.
+  Histogram with_empty;
+  with_empty.Merge(left);
+  with_empty.Merge(Histogram());
+  EXPECT_EQ(with_empty.count(), left.count());
+  EXPECT_DOUBLE_EQ(with_empty.min(), left.min());
+}
+
+// ------------------------------------------------------------------ Summary
+
+TEST(SummaryTest, EmptyExtremaAreIdentityNotZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0);
+  // The old 0.0 sentinel made merged minima collapse to 0; empty must be
+  // the identity under min/max.
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_GT(s.min(), 0.0);
+  EXPECT_TRUE(std::isinf(s.max()));
+  EXPECT_LT(s.max(), 0.0);
+}
+
+TEST(SummaryTest, MergeHandlesEmptyAndCombinesMoments) {
+  Summary a;
+  a.Add(2.0);
+  a.Add(4.0);
+  Summary empty;
+
+  Summary merged = a;
+  merged.Merge(empty);  // no-op
+  EXPECT_EQ(merged.count(), 2);
+  EXPECT_DOUBLE_EQ(merged.min(), 2.0);
+
+  Summary from_empty;
+  from_empty.Merge(a);  // adopts a's extrema, not 0.0
+  EXPECT_EQ(from_empty.count(), 2);
+  EXPECT_DOUBLE_EQ(from_empty.min(), 2.0);
+  EXPECT_DOUBLE_EQ(from_empty.max(), 4.0);
+
+  Summary b;
+  b.Add(10.0);
+  b.Add(20.0);
+  Summary all = a;
+  all.Merge(b);
+  Summary direct;
+  for (double x : {2.0, 4.0, 10.0, 20.0}) direct.Add(x);
+  EXPECT_EQ(all.count(), direct.count());
+  EXPECT_DOUBLE_EQ(all.mean(), direct.mean());
+  EXPECT_DOUBLE_EQ(all.min(), direct.min());
+  EXPECT_DOUBLE_EQ(all.max(), direct.max());
+  EXPECT_DOUBLE_EQ(all.stddev(), direct.stddev());
+}
+
+// ---------------------------------------------------------- MetricsRegistry
+
+TEST(MetricsRegistryTest, FindOrCreateAndStablePointers) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("server.reads");
+  c->Inc(3);
+  EXPECT_EQ(reg.counter("server.reads"), c);  // same instrument
+  EXPECT_EQ(reg.counter("server.reads")->value(), 3);
+
+  reg.gauge("rebuild.progress")->Set(0.5);
+  EXPECT_DOUBLE_EQ(reg.FindGauge("rebuild.progress")->value(), 0.5);
+  EXPECT_EQ(reg.FindGauge("missing"), nullptr);
+  EXPECT_EQ(reg.FindCounter("missing"), nullptr);
+  EXPECT_EQ(reg.FindHistogram("missing"), nullptr);
+
+  Histogram* h = reg.histogram("round_time");
+  h->Add(1.0);
+  EXPECT_EQ(reg.histogram("round_time"), h);
+  EXPECT_EQ(reg.FindHistogram("round_time")->count(), 1);
+}
+
+TEST(MetricsRegistryTest, MergeFrom) {
+  MetricsRegistry a, b;
+  a.counter("x")->Inc(2);
+  b.counter("x")->Inc(5);
+  b.counter("only_b")->Inc(1);
+  a.gauge("hw")->Set(10.0);
+  b.gauge("hw")->Set(7.0);
+  a.histogram("h")->Add(1.0);
+  b.histogram("h")->Add(100.0);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.counter("x")->value(), 7);
+  EXPECT_EQ(a.counter("only_b")->value(), 1);
+  EXPECT_DOUBLE_EQ(a.gauge("hw")->value(), 10.0);  // max wins
+  EXPECT_EQ(a.histogram("h")->count(), 2);
+  EXPECT_DOUBLE_EQ(a.histogram("h")->max(), 100.0);
+  EXPECT_NE(a.ToString().find("only_b"), std::string::npos);
+}
+
+// ------------------------------------------------------------ RoundTimeline
+
+RoundSample MakeSample(std::int64_t round, bool degraded,
+                       double worst_time = 0.01) {
+  RoundSample s;
+  s.round = round;
+  s.reads = 8;
+  s.recovery_reads = degraded ? 3 : 0;
+  s.deliveries = 8;
+  s.degraded = degraded;
+  s.worst_disk_time = worst_time;
+  s.buffer_blocks = 16;
+  return s;
+}
+
+TEST(RoundTimelineTest, EpochReportSplitsBeforeDuringAfter) {
+  RoundTimeline timeline;
+  for (int r = 1; r <= 10; ++r) timeline.Add(MakeSample(r, false));
+  for (int r = 11; r <= 25; ++r) timeline.Add(MakeSample(r, true, 0.05));
+  for (int r = 26; r <= 30; ++r) timeline.Add(MakeSample(r, false));
+
+  const FailureEpochReport report = timeline.EpochReport();
+  EXPECT_TRUE(report.saw_failure());
+  EXPECT_EQ(report.before.rounds, 10);
+  EXPECT_EQ(report.before.first_round, 1);
+  EXPECT_EQ(report.before.last_round, 10);
+  EXPECT_EQ(report.during.rounds, 15);
+  EXPECT_EQ(report.during.first_round, 11);
+  EXPECT_EQ(report.during.last_round, 25);
+  EXPECT_EQ(report.during.recovery_reads, 45);
+  EXPECT_EQ(report.after.rounds, 5);
+  EXPECT_EQ(report.after.first_round, 26);
+  EXPECT_EQ(report.degraded_rounds, 15);
+  EXPECT_EQ(timeline.degraded_rounds(), 15);
+  // Degraded rounds are slower; the epoch histograms see it.
+  EXPECT_GT(report.during.round_time.p50(), report.before.round_time.p50());
+}
+
+TEST(RoundTimelineTest, NoFailureMeansEverythingIsBefore) {
+  RoundTimeline timeline;
+  for (int r = 1; r <= 20; ++r) timeline.Add(MakeSample(r, false));
+  const FailureEpochReport report = timeline.EpochReport();
+  EXPECT_FALSE(report.saw_failure());
+  EXPECT_EQ(report.before.rounds, 20);
+  EXPECT_EQ(report.during.rounds, 0);
+  EXPECT_EQ(report.after.rounds, 0);
+}
+
+TEST(RoundTimelineTest, BoundedRingKeepsMostRecent) {
+  RoundTimeline timeline(/*capacity=*/8);
+  for (int r = 1; r <= 100; ++r) timeline.Add(MakeSample(r, r > 90));
+  EXPECT_EQ(timeline.size(), 8u);
+  EXPECT_EQ(timeline.total_recorded(), 100);
+  EXPECT_EQ(timeline.dropped(), 92);
+  const auto samples = timeline.Samples();
+  ASSERT_EQ(samples.size(), 8u);
+  EXPECT_EQ(samples.front().round, 93);
+  EXPECT_EQ(samples.back().round, 100);
+  // Full-run aggregates are not windowed.
+  EXPECT_EQ(timeline.degraded_rounds(), 10);
+  EXPECT_EQ(timeline.round_time_histogram().count(), 100);
+}
+
+// ------------------------------------------------------------------- Export
+
+TEST(JsonWriterTest, StructureAndEscaping) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").Value("a\"b\\c\nd");
+  json.Key("n").Value(std::int64_t{42});
+  json.Key("x").Value(1.5);
+  json.Key("flag").Value(true);
+  json.Key("inf").Value(std::numeric_limits<double>::infinity());
+  json.Key("arr").BeginArray().Value(1).Value(2).EndArray();
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(),
+            "{\"name\":\"a\\\"b\\\\c\\nd\",\"n\":42,\"x\":1.5,"
+            "\"flag\":true,\"inf\":null,\"arr\":[1,2]}");
+}
+
+TEST(ExportTest, CsvTableRoundTrip) {
+  CsvTable table;
+  table.columns = {"scheme", "p", "value"};
+  table.AddRow({"declustered", "4", "123"});
+  table.AddRow({"dynamic", "8", "456"});
+  EXPECT_EQ(table.ToCsv(),
+            "scheme,p,value\ndeclustered,4,123\ndynamic,8,456\n");
+}
+
+// The acceptance scenario: a simulation with a mid-run FailDisk must
+// export a JSON report with round-time percentiles, per-disk read /
+// recovery-read distributions (with LoadImbalance) and a degraded-mode
+// timeline.
+TEST(ExportTest, FailureRunProducesFullJsonReport) {
+  constexpr std::int64_t kBlockSize = 16;
+  SetupOptions options;
+  options.scheme = Scheme::kDeclustered;
+  options.num_disks = 9;
+  options.parity_group = 3;
+  options.q = 8;
+  options.f = 2;
+  options.capacity_blocks = 900;
+  Result<ServerSetup> setup = MakeSetup(options);
+  ASSERT_TRUE(setup.ok());
+  DiskArray array(9, DiskParams::Sigmod96(), kBlockSize);
+  for (std::int64_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE(WriteDataBlock(*setup->layout, array, 0, i,
+                               PatternBlock(0, i, kBlockSize))
+                    .ok());
+  }
+  MetricsRegistry registry;
+  ServerConfig config;
+  config.block_size = kBlockSize;
+  config.time_rounds = true;
+  config.metrics = &registry;
+  Server server(&array, setup->controller.get(), config);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server.TryAdmit(i, 0, i * 2, 60));
+  }
+  ASSERT_TRUE(server.RunRounds(15).ok());
+  ASSERT_TRUE(server.FailDisk(2).ok());
+  ASSERT_TRUE(server.RunRounds(60).ok());
+  array.ExportMetrics(&registry);
+
+  // The run really went degraded and reconstructed.
+  EXPECT_GT(server.timeline().degraded_rounds(), 0);
+  std::int64_t recovery_total = 0;
+  for (std::int64_t r : server.metrics().per_disk_recovery_reads) {
+    recovery_total += r;
+  }
+  EXPECT_GT(recovery_total, 0);
+
+  BenchReport report;
+  report.bench = "obs_test";
+  report.scheme = "declustered";
+  report.params = {{"d", 9}, {"p", 3}, {"q", 8}};
+  report.metrics = &registry;
+  report.timeline = &server.timeline();
+  report.per_disk = {
+      PerDiskSeries{"reads", server.metrics().per_disk_reads},
+      PerDiskSeries{"recovery_reads",
+                    server.metrics().per_disk_recovery_reads}};
+  const std::string json = report.ToJson();
+
+  for (const char* needle :
+       {"\"p50\":", "\"p95\":", "\"p99\":", "\"load_imbalance\":",
+        "\"degraded_rounds\":", "\"degraded_spans\":",
+        "\"degraded\":true", "\"server.round_time_s\":",
+        "\"recovery_reads\":", "\"epochs\":", "\"during\":",
+        "\"buffer.occupancy_blocks\":", "\"disk.2.rejected_ios\":"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  // Round-trip through a file.
+  const std::string path =
+      ::testing::TempDir() + "/obs_export_test.json";
+  ASSERT_TRUE(report.WriteJsonFile(path).ok());
+}
+
+// ----------------------------------------------- Instrumented subsystems
+
+TEST(ObsIntegrationTest, ServerPublishesRegistryMetrics) {
+  constexpr std::int64_t kBlockSize = 16;
+  SetupOptions options;
+  options.scheme = Scheme::kDeclustered;
+  options.num_disks = 9;
+  options.parity_group = 3;
+  options.q = 8;
+  options.f = 2;
+  options.capacity_blocks = 900;
+  Result<ServerSetup> setup = MakeSetup(options);
+  ASSERT_TRUE(setup.ok());
+  DiskArray array(9, DiskParams::Sigmod96(), kBlockSize);
+  for (std::int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(WriteDataBlock(*setup->layout, array, 0, i,
+                               PatternBlock(0, i, kBlockSize))
+                    .ok());
+  }
+  MetricsRegistry registry;
+  ServerConfig config;
+  config.block_size = kBlockSize;
+  config.metrics = &registry;
+  Server server(&array, setup->controller.get(), config);
+  ASSERT_TRUE(server.TryAdmit(0, 0, 0, 40));
+  ASSERT_TRUE(server.RunRounds(45).ok());
+
+  EXPECT_EQ(registry.counter("server.rounds")->value(), 45);
+  EXPECT_EQ(registry.counter("server.deliveries")->value(),
+            server.metrics().deliveries);
+  EXPECT_EQ(registry.counter("server.reads")->value(),
+            server.metrics().total_reads);
+  EXPECT_EQ(registry.counter("server.hiccups")->value(), 0);
+  // Buffer pool occupancy was sampled and the high-water gauge tracks
+  // the pool's own high-water mark.
+  EXPECT_GT(registry.FindHistogram("buffer.occupancy_blocks")->count(), 0);
+  EXPECT_DOUBLE_EQ(
+      registry.FindGauge("buffer.high_water_blocks")->value(),
+      static_cast<double>(server.metrics().buffer_high_water_blocks));
+  // Per-disk queue-depth histograms exist for disks that served reads.
+  std::int64_t disk_round_reads = 0;
+  for (int d = 0; d < 9; ++d) {
+    const Histogram* h = registry.FindHistogram(
+        "disk." + std::to_string(d) + ".round_reads");
+    ASSERT_NE(h, nullptr);
+    disk_round_reads += h->count();
+  }
+  EXPECT_GT(disk_round_reads, 0);
+
+  // The timeline saw every round, all healthy.
+  EXPECT_EQ(server.timeline().total_recorded(), 45);
+  EXPECT_EQ(server.timeline().degraded_rounds(), 0);
+}
+
+TEST(ObsIntegrationTest, TimelineCapacityBoundsServerTimeline) {
+  constexpr std::int64_t kBlockSize = 16;
+  SetupOptions options;
+  options.scheme = Scheme::kDeclustered;
+  options.num_disks = 9;
+  options.parity_group = 3;
+  options.q = 8;
+  options.f = 2;
+  options.capacity_blocks = 900;
+  Result<ServerSetup> setup = MakeSetup(options);
+  ASSERT_TRUE(setup.ok());
+  DiskArray array(9, DiskParams::Sigmod96(), kBlockSize);
+  ServerConfig config;
+  config.block_size = kBlockSize;
+  config.timeline_capacity = 10;
+  Server server(&array, setup->controller.get(), config);
+  ASSERT_TRUE(server.RunRounds(100).ok());
+  EXPECT_EQ(server.timeline().size(), 10u);
+  EXPECT_EQ(server.timeline().total_recorded(), 100);
+  EXPECT_EQ(server.timeline().Samples().front().round, 91);
+}
+
+TEST(ObsIntegrationTest, DiskArrayExportsPerDiskCounters) {
+  DiskArray array(3, DiskParams::Sigmod96(), 16);
+  const Block data(16, 7);
+  ASSERT_TRUE(array.Write(BlockAddress{0, 0}, data).ok());
+  ASSERT_TRUE(array.Write(BlockAddress{1, 0}, data).ok());
+  ASSERT_TRUE(array.Read(BlockAddress{0, 0}).ok());
+  ASSERT_TRUE(array.Read(BlockAddress{0, 1}).ok());
+  ASSERT_TRUE(array.FailDisk(2).ok());
+  EXPECT_FALSE(array.Read(BlockAddress{2, 0}).ok());
+
+  MetricsRegistry registry;
+  array.ExportMetrics(&registry);
+  EXPECT_EQ(registry.counter("disk.0.reads")->value(), 2);
+  EXPECT_EQ(registry.counter("disk.0.writes")->value(), 1);
+  EXPECT_EQ(registry.counter("disk.1.writes")->value(), 1);
+  EXPECT_EQ(registry.counter("disk.2.rejected_ios")->value(), 1);
+  EXPECT_DOUBLE_EQ(registry.gauge("disk.failed")->value(), 2.0);
+}
+
+TEST(ObsIntegrationTest, RebuilderPublishesProgressAndEta) {
+  SetupOptions options;
+  options.scheme = Scheme::kDeclustered;
+  options.num_disks = 9;
+  options.parity_group = 3;
+  options.q = 8;
+  options.f = 2;
+  options.capacity_blocks = 900;
+  Result<ServerSetup> setup = MakeSetup(options);
+  ASSERT_TRUE(setup.ok());
+  DiskArray array(9, DiskParams::Sigmod96(), 16);
+  for (std::int64_t i = 0; i < 120; ++i) {
+    ASSERT_TRUE(WriteDataBlock(*setup->layout, array, 0, i,
+                               PatternBlock(0, i, 16))
+                    .ok());
+  }
+  const std::int64_t scan = array.disk(4).HighestWrittenBlock() + 1;
+  ASSERT_GT(scan, 0);
+  ASSERT_TRUE(array.FailDisk(4).ok());
+  ASSERT_TRUE(array.StartRebuild(4).ok());
+  MetricsRegistry registry;
+  Rebuilder rebuilder(setup->layout.get(), &array, 4, scan, /*budget=*/2);
+  rebuilder.AttachMetrics(&registry);
+  ASSERT_TRUE(rebuilder.RunToCompletion().ok());
+  EXPECT_DOUBLE_EQ(registry.gauge("rebuild.progress")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("rebuild.eta_rounds")->value(), 0.0);
+  const Histogram* blocks =
+      registry.FindHistogram("rebuild.blocks_per_round");
+  ASSERT_NE(blocks, nullptr);
+  EXPECT_EQ(blocks->count(), rebuilder.stats().rounds);
+  EXPECT_DOUBLE_EQ(blocks->sum(),
+                   static_cast<double>(rebuilder.stats().blocks_rebuilt));
+}
+
+}  // namespace
+}  // namespace cmfs

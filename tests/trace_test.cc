@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "core/content.h"
 #include "core/controller_factory.h"
 #include "core/server.h"
@@ -19,7 +22,10 @@ struct Rig {
   std::unique_ptr<Server> server;
 };
 
-Rig MakeRig(Scheme scheme, int d, int p, int q, int f) {
+// When `sink` is non-null the server records into it instead of the
+// rig's own unbounded Trace.
+Rig MakeRig(Scheme scheme, int d, int p, int q, int f,
+            TraceSink* sink = nullptr) {
   Rig rig;
   SetupOptions options;
   options.scheme = scheme;
@@ -45,7 +51,7 @@ Rig MakeRig(Scheme scheme, int d, int p, int q, int f) {
   rig.trace = std::make_unique<Trace>();
   ServerConfig config;
   config.block_size = kBlockSize;
-  config.trace = rig.trace.get();
+  config.trace = sink != nullptr ? sink : rig.trace.get();
   rig.server = std::make_unique<Server>(rig.array.get(),
                                         rig.setup.controller.get(), config);
   return rig;
@@ -149,6 +155,125 @@ TEST(TraceTest, CancelRecorded) {
   ASSERT_TRUE(rig.server->RunRounds(5).ok());
   ASSERT_TRUE(rig.server->CancelStream(0).ok());
   EXPECT_EQ(rig.trace->Count(TraceEventType::kCancel), 1);
+}
+
+TEST(TraceTest, EventTypeNamesAreExhaustiveAndUnique) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumTraceEventTypes; ++i) {
+    const std::string name =
+        TraceEventTypeName(static_cast<TraceEventType>(i));
+    EXPECT_NE(name, "unknown") << "enum value " << i;
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate name " << name << " at enum value " << i;
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumTraceEventTypes));
+  // A value past the enum renders as the sentinel, not UB.
+  EXPECT_STREQ(
+      TraceEventTypeName(static_cast<TraceEventType>(kNumTraceEventTypes)),
+      "unknown");
+}
+
+// The satellite scenario: pause/resume interleaved with a mid-run disk
+// failure. The pause gap stays excluded from jitter and the failure adds
+// no gap — the continuity guarantee holds through both at once.
+TEST(TraceTest, PauseResumeWithMidRunFailureKeepsGapsAtOne) {
+  Rig rig = MakeRig(Scheme::kDeclustered, 9, 3, 8, 2);
+  int admitted = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (rig.server->TryAdmit(i, 0, i * 2, 80)) ++admitted;
+  }
+  ASSERT_EQ(admitted, 4);
+  ASSERT_TRUE(rig.server->RunRounds(10).ok());
+  ASSERT_TRUE(rig.server->PauseStream(1).ok());
+  ASSERT_TRUE(rig.server->RunRounds(5).ok());
+  // The disk dies while stream 1 is paused...
+  ASSERT_TRUE(rig.server->FailDisk(3).ok());
+  ASSERT_TRUE(rig.server->RunRounds(5).ok());
+  // ...and the stream resumes into a degraded array.
+  ASSERT_TRUE(rig.server->ResumeStream(1).ok());
+  ASSERT_TRUE(rig.server->RunRounds(90).ok());
+
+  EXPECT_EQ(rig.trace->Count(TraceEventType::kPause), 1);
+  EXPECT_EQ(rig.trace->Count(TraceEventType::kResume), 1);
+  EXPECT_EQ(rig.trace->Count(TraceEventType::kComplete), 4);
+  EXPECT_EQ(rig.trace->Count(TraceEventType::kHiccup), 0);
+  const auto gaps = rig.trace->MaxDeliveryGaps();
+  ASSERT_EQ(gaps.size(), 4u);
+  for (const auto& [stream, gap] : gaps) {
+    EXPECT_EQ(gap, 1) << "stream " << stream;
+  }
+  // Recovery reads really happened after the failure (degraded mode).
+  std::int64_t recovery = 0;
+  for (const TraceEvent& event : rig.trace->events()) {
+    if (event.type == TraceEventType::kRead &&
+        event.read_kind != ReadKind::kData) {
+      ++recovery;
+    }
+  }
+  EXPECT_GT(recovery, 0);
+}
+
+// Acceptance: a long degraded run through a bounded ring sink. Memory
+// stays at O(capacity) while the retained window still proves the
+// continuity guarantee (gap 1 for every stream in the window).
+TEST(TraceTest, RingBufferSinkBoundsMemoryOnLongRun) {
+  RingBufferTraceSink sink(/*capacity=*/400);
+  Rig rig = MakeRig(Scheme::kDeclustered, 9, 3, 8, 2, &sink);
+  int admitted = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (rig.server->TryAdmit(i, 0, i * 2, 200)) ++admitted;
+  }
+  ASSERT_GT(admitted, 2);
+  ASSERT_TRUE(rig.server->RunRounds(15).ok());
+  ASSERT_TRUE(rig.server->FailDisk(2).ok());
+  ASSERT_TRUE(rig.server->RunRounds(200).ok());
+
+  EXPECT_EQ(sink.size(), sink.capacity());
+  EXPECT_GT(sink.dropped(), 0);
+  EXPECT_EQ(sink.total_recorded(),
+            static_cast<std::int64_t>(sink.size()) + sink.dropped());
+  const std::vector<TraceEvent> window = sink.Window();
+  ASSERT_EQ(window.size(), sink.capacity());
+  // Oldest-first ordering survives the wraparound.
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    EXPECT_GE(window[i].round, window[i - 1].round);
+  }
+  // Per-stream jitter over the retained window is still 1 — playback
+  // stayed periodic deep into the degraded run.
+  const auto gaps = sink.MaxDeliveryGaps();
+  EXPECT_EQ(gaps.size(), static_cast<std::size_t>(admitted));
+  for (const auto& [stream, gap] : gaps) {
+    EXPECT_EQ(gap, 1) << "stream " << stream;
+  }
+  // The rendering reports the dropped prefix.
+  EXPECT_NE(sink.ToString(5).find("older events dropped"),
+            std::string::npos);
+}
+
+TEST(TraceTest, CountingSinkAggregatesAndStreamsDownstream) {
+  Trace downstream;
+  CountingTraceSink sink(&downstream);
+  Rig rig = MakeRig(Scheme::kDeclustered, 9, 3, 8, 2, &sink);
+  ASSERT_TRUE(rig.server->TryAdmit(0, 0, 0, 40));
+  ASSERT_TRUE(rig.server->TryAdmit(1, 0, 2, 40));
+  ASSERT_TRUE(rig.server->RunRounds(45).ok());
+
+  // O(1) aggregates match the full downstream trace event-for-event.
+  EXPECT_EQ(sink.total(),
+            static_cast<std::int64_t>(downstream.events().size()));
+  for (int i = 0; i < kNumTraceEventTypes; ++i) {
+    const auto type = static_cast<TraceEventType>(i);
+    EXPECT_EQ(sink.Count(type), downstream.Count(type))
+        << TraceEventTypeName(type);
+  }
+  EXPECT_EQ(sink.Count(TraceEventType::kDelivery), 80);
+  const auto traced = downstream.PerDiskReads(9);
+  const auto& counted = sink.per_disk_reads();
+  ASSERT_LE(counted.size(), traced.size());
+  for (std::size_t disk = 0; disk < counted.size(); ++disk) {
+    EXPECT_EQ(counted[disk], traced[disk]) << disk;
+  }
+  EXPECT_EQ(sink.last_round(), downstream.events().back().round);
 }
 
 TEST(TraceTest, ToStringRendersAndTruncates) {
