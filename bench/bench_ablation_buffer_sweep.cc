@@ -4,64 +4,142 @@
 // scarce; prefetch-without-parity-disk overtakes it once buffer is
 // abundant, because declustered keeps reserving disk bandwidth instead.
 // Also contrasts the §7.2 staggered-group buffer halving.
+//
+// Every cell is an independent computeOptimal evaluation, so all three
+// tables run on the parallel sweep engine (--threads N) with output
+// byte-identical at any thread count.
 
 #include <cstdio>
+#include <vector>
 
 #include "analysis/optimizer.h"
 #include "bench/bench_util.h"
+#include "sim/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cmfs;
+  const int threads = bench::ThreadsFromArgs(argc, argv);
+  const std::vector<long long> sizes = {64,  128,  256, 512,
+                                        1024, 2048, 4096};
+
+  // A4: schemes x sizes, printed scheme-major — build the cells in print
+  // order rather than the default grid order.
+  std::vector<SweepCell> cells;
+  for (Scheme scheme : bench::PaperSchemes()) {
+    for (long long mb : sizes) {
+      SweepCell cell;
+      cell.index = static_cast<std::int64_t>(cells.size());
+      cell.scheme = scheme;
+      cell.buffer_bytes = mb * kMiB;
+      cells.push_back(cell);
+    }
+  }
+  std::vector<CellResult> results = RunSweepCells(
+      cells, threads,
+      [](const SweepCell& cell, Rng*, MetricsRegistry*) {
+        CellResult result;
+        CapacityConfig config =
+            bench::PaperCapacityConfig(cell.buffer_bytes, 2);
+        Result<OptimizerResult> opt =
+            ComputeOptimal(cell.scheme, config, bench::PaperParityGroups());
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%8d",
+                      opt.ok() ? opt->best.total_clips : -1);
+        result.text = buf;
+        return result;
+      });
   bench::PrintHeader(
       "A4: best clips vs buffer size (optimal p per cell), d = 32");
   std::printf("%-28s", "B:");
-  const long long sizes[] = {64, 128, 256, 512, 1024, 2048, 4096};
   for (long long mb : sizes) std::printf("%7lldM", mb);
   std::printf("\n");
+  std::size_t cell = 0;
   for (Scheme scheme : bench::PaperSchemes()) {
     std::printf("%-28s", SchemeName(scheme));
-    for (long long mb : sizes) {
-      CapacityConfig config = bench::PaperCapacityConfig(mb * kMiB, 2);
-      Result<OptimizerResult> opt = ComputeOptimal(
-          scheme, config, bench::PaperParityGroups());
-      std::printf("%8d", opt.ok() ? opt->best.total_clips : -1);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      std::printf("%s", results[cell++].text.c_str());
     }
     std::printf("\n");
   }
 
+  // A4b: (p, size) cells, each comparing declustered vs prefetch-flat.
+  const std::vector<int> crossover_groups = {4, 8, 16};
+  cells.clear();
+  for (int p : crossover_groups) {
+    for (long long mb : sizes) {
+      SweepCell c;
+      c.index = static_cast<std::int64_t>(cells.size());
+      c.parity_group = p;
+      c.buffer_bytes = mb * kMiB;
+      cells.push_back(c);
+    }
+  }
+  results = RunSweepCells(
+      cells, threads,
+      [](const SweepCell& cell, Rng*, MetricsRegistry*) {
+        CellResult result;
+        CapacityConfig config = bench::PaperCapacityConfig(
+            cell.buffer_bytes, cell.parity_group);
+        const int decl =
+            ComputeCapacity(Scheme::kDeclustered, config)->total_clips;
+        const int flat =
+            ComputeCapacity(Scheme::kPrefetchFlat, config)->total_clips;
+        char buf[80];
+        std::snprintf(buf, sizeof(buf), "  %6lldM %12d %14d %10s\n",
+                      static_cast<long long>(cell.buffer_bytes / kMiB),
+                      decl, flat,
+                      decl >= flat ? "declustered" : "flat");
+        result.text = buf;
+        result.value = decl >= flat ? decl : flat;
+        return result;
+      });
   bench::PrintHeader(
       "A4b: declustered vs prefetch-flat crossover at fixed p");
-  for (int p : {4, 8, 16}) {
+  cell = 0;
+  for (int p : crossover_groups) {
     std::printf("  p = %d\n", p);
     std::printf("  %8s %12s %14s %10s\n", "B", "declustered",
                 "prefetch-flat", "winner");
-    for (long long mb : sizes) {
-      CapacityConfig config = bench::PaperCapacityConfig(mb * kMiB, p);
-      const int decl = ComputeCapacity(Scheme::kDeclustered, config)
-                           ->total_clips;
-      const int flat =
-          ComputeCapacity(Scheme::kPrefetchFlat, config)->total_clips;
-      std::printf("  %6lldM %12d %14d %10s\n", mb, decl, flat,
-                  decl >= flat ? "declustered" : "flat");
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      std::printf("%s", results[cell++].text.c_str());
     }
   }
 
+  // A4c: scheme x {plain, staggered} cells.
+  const Scheme prefetch_schemes[] = {Scheme::kPrefetchFlat,
+                                     Scheme::kPrefetchParityDisk};
+  cells.clear();
+  for (Scheme scheme : prefetch_schemes) {
+    for (int staggered = 0; staggered < 2; ++staggered) {
+      SweepCell c;
+      c.index = static_cast<std::int64_t>(cells.size());
+      c.scheme = scheme;
+      c.parity_group = staggered;  // reused as the staggered flag
+      c.buffer_bytes = 256 * kMiB;
+      cells.push_back(c);
+    }
+  }
+  results = RunSweepCells(
+      cells, threads,
+      [](const SweepCell& cell, Rng*, MetricsRegistry*) {
+        CellResult result;
+        CapacityConfig config =
+            bench::PaperCapacityConfig(cell.buffer_bytes, 2);
+        config.staggered_prefetch = cell.parity_group != 0;
+        result.value = ComputeOptimal(cell.scheme, config,
+                                      bench::PaperParityGroups())
+                           ->best.total_clips;
+        return result;
+      });
   bench::PrintHeader(
       "A4c: effect of the staggered-group optimization (p/2 buffering)");
   std::printf("  %-28s %10s %10s\n", "scheme (B=256M, best p)",
               "plain p*b", "staggered");
-  for (Scheme scheme :
-       {Scheme::kPrefetchFlat, Scheme::kPrefetchParityDisk}) {
-    CapacityConfig config = bench::PaperCapacityConfig(256 * kMiB, 2);
-    config.staggered_prefetch = false;
-    const int plain = ComputeOptimal(scheme, config,
-                                     bench::PaperParityGroups())
-                          ->best.total_clips;
-    config.staggered_prefetch = true;
-    const int staggered = ComputeOptimal(scheme, config,
-                                         bench::PaperParityGroups())
-                              ->best.total_clips;
-    std::printf("  %-28s %10d %10d\n", SchemeName(scheme), plain,
+  cell = 0;
+  for (Scheme scheme : prefetch_schemes) {
+    const long long plain = results[cell++].value;
+    const long long staggered = results[cell++].value;
+    std::printf("  %-28s %10lld %10lld\n", SchemeName(scheme), plain,
                 staggered);
   }
   return 0;

@@ -4,11 +4,17 @@
 // free; the dynamic scheme reserves contingency only where the clip's
 // parity groups live. Measured on a 13-disk array with the exact
 // (13,4,1) cyclic design.
+//
+// Each (policy, reservation) row is an independent capacity simulation;
+// the 12-cell grid runs on the parallel sweep engine (--threads N) with
+// rows printed in grid order.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "sim/driver.h"
+#include "sim/sweep.h"
 
 namespace {
 
@@ -35,32 +41,64 @@ SimResult Run(Scheme scheme, AdmissionPolicy policy, int q, int f) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cmfs;
   const int q = 10;
+  const AdmissionPolicy policies[] = {AdmissionPolicy::kFifoHeadOfLine,
+                                      AdmissionPolicy::kFirstFit,
+                                      AdmissionPolicy::kAgedFirstFit};
+  // Grid: 3 policies x (static f = 1..3, then dynamic). The policy and
+  // variant are packed into the cell's spare axes.
+  std::vector<SweepCell> cells;
+  for (int policy = 0; policy < 3; ++policy) {
+    for (int variant = 0; variant < 4; ++variant) {
+      SweepCell cell;
+      cell.index = static_cast<std::int64_t>(cells.size());
+      cell.scheme =
+          variant < 3 ? Scheme::kDeclustered : Scheme::kDynamic;
+      cell.parity_group = policy;         // policy axis
+      cell.buffer_bytes = variant;        // f - 1, or 3 for dynamic
+      cells.push_back(cell);
+    }
+  }
+  const std::vector<CellResult> results = RunSweepCells(
+      cells, bench::ThreadsFromArgs(argc, argv),
+      [q, &policies](const SweepCell& cell, Rng*, MetricsRegistry*) {
+        CellResult result;
+        const AdmissionPolicy policy =
+            policies[static_cast<std::size_t>(cell.parity_group)];
+        const char* policy_name =
+            policy == AdmissionPolicy::kFifoHeadOfLine ? "fifo-hol"
+            : policy == AdmissionPolicy::kFirstFit     ? "first-fit"
+                                                       : "aged-ff";
+        const int variant = static_cast<int>(cell.buffer_bytes);
+        char name[32];
+        SimResult r;
+        if (variant < 3) {
+          r = Run(Scheme::kDeclustered, policy, q, variant + 1);
+          std::snprintf(name, sizeof(name), "static f=%d", variant + 1);
+        } else {
+          r = Run(Scheme::kDynamic, policy, q, 0);
+          std::snprintf(name, sizeof(name), "dynamic");
+        }
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "  %-14s %-14s %9lld %9.2f TU %9.2f TU %10d\n",
+                      name, policy_name,
+                      static_cast<long long>(r.admitted),
+                      r.mean_response_tu, r.max_response_tu,
+                      r.max_concurrent);
+        result.text = line;
+        result.value = r.admitted;
+        return result;
+      });
+
   bench::PrintHeader(
       "A2: static (f = 1..3) vs dynamic reservation, d = 13, p = 4");
   std::printf("  %-14s %-14s %9s %12s %12s %10s\n", "scheme", "policy",
               "admitted", "mean resp", "max resp", "max conc");
-  for (AdmissionPolicy policy :
-       {AdmissionPolicy::kFifoHeadOfLine, AdmissionPolicy::kFirstFit,
-        AdmissionPolicy::kAgedFirstFit}) {
-    const char* policy_name =
-        policy == AdmissionPolicy::kFifoHeadOfLine ? "fifo-hol"
-        : policy == AdmissionPolicy::kFirstFit     ? "first-fit"
-                                                   : "aged-ff";
-    for (int f : {1, 2, 3}) {
-      const SimResult r = Run(Scheme::kDeclustered, policy, q, f);
-      char name[32];
-      std::snprintf(name, sizeof(name), "static f=%d", f);
-      std::printf("  %-14s %-14s %9lld %9.2f TU %9.2f TU %10d\n", name,
-                  policy_name, static_cast<long long>(r.admitted),
-                  r.mean_response_tu, r.max_response_tu, r.max_concurrent);
-    }
-    const SimResult r = Run(Scheme::kDynamic, policy, q, 0);
-    std::printf("  %-14s %-14s %9lld %9.2f TU %9.2f TU %10d\n", "dynamic",
-                policy_name, static_cast<long long>(r.admitted),
-                r.mean_response_tu, r.max_response_tu, r.max_concurrent);
+  for (const CellResult& result : results) {
+    std::printf("%s", result.text.c_str());
   }
   std::printf(
       "\nthe dynamic scheme admits with whatever contingency the live "

@@ -4,59 +4,91 @@
 // per-disk capacity min(q - f, r*f): too little f starves the row
 // constraint, too much wastes bandwidth; the optimum is what Figure 4's
 // procedure picks.
+//
+// Each parity-group block is an independent sweep cell; blocks run on
+// the parallel sweep engine (--threads N) and print in grid order.
 
 #include <algorithm>
+#include <cstdarg>
 #include <cstdio>
+#include <string>
 
 #include "analysis/capacity.h"
 #include "analysis/capacity_internal.h"
 #include "analysis/continuity.h"
 #include "bench/bench_util.h"
+#include "sim/sweep.h"
 
-int main() {
+namespace {
+
+void Append(std::string* out, const char* format, ...) {
+  char buf[160];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace cmfs;
   const std::int64_t B = 256 * kMiB;
-  for (int p : {4, 8, 16}) {
-    const int d = 32;
-    const double rows = (d - 1.0) / (p - 1.0);
-    char title[96];
-    std::snprintf(title, sizeof(title),
-                  "A1: declustered capacity vs f (p = %d, r = %.2f)", p,
-                  rows);
-    bench::PrintHeader(title);
-    std::printf("  %3s %4s %10s %10s %10s %8s\n", "f", "q", "q-f", "r*f",
-                "per-disk", "total");
-    CapacityConfig config = bench::PaperCapacityConfig(B, p);
-    const double buffer_factor = 2.0 * (d - 1) + p;
-    int best_f = 0;
-    int best_total = 0;
-    for (int f = 1; f <= 16; ++f) {
-      const auto feasible = [&](int q) {
-        const std::int64_t b = static_cast<std::int64_t>(
-            static_cast<double>(B) / ((q - f) * buffer_factor));
-        if (b <= 0) return false;
-        return MaxClipsPerRound(config.disk, config.server.playback_rate,
-                                b) >= q;
-      };
-      const int q = capacity_internal::LargestFeasibleQ(f + 1, 30,
-                                                        feasible);
-      if (q <= f) continue;
-      const int row_cap = static_cast<int>(rows * f);
-      const int per_disk = std::min(q - f, row_cap);
-      const int total = per_disk * d;
-      std::printf("  %3d %4d %10d %10d %10d %8d%s\n", f, q, q - f,
-                  row_cap, per_disk, total,
-                  total > best_total ? "  <- best so far" : "");
-      if (total > best_total) {
-        best_total = total;
-        best_f = f;
-      }
-    }
-    Result<CapacityResult> model =
-        ComputeCapacity(Scheme::kDeclustered, config);
-    std::printf("  computeOptimal picks f = %d (%d clips); sweep best "
-                "f = %d (%d clips)\n",
-                model->f, model->total_clips, best_f, best_total);
+
+  SweepSpec spec;
+  spec.parity_groups = {4, 8, 16};
+  const std::vector<CellResult> results = RunSweep(
+      spec, bench::ThreadsFromArgs(argc, argv),
+      [B](const SweepCell& cell, Rng*, MetricsRegistry*) {
+        CellResult result;
+        const int p = cell.parity_group;
+        const int d = 32;
+        const double rows = (d - 1.0) / (p - 1.0);
+        Append(&result.text,
+               "\n==== A1: declustered capacity vs f (p = %d, r = %.2f) "
+               "====\n",
+               p, rows);
+        Append(&result.text, "  %3s %4s %10s %10s %10s %8s\n", "f", "q",
+               "q-f", "r*f", "per-disk", "total");
+        CapacityConfig config = bench::PaperCapacityConfig(B, p);
+        const double buffer_factor = 2.0 * (d - 1) + p;
+        int best_f = 0;
+        int best_total = 0;
+        for (int f = 1; f <= 16; ++f) {
+          const auto feasible = [&](int q) {
+            const std::int64_t b = static_cast<std::int64_t>(
+                static_cast<double>(B) / ((q - f) * buffer_factor));
+            if (b <= 0) return false;
+            return MaxClipsPerRound(config.disk,
+                                    config.server.playback_rate, b) >= q;
+          };
+          const int q =
+              capacity_internal::LargestFeasibleQ(f + 1, 30, feasible);
+          if (q <= f) continue;
+          const int row_cap = static_cast<int>(rows * f);
+          const int per_disk = std::min(q - f, row_cap);
+          const int total = per_disk * d;
+          Append(&result.text, "  %3d %4d %10d %10d %10d %8d%s\n", f, q,
+                 q - f, row_cap, per_disk, total,
+                 total > best_total ? "  <- best so far" : "");
+          if (total > best_total) {
+            best_total = total;
+            best_f = f;
+          }
+        }
+        Result<CapacityResult> model =
+            ComputeCapacity(Scheme::kDeclustered, config);
+        Append(&result.text,
+               "  computeOptimal picks f = %d (%d clips); sweep best "
+               "f = %d (%d clips)\n",
+               model->f, model->total_clips, best_f, best_total);
+        result.value = best_total;
+        return result;
+      });
+
+  for (const CellResult& result : results) {
+    std::printf("%s", result.text.c_str());
   }
   return 0;
 }

@@ -1,18 +1,60 @@
 // Figure 5 reproduction: analytically computed number of concurrently
 // serviceable clips vs parity group size, for B = 256 MB and 2 GB on a
 // 32-disk array (§8.1). Each cell is computeOptimal's best (q, f, b) at
-// that parity group size.
+// that parity group size. Cells are independent closed-form evaluations,
+// so the grid runs on the parallel sweep engine (--threads N); output is
+// byte-identical for any thread count.
 
 #include <cstdio>
+#include <string>
 
 #include "analysis/capacity.h"
 #include "bench/bench_util.h"
+#include "sim/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace cmfs;
-  std::FILE* csv = bench::OpenCsvFromArgs(argc, argv);
-  if (csv != nullptr) std::fprintf(csv, "scheme,p,buffer_mb,clips\n");
-  for (long long mb : {256LL, 2048LL}) {
+
+  SweepSpec spec;
+  spec.schemes = bench::PaperSchemes();
+  spec.parity_groups = bench::PaperParityGroups();
+  spec.buffer_bytes = {256 * kMiB, 2048 * kMiB};
+
+  const CellFn cell_fn = [](const SweepCell& cell, Rng* /*rng*/,
+                            MetricsRegistry* /*metrics*/) {
+    CellResult result;
+    char buf[32];
+    Result<CapacityResult> cap = ComputeCapacity(
+        cell.scheme,
+        bench::PaperCapacityConfig(cell.buffer_bytes, cell.parity_group));
+    if (!cap.ok()) {
+      std::snprintf(buf, sizeof(buf), "%8s", "-");
+      result.text = buf;
+      result.ok = false;
+      return result;
+    }
+    result.value = cap->total_clips;
+    std::snprintf(buf, sizeof(buf), "%8d", cap->total_clips);
+    result.text = buf;
+    if (cell.scheme == Scheme::kDeclustered) {
+      std::snprintf(buf, sizeof(buf), "   %2d/%2d", cap->f, cap->q);
+      result.note = buf;
+    }
+    result.csv_row = {SchemeName(cell.scheme),
+                      std::to_string(cell.parity_group),
+                      std::to_string(cell.buffer_bytes / kMiB),
+                      std::to_string(cap->total_clips)};
+    return result;
+  };
+
+  const std::vector<CellResult> results =
+      RunSweep(spec, bench::ThreadsFromArgs(argc, argv), cell_fn);
+
+  CsvTable table;
+  table.columns = {"scheme", "p", "buffer_mb", "clips"};
+  std::size_t cell = 0;
+  for (std::int64_t bytes : spec.buffer_bytes) {
+    const long long mb = bytes / kMiB;
     char title[96];
     std::snprintf(title, sizeof(title),
                   "Figure 5 (%s): clips serviced vs parity group size, "
@@ -20,30 +62,23 @@ int main(int argc, char** argv) {
                   mb == 256 ? "left" : "right", mb);
     bench::PrintHeader(title);
     bench::PrintGroupSizeHeader();
-    for (Scheme scheme : bench::PaperSchemes()) {
+    // Remember this buffer size's declustered cells for the f/q row.
+    std::size_t declustered_base = 0;
+    for (Scheme scheme : spec.schemes) {
+      if (scheme == Scheme::kDeclustered) declustered_base = cell;
       std::printf("%-28s", SchemeName(scheme));
-      for (int p : bench::PaperParityGroups()) {
-        Result<CapacityResult> cap = ComputeCapacity(
-            scheme, bench::PaperCapacityConfig(mb * kMiB, p));
-        if (!cap.ok()) {
-          std::printf("%8s", "-");
-        } else {
-          std::printf("%8d", cap->total_clips);
-          if (csv != nullptr) {
-            std::fprintf(csv, "%s,%d,%lld,%d\n", SchemeName(scheme), p,
-                         mb, cap->total_clips);
-          }
-        }
+      for (std::size_t p = 0; p < spec.parity_groups.size(); ++p) {
+        const CellResult& result = results[cell++];
+        std::printf("%s", result.text.c_str());
+        if (!result.csv_row.empty()) table.AddRow(result.csv_row);
       }
       std::printf("\n");
     }
     // The declustered scheme's chosen reservation, showing the paper's
     // quoted 1/3 (p=16) and 1/2 (p=32) fractions.
     std::printf("%-28s", "  declustered f/q:");
-    for (int p : bench::PaperParityGroups()) {
-      Result<CapacityResult> cap = ComputeCapacity(
-          Scheme::kDeclustered, bench::PaperCapacityConfig(mb * kMiB, p));
-      std::printf("   %2d/%2d", cap->f, cap->q);
+    for (std::size_t p = 0; p < spec.parity_groups.size(); ++p) {
+      std::printf("%s", results[declustered_base + p].note.c_str());
     }
     std::printf("\n");
   }
@@ -52,6 +87,11 @@ int main(int argc, char** argv) {
       "monotonically; the three clustered schemes rise to p=4..8 then "
       "fall; at 256 MB declustered is best overall; at 2 GB prefetch-flat "
       "beats declustered and non-clustered peaks at p=16.\n");
-  if (csv != nullptr) std::fclose(csv);
+
+  const std::string csv_path = bench::PathFromArgs(argc, argv, "csv");
+  if (!csv_path.empty() && !table.WriteFile(csv_path).ok()) {
+    std::fprintf(stderr, "--csv %s: write failed\n", csv_path.c_str());
+    return 1;
+  }
   return 0;
 }

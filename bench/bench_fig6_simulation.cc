@@ -3,6 +3,11 @@
 // 20/TU, random disk(C)/row(C) per clip, per-scheme (b, q, f) from the
 // §7 optimizer at each parity group size. 1 TU = 10 rounds (DESIGN.md).
 //
+// Every (scheme, p, buffer) cell is an independent simulation, so the
+// grid runs on the parallel sweep engine (sim/sweep.h); output order,
+// CSV and JSON artifacts are byte-identical for any --threads value.
+//
+//   --threads N    worker threads (default: CMFS_THREADS / all cores)
 //   --csv <path>   machine-readable rows (scheme,p,buffer_mb,admitted)
 //   --json <path>  full BenchReport artifact (docs/observability.md)
 
@@ -11,47 +16,83 @@
 
 #include "bench/bench_util.h"
 #include "sim/driver.h"
+#include "sim/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace cmfs;
+
+  SweepSpec spec;
+  spec.schemes = bench::PaperSchemes();
+  spec.parity_groups = bench::PaperParityGroups();
+  spec.buffer_bytes = {256 * kMiB, 2048 * kMiB};
+
+  const CellFn cell_fn = [](const SweepCell& cell, Rng* /*rng*/,
+                            MetricsRegistry* metrics) {
+    CellResult result;
+    char buf[32];
+    const int rows = bench::SimRows(32, cell.parity_group);
+    CapacityConfig analytic =
+        bench::PaperCapacityConfig(cell.buffer_bytes, cell.parity_group);
+    analytic.rows_override = static_cast<double>(rows);
+    Result<CapacityResult> cap = ComputeCapacity(cell.scheme, analytic);
+    if (!cap.ok() || cap->total_clips == 0) {
+      std::snprintf(buf, sizeof(buf), "%8s", "-");
+      result.text = buf;
+      result.ok = false;
+      return result;
+    }
+    SimConfig sim;
+    sim.scheme = cell.scheme;
+    sim.num_disks = 32;
+    sim.parity_group = cell.parity_group;
+    sim.q = cap->q;
+    sim.f = cap->f;
+    sim.rows = rows;
+    sim.policy = AdmissionPolicy::kFirstFit;
+    Result<SimResult> sim_result = RunCapacitySim(sim);
+    if (!sim_result.ok()) {
+      std::snprintf(buf, sizeof(buf), "%8s", "ERR");
+      result.text = buf;
+      result.ok = false;
+      return result;
+    }
+    result.value = sim_result->admitted;
+    std::snprintf(buf, sizeof(buf), "%8lld",
+                  static_cast<long long>(sim_result->admitted));
+    result.text = buf;
+    result.csv_row = {SchemeName(cell.scheme),
+                      std::to_string(cell.parity_group),
+                      std::to_string(cell.buffer_bytes / kMiB),
+                      std::to_string(sim_result->admitted)};
+    // Shard-local telemetry, merged deterministically after the sweep.
+    metrics->counter("sweep.cells_run")->Inc();
+    metrics->counter("sweep.admitted_total")->Inc(sim_result->admitted);
+    metrics->histogram("sweep.admitted")
+        ->Add(static_cast<double>(sim_result->admitted));
+    return result;
+  };
+
+  MetricsRegistry merged;
+  const std::vector<CellResult> results =
+      RunSweep(spec, bench::ThreadsFromArgs(argc, argv), cell_fn, &merged);
+
   CsvTable table;
   table.columns = {"scheme", "p", "buffer_mb", "admitted"};
-  for (long long mb : {256LL, 2048LL}) {
+  std::size_t cell = 0;
+  for (std::int64_t bytes : spec.buffer_bytes) {
+    const long long mb = bytes / kMiB;
     char title[96];
     std::snprintf(title, sizeof(title),
                   "Figure 6 (%s): clips admitted in 600 TU, B = %lld MB",
                   mb == 256 ? "left" : "right", mb);
     bench::PrintHeader(title);
     bench::PrintGroupSizeHeader();
-    for (Scheme scheme : bench::PaperSchemes()) {
+    for (Scheme scheme : spec.schemes) {
       std::printf("%-28s", SchemeName(scheme));
-      for (int p : bench::PaperParityGroups()) {
-        const int rows = bench::SimRows(32, p);
-        CapacityConfig analytic =
-            bench::PaperCapacityConfig(mb * kMiB, p);
-        analytic.rows_override = static_cast<double>(rows);
-        Result<CapacityResult> cap = ComputeCapacity(scheme, analytic);
-        if (!cap.ok() || cap->total_clips == 0) {
-          std::printf("%8s", "-");
-          continue;
-        }
-        SimConfig sim;
-        sim.scheme = scheme;
-        sim.num_disks = 32;
-        sim.parity_group = p;
-        sim.q = cap->q;
-        sim.f = cap->f;
-        sim.rows = rows;
-        sim.policy = AdmissionPolicy::kFirstFit;
-        Result<SimResult> result = RunCapacitySim(sim);
-        if (!result.ok()) {
-          std::printf("%8s", "ERR");
-        } else {
-          std::printf("%8lld", static_cast<long long>(result->admitted));
-          table.AddRow({SchemeName(scheme), std::to_string(p),
-                        std::to_string(mb),
-                        std::to_string(result->admitted)});
-        }
+      for (std::size_t p = 0; p < spec.parity_groups.size(); ++p) {
+        const CellResult& result = results[cell++];
+        std::printf("%s", result.text.c_str());
+        if (!result.csv_row.empty()) table.AddRow(result.csv_row);
       }
       std::printf("\n");
     }
@@ -70,6 +111,7 @@ int main(int argc, char** argv) {
   report.params = {{"num_disks", 32},
                    {"horizon_tu", 600},
                    {"arrival_rate_per_tu", 20}};
+  report.metrics = &merged;
   report.table = &table;
   return bench::MaybeWriteJsonReport(argc, argv, report) ? 0 : 1;
 }

@@ -1,15 +1,24 @@
 // Microbenchmarks (google-benchmark) of the hot paths: XOR parity
-// reconstruction, parity-group table queries, placement arithmetic,
+// reconstruction, content-pattern generation, SimDisk read paths, the
+// buffer-pool map, parity-group table queries, placement arithmetic,
 // admission-control rounds, and block-design construction.
+//
+// The *ByteLoop variants re-implement the pre-word-wise kernels so the
+// speedup of the fast data path stays measurable in one binary.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "bibd/design_factory.h"
+#include "core/buffer_pool.h"
+#include "core/content.h"
 #include "core/controller_factory.h"
 #include "core/declustered_controller.h"
 #include "disk/disk_array.h"
 #include "layout/declustered_layout.h"
 #include "util/rng.h"
+#include "util/xor.h"
 
 namespace cmfs {
 namespace {
@@ -26,6 +35,148 @@ void BM_XorBlock(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * block_size);
 }
 BENCHMARK(BM_XorBlock)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+// Reference byte-at-a-time XOR (the old XorInto loop), kept as the
+// baseline the word-wise kernel is measured against.
+void BM_XorBlockByteLoop(benchmark::State& state) {
+  const std::int64_t block_size = state.range(0);
+  Block dst(static_cast<std::size_t>(block_size), 0x5a);
+  Block src(static_cast<std::size_t>(block_size), 0xa5);
+  for (auto _ : state) {
+    volatile std::uint8_t* d = dst.data();
+    const std::uint8_t* s = src.data();
+    for (std::size_t i = 0; i < dst.size(); ++i) d[i] = d[i] ^ s[i];
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * block_size);
+}
+BENCHMARK(BM_XorBlockByteLoop)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_PatternBlock(benchmark::State& state) {
+  const std::int64_t block_size = state.range(0);
+  Block scratch;
+  std::int64_t index = 0;
+  for (auto _ : state) {
+    PatternFill(0, index++, block_size, &scratch);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  state.SetBytesProcessed(state.iterations() * block_size);
+}
+BENCHMARK(BM_PatternBlock)->Arg(4096)->Arg(65536);
+
+// Reference per-byte pattern expansion (the old PatternBlock inner
+// loop), as the baseline for the memcpy word writes.
+void BM_PatternBlockByteLoop(benchmark::State& state) {
+  const std::int64_t block_size = state.range(0);
+  Block block(static_cast<std::size_t>(block_size));
+  std::int64_t index = 0;
+  for (auto _ : state) {
+    std::uint64_t x = static_cast<std::uint64_t>(index++) ^
+                      0x9e3779b97f4a7c15ull;
+    std::size_t i = 0;
+    while (i < block.size()) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      z ^= z >> 31;
+      for (int byte = 0; byte < 8 && i < block.size(); ++byte, ++i) {
+        block[i] = static_cast<std::uint8_t>(z >> (8 * byte));
+      }
+    }
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetBytesProcessed(state.iterations() * block_size);
+}
+BENCHMARK(BM_PatternBlockByteLoop)->Arg(4096)->Arg(65536);
+
+// Owning read (allocates + copies every block) vs the zero-copy view
+// the server's round loop now uses.
+void BM_SimDiskRead(benchmark::State& state) {
+  const std::int64_t block_size = 65536;
+  SimDisk disk(DiskParams::Sigmod96(), block_size);
+  for (std::int64_t b = 0; b < 64; ++b) {
+    CMFS_CHECK(disk.Write(b, PatternBlock(0, b, block_size)).ok());
+  }
+  std::int64_t b = 0;
+  for (auto _ : state) {
+    Result<Block> block = disk.Read(b & 63);
+    benchmark::DoNotOptimize(block->data());
+    ++b;
+  }
+  state.SetBytesProcessed(state.iterations() * block_size);
+}
+BENCHMARK(BM_SimDiskRead);
+
+void BM_SimDiskReadView(benchmark::State& state) {
+  const std::int64_t block_size = 65536;
+  SimDisk disk(DiskParams::Sigmod96(), block_size);
+  for (std::int64_t b = 0; b < 64; ++b) {
+    CMFS_CHECK(disk.Write(b, PatternBlock(0, b, block_size)).ok());
+  }
+  std::int64_t b = 0;
+  for (auto _ : state) {
+    Result<const Block*> view = disk.ReadView(b & 63);
+    benchmark::DoNotOptimize((*view)->data());
+    ++b;
+  }
+  state.SetBytesProcessed(state.iterations() * block_size);
+}
+BENCHMARK(BM_SimDiskReadView);
+
+// The buffer pool's per-round key churn: insert, find, erase over a
+// rotating working set (the hashed-map hot path).
+void BM_BufferPoolPutFindErase(benchmark::State& state) {
+  const std::int64_t block_size = 4096;
+  BufferPool pool(block_size);
+  const Block data(static_cast<std::size_t>(block_size), 0x5a);
+  std::int64_t index = 0;
+  const int window = 256;
+  for (auto _ : state) {
+    pool.Put(index % 32, 0, index, &data, false);
+    benchmark::DoNotOptimize(pool.Find(index % 32, 0, index));
+    if (index >= window) {
+      pool.Erase((index - window) % 32, 0, index - window);
+    }
+    ++index;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolPutFindErase);
+
+void BM_BufferPoolAccumulate(benchmark::State& state) {
+  const std::int64_t block_size = state.range(0);
+  BufferPool pool(block_size);
+  const Block data(static_cast<std::size_t>(block_size), 0xa5);
+  pool.Accumulate(1, 0, 0, &data);
+  for (auto _ : state) {
+    pool.Accumulate(1, 0, 0, &data);
+    benchmark::DoNotOptimize(pool.Find(1, 0, 0));
+  }
+  state.SetBytesProcessed(state.iterations() * block_size);
+}
+BENCHMARK(BM_BufferPoolAccumulate)->Arg(4096)->Arg(65536);
+
+void BM_BufferPoolDropStream(benchmark::State& state) {
+  const std::int64_t block_size = 512;
+  const int streams = 32;
+  const int blocks_per_stream = 16;
+  BufferPool pool(block_size);
+  const Block data(static_cast<std::size_t>(block_size), 0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int s = 0; s < streams; ++s) {
+      for (int b = 0; b < blocks_per_stream; ++b) {
+        pool.Put(s, 0, b, &data, false);
+      }
+    }
+    state.ResumeTiming();
+    for (int s = 0; s < streams; ++s) pool.DropStream(s);
+  }
+  state.SetItemsProcessed(state.iterations() * streams *
+                          blocks_per_stream);
+}
+BENCHMARK(BM_BufferPoolDropStream);
 
 void BM_BuildDesign(benchmark::State& state) {
   const int v = static_cast<int>(state.range(0));

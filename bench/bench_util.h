@@ -2,6 +2,7 @@
 #define CMFS_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -53,6 +54,19 @@ inline std::FILE* OpenCsvFromArgs(int argc, char** argv) {
     }
   }
   return nullptr;
+}
+
+// Value of "--threads N" if present, else 0 (the sweep engine then picks
+// CMFS_THREADS / hardware concurrency). Any N produces byte-identical
+// tables and artifacts; N = 1 runs the grid sequentially.
+inline int ThreadsFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--threads") {
+      const int threads = std::atoi(argv[i + 1]);
+      return threads > 0 ? threads : 0;
+    }
+  }
+  return 0;
 }
 
 // Value of "--<flag> <path>" if present, else "".

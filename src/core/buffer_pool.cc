@@ -1,10 +1,10 @@
 #include "core/buffer_pool.h"
 
 #include <algorithm>
-#include <limits>
 #include <utility>
 
 #include "util/status.h"
+#include "util/xor.h"
 
 namespace cmfs {
 
@@ -29,21 +29,38 @@ void BufferPool::OnInsert() {
 }
 
 void BufferPool::Put(StreamId stream, int space, std::int64_t index,
+                     const Block* data, bool parity_pending) {
+  CMFS_CHECK(data == nullptr ||
+             static_cast<std::int64_t>(data->size()) == block_size_);
+  auto [it, inserted] = entries_.try_emplace(Key{stream, space, index});
+  Entry& entry = it->second;
+  if (data == nullptr) {
+    entry.data.assign(static_cast<std::size_t>(block_size_), 0);
+  } else {
+    entry.data.assign(data->begin(), data->end());
+  }
+  entry.parity_pending = parity_pending;
+  (void)inserted;
+  OnInsert();
+}
+
+void BufferPool::Put(StreamId stream, int space, std::int64_t index,
                      Block data, bool parity_pending) {
   CMFS_CHECK(static_cast<std::int64_t>(data.size()) == block_size_);
-  entries_[Key{stream, space, index}] =
-      Entry{std::move(data), parity_pending};
+  entries_.insert_or_assign(Key{stream, space, index},
+                            Entry{std::move(data), parity_pending});
   OnInsert();
 }
 
 void BufferPool::Accumulate(StreamId stream, int space, std::int64_t index,
-                            const Block& data) {
-  CMFS_CHECK(static_cast<std::int64_t>(data.size()) == block_size_);
+                            const Block* data) {
+  CMFS_CHECK(data == nullptr ||
+             static_cast<std::int64_t>(data->size()) == block_size_);
   auto [it, inserted] = entries_.try_emplace(
       Key{stream, space, index},
       Entry{Block(static_cast<std::size_t>(block_size_), 0), false});
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    it->second.data[i] ^= data[i];
+  if (data != nullptr) {
+    XorBytes(it->second.data.data(), data->data(), it->second.data.size());
   }
   if (inserted) OnInsert();
 }
@@ -59,11 +76,9 @@ bool BufferPool::Erase(StreamId stream, int space, std::int64_t index) {
 }
 
 void BufferPool::DropStream(StreamId stream) {
-  auto it = entries_.lower_bound(
-      Key{stream, std::numeric_limits<int>::min(),
-          std::numeric_limits<std::int64_t>::min()});
-  while (it != entries_.end() && std::get<0>(it->first) == stream) {
-    it = entries_.erase(it);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it = std::get<0>(it->first) == stream ? entries_.erase(it)
+                                          : std::next(it);
   }
 }
 

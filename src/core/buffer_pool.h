@@ -2,8 +2,8 @@
 #define CMFS_CORE_BUFFER_POOL_H_
 
 #include <cstdint>
-#include <map>
 #include <tuple>
+#include <unordered_map>
 
 #include "core/round_plan.h"
 #include "disk/sim_disk.h"
@@ -15,6 +15,12 @@
 // a parity block standing in for a data block lost to a disk failure
 // (parity_pending); the server XORs the buffered group peers into it as
 // soon as they are all present, before the block's delivery round.
+//
+// The map is hashed, not ordered: every per-read operation (Put / Find /
+// Accumulate / Erase) is O(1), and Entry pointers stay valid across
+// inserts (the buckets rehash, the nodes don't move). DropStream — rare:
+// pause, cancel, completion — scans the whole pool instead of a key
+// range.
 
 namespace cmfs {
 
@@ -28,17 +34,27 @@ class BufferPool {
     bool parity_pending = false;
   };
 
-  // Inserts (or replaces) an entry.
+  // Inserts (or replaces) an entry, copying from `data`; nullptr stands
+  // for a never-written block (all zeros). Replacing reuses the existing
+  // allocation.
+  void Put(StreamId stream, int space, std::int64_t index,
+           const Block* data, bool parity_pending);
+  // Owned-block convenience overload.
   void Put(StreamId stream, int space, std::int64_t index, Block data,
            bool parity_pending);
 
   // XORs `data` into the entry, creating a zero-filled one if absent.
   // Used to accumulate on-the-fly reconstruction reads; by the end of the
-  // round the entry equals the lost block.
+  // round the entry equals the lost block. nullptr (an unwritten block)
+  // only ensures the entry exists — XOR with zeros is the identity.
   void Accumulate(StreamId stream, int space, std::int64_t index,
-                  const Block& data);
+                  const Block* data);
+  void Accumulate(StreamId stream, int space, std::int64_t index,
+                  const Block& data) {
+    Accumulate(stream, space, index, &data);
+  }
 
-  // nullptr if absent.
+  // nullptr if absent. The pointer stays valid until the entry is erased.
   Entry* Find(StreamId stream, int space, std::int64_t index);
 
   // Removes one entry (no-op if absent; returns whether it existed).
@@ -63,13 +79,27 @@ class BufferPool {
  private:
   using Key = std::tuple<StreamId, int, std::int64_t>;
 
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      // splitmix64 finalizer over the folded fields.
+      std::uint64_t h = static_cast<std::uint64_t>(std::get<0>(key));
+      h = h * 0x9e3779b97f4a7c15ull +
+          static_cast<std::uint64_t>(std::get<1>(key));
+      h = h * 0x9e3779b97f4a7c15ull +
+          static_cast<std::uint64_t>(std::get<2>(key));
+      h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+      h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+      return static_cast<std::size_t>(h ^ (h >> 31));
+    }
+  };
+
   void OnInsert();
 
   std::int64_t block_size_;
   std::int64_t high_water_ = 0;
   Histogram* occupancy_hist_ = nullptr;  // owned by the registry
   Gauge* high_water_gauge_ = nullptr;
-  std::map<Key, Entry> entries_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
 };
 
 }  // namespace cmfs

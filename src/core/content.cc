@@ -1,24 +1,39 @@
 #include "core/content.h"
 
+#include <cstring>
+
 namespace cmfs {
 
-Block PatternBlock(int space, std::int64_t index, std::int64_t block_size) {
-  Block block(static_cast<std::size_t>(block_size));
+void PatternFill(int space, std::int64_t index, std::int64_t block_size,
+                 Block* dst) {
+  dst->resize(static_cast<std::size_t>(block_size));
+  std::uint8_t* out = dst->data();
+  const std::size_t n = dst->size();
   // splitmix64 keyed by (space, index); 8 bytes per step.
   std::uint64_t x = (static_cast<std::uint64_t>(space) << 48) ^
                     static_cast<std::uint64_t>(index) ^
                     0x9e3779b97f4a7c15ull;
-  std::size_t i = 0;
-  while (i < block.size()) {
+  const auto next = [&x] {
     x += 0x9e3779b97f4a7c15ull;
     std::uint64_t z = x;
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    z ^= z >> 31;
-    for (int byte = 0; byte < 8 && i < block.size(); ++byte, ++i) {
-      block[i] = static_cast<std::uint8_t>(z >> (8 * byte));
-    }
+    return z ^ (z >> 31);
+  };
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t z = next();
+    std::memcpy(out + i, &z, 8);
   }
+  if (i < n) {
+    const std::uint64_t z = next();
+    std::memcpy(out + i, &z, n - i);
+  }
+}
+
+Block PatternBlock(int space, std::int64_t index, std::int64_t block_size) {
+  Block block;
+  PatternFill(space, index, block_size, &block);
   return block;
 }
 

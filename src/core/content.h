@@ -15,6 +15,12 @@ namespace cmfs {
 // Deterministic pseudo-random bytes for logical block (space, index).
 Block PatternBlock(int space, std::int64_t index, std::int64_t block_size);
 
+// Same bytes written into an existing buffer (resized to block_size);
+// lets verification loops reuse one scratch block instead of allocating
+// per delivery.
+void PatternFill(int space, std::int64_t index, std::int64_t block_size,
+                 Block* dst);
+
 }  // namespace cmfs
 
 #endif  // CMFS_CORE_CONTENT_H_

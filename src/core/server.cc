@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/content.h"
+#include "util/xor.h"
 
 namespace cmfs {
 
@@ -176,11 +177,15 @@ Status Server::ExecuteReads(const RoundPlan& plan) {
   std::fill(round_disk_reads_.begin(), round_disk_reads_.end(), 0);
   round_worst_time_ = 0.0;
   for (const RoundRead& read : plan.reads) {
-    Result<Block> block = array_->Read(read.addr);
+    // Zero-copy read: `data` aliases the disk's stored block (nullptr
+    // for a never-written, all-zero block) and is consumed before any
+    // write can touch it.
+    Result<const Block*> block = array_->ReadView(read.addr);
     if (!block.ok()) {
       return Status::Internal("controller scheduled unreadable block: " +
                               block.status().ToString());
     }
+    const Block* data = *block;
     ++metrics_.total_reads;
     ++window_reads_[static_cast<std::size_t>(read.addr.disk)];
     ++round_disk_reads_[static_cast<std::size_t>(read.addr.disk)];
@@ -201,18 +206,18 @@ Status Server::ExecuteReads(const RoundPlan& plan) {
     }
     switch (read.kind) {
       case ReadKind::kData:
-        pool_.Put(read.stream, read.space, read.index, *std::move(block),
+        pool_.Put(read.stream, read.space, read.index, data,
                   /*parity_pending=*/false);
         break;
       case ReadKind::kParity:
         ++metrics_.recovery_reads;
-        pool_.Put(read.stream, read.space, read.index, *std::move(block),
+        pool_.Put(read.stream, read.space, read.index, data,
                   /*parity_pending=*/true);
         pending_parity_.insert({read.stream, read.space, read.index});
         break;
       case ReadKind::kRecovery:
         ++metrics_.recovery_reads;
-        pool_.Accumulate(read.stream, read.space, read.index, *block);
+        pool_.Accumulate(read.stream, read.space, read.index, data);
         break;
     }
   }
@@ -252,10 +257,14 @@ Status Server::Reconstruct() {
   // group's first delivery, so pending entries resolve before they are
   // due.
   const Layout& layout = controller_->layout();
+  // Peer blocks found during the completeness scan, XORed directly —
+  // entry pointers are stable, so the second lookup pass is unnecessary.
+  std::vector<const Block*> peers;
   for (auto it = pending_parity_.begin(); it != pending_parity_.end();) {
     const auto [stream, space, index] = *it;
     BufferPool::Entry* entry = pool_.Find(stream, space, index);
     CMFS_CHECK(entry != nullptr && entry->parity_pending);
+    peers.clear();
     bool complete = true;
     for (std::int64_t peer : layout.GroupPeers(space, index)) {
       BufferPool::Entry* peer_entry = pool_.Find(stream, space, peer);
@@ -263,17 +272,14 @@ Status Server::Reconstruct() {
         complete = false;
         break;
       }
+      peers.push_back(&peer_entry->data);
     }
     if (!complete) {
       ++it;
       continue;
     }
-    for (std::int64_t peer : layout.GroupPeers(space, index)) {
-      const BufferPool::Entry* peer_entry =
-          pool_.Find(stream, space, peer);
-      for (std::size_t i = 0; i < entry->data.size(); ++i) {
-        entry->data[i] ^= peer_entry->data[i];
-      }
+    for (const Block* peer_data : peers) {
+      XorBytes(entry->data.data(), peer_data->data(), entry->data.size());
     }
     entry->parity_pending = false;
     it = pending_parity_.erase(it);
@@ -304,9 +310,9 @@ Status Server::Deliver(const RoundPlan& plan) {
       continue;
     }
     if (config_.verify_content) {
-      const Block expected = PatternBlock(delivery.space, delivery.index,
-                                          config_.block_size);
-      if (entry->data != expected) {
+      PatternFill(delivery.space, delivery.index, config_.block_size,
+                  &verify_scratch_);
+      if (entry->data != verify_scratch_) {
         return Status::Internal(
             "corrupt delivery: stream " + std::to_string(delivery.stream) +
             " block " + std::to_string(delivery.index));

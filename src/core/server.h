@@ -156,6 +156,9 @@ class Server {
   // Reads per disk in the current load window.
   std::vector<int> window_reads_;
   std::map<StreamId, StreamRecord> streams_;
+  // Scratch buffer for content verification (one allocation per server,
+  // not per delivery).
+  Block verify_scratch_;
   int window_round_ = 0;
   // Cylinders touched per disk this round (for timing).
   std::vector<std::vector<int>> round_cylinders_;

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "util/xor.h"
+
 namespace cmfs {
 
 DiskArray::DiskArray(int num_disks, const DiskParams& params,
@@ -36,6 +38,13 @@ Result<Block> DiskArray::Read(const BlockAddress& addr) const {
     return Status::InvalidArgument("disk index out of range");
   }
   return disks_[static_cast<std::size_t>(addr.disk)].Read(addr.block);
+}
+
+Result<const Block*> DiskArray::ReadView(const BlockAddress& addr) const {
+  if (addr.disk < 0 || addr.disk >= num_disks()) {
+    return Status::InvalidArgument("disk index out of range");
+  }
+  return disks_[static_cast<std::size_t>(addr.disk)].ReadView(addr.block);
 }
 
 Status DiskArray::FailDisk(int i) {
@@ -82,7 +91,7 @@ int DiskArray::failed_disk() const {
 void DiskArray::XorInto(Block& dst, const Block& src) const {
   CMFS_CHECK(static_cast<std::int64_t>(dst.size()) == block_size_);
   CMFS_CHECK(static_cast<std::int64_t>(src.size()) == block_size_);
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+  XorBytes(dst.data(), src.data(), dst.size());
 }
 
 Result<Block> DiskArray::XorOf(const std::vector<BlockAddress>& addrs) const {
@@ -91,9 +100,10 @@ Result<Block> DiskArray::XorOf(const std::vector<BlockAddress>& addrs) const {
   }
   Block acc(static_cast<std::size_t>(block_size_), 0);
   for (const BlockAddress& addr : addrs) {
-    Result<Block> blk = Read(addr);
+    Result<const Block*> blk = ReadView(addr);
     if (!blk.ok()) return blk.status();
-    XorInto(acc, *blk);
+    if (*blk == nullptr) continue;  // unwritten: XOR with zeros
+    XorBytes(acc.data(), (*blk)->data(), acc.size());
   }
   return acc;
 }

@@ -43,6 +43,9 @@ class DiskArray {
 
   Status Write(const BlockAddress& addr, const Block& data);
   Result<Block> Read(const BlockAddress& addr) const;
+  // Zero-copy variant of Read: nullptr stands for a never-written
+  // (all-zero) block. See SimDisk::ReadView for pointer lifetime.
+  Result<const Block*> ReadView(const BlockAddress& addr) const;
 
   // Fails disk i. Rejects a second concurrent failure (the paper's schemes
   // guarantee continuity only under a single failure).

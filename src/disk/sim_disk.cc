@@ -27,11 +27,12 @@ Status SimDisk::Write(std::int64_t block, const Block& data) {
     return Status::InvalidArgument("write size != block size");
   }
   content_[block] = data;
+  highest_written_ = std::max(highest_written_, block);
   ++writes_;
   return Status::Ok();
 }
 
-Result<Block> SimDisk::Read(std::int64_t block) const {
+Result<const Block*> SimDisk::ReadView(std::int64_t block) const {
   if (state_ != State::kHealthy) {
     ++rejected_ios_;
     return Status::FailedPrecondition("read from failed/rebuilding disk");
@@ -42,22 +43,31 @@ Result<Block> SimDisk::Read(std::int64_t block) const {
   }
   ++reads_;
   auto it = content_.find(block);
-  if (it == content_.end()) {
+  return it == content_.end() ? nullptr : &it->second;
+}
+
+Result<Block> SimDisk::Read(std::int64_t block) const {
+  Result<const Block*> view = ReadView(block);
+  if (!view.ok()) return view.status();
+  if (*view == nullptr) {
     return Block(static_cast<std::size_t>(block_size_), 0);
   }
-  return it->second;
+  return **view;
+}
+
+Status SimDisk::ReadInto(std::int64_t block, Block* dst) const {
+  Result<const Block*> view = ReadView(block);
+  if (!view.ok()) return view.status();
+  if (*view == nullptr) {
+    dst->assign(static_cast<std::size_t>(block_size_), 0);
+  } else {
+    dst->assign((*view)->begin(), (*view)->end());
+  }
+  return Status::Ok();
 }
 
 bool SimDisk::IsWritten(std::int64_t block) const {
   return content_.find(block) != content_.end();
-}
-
-std::int64_t SimDisk::HighestWrittenBlock() const {
-  std::int64_t highest = -1;
-  for (const auto& [block, data] : content_) {
-    highest = std::max(highest, block);
-  }
-  return highest;
 }
 
 int SimDisk::CylinderOf(std::int64_t block) const {

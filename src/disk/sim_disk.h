@@ -35,12 +35,22 @@ class SimDisk {
   // Whole-block read; zero-filled if the block was never written.
   Result<Block> Read(std::int64_t block) const;
 
+  // Zero-copy read: a pointer to the stored block, or nullptr if the
+  // block was never written (it reads as all zeros — the XOR identity).
+  // The pointer stays valid until this block is overwritten or the disk
+  // is rebuilt. Counts toward reads() exactly like Read().
+  Result<const Block*> ReadView(std::int64_t block) const;
+
+  // Read into an existing buffer (resized to block_size); avoids the
+  // per-read allocation of Read() when the caller reuses `dst`.
+  Status ReadInto(std::int64_t block, Block* dst) const;
+
   // True if the block has been written since construction/repair.
   bool IsWritten(std::int64_t block) const;
 
   // Highest block index ever written (-1 if none) — the natural scan
   // bound for a full-disk rebuild.
-  std::int64_t HighestWrittenBlock() const;
+  std::int64_t HighestWrittenBlock() const { return highest_written_; }
 
   // Failure lifecycle. Fail() drops no data (a failed disk is
   // inaccessible, not erased). StartRebuild() models a blank replacement
@@ -53,6 +63,7 @@ class SimDisk {
   void StartRebuild() {
     state_ = State::kRebuilding;
     content_.clear();
+    highest_written_ = -1;
   }
   void Repair() { state_ = State::kHealthy; }
   State state() const { return state_; }
@@ -80,6 +91,9 @@ class SimDisk {
   mutable std::int64_t reads_ = 0;
   std::int64_t writes_ = 0;
   mutable std::int64_t rejected_ios_ = 0;
+  // Tracked incrementally: blocks are only ever added (writes) or all
+  // dropped at once (StartRebuild), so the max never needs a scan.
+  std::int64_t highest_written_ = -1;
   std::unordered_map<std::int64_t, Block> content_;
 };
 

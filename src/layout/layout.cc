@@ -23,16 +23,17 @@ Status WriteDataBlock(const Layout& layout, DiskArray& array, int space,
     return Status::InvalidArgument("logical index out of range");
   }
   const BlockAddress addr = layout.DataAddress(space, index);
-  Result<Block> old_data = array.Read(addr);
+  Result<const Block*> old_data = array.ReadView(addr);
   if (!old_data.ok()) return old_data.status();
 
   const ParityGroupInfo group = layout.GroupOf(space, index);
   Result<Block> parity = array.Read(group.parity);
   if (!parity.ok()) return parity.status();
 
-  // parity' = parity ^ old ^ new keeps the group XOR-zero invariant.
+  // parity' = parity ^ old ^ new keeps the group XOR-zero invariant
+  // (a never-written old block is all zeros — nothing to fold in).
   Block new_parity = *std::move(parity);
-  array.XorInto(new_parity, *old_data);
+  if (*old_data != nullptr) array.XorInto(new_parity, **old_data);
   array.XorInto(new_parity, data);
 
   Status st = array.Write(addr, data);

@@ -1,0 +1,67 @@
+#include "sim/sweep.h"
+
+#include <memory>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace cmfs {
+
+std::uint64_t CellSeed(std::uint64_t base_seed, std::int64_t index) {
+  // splitmix64 finalizer over the pair, so neighbouring cells get
+  // uncorrelated streams regardless of base_seed.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ull *
+                                    (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::vector<SweepCell> ExpandGrid(const SweepSpec& spec) {
+  CMFS_CHECK(!spec.schemes.empty() && !spec.parity_groups.empty() &&
+             !spec.buffer_bytes.empty());
+  std::vector<SweepCell> cells;
+  cells.reserve(spec.buffer_bytes.size() * spec.schemes.size() *
+                spec.parity_groups.size());
+  std::int64_t index = 0;
+  for (std::int64_t buffer : spec.buffer_bytes) {
+    for (Scheme scheme : spec.schemes) {
+      for (int p : spec.parity_groups) {
+        SweepCell cell;
+        cell.index = index;
+        cell.scheme = scheme;
+        cell.parity_group = p;
+        cell.buffer_bytes = buffer;
+        cell.seed = CellSeed(spec.base_seed, index);
+        cells.push_back(cell);
+        ++index;
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<CellResult> RunSweepCells(const std::vector<SweepCell>& cells,
+                                      int threads, const CellFn& fn,
+                                      MetricsRegistry* merged) {
+  const std::size_t n = cells.size();
+  std::vector<CellResult> results(n);
+  std::vector<MetricsRegistry> shards(n);
+  ThreadPool pool(threads);
+  pool.ParallelFor(static_cast<std::int64_t>(n), [&](std::int64_t i) {
+    const std::size_t slot = static_cast<std::size_t>(i);
+    Rng rng(cells[slot].seed);
+    results[slot] = fn(cells[slot], &rng, &shards[slot]);
+  });
+  if (merged != nullptr) {
+    for (const MetricsRegistry& shard : shards) merged->MergeFrom(shard);
+  }
+  return results;
+}
+
+std::vector<CellResult> RunSweep(const SweepSpec& spec, int threads,
+                                 const CellFn& fn, MetricsRegistry* merged) {
+  return RunSweepCells(ExpandGrid(spec), threads, fn, merged);
+}
+
+}  // namespace cmfs

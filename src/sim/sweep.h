@@ -1,0 +1,90 @@
+#ifndef CMFS_SIM_SWEEP_H_
+#define CMFS_SIM_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/capacity.h"
+#include "obs/metrics_registry.h"
+#include "util/rng.h"
+
+// Parallel sweep engine for the evaluation grids (§7-§8): every cell of
+// a (scheme x parity-group x buffer) grid is an independent experiment,
+// so cells run concurrently on a thread pool while results stay
+// bit-identical to a sequential run:
+//
+//   * cells are expanded in a fixed row-major grid order and results are
+//     returned (and shards merged) in that order, never in completion
+//     order;
+//   * each cell gets its own Rng, seeded from (base_seed, cell index) —
+//     not from anything another cell does;
+//   * each cell gets a private MetricsRegistry shard; the engine folds
+//     the shards into one registry with MergeFrom after the last cell
+//     finishes.
+//
+// Whatever thread count is used — including 1, which runs inline on the
+// caller — the outputs are byte-identical.
+
+namespace cmfs {
+
+// One grid of cells. Axes a bench does not sweep stay at their
+// single-element defaults.
+struct SweepSpec {
+  std::vector<Scheme> schemes = {Scheme::kDeclustered};
+  std::vector<int> parity_groups = {0};
+  std::vector<std::int64_t> buffer_bytes = {0};
+  std::uint64_t base_seed = 0x5eedULL;
+};
+
+struct SweepCell {
+  std::int64_t index = 0;  // position in grid order
+  Scheme scheme = Scheme::kDeclustered;
+  int parity_group = 0;
+  std::int64_t buffer_bytes = 0;
+  std::uint64_t seed = 0;  // deterministic per-cell Rng seed
+};
+
+// One cell's outcome, carried back to the bench in grid order.
+struct CellResult {
+  bool ok = true;
+  // Preformatted stdout fragment (a table cell or a block of lines).
+  std::string text;
+  // Optional machine-readable row (empty = contributes no CSV row).
+  std::vector<std::string> csv_row;
+  // Optional secondary stdout fragment (e.g. a footnote row cell).
+  std::string note;
+  // Primary numeric result (clips admitted / serviced), for tests and
+  // cross-cell summaries.
+  std::int64_t value = 0;
+};
+
+// Cells run against their own Rng (seeded per cell) and their own
+// registry shard; they must not touch anything else that is shared.
+using CellFn =
+    std::function<CellResult(const SweepCell&, Rng*, MetricsRegistry*)>;
+
+// Grid expansion in stable row-major order: buffer_bytes outermost, then
+// scheme, then parity group — the order the figure benches print.
+std::vector<SweepCell> ExpandGrid(const SweepSpec& spec);
+
+// Deterministic per-cell seed (splitmix64 over base_seed and index).
+std::uint64_t CellSeed(std::uint64_t base_seed, std::int64_t index);
+
+// Runs `fn` over explicit cells on `threads` threads (<= 0: the
+// CMFS_THREADS / hardware default; 1: sequential on the caller).
+// Returns results indexed by cell position; if `merged` is non-null,
+// the cells' registry shards are merged into it in cell order.
+std::vector<CellResult> RunSweepCells(const std::vector<SweepCell>& cells,
+                                      int threads, const CellFn& fn,
+                                      MetricsRegistry* merged = nullptr);
+
+// ExpandGrid + RunSweepCells.
+std::vector<CellResult> RunSweep(const SweepSpec& spec, int threads,
+                                 const CellFn& fn,
+                                 MetricsRegistry* merged = nullptr);
+
+}  // namespace cmfs
+
+#endif  // CMFS_SIM_SWEEP_H_

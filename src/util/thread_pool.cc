@@ -1,0 +1,95 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+
+#include "util/status.h"
+
+namespace cmfs {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = DefaultThreadCount();
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+  idle_workers_ = num_threads - 1;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("CMFS_THREADS")) {
+    const int threads = std::atoi(env);
+    if (threads >= 1) return threads;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware >= 1 ? static_cast<int>(hardware) : 1;
+}
+
+void ThreadPool::RunItems() {
+  for (;;) {
+    const std::int64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    (*fn_)(i);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (++completed_ == n_) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerMain() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    --idle_workers_;
+    lock.unlock();
+    RunItems();
+    lock.lock();
+    ++idle_workers_;
+    // The job is over only when every item ran AND every woken worker
+    // left RunItems — a straggler from this generation must never see
+    // the next generation's counter.
+    if (idle_workers_ == static_cast<int>(workers_.size()) &&
+        completed_ == n_) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::int64_t n, const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty()) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CMFS_CHECK(idle_workers_ == static_cast<int>(workers_.size()));
+    fn_ = &fn;
+    n_ = n;
+    completed_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunItems();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return completed_ == n_ &&
+           idle_workers_ == static_cast<int>(workers_.size());
+  });
+  fn_ = nullptr;
+}
+
+}  // namespace cmfs

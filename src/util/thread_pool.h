@@ -1,0 +1,73 @@
+#ifndef CMFS_UTIL_THREAD_POOL_H_
+#define CMFS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// Fixed-size worker pool for embarrassingly parallel sweeps.
+//
+// There is deliberately no work stealing and no task queue: ParallelFor
+// hands out indices [0, n) through a single atomic counter, so every
+// index runs exactly once, on exactly one thread, with nothing shared
+// between items. Determinism is the caller's contract — an item may run
+// on any thread in any order, so item i must depend only on i (give each
+// item its own Rng and its own metrics shard, then merge in index order).
+
+namespace cmfs {
+
+class ThreadPool {
+ public:
+  // Total concurrency, including the thread that calls ParallelFor;
+  // num_threads - 1 workers are spawned. num_threads <= 0 selects
+  // DefaultThreadCount(). A pool of 1 runs everything inline on the
+  // caller (bit-for-bit the sequential loop).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  // Runs fn(i) for every i in [0, n), on the workers plus the calling
+  // thread, and blocks until all n calls returned. Not reentrant: fn
+  // must not itself call ParallelFor on this pool.
+  void ParallelFor(std::int64_t n,
+                   const std::function<void(std::int64_t)>& fn);
+
+  // CMFS_THREADS from the environment if set (clamped to >= 1), else
+  // std::thread::hardware_concurrency(), else 1.
+  static int DefaultThreadCount();
+
+ private:
+  void WorkerMain();
+  // Claims and runs items until the counter passes n_.
+  void RunItems();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals a new generation
+  std::condition_variable done_cv_;   // signals job completion
+  std::uint64_t generation_ = 0;      // bumped per ParallelFor
+  bool shutdown_ = false;
+  int idle_workers_ = 0;              // workers parked in WorkerMain
+  std::int64_t completed_ = 0;        // items finished this generation
+
+  // Job state: written under mu_ before the generation bump, read by
+  // workers only after observing the bump (also under mu_).
+  const std::function<void(std::int64_t)>* fn_ = nullptr;
+  std::int64_t n_ = 0;
+  std::atomic<std::int64_t> next_{0};
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_UTIL_THREAD_POOL_H_

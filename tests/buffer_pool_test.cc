@@ -67,11 +67,85 @@ TEST(BufferPoolTest, DropStreamRemovesOnlyThatStream) {
   EXPECT_NE(pool.Find(2, 0, 0), nullptr);
 }
 
+TEST(BufferPoolTest, PointerPutNullptrZeroFillsAndReplaces) {
+  BufferPool pool(4);
+  // nullptr stands for a never-written block: the entry becomes zeros.
+  pool.Put(1, 0, 0, nullptr, true);
+  BufferPool::Entry* entry = pool.Find(1, 0, 0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->data, Block(4, 0));
+  EXPECT_TRUE(entry->parity_pending);
+  // A later pointer Put replaces data and flags in place.
+  const Block data{9, 8, 7, 6};
+  pool.Put(1, 0, 0, &data, false);
+  entry = pool.Find(1, 0, 0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->data, data);
+  EXPECT_FALSE(entry->parity_pending);
+  EXPECT_EQ(pool.resident_blocks(), 1);
+}
+
+TEST(BufferPoolTest, AccumulateNullptrOnlyEnsuresEntry) {
+  BufferPool pool(4);
+  pool.Accumulate(1, 0, 0, nullptr);
+  ASSERT_NE(pool.Find(1, 0, 0), nullptr);
+  EXPECT_EQ(pool.Find(1, 0, 0)->data, Block(4, 0));
+  // XOR-ing a null contribution is the identity.
+  pool.Accumulate(1, 0, 0, Block{1, 2, 3, 4});
+  pool.Accumulate(1, 0, 0, nullptr);
+  EXPECT_EQ(pool.Find(1, 0, 0)->data, (Block{1, 2, 3, 4}));
+}
+
+TEST(BufferPoolTest, DropStreamRegressionOverHashedMap) {
+  // The hashed container scatters a stream's keys instead of keeping
+  // them contiguous; DropStream must still remove exactly that stream.
+  BufferPool pool(8);
+  const Block data(8, 0x5a);
+  for (StreamId stream = 0; stream < 6; ++stream) {
+    for (int space = 0; space < 3; ++space) {
+      for (std::int64_t index : {0, 1, 63, 64, 1000}) {
+        pool.Put(stream, space, index, &data, false);
+      }
+    }
+  }
+  EXPECT_EQ(pool.resident_blocks(), 6 * 3 * 5);
+  pool.DropStream(3);
+  EXPECT_EQ(pool.resident_blocks(), 5 * 3 * 5);
+  for (StreamId stream = 0; stream < 6; ++stream) {
+    for (int space = 0; space < 3; ++space) {
+      for (std::int64_t index : {0, 1, 63, 64, 1000}) {
+        if (stream == 3) {
+          EXPECT_EQ(pool.Find(stream, space, index), nullptr);
+        } else {
+          EXPECT_NE(pool.Find(stream, space, index), nullptr);
+        }
+      }
+    }
+  }
+  // Dropping an absent stream is a no-op.
+  pool.DropStream(3);
+  pool.DropStream(99);
+  EXPECT_EQ(pool.resident_blocks(), 5 * 3 * 5);
+}
+
 TEST(ContentTest, DeterministicAndDistinct) {
   EXPECT_EQ(PatternBlock(0, 5, 64), PatternBlock(0, 5, 64));
   EXPECT_NE(PatternBlock(0, 5, 64), PatternBlock(0, 6, 64));
   EXPECT_NE(PatternBlock(0, 5, 64), PatternBlock(1, 5, 64));
   EXPECT_EQ(PatternBlock(2, 9, 100).size(), 100u);
+}
+
+TEST(ContentTest, PatternFillReusesScratchAndMatchesPatternBlock) {
+  Block scratch(17, 0xff);  // wrong size and dirty: must be overwritten
+  PatternFill(2, 9, 100, &scratch);
+  EXPECT_EQ(scratch, PatternBlock(2, 9, 100));
+  PatternFill(0, 5, 64, &scratch);
+  EXPECT_EQ(scratch, PatternBlock(0, 5, 64));
+  // Sizes that are not a multiple of 8 exercise the word-tail path.
+  for (std::int64_t size : {1, 7, 8, 9, 63, 65}) {
+    PatternFill(1, 3, size, &scratch);
+    EXPECT_EQ(scratch, PatternBlock(1, 3, size)) << size;
+  }
 }
 
 TEST(ContentTest, NotDegenerate) {

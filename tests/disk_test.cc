@@ -200,6 +200,56 @@ TEST(SimDiskTest, BoundsAndSizeChecks) {
   EXPECT_EQ(disk.Read(-5).status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(SimDiskTest, ReadViewIsZeroCopyAndNullForUnwritten) {
+  SimDisk disk(DiskParams::Sigmod96(), 512);
+  const Block data(512, 0xcd);
+  ASSERT_TRUE(disk.Write(7, data).ok());
+  Result<const Block*> view = disk.ReadView(7);
+  ASSERT_TRUE(view.ok());
+  ASSERT_NE(*view, nullptr);
+  EXPECT_EQ(**view, data);
+  // Unwritten blocks come back as nullptr (the XOR identity), not as an
+  // allocated zero block.
+  Result<const Block*> unwritten = disk.ReadView(8);
+  ASSERT_TRUE(unwritten.ok());
+  EXPECT_EQ(*unwritten, nullptr);
+  // The same bounds and failure checks as Read.
+  EXPECT_EQ(disk.ReadView(-1).status().code(),
+            StatusCode::kInvalidArgument);
+  disk.Fail();
+  EXPECT_EQ(disk.ReadView(7).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SimDiskTest, ReadIntoFillsCallerBlock) {
+  SimDisk disk(DiskParams::Sigmod96(), 512);
+  const Block data(512, 0x42);
+  ASSERT_TRUE(disk.Write(0, data).ok());
+  Block dst;
+  ASSERT_TRUE(disk.ReadInto(0, &dst).ok());
+  EXPECT_EQ(dst, data);
+  ASSERT_TRUE(disk.ReadInto(1, &dst).ok());  // unwritten -> zeros
+  EXPECT_EQ(dst, Block(512, 0));
+}
+
+TEST(SimDiskTest, HighestWrittenBlockTracksWritesAndRebuild) {
+  SimDisk disk(DiskParams::Sigmod96(), 512);
+  EXPECT_EQ(disk.HighestWrittenBlock(), -1);
+  ASSERT_TRUE(disk.Write(5, Block(512, 1)).ok());
+  EXPECT_EQ(disk.HighestWrittenBlock(), 5);
+  ASSERT_TRUE(disk.Write(100, Block(512, 2)).ok());
+  EXPECT_EQ(disk.HighestWrittenBlock(), 100);
+  // A lower write does not regress the high-water mark.
+  ASSERT_TRUE(disk.Write(3, Block(512, 3)).ok());
+  EXPECT_EQ(disk.HighestWrittenBlock(), 100);
+  // A blank replacement disk starts over.
+  disk.Fail();
+  disk.StartRebuild();
+  EXPECT_EQ(disk.HighestWrittenBlock(), -1);
+  ASSERT_TRUE(disk.Write(2, Block(512, 4)).ok());
+  EXPECT_EQ(disk.HighestWrittenBlock(), 2);
+}
+
 TEST(SimDiskTest, CylindersCoverDiskMonotonically) {
   SimDisk disk(DiskParams::Sigmod96(), 64 * kKiB);
   EXPECT_EQ(disk.CylinderOf(0), 0);

@@ -1,0 +1,152 @@
+#include "sim/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "sim/driver.h"
+
+namespace cmfs {
+namespace {
+
+TEST(SweepGridTest, ExpandsRowMajorBufferSchemeParity) {
+  SweepSpec spec;
+  spec.schemes = {Scheme::kDeclustered, Scheme::kPrefetchFlat};
+  spec.parity_groups = {4, 8, 16};
+  spec.buffer_bytes = {1, 2};
+  const std::vector<SweepCell> cells = ExpandGrid(spec);
+  ASSERT_EQ(cells.size(), 2u * 2u * 3u);
+  // Buffer outermost, then scheme, then parity group — the order the
+  // figure benches print.
+  std::size_t i = 0;
+  for (std::int64_t buffer : spec.buffer_bytes) {
+    for (Scheme scheme : spec.schemes) {
+      for (int p : spec.parity_groups) {
+        EXPECT_EQ(cells[i].index, static_cast<std::int64_t>(i));
+        EXPECT_EQ(cells[i].buffer_bytes, buffer);
+        EXPECT_EQ(cells[i].scheme, scheme);
+        EXPECT_EQ(cells[i].parity_group, p);
+        EXPECT_EQ(cells[i].seed, CellSeed(spec.base_seed, cells[i].index));
+        ++i;
+      }
+    }
+  }
+}
+
+TEST(SweepGridTest, CellSeedsAreDeterministicAndDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    const std::uint64_t seed = CellSeed(0x5eed, i);
+    EXPECT_EQ(seed, CellSeed(0x5eed, i));
+    seeds.insert(seed);
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+  EXPECT_NE(CellSeed(1, 0), CellSeed(2, 0));
+}
+
+// A cell function that exercises everything a real bench cell does: the
+// per-cell Rng stream, counter and histogram shards, text and value. The
+// sleep staggers completion so higher-indexed cells finish first under
+// parallel runs — results and merged metrics must still come back in
+// grid order.
+CellResult ExerciseCell(const SweepCell& cell, Rng* rng,
+                        MetricsRegistry* metrics) {
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds((7 - cell.index % 8)));
+  CellResult result;
+  std::int64_t sum = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t draw = rng->NextInt(0, 1000);
+    sum += draw;
+    metrics->histogram("test.draws")->Add(static_cast<double>(draw));
+  }
+  metrics->counter("test.cells")->Inc();
+  metrics->counter("test.sum")->Inc(sum);
+  result.value = sum;
+  result.text = std::to_string(cell.index) + ":" + std::to_string(sum);
+  return result;
+}
+
+TEST(SweepRunTest, ParallelIsBitIdenticalToSequential) {
+  SweepSpec spec;
+  spec.parity_groups = {2, 4, 8, 16};
+  spec.buffer_bytes = {1, 2, 3, 4};  // 16 cells
+  MetricsRegistry merged1;
+  const std::vector<CellResult> seq =
+      RunSweep(spec, 1, ExerciseCell, &merged1);
+  ASSERT_EQ(seq.size(), 16u);
+  for (const int threads : {2, 8}) {
+    MetricsRegistry merged_n;
+    const std::vector<CellResult> par =
+        RunSweep(spec, threads, ExerciseCell, &merged_n);
+    ASSERT_EQ(par.size(), seq.size()) << threads << " threads";
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      EXPECT_EQ(par[i].value, seq[i].value)
+          << "cell " << i << ", " << threads << " threads";
+      EXPECT_EQ(par[i].text, seq[i].text)
+          << "cell " << i << ", " << threads << " threads";
+    }
+    // The merged shards — counters and histogram buckets — must match
+    // the sequential merge exactly, not just statistically.
+    EXPECT_EQ(merged_n.ToString(), merged1.ToString())
+        << threads << " threads";
+  }
+  EXPECT_EQ(merged1.FindCounter("test.cells")->value(), 16);
+}
+
+// End-to-end determinism on the real simulator: the admitted-clip counts
+// of a small capacity sweep must not depend on the worker count.
+TEST(SweepRunTest, CapacitySimGridMatchesAcrossWorkerCounts) {
+  SweepSpec spec;
+  spec.parity_groups = {2, 4};
+  const CellFn cell_fn = [](const SweepCell& cell, Rng*,
+                            MetricsRegistry* metrics) {
+    SimConfig config;
+    config.scheme = Scheme::kDeclustered;
+    config.num_disks = 13;
+    config.parity_group = cell.parity_group;
+    config.q = 8;
+    config.f = 1;
+    config.rows = 4;
+    config.workload.num_clips = 20;
+    config.workload.clip_blocks = 40;
+    config.workload.duration_tu = 40;
+    config.workload.arrivals_per_tu = 2.0;
+    Result<SimResult> result = RunCapacitySim(config);
+    CellResult out;
+    out.ok = result.ok();
+    if (result.ok()) {
+      out.value = result->admitted;
+      metrics->counter("sim.admitted")->Inc(result->admitted);
+    }
+    return out;
+  };
+  MetricsRegistry merged1;
+  const std::vector<CellResult> seq = RunSweep(spec, 1, cell_fn, &merged1);
+  for (const int threads : {2, 8}) {
+    MetricsRegistry merged_n;
+    const std::vector<CellResult> par =
+        RunSweep(spec, threads, cell_fn, &merged_n);
+    ASSERT_EQ(par.size(), seq.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      EXPECT_TRUE(par[i].ok);
+      EXPECT_EQ(par[i].value, seq[i].value) << "cell " << i;
+    }
+    EXPECT_EQ(merged_n.ToString(), merged1.ToString());
+  }
+}
+
+TEST(SweepRunTest, EmptyCellListYieldsEmptyResults) {
+  const std::vector<CellResult> results =
+      RunSweepCells({}, 4, [](const SweepCell&, Rng*, MetricsRegistry*) {
+        return CellResult{};
+      });
+  EXPECT_TRUE(results.empty());
+}
+
+}  // namespace
+}  // namespace cmfs
