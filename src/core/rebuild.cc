@@ -8,7 +8,7 @@
 namespace cmfs {
 
 std::string RebuildStats::ToString() const {
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "RebuildStats{rounds=%lld, blocks=%lld, reads=%lld, "
                 "max_disk_round=%d}",
@@ -16,7 +16,14 @@ std::string RebuildStats::ToString() const {
                 static_cast<long long>(blocks_rebuilt),
                 static_cast<long long>(source_reads),
                 max_disk_round_reads);
-  return buf;
+  std::string out = buf;
+  if (transient_errors > 0) {
+    std::snprintf(buf, sizeof(buf), " + transient=%lld retried=%lld",
+                  static_cast<long long>(transient_errors),
+                  static_cast<long long>(retried_xors));
+    out += buf;
+  }
+  return out;
 }
 
 Rebuilder::Rebuilder(const Layout* layout, DiskArray* array,
@@ -104,7 +111,25 @@ Result<int> Rebuilder::RunRound() {
     if (!fits) break;  // Round full; resume next round.
 
     Result<Block> value = array_->XorOf(sources);
-    if (!value.ok()) return value.status();
+    int attempts = 0;
+    while (!value.ok() &&
+           value.status().code() == StatusCode::kUnavailable &&
+           attempts < max_read_retries_) {
+      ++stats_.transient_errors;
+      ++stats_.retried_xors;
+      ++attempts;
+      value = array_->XorOf(sources);
+    }
+    if (!value.ok()) {
+      if (value.status().code() == StatusCode::kUnavailable) {
+        // Retries exhausted while a transient window is active: leave
+        // this block pending and end the round; next round's retries
+        // start fresh.
+        ++stats_.transient_errors;
+        break;
+      }
+      return value.status();
+    }
     Status st = array_->Write(target, *value);
     if (!st.ok()) return st;
 
@@ -130,11 +155,20 @@ Result<int> Rebuilder::RunRound() {
 }
 
 Status Rebuilder::RunToCompletion() {
+  // A transient fault window may legitimately stall a round (the pending
+  // block's sources keep failing); a bounded run of zero-progress rounds
+  // is tolerated before declaring the rebuild stuck.
+  constexpr int kMaxStalledRounds = 8;
+  int stalled = 0;
   while (!done()) {
     Result<int> rebuilt = RunRound();
     if (!rebuilt.ok()) return rebuilt.status();
     if (*rebuilt == 0) {
-      return Status::Internal("rebuild stalled: budget admits no block");
+      if (++stalled > kMaxStalledRounds) {
+        return Status::Internal("rebuild stalled: budget admits no block");
+      }
+    } else {
+      stalled = 0;
     }
   }
   return Status::Ok();

@@ -36,6 +36,13 @@ struct RebuildStats {
   // Max reads charged to one source disk in one round (must be <= the
   // configured budget).
   int max_disk_round_reads = 0;
+  // Transient (kUnavailable) source-read failures observed, and XOR
+  // attempts retried because of them. Rebuild tolerates an active
+  // transient window on a source disk: each failed XOR is retried up to
+  // max_read_retries times in-round; a block still failing is left
+  // pending and the round ends early (resumed next round).
+  std::int64_t transient_errors = 0;
+  std::int64_t retried_xors = 0;
 
   std::string ToString() const;
 };
@@ -64,6 +71,12 @@ class Rebuilder {
   // "how long until redundancy is restored?").
   void AttachMetrics(MetricsRegistry* registry);
 
+  // Bounded in-round retry of transient (kUnavailable) source-read
+  // failures during rebuild. Each retry re-XORs the block's sources and
+  // advances at least one failing source past its fault window, so the
+  // default covers several concurrently-degraded sources.
+  void set_max_read_retries(int retries) { max_read_retries_ = retries; }
+
   bool done() const { return next_block_ >= blocks_per_disk_; }
   // Fraction of the target rebuilt, in [0, 1].
   double progress() const;
@@ -78,6 +91,7 @@ class Rebuilder {
   int target_disk_;
   std::int64_t blocks_per_disk_;
   int read_budget_;
+  int max_read_retries_ = 6;
   std::int64_t next_block_ = 0;
   RebuildStats stats_;
   Histogram* blocks_per_round_hist_ = nullptr;  // owned by the registry

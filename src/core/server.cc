@@ -10,7 +10,7 @@
 namespace cmfs {
 
 std::string ServerMetrics::ToString() const {
-  char buf[320];
+  char buf[480];
   std::snprintf(
       buf, sizeof(buf),
       "ServerMetrics{rounds=%lld, reads=%lld (recovery=%lld), "
@@ -22,7 +22,22 @@ std::string ServerMetrics::ToString() const {
       static_cast<long long>(completed_streams), max_disk_window_reads,
       static_cast<long long>(buffer_high_water_blocks),
       max_round_time * 1e3);
-  return buf;
+  std::string out = buf;
+  if (transient_read_errors > 0 || shed_streams > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        " degraded{transient=%lld, retries=%lld (recovered=%lld), "
+        "reconstructed=%lld, lost=%lld, shed=%lld, extra_reads=%lld}",
+        static_cast<long long>(transient_read_errors),
+        static_cast<long long>(read_retries),
+        static_cast<long long>(recovered_reads),
+        static_cast<long long>(inline_reconstructions),
+        static_cast<long long>(lost_reads),
+        static_cast<long long>(shed_streams),
+        static_cast<long long>(degraded_extra_reads));
+    out += buf;
+  }
+  return out;
 }
 
 Server::Server(DiskArray* array, Controller* controller,
@@ -37,7 +52,10 @@ Server::Server(DiskArray* array, Controller* controller,
   CMFS_CHECK(array != nullptr && controller != nullptr);
   CMFS_CHECK(config.block_size == array->block_size());
   CMFS_CHECK(config.load_window_rounds >= 1);
+  CMFS_CHECK(config.max_read_retries >= 0);
   window_reads_.assign(static_cast<std::size_t>(array->num_disks()), 0);
+  quota_caps_.assign(static_cast<std::size_t>(array->num_disks()),
+                     std::numeric_limits<int>::max());
   round_cylinders_.assign(static_cast<std::size_t>(array->num_disks()), {});
   round_disk_reads_.assign(static_cast<std::size_t>(array->num_disks()), 0);
   metrics_.per_disk_reads.assign(
@@ -48,6 +66,8 @@ Server::Server(DiskArray* array, Controller* controller,
     pool_.AttachMetrics(config_.metrics);
     round_time_hist_ = config_.metrics->histogram("server.round_time_s");
     round_reads_hist_ = config_.metrics->histogram("server.round_reads");
+    retries_hist_ =
+        config_.metrics->histogram("server.retries_per_recovered_read");
     disk_service_hists_.reserve(
         static_cast<std::size_t>(array->num_disks()));
     disk_round_reads_hists_.reserve(
@@ -63,10 +83,10 @@ Server::Server(DiskArray* array, Controller* controller,
 }
 
 bool Server::TryAdmit(StreamId id, int space, std::int64_t start,
-                      std::int64_t length) {
+                      std::int64_t length, int priority) {
   CMFS_CHECK(streams_.find(id) == streams_.end());
   if (!controller_->TryAdmit(id, space, start, length)) return false;
-  streams_[id] = StreamRecord{space, start, length, 0, false};
+  streams_[id] = StreamRecord{space, start, length, 0, false, priority};
   if (config_.trace != nullptr) {
     config_.trace->Record(TraceEvent{metrics_.rounds,
                                      TraceEventType::kAdmit, id,
@@ -108,6 +128,87 @@ void Server::DropStreamBuffers(StreamId id) {
       pending_parity_.upper_bound(
           {id, std::numeric_limits<int>::max(),
            std::numeric_limits<std::int64_t>::max()}));
+}
+
+void Server::SetDiskQuotaCap(int disk, int cap) {
+  CMFS_CHECK(disk >= 0 && disk < array_->num_disks());
+  quota_caps_[static_cast<std::size_t>(disk)] =
+      cap < 1 ? 1 : cap;
+}
+
+void Server::ClearDiskQuotaCaps() {
+  std::fill(quota_caps_.begin(), quota_caps_.end(),
+            std::numeric_limits<int>::max());
+}
+
+void Server::ShedStream(StreamId id, const std::string& reason,
+                        RoundPlan* plan) {
+  controller_->Cancel(id);
+  DropStreamBuffers(id);
+  auto it = streams_.find(id);
+  const int space = it != streams_.end() ? it->second.space : 0;
+  streams_.erase(id);
+  ++metrics_.shed_streams;
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("server.shed_streams")->Inc();
+    config_.metrics->counter("server.shed." + reason)->Inc();
+  }
+  if (config_.trace != nullptr) {
+    config_.trace->Record(TraceEvent{metrics_.rounds,
+                                     TraceEventType::kShed, id,
+                                     BlockAddress{}, ReadKind::kData,
+                                     space, -1});
+  }
+  auto of_stream = [id](const auto& entry) { return entry.stream == id; };
+  plan->reads.erase(
+      std::remove_if(plan->reads.begin(), plan->reads.end(), of_stream),
+      plan->reads.end());
+  plan->deliveries.erase(std::remove_if(plan->deliveries.begin(),
+                                        plan->deliveries.end(), of_stream),
+                         plan->deliveries.end());
+}
+
+void Server::ShedForQuotaCaps(RoundPlan* plan) {
+  bool any_cap = false;
+  for (int cap : quota_caps_) {
+    if (cap != std::numeric_limits<int>::max()) {
+      any_cap = true;
+      break;
+    }
+  }
+  if (!any_cap) return;
+  std::vector<int> planned(quota_caps_.size(), 0);
+  for (;;) {
+    std::fill(planned.begin(), planned.end(), 0);
+    for (const RoundRead& read : plan->reads) {
+      ++planned[static_cast<std::size_t>(read.addr.disk)];
+    }
+    int overloaded = -1;
+    for (std::size_t disk = 0; disk < planned.size(); ++disk) {
+      if (planned[disk] > quota_caps_[disk]) {
+        overloaded = static_cast<int>(disk);
+        break;
+      }
+    }
+    if (overloaded < 0) return;
+    // Victim: the lowest-priority stream (highest priority value, then
+    // highest id) with a planned read on the overloaded disk.
+    StreamId victim = -1;
+    int victim_priority = std::numeric_limits<int>::min();
+    for (const RoundRead& read : plan->reads) {
+      if (read.addr.disk != overloaded || read.stream < 0) continue;
+      auto it = streams_.find(read.stream);
+      const int priority =
+          it != streams_.end() ? it->second.priority : 0;
+      if (victim < 0 || priority > victim_priority ||
+          (priority == victim_priority && read.stream > victim)) {
+        victim = read.stream;
+        victim_priority = priority;
+      }
+    }
+    if (victim < 0) return;  // Nothing sheddable on that disk.
+    ShedStream(victim, "quota_cap", plan);
+  }
 }
 
 Status Server::ResumeStream(StreamId id) {
@@ -172,18 +273,99 @@ Status Server::CancelStream(StreamId id) {
   return Status::Ok();
 }
 
+Result<const Block*> Server::ReadWithRetry(const BlockAddress& addr) {
+  Result<const Block*> block = array_->ReadView(addr);
+  int retries = 0;
+  while (!block.ok() &&
+         block.status().code() == StatusCode::kUnavailable) {
+    ++metrics_.transient_read_errors;
+    if (config_.metrics != nullptr) {
+      config_.metrics->counter("server.transient_read_errors")->Inc();
+    }
+    if (retries >= config_.max_read_retries) break;
+    ++retries;
+    ++metrics_.read_retries;
+    ++metrics_.degraded_extra_reads;
+    block = array_->ReadView(addr);
+  }
+  if (block.ok() && retries > 0) {
+    ++metrics_.recovered_reads;
+    if (retries_hist_ != nullptr) {
+      retries_hist_->Add(static_cast<double>(retries));
+    }
+    if (config_.metrics != nullptr) {
+      config_.metrics->counter("server.recovered_reads")->Inc();
+      config_.metrics->counter("server.read_retries")->Inc(retries);
+    }
+  }
+  return block;
+}
+
+bool Server::ReconstructInline(const RoundRead& read) {
+  const ParityGroupInfo group =
+      controller_->layout().GroupOf(read.space, read.index);
+  reconstruct_scratch_.assign(
+      static_cast<std::size_t>(config_.block_size), 0);
+  auto absorb = [&](const BlockAddress& member) -> bool {
+    Result<const Block*> peer = ReadWithRetry(member);
+    if (!peer.ok()) return false;
+    ++metrics_.degraded_extra_reads;
+    ++metrics_.per_disk_reads[static_cast<std::size_t>(member.disk)];
+    ++metrics_.per_disk_recovery_reads[static_cast<std::size_t>(
+        member.disk)];
+    if (*peer != nullptr) {  // nullptr = unwritten = XOR identity
+      XorBytes(reconstruct_scratch_.data(), (*peer)->data(),
+               reconstruct_scratch_.size());
+    }
+    return true;
+  };
+  for (const BlockAddress& member : group.data) {
+    if (member == read.addr) continue;
+    if (!absorb(member)) return false;
+  }
+  if (!absorb(group.parity)) return false;
+  pool_.Put(read.stream, read.space, read.index, &reconstruct_scratch_,
+            /*parity_pending=*/false);
+  ++metrics_.inline_reconstructions;
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("server.inline_reconstructions")->Inc();
+  }
+  return true;
+}
+
 Status Server::ExecuteReads(const RoundPlan& plan) {
   for (auto& cyls : round_cylinders_) cyls.clear();
   std::fill(round_disk_reads_.begin(), round_disk_reads_.end(), 0);
   round_worst_time_ = 0.0;
   for (const RoundRead& read : plan.reads) {
+    const auto key = std::make_tuple(read.stream, read.space, read.index);
+    // A block already lost this round: stop touching it (a stray
+    // recovery read would resurrect a partial buffer entry).
+    if (!poisoned_.empty() && poisoned_.count(key) > 0) continue;
     // Zero-copy read: `data` aliases the disk's stored block (nullptr
     // for a never-written, all-zero block) and is consumed before any
     // write can touch it.
-    Result<const Block*> block = array_->ReadView(read.addr);
+    Result<const Block*> block = ReadWithRetry(read.addr);
     if (!block.ok()) {
-      return Status::Internal("controller scheduled unreadable block: " +
-                              block.status().ToString());
+      if (block.status().code() != StatusCode::kUnavailable) {
+        return Status::Internal("controller scheduled unreadable block: " +
+                                block.status().ToString());
+      }
+      // Transient error outlived the retry budget. Data reads fall back
+      // to inline parity reconstruction; recovery/parity reads (or a
+      // failed reconstruction) lose the block — a hiccup at delivery.
+      if (read.kind == ReadKind::kData &&
+          config_.reconstruct_on_read_error && ReconstructInline(read)) {
+        continue;  // Recovered; the planned read never hit the disk.
+      }
+      ++metrics_.lost_reads;
+      if (config_.metrics != nullptr) {
+        config_.metrics->counter("server.lost_reads")->Inc();
+      }
+      poisoned_.insert(key);
+      pending_parity_.erase(key);
+      pool_.Erase(read.stream, read.space, read.index);
+      continue;
     }
     const Block* data = *block;
     ++metrics_.total_reads;
@@ -355,6 +537,7 @@ Status Server::RunRound() {
   RoundPlan plan;
   controller_->Round(array_->failed_disk(), &plan);
   ++metrics_.rounds;
+  poisoned_.clear();
 
   // Snapshot the cumulative counters so the round's sample is a delta.
   const std::int64_t reads0 = metrics_.total_reads;
@@ -362,6 +545,16 @@ Status Server::RunRound() {
   const std::int64_t deliveries0 = metrics_.deliveries;
   const std::int64_t hiccups0 = metrics_.hiccups;
   const std::int64_t completed0 = metrics_.completed_streams;
+  const std::int64_t transient0 = metrics_.transient_read_errors;
+  const std::int64_t retries0 = metrics_.read_retries;
+  const std::int64_t recon0 = metrics_.inline_reconstructions;
+  const std::int64_t shed0 = metrics_.shed_streams;
+  const std::int64_t lost0 = metrics_.lost_reads;
+
+  // Latency-degraded disks first: if the plan no longer fits an active
+  // quota cap, shed the lowest-priority streams now rather than miss
+  // deadlines across the board mid-round.
+  ShedForQuotaCaps(&plan);
 
   Status st = ExecuteReads(plan);
   if (!st.ok()) return st;
@@ -394,7 +587,16 @@ Status Server::RunRound() {
       static_cast<int>(metrics_.completed_streams - completed0);
   sample.buffer_blocks = pool_.resident_blocks();
   sample.worst_disk_time = round_worst_time_;
-  sample.degraded = array_->failed_disk() >= 0;
+  sample.transient_errors =
+      static_cast<int>(metrics_.transient_read_errors - transient0);
+  sample.read_retries = static_cast<int>(metrics_.read_retries - retries0);
+  sample.reconstructions =
+      static_cast<int>(metrics_.inline_reconstructions - recon0);
+  sample.shed_streams = static_cast<int>(metrics_.shed_streams - shed0);
+  sample.lost_reads = static_cast<int>(metrics_.lost_reads - lost0);
+  sample.degraded = array_->failed_disk() >= 0 ||
+                    sample.transient_errors > 0 ||
+                    sample.shed_streams > 0;
   timeline_.Add(sample);
 
   if (config_.metrics != nullptr) {

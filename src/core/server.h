@@ -27,6 +27,24 @@
 //     not (the contingency-bandwidth guarantee);
 //   * every delivery is on time and bit-exact, except the non-clustered
 //     baseline's documented transition hiccups, which are counted.
+//
+// Degraded-mode service path (docs/fault_model.md): when a fault
+// injector is attached beneath the array, a read attempt may fail with a
+// transient kUnavailable error. The server retries it in-round up to
+// max_read_retries times; a data read whose retries are exhausted falls
+// back to on-the-fly parity reconstruction from the block's group peers.
+// When a latency epoch caps a disk's effective quota below the planned
+// load (SetDiskQuotaCap), the server sheds the lowest-priority streams
+// reading that disk — a metrics-visible drop ("server.shed_streams",
+// trace kShed) — instead of missing deadlines for everyone. Retry,
+// fallback and shedding are all accounted in the metrics registry and
+// the round timeline.
+//
+// Quota accounting under faults: the q-blocks-per-window invariant is
+// checked against *planned* reads (the admission contract the paper
+// proves). Retries and reconstruction-fallback reads are extra media
+// accesses charged to the separate degraded_extra_reads counter — they
+// model in-disk retry slack, not scheduled service.
 
 namespace cmfs {
 
@@ -43,6 +61,13 @@ struct ServerConfig {
   // Rounds per load-check window (1 normally; p-1 for streaming RAID,
   // whose quota q is per super-round).
   int load_window_rounds = 1;
+  // Bounded in-round retry of transient (kUnavailable) read errors.
+  // With a ScheduledFaultInjector attached, a budget of at least the
+  // window's max_consecutive_failures recovers every read in-round.
+  int max_read_retries = 2;
+  // After retries are exhausted on a data read, rebuild the block from
+  // the surviving members of its parity group on the fly.
+  bool reconstruct_on_read_error = true;
   // If true, time every disk's round with the C-SCAN service model and
   // record the worst observed round time (Equation 1 validation).
   bool time_rounds = false;
@@ -76,6 +101,24 @@ struct ServerMetrics {
   // Max blocks served by one disk within one load window.
   int max_disk_window_reads = 0;
   std::int64_t buffer_high_water_blocks = 0;
+  // --- Degraded-mode accounting ---
+  // Transient read-attempt failures observed (initial attempts and
+  // retries that failed).
+  std::int64_t transient_read_errors = 0;
+  // Retry attempts issued after a transient failure.
+  std::int64_t read_retries = 0;
+  // Reads that succeeded after at least one retry.
+  std::int64_t recovered_reads = 0;
+  // Data blocks rebuilt inline from parity after retry exhaustion.
+  std::int64_t inline_reconstructions = 0;
+  // Reads lost for good (retries and, where applicable, reconstruction
+  // exhausted) — each one surfaces as a hiccup at delivery time.
+  std::int64_t lost_reads = 0;
+  // Streams dropped by the quota-cap shedding policy.
+  std::int64_t shed_streams = 0;
+  // Extra media accesses beyond the plan: retries plus reconstruction
+  // peer reads (not charged against the round quota; see class comment).
+  std::int64_t degraded_extra_reads = 0;
   // Worst per-disk round service time observed (seconds; only when
   // time_rounds). Compare against block_size / playback_rate.
   double max_round_time = 0.0;
@@ -94,9 +137,12 @@ class Server {
   Server(DiskArray* array, Controller* controller,
          const ServerConfig& config);
 
-  // Admission passthrough (takes effect next round).
+  // Admission passthrough (takes effect next round). `priority` only
+  // matters to the shedding policy: 0 is the most important class;
+  // higher values are shed first when a latency epoch makes the planned
+  // load infeasible.
   bool TryAdmit(StreamId id, int space, std::int64_t start,
-                std::int64_t length);
+                std::int64_t length, int priority = 0);
 
   // VCR-style pause: the stream's bandwidth slot frees and its buffered
   // blocks are dropped; playback position is remembered. Resume re-runs
@@ -108,6 +154,14 @@ class Server {
   Status CancelStream(StreamId id);
 
   Status FailDisk(int disk) { return array_->FailDisk(disk); }
+
+  // Caps `disk`'s effective round quota (a latency-degraded epoch);
+  // q() or more = uncapped. Before executing a plan whose per-disk read
+  // count exceeds an active cap, the server sheds the lowest-priority
+  // streams reading that disk until the plan fits. Caps persist until
+  // changed or ClearDiskQuotaCaps().
+  void SetDiskQuotaCap(int disk, int cap);
+  void ClearDiskQuotaCaps();
 
   // Executes one round. Fails (kInternal) on any invariant violation:
   // quota overrun, missed/corrupt delivery (unless allow_hiccups), read
@@ -133,6 +187,18 @@ class Server {
   Status CheckLoadWindow();
   // Evicts a stream's buffered blocks and pending reconstructions.
   void DropStreamBuffers(StreamId id);
+  // Bounded-retry read (transient errors only); counts attempts into the
+  // degraded-mode metrics. Any terminal error is returned as-is.
+  Result<const Block*> ReadWithRetry(const BlockAddress& addr);
+  // Retry-exhaustion fallback for a data read: XOR the surviving group
+  // peers into the buffer entry. False if reconstruction is impossible
+  // (peer lost too) — the read is then counted lost and poisoned.
+  bool ReconstructInline(const RoundRead& read);
+  // Sheds lowest-priority streams until every disk's planned reads fit
+  // its active quota cap. Removes shed streams' reads/deliveries from
+  // the plan.
+  void ShedForQuotaCaps(RoundPlan* plan);
+  void ShedStream(StreamId id, const std::string& reason, RoundPlan* plan);
 
   // Stream bookkeeping for pause/resume: progress is tracked by counting
   // deliveries, so no controller cooperation beyond Cancel is needed.
@@ -142,6 +208,7 @@ class Server {
     std::int64_t length = 0;
     std::int64_t delivered = 0;
     bool paused = false;
+    int priority = 0;
   };
 
   DiskArray* array_;
@@ -153,6 +220,14 @@ class Server {
   ServerMetrics metrics_;
   // Keys of buffered entries awaiting parity reconstruction.
   std::set<std::tuple<StreamId, int, std::int64_t>> pending_parity_;
+  // Blocks lost to exhausted retries this round: delivery treats them as
+  // hiccups and same-round recovery reads stop touching them. Cleared
+  // every round.
+  std::set<std::tuple<StreamId, int, std::int64_t>> poisoned_;
+  // Per-disk effective quota caps (INT_MAX = uncapped).
+  std::vector<int> quota_caps_;
+  // Scratch for inline parity reconstruction.
+  Block reconstruct_scratch_;
   // Reads per disk in the current load window.
   std::vector<int> window_reads_;
   std::map<StreamId, StreamRecord> streams_;
@@ -173,6 +248,7 @@ class Server {
   // when no registry is attached).
   Histogram* round_time_hist_ = nullptr;
   Histogram* round_reads_hist_ = nullptr;
+  Histogram* retries_hist_ = nullptr;
   std::vector<Histogram*> disk_service_hists_;
   std::vector<Histogram*> disk_round_reads_hists_;
 };

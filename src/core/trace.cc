@@ -25,6 +25,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "resume";
     case TraceEventType::kCancel:
       return "cancel";
+    case TraceEventType::kShed:
+      return "shed";
   }
   return "unknown";
 }

@@ -34,11 +34,14 @@ enum class TraceEventType {
   kPause,
   kResume,
   kCancel,
+  // Stream dropped by the server's degraded-mode shedding policy (a
+  // latency epoch made its continuity infeasible).
+  kShed,
 };
 
 // Number of TraceEventType values (keep in sync with the enum; the
 // exhaustiveness test in trace_test.cc catches drift).
-inline constexpr int kNumTraceEventTypes = 8;
+inline constexpr int kNumTraceEventTypes = 9;
 
 const char* TraceEventTypeName(TraceEventType type);
 

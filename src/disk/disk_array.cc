@@ -47,6 +47,12 @@ Result<const Block*> DiskArray::ReadView(const BlockAddress& addr) const {
   return disks_[static_cast<std::size_t>(addr.disk)].ReadView(addr.block);
 }
 
+void DiskArray::AttachInjector(FaultInjector* injector) {
+  for (int i = 0; i < num_disks(); ++i) {
+    disks_[static_cast<std::size_t>(i)].AttachInjector(injector, i);
+  }
+}
+
 Status DiskArray::FailDisk(int i) {
   if (i < 0 || i >= num_disks()) {
     return Status::InvalidArgument("disk index out of range");
@@ -116,6 +122,7 @@ void DiskArray::ExportMetrics(MetricsRegistry* registry) const {
     registry->counter(prefix + "reads")->Set(d.reads());
     registry->counter(prefix + "writes")->Set(d.writes());
     registry->counter(prefix + "rejected_ios")->Set(d.rejected_ios());
+    registry->counter(prefix + "transient_errors")->Set(d.transient_errors());
   }
   registry->gauge("disk.failed")->Set(failed_disk());
 }

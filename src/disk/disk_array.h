@@ -47,6 +47,11 @@ class DiskArray {
   // (all-zero) block. See SimDisk::ReadView for pointer lifetime.
   Result<const Block*> ReadView(const BlockAddress& addr) const;
 
+  // Attaches `injector` to every disk (nullptr detaches): each read
+  // attempt anywhere in the array consults it first and may fail with a
+  // transient kUnavailable error. The injector must outlive the array.
+  void AttachInjector(FaultInjector* injector);
+
   // Fails disk i. Rejects a second concurrent failure (the paper's schemes
   // guarantee continuity only under a single failure).
   Status FailDisk(int i);

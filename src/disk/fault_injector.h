@@ -1,0 +1,33 @@
+#ifndef CMFS_DISK_FAULT_INJECTOR_H_
+#define CMFS_DISK_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+// Fault-injection hook beneath the simulated disks. When an injector is
+// attached (DiskArray::AttachInjector), every read attempt on every disk
+// consults it first, so the layers above — server, rebuilder, scenario
+// runner — observe realistic transient media errors instead of an
+// omniscient single failure flag. Implementations decide deterministically
+// (sim/fault_schedule.h provides the scripted, seed-reproducible one);
+// SimDisk only asks "does this attempt fail?".
+//
+// Scope: read path only. Transient *write* faults are out of scope — the
+// paper's failure model concerns retrieval continuity; ingest runs
+// offline and would simply retry.
+
+namespace cmfs {
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  // Called once per read attempt of `block` on `disk` (retries are new
+  // attempts). Return true to fail this attempt with a transient
+  // kUnavailable error; the block itself is intact and a later attempt
+  // may succeed. Must be deterministic for reproducible scenarios.
+  virtual bool FailRead(int disk, std::int64_t block) = 0;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_DISK_FAULT_INJECTOR_H_

@@ -41,6 +41,11 @@ Result<const Block*> SimDisk::ReadView(std::int64_t block) const {
     return Status::InvalidArgument("block " + std::to_string(block) +
                                    " out of range");
   }
+  if (injector_ != nullptr && injector_->FailRead(disk_index_, block)) {
+    ++transient_errors_;
+    return Status::Unavailable("transient read error on disk " +
+                               std::to_string(disk_index_));
+  }
   ++reads_;
   auto it = content_.find(block);
   return it == content_.end() ? nullptr : &it->second;

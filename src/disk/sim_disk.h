@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "disk/disk_params.h"
+#include "disk/fault_injector.h"
 #include "util/status.h"
 
 // Byte-accurate simulated disk.
@@ -74,12 +75,24 @@ class SimDisk {
   // densely: cylinder = block / blocks_per_cylinder.
   int CylinderOf(std::int64_t block) const;
 
+  // Attaches a fault injector consulted on every read attempt (nullptr
+  // detaches). `index` is this disk's position in the array, passed back
+  // to the injector. The injector must outlive the disk.
+  void AttachInjector(FaultInjector* injector, int index) {
+    injector_ = injector;
+    disk_index_ = index;
+  }
+
   // Lifetime I/O telemetry (survives failure/repair cycles): successful
   // reads and writes, plus I/Os rejected because the disk was down —
   // the raw series behind the per-disk load-distribution reports.
   std::int64_t reads() const { return reads_; }
   std::int64_t writes() const { return writes_; }
   std::int64_t rejected_ios() const { return rejected_ios_; }
+  // Read attempts failed by the attached injector (transient media
+  // errors, kUnavailable) — distinct from rejected_ios(), which counts
+  // I/O against a down disk.
+  std::int64_t transient_errors() const { return transient_errors_; }
 
  private:
   DiskParams params_;
@@ -91,6 +104,9 @@ class SimDisk {
   mutable std::int64_t reads_ = 0;
   std::int64_t writes_ = 0;
   mutable std::int64_t rejected_ios_ = 0;
+  mutable std::int64_t transient_errors_ = 0;
+  FaultInjector* injector_ = nullptr;
+  int disk_index_ = 0;
   // Tracked incrementally: blocks are only ever added (writes) or all
   // dropped at once (StartRebuild), so the max never needs a scan.
   std::int64_t highest_written_ = -1;

@@ -12,6 +12,11 @@ void EpochStats::Absorb(const RoundSample& s) {
   recovery_reads += s.recovery_reads;
   deliveries += s.deliveries;
   hiccups += s.hiccups;
+  transient_errors += s.transient_errors;
+  read_retries += s.read_retries;
+  reconstructions += s.reconstructions;
+  shed_streams += s.shed_streams;
+  lost_reads += s.lost_reads;
   round_time.Add(s.worst_disk_time);
   buffer_blocks.Add(static_cast<double>(s.buffer_blocks));
 }
@@ -31,7 +36,19 @@ std::string EpochStats::ToString() const {
       round_time.p50() * 1e3, round_time.p99() * 1e3,
       round_time.count() == 0 ? 0.0 : round_time.max() * 1e3,
       buffer_blocks.count() == 0 ? 0.0 : buffer_blocks.max());
-  return buf;
+  std::string out = buf;
+  if (transient_errors > 0 || shed_streams > 0 || lost_reads > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " faults{transient=%lld retries=%lld recon=%lld "
+                  "shed=%lld lost=%lld}",
+                  static_cast<long long>(transient_errors),
+                  static_cast<long long>(read_retries),
+                  static_cast<long long>(reconstructions),
+                  static_cast<long long>(shed_streams),
+                  static_cast<long long>(lost_reads));
+    out += buf;
+  }
+  return out;
 }
 
 std::string FailureEpochReport::ToString() const {

@@ -29,7 +29,14 @@ struct RoundSample {
   // Worst per-disk C-SCAN service time this round, seconds (0 unless
   // ServerConfig::time_rounds).
   double worst_disk_time = 0.0;
-  // True while any disk is failed or rebuilding.
+  // --- Degraded-mode deltas (fault injection; docs/fault_model.md) ---
+  int transient_errors = 0;  // injected read-attempt failures this round
+  int read_retries = 0;      // retry attempts issued this round
+  int reconstructions = 0;   // inline parity rebuilds this round
+  int shed_streams = 0;      // streams dropped by quota-cap shedding
+  int lost_reads = 0;        // reads lost for good this round
+  // True while any disk is failed/rebuilding, or any fault-injection
+  // activity (transient errors, shedding) touched this round.
   bool degraded = false;
 };
 
@@ -42,6 +49,12 @@ struct EpochStats {
   std::int64_t recovery_reads = 0;
   std::int64_t deliveries = 0;
   std::int64_t hiccups = 0;
+  // Degraded-mode totals over the epoch.
+  std::int64_t transient_errors = 0;
+  std::int64_t read_retries = 0;
+  std::int64_t reconstructions = 0;
+  std::int64_t shed_streams = 0;
+  std::int64_t lost_reads = 0;
   // Distribution of worst_disk_time (seconds) across the epoch's rounds.
   Histogram round_time;
   Summary buffer_blocks;

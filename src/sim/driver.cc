@@ -24,6 +24,28 @@ std::string SimResult::ToString() const {
 }
 
 Result<SimResult> RunCapacitySim(const SimConfig& config) {
+  if (config.num_disks <= 0) {
+    return Status::InvalidArgument("num_disks must be positive");
+  }
+  if (config.parity_group < 2 || config.parity_group > config.num_disks) {
+    return Status::InvalidArgument("parity_group must be in [2, num_disks]");
+  }
+  if (config.q < 1) return Status::InvalidArgument("q must be >= 1");
+  if (config.f < 0 || config.f > config.q) {
+    return Status::InvalidArgument(
+        "contingency reservation f must be in [0, q] (got f=" +
+        std::to_string(config.f) + ", q=" + std::to_string(config.q) + ")");
+  }
+  if (config.policy == AdmissionPolicy::kAgedFirstFit &&
+      config.max_wait_rounds < 1) {
+    return Status::InvalidArgument("max_wait_rounds must be >= 1");
+  }
+  if (config.renege_prob < 0.0 || config.renege_prob > 1.0) {
+    return Status::InvalidArgument("renege_prob outside [0, 1]");
+  }
+  if (config.batch_window_rounds < 0) {
+    return Status::InvalidArgument("batch_window_rounds must be >= 0");
+  }
   Rng rng(config.workload.seed);
 
   // Clip lengths must be whole parity groups for the clustered schemes.

@@ -1,5 +1,8 @@
 #include "sim/failure_drill.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -9,7 +12,93 @@
 
 namespace cmfs {
 
-Result<DrillResult> RunFailureDrill(const DrillConfig& config) {
+namespace {
+
+std::string JoinInt64(const std::vector<std::int64_t>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(v[i]);
+  }
+  out += "]";
+  return out;
+}
+
+Status ValidateScenarioConfig(const ScenarioConfig& config) {
+  if (config.num_disks <= 0) {
+    return Status::InvalidArgument("num_disks must be positive");
+  }
+  if (config.parity_group < 2 || config.parity_group > config.num_disks) {
+    return Status::InvalidArgument(
+        "parity_group must be in [2, num_disks]");
+  }
+  if (config.block_size <= 0) {
+    return Status::InvalidArgument("block_size must be positive");
+  }
+  if (config.total_rounds <= 0) {
+    return Status::InvalidArgument("total_rounds must be positive");
+  }
+  if (config.q < 1) return Status::InvalidArgument("q must be >= 1");
+  if (config.f < 0 || config.f > config.q) {
+    return Status::InvalidArgument(
+        "contingency reservation f must be in [0, q] (got f=" +
+        std::to_string(config.f) + ", q=" + std::to_string(config.q) + ")");
+  }
+  if (config.num_streams < 0) {
+    return Status::InvalidArgument("num_streams must be >= 0");
+  }
+  if (config.stream_blocks <= 0) {
+    return Status::InvalidArgument("stream_blocks must be positive");
+  }
+  if (config.priority_classes < 1) {
+    return Status::InvalidArgument("priority_classes must be >= 1");
+  }
+  return config.schedule.Validate(config.num_disks, config.total_rounds);
+}
+
+}  // namespace
+
+std::string EpochCounters::ToString() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "rounds %lld-%lld (%lld, degraded=%lld): reads=%lld "
+      "(recovery=%lld) deliveries=%lld hiccups=%lld transient=%lld "
+      "retries=%lld recon=%lld shed=%lld lost=%lld",
+      static_cast<long long>(first_round),
+      static_cast<long long>(last_round), static_cast<long long>(rounds),
+      static_cast<long long>(degraded_rounds),
+      static_cast<long long>(reads),
+      static_cast<long long>(recovery_reads),
+      static_cast<long long>(deliveries), static_cast<long long>(hiccups),
+      static_cast<long long>(transient_errors),
+      static_cast<long long>(read_retries),
+      static_cast<long long>(reconstructions),
+      static_cast<long long>(shed_streams),
+      static_cast<long long>(lost_reads));
+  return buf;
+}
+
+std::string ScenarioResult::ToString() const {
+  std::string out = "admitted=" + std::to_string(admitted) + "\n";
+  out += metrics.ToString() + "\n";
+  out += "injected=" + std::to_string(injected_errors) +
+         " rebuilds=" + std::to_string(completed_rebuilds) +
+         " rebuilt_blocks=" + std::to_string(rebuilt_blocks) +
+         " rebuild_transient=" + std::to_string(rebuild_transient_errors) +
+         "\n";
+  out += "per_disk_reads=" + JoinInt64(metrics.per_disk_reads) + "\n";
+  out += "per_disk_recovery=" + JoinInt64(metrics.per_disk_recovery_reads) +
+         "\n";
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    out += "epoch " + std::to_string(i) + ": " + epochs[i].ToString() + "\n";
+  }
+  return out;
+}
+
+Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
+  if (Status st = ValidateScenarioConfig(config); !st.ok()) return st;
+
   Rng rng(config.seed);
 
   // Clip lengths in the clustered schemes must be whole parity groups.
@@ -56,7 +145,9 @@ Result<DrillResult> RunFailureDrill(const DrillConfig& config) {
   DiskArray array(config.num_disks, disk_params, config.block_size);
 
   // Populate every stream's extent with deterministic content (parity is
-  // maintained incrementally by WriteDataBlock).
+  // maintained incrementally by WriteDataBlock). The injector is attached
+  // only afterwards — its round clock starts at -1, so setup I/O is
+  // fault-free either way.
   for (const ClipPlacement& placement : placements) {
     for (std::int64_t i = 0; i < stream_blocks; ++i) {
       Status st = WriteDataBlock(
@@ -67,33 +158,154 @@ Result<DrillResult> RunFailureDrill(const DrillConfig& config) {
     }
   }
 
+  ScheduledFaultInjector injector(&config.schedule, config.seed);
+  array.AttachInjector(&injector);
+
   ServerConfig server_config;
   server_config.block_size = config.block_size;
   server_config.allow_hiccups =
       config.allow_hiccups || config.scheme == Scheme::kNonClustered;
   server_config.load_window_rounds =
       config.scheme == Scheme::kStreamingRaid ? span : 1;
+  server_config.max_read_retries = config.max_read_retries;
+  server_config.reconstruct_on_read_error = config.reconstruct_on_read_error;
+  server_config.metrics = config.metrics;
   server_config.seed = config.seed;
   Server server(&array, setup->controller.get(), server_config);
 
-  DrillResult result;
+  ScenarioResult result;
   for (int i = 0; i < config.num_streams; ++i) {
     const ClipPlacement& placement = placements[static_cast<std::size_t>(i)];
-    if (server.TryAdmit(i, placement.space, placement.start,
-                        stream_blocks)) {
+    if (server.TryAdmit(i, placement.space, placement.start, stream_blocks,
+                        i % config.priority_classes)) {
       ++result.admitted;
     }
   }
 
-  for (int round = 0; round < config.total_rounds; ++round) {
-    if (round == config.fail_round) {
-      Status st = server.FailDisk(config.fail_disk);
-      if (!st.ok()) return st;
+  std::unique_ptr<Rebuilder> rebuilder;
+  int rebuild_target = -1;
+  for (std::int64_t round = 0; round < config.total_rounds; ++round) {
+    injector.BeginRound(round);
+    for (const FailStopEvent& event : config.schedule.fail_stops) {
+      if (event.round != round) continue;
+      if (Status st = server.FailDisk(event.disk); !st.ok()) return st;
     }
-    Status st = server.RunRound();
-    if (!st.ok()) return st;
+    for (const SwapEvent& event : config.schedule.swaps) {
+      if (event.round != round) continue;
+      // The scan bound must be read *before* StartRebuild blanks the
+      // replacement's content metadata.
+      const std::int64_t scan =
+          array.disk(event.disk).HighestWrittenBlock() + 1;
+      if (Status st = array.StartRebuild(event.disk); !st.ok()) return st;
+      rebuilder = std::make_unique<Rebuilder>(
+          setup->layout.get(), &array, event.disk,
+          std::max<std::int64_t>(scan, 1), event.rebuild_budget);
+      if (config.metrics != nullptr) {
+        rebuilder->AttachMetrics(config.metrics);
+      }
+      rebuild_target = event.disk;
+    }
+    // Refresh the slow-window quota caps for this round.
+    server.ClearDiskQuotaCaps();
+    for (int d = 0; d < config.num_disks; ++d) {
+      const int cap = injector.QuotaCap(d, config.q);
+      if (cap < config.q) server.SetDiskQuotaCap(d, cap);
+    }
+    if (Status st = server.RunRound(); !st.ok()) return st;
+    if (rebuilder != nullptr && !rebuilder->done()) {
+      Result<int> rebuilt = rebuilder->RunRound();
+      if (!rebuilt.ok()) return rebuilt.status();
+      if (rebuilder->done()) {
+        if (Status st = array.RepairDisk(rebuild_target); !st.ok()) {
+          return st;
+        }
+        ++result.completed_rebuilds;
+        result.rebuilt_blocks += rebuilder->stats().blocks_rebuilt;
+        result.rebuild_transient_errors +=
+            rebuilder->stats().transient_errors;
+        rebuilder.reset();
+        rebuild_target = -1;
+      }
+    }
   }
+
   result.metrics = server.metrics();
+  result.injected_errors = injector.injected_errors();
+
+  // Slice the round timeline at the schedule's epoch boundaries.
+  const std::vector<std::int64_t> bounds =
+      config.schedule.EpochBoundaries(config.total_rounds);
+  result.epochs.reserve(bounds.size());
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    EpochCounters epoch;
+    epoch.first_round = bounds[i];
+    epoch.last_round =
+        (i + 1 < bounds.size() ? bounds[i + 1] : config.total_rounds) - 1;
+    result.epochs.push_back(epoch);
+  }
+  for (const RoundSample& sample : server.timeline().Samples()) {
+    // The server stamps samples with its 1-based round counter; the
+    // schedule clock (and the epoch grid) is 0-based.
+    const std::int64_t scenario_round = sample.round - 1;
+    const auto it = std::upper_bound(bounds.begin(), bounds.end(),
+                                     scenario_round);
+    const std::size_t idx =
+        static_cast<std::size_t>(it - bounds.begin()) - 1;
+    EpochCounters& epoch = result.epochs[idx];
+    ++epoch.rounds;
+    epoch.reads += sample.reads;
+    epoch.recovery_reads += sample.recovery_reads;
+    epoch.deliveries += sample.deliveries;
+    epoch.hiccups += sample.hiccups;
+    epoch.transient_errors += sample.transient_errors;
+    epoch.read_retries += sample.read_retries;
+    epoch.reconstructions += sample.reconstructions;
+    epoch.shed_streams += sample.shed_streams;
+    epoch.lost_reads += sample.lost_reads;
+    if (sample.degraded) ++epoch.degraded_rounds;
+  }
+  return result;
+}
+
+Result<DrillResult> RunFailureDrill(const DrillConfig& config) {
+  // A mis-specified failure must fail loudly instead of silently running
+  // a clean no-failure drill (fail_round = -1 is the explicit way to ask
+  // for one).
+  if (config.fail_round >= 0) {
+    if (config.fail_disk < 0 || config.fail_disk >= config.num_disks) {
+      return Status::InvalidArgument(
+          "fail_disk " + std::to_string(config.fail_disk) +
+          " out of range [0, " + std::to_string(config.num_disks) + ")");
+    }
+    if (config.fail_round >= config.total_rounds) {
+      return Status::InvalidArgument(
+          "fail_round " + std::to_string(config.fail_round) +
+          " >= total_rounds " + std::to_string(config.total_rounds) +
+          " (the failure would never fire)");
+    }
+  }
+
+  ScenarioConfig scenario;
+  scenario.scheme = config.scheme;
+  scenario.num_disks = config.num_disks;
+  scenario.parity_group = config.parity_group;
+  scenario.q = config.q;
+  scenario.f = config.f;
+  scenario.block_size = config.block_size;
+  scenario.num_streams = config.num_streams;
+  scenario.stream_blocks = config.stream_blocks;
+  scenario.total_rounds = config.total_rounds;
+  scenario.allow_hiccups = config.allow_hiccups;
+  scenario.seed = config.seed;
+  if (config.fail_round >= 0) {
+    scenario.schedule.fail_stops.push_back(
+        FailStopEvent{config.fail_disk, config.fail_round});
+  }
+  Result<ScenarioResult> run = RunScenario(scenario);
+  if (!run.ok()) return run.status();
+  DrillResult result;
+  result.admitted = run->admitted;
+  result.metrics = std::move(run->metrics);
   return result;
 }
 

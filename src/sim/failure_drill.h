@@ -2,19 +2,26 @@
 #define CMFS_SIM_FAILURE_DRILL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/controller_factory.h"
+#include "core/rebuild.h"
 #include "core/server.h"
+#include "sim/fault_schedule.h"
 #include "sim/workload.h"
 
-// End-to-end failure drill: builds the full data path — real block
+// End-to-end fault scenarios: builds the full data path — real block
 // design, real layout, byte-accurate disk array with XOR parity — admits
-// streams, runs rounds, kills a disk mid-playback and verifies the
-// paper's guarantees hold: deliveries stay on time and bit-exact, and no
-// disk ever serves more than q blocks per round window. For the
-// non-clustered baseline it instead *measures* the transition hiccups the
-// paper predicts.
+// streams and executes a scripted FaultSchedule round by round while
+// verifying the paper's guarantees: deliveries stay on time and
+// bit-exact for every stream that is not explicitly shed, and no disk
+// ever serves more than q planned blocks per round window.
+//
+// RunScenario is the general engine (transient windows, slow-disk
+// epochs, fail-stop, swap + online rebuild, repeat); RunFailureDrill is
+// the classic single-failure drill expressed as a one-event schedule.
+// docs/operations.md walks an operator through both.
 
 namespace cmfs {
 
@@ -42,7 +49,84 @@ struct DrillResult {
   ServerMetrics metrics;
 };
 
+// Validates the config (fail_disk in range, fail_round < total_rounds,
+// f <= q, positive sizes) and runs the drill. fail_round = -1 runs a
+// clean, failure-free baseline.
 Result<DrillResult> RunFailureDrill(const DrillConfig& config);
+
+// --- Scripted fault scenarios --------------------------------------------
+
+struct ScenarioConfig {
+  Scheme scheme = Scheme::kDeclustered;
+  int num_disks = 8;
+  int parity_group = 4;
+  int q = 8;
+  int f = 1;
+  std::int64_t block_size = 64;
+  int num_streams = 16;
+  std::int64_t stream_blocks = 60;
+  std::int64_t total_rounds = 120;
+  bool allow_hiccups = false;
+  // Shedding priority classes: stream i is admitted with priority
+  // i % priority_classes (1 = everyone equal; num_streams = strict
+  // per-stream ordering, highest stream id shed first).
+  int priority_classes = 1;
+  // Degraded-mode knobs forwarded to ServerConfig.
+  int max_read_retries = 2;
+  bool reconstruct_on_read_error = true;
+  std::uint64_t seed = 0x5eedULL;
+  // The scripted fault timeline (validated against num_disks /
+  // total_rounds before anything runs).
+  FaultSchedule schedule;
+  // Optional metrics registry to publish server + rebuild telemetry
+  // into (owned by the caller, must outlive the call).
+  MetricsRegistry* metrics = nullptr;
+};
+
+// Aggregates over one schedule epoch [first_round, last_round] — the
+// reporting grain of the scenario: schedule.EpochBoundaries() cuts the
+// run wherever a fault window opens or closes or a lifecycle event
+// fires, and every RoundSample is absorbed into its epoch.
+struct EpochCounters {
+  std::int64_t first_round = 0;
+  std::int64_t last_round = 0;  // inclusive
+  std::int64_t rounds = 0;
+  std::int64_t reads = 0;
+  std::int64_t recovery_reads = 0;
+  std::int64_t deliveries = 0;
+  std::int64_t hiccups = 0;
+  std::int64_t transient_errors = 0;
+  std::int64_t read_retries = 0;
+  std::int64_t reconstructions = 0;
+  std::int64_t shed_streams = 0;
+  std::int64_t lost_reads = 0;
+  std::int64_t degraded_rounds = 0;
+
+  std::string ToString() const;
+};
+
+struct ScenarioResult {
+  int admitted = 0;
+  ServerMetrics metrics;
+  // Faults the injector actually fired (>= metrics.transient_read_errors
+  // only when rebuild reads also hit the window).
+  std::int64_t injected_errors = 0;
+  // Online-rebuild outcome across all swap events.
+  int completed_rebuilds = 0;
+  std::int64_t rebuilt_blocks = 0;
+  std::int64_t rebuild_transient_errors = 0;
+  // One entry per schedule epoch, in round order.
+  std::vector<EpochCounters> epochs;
+
+  // Full deterministic rendering (metrics, per-disk loads, every epoch):
+  // two runs of the same scenario must produce identical strings.
+  std::string ToString() const;
+};
+
+// Executes the schedule end-to-end. Fails fast (kInvalidArgument) on an
+// invalid config or schedule; fails kInternal if a guarantee the
+// schedule does not excuse is violated mid-run.
+Result<ScenarioResult> RunScenario(const ScenarioConfig& config);
 
 }  // namespace cmfs
 

@@ -1,0 +1,243 @@
+#include "sim/fault_schedule.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace cmfs {
+
+namespace {
+
+// splitmix64 finalizer; the per-attempt fault decision chains it over
+// the decision coordinates so each attempt is an independent coin flip.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double AttemptRoll(std::uint64_t seed, std::int64_t round, int disk,
+                   std::int64_t block, int attempt) {
+  std::uint64_t h = Mix(seed);
+  h = Mix(h ^ static_cast<std::uint64_t>(round));
+  h = Mix(h ^ static_cast<std::uint64_t>(disk));
+  h = Mix(h ^ static_cast<std::uint64_t>(block));
+  h = Mix(h ^ static_cast<std::uint64_t>(attempt));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+Status BadEvent(const char* what, int i, const std::string& why) {
+  return Status::InvalidArgument(std::string(what) + "[" +
+                                 std::to_string(i) + "]: " + why);
+}
+
+}  // namespace
+
+Status FaultSchedule::Validate(int num_disks,
+                               std::int64_t total_rounds) const {
+  for (std::size_t i = 0; i < transients.size(); ++i) {
+    const TransientWindow& w = transients[i];
+    const int idx = static_cast<int>(i);
+    if (w.disk < 0 || w.disk >= num_disks) {
+      return BadEvent("transient", idx, "disk out of range");
+    }
+    if (w.first_round < 0 || w.first_round > w.last_round ||
+        w.last_round >= total_rounds) {
+      return BadEvent("transient", idx, "window outside [0, total_rounds)");
+    }
+    if (w.probability < 0.0 || w.probability > 1.0) {
+      return BadEvent("transient", idx, "probability outside [0, 1]");
+    }
+    if (w.max_consecutive_failures < 1) {
+      return BadEvent("transient", idx, "max_consecutive_failures < 1");
+    }
+  }
+  for (std::size_t i = 0; i < slow_windows.size(); ++i) {
+    const SlowWindow& w = slow_windows[i];
+    const int idx = static_cast<int>(i);
+    if (w.disk < 0 || w.disk >= num_disks) {
+      return BadEvent("slow", idx, "disk out of range");
+    }
+    if (w.first_round < 0 || w.first_round > w.last_round ||
+        w.last_round >= total_rounds) {
+      return BadEvent("slow", idx, "window outside [0, total_rounds)");
+    }
+    if (w.quota_cap < 1) return BadEvent("slow", idx, "quota_cap < 1");
+  }
+  for (std::size_t i = 0; i < fail_stops.size(); ++i) {
+    const FailStopEvent& e = fail_stops[i];
+    const int idx = static_cast<int>(i);
+    if (e.disk < 0 || e.disk >= num_disks) {
+      return BadEvent("fail_stop", idx, "disk out of range");
+    }
+    if (e.round < 0 || e.round >= total_rounds) {
+      return BadEvent("fail_stop", idx, "round outside [0, total_rounds)");
+    }
+  }
+  for (std::size_t i = 0; i < swaps.size(); ++i) {
+    const SwapEvent& e = swaps[i];
+    const int idx = static_cast<int>(i);
+    if (e.disk < 0 || e.disk >= num_disks) {
+      return BadEvent("swap", idx, "disk out of range");
+    }
+    if (e.round < 0 || e.round >= total_rounds) {
+      return BadEvent("swap", idx, "round outside [0, total_rounds)");
+    }
+    if (e.rebuild_budget < 1) {
+      return BadEvent("swap", idx, "rebuild_budget < 1");
+    }
+    bool preceded = false;
+    for (const FailStopEvent& f : fail_stops) {
+      if (f.disk == e.disk && f.round < e.round) preceded = true;
+    }
+    if (!preceded) {
+      return BadEvent("swap", idx,
+                      "no earlier fail_stop of disk " +
+                          std::to_string(e.disk) +
+                          " (only a failed disk can be swapped)");
+    }
+  }
+  // Per-disk fail-stop/swap rounds must strictly interleave in time:
+  // fail < swap < next fail. A coarser check — strictly increasing
+  // rounds per disk across both lists — catches duplicates and
+  // swap-before-fail orderings the pairwise check above misses.
+  std::map<int, std::vector<std::int64_t>> lifecycle;
+  for (const FailStopEvent& e : fail_stops) {
+    lifecycle[e.disk].push_back(e.round);
+  }
+  for (const SwapEvent& e : swaps) lifecycle[e.disk].push_back(e.round);
+  for (auto& [disk, rounds] : lifecycle) {
+    std::vector<std::int64_t> sorted = rounds;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return Status::InvalidArgument(
+          "disk " + std::to_string(disk) +
+          " has two lifecycle events in the same round");
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::int64_t> FaultSchedule::EpochBoundaries(
+    std::int64_t total_rounds) const {
+  std::vector<std::int64_t> bounds = {0};
+  auto add = [&](std::int64_t round) {
+    if (round > 0 && round < total_rounds) bounds.push_back(round);
+  };
+  for (const TransientWindow& w : transients) {
+    add(w.first_round);
+    add(w.last_round + 1);
+  }
+  for (const SlowWindow& w : slow_windows) {
+    add(w.first_round);
+    add(w.last_round + 1);
+  }
+  for (const FailStopEvent& e : fail_stops) add(e.round);
+  for (const SwapEvent& e : swaps) add(e.round);
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  return bounds;
+}
+
+std::string FaultSchedule::ToString() const {
+  if (empty()) return "FaultSchedule{clean}";
+  std::string out = "FaultSchedule{";
+  char buf[128];
+  for (const TransientWindow& w : transients) {
+    std::snprintf(buf, sizeof(buf),
+                  " transient(disk=%d r%lld-%lld p=%.2f max=%d)", w.disk,
+                  static_cast<long long>(w.first_round),
+                  static_cast<long long>(w.last_round), w.probability,
+                  w.max_consecutive_failures);
+    out += buf;
+  }
+  for (const SlowWindow& w : slow_windows) {
+    std::snprintf(buf, sizeof(buf), " slow(disk=%d r%lld-%lld cap=%d)",
+                  w.disk, static_cast<long long>(w.first_round),
+                  static_cast<long long>(w.last_round), w.quota_cap);
+    out += buf;
+  }
+  for (const FailStopEvent& e : fail_stops) {
+    std::snprintf(buf, sizeof(buf), " fail(disk=%d r%lld)", e.disk,
+                  static_cast<long long>(e.round));
+    out += buf;
+  }
+  for (const SwapEvent& e : swaps) {
+    std::snprintf(buf, sizeof(buf), " swap(disk=%d r%lld budget=%d)",
+                  e.disk, static_cast<long long>(e.round),
+                  e.rebuild_budget);
+    out += buf;
+  }
+  out += " }";
+  return out;
+}
+
+std::size_t ScheduledFaultInjector::PairHash::operator()(
+    const std::pair<int, std::int64_t>& k) const {
+  return static_cast<std::size_t>(
+      Mix(static_cast<std::uint64_t>(k.first) * 0x9e3779b97f4a7c15ull ^
+          static_cast<std::uint64_t>(k.second)));
+}
+
+ScheduledFaultInjector::ScheduledFaultInjector(const FaultSchedule* schedule,
+                                               std::uint64_t seed)
+    : schedule_(schedule), seed_(seed) {
+  CMFS_CHECK(schedule != nullptr);
+}
+
+void ScheduledFaultInjector::BeginRound(std::int64_t round) {
+  round_ = round;
+  attempts_.clear();
+}
+
+bool ScheduledFaultInjector::FailRead(int disk, std::int64_t block) {
+  if (round_ < 0) return false;  // Population / setup I/O is fault-free.
+  const TransientWindow* active = nullptr;
+  for (const TransientWindow& w : schedule_->transients) {
+    if (w.disk == disk && round_ >= w.first_round &&
+        round_ <= w.last_round) {
+      active = &w;
+      break;
+    }
+  }
+  if (active == nullptr) return false;
+  int& failed = attempts_[{disk, block}];
+  if (failed >= active->max_consecutive_failures) return false;
+  if (AttemptRoll(seed_, round_, disk, block, failed) >=
+      active->probability) {
+    return false;
+  }
+  ++failed;
+  ++injected_;
+  if (static_cast<std::size_t>(disk) >= per_disk_injected_.size()) {
+    per_disk_injected_.resize(static_cast<std::size_t>(disk) + 1, 0);
+  }
+  ++per_disk_injected_[static_cast<std::size_t>(disk)];
+  return true;
+}
+
+int ScheduledFaultInjector::QuotaCap(int disk, int fallback) const {
+  int cap = fallback;
+  if (round_ < 0) return cap;
+  for (const SlowWindow& w : schedule_->slow_windows) {
+    if (w.disk == disk && round_ >= w.first_round &&
+        round_ <= w.last_round) {
+      cap = std::min(cap, w.quota_cap);
+    }
+  }
+  return cap;
+}
+
+bool ScheduledFaultInjector::InTransientWindow(int disk) const {
+  if (round_ < 0) return false;
+  for (const TransientWindow& w : schedule_->transients) {
+    if (w.disk == disk && round_ >= w.first_round &&
+        round_ <= w.last_round) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cmfs

@@ -1,0 +1,147 @@
+#ifndef CMFS_SIM_FAULT_SCHEDULE_H_
+#define CMFS_SIM_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "disk/fault_injector.h"
+#include "util/status.h"
+
+// Scripted fault timeline: the deterministic, seed-reproducible event
+// program a fault scenario runs (sim/failure_drill.h executes one
+// end-to-end). Four fault classes, matching the operator taxonomy in
+// docs/fault_model.md:
+//
+//   * transient windows — per-disk epochs during which each read attempt
+//     fails with a given probability (bounded per block, so bounded
+//     retry always converges);
+//   * slow windows — latency-degraded epochs that shrink one disk's
+//     effective round quota (the server sheds streams if the planned
+//     load no longer fits);
+//   * fail-stop events — the paper's permanent single-disk failure;
+//   * swap events — a blank replacement is inserted and rebuilt online
+//     (core/rebuild.h), after which the disk returns to service and a
+//     *next* failure becomes legal again.
+//
+// Fault decisions are pure functions of (seed, round, disk, block,
+// attempt#) — a splitmix64 hash, not a shared RNG stream — so the same
+// schedule replays bit-identically regardless of read order, scheme or
+// thread placement of the scenario.
+
+namespace cmfs {
+
+// Transient read errors on one disk over [first_round, last_round]:
+// every read attempt fails independently with `probability`, except that
+// one (round, block) fails at most `max_consecutive_failures` attempts —
+// after that, attempts on it always succeed. A retry budget of at least
+// max_consecutive_failures therefore recovers every read in-round.
+struct TransientWindow {
+  int disk = 0;
+  std::int64_t first_round = 0;
+  std::int64_t last_round = 0;  // inclusive
+  double probability = 1.0;
+  int max_consecutive_failures = 2;
+};
+
+// Latency-degraded epoch: the disk stays readable but can only serve
+// `quota_cap` blocks per round (< q). The server must shed streams when
+// the planned load on the disk exceeds the cap.
+struct SlowWindow {
+  int disk = 0;
+  std::int64_t first_round = 0;
+  std::int64_t last_round = 0;  // inclusive
+  int quota_cap = 1;
+};
+
+// Permanent fail-stop of `disk` at the start of `round` (§2's failure
+// model). At most one disk may be failed/rebuilding at a time; a second
+// fail-stop is only legal after the first disk's swap+rebuild completed.
+struct FailStopEvent {
+  int disk = 0;
+  std::int64_t round = 0;
+};
+
+// Blank-replacement swap at the start of `round`: reads keep failing
+// (clients use degraded mode) while the rebuilder restores the contents
+// at `rebuild_budget` reads per source disk per round. The disk returns
+// to service the round the rebuild completes.
+struct SwapEvent {
+  int disk = 0;
+  std::int64_t round = 0;
+  int rebuild_budget = 1;
+};
+
+struct FaultSchedule {
+  std::vector<TransientWindow> transients;
+  std::vector<SlowWindow> slow_windows;
+  std::vector<FailStopEvent> fail_stops;
+  std::vector<SwapEvent> swaps;
+
+  bool empty() const {
+    return transients.empty() && slow_windows.empty() &&
+           fail_stops.empty() && swaps.empty();
+  }
+
+  // Structural validation: disk indices in [0, num_disks), rounds in
+  // [0, total_rounds), well-formed windows (first <= last, probability
+  // in [0, 1], caps >= 1), every swap preceded by a fail-stop of the
+  // same disk, and fail-stop/swap rounds strictly increasing per disk.
+  Status Validate(int num_disks, std::int64_t total_rounds) const;
+
+  // Sorted, de-duplicated epoch boundaries in [0, total_rounds): round 0,
+  // every window edge (first and last+1) and every fail-stop/swap round.
+  // Epoch i spans [boundary[i], boundary[i+1]) — the reporting grain of
+  // the scenario runner.
+  std::vector<std::int64_t> EpochBoundaries(std::int64_t total_rounds) const;
+
+  std::string ToString() const;
+};
+
+// FaultInjector driven by a FaultSchedule. The owner advances the clock
+// with BeginRound before each round; FailRead then decides each attempt
+// deterministically. Also answers the slow-window quota question for the
+// serving layer. Not thread-safe; one injector per scenario.
+class ScheduledFaultInjector : public FaultInjector {
+ public:
+  // The schedule must outlive the injector and must have been validated.
+  ScheduledFaultInjector(const FaultSchedule* schedule, std::uint64_t seed);
+
+  // Advances to `round` and resets the per-round attempt bookkeeping.
+  void BeginRound(std::int64_t round);
+  std::int64_t round() const { return round_; }
+
+  bool FailRead(int disk, std::int64_t block) override;
+
+  // Tightest active slow-window cap for `disk` this round, or `fallback`
+  // when no slow window covers it.
+  int QuotaCap(int disk, int fallback) const;
+  // True if a transient window covers `disk` this round.
+  bool InTransientWindow(int disk) const;
+
+  // Total attempts failed so far, overall and per disk (indexable up to
+  // the highest disk that ever failed a read).
+  std::int64_t injected_errors() const { return injected_; }
+  const std::vector<std::int64_t>& per_disk_injected() const {
+    return per_disk_injected_;
+  }
+
+ private:
+  struct PairHash {
+    std::size_t operator()(const std::pair<int, std::int64_t>& k) const;
+  };
+
+  const FaultSchedule* schedule_;
+  std::uint64_t seed_;
+  std::int64_t round_ = -1;  // before the first BeginRound: no faults
+  // Failed attempts per (disk, block) this round; monotone within the
+  // round so the max_consecutive_failures bound is a hard guarantee.
+  std::unordered_map<std::pair<int, std::int64_t>, int, PairHash> attempts_;
+  std::int64_t injected_ = 0;
+  std::vector<std::int64_t> per_disk_injected_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_SIM_FAULT_SCHEDULE_H_

@@ -18,6 +18,7 @@ enum class StatusCode {
   kNotFound,
   kResourceExhausted,   // admission rejected: no bandwidth/buffer
   kFailedPrecondition,  // e.g. operation on a failed disk
+  kUnavailable,         // transient fault: a retry may succeed
   kUnimplemented,
   kInternal,
 };
@@ -41,6 +42,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

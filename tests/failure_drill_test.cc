@@ -94,6 +94,34 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
+TEST(FailureDrillTest, RejectsOutOfRangeFailDisk) {
+  DrillConfig config;
+  config.fail_disk = config.num_disks;  // one past the end
+  Result<DrillResult> result = RunFailureDrill(config);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  config.fail_disk = -2;
+  EXPECT_EQ(RunFailureDrill(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FailureDrillTest, RejectsFailRoundPastEndOfDrill) {
+  // A failure scheduled after the last round would silently run a clean
+  // drill; it must be rejected instead (fail_round = -1 is the explicit
+  // no-failure spelling).
+  DrillConfig config;
+  config.fail_round = config.total_rounds;
+  EXPECT_EQ(RunFailureDrill(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FailureDrillTest, RejectsContingencyLargerThanQuota) {
+  DrillConfig config;
+  config.q = 4;
+  config.f = 5;
+  EXPECT_EQ(RunFailureDrill(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(FailureDrillTest, NoFailureBaselineIsClean) {
   DrillConfig config;
   config.scheme = Scheme::kDeclustered;

@@ -1,0 +1,248 @@
+#include "sim/fault_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+// The scripted fault timeline must be (a) structurally validated before
+// anything runs, (b) deterministic: every injection decision is a pure
+// function of (seed, round, disk, block, attempt), independent of the
+// order other blocks are probed in, and (c) bounded: one (round, block)
+// fails at most max_consecutive_failures attempts, so bounded retry
+// always converges.
+
+namespace cmfs {
+namespace {
+
+FaultSchedule StormSchedule() {
+  FaultSchedule schedule;
+  schedule.transients.push_back(TransientWindow{1, 5, 15, 1.0, 2});
+  schedule.slow_windows.push_back(SlowWindow{2, 20, 28, 1});
+  schedule.fail_stops.push_back(FailStopEvent{3, 35});
+  schedule.swaps.push_back(SwapEvent{3, 45, 2});
+  schedule.fail_stops.push_back(FailStopEvent{0, 70});
+  return schedule;
+}
+
+TEST(FaultScheduleTest, ValidScheduleValidates) {
+  EXPECT_TRUE(StormSchedule().Validate(8, 100).ok());
+}
+
+TEST(FaultScheduleTest, EmptyScheduleIsCleanAndValid) {
+  FaultSchedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_TRUE(schedule.Validate(4, 10).ok());
+  EXPECT_EQ(schedule.ToString(), "FaultSchedule{clean}");
+  EXPECT_EQ(schedule.EpochBoundaries(10), std::vector<std::int64_t>{0});
+}
+
+TEST(FaultScheduleTest, RejectsOutOfRangeDisk) {
+  FaultSchedule schedule;
+  schedule.transients.push_back(TransientWindow{8, 0, 5, 1.0, 2});
+  Status st = schedule.Validate(8, 100);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultScheduleTest, RejectsWindowPastEndOfRun) {
+  FaultSchedule schedule;
+  schedule.slow_windows.push_back(SlowWindow{0, 90, 110, 1});
+  EXPECT_EQ(schedule.Validate(8, 100).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FaultScheduleTest, RejectsInvertedWindow) {
+  FaultSchedule schedule;
+  schedule.transients.push_back(TransientWindow{0, 10, 5, 1.0, 2});
+  EXPECT_EQ(schedule.Validate(8, 100).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FaultScheduleTest, RejectsBadProbabilityAndBounds) {
+  FaultSchedule schedule;
+  schedule.transients.push_back(TransientWindow{0, 0, 5, 1.5, 2});
+  EXPECT_EQ(schedule.Validate(8, 100).code(),
+            StatusCode::kInvalidArgument);
+
+  FaultSchedule schedule2;
+  schedule2.transients.push_back(TransientWindow{0, 0, 5, 0.5, 0});
+  EXPECT_EQ(schedule2.Validate(8, 100).code(),
+            StatusCode::kInvalidArgument);
+
+  FaultSchedule schedule3;
+  schedule3.slow_windows.push_back(SlowWindow{0, 0, 5, 0});
+  EXPECT_EQ(schedule3.Validate(8, 100).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FaultScheduleTest, RejectsSwapWithoutPrecedingFailStop) {
+  FaultSchedule schedule;
+  schedule.swaps.push_back(SwapEvent{2, 50, 1});
+  EXPECT_EQ(schedule.Validate(8, 100).code(),
+            StatusCode::kInvalidArgument);
+
+  // A fail-stop of a *different* disk does not legalize the swap.
+  schedule.fail_stops.push_back(FailStopEvent{1, 10});
+  EXPECT_EQ(schedule.Validate(8, 100).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FaultScheduleTest, RejectsFailAndSwapInSameRound) {
+  FaultSchedule schedule;
+  schedule.fail_stops.push_back(FailStopEvent{2, 50});
+  schedule.swaps.push_back(SwapEvent{2, 50, 1});
+  EXPECT_EQ(schedule.Validate(8, 100).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FaultScheduleTest, EpochBoundariesCutAtEveryEventEdge) {
+  const FaultSchedule schedule = StormSchedule();
+  const std::vector<std::int64_t> expected = {0, 5, 16, 20, 29, 35, 45, 70};
+  EXPECT_EQ(schedule.EpochBoundaries(100), expected);
+  // Edges at or past total_rounds are dropped.
+  const std::vector<std::int64_t> truncated = {0, 5, 16, 20, 29, 35};
+  EXPECT_EQ(schedule.EpochBoundaries(40), truncated);
+}
+
+TEST(ScheduledFaultInjectorTest, NoFaultsBeforeFirstRound) {
+  const FaultSchedule schedule = StormSchedule();
+  ScheduledFaultInjector injector(&schedule, 42);
+  // Population / setup I/O happens before BeginRound: never faulted.
+  for (std::int64_t block = 0; block < 100; ++block) {
+    EXPECT_FALSE(injector.FailRead(1, block));
+  }
+  EXPECT_EQ(injector.injected_errors(), 0);
+}
+
+TEST(ScheduledFaultInjectorTest, CertainFaultFailsExactlyMaxConsecutive) {
+  FaultSchedule schedule;
+  schedule.transients.push_back(TransientWindow{1, 0, 10, 1.0, 2});
+  ScheduledFaultInjector injector(&schedule, 42);
+  injector.BeginRound(3);
+  EXPECT_TRUE(injector.FailRead(1, 7));
+  EXPECT_TRUE(injector.FailRead(1, 7));
+  // Bound reached: all later attempts on this (round, block) succeed.
+  EXPECT_FALSE(injector.FailRead(1, 7));
+  EXPECT_FALSE(injector.FailRead(1, 7));
+  // A different block has its own budget...
+  EXPECT_TRUE(injector.FailRead(1, 8));
+  // ...and a new round resets it.
+  injector.BeginRound(4);
+  EXPECT_TRUE(injector.FailRead(1, 7));
+  EXPECT_EQ(injector.injected_errors(), 4);
+}
+
+TEST(ScheduledFaultInjectorTest, OnlyWindowedDisksAndRoundsFault) {
+  FaultSchedule schedule;
+  schedule.transients.push_back(TransientWindow{1, 5, 10, 1.0, 2});
+  ScheduledFaultInjector injector(&schedule, 42);
+  injector.BeginRound(4);  // before the window
+  EXPECT_FALSE(injector.FailRead(1, 0));
+  injector.BeginRound(5);
+  EXPECT_TRUE(injector.FailRead(1, 0));
+  EXPECT_FALSE(injector.FailRead(2, 0));  // other disk untouched
+  injector.BeginRound(11);  // after the window
+  EXPECT_FALSE(injector.FailRead(1, 0));
+}
+
+TEST(ScheduledFaultInjectorTest, ZeroProbabilityNeverFaults) {
+  FaultSchedule schedule;
+  schedule.transients.push_back(TransientWindow{0, 0, 50, 0.0, 2});
+  ScheduledFaultInjector injector(&schedule, 42);
+  for (std::int64_t round = 0; round <= 50; ++round) {
+    injector.BeginRound(round);
+    for (std::int64_t block = 0; block < 20; ++block) {
+      EXPECT_FALSE(injector.FailRead(0, block));
+    }
+  }
+  EXPECT_EQ(injector.injected_errors(), 0);
+}
+
+TEST(ScheduledFaultInjectorTest, DecisionsIndependentOfProbeOrder) {
+  // Two injectors over the same schedule+seed, probed in opposite block
+  // orders, must produce the same outcome sequence per block — fault
+  // decisions are keyed hashes, not draws from a shared stream.
+  FaultSchedule schedule;
+  schedule.transients.push_back(TransientWindow{0, 0, 10, 0.5, 3});
+  schedule.transients.push_back(TransientWindow{1, 0, 10, 0.5, 3});
+  ScheduledFaultInjector forward(&schedule, 7);
+  ScheduledFaultInjector backward(&schedule, 7);
+
+  for (std::int64_t round = 0; round <= 10; ++round) {
+    forward.BeginRound(round);
+    backward.BeginRound(round);
+    std::vector<bool> fwd;
+    std::vector<bool> bwd(2 * 16 * 3);
+    for (int disk = 0; disk < 2; ++disk) {
+      for (std::int64_t block = 0; block < 16; ++block) {
+        for (int attempt = 0; attempt < 3; ++attempt) {
+          fwd.push_back(forward.FailRead(disk, block));
+        }
+      }
+    }
+    for (int disk = 1; disk >= 0; --disk) {
+      for (std::int64_t block = 15; block >= 0; --block) {
+        for (int attempt = 0; attempt < 3; ++attempt) {
+          const std::size_t idx = static_cast<std::size_t>(
+              (disk * 16 + block) * 3 + attempt);
+          bwd[idx] = backward.FailRead(disk, block);
+        }
+      }
+    }
+    ASSERT_EQ(fwd.size(), bwd.size());
+    EXPECT_EQ(fwd, bwd) << "round " << round;
+  }
+  EXPECT_EQ(forward.injected_errors(), backward.injected_errors());
+}
+
+TEST(ScheduledFaultInjectorTest, SameSeedReplaysIdentically) {
+  FaultSchedule schedule;
+  schedule.transients.push_back(TransientWindow{0, 0, 20, 0.3, 2});
+  ScheduledFaultInjector a(&schedule, 99);
+  ScheduledFaultInjector b(&schedule, 99);
+  ScheduledFaultInjector c(&schedule, 100);  // different seed
+  std::int64_t differs_from_c = 0;
+  for (std::int64_t round = 0; round <= 20; ++round) {
+    a.BeginRound(round);
+    b.BeginRound(round);
+    c.BeginRound(round);
+    for (std::int64_t block = 0; block < 32; ++block) {
+      const bool fa = a.FailRead(0, block);
+      EXPECT_EQ(fa, b.FailRead(0, block));
+      if (fa != c.FailRead(0, block)) ++differs_from_c;
+    }
+  }
+  EXPECT_EQ(a.injected_errors(), b.injected_errors());
+  EXPECT_GT(differs_from_c, 0);  // the seed actually matters
+}
+
+TEST(ScheduledFaultInjectorTest, QuotaCapAnswersSlowWindows) {
+  FaultSchedule schedule;
+  schedule.slow_windows.push_back(SlowWindow{2, 10, 20, 3});
+  schedule.slow_windows.push_back(SlowWindow{2, 15, 18, 2});  // tighter
+  ScheduledFaultInjector injector(&schedule, 1);
+  EXPECT_EQ(injector.QuotaCap(2, 8), 8);  // before BeginRound
+  injector.BeginRound(9);
+  EXPECT_EQ(injector.QuotaCap(2, 8), 8);
+  injector.BeginRound(10);
+  EXPECT_EQ(injector.QuotaCap(2, 8), 3);
+  EXPECT_EQ(injector.QuotaCap(1, 8), 8);  // other disk uncapped
+  injector.BeginRound(16);
+  EXPECT_EQ(injector.QuotaCap(2, 8), 2);  // tightest active window wins
+  injector.BeginRound(21);
+  EXPECT_EQ(injector.QuotaCap(2, 8), 8);
+}
+
+TEST(ScheduledFaultInjectorTest, InTransientWindowTracksSchedule) {
+  FaultSchedule schedule;
+  schedule.transients.push_back(TransientWindow{4, 7, 9, 1.0, 1});
+  ScheduledFaultInjector injector(&schedule, 1);
+  EXPECT_FALSE(injector.InTransientWindow(4));
+  injector.BeginRound(7);
+  EXPECT_TRUE(injector.InTransientWindow(4));
+  EXPECT_FALSE(injector.InTransientWindow(3));
+  injector.BeginRound(10);
+  EXPECT_FALSE(injector.InTransientWindow(4));
+}
+
+}  // namespace
+}  // namespace cmfs

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/failure_drill.h"
+#include "sim/sweep.h"
+
+// End-to-end fault-storm scenarios: a multi-epoch schedule — transient
+// window, slow-disk epoch, fail-stop, swap + online rebuild, second
+// fail-stop after repair — must run deterministically through the
+// scenario runner with byte-exact deliveries for every stream that is
+// not explicitly shed (the server verifies every delivered block against
+// the deterministic content pattern, so a clean exit with zero hiccups
+// *is* the byte-exactness proof).
+
+namespace cmfs {
+namespace {
+
+struct StormCase {
+  std::string name;
+  Scheme scheme;
+  int num_disks;
+  int parity_group;
+  int q;
+  int f;
+};
+
+// The canonical storm: every fault class in sequence, with enough slack
+// for the rebuild to finish before the second failure.
+FaultSchedule StormSchedule() {
+  FaultSchedule schedule;
+  schedule.transients.push_back(TransientWindow{1, 5, 15, 1.0, 2});
+  schedule.slow_windows.push_back(SlowWindow{2, 20, 28, 1});
+  schedule.fail_stops.push_back(FailStopEvent{3, 35});
+  schedule.swaps.push_back(SwapEvent{3, 45, 4});
+  schedule.fail_stops.push_back(FailStopEvent{0, 120});
+  return schedule;
+}
+
+ScenarioConfig StormConfig(const StormCase& c) {
+  ScenarioConfig config;
+  config.scheme = c.scheme;
+  config.num_disks = c.num_disks;
+  config.parity_group = c.parity_group;
+  config.q = c.q;
+  config.f = c.f;
+  config.num_streams = 12;
+  config.stream_blocks = 120;
+  config.total_rounds = 150;
+  config.priority_classes = 4;
+  config.schedule = StormSchedule();
+  return config;
+}
+
+class FaultStormTest : public ::testing::TestWithParam<StormCase> {};
+
+TEST_P(FaultStormTest, MultiEpochStormRunsCleanly) {
+  const StormCase c = GetParam();
+  const ScenarioConfig config = StormConfig(c);
+  Result<ScenarioResult> result = RunScenario(config);
+  ASSERT_TRUE(result.ok()) << c.name << ": "
+                           << result.status().ToString();
+  const ServerMetrics& m = result->metrics;
+  EXPECT_GT(result->admitted, 0) << c.name;
+
+  // Transient epoch: errors were injected, every one recovered in-round
+  // (retry budget == max_consecutive_failures), nothing lost.
+  EXPECT_GT(m.transient_read_errors, 0) << c.name;
+  EXPECT_GT(m.recovered_reads, 0) << c.name;
+  EXPECT_EQ(m.lost_reads, 0) << c.name;
+  EXPECT_EQ(m.hiccups, 0) << c.name;
+
+  // The quota invariant holds on planned reads throughout the storm.
+  EXPECT_LE(m.max_disk_window_reads, c.q) << c.name;
+
+  // Every admitted stream either completed or was explicitly shed
+  // during the slow-disk epoch — nothing silently vanished.
+  EXPECT_EQ(m.completed_streams + m.shed_streams,
+            static_cast<std::int64_t>(result->admitted))
+      << c.name;
+
+  // The swap's online rebuild completed, re-enabling the second
+  // fail-stop (which RunScenario would otherwise have rejected).
+  EXPECT_EQ(result->completed_rebuilds, 1) << c.name;
+  EXPECT_GT(result->rebuilt_blocks, 0) << c.name;
+
+  // Epoch report: one entry per schedule segment, fault activity landing
+  // in the right epochs.
+  ASSERT_EQ(result->epochs.size(), 8u) << c.name;
+  EXPECT_EQ(result->epochs[0].transient_errors, 0) << c.name;
+  EXPECT_EQ(result->epochs[0].shed_streams, 0) << c.name;
+  EXPECT_GT(result->epochs[1].transient_errors, 0) << c.name;  // r5-15
+  EXPECT_EQ(result->epochs[2].transient_errors, 0) << c.name;  // r16-19
+  std::int64_t epoch_shed = 0;
+  std::int64_t epoch_transients = 0;
+  std::int64_t epoch_deliveries = 0;
+  for (const EpochCounters& epoch : result->epochs) {
+    epoch_shed += epoch.shed_streams;
+    epoch_transients += epoch.transient_errors;
+    epoch_deliveries += epoch.deliveries;
+  }
+  EXPECT_EQ(epoch_shed, m.shed_streams) << c.name;
+  EXPECT_EQ(epoch_transients, m.transient_read_errors) << c.name;
+  EXPECT_EQ(epoch_deliveries, m.deliveries) << c.name;
+  // The fail-stop epoch (r35-44, index 5) runs fully degraded.
+  EXPECT_EQ(result->epochs[5].degraded_rounds, result->epochs[5].rounds)
+      << c.name;
+  EXPECT_GT(result->epochs[5].recovery_reads, 0) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storm, FaultStormTest,
+    ::testing::Values(
+        StormCase{"declustered_8_4", Scheme::kDeclustered, 8, 4, 8, 2},
+        StormCase{"dynamic_7_3", Scheme::kDynamic, 7, 3, 8, 1},
+        StormCase{"prefetch_flat_9_4", Scheme::kPrefetchFlat, 9, 4, 8, 2}),
+    [](const ::testing::TestParamInfo<StormCase>& info) {
+      return info.param.name;
+    });
+
+TEST(FaultStormTest, SameSeedAndScheduleAreBitIdenticalAcrossThreads) {
+  // The determinism claim, end to end: the same storm scenarios run as
+  // sweep cells on 1 thread and on 8 threads must render bit-identical
+  // results (full metrics, per-disk loads, every epoch).
+  const std::vector<StormCase> cases = {
+      StormCase{"declustered_8_4", Scheme::kDeclustered, 8, 4, 8, 2},
+      StormCase{"dynamic_7_3", Scheme::kDynamic, 7, 3, 8, 1},
+      StormCase{"prefetch_flat_9_4", Scheme::kPrefetchFlat, 9, 4, 8, 2}};
+  std::vector<SweepCell> cells(cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    cells[i].index = static_cast<std::int64_t>(i);
+    cells[i].seed = CellSeed(0x5eed, cells[i].index);
+  }
+  const CellFn fn = [&cases](const SweepCell& cell, Rng*,
+                             MetricsRegistry*) {
+    ScenarioConfig config =
+        StormConfig(cases[static_cast<std::size_t>(cell.index)]);
+    config.seed = cell.seed;
+    Result<ScenarioResult> result = RunScenario(config);
+    CellResult out;
+    out.ok = result.ok();
+    out.text = result.ok() ? result->ToString()
+                           : result.status().ToString();
+    return out;
+  };
+  const std::vector<CellResult> serial = RunSweepCells(cells, 1, fn);
+  const std::vector<CellResult> parallel = RunSweepCells(cells, 8, fn);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].ok) << cases[i].name << ": " << serial[i].text;
+    EXPECT_EQ(serial[i].text, parallel[i].text) << cases[i].name;
+  }
+}
+
+TEST(FaultStormTest, TransientRecoveredWithinRound) {
+  // Retry budget >= the window's max_consecutive_failures: every injected
+  // error recovers in-round via retries alone — no reconstruction, no
+  // loss, no hiccup.
+  ScenarioConfig config;
+  config.num_disks = 8;
+  config.parity_group = 4;
+  config.q = 8;
+  config.f = 2;
+  config.num_streams = 10;
+  config.stream_blocks = 40;
+  config.total_rounds = 60;
+  config.max_read_retries = 2;
+  config.schedule.transients.push_back(TransientWindow{1, 5, 25, 1.0, 2});
+  Result<ScenarioResult> result = RunScenario(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->metrics.transient_read_errors, 0);
+  EXPECT_GT(result->metrics.recovered_reads, 0);
+  EXPECT_EQ(result->metrics.inline_reconstructions, 0);
+  EXPECT_EQ(result->metrics.lost_reads, 0);
+  EXPECT_EQ(result->metrics.hiccups, 0);
+  EXPECT_EQ(result->metrics.completed_streams,
+            static_cast<std::int64_t>(result->admitted));
+}
+
+TEST(FaultStormTest, ExhaustedRetriesFallBackToParityReconstruction) {
+  // Retry budget < max_consecutive_failures: data reads on the faulted
+  // disk exhaust their retries and are rebuilt inline from their parity
+  // group peers — still no loss and no hiccup.
+  ScenarioConfig config;
+  config.num_disks = 8;
+  config.parity_group = 4;
+  config.q = 8;
+  config.f = 2;
+  config.num_streams = 10;
+  config.stream_blocks = 40;
+  config.total_rounds = 60;
+  config.max_read_retries = 1;
+  config.schedule.transients.push_back(TransientWindow{1, 5, 25, 1.0, 3});
+  Result<ScenarioResult> result = RunScenario(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->metrics.inline_reconstructions, 0);
+  EXPECT_GT(result->metrics.degraded_extra_reads, 0);
+  EXPECT_EQ(result->metrics.lost_reads, 0);
+  EXPECT_EQ(result->metrics.hiccups, 0);
+  EXPECT_EQ(result->metrics.completed_streams,
+            static_cast<std::int64_t>(result->admitted));
+}
+
+TEST(FaultStormTest, TotalStormWithoutFallbackLosesReadsVisibly) {
+  // Reconstruction disabled and a fault storm across every disk that
+  // outlasts the retry budget: reads are lost, surfacing as counted
+  // hiccups (allow_hiccups) — never as silent corruption.
+  ScenarioConfig config;
+  config.num_disks = 8;
+  config.parity_group = 4;
+  config.q = 8;
+  config.f = 2;
+  config.num_streams = 8;
+  config.stream_blocks = 30;
+  config.total_rounds = 50;
+  config.max_read_retries = 1;
+  config.reconstruct_on_read_error = false;
+  config.allow_hiccups = true;
+  for (int disk = 0; disk < 8; ++disk) {
+    config.schedule.transients.push_back(
+        TransientWindow{disk, 10, 12, 1.0, 8});
+  }
+  Result<ScenarioResult> result = RunScenario(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->metrics.lost_reads, 0);
+  EXPECT_GT(result->metrics.hiccups, 0);
+  EXPECT_EQ(result->metrics.hiccups, result->metrics.lost_reads);
+}
+
+TEST(FaultStormTest, RebuildCompletesWhileTransientWindowActive) {
+  // A transient window on a rebuild *source* disk overlaps the whole
+  // rebuild: the rebuilder's bounded XOR retries ride through it and the
+  // rebuild still completes online.
+  ScenarioConfig config;
+  config.num_disks = 8;
+  config.parity_group = 4;
+  config.q = 8;
+  config.f = 2;
+  config.num_streams = 10;
+  config.stream_blocks = 60;
+  config.total_rounds = 110;
+  config.schedule.fail_stops.push_back(FailStopEvent{3, 10});
+  config.schedule.swaps.push_back(SwapEvent{3, 20, 4});
+  config.schedule.transients.push_back(
+      TransientWindow{1, 20, 100, 0.5, 2});
+  Result<ScenarioResult> result = RunScenario(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->completed_rebuilds, 1);
+  EXPECT_GT(result->rebuilt_blocks, 0);
+  EXPECT_GT(result->rebuild_transient_errors, 0);
+  EXPECT_EQ(result->metrics.hiccups, 0);
+  EXPECT_EQ(result->metrics.lost_reads, 0);
+}
+
+TEST(FaultStormTest, SlowDiskEpochShedsLowestPriorityStreams) {
+  ScenarioConfig config;
+  config.num_disks = 8;
+  config.parity_group = 4;
+  config.q = 8;
+  config.f = 2;
+  config.num_streams = 12;
+  config.stream_blocks = 60;
+  config.total_rounds = 90;
+  config.priority_classes = 12;  // strict per-stream priority order
+  config.schedule.slow_windows.push_back(SlowWindow{2, 15, 30, 1});
+  Result<ScenarioResult> result = RunScenario(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ServerMetrics& m = result->metrics;
+  EXPECT_GT(m.shed_streams, 0);
+  EXPECT_LT(m.shed_streams, static_cast<std::int64_t>(result->admitted));
+  EXPECT_EQ(m.completed_streams + m.shed_streams,
+            static_cast<std::int64_t>(result->admitted));
+  // Survivors keep their guarantees through the epoch.
+  EXPECT_EQ(m.hiccups, 0);
+  EXPECT_LE(m.max_disk_window_reads, config.q);
+}
+
+TEST(FaultStormTest, ScenarioRejectsInvalidSchedule) {
+  ScenarioConfig config;
+  config.total_rounds = 50;
+  config.schedule.fail_stops.push_back(FailStopEvent{0, 60});
+  Result<ScenarioResult> result = RunScenario(config);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cmfs
