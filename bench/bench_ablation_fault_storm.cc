@@ -66,6 +66,7 @@ FaultSchedule FullStorm() {
 }
 
 CsvTable g_table;
+int g_lanes = 1;  // --lanes N; byte-identical output at any setting
 
 void RunRow(const char* scenario, const SchemeShape& shape,
             const FaultSchedule& schedule) {
@@ -81,6 +82,7 @@ void RunRow(const char* scenario, const SchemeShape& shape,
   config.stream_blocks = 132;
   config.total_rounds = 170;
   config.priority_classes = 6;
+  config.lanes = g_lanes;
   config.schedule = schedule;
   Result<ScenarioResult> result = RunScenario(config);
   if (!result.ok()) {
@@ -125,6 +127,7 @@ void RunScenarioBlock(const char* scenario, const FaultSchedule& schedule) {
 int main(int argc, char** argv) {
   using namespace cmfs;
   bench::PrintHeader("A11: degraded-mode service under fault storms");
+  g_lanes = bench::LanesFromArgs(argc, argv);
   g_table.columns = {"scenario",  "scheme",    "admitted",
                      "deliveries", "hiccups",  "transient_errors",
                      "recovered",  "reconstructions", "shed_streams",
@@ -147,7 +150,8 @@ int main(int argc, char** argv) {
   report.params = {{"num_streams", 18},
                    {"stream_blocks", 132},
                    {"total_rounds", 170},
-                   {"priority_classes", 6}};
+                   {"priority_classes", 6},
+                   {"lanes", g_lanes}};
   report.table = &g_table;
   return bench::MaybeWriteJsonReport(argc, argv, report) ? 0 : 1;
 }

@@ -9,14 +9,20 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <optional>
+#include <unordered_map>
 
 #include "bibd/design_factory.h"
 #include "core/buffer_pool.h"
 #include "core/content.h"
 #include "core/controller_factory.h"
 #include "core/declustered_controller.h"
+#include "core/server.h"
 #include "disk/disk_array.h"
 #include "layout/declustered_layout.h"
+#include "layout/layout.h"
+#include "sim/fault_schedule.h"
+#include "sim/workload.h"
 #include "util/rng.h"
 #include "util/xor.h"
 
@@ -177,6 +183,170 @@ void BM_BufferPoolDropStream(benchmark::State& state) {
                           blocks_per_stream);
 }
 BENCHMARK(BM_BufferPoolDropStream);
+
+// The pre-arena buffer pool: one std::vector per entry, so the same
+// insert/find/erase churn pays a malloc + copy per Put and a free per
+// Erase. Kept as an in-bench baseline so the arena's win on the key
+// churn path stays measurable in one binary.
+void BM_VectorPoolPutFindErase(benchmark::State& state) {
+  const std::int64_t block_size = 4096;
+  std::unordered_map<BufferPool::Key, Block, BufferPool::KeyHash> entries;
+  const Block data(static_cast<std::size_t>(block_size), 0x5a);
+  std::int64_t index = 0;
+  const int window = 256;
+  for (auto _ : state) {
+    entries[{index % 32, 0, index}] = data;
+    benchmark::DoNotOptimize(entries.find({index % 32, 0, index}));
+    if (index >= window) {
+      entries.erase({(index - window) % 32, 0, index - window});
+    }
+    ++index;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VectorPoolPutFindErase);
+
+// --- Round engine: intra-round per-disk lanes ---------------------------
+//
+// One declustered serving cell driven directly (no scenario wrapper):
+// 16 streams on 8 disks, content verification on, K rounds per
+// iteration. The lane count is the benchmark argument — by the engine's
+// determinism contract the served bytes and metrics are identical at
+// every setting, so the ratio between Arg(1) and Arg(8) is pure
+// wall-clock speedup of the parallel disk service.
+struct RoundEngineHarness {
+  static constexpr int kNumDisks = 8;
+  static constexpr int kParityGroup = 4;
+  static constexpr int kNumStreams = 16;
+  static constexpr std::int64_t kStreamBlocks = 60;
+  static constexpr std::int64_t kBlockSize = 16384;
+  static constexpr int kRoundsPerIteration = 40;  // < kStreamBlocks
+
+  explicit RoundEngineHarness(const FaultSchedule& schedule)
+      : schedule_(schedule) {
+    Rng rng(0x5eedULL);
+    Result<FactoryDesign> built =
+        BuildDesign(kNumDisks, kParityGroup, 0x5eedULL);
+    WorkloadConfig workload;
+    workload.num_clips = kNumStreams;
+    workload.clip_blocks = kStreamBlocks;
+    placements_ = GeneratePlacements(Scheme::kDeclustered, kNumDisks,
+                                     built->stats.min_replication,
+                                     kParityGroup, workload, rng);
+    SetupOptions options;
+    options.scheme = Scheme::kDeclustered;
+    options.num_disks = kNumDisks;
+    options.parity_group = kParityGroup;
+    options.q = 8;
+    options.f = 1;
+    options.capacity_blocks = RequiredCapacity(
+        placements_, std::vector<std::int64_t>(placements_.size(),
+                                               kStreamBlocks));
+    options.design = std::move(built->design);
+    options.seed = 0x5eedULL;
+    Result<ServerSetup> setup = MakeSetup(options);
+    setup_ = std::move(*setup);
+    array_.emplace(kNumDisks, DiskParams::Sigmod96(), kBlockSize);
+    for (const ClipPlacement& placement : placements_) {
+      for (std::int64_t i = 0; i < kStreamBlocks; ++i) {
+        WriteDataBlock(*setup_.layout, *array_, placement.space,
+                       placement.start + i,
+                       PatternBlock(placement.space, placement.start + i,
+                                    kBlockSize));
+      }
+    }
+  }
+
+  // Fresh injector + server on the persistent, populated array.
+  void StartIteration(int lanes, int fail_disk) {
+    injector_.emplace(&schedule_, 0x5eedULL);
+    array_->AttachInjector(&*injector_);
+    ServerConfig config;
+    config.block_size = kBlockSize;
+    config.lanes = lanes;
+    server_.emplace(&*array_, setup_.controller.get(), config);
+    for (int i = 0; i < kNumStreams; ++i) {
+      server_->TryAdmit(i, placements_[static_cast<std::size_t>(i)].space,
+                        placements_[static_cast<std::size_t>(i)].start,
+                        kStreamBlocks);
+    }
+    if (fail_disk >= 0) server_->FailDisk(fail_disk);
+  }
+
+  // K rounds of the hot path. Returns false on any violated guarantee.
+  bool RunTimedRounds() {
+    for (int round = 0; round < kRoundsPerIteration; ++round) {
+      injector_->BeginRound(round);
+      if (!server_->RunRound().ok()) return false;
+    }
+    return true;
+  }
+
+  // Return the cell to its admitted-nothing state so the controller can
+  // be reused by the next iteration.
+  void EndIteration(int fail_disk) {
+    for (int i = 0; i < kNumStreams; ++i) server_->CancelStream(i);
+    server_.reset();
+    if (fail_disk >= 0) array_->RepairDisk(fail_disk);
+    array_->AttachInjector(nullptr);
+    injector_.reset();
+  }
+
+  FaultSchedule schedule_;
+  std::vector<ClipPlacement> placements_;
+  ServerSetup setup_;
+  std::optional<DiskArray> array_;
+  std::optional<ScheduledFaultInjector> injector_;
+  std::optional<Server> server_;
+};
+
+void RunRoundEngineBench(benchmark::State& state,
+                         const FaultSchedule& schedule, int fail_disk) {
+  RoundEngineHarness harness(schedule);
+  const int lanes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    harness.StartIteration(lanes, fail_disk);
+    state.ResumeTiming();
+    const bool ok = harness.RunTimedRounds();
+    state.PauseTiming();
+    if (!ok) state.SkipWithError("round engine violated a guarantee");
+    harness.EndIteration(fail_disk);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          RoundEngineHarness::kRoundsPerIteration);
+}
+
+// Fault-free service: every read succeeds first try.
+void BM_RoundEngineClean(benchmark::State& state) {
+  RunRoundEngineBench(state, FaultSchedule{}, /*fail_disk=*/-1);
+}
+BENCHMARK(BM_RoundEngineClean)
+    ->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Degraded mode: disk 0 failed throughout, so every group it hosts is
+// served via kRecovery reads and the lanes' partial-XOR accumulators.
+void BM_RoundEngineDegraded(benchmark::State& state) {
+  RunRoundEngineBench(state, FaultSchedule{}, /*fail_disk=*/0);
+}
+BENCHMARK(BM_RoundEngineDegraded)
+    ->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Fault storm: the failed disk plus a transient window on another, so
+// lanes also replay bounded retries and the merge replays the degraded
+// accounting.
+void BM_RoundEngineStorm(benchmark::State& state) {
+  FaultSchedule schedule;
+  schedule.transients.push_back(TransientWindow{
+      3, 0, RoundEngineHarness::kRoundsPerIteration - 1, 1.0, 2});
+  RunRoundEngineBench(state, schedule, /*fail_disk=*/0);
+}
+BENCHMARK(BM_RoundEngineStorm)
+    ->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BuildDesign(benchmark::State& state) {
   const int v = static_cast<int>(state.range(0));

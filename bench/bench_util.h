@@ -69,6 +69,20 @@ inline int ThreadsFromArgs(int argc, char** argv) {
   return 0;
 }
 
+// Value of "--lanes N" if present, else 1. Intra-round per-disk lane
+// threads (ServerConfig::lanes); 0 picks the hardware default. Tables
+// and artifacts are byte-identical at any N — the flag trades wall-clock
+// only.
+inline int LanesFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--lanes") {
+      const int lanes = std::atoi(argv[i + 1]);
+      return lanes > 0 ? lanes : 0;
+    }
+  }
+  return 1;
+}
+
 // Value of "--<flag> <path>" if present, else "".
 inline std::string PathFromArgs(int argc, char** argv,
                                 std::string_view flag) {

@@ -1,0 +1,42 @@
+#include "core/block_arena.h"
+
+#include "util/status.h"
+
+namespace cmfs {
+
+BlockArena::BlockArena(std::int64_t block_size,
+                       std::size_t blocks_per_slab)
+    : block_size_(block_size), blocks_per_slab_(blocks_per_slab) {
+  CMFS_CHECK(block_size > 0);
+  CMFS_CHECK(blocks_per_slab > 0);
+}
+
+void BlockArena::AddSlab() {
+  const std::size_t stride = static_cast<std::size_t>(block_size_);
+  slabs_.push_back(
+      std::make_unique<std::uint8_t[]>(stride * blocks_per_slab_));
+  std::uint8_t* base = slabs_.back().get();
+  // Push in reverse so blocks hand out in ascending address order —
+  // consecutive Allocates of a cold arena walk the slab forward.
+  for (std::size_t i = blocks_per_slab_; i > 0; --i) {
+    free_.push_back(base + (i - 1) * stride);
+  }
+}
+
+std::uint8_t* BlockArena::Allocate() {
+  if (free_.empty()) AddSlab();
+  std::uint8_t* block = free_.back();
+  free_.pop_back();
+  ++outstanding_;
+  ++total_allocations_;
+  return block;
+}
+
+void BlockArena::Release(std::uint8_t* block) {
+  CMFS_CHECK(block != nullptr);
+  CMFS_CHECK(outstanding_ > 0);
+  --outstanding_;
+  free_.push_back(block);
+}
+
+}  // namespace cmfs

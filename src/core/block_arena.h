@@ -1,0 +1,116 @@
+#ifndef CMFS_CORE_BLOCK_ARENA_H_
+#define CMFS_CORE_BLOCK_ARENA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+// Slab allocator for fixed-size disk blocks.
+//
+// The buffer pool and the round engine turn over thousands of
+// block-sized buffers per simulated round; allocating each as its own
+// std::vector puts a malloc/free pair (plus a zero-fill) on every Put,
+// Accumulate and Erase. The arena carves block_size-strided blocks out
+// of large slabs and recycles them through a free list, so after the
+// first few rounds warm it up the steady state performs no heap
+// allocation at all — Allocate() is a vector pop, Release() a push.
+//
+// Blocks are raw uninitialized storage: callers memcpy/memset/XOR into
+// them. Pointers stay valid until Release() (slabs are never freed
+// before the arena itself), which is what lets the server's per-disk
+// read lanes stage bytes into arena blocks that the merge step then
+// adopts into buffer-pool entries without copying.
+//
+// Not thread-safe. The round engine keeps all Allocate/Release calls on
+// the merge thread; lanes only write *into* blocks handed to them.
+
+namespace cmfs {
+
+class BlockArena {
+ public:
+  explicit BlockArena(std::int64_t block_size,
+                      std::size_t blocks_per_slab = 64);
+
+  // Pointers into slabs must stay stable; the arena is pinned.
+  BlockArena(const BlockArena&) = delete;
+  BlockArena& operator=(const BlockArena&) = delete;
+
+  // A block_size-byte block of uninitialized storage.
+  std::uint8_t* Allocate();
+  // Returns `block` (obtained from Allocate) to the free list.
+  void Release(std::uint8_t* block);
+
+  std::int64_t block_size() const { return block_size_; }
+  std::size_t blocks_per_slab() const { return blocks_per_slab_; }
+  // Blocks handed out and not yet released.
+  std::size_t outstanding_blocks() const { return outstanding_; }
+  // Total blocks backed by slabs (outstanding + free).
+  std::size_t capacity_blocks() const {
+    return slabs_.size() * blocks_per_slab_;
+  }
+  std::size_t slab_count() const { return slabs_.size(); }
+  // Lifetime Allocate() calls.
+  std::int64_t total_allocations() const { return total_allocations_; }
+  // Times a new slab had to be carved (heap allocations). Flat across
+  // rounds = the steady state is allocation-free.
+  std::int64_t slab_allocations() const {
+    return static_cast<std::int64_t>(slabs_.size());
+  }
+
+ private:
+  void AddSlab();
+
+  std::int64_t block_size_;
+  std::size_t blocks_per_slab_;
+  std::size_t outstanding_ = 0;
+  std::int64_t total_allocations_ = 0;
+  std::vector<std::unique_ptr<std::uint8_t[]>> slabs_;
+  std::vector<std::uint8_t*> free_;
+};
+
+// Non-owning view of one arena block (or any fixed-size byte run) with
+// just enough of the std::vector surface — data()/size()/empty() and
+// byte comparison against a Block — that buffer-pool call sites written
+// against vector-backed entries keep compiling unchanged.
+class ArenaBlock {
+ public:
+  ArenaBlock() = default;
+  ArenaBlock(std::uint8_t* ptr, std::int64_t size)
+      : ptr_(ptr), size_(static_cast<std::size_t>(size)) {}
+
+  std::uint8_t* data() { return ptr_; }
+  const std::uint8_t* data() const { return ptr_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0 || ptr_ == nullptr; }
+
+  std::uint8_t& operator[](std::size_t i) { return ptr_[i]; }
+  const std::uint8_t& operator[](std::size_t i) const { return ptr_[i]; }
+
+  friend bool operator==(const ArenaBlock& a,
+                         const std::vector<std::uint8_t>& b) {
+    return a.size() == b.size() &&
+           (a.size() == 0 ||
+            std::memcmp(a.data(), b.data(), a.size()) == 0);
+  }
+  friend bool operator==(const std::vector<std::uint8_t>& a,
+                         const ArenaBlock& b) {
+    return b == a;
+  }
+  friend bool operator!=(const ArenaBlock& a,
+                         const std::vector<std::uint8_t>& b) {
+    return !(a == b);
+  }
+  friend bool operator!=(const std::vector<std::uint8_t>& a,
+                         const ArenaBlock& b) {
+    return !(b == a);
+  }
+
+ private:
+  std::uint8_t* ptr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_BLOCK_ARENA_H_

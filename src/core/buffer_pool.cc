@@ -1,6 +1,7 @@
 #include "core/buffer_pool.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "util/status.h"
@@ -8,7 +9,8 @@
 
 namespace cmfs {
 
-BufferPool::BufferPool(std::int64_t block_size) : block_size_(block_size) {
+BufferPool::BufferPool(std::int64_t block_size)
+    : block_size_(block_size), arena_(block_size) {
   CMFS_CHECK(block_size > 0);
 }
 
@@ -28,27 +30,38 @@ void BufferPool::OnInsert() {
   }
 }
 
+BufferPool::Entry& BufferPool::EnsureEntry(const Key& key, bool* inserted) {
+  auto [it, fresh] = entries_.try_emplace(key);
+  if (fresh) {
+    it->second.data = ArenaBlock(arena_.Allocate(), block_size_);
+  }
+  *inserted = fresh;
+  return it->second;
+}
+
 void BufferPool::Put(StreamId stream, int space, std::int64_t index,
                      const Block* data, bool parity_pending) {
   CMFS_CHECK(data == nullptr ||
              static_cast<std::int64_t>(data->size()) == block_size_);
-  auto [it, inserted] = entries_.try_emplace(Key{stream, space, index});
-  Entry& entry = it->second;
+  bool inserted = false;
+  Entry& entry = EnsureEntry(Key{stream, space, index}, &inserted);
   if (data == nullptr) {
-    entry.data.assign(static_cast<std::size_t>(block_size_), 0);
+    std::memset(entry.data.data(), 0, entry.data.size());
   } else {
-    entry.data.assign(data->begin(), data->end());
+    std::memcpy(entry.data.data(), data->data(), entry.data.size());
   }
   entry.parity_pending = parity_pending;
-  (void)inserted;
   OnInsert();
 }
 
-void BufferPool::Put(StreamId stream, int space, std::int64_t index,
-                     Block data, bool parity_pending) {
-  CMFS_CHECK(static_cast<std::int64_t>(data.size()) == block_size_);
-  entries_.insert_or_assign(Key{stream, space, index},
-                            Entry{std::move(data), parity_pending});
+void BufferPool::PutAdopt(StreamId stream, int space, std::int64_t index,
+                          std::uint8_t* block, bool parity_pending) {
+  CMFS_CHECK(block != nullptr);
+  auto [it, inserted] = entries_.try_emplace(Key{stream, space, index});
+  Entry& entry = it->second;
+  if (!inserted) arena_.Release(entry.data.data());
+  entry.data = ArenaBlock(block, block_size_);
+  entry.parity_pending = parity_pending;
   OnInsert();
 }
 
@@ -56,13 +69,35 @@ void BufferPool::Accumulate(StreamId stream, int space, std::int64_t index,
                             const Block* data) {
   CMFS_CHECK(data == nullptr ||
              static_cast<std::int64_t>(data->size()) == block_size_);
-  auto [it, inserted] = entries_.try_emplace(
-      Key{stream, space, index},
-      Entry{Block(static_cast<std::size_t>(block_size_), 0), false});
-  if (data != nullptr) {
-    XorBytes(it->second.data.data(), data->data(), it->second.data.size());
+  bool inserted = false;
+  Entry& entry = EnsureEntry(Key{stream, space, index}, &inserted);
+  if (inserted) {
+    entry.parity_pending = false;
+    if (data == nullptr) {
+      std::memset(entry.data.data(), 0, entry.data.size());
+    } else {
+      std::memcpy(entry.data.data(), data->data(), entry.data.size());
+    }
+    OnInsert();
+    return;
   }
-  if (inserted) OnInsert();
+  if (data != nullptr) {
+    XorBytes(entry.data.data(), data->data(), entry.data.size());
+  }
+}
+
+void BufferPool::AccumulateXor(StreamId stream, int space,
+                               std::int64_t index,
+                               const std::uint8_t* partial) {
+  bool inserted = false;
+  Entry& entry = EnsureEntry(Key{stream, space, index}, &inserted);
+  if (inserted) {
+    entry.parity_pending = false;
+    std::memcpy(entry.data.data(), partial, entry.data.size());
+    OnInsert();
+    return;
+  }
+  XorBytes(entry.data.data(), partial, entry.data.size());
 }
 
 BufferPool::Entry* BufferPool::Find(StreamId stream, int space,
@@ -72,13 +107,21 @@ BufferPool::Entry* BufferPool::Find(StreamId stream, int space,
 }
 
 bool BufferPool::Erase(StreamId stream, int space, std::int64_t index) {
-  return entries_.erase(Key{stream, space, index}) > 0;
+  auto it = entries_.find(Key{stream, space, index});
+  if (it == entries_.end()) return false;
+  arena_.Release(it->second.data.data());
+  entries_.erase(it);
+  return true;
 }
 
 void BufferPool::DropStream(StreamId stream) {
   for (auto it = entries_.begin(); it != entries_.end();) {
-    it = std::get<0>(it->first) == stream ? entries_.erase(it)
-                                          : std::next(it);
+    if (std::get<0>(it->first) == stream) {
+      arena_.Release(it->second.data.data());
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 

@@ -5,6 +5,7 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "core/block_arena.h"
 #include "core/round_plan.h"
 #include "disk/sim_disk.h"
 #include "obs/metrics_registry.h"
@@ -21,6 +22,12 @@
 // inserts (the buckets rehash, the nodes don't move). DropStream — rare:
 // pause, cancel, completion — scans the whole pool instead of a key
 // range.
+//
+// Entry bytes live in a BlockArena the pool owns: Put/Erase recycle
+// fixed-stride arena blocks through a free list instead of churning a
+// std::vector per entry, and the round engine stages read bytes in
+// blocks from the same arena (arena()) so the merge step can adopt them
+// into entries without copying (PutAdopt).
 
 namespace cmfs {
 
@@ -28,20 +35,45 @@ class BufferPool {
  public:
   explicit BufferPool(std::int64_t block_size);
 
+  using Key = std::tuple<StreamId, int, std::int64_t>;
+
+  // splitmix64 finalizer over the folded fields. Public so the server's
+  // key sets (poisoned / pending-parity) hash identically.
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      std::uint64_t h = static_cast<std::uint64_t>(std::get<0>(key));
+      h = h * 0x9e3779b97f4a7c15ull +
+          static_cast<std::uint64_t>(std::get<1>(key));
+      h = h * 0x9e3779b97f4a7c15ull +
+          static_cast<std::uint64_t>(std::get<2>(key));
+      h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+      h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+      return static_cast<std::size_t>(h ^ (h >> 31));
+    }
+  };
+
   struct Entry {
-    Block data;
+    ArenaBlock data;
     // True while the entry holds raw parity awaiting reconstruction.
     bool parity_pending = false;
   };
 
   // Inserts (or replaces) an entry, copying from `data`; nullptr stands
   // for a never-written block (all zeros). Replacing reuses the existing
-  // allocation.
+  // arena block.
   void Put(StreamId stream, int space, std::int64_t index,
            const Block* data, bool parity_pending);
-  // Owned-block convenience overload.
+  // Owned-block convenience overload (copies).
   void Put(StreamId stream, int space, std::int64_t index, Block data,
-           bool parity_pending);
+           bool parity_pending) {
+    Put(stream, space, index, &data, parity_pending);
+  }
+
+  // Inserts (or replaces) an entry, adopting `block` — storage obtained
+  // from this pool's arena() — without copying. The entry owns it from
+  // here on (a replaced entry's old block is released).
+  void PutAdopt(StreamId stream, int space, std::int64_t index,
+                std::uint8_t* block, bool parity_pending);
 
   // XORs `data` into the entry, creating a zero-filled one if absent.
   // Used to accumulate on-the-fly reconstruction reads; by the end of the
@@ -54,6 +86,12 @@ class BufferPool {
     Accumulate(stream, space, index, &data);
   }
 
+  // Accumulate of a full block_size partial (a lane's XOR accumulator):
+  // entry ^= partial, creating the entry if absent. `partial` is not
+  // adopted — the caller still owns/releases it.
+  void AccumulateXor(StreamId stream, int space, std::int64_t index,
+                     const std::uint8_t* partial);
+
   // nullptr if absent. The pointer stays valid until the entry is erased.
   Entry* Find(StreamId stream, int space, std::int64_t index);
 
@@ -62,6 +100,12 @@ class BufferPool {
 
   // Drops everything a stream still holds.
   void DropStream(StreamId stream);
+
+  // The backing block storage. The round engine allocates its staging
+  // blocks here so PutAdopt is a pointer move; all arena calls must stay
+  // on one thread (the merge thread).
+  BlockArena* arena() { return &arena_; }
+  const BlockArena& arena() const { return arena_; }
 
   std::int64_t block_size() const { return block_size_; }
   // Blocks currently resident / the max ever resident.
@@ -77,28 +121,15 @@ class BufferPool {
   void AttachMetrics(MetricsRegistry* registry);
 
  private:
-  using Key = std::tuple<StreamId, int, std::int64_t>;
-
-  struct KeyHash {
-    std::size_t operator()(const Key& key) const {
-      // splitmix64 finalizer over the folded fields.
-      std::uint64_t h = static_cast<std::uint64_t>(std::get<0>(key));
-      h = h * 0x9e3779b97f4a7c15ull +
-          static_cast<std::uint64_t>(std::get<1>(key));
-      h = h * 0x9e3779b97f4a7c15ull +
-          static_cast<std::uint64_t>(std::get<2>(key));
-      h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
-      h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
-      return static_cast<std::size_t>(h ^ (h >> 31));
-    }
-  };
-
   void OnInsert();
+  // The entry's arena block, allocating on first insert.
+  Entry& EnsureEntry(const Key& key, bool* inserted);
 
   std::int64_t block_size_;
   std::int64_t high_water_ = 0;
   Histogram* occupancy_hist_ = nullptr;  // owned by the registry
   Gauge* high_water_gauge_ = nullptr;
+  BlockArena arena_;
   std::unordered_map<Key, Entry, KeyHash> entries_;
 };
 

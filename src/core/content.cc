@@ -31,6 +31,34 @@ void PatternFill(int space, std::int64_t index, std::int64_t block_size,
   }
 }
 
+bool PatternMatches(int space, std::int64_t index,
+                    const std::uint8_t* data, std::int64_t size) {
+  const std::size_t n = static_cast<std::size_t>(size);
+  // Mirrors PatternFill's generator exactly; keep the two in sync.
+  std::uint64_t x = (static_cast<std::uint64_t>(space) << 48) ^
+                    static_cast<std::uint64_t>(index) ^
+                    0x9e3779b97f4a7c15ull;
+  const auto next = [&x] {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t z = next();
+    std::uint64_t got;
+    std::memcpy(&got, data + i, 8);
+    if (got != z) return false;
+  }
+  if (i < n) {
+    const std::uint64_t z = next();
+    if (std::memcmp(data + i, &z, n - i) != 0) return false;
+  }
+  return true;
+}
+
 Block PatternBlock(int space, std::int64_t index, std::int64_t block_size) {
   Block block;
   PatternFill(space, index, block_size, &block);

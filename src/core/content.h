@@ -21,6 +21,12 @@ Block PatternBlock(int space, std::int64_t index, std::int64_t block_size);
 void PatternFill(int space, std::int64_t index, std::int64_t block_size,
                  Block* dst);
 
+// True iff data[0, size) equals the pattern block's bytes. Generates and
+// compares in one pass — no scratch buffer, no shared state — so
+// concurrent delivery verification needs nothing per thread.
+bool PatternMatches(int space, std::int64_t index,
+                    const std::uint8_t* data, std::int64_t size);
+
 }  // namespace cmfs
 
 #endif  // CMFS_CORE_CONTENT_H_

@@ -110,27 +110,26 @@ Result<int> Rebuilder::RunRound() {
     }
     if (!fits) break;  // Round full; resume next round.
 
-    Result<Block> value = array_->XorOf(sources);
+    Status value = array_->XorOfInto(sources, &xor_scratch_);
     int attempts = 0;
-    while (!value.ok() &&
-           value.status().code() == StatusCode::kUnavailable &&
+    while (!value.ok() && value.code() == StatusCode::kUnavailable &&
            attempts < max_read_retries_) {
       ++stats_.transient_errors;
       ++stats_.retried_xors;
       ++attempts;
-      value = array_->XorOf(sources);
+      value = array_->XorOfInto(sources, &xor_scratch_);
     }
     if (!value.ok()) {
-      if (value.status().code() == StatusCode::kUnavailable) {
+      if (value.code() == StatusCode::kUnavailable) {
         // Retries exhausted while a transient window is active: leave
         // this block pending and end the round; next round's retries
         // start fresh.
         ++stats_.transient_errors;
         break;
       }
-      return value.status();
+      return value;
     }
-    Status st = array_->Write(target, *value);
+    Status st = array_->Write(target, xor_scratch_);
     if (!st.ok()) return st;
 
     for (const BlockAddress& src : sources) {

@@ -94,6 +94,9 @@ class Rebuilder {
   int max_read_retries_ = 6;
   std::int64_t next_block_ = 0;
   RebuildStats stats_;
+  // Reusable XOR accumulator (DiskArray::XorOfInto) — one allocation per
+  // rebuild instead of one per reconstructed block.
+  Block xor_scratch_;
   Histogram* blocks_per_round_hist_ = nullptr;  // owned by the registry
   Gauge* progress_gauge_ = nullptr;
   Gauge* eta_gauge_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 
 #include "core/content.h"
@@ -53,25 +54,29 @@ Server::Server(DiskArray* array, Controller* controller,
   CMFS_CHECK(config.block_size == array->block_size());
   CMFS_CHECK(config.load_window_rounds >= 1);
   CMFS_CHECK(config.max_read_retries >= 0);
-  window_reads_.assign(static_cast<std::size_t>(array->num_disks()), 0);
-  quota_caps_.assign(static_cast<std::size_t>(array->num_disks()),
-                     std::numeric_limits<int>::max());
-  round_cylinders_.assign(static_cast<std::size_t>(array->num_disks()), {});
-  round_disk_reads_.assign(static_cast<std::size_t>(array->num_disks()), 0);
-  metrics_.per_disk_reads.assign(
-      static_cast<std::size_t>(array->num_disks()), 0);
-  metrics_.per_disk_recovery_reads.assign(
-      static_cast<std::size_t>(array->num_disks()), 0);
+  lanes_ = config.lanes > 0 ? config.lanes : ThreadPool::DefaultThreadCount();
+  if (lanes_ > 1) lane_pool_ = std::make_unique<ThreadPool>(lanes_);
+  const std::size_t num_disks =
+      static_cast<std::size_t>(array->num_disks());
+  window_reads_.assign(num_disks, 0);
+  quota_caps_.assign(num_disks, std::numeric_limits<int>::max());
+  round_cylinders_.assign(num_disks, {});
+  round_disk_reads_.assign(num_disks, 0);
+  lane_positions_.assign(num_disks, {});
+  lane_round_times_.assign(num_disks, 0.0);
+  active_lanes_.reserve(num_disks);
+  metrics_.per_disk_reads.assign(num_disks, 0);
+  metrics_.per_disk_recovery_reads.assign(num_disks, 0);
   if (config_.metrics != nullptr) {
     pool_.AttachMetrics(config_.metrics);
     round_time_hist_ = config_.metrics->histogram("server.round_time_s");
     round_reads_hist_ = config_.metrics->histogram("server.round_reads");
     retries_hist_ =
         config_.metrics->histogram("server.retries_per_recovered_read");
-    disk_service_hists_.reserve(
-        static_cast<std::size_t>(array->num_disks()));
-    disk_round_reads_hists_.reserve(
-        static_cast<std::size_t>(array->num_disks()));
+    lane_critical_hist_ =
+        config_.metrics->histogram("server.lane_critical_reads");
+    disk_service_hists_.reserve(num_disks);
+    disk_round_reads_hists_.reserve(num_disks);
     for (int disk = 0; disk < array->num_disks(); ++disk) {
       const std::string prefix = "disk." + std::to_string(disk) + ".";
       disk_service_hists_.push_back(
@@ -121,13 +126,13 @@ Status Server::PauseStream(StreamId id) {
 
 void Server::DropStreamBuffers(StreamId id) {
   pool_.DropStream(id);
-  pending_parity_.erase(
-      pending_parity_.lower_bound(
-          {id, std::numeric_limits<int>::min(),
-           std::numeric_limits<std::int64_t>::min()}),
-      pending_parity_.upper_bound(
-          {id, std::numeric_limits<int>::max(),
-           std::numeric_limits<std::int64_t>::max()}));
+  for (auto it = pending_parity_.begin(); it != pending_parity_.end();) {
+    if (std::get<0>(*it) == id) {
+      it = pending_parity_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void Server::SetDiskQuotaCap(int disk, int cap) {
@@ -333,30 +338,167 @@ bool Server::ReconstructInline(const RoundRead& read) {
   return true;
 }
 
-Status Server::ExecuteReads(const RoundPlan& plan) {
-  for (auto& cyls : round_cylinders_) cyls.clear();
-  std::fill(round_disk_reads_.begin(), round_disk_reads_.end(), 0);
-  round_worst_time_ = 0.0;
-  for (const RoundRead& read : plan.reads) {
-    const auto key = std::make_tuple(read.stream, read.space, read.index);
-    // A block already lost this round: stop touching it (a stray
-    // recovery read would resurrect a partial buffer entry).
-    if (!poisoned_.empty() && poisoned_.count(key) > 0) continue;
-    // Zero-copy read: `data` aliases the disk's stored block (nullptr
-    // for a never-written, all-zero block) and is consumed before any
-    // write can touch it.
-    Result<const Block*> block = ReadWithRetry(read.addr);
+void Server::LaneParallelFor(std::int64_t n,
+                             const std::function<void(std::int64_t)>& fn) {
+  if (lane_pool_ == nullptr || n <= 1) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  lane_pool_->ParallelFor(n, fn);
+}
+
+void Server::FlushTraceBatch() {
+  if (config_.trace != nullptr && !trace_batch_.empty()) {
+    config_.trace->RecordAll(trace_batch_.data(), trace_batch_.size());
+  }
+  trace_batch_.clear();
+}
+
+void Server::PrepareLanes(const RoundPlan& plan) {
+  const std::size_t n = plan.reads.size();
+  for (auto& lane : lane_positions_) lane.clear();
+  active_lanes_.clear();
+  outcomes_.assign(n, ReadOutcome{});
+  staged_.assign(n, nullptr);
+  partial_slot_.assign(n, -1);
+  partials_.clear();
+  partial_init_.clear();
+  recovery_slots_.clear();
+  BlockArena* arena = pool_.arena();
+  for (std::size_t i = 0; i < n; ++i) {
+    const RoundRead& read = plan.reads[i];
+    auto& lane = lane_positions_[static_cast<std::size_t>(read.addr.disk)];
+    if (lane.empty()) active_lanes_.push_back(read.addr.disk);
+    lane.push_back(static_cast<std::int32_t>(i));
+    switch (read.kind) {
+      case ReadKind::kData:
+      case ReadKind::kParity:
+        // Staged here, adopted into the pool entry at merge (zero-copy).
+        staged_[i] = arena->Allocate();
+        break;
+      case ReadKind::kRecovery: {
+        // One partial-XOR accumulator per (disk, key): the disk's lane
+        // folds its own reads into it; the merge folds the slots.
+        const Key key{read.stream, read.space, read.index};
+        auto& slots = recovery_slots_[key];
+        std::int32_t slot = -1;
+        for (const auto& [disk, existing] : slots) {
+          if (disk == read.addr.disk) {
+            slot = existing;
+            break;
+          }
+        }
+        if (slot < 0) {
+          slot = static_cast<std::int32_t>(partials_.size());
+          partials_.push_back(arena->Allocate());
+          partial_init_.push_back(0);
+          slots.emplace_back(read.addr.disk, slot);
+        }
+        partial_slot_[i] = slot;
+        break;
+      }
+    }
+  }
+}
+
+void Server::RunLane(const RoundPlan& plan, int disk) {
+  // Lane contract: this thread is the only one touching `disk` (its
+  // SimDisk, its injector shard) and the only writer of the outcomes,
+  // staged blocks and partial slots of the positions below. Everything
+  // else — metrics, histograms, traces, the pool — waits for the merge.
+  const std::size_t block_size =
+      static_cast<std::size_t>(config_.block_size);
+  const SimDisk& sim = array_->disk(disk);
+  for (std::int32_t pos :
+       lane_positions_[static_cast<std::size_t>(disk)]) {
+    const RoundRead& read = plan.reads[static_cast<std::size_t>(pos)];
+    ReadOutcome& out = outcomes_[static_cast<std::size_t>(pos)];
+    // ReadWithRetry's loop, with the bookkeeping recorded instead of
+    // applied (the merge replays it in plan order).
+    Result<const Block*> block = array_->ReadView(read.addr);
+    while (!block.ok() &&
+           block.status().code() == StatusCode::kUnavailable) {
+      ++out.failed_attempts;
+      if (out.retries >= config_.max_read_retries) break;
+      ++out.retries;
+      block = array_->ReadView(read.addr);
+    }
     if (!block.ok()) {
-      if (block.status().code() != StatusCode::kUnavailable) {
+      out.error = block.status();
+      continue;
+    }
+    if (config_.time_rounds) {
+      out.cylinder = sim.CylinderOf(read.addr.block);
+    }
+    const Block* data = *block;  // nullptr = unwritten = all zeros
+    if (read.kind == ReadKind::kRecovery) {
+      const std::int32_t slot = partial_slot_[static_cast<std::size_t>(pos)];
+      std::uint8_t* dst = partials_[static_cast<std::size_t>(slot)];
+      if (!partial_init_[static_cast<std::size_t>(slot)]) {
+        if (data != nullptr) {
+          std::memcpy(dst, data->data(), block_size);
+        } else {
+          std::memset(dst, 0, block_size);
+        }
+        partial_init_[static_cast<std::size_t>(slot)] = 1;
+      } else if (data != nullptr) {
+        XorBytes(dst, data->data(), block_size);
+      }
+    } else {
+      std::uint8_t* dst = staged_[static_cast<std::size_t>(pos)];
+      if (data != nullptr) {
+        std::memcpy(dst, data->data(), block_size);
+      } else {
+        std::memset(dst, 0, block_size);
+      }
+    }
+  }
+}
+
+Status Server::MergeOutcomes(const RoundPlan& plan) {
+  const bool tracing = config_.trace != nullptr;
+  for (std::size_t i = 0; i < plan.reads.size(); ++i) {
+    const RoundRead& read = plan.reads[i];
+    const Key key{read.stream, read.space, read.index};
+    // A block already lost this round: suppress every later effect (the
+    // lane did touch the disk, but a stray recovery read must not
+    // resurrect a partial buffer entry).
+    if (!poisoned_.empty() && poisoned_.count(key) > 0) continue;
+    const ReadOutcome& out = outcomes_[i];
+    // Replay the lane's retry accounting exactly as ReadWithRetry
+    // would have applied it in place.
+    if (out.failed_attempts > 0) {
+      metrics_.transient_read_errors += out.failed_attempts;
+      metrics_.read_retries += out.retries;
+      metrics_.degraded_extra_reads += out.retries;
+      if (config_.metrics != nullptr) {
+        config_.metrics->counter("server.transient_read_errors")
+            ->Inc(out.failed_attempts);
+      }
+      if (out.error.ok()) {
+        ++metrics_.recovered_reads;
+        if (retries_hist_ != nullptr) {
+          retries_hist_->Add(static_cast<double>(out.retries));
+        }
+        if (config_.metrics != nullptr) {
+          config_.metrics->counter("server.recovered_reads")->Inc();
+          config_.metrics->counter("server.read_retries")
+              ->Inc(out.retries);
+        }
+      }
+    }
+    if (!out.error.ok()) {
+      if (out.error.code() != StatusCode::kUnavailable) {
+        FlushTraceBatch();
         return Status::Internal("controller scheduled unreadable block: " +
-                                block.status().ToString());
+                                out.error.ToString());
       }
       // Transient error outlived the retry budget. Data reads fall back
       // to inline parity reconstruction; recovery/parity reads (or a
       // failed reconstruction) lose the block — a hiccup at delivery.
       if (read.kind == ReadKind::kData &&
           config_.reconstruct_on_read_error && ReconstructInline(read)) {
-        continue;  // Recovered; the planned read never hit the disk.
+        continue;  // Recovered from the group peers at merge time.
       }
       ++metrics_.lost_reads;
       if (config_.metrics != nullptr) {
@@ -367,15 +509,13 @@ Status Server::ExecuteReads(const RoundPlan& plan) {
       pool_.Erase(read.stream, read.space, read.index);
       continue;
     }
-    const Block* data = *block;
     ++metrics_.total_reads;
     ++window_reads_[static_cast<std::size_t>(read.addr.disk)];
     ++round_disk_reads_[static_cast<std::size_t>(read.addr.disk)];
-    if (config_.trace != nullptr) {
-      config_.trace->Record(TraceEvent{metrics_.rounds,
-                                       TraceEventType::kRead, read.stream,
-                                       read.addr, read.kind, read.space,
-                                       read.index});
+    if (tracing) {
+      TraceBatch(TraceEvent{metrics_.rounds, TraceEventType::kRead,
+                            read.stream, read.addr, read.kind, read.space,
+                            read.index});
     }
     ++metrics_.per_disk_reads[static_cast<std::size_t>(read.addr.disk)];
     if (read.kind != ReadKind::kData) {
@@ -384,32 +524,71 @@ Status Server::ExecuteReads(const RoundPlan& plan) {
     }
     if (config_.time_rounds) {
       round_cylinders_[static_cast<std::size_t>(read.addr.disk)].push_back(
-          array_->disk(read.addr.disk).CylinderOf(read.addr.block));
+          out.cylinder);
     }
     switch (read.kind) {
       case ReadKind::kData:
-        pool_.Put(read.stream, read.space, read.index, data,
-                  /*parity_pending=*/false);
+        pool_.PutAdopt(read.stream, read.space, read.index, staged_[i],
+                       /*parity_pending=*/false);
+        staged_[i] = nullptr;
         break;
       case ReadKind::kParity:
         ++metrics_.recovery_reads;
-        pool_.Put(read.stream, read.space, read.index, data,
-                  /*parity_pending=*/true);
-        pending_parity_.insert({read.stream, read.space, read.index});
+        pool_.PutAdopt(read.stream, read.space, read.index, staged_[i],
+                       /*parity_pending=*/true);
+        staged_[i] = nullptr;
+        pending_parity_.insert(key);
         break;
-      case ReadKind::kRecovery:
+      case ReadKind::kRecovery: {
         ++metrics_.recovery_reads;
-        pool_.Accumulate(read.stream, read.space, read.index, data);
+        // Fold every per-disk partial at the key's first live recovery
+        // position — XOR is commutative, so the result is byte-identical
+        // to the sequential per-read accumulation, and the pool entry
+        // appears at the same walk position it always did.
+        auto it = recovery_slots_.find(key);
+        if (it != recovery_slots_.end()) {
+          for (const auto& [disk, slot] : it->second) {
+            if (!partial_init_[static_cast<std::size_t>(slot)]) continue;
+            pool_.AccumulateXor(read.stream, read.space, read.index,
+                                partials_[static_cast<std::size_t>(slot)]);
+          }
+          recovery_slots_.erase(it);
+        }
         break;
+      }
     }
   }
-  if (config_.time_rounds) {
-    for (int disk = 0; disk < array_->num_disks(); ++disk) {
+  FlushTraceBatch();
+  return Status::Ok();
+}
+
+void Server::ReleaseRoundStaging() {
+  BlockArena* arena = pool_.arena();
+  for (std::uint8_t*& block : staged_) {
+    if (block != nullptr) {
+      arena->Release(block);
+      block = nullptr;
+    }
+  }
+  for (std::uint8_t* block : partials_) arena->Release(block);
+  partials_.clear();
+  partial_init_.clear();
+}
+
+void Server::TimeRoundLanes(const RoundPlan& plan) {
+  (void)plan;
+  if (!config_.time_rounds) return;
+  const int num_disks = array_->num_disks();
+  if (config_.sample_rotation) {
+    // Rotational sampling draws from the server's single RNG stream, so
+    // the disks must be timed sequentially in disk order to keep the
+    // stream byte-exact. Worst-case rotation (the default) is stateless
+    // and runs the per-disk C-SCAN models in parallel below.
+    for (int disk = 0; disk < num_disks; ++disk) {
       const auto& cyls = round_cylinders_[static_cast<std::size_t>(disk)];
       if (cyls.empty()) continue;
-      const RoundTiming timing = scheduler_.TimeRound(
-          cyls, config_.block_size,
-          config_.sample_rotation ? &rng_ : nullptr);
+      const RoundTiming timing =
+          scheduler_.TimeRound(cyls, config_.block_size, &rng_);
       metrics_.max_round_time =
           std::max(metrics_.max_round_time, timing.Total());
       round_worst_time_ = std::max(round_worst_time_, timing.Total());
@@ -418,16 +597,58 @@ Status Server::ExecuteReads(const RoundPlan& plan) {
             timing.Total());
       }
     }
+    return;
   }
+  std::fill(lane_round_times_.begin(), lane_round_times_.end(), 0.0);
+  LaneParallelFor(num_disks, [&](std::int64_t disk) {
+    const auto& cyls = round_cylinders_[static_cast<std::size_t>(disk)];
+    if (cyls.empty()) return;
+    lane_round_times_[static_cast<std::size_t>(disk)] =
+        scheduler_.TimeRound(cyls, config_.block_size, nullptr).Total();
+  });
+  // Publish sequentially in disk order so histogram streams are
+  // identical at any lane count.
+  for (int disk = 0; disk < num_disks; ++disk) {
+    if (round_cylinders_[static_cast<std::size_t>(disk)].empty()) continue;
+    const double total = lane_round_times_[static_cast<std::size_t>(disk)];
+    metrics_.max_round_time = std::max(metrics_.max_round_time, total);
+    round_worst_time_ = std::max(round_worst_time_, total);
+    if (!disk_service_hists_.empty()) {
+      disk_service_hists_[static_cast<std::size_t>(disk)]->Add(total);
+    }
+  }
+}
+
+Status Server::ExecuteReads(const RoundPlan& plan) {
+  for (auto& cyls : round_cylinders_) cyls.clear();
+  std::fill(round_disk_reads_.begin(), round_disk_reads_.end(), 0);
+  round_worst_time_ = 0.0;
+  PrepareLanes(plan);
+  LaneParallelFor(static_cast<std::int64_t>(active_lanes_.size()),
+                  [&](std::int64_t lane) {
+                    RunLane(plan,
+                            active_lanes_[static_cast<std::size_t>(lane)]);
+                  });
+  Status st = MergeOutcomes(plan);
+  ReleaseRoundStaging();
+  if (!st.ok()) return st;
+  TimeRoundLanes(plan);
   if (config_.metrics != nullptr) {
     round_reads_hist_->Add(static_cast<double>(plan.reads.size()));
     if (config_.time_rounds) round_time_hist_->Add(round_worst_time_);
+    int critical = 0;
     for (int disk = 0; disk < array_->num_disks(); ++disk) {
       const int reads = round_disk_reads_[static_cast<std::size_t>(disk)];
+      critical = std::max(critical, reads);
       if (reads > 0) {
         disk_round_reads_hists_[static_cast<std::size_t>(disk)]->Add(
             static_cast<double>(reads));
       }
+    }
+    // The busiest lane bounds the round's parallel service time — the
+    // q-block quota is exactly the paper's cap on this number.
+    if (critical > 0) {
+      lane_critical_hist_->Add(static_cast<double>(critical));
     }
   }
   return Status::Ok();
@@ -441,7 +662,7 @@ Status Server::Reconstruct() {
   const Layout& layout = controller_->layout();
   // Peer blocks found during the completeness scan, XORed directly —
   // entry pointers are stable, so the second lookup pass is unnecessary.
-  std::vector<const Block*> peers;
+  std::vector<const std::uint8_t*> peers;
   for (auto it = pending_parity_.begin(); it != pending_parity_.end();) {
     const auto [stream, space, index] = *it;
     BufferPool::Entry* entry = pool_.Find(stream, space, index);
@@ -454,14 +675,14 @@ Status Server::Reconstruct() {
         complete = false;
         break;
       }
-      peers.push_back(&peer_entry->data);
+      peers.push_back(peer_entry->data.data());
     }
     if (!complete) {
       ++it;
       continue;
     }
-    for (const Block* peer_data : peers) {
-      XorBytes(entry->data.data(), peer_data->data(), entry->data.size());
+    for (const std::uint8_t* peer_data : peers) {
+      XorBytes(entry->data.data(), peer_data, entry->data.size());
     }
     entry->parity_pending = false;
     it = pending_parity_.erase(it);
@@ -470,18 +691,42 @@ Status Server::Reconstruct() {
 }
 
 Status Server::Deliver(const RoundPlan& plan) {
-  for (const Delivery& delivery : plan.deliveries) {
+  const std::size_t n = plan.deliveries.size();
+  // Content verification is pure (pattern regeneration vs. the buffered
+  // bytes, no shared scratch), so it runs on the lane pool; everything
+  // stateful below stays sequential in delivery order.
+  if (config_.verify_content && n > 0) {
+    verify_ok_.assign(n, 1);
+    LaneParallelFor(static_cast<std::int64_t>(n), [&](std::int64_t i) {
+      const Delivery& delivery =
+          plan.deliveries[static_cast<std::size_t>(i)];
+      BufferPool::Entry* entry =
+          pool_.Find(delivery.stream, delivery.space, delivery.index);
+      if (entry == nullptr || entry->parity_pending) return;  // hiccup
+      verify_ok_[static_cast<std::size_t>(i)] =
+          PatternMatches(delivery.space, delivery.index,
+                         entry->data.data(), entry->data.size())
+              ? 1
+              : 0;
+    });
+  }
+  const bool tracing = config_.trace != nullptr;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Delivery& delivery = plan.deliveries[i];
+    // Re-find: an earlier delivery of the same key erased the entry, and
+    // a duplicate delivery must see that (it hiccups, as it always has).
     BufferPool::Entry* entry =
         pool_.Find(delivery.stream, delivery.space, delivery.index);
     if (entry == nullptr || entry->parity_pending) {
       ++metrics_.hiccups;
-      if (config_.trace != nullptr) {
-        config_.trace->Record(TraceEvent{
-            metrics_.rounds, TraceEventType::kHiccup, delivery.stream,
-            BlockAddress{}, ReadKind::kData, delivery.space,
-            delivery.index});
+      if (tracing) {
+        TraceBatch(TraceEvent{metrics_.rounds, TraceEventType::kHiccup,
+                              delivery.stream, BlockAddress{},
+                              ReadKind::kData, delivery.space,
+                              delivery.index});
       }
       if (!config_.allow_hiccups) {
+        FlushTraceBatch();
         return Status::Internal(
             "missed delivery: stream " + std::to_string(delivery.stream) +
             " block " + std::to_string(delivery.index));
@@ -491,26 +736,24 @@ Status Server::Deliver(const RoundPlan& plan) {
       pool_.Erase(delivery.stream, delivery.space, delivery.index);
       continue;
     }
-    if (config_.verify_content) {
-      PatternFill(delivery.space, delivery.index, config_.block_size,
-                  &verify_scratch_);
-      if (entry->data != verify_scratch_) {
-        return Status::Internal(
-            "corrupt delivery: stream " + std::to_string(delivery.stream) +
-            " block " + std::to_string(delivery.index));
-      }
+    if (config_.verify_content && verify_ok_[i] == 0) {
+      FlushTraceBatch();
+      return Status::Internal(
+          "corrupt delivery: stream " + std::to_string(delivery.stream) +
+          " block " + std::to_string(delivery.index));
     }
     ++metrics_.deliveries;
     pool_.Erase(delivery.stream, delivery.space, delivery.index);
     auto it = streams_.find(delivery.stream);
     if (it != streams_.end()) ++it->second.delivered;
-    if (config_.trace != nullptr) {
-      config_.trace->Record(TraceEvent{
-          metrics_.rounds, TraceEventType::kDelivery, delivery.stream,
-          BlockAddress{}, ReadKind::kData, delivery.space,
-          delivery.index});
+    if (tracing) {
+      TraceBatch(TraceEvent{metrics_.rounds, TraceEventType::kDelivery,
+                            delivery.stream, BlockAddress{},
+                            ReadKind::kData, delivery.space,
+                            delivery.index});
     }
   }
+  FlushTraceBatch();
   return Status::Ok();
 }
 

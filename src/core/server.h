@@ -3,9 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/buffer_pool.h"
@@ -17,6 +19,7 @@
 #include "obs/round_timeline.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 // The continuous-media server: executes each round's plan against the
 // simulated disk array — reads blocks (C-SCAN per disk), reconstructs
@@ -27,6 +30,18 @@
 //     not (the contingency-bandwidth guarantee);
 //   * every delivery is on time and bit-exact, except the non-clustered
 //     baseline's documented transition hiccups, which are counted.
+//
+// Intra-round parallel service (the paper's §3 premise that disks are
+// independent service queues within a round): ExecuteReads partitions
+// the round's planned reads into per-disk *lanes* — one lane per disk,
+// reads in plan order — and executes the lanes on a thread pool sized by
+// ServerConfig::lanes. Each lane touches only its own disk, its own
+// injector shard and its own staging/outcome storage; every shared
+// effect (metrics, histograms, trace events, buffer-pool and key-set
+// updates) is applied afterwards by a sequential merge walk in original
+// plan order. Metrics, traces, epoch reports and exported JSON are
+// therefore byte-identical at any lane count — the same determinism
+// contract sim/sweep gives across cells, now inside one cell.
 //
 // Degraded-mode service path (docs/fault_model.md): when a fault
 // injector is attached beneath the array, a read attempt may fail with a
@@ -74,11 +89,19 @@ struct ServerConfig {
   SeekCurve seek_curve = SeekCurve::kLinear;
   // Sample rotational latency instead of charging the worst case.
   bool sample_rotation = false;
+  // Threads executing the per-disk read lanes within a round: 1 runs
+  // them inline (sequential), 0 or negative selects
+  // ThreadPool::DefaultThreadCount() (CMFS_THREADS / hardware). Every
+  // observable output is byte-identical at any setting; lanes compose
+  // with sweep-level parallelism (lanes within a cell, cells within a
+  // grid), so sweeps normally keep lanes = 1.
+  int lanes = 1;
   // Optional event trace sink (owned by the caller, must outlive the
   // server). Records admissions, reads, deliveries, hiccups and stream
   // lifecycle events for offline QoS analysis (core/trace.h). Any
   // TraceSink works: the unbounded Trace, a RingBufferTraceSink for
-  // long runs, or a CountingTraceSink.
+  // long runs, or a CountingTraceSink. Events of a round are buffered
+  // and spliced per phase (TraceSink::RecordAll) in plan order.
   TraceSink* trace = nullptr;
   // Optional metrics registry (owned by the caller, must outlive the
   // server). When set, the server publishes round/delivery counters,
@@ -174,6 +197,8 @@ class Server {
   const ServerMetrics& metrics() const { return metrics_; }
   const Controller& controller() const { return *controller_; }
   int num_active() const { return controller_->num_active(); }
+  // Lane threads actually in use (1 = sequential).
+  int lanes() const { return lanes_; }
 
   // Per-round telemetry timeline (always captured; one RoundSample per
   // round). timeline().EpochReport() slices it before/during/after the
@@ -181,14 +206,47 @@ class Server {
   const RoundTimeline& timeline() const { return timeline_; }
 
  private:
+  using Key = BufferPool::Key;
+
+  // What one lane recorded for one planned read: everything the merge
+  // walk needs to replay the sequential engine's bookkeeping without
+  // touching the disk again. Plain data, one writer (the lane), read
+  // after the barrier.
+  struct ReadOutcome {
+    // kUnavailable = transient loss (retries exhausted); any other
+    // non-ok code aborts the round at merge time.
+    Status error = Status::Ok();
+    int retries = 0;
+    // Failed attempts observed (== retries on success, retries + 1 on a
+    // transient loss).
+    int failed_attempts = 0;
+    // Cylinder of the read (filled only when time_rounds).
+    int cylinder = 0;
+  };
+
   Status ExecuteReads(const RoundPlan& plan);
+  // Builds the per-disk lanes and the staging storage for one plan.
+  void PrepareLanes(const RoundPlan& plan);
+  // Executes one disk's lane: reads with bounded retry, stages bytes
+  // into preallocated arena blocks / partial-XOR accumulators, records
+  // ReadOutcomes. Touches nothing shared.
+  void RunLane(const RoundPlan& plan, int disk);
+  // Sequential replay of the round's bookkeeping from the lane
+  // outcomes, in original plan order.
+  Status MergeOutcomes(const RoundPlan& plan);
+  // Per-disk C-SCAN timing + histogram publication for the round.
+  void TimeRoundLanes(const RoundPlan& plan);
+  // Returns every still-unadopted staging block and every partial
+  // accumulator (always copied, never adopted) to the pool's arena.
+  void ReleaseRoundStaging();
   Status Reconstruct();
   Status Deliver(const RoundPlan& plan);
   Status CheckLoadWindow();
   // Evicts a stream's buffered blocks and pending reconstructions.
   void DropStreamBuffers(StreamId id);
   // Bounded-retry read (transient errors only); counts attempts into the
-  // degraded-mode metrics. Any terminal error is returned as-is.
+  // degraded-mode metrics. Any terminal error is returned as-is. Merge
+  // thread only (ReconstructInline's peer reads).
   Result<const Block*> ReadWithRetry(const BlockAddress& addr);
   // Retry-exhaustion fallback for a data read: XOR the surviving group
   // peers into the buffer entry. False if reconstruction is impossible
@@ -199,6 +257,14 @@ class Server {
   // the plan.
   void ShedForQuotaCaps(RoundPlan* plan);
   void ShedStream(StreamId id, const std::string& reason, RoundPlan* plan);
+  // Runs fn(i) for i in [0, n) on the lane pool (inline when lanes_ == 1).
+  void LaneParallelFor(std::int64_t n,
+                       const std::function<void(std::int64_t)>& fn);
+  // Appends to the current phase's trace shard (flushed via RecordAll).
+  void TraceBatch(TraceEvent event) {
+    trace_batch_.push_back(std::move(event));
+  }
+  void FlushTraceBatch();
 
   // Stream bookkeeping for pause/resume: progress is tracked by counting
   // deliveries, so no controller cooperation beyond Cancel is needed.
@@ -218,12 +284,16 @@ class Server {
   CScanScheduler scheduler_;
   Rng rng_;
   ServerMetrics metrics_;
-  // Keys of buffered entries awaiting parity reconstruction.
-  std::set<std::tuple<StreamId, int, std::int64_t>> pending_parity_;
+  // Resolved lane thread count; the pool exists only when > 1.
+  int lanes_ = 1;
+  std::unique_ptr<ThreadPool> lane_pool_;
+  // Keys of buffered entries awaiting parity reconstruction. Hashed with
+  // the pool's splitmix64 KeyHash — O(1) per-read membership tests.
+  std::unordered_set<Key, BufferPool::KeyHash> pending_parity_;
   // Blocks lost to exhausted retries this round: delivery treats them as
   // hiccups and same-round recovery reads stop touching them. Cleared
   // every round.
-  std::set<std::tuple<StreamId, int, std::int64_t>> poisoned_;
+  std::unordered_set<Key, BufferPool::KeyHash> poisoned_;
   // Per-disk effective quota caps (INT_MAX = uncapped).
   std::vector<int> quota_caps_;
   // Scratch for inline parity reconstruction.
@@ -231,12 +301,41 @@ class Server {
   // Reads per disk in the current load window.
   std::vector<int> window_reads_;
   std::map<StreamId, StreamRecord> streams_;
-  // Scratch buffer for content verification (one allocation per server,
-  // not per delivery).
-  Block verify_scratch_;
   int window_round_ = 0;
   // Cylinders touched per disk this round (for timing).
   std::vector<std::vector<int>> round_cylinders_;
+
+  // --- Round-engine scratch (reserved once, reused every round) ---
+  // Plan positions per disk, in plan order: the lanes.
+  std::vector<std::vector<std::int32_t>> lane_positions_;
+  // Disks with at least one planned read this round.
+  std::vector<int> active_lanes_;
+  // Per plan position.
+  std::vector<ReadOutcome> outcomes_;
+  // Staging block (from the pool's arena) for kData/kParity positions;
+  // nullptr for kRecovery and after the merge adopts it.
+  std::vector<std::uint8_t*> staged_;
+  // kRecovery: index into partials_ of this position's (disk, key)
+  // accumulator; -1 otherwise.
+  std::vector<std::int32_t> partial_slot_;
+  // Partial-XOR accumulator blocks, released after every merge.
+  std::vector<std::uint8_t*> partials_;
+  // Per slot: 1 once a successful read initialized it. Written only by
+  // the slot's own lane; read at merge (a slot whose reads all failed
+  // stays uninitialized and must not be folded).
+  std::vector<std::uint8_t> partial_init_;
+  // Key -> its accumulator slots as (disk, slot), in first-touch plan
+  // order. XOR is exact, so folding per-disk partials produces the same
+  // bytes as the sequential per-read accumulation.
+  std::unordered_map<Key, std::vector<std::pair<int, std::int32_t>>,
+                     BufferPool::KeyHash>
+      recovery_slots_;
+  // Per-disk RoundTiming totals for the parallel timing pass.
+  std::vector<double> lane_round_times_;
+  // Per-delivery verification verdicts (two-phase Deliver).
+  std::vector<std::uint8_t> verify_ok_;
+  // The current phase's trace shard.
+  std::vector<TraceEvent> trace_batch_;
 
   // --- Telemetry ---
   RoundTimeline timeline_;
@@ -249,6 +348,7 @@ class Server {
   Histogram* round_time_hist_ = nullptr;
   Histogram* round_reads_hist_ = nullptr;
   Histogram* retries_hist_ = nullptr;
+  Histogram* lane_critical_hist_ = nullptr;
   std::vector<Histogram*> disk_service_hists_;
   std::vector<Histogram*> disk_round_reads_hists_;
 };

@@ -63,6 +63,15 @@ class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void Record(const TraceEvent& event) = 0;
+
+  // Splices a batch of events in order. The round engine buffers each
+  // phase's events in a private shard and flushes it here in one call,
+  // so a sink sees the same sequence as per-event Record() with one
+  // virtual dispatch per round instead of one per event. Sinks may
+  // override for a bulk fast path; the default just loops.
+  virtual void RecordAll(const TraceEvent* events, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) Record(events[i]);
+  }
 };
 
 // --- Analysis over an ordered event window -------------------------------
@@ -104,6 +113,10 @@ class Trace : public TraceSink {
  public:
   void Record(const TraceEvent& event) override {
     events_.push_back(event);
+  }
+
+  void RecordAll(const TraceEvent* events, std::size_t n) override {
+    events_.insert(events_.end(), events, events + n);
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }

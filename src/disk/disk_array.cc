@@ -100,17 +100,24 @@ void DiskArray::XorInto(Block& dst, const Block& src) const {
   XorBytes(dst.data(), src.data(), dst.size());
 }
 
-Result<Block> DiskArray::XorOf(const std::vector<BlockAddress>& addrs) const {
+Status DiskArray::XorOfInto(const std::vector<BlockAddress>& addrs,
+                            Block* dst) const {
   if (addrs.empty()) {
     return Status::InvalidArgument("XorOf over empty address list");
   }
-  Block acc(static_cast<std::size_t>(block_size_), 0);
+  dst->assign(static_cast<std::size_t>(block_size_), 0);
   for (const BlockAddress& addr : addrs) {
     Result<const Block*> blk = ReadView(addr);
     if (!blk.ok()) return blk.status();
     if (*blk == nullptr) continue;  // unwritten: XOR with zeros
-    XorBytes(acc.data(), (*blk)->data(), acc.size());
+    XorBytes(dst->data(), (*blk)->data(), dst->size());
   }
+  return Status::Ok();
+}
+
+Result<Block> DiskArray::XorOf(const std::vector<BlockAddress>& addrs) const {
+  Block acc;
+  if (Status st = XorOfInto(addrs, &acc); !st.ok()) return st;
   return acc;
 }
 

@@ -70,6 +70,12 @@ class DiskArray {
   // parity group. `addrs` must be non-empty and all on healthy disks.
   Result<Block> XorOf(const std::vector<BlockAddress>& addrs) const;
 
+  // XorOf without the per-call allocation: *dst is resized to
+  // block_size() and overwritten. Callers that XOR in a loop (the online
+  // rebuilder) reuse one scratch block instead of allocating per group.
+  Status XorOfInto(const std::vector<BlockAddress>& addrs,
+                   Block* dst) const;
+
   // Per-disk cumulative I/O counters as a telemetry snapshot:
   // "disk.<i>.reads" / "disk.<i>.writes" / "disk.<i>.rejected_ios"
   // counters plus a "disk.failed" gauge (index of the failed disk, -1 if

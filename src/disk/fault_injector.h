@@ -25,6 +25,13 @@ class FaultInjector {
   // attempts). Return true to fail this attempt with a transient
   // kUnavailable error; the block itself is intact and a later attempt
   // may succeed. Must be deterministic for reproducible scenarios.
+  //
+  // Concurrency contract: the server's round engine executes each
+  // disk's reads on its own lane, so FailRead may be called
+  // concurrently for *distinct* disks. Implementations must keep any
+  // mutable bookkeeping sharded per disk (decisions themselves should
+  // be pure functions of (round, disk, block, attempt) — see
+  // sim/fault_schedule.h); calls for one disk are always serialized.
   virtual bool FailRead(int disk, std::int64_t block) = 0;
 };
 

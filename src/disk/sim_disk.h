@@ -16,6 +16,14 @@
 // computations over partially-filled parity groups remain exact. A failed
 // disk rejects all I/O until repaired — the fault the paper's schemes must
 // mask.
+//
+// Concurrency contract (the round engine's one-lane-per-disk rule):
+// reads on *different* SimDisks may run concurrently; all operations on
+// one disk must stay on one thread at a time. Read() is logically const
+// but bumps mutable telemetry counters, so even concurrent reads of one
+// disk would race. No writes, state changes or injector swaps may
+// overlap with reads anywhere in the array — the server only writes and
+// rebuilds between the lane barriers.
 
 namespace cmfs {
 

@@ -169,7 +169,9 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
       config.scheme == Scheme::kStreamingRaid ? span : 1;
   server_config.max_read_retries = config.max_read_retries;
   server_config.reconstruct_on_read_error = config.reconstruct_on_read_error;
+  server_config.lanes = config.lanes;
   server_config.metrics = config.metrics;
+  server_config.trace = config.trace;
   server_config.seed = config.seed;
   Server server(&array, setup->controller.get(), server_config);
 
@@ -296,6 +298,7 @@ Result<DrillResult> RunFailureDrill(const DrillConfig& config) {
   scenario.stream_blocks = config.stream_blocks;
   scenario.total_rounds = config.total_rounds;
   scenario.allow_hiccups = config.allow_hiccups;
+  scenario.lanes = config.lanes;
   scenario.seed = config.seed;
   if (config.fail_round >= 0) {
     scenario.schedule.fail_stops.push_back(

@@ -41,6 +41,9 @@ struct DrillConfig {
   int fail_disk = 0;
   int total_rounds = 120;
   bool allow_hiccups = false;  // must be true for kNonClustered drills
+  // Intra-round lane threads (ServerConfig::lanes): results are
+  // byte-identical at any setting.
+  int lanes = 1;
   std::uint64_t seed = 0x5eedULL;
 };
 
@@ -74,6 +77,11 @@ struct ScenarioConfig {
   // Degraded-mode knobs forwarded to ServerConfig.
   int max_read_retries = 2;
   bool reconstruct_on_read_error = true;
+  // Intra-round lane threads (ServerConfig::lanes): 1 = sequential, 0 =
+  // hardware default. The scenario result, metrics and trace are
+  // byte-identical at any setting — crank it for wall-clock, not for
+  // different answers.
+  int lanes = 1;
   std::uint64_t seed = 0x5eedULL;
   // The scripted fault timeline (validated against num_disks /
   // total_rounds before anything runs).
@@ -81,6 +89,8 @@ struct ScenarioConfig {
   // Optional metrics registry to publish server + rebuild telemetry
   // into (owned by the caller, must outlive the call).
   MetricsRegistry* metrics = nullptr;
+  // Optional trace sink forwarded to the server (caller-owned).
+  TraceSink* trace = nullptr;
 };
 
 // Aggregates over one schedule epoch [first_round, last_round] — the

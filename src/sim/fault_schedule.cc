@@ -173,22 +173,24 @@ std::string FaultSchedule::ToString() const {
   return out;
 }
 
-std::size_t ScheduledFaultInjector::PairHash::operator()(
-    const std::pair<int, std::int64_t>& k) const {
-  return static_cast<std::size_t>(
-      Mix(static_cast<std::uint64_t>(k.first) * 0x9e3779b97f4a7c15ull ^
-          static_cast<std::uint64_t>(k.second)));
-}
-
 ScheduledFaultInjector::ScheduledFaultInjector(const FaultSchedule* schedule,
                                                std::uint64_t seed)
     : schedule_(schedule), seed_(seed) {
   CMFS_CHECK(schedule != nullptr);
+  // One shard per disk a transient window can ever touch, sized up
+  // front: FailRead then only ever writes shards_[disk], never the
+  // vector itself, which is what makes concurrent distinct-disk calls
+  // safe.
+  int max_disk = -1;
+  for (const TransientWindow& w : schedule->transients) {
+    max_disk = std::max(max_disk, w.disk);
+  }
+  shards_.resize(static_cast<std::size_t>(max_disk + 1));
 }
 
 void ScheduledFaultInjector::BeginRound(std::int64_t round) {
   round_ = round;
-  attempts_.clear();
+  for (DiskShard& shard : shards_) shard.attempts.clear();
 }
 
 bool ScheduledFaultInjector::FailRead(int disk, std::int64_t block) {
@@ -202,19 +204,30 @@ bool ScheduledFaultInjector::FailRead(int disk, std::int64_t block) {
     }
   }
   if (active == nullptr) return false;
-  int& failed = attempts_[{disk, block}];
+  DiskShard& shard = shards_[static_cast<std::size_t>(disk)];
+  int& failed = shard.attempts[block];
   if (failed >= active->max_consecutive_failures) return false;
   if (AttemptRoll(seed_, round_, disk, block, failed) >=
       active->probability) {
     return false;
   }
   ++failed;
-  ++injected_;
-  if (static_cast<std::size_t>(disk) >= per_disk_injected_.size()) {
-    per_disk_injected_.resize(static_cast<std::size_t>(disk) + 1, 0);
-  }
-  ++per_disk_injected_[static_cast<std::size_t>(disk)];
+  ++shard.injected;
   return true;
+}
+
+std::int64_t ScheduledFaultInjector::injected_errors() const {
+  std::int64_t total = 0;
+  for (const DiskShard& shard : shards_) total += shard.injected;
+  return total;
+}
+
+std::vector<std::int64_t> ScheduledFaultInjector::per_disk_injected()
+    const {
+  std::vector<std::int64_t> out;
+  out.reserve(shards_.size());
+  for (const DiskShard& shard : shards_) out.push_back(shard.injected);
+  return out;
 }
 
 int ScheduledFaultInjector::QuotaCap(int disk, int fallback) const {

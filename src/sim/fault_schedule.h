@@ -102,7 +102,16 @@ struct FaultSchedule {
 // FaultInjector driven by a FaultSchedule. The owner advances the clock
 // with BeginRound before each round; FailRead then decides each attempt
 // deterministically. Also answers the slow-window quota question for the
-// serving layer. Not thread-safe; one injector per scenario.
+// serving layer.
+//
+// Lane-safety contract: the fault *decision* is a pure splitmix64
+// function of (seed, round, disk, block, attempt#); the only mutable
+// state is per-disk bookkeeping (this round's attempt counts and the
+// injected totals), sharded by disk. FailRead calls on *distinct* disks
+// may therefore run concurrently — the server's one-lane-per-disk round
+// engine relies on exactly that — while calls for the same disk must
+// stay on one thread. BeginRound and the accessors must not overlap
+// with FailRead (the round engine's barrier guarantees it).
 class ScheduledFaultInjector : public FaultInjector {
  public:
   // The schedule must outlive the injector and must have been validated.
@@ -121,25 +130,26 @@ class ScheduledFaultInjector : public FaultInjector {
   bool InTransientWindow(int disk) const;
 
   // Total attempts failed so far, overall and per disk (indexable up to
-  // the highest disk that ever failed a read).
-  std::int64_t injected_errors() const { return injected_; }
-  const std::vector<std::int64_t>& per_disk_injected() const {
-    return per_disk_injected_;
-  }
+  // the highest disk named by a transient window).
+  std::int64_t injected_errors() const;
+  std::vector<std::int64_t> per_disk_injected() const;
 
  private:
-  struct PairHash {
-    std::size_t operator()(const std::pair<int, std::int64_t>& k) const;
+  // All mutable FailRead state for one disk: single-writer under the
+  // lane engine (one lane per disk).
+  struct DiskShard {
+    // Failed attempts per block this round; monotone within the round
+    // so the max_consecutive_failures bound is a hard guarantee.
+    std::unordered_map<std::int64_t, int> attempts;
+    std::int64_t injected = 0;
   };
 
   const FaultSchedule* schedule_;
   std::uint64_t seed_;
   std::int64_t round_ = -1;  // before the first BeginRound: no faults
-  // Failed attempts per (disk, block) this round; monotone within the
-  // round so the max_consecutive_failures bound is a hard guarantee.
-  std::unordered_map<std::pair<int, std::int64_t>, int, PairHash> attempts_;
-  std::int64_t injected_ = 0;
-  std::vector<std::int64_t> per_disk_injected_;
+  // Indexed by disk; pre-sized at construction to cover every disk a
+  // transient window names, so FailRead never resizes (lane safety).
+  std::vector<DiskShard> shards_;
 };
 
 }  // namespace cmfs

@@ -69,7 +69,10 @@ void ThreadPool::WorkerMain() {
 void ThreadPool::ParallelFor(
     std::int64_t n, const std::function<void(std::int64_t)>& fn) {
   if (n <= 0) return;
-  if (workers_.empty()) {
+  // A single item (or no workers) runs inline on the caller: identical
+  // result, none of the wake/park handshake. Single-lane rounds and
+  // one-cell sweeps hit this constantly.
+  if (n == 1 || workers_.empty()) {
     for (std::int64_t i = 0; i < n; ++i) fn(i);
     return;
   }

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "sim/failure_drill.h"
+
+// The lane engine's determinism contract: ServerConfig::lanes changes
+// wall-clock only. For every fault class — clean rounds, transient
+// storms with in-round retry, retry exhaustion with inline parity
+// reconstruction, slow-disk shedding, fail-stop, swap + online rebuild —
+// the scenario result, the full metrics-registry JSON and the event
+// trace must be byte-identical at 1, 2 and 8 lanes. These tests carry
+// the `tsan-parallel` ctest label: under ThreadSanitizer they also prove
+// the lanes are race-free.
+
+namespace cmfs {
+namespace {
+
+struct LaneRun {
+  std::string result;  // ScenarioResult::ToString()
+  std::string json;    // full registry export
+  std::string trace;   // FormatEvents over every event
+  ScenarioResult scenario;
+};
+
+std::string RegistryJson(const MetricsRegistry& registry) {
+  JsonWriter json;
+  json.BeginObject();
+  AppendRegistryJson(registry, &json);
+  json.EndObject();
+  return json.TakeString();
+}
+
+LaneRun RunWithLanes(ScenarioConfig config, int lanes) {
+  MetricsRegistry registry;
+  Trace trace;
+  config.lanes = lanes;
+  config.metrics = &registry;
+  config.trace = &trace;
+  Result<ScenarioResult> run = RunScenario(config);
+  EXPECT_TRUE(run.ok()) << "lanes=" << lanes << ": "
+                        << run.status().ToString();
+  LaneRun out;
+  if (!run.ok()) return out;
+  out.result = run->ToString();
+  out.json = RegistryJson(registry);
+  out.trace = FormatEvents(trace.events(), trace.size());
+  out.scenario = *run;
+  return out;
+}
+
+// Runs the scenario at 1, 2 and 8 lanes and checks byte-identity of
+// every observable; returns the single-lane run for structural checks.
+LaneRun ExpectLaneInvariant(const ScenarioConfig& config) {
+  const LaneRun baseline = RunWithLanes(config, 1);
+  for (int lanes : {2, 8}) {
+    const LaneRun parallel = RunWithLanes(config, lanes);
+    EXPECT_EQ(baseline.result, parallel.result) << "lanes=" << lanes;
+    EXPECT_EQ(baseline.json, parallel.json) << "lanes=" << lanes;
+    EXPECT_EQ(baseline.trace, parallel.trace) << "lanes=" << lanes;
+  }
+  return baseline;
+}
+
+ScenarioConfig BaseConfig() {
+  ScenarioConfig config;
+  config.scheme = Scheme::kDeclustered;
+  config.num_disks = 8;
+  config.parity_group = 4;
+  config.q = 8;
+  config.f = 1;
+  config.block_size = 64;
+  config.num_streams = 16;
+  config.stream_blocks = 60;
+  config.total_rounds = 120;
+  return config;
+}
+
+TEST(LaneEngineTest, CleanRunIsLaneInvariant) {
+  const LaneRun run = ExpectLaneInvariant(BaseConfig());
+  EXPECT_GT(run.scenario.metrics.deliveries, 0);
+  EXPECT_EQ(run.scenario.metrics.hiccups, 0);
+  EXPECT_EQ(run.scenario.metrics.transient_read_errors, 0);
+}
+
+TEST(LaneEngineTest, TransientStormWithRetryIsLaneInvariant) {
+  ScenarioConfig config = BaseConfig();
+  // Every attempt in the window fails, but at most 2 per block — a
+  // 2-retry budget recovers everything in-round.
+  config.schedule.transients.push_back(TransientWindow{1, 5, 25, 1.0, 2});
+  config.schedule.transients.push_back(TransientWindow{4, 10, 30, 0.5, 2});
+  config.max_read_retries = 2;
+  const LaneRun run = ExpectLaneInvariant(config);
+  EXPECT_GT(run.scenario.metrics.transient_read_errors, 0);
+  EXPECT_GT(run.scenario.metrics.recovered_reads, 0);
+  EXPECT_EQ(run.scenario.metrics.lost_reads, 0);
+  EXPECT_EQ(run.scenario.metrics.hiccups, 0);
+}
+
+TEST(LaneEngineTest, InlineReconstructionIsLaneInvariant) {
+  ScenarioConfig config = BaseConfig();
+  // Blocks can fail twice but the budget is one retry: data reads on
+  // disk 2 exhaust their retries and fall back to on-the-fly parity
+  // reconstruction from group peers on other disks' lanes.
+  config.schedule.transients.push_back(TransientWindow{2, 8, 20, 1.0, 2});
+  config.max_read_retries = 1;
+  const LaneRun run = ExpectLaneInvariant(config);
+  EXPECT_GT(run.scenario.metrics.inline_reconstructions, 0);
+  EXPECT_GT(run.scenario.metrics.degraded_extra_reads, 0);
+  EXPECT_EQ(run.scenario.metrics.hiccups, 0);
+}
+
+TEST(LaneEngineTest, SheddingUnderSlowDiskIsLaneInvariant) {
+  ScenarioConfig config = BaseConfig();
+  config.schedule.slow_windows.push_back(SlowWindow{3, 15, 25, 1});
+  config.priority_classes = 4;
+  const LaneRun run = ExpectLaneInvariant(config);
+  EXPECT_GT(run.scenario.metrics.shed_streams, 0);
+  EXPECT_EQ(run.scenario.metrics.hiccups, 0);
+}
+
+TEST(LaneEngineTest, FullStormWithRebuildIsLaneInvariant) {
+  ScenarioConfig config = BaseConfig();
+  // Every fault class at once: transient window, slow disk, fail-stop,
+  // swap with the online rebuild racing client service.
+  config.schedule.transients.push_back(TransientWindow{1, 5, 15, 1.0, 2});
+  config.schedule.slow_windows.push_back(SlowWindow{2, 20, 28, 1});
+  config.schedule.fail_stops.push_back(FailStopEvent{3, 35});
+  config.schedule.swaps.push_back(SwapEvent{3, 45, 4});
+  config.priority_classes = 4;
+  const LaneRun run = ExpectLaneInvariant(config);
+  EXPECT_GT(run.scenario.metrics.transient_read_errors, 0);
+  EXPECT_GT(run.scenario.metrics.recovery_reads, 0);
+  EXPECT_GT(run.scenario.metrics.shed_streams, 0);
+  EXPECT_EQ(run.scenario.completed_rebuilds, 1);
+  EXPECT_GT(run.scenario.rebuilt_blocks, 0);
+  EXPECT_EQ(run.scenario.metrics.hiccups, 0);
+}
+
+TEST(LaneEngineTest, HardwareDefaultLaneCountMatchesSequential) {
+  // lanes = 0 resolves to the hardware thread count — whatever that is
+  // on the machine running this test, the answer must not move.
+  ScenarioConfig config = BaseConfig();
+  config.schedule.transients.push_back(TransientWindow{1, 5, 15, 1.0, 2});
+  const LaneRun baseline = RunWithLanes(config, 1);
+  const LaneRun hardware = RunWithLanes(config, 0);
+  EXPECT_EQ(baseline.result, hardware.result);
+  EXPECT_EQ(baseline.json, hardware.json);
+  EXPECT_EQ(baseline.trace, hardware.trace);
+}
+
+TEST(LaneEngineTest, StreamingRaidSuperRoundsAreLaneInvariant) {
+  // A different scheme exercises different plan shapes (super-round
+  // load windows, group-aligned extents).
+  ScenarioConfig config = BaseConfig();
+  config.scheme = Scheme::kStreamingRaid;
+  config.q = 12;
+  config.schedule.transients.push_back(TransientWindow{1, 5, 15, 1.0, 2});
+  const LaneRun run = ExpectLaneInvariant(config);
+  EXPECT_GT(run.scenario.metrics.deliveries, 0);
+}
+
+}  // namespace
+}  // namespace cmfs
