@@ -7,6 +7,8 @@
 // reconstructions, shed streams and lost reads, and which scheme
 // degrades most gracefully? docs/fault_model.md interprets the columns.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -67,9 +69,14 @@ FaultSchedule FullStorm() {
 
 CsvTable g_table;
 int g_lanes = 1;  // --lanes N; byte-identical output at any setting
+// Ledger of the full-storm run of the first scheme: exported as the
+// artifact's `streams` section (the worst-case scenario's per-stream
+// QoS is what an operator wants in the report).
+StreamQosLedger g_storm_qos;
 
 void RunRow(const char* scenario, const SchemeShape& shape,
-            const FaultSchedule& schedule) {
+            const FaultSchedule& schedule,
+            StreamQosLedger* qos = nullptr) {
   ScenarioConfig config;
   config.scheme = shape.scheme;
   config.num_disks = shape.num_disks;
@@ -84,19 +91,24 @@ void RunRow(const char* scenario, const SchemeShape& shape,
   config.priority_classes = 6;
   config.lanes = g_lanes;
   config.schedule = schedule;
+  config.qos = qos;
   Result<ScenarioResult> result = RunScenario(config);
   if (!result.ok()) {
     std::printf("  %-28s FAILED: %s\n", shape.label,
                 result.status().ToString().c_str());
     g_table.AddRow({scenario, shape.label, "error", "", "", "", "", "",
-                    "", "", ""});
+                    "", "", "", "", ""});
     return;
   }
   const ServerMetrics& m = result->metrics;
+  std::int64_t max_glitch_run = 0;
+  for (const StreamQosLedger::StreamRow& row : result->stream_rows) {
+    max_glitch_run = std::max(max_glitch_run, row.longest_glitch_run);
+  }
   std::printf(
       "  %-28s adm=%2d del=%5lld hic=%3lld | transient=%4lld "
       "retries=%4lld recovered=%4lld recon=%3lld | shed=%2lld lost=%3lld "
-      "rebuilds=%d\n",
+      "rebuilds=%d slo_viol=%lld glitch=%lld\n",
       shape.label, result->admitted, static_cast<long long>(m.deliveries),
       static_cast<long long>(m.hiccups),
       static_cast<long long>(m.transient_read_errors),
@@ -104,7 +116,9 @@ void RunRow(const char* scenario, const SchemeShape& shape,
       static_cast<long long>(m.recovered_reads),
       static_cast<long long>(m.inline_reconstructions),
       static_cast<long long>(m.shed_streams),
-      static_cast<long long>(m.lost_reads), result->completed_rebuilds);
+      static_cast<long long>(m.lost_reads), result->completed_rebuilds,
+      static_cast<long long>(result->slo_violations),
+      static_cast<long long>(max_glitch_run));
   g_table.AddRow({scenario, shape.label, std::to_string(result->admitted),
                   std::to_string(m.deliveries), std::to_string(m.hiccups),
                   std::to_string(m.transient_read_errors),
@@ -112,13 +126,19 @@ void RunRow(const char* scenario, const SchemeShape& shape,
                   std::to_string(m.inline_reconstructions),
                   std::to_string(m.shed_streams),
                   std::to_string(m.lost_reads),
-                  std::to_string(result->completed_rebuilds)});
+                  std::to_string(result->completed_rebuilds),
+                  std::to_string(result->slo_violations),
+                  std::to_string(max_glitch_run)});
 }
 
-void RunScenarioBlock(const char* scenario, const FaultSchedule& schedule) {
+void RunScenarioBlock(const char* scenario, const FaultSchedule& schedule,
+                      StreamQosLedger* first_scheme_qos = nullptr) {
   std::printf("\n-- %s: %s\n", scenario, schedule.ToString().c_str());
+  bool first = true;
   for (const SchemeShape& shape : Shapes()) {
-    RunRow(scenario, shape, schedule);
+    RunRow(scenario, shape, schedule,
+           first ? first_scheme_qos : nullptr);
+    first = false;
   }
 }
 
@@ -131,12 +151,13 @@ int main(int argc, char** argv) {
   g_table.columns = {"scenario",  "scheme",    "admitted",
                      "deliveries", "hiccups",  "transient_errors",
                      "recovered",  "reconstructions", "shed_streams",
-                     "lost_reads", "completed_rebuilds"};
+                     "lost_reads", "completed_rebuilds",
+                     "slo_violations", "max_glitch_run"};
 
   RunScenarioBlock("clean", CleanSchedule());
   RunScenarioBlock("transient-storm", TransientStorm());
   RunScenarioBlock("slow-disk", SlowDiskSchedule());
-  RunScenarioBlock("full-storm", FullStorm());
+  RunScenarioBlock("full-storm", FullStorm(), &g_storm_qos);
 
   std::printf(
       "\ntransient errors are absorbed by in-round retries (recovered == "
@@ -152,6 +173,7 @@ int main(int argc, char** argv) {
                    {"total_rounds", 170},
                    {"priority_classes", 6},
                    {"lanes", g_lanes}};
+  report.qos = &g_storm_qos;
   report.table = &g_table;
   return bench::MaybeWriteJsonReport(argc, argv, report) ? 0 : 1;
 }

@@ -7,8 +7,14 @@
 // grid runs on the parallel sweep engine (sim/sweep.h); output order,
 // CSV and JSON artifacts are byte-identical for any --threads value.
 //
+// Each cell additionally runs a small end-to-end fault drill (single
+// fail-stop under the cell's optimized q/f) through the scenario engine
+// and reports its hiccup count and per-stream SLO violations — the
+// fault-tolerance column the admitted-count grid alone cannot show.
+//
 //   --threads N    worker threads (default: CMFS_THREADS / all cores)
-//   --csv <path>   machine-readable rows (scheme,p,buffer_mb,admitted)
+//   --csv <path>   machine-readable rows
+//                  (scheme,p,buffer_mb,admitted,drill_hiccups,drill_slo)
 //   --json <path>  full BenchReport artifact (docs/observability.md)
 
 #include <cstdio>
@@ -16,6 +22,7 @@
 
 #include "bench/bench_util.h"
 #include "sim/driver.h"
+#include "sim/failure_drill.h"
 #include "sim/sweep.h"
 
 int main(int argc, char** argv) {
@@ -60,10 +67,43 @@ int main(int argc, char** argv) {
     std::snprintf(buf, sizeof(buf), "%8lld",
                   static_cast<long long>(sim_result->admitted));
     result.text = buf;
+    // Mini fault drill at the cell's optimized (q, f): a single
+    // fail-stop mid-run through the full byte-accurate data path. The
+    // hiccup count and per-stream SLO verdicts are the cell's
+    // fault-tolerance columns.
+    std::string drill_hiccups = "-";
+    std::string drill_slo = "-";
+    {
+      ScenarioConfig drill;
+      drill.scheme = cell.scheme;
+      drill.num_disks = 32;
+      drill.parity_group = cell.parity_group;
+      drill.q = cap->q;
+      drill.f = cap->f;
+      drill.num_streams = 8;
+      drill.stream_blocks = 30;
+      drill.total_rounds = 40;
+      // Count hiccups instead of aborting: schemes whose optimizer
+      // picked f = 0 have no contingency reserve and are expected to
+      // glitch — that is the column's point.
+      drill.allow_hiccups = true;
+      drill.schedule.fail_stops.push_back(FailStopEvent{0, 10});
+      Result<ScenarioResult> drilled = RunScenario(drill);
+      if (drilled.ok()) {
+        drill_hiccups = std::to_string(drilled->metrics.hiccups);
+        drill_slo = std::to_string(drilled->slo_violations);
+        metrics->counter("sweep.drill_hiccups")
+            ->Inc(drilled->metrics.hiccups);
+        metrics->counter("sweep.drill_slo_violations")
+            ->Inc(drilled->slo_violations);
+      }
+    }
     result.csv_row = {SchemeName(cell.scheme),
                       std::to_string(cell.parity_group),
                       std::to_string(cell.buffer_bytes / kMiB),
-                      std::to_string(sim_result->admitted)};
+                      std::to_string(sim_result->admitted),
+                      drill_hiccups,
+                      drill_slo};
     // Shard-local telemetry, merged deterministically after the sweep.
     metrics->counter("sweep.cells_run")->Inc();
     metrics->counter("sweep.admitted_total")->Inc(sim_result->admitted);
@@ -77,7 +117,9 @@ int main(int argc, char** argv) {
       RunSweep(spec, bench::ThreadsFromArgs(argc, argv), cell_fn, &merged);
 
   CsvTable table;
-  table.columns = {"scheme", "p", "buffer_mb", "admitted"};
+  table.columns = {"scheme",        "p",
+                   "buffer_mb",     "admitted",
+                   "drill_hiccups", "drill_slo_violations"};
   std::size_t cell = 0;
   for (std::int64_t bytes : spec.buffer_bytes) {
     const long long mb = bytes / kMiB;

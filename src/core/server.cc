@@ -92,6 +92,9 @@ bool Server::TryAdmit(StreamId id, int space, std::int64_t start,
   CMFS_CHECK(streams_.find(id) == streams_.end());
   if (!controller_->TryAdmit(id, space, start, length)) return false;
   streams_[id] = StreamRecord{space, start, length, 0, false, priority};
+  if (config_.qos != nullptr) {
+    config_.qos->OnAdmit(id, metrics_.rounds, priority);
+  }
   if (config_.trace != nullptr) {
     config_.trace->Record(TraceEvent{metrics_.rounds,
                                      TraceEventType::kAdmit, id,
@@ -115,6 +118,7 @@ Status Server::PauseStream(StreamId id) {
   // Buffered-but-undelivered blocks are re-fetched on resume.
   DropStreamBuffers(id);
   it->second.paused = true;
+  if (config_.qos != nullptr) config_.qos->OnPause(id, metrics_.rounds);
   if (config_.trace != nullptr) {
     config_.trace->Record(TraceEvent{metrics_.rounds,
                                      TraceEventType::kPause, id,
@@ -146,13 +150,35 @@ void Server::ClearDiskQuotaCaps() {
             std::numeric_limits<int>::max());
 }
 
+std::string Server::DegradedCauseFor(int disk) const {
+  // The ledger's registered fault context wins (the scenario runner
+  // names the injecting window); on its own the server can only see the
+  // failed disk.
+  std::string fallback;
+  const int failed = array_->failed_disk();
+  if (failed >= 0) {
+    fallback = "failed disk " + std::to_string(failed);
+  } else if (disk >= 0) {
+    fallback = "transient errors on disk " + std::to_string(disk);
+  } else {
+    fallback = "unattributed";
+  }
+  if (config_.qos == nullptr) return fallback;
+  // With no specific disk, resolve through the failed disk's registered
+  // cause (a hiccup under single failure is that disk's fault).
+  return config_.qos->CauseForDisk(disk >= 0 ? disk : failed, fallback);
+}
+
 void Server::ShedStream(StreamId id, const std::string& reason,
-                        RoundPlan* plan) {
+                        const std::string& cause, RoundPlan* plan) {
   controller_->Cancel(id);
   DropStreamBuffers(id);
   auto it = streams_.find(id);
   const int space = it != streams_.end() ? it->second.space : 0;
   streams_.erase(id);
+  if (config_.qos != nullptr) {
+    config_.qos->OnShed(id, metrics_.rounds, cause);
+  }
   ++metrics_.shed_streams;
   if (config_.metrics != nullptr) {
     config_.metrics->counter("server.shed_streams")->Inc();
@@ -212,7 +238,14 @@ void Server::ShedForQuotaCaps(RoundPlan* plan) {
       }
     }
     if (victim < 0) return;  // Nothing sheddable on that disk.
-    ShedStream(victim, "quota_cap", plan);
+    const std::string fallback =
+        "quota_cap disk=" + std::to_string(overloaded) + " cap=" +
+        std::to_string(quota_caps_[static_cast<std::size_t>(overloaded)]);
+    const std::string cause =
+        config_.qos != nullptr
+            ? config_.qos->CauseForDisk(overloaded, fallback)
+            : fallback;
+    ShedStream(victim, "quota_cap", cause, plan);
   }
 }
 
@@ -250,6 +283,7 @@ Status Server::ResumeStream(StreamId id) {
   record.length = remaining;
   record.delivered = 0;
   record.paused = false;
+  if (config_.qos != nullptr) config_.qos->OnResume(id, metrics_.rounds);
   if (config_.trace != nullptr) {
     config_.trace->Record(TraceEvent{metrics_.rounds,
                                      TraceEventType::kResume, id,
@@ -269,6 +303,7 @@ Status Server::CancelStream(StreamId id) {
   }
   DropStreamBuffers(id);
   streams_.erase(it);
+  if (config_.qos != nullptr) config_.qos->OnCancel(id, metrics_.rounds);
   if (config_.trace != nullptr) {
     config_.trace->Record(TraceEvent{metrics_.rounds,
                                      TraceEventType::kCancel, id,
@@ -311,9 +346,11 @@ bool Server::ReconstructInline(const RoundRead& read) {
       controller_->layout().GroupOf(read.space, read.index);
   reconstruct_scratch_.assign(
       static_cast<std::size_t>(config_.block_size), 0);
+  last_reconstruct_peer_reads_ = 0;
   auto absorb = [&](const BlockAddress& member) -> bool {
     Result<const Block*> peer = ReadWithRetry(member);
     if (!peer.ok()) return false;
+    ++last_reconstruct_peer_reads_;
     ++metrics_.degraded_extra_reads;
     ++metrics_.per_disk_reads[static_cast<std::size_t>(member.disk)];
     ++metrics_.per_disk_recovery_reads[static_cast<std::size_t>(
@@ -498,11 +535,24 @@ Status Server::MergeOutcomes(const RoundPlan& plan) {
       // failed reconstruction) lose the block — a hiccup at delivery.
       if (read.kind == ReadKind::kData &&
           config_.reconstruct_on_read_error && ReconstructInline(read)) {
+        if (config_.qos != nullptr) {
+          config_.qos->OnReconstructed(
+              read.stream, read.space, read.index, read.addr.disk,
+              metrics_.rounds, out.retries, out.failed_attempts,
+              last_reconstruct_peer_reads_,
+              DegradedCauseFor(read.addr.disk));
+        }
         continue;  // Recovered from the group peers at merge time.
       }
       ++metrics_.lost_reads;
       if (config_.metrics != nullptr) {
         config_.metrics->counter("server.lost_reads")->Inc();
+      }
+      if (config_.qos != nullptr) {
+        config_.qos->OnReadLost(read.stream, read.space, read.index,
+                                read.addr.disk, metrics_.rounds,
+                                out.retries, out.failed_attempts,
+                                DegradedCauseFor(read.addr.disk));
       }
       poisoned_.insert(key);
       pending_parity_.erase(key);
@@ -521,6 +571,14 @@ Status Server::MergeOutcomes(const RoundPlan& plan) {
     if (read.kind != ReadKind::kData) {
       ++metrics_.per_disk_recovery_reads[static_cast<std::size_t>(
           read.addr.disk)];
+    }
+    if (config_.qos != nullptr) {
+      const bool recovery = read.kind != ReadKind::kData;
+      config_.qos->OnRead(
+          read.stream, read.space, read.index, read.addr.disk,
+          metrics_.rounds, out.retries, out.failed_attempts, recovery,
+          recovery ? DegradedCauseFor(array_->failed_disk())
+                   : std::string());
     }
     if (config_.time_rounds) {
       round_cylinders_[static_cast<std::size_t>(read.addr.disk)].push_back(
@@ -633,22 +691,27 @@ Status Server::ExecuteReads(const RoundPlan& plan) {
   ReleaseRoundStaging();
   if (!st.ok()) return st;
   TimeRoundLanes(plan);
+  // The busiest lane bounds the round's parallel service time — the
+  // q-block quota is exactly the paper's cap on this number. Computed
+  // unconditionally so the round timeline sees it even without a
+  // metrics registry attached.
+  round_critical_reads_ = 0;
+  for (int disk = 0; disk < array_->num_disks(); ++disk) {
+    const int reads = round_disk_reads_[static_cast<std::size_t>(disk)];
+    round_critical_reads_ = std::max(round_critical_reads_, reads);
+  }
   if (config_.metrics != nullptr) {
     round_reads_hist_->Add(static_cast<double>(plan.reads.size()));
     if (config_.time_rounds) round_time_hist_->Add(round_worst_time_);
-    int critical = 0;
     for (int disk = 0; disk < array_->num_disks(); ++disk) {
       const int reads = round_disk_reads_[static_cast<std::size_t>(disk)];
-      critical = std::max(critical, reads);
       if (reads > 0) {
         disk_round_reads_hists_[static_cast<std::size_t>(disk)]->Add(
             static_cast<double>(reads));
       }
     }
-    // The busiest lane bounds the round's parallel service time — the
-    // q-block quota is exactly the paper's cap on this number.
-    if (critical > 0) {
-      lane_critical_hist_->Add(static_cast<double>(critical));
+    if (round_critical_reads_ > 0) {
+      lane_critical_hist_->Add(static_cast<double>(round_critical_reads_));
     }
   }
   return Status::Ok();
@@ -719,6 +782,11 @@ Status Server::Deliver(const RoundPlan& plan) {
         pool_.Find(delivery.stream, delivery.space, delivery.index);
     if (entry == nullptr || entry->parity_pending) {
       ++metrics_.hiccups;
+      if (config_.qos != nullptr) {
+        config_.qos->OnHiccup(delivery.stream, delivery.space,
+                              delivery.index, metrics_.rounds,
+                              DegradedCauseFor(-1));
+      }
       if (tracing) {
         TraceBatch(TraceEvent{metrics_.rounds, TraceEventType::kHiccup,
                               delivery.stream, BlockAddress{},
@@ -743,6 +811,10 @@ Status Server::Deliver(const RoundPlan& plan) {
           " block " + std::to_string(delivery.index));
     }
     ++metrics_.deliveries;
+    if (config_.qos != nullptr) {
+      config_.qos->OnDeliver(delivery.stream, delivery.space,
+                             delivery.index, metrics_.rounds);
+    }
     pool_.Erase(delivery.stream, delivery.space, delivery.index);
     auto it = streams_.find(delivery.stream);
     if (it != streams_.end()) ++it->second.delivered;
@@ -808,6 +880,9 @@ Status Server::RunRound() {
 
   for (StreamId stream : plan.completed) {
     ++metrics_.completed_streams;
+    if (config_.qos != nullptr) {
+      config_.qos->OnComplete(stream, metrics_.rounds);
+    }
     pool_.DropStream(stream);
     streams_.erase(stream);
     if (config_.trace != nullptr) {
@@ -830,6 +905,7 @@ Status Server::RunRound() {
       static_cast<int>(metrics_.completed_streams - completed0);
   sample.buffer_blocks = pool_.resident_blocks();
   sample.worst_disk_time = round_worst_time_;
+  sample.lane_critical_reads = round_critical_reads_;
   sample.transient_errors =
       static_cast<int>(metrics_.transient_read_errors - transient0);
   sample.read_retries = static_cast<int>(metrics_.read_retries - retries0);

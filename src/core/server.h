@@ -17,6 +17,7 @@
 #include "disk/disk_array.h"
 #include "obs/metrics_registry.h"
 #include "obs/round_timeline.h"
+#include "obs/stream_qos.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -108,6 +109,13 @@ struct ServerConfig {
   // round-time and per-disk service-time histograms, and buffer-pool
   // occupancy (names in docs/observability.md).
   MetricsRegistry* metrics = nullptr;
+  // Optional per-stream QoS ledger (caller-owned, must outlive the
+  // server). Fed exclusively from the sequential merge and delivery
+  // phases, in plan order: delivery outcomes, causal block spans, shed
+  // and hiccup attribution (obs/stream_qos.h). The caller registers
+  // per-disk fault causes on the ledger each round; the server resolves
+  // the cause of every lost read / hiccup / shed through it.
+  StreamQosLedger* qos = nullptr;
   // Per-round timeline retention: 0 keeps every RoundSample, N keeps a
   // ring of the most recent N (aggregates still cover the full run).
   std::size_t timeline_capacity = 0;
@@ -256,7 +264,12 @@ class Server {
   // its active quota cap. Removes shed streams' reads/deliveries from
   // the plan.
   void ShedForQuotaCaps(RoundPlan* plan);
-  void ShedStream(StreamId id, const std::string& reason, RoundPlan* plan);
+  void ShedStream(StreamId id, const std::string& reason,
+                  const std::string& cause, RoundPlan* plan);
+  // Cause label for a degraded outcome on `disk` (-1 = unknown disk):
+  // the ledger's registered fault context if any, else what the server
+  // itself can see (the failed disk).
+  std::string DegradedCauseFor(int disk) const;
   // Runs fn(i) for i in [0, n) on the lane pool (inline when lanes_ == 1).
   void LaneParallelFor(std::int64_t n,
                        const std::function<void(std::int64_t)>& fn);
@@ -341,6 +354,10 @@ class Server {
   RoundTimeline timeline_;
   // Worst per-disk service time of the round being executed (seconds).
   double round_worst_time_ = 0.0;
+  // Busiest-disk planned-read depth of the round being executed.
+  int round_critical_reads_ = 0;
+  // Peer reads issued by the most recent ReconstructInline call.
+  int last_reconstruct_peer_reads_ = 0;
   // Reads issued per disk during the round being executed.
   std::vector<int> round_disk_reads_;
   // Registry instruments, resolved once in the constructor (all null

@@ -135,6 +135,13 @@ RingBufferTraceSink::RingBufferTraceSink(std::size_t capacity)
   ring_.reserve(capacity);
 }
 
+void RingBufferTraceSink::AttachMetrics(MetricsRegistry* registry) {
+  CMFS_CHECK(registry != nullptr);
+  dropped_counter_ = registry->counter("trace.dropped_events");
+  // A late attach still reports overwrites that already happened.
+  dropped_counter_->Set(dropped());
+}
+
 void RingBufferTraceSink::Record(const TraceEvent& event) {
   ++total_;
   if (ring_.size() < capacity_) {
@@ -143,6 +150,7 @@ void RingBufferTraceSink::Record(const TraceEvent& event) {
   }
   ring_[next_] = event;
   next_ = (next_ + 1) % capacity_;
+  if (dropped_counter_ != nullptr) dropped_counter_->Inc();
 }
 
 std::vector<TraceEvent> RingBufferTraceSink::Window() const {

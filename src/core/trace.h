@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/round_plan.h"
+#include "obs/metrics_registry.h"
 
 // Structured event trace: the server's observability surface. When a
 // sink is attached (ServerConfig::trace), every admission, block read,
@@ -154,6 +155,12 @@ class RingBufferTraceSink : public TraceSink {
 
   void Record(const TraceEvent& event) override;
 
+  // Publishes the sink's data loss into `registry` (caller-owned, must
+  // outlive the sink): the `trace.dropped_events` counter increments on
+  // every overwrite of a not-yet-consumed event, so a ring sized too
+  // small for its run is visible instead of silently forgetting.
+  void AttachMetrics(MetricsRegistry* registry);
+
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const { return ring_.size(); }
   std::int64_t total_recorded() const { return total_; }
@@ -179,6 +186,7 @@ class RingBufferTraceSink : public TraceSink {
   std::vector<TraceEvent> ring_;
   std::size_t next_ = 0;
   std::int64_t total_ = 0;
+  Counter* dropped_counter_ = nullptr;
 };
 
 // O(1) sink: per-type counts, per-disk read totals and the latest round

@@ -215,6 +215,33 @@ void AppendTimelineJson(const RoundTimeline& timeline, JsonWriter* json) {
   json->EndObject();
 }
 
+void AppendStreamQosJson(const StreamQosLedger& ledger, JsonWriter* json) {
+  json->BeginArray();
+  for (const StreamQosLedger::StreamRow& row : ledger.Rows()) {
+    json->BeginObject();
+    json->Key("stream").Value(row.stream);
+    json->Key("priority").Value(row.priority);
+    json->Key("admit_round").Value(row.admit_round);
+    json->Key("deliveries").Value(row.deliveries);
+    json->Key("clean").Value(row.clean);
+    json->Key("retried").Value(row.retried);
+    json->Key("reconstructed").Value(row.reconstructed);
+    json->Key("hiccups").Value(row.hiccups);
+    json->Key("shed").Value(row.shed);
+    json->Key("longest_glitch_run").Value(row.longest_glitch_run);
+    json->Key("rounds_degraded").Value(row.rounds_degraded);
+    json->Key("completed").Value(row.completed);
+    json->Key("jitter");
+    AppendHistogramJson(row.jitter, json);
+    json->Key("slo").Value(SloVerdictName(row.verdict));
+    if (!row.violation_cause.empty()) {
+      json->Key("cause").Value(row.violation_cause);
+    }
+    json->EndObject();
+  }
+  json->EndArray();
+}
+
 void AppendPerDiskJson(const PerDiskSeries& series, JsonWriter* json) {
   json->BeginObject();
   json->Key("values").BeginArray();
@@ -296,6 +323,10 @@ std::string BenchReport::ToJson() const {
   if (timeline != nullptr) {
     json.Key("timeline");
     AppendTimelineJson(*timeline, &json);
+  }
+  if (qos != nullptr) {
+    json.Key("streams");
+    AppendStreamQosJson(*qos, &json);
   }
   if (table != nullptr) {
     json.Key("table").BeginObject();

@@ -9,6 +9,7 @@
 
 #include "obs/metrics_registry.h"
 #include "obs/round_timeline.h"
+#include "obs/stream_qos.h"
 #include "util/status.h"
 
 // Machine-readable export of the telemetry layer: a minimal JSON emitter
@@ -21,6 +22,7 @@
 //     "histograms": {name: {count,min,max,mean,p50,p95,p99}},
 //     "per_disk": {name: {values, total, load_imbalance}},
 //     "timeline": {rounds, degraded_rounds, round_time, epochs:{...}},
+//     "streams": [{stream, priority, ..., jitter:{...}, slo, cause}, ...],
 //     "table": {columns: [...], rows: [[...], ...]} }
 
 namespace cmfs {
@@ -62,6 +64,11 @@ void AppendRegistryJson(const MetricsRegistry& registry, JsonWriter* json);
 // degraded-mode timeline as [round, degraded] run-length spans.
 void AppendTimelineJson(const RoundTimeline& timeline, JsonWriter* json);
 
+// Per-stream QoS rows as the `streams` array: one object per admitted
+// stream with its outcome breakdown, jitter digest, SLO verdict and —
+// when violated — the attributed cause.
+void AppendStreamQosJson(const StreamQosLedger& ledger, JsonWriter* json);
+
 // A per-disk integer series (reads, recovery reads, queue depth...);
 // exported with its total and LoadImbalance (cv).
 struct PerDiskSeries {
@@ -89,6 +96,8 @@ struct BenchReport {
   const MetricsRegistry* metrics = nullptr;
   const RoundTimeline* timeline = nullptr;
   std::vector<PerDiskSeries> per_disk;
+  // Per-stream QoS ledger -> `streams` array (omitted when null).
+  const StreamQosLedger* qos = nullptr;
   const CsvTable* table = nullptr;
 
   std::string ToJson() const;

@@ -29,6 +29,9 @@ struct RoundSample {
   // Worst per-disk C-SCAN service time this round, seconds (0 unless
   // ServerConfig::time_rounds).
   double worst_disk_time = 0.0;
+  // Busiest-disk planned-read depth this round — the lane engine's
+  // critical path; the q-block quota is the paper's cap on this number.
+  int lane_critical_reads = 0;
   // --- Degraded-mode deltas (fault injection; docs/fault_model.md) ---
   int transient_errors = 0;  // injected read-attempt failures this round
   int read_retries = 0;      // retry attempts issued this round

@@ -1,0 +1,100 @@
+#include "obs/span_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/status.h"
+
+namespace cmfs {
+
+const char* DeliveryOutcomeName(DeliveryOutcome outcome) {
+  switch (outcome) {
+    case DeliveryOutcome::kClean:
+      return "clean";
+    case DeliveryOutcome::kRetried:
+      return "retried";
+    case DeliveryOutcome::kReconstructed:
+      return "reconstructed";
+    case DeliveryOutcome::kShed:
+      return "shed";
+    case DeliveryOutcome::kHiccup:
+      return "hiccup";
+  }
+  return "unknown";
+}
+
+std::string BlockSpan::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "[r%lld-%lld] stream=%d blk=%d/%lld disk=%d reads=%d",
+                static_cast<long long>(open_round),
+                static_cast<long long>(close_round), stream, space,
+                static_cast<long long>(index), disk, reads);
+  std::string out = buf;
+  if (retries > 0 || failed_attempts > 0) {
+    std::snprintf(buf, sizeof(buf), " retries=%d failed=%d", retries,
+                  failed_attempts);
+    out += buf;
+  }
+  if (reconstructed) {
+    std::snprintf(buf, sizeof(buf), " recon(peers=%d)", recovery_reads);
+    out += buf;
+  }
+  if (lost) out += " lost";
+  out += " outcome=";
+  out += DeliveryOutcomeName(outcome);
+  if (!cause.empty()) {
+    out += " cause=";
+    out += cause;
+  }
+  return out;
+}
+
+std::string FormatSpans(const std::vector<BlockSpan>& spans,
+                        std::size_t max_spans,
+                        std::int64_t total_recorded) {
+  std::string out;
+  if (total_recorded > static_cast<std::int64_t>(spans.size())) {
+    out += "(window of " + std::to_string(spans.size()) + " of " +
+           std::to_string(total_recorded) + " spans; " +
+           std::to_string(total_recorded -
+                          static_cast<std::int64_t>(spans.size())) +
+           " older spans dropped)\n";
+  }
+  const std::size_t n = std::min(max_spans, spans.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out += spans[i].ToString();
+    out += '\n';
+  }
+  if (spans.size() > n) {
+    out += "... (" + std::to_string(spans.size() - n) + " more)\n";
+  }
+  return out;
+}
+
+SpanRing::SpanRing(std::size_t capacity) : capacity_(capacity) {
+  CMFS_CHECK(capacity > 0);
+  ring_.reserve(capacity);
+}
+
+void SpanRing::Push(BlockSpan span) {
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[next_] = std::move(span);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<BlockSpan> SpanRing::Window() const {
+  if (ring_.size() < capacity_) return ring_;
+  std::vector<BlockSpan> ordered;
+  ordered.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    ordered.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return ordered;
+}
+
+}  // namespace cmfs

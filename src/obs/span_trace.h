@@ -1,0 +1,119 @@
+#ifndef CMFS_OBS_SPAN_TRACE_H_
+#define CMFS_OBS_SPAN_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Causal block spans: the per-block unit of the QoS attribution layer
+// (obs/stream_qos.h). Where the event trace (core/trace.h) records each
+// step — read, retry, reconstruction, delivery, shed — as an isolated
+// event, a BlockSpan chains every step one logical block took through
+// the server into a single record with a `cause` field, so a hiccup or
+// a shed stream can be traced back to the fault that produced it (the
+// transient window, the slow-disk quota, the failed disk).
+//
+// Spans are built by the server's *sequential* merge and delivery
+// phases, in plan order, so the span stream is byte-identical at any
+// lane count — the same determinism contract as the metrics registry
+// and the event trace.
+//
+// This header intentionally uses plain ints for stream/disk so the obs
+// layer keeps its util-only dependency rule (core includes obs, never
+// the other way around).
+
+namespace cmfs {
+
+// Final delivery outcome of one logical block (equivalently: of one
+// (stream, delivery round) service slot).
+enum class DeliveryOutcome {
+  kClean,          // delivered, no degraded-mode machinery involved
+  kRetried,        // delivered after >= 1 in-round transient retry
+  kReconstructed,  // delivered after inline parity reconstruction
+  kShed,           // stream dropped by the shedding policy before delivery
+  kHiccup,         // delivery deadline missed (block lost or never read)
+};
+
+// Number of DeliveryOutcome values (keep in sync with the enum).
+inline constexpr int kNumDeliveryOutcomes = 5;
+
+const char* DeliveryOutcomeName(DeliveryOutcome outcome);
+
+// One logical block's journey: opened at its first planned read (which
+// may be rounds before delivery for the prefetching schemes), closed at
+// delivery / hiccup / shed / cancel.
+struct BlockSpan {
+  int stream = -1;
+  int space = 0;
+  std::int64_t index = -1;
+  // Round of the first planned read serving this block; -1 if the block
+  // was never read (e.g. a non-clustered transition hiccup).
+  std::int64_t open_round = -1;
+  // Round the span closed (delivery, hiccup, shed or cancel).
+  std::int64_t close_round = -1;
+  // Disk of the first planned read; -1 if none.
+  int disk = -1;
+  // Successful planned reads folded into this block (1 for a plain data
+  // read; group size for a whole-group kRecovery rebuild).
+  int reads = 0;
+  // In-round transient retries spent across those reads, and the failed
+  // attempts observed (retries that failed plus terminal failures).
+  int retries = 0;
+  int failed_attempts = 0;
+  // Surviving-peer reads issued by inline parity reconstruction.
+  int recovery_reads = 0;
+  bool reconstructed = false;
+  // A read was lost for good (retries and reconstruction exhausted).
+  bool lost = false;
+  DeliveryOutcome outcome = DeliveryOutcome::kClean;
+  // Fault attribution: empty for clean deliveries; for every degraded
+  // outcome the injecting fault-schedule window, the failed disk or the
+  // shedding quota (non-empty by contract in scripted scenarios).
+  std::string cause;
+
+  // One-line deterministic rendering:
+  //   [r12] stream=3 blk=1/40 disk=2 reads=4 retries=1 recon outcome=... cause=...
+  std::string ToString() const;
+};
+
+// Compact multi-line rendering of a span window, oldest first; states
+// how many spans were elided when truncating and how many were dropped
+// before the window (ring collectors).
+std::string FormatSpans(const std::vector<BlockSpan>& spans,
+                        std::size_t max_spans,
+                        std::int64_t total_recorded = -1);
+
+// Bounded collector of closed spans, oldest-first window semantics —
+// the flight recorder's backing store (the span analogue of
+// RingBufferTraceSink). Memory is O(capacity) for arbitrarily long
+// runs; dropped() says how many older spans the window no longer holds.
+class SpanRing {
+ public:
+  explicit SpanRing(std::size_t capacity);
+
+  void Push(BlockSpan span);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return ring_.size(); }
+  std::int64_t total_recorded() const { return total_; }
+  std::int64_t dropped() const {
+    return total_ - static_cast<std::int64_t>(ring_.size());
+  }
+
+  // Retained spans, oldest first.
+  std::vector<BlockSpan> Window() const;
+
+  std::string ToString(std::size_t max_spans = 50) const {
+    return FormatSpans(Window(), max_spans, total_);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<BlockSpan> ring_;
+  std::size_t next_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_OBS_SPAN_TRACE_H_

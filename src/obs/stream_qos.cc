@@ -1,0 +1,358 @@
+#include "obs/stream_qos.h"
+
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "util/status.h"
+
+namespace cmfs {
+
+namespace {
+
+// Smallest possible span key for `stream`: the lower bound of the
+// stream's contiguous key range in the ordered open-span map.
+StreamQosLedger::SpanKey FirstKeyOf(int stream) {
+  return {stream, std::numeric_limits<int>::min(),
+          std::numeric_limits<std::int64_t>::min()};
+}
+
+}  // namespace
+
+const char* SloVerdictName(SloVerdict verdict) {
+  switch (verdict) {
+    case SloVerdict::kMet:
+      return "met";
+    case SloVerdict::kViolated:
+      return "VIOLATED";
+  }
+  return "unknown";
+}
+
+std::string StreamQosLedger::FlightRecord::ToString() const {
+  std::string out = "flight-record stream=" + std::to_string(stream) +
+                    " round=" + std::to_string(round) + " cause=" + cause +
+                    "\n";
+  out += FormatSpans(spans, spans.size());
+  return out;
+}
+
+StreamQosLedger::StreamQosLedger() : StreamQosLedger(Options{}) {}
+
+StreamQosLedger::StreamQosLedger(Options options)
+    : options_(options), span_ring_(options.span_capacity) {
+  CMFS_CHECK(options.flight_recorder_rounds > 0);
+}
+
+void StreamQosLedger::ClearDiskCauses() { disk_causes_.clear(); }
+
+void StreamQosLedger::SetDiskCause(int disk, std::string cause) {
+  disk_causes_.try_emplace(disk, std::move(cause));
+}
+
+const std::string& StreamQosLedger::CauseForDisk(
+    int disk, const std::string& fallback) const {
+  auto it = disk_causes_.find(disk);
+  return it != disk_causes_.end() ? it->second : fallback;
+}
+
+StreamQosLedger::StreamState& StreamQosLedger::State(int stream) {
+  StreamState& state = streams_[stream];
+  if (state.row.stream < 0) state.row.stream = stream;
+  return state;
+}
+
+void StreamQosLedger::TouchDegraded(StreamState& state, std::int64_t round) {
+  if (state.last_degraded_round == round) return;
+  state.last_degraded_round = round;
+  ++state.row.rounds_degraded;
+}
+
+void StreamQosLedger::TouchGlitch(StreamState& state, std::int64_t round) {
+  if (state.last_hiccup_round == round) return;  // same-round hiccups: 1 run step
+  state.current_glitch_run =
+      state.last_hiccup_round == round - 1 ? state.current_glitch_run + 1 : 1;
+  state.last_hiccup_round = round;
+  if (state.current_glitch_run > state.row.longest_glitch_run) {
+    state.row.longest_glitch_run = state.current_glitch_run;
+  }
+}
+
+void StreamQosLedger::Violate(StreamState& state, std::int64_t round,
+                              const std::string& cause) {
+  if (state.violated) return;
+  state.violated = true;
+  state.row.verdict = SloVerdict::kViolated;
+  state.row.violation_cause = cause;
+  ++slo_violations_;
+  if (flight_records_.size() >= options_.max_flight_records) return;
+  FlightRecord record;
+  record.stream = state.row.stream;
+  record.round = round;
+  record.cause = cause;
+  const std::int64_t first_round = round - options_.flight_recorder_rounds + 1;
+  for (const BlockSpan& span : span_ring_.Window()) {
+    if (span.stream == state.row.stream && span.close_round >= first_round) {
+      record.spans.push_back(span);
+    }
+  }
+  flight_records_.push_back(std::move(record));
+}
+
+void StreamQosLedger::CloseSpan(const SpanKey& key, BlockSpan&& span) {
+  span_ring_.Push(std::move(span));
+  open_spans_.erase(key);
+}
+
+void StreamQosLedger::OnAdmit(int stream, std::int64_t round, int priority) {
+  StreamState& state = State(stream);
+  state.row.priority = priority;
+  if (state.row.admit_round < 0) state.row.admit_round = round;
+  // Re-admission after pause/resume keeps the original admit round.
+}
+
+void StreamQosLedger::OnRead(int stream, int space, std::int64_t index,
+                             int disk, std::int64_t round, int retries,
+                             int failed_attempts, bool recovery,
+                             const std::string& cause) {
+  const SpanKey key{stream, space, index};
+  BlockSpan& span = open_spans_[key];
+  if (span.reads == 0 && !span.lost) {
+    span.stream = stream;
+    span.space = space;
+    span.index = index;
+    span.open_round = round;
+    span.disk = disk;
+  }
+  ++span.reads;
+  span.retries += retries;
+  span.failed_attempts += failed_attempts;
+  if (recovery) {
+    ++span.recovery_reads;
+    span.reconstructed = true;
+    if (span.cause.empty() && !cause.empty()) span.cause = cause;
+  }
+  if (recovery || retries > 0 || failed_attempts > 0) {
+    TouchDegraded(State(stream), round);
+  }
+}
+
+void StreamQosLedger::OnReadLost(int stream, int space, std::int64_t index,
+                                 int disk, std::int64_t round, int retries,
+                                 int failed_attempts,
+                                 const std::string& cause) {
+  const SpanKey key{stream, space, index};
+  BlockSpan& span = open_spans_[key];
+  if (span.reads == 0 && !span.lost) {
+    span.stream = stream;
+    span.space = space;
+    span.index = index;
+    span.open_round = round;
+    span.disk = disk;
+  }
+  span.retries += retries;
+  span.failed_attempts += failed_attempts;
+  span.lost = true;
+  if (span.cause.empty()) span.cause = cause;
+  TouchDegraded(State(stream), round);
+}
+
+void StreamQosLedger::OnReconstructed(int stream, int space,
+                                      std::int64_t index, int disk,
+                                      std::int64_t round, int retries,
+                                      int failed_attempts, int peer_reads,
+                                      const std::string& cause) {
+  const SpanKey key{stream, space, index};
+  BlockSpan& span = open_spans_[key];
+  if (span.reads == 0 && !span.lost) {
+    span.stream = stream;
+    span.space = space;
+    span.index = index;
+    span.open_round = round;
+    span.disk = disk;
+  }
+  span.retries += retries;
+  span.failed_attempts += failed_attempts;
+  span.recovery_reads += peer_reads;
+  span.reconstructed = true;
+  if (span.cause.empty()) span.cause = cause;
+  TouchDegraded(State(stream), round);
+}
+
+void StreamQosLedger::OnDeliver(int stream, int space, std::int64_t index,
+                                std::int64_t round) {
+  StreamState& state = State(stream);
+  ++state.row.deliveries;
+  if (state.jitter_chain_valid) {
+    state.row.jitter.Add(
+        static_cast<double>(round - state.last_delivery_round));
+  }
+  state.last_delivery_round = round;
+  state.jitter_chain_valid = true;
+
+  const SpanKey key{stream, space, index};
+  auto it = open_spans_.find(key);
+  if (it == open_spans_.end()) {
+    // Delivery without a recorded read (shouldn't happen on the normal
+    // path, but the ledger must not invent spans): count it clean.
+    ++state.row.clean;
+    return;
+  }
+  BlockSpan span = std::move(it->second);
+  span.close_round = round;
+  if (span.reconstructed) {
+    span.outcome = DeliveryOutcome::kReconstructed;
+    ++state.row.reconstructed;
+    TouchDegraded(state, round);
+  } else if (span.retries > 0) {
+    span.outcome = DeliveryOutcome::kRetried;
+    ++state.row.retried;
+    TouchDegraded(state, round);
+  } else {
+    span.outcome = DeliveryOutcome::kClean;
+    ++state.row.clean;
+  }
+  CloseSpan(key, std::move(span));
+}
+
+void StreamQosLedger::OnHiccup(int stream, int space, std::int64_t index,
+                               std::int64_t round,
+                               const std::string& fallback_cause) {
+  StreamState& state = State(stream);
+  ++state.row.hiccups;
+  TouchDegraded(state, round);
+  TouchGlitch(state, round);
+
+  const SpanKey key{stream, space, index};
+  auto it = open_spans_.find(key);
+  BlockSpan span;
+  if (it != open_spans_.end()) {
+    span = std::move(it->second);
+  } else {
+    // The block was never scheduled (non-clustered transition): open a
+    // bare span so the hiccup is still attributable.
+    span.stream = stream;
+    span.space = space;
+    span.index = index;
+    span.open_round = round;
+  }
+  span.close_round = round;
+  span.outcome = DeliveryOutcome::kHiccup;
+  if (span.cause.empty()) span.cause = fallback_cause;
+  const std::string cause = span.cause;
+  span_ring_.Push(std::move(span));
+  if (it != open_spans_.end()) open_spans_.erase(key);
+  Violate(state, round, cause);
+}
+
+void StreamQosLedger::OnShed(int stream, std::int64_t round,
+                             const std::string& cause) {
+  StreamState& state = State(stream);
+  state.row.shed = true;
+  state.row.shed_round = round;
+  TouchDegraded(state, round);
+  // Close every open span of the stream (deterministic key order) as
+  // shed — the blocks were read but will never be delivered.
+  for (auto it = open_spans_.lower_bound(FirstKeyOf(stream));
+       it != open_spans_.end() && std::get<0>(it->first) == stream;) {
+    BlockSpan span = std::move(it->second);
+    span.close_round = round;
+    span.outcome = DeliveryOutcome::kShed;
+    if (span.cause.empty()) span.cause = cause;
+    span_ring_.Push(std::move(span));
+    it = open_spans_.erase(it);
+  }
+  Violate(state, round, cause);
+}
+
+void StreamQosLedger::OnPause(int stream, std::int64_t round) {
+  StreamState& state = State(stream);
+  state.jitter_chain_valid = false;
+  // Buffered-but-undelivered blocks are dropped on pause and re-fetched
+  // on resume; discard their spans rather than report phantom sheds.
+  for (auto it = open_spans_.lower_bound(FirstKeyOf(stream));
+       it != open_spans_.end() && std::get<0>(it->first) == stream;) {
+    it = open_spans_.erase(it);
+  }
+  (void)round;
+}
+
+void StreamQosLedger::OnResume(int stream, std::int64_t round) {
+  StreamState& state = State(stream);
+  state.jitter_chain_valid = false;
+  (void)round;
+}
+
+void StreamQosLedger::OnCancel(int stream, std::int64_t round) {
+  StreamState& state = State(stream);
+  state.jitter_chain_valid = false;
+  for (auto it = open_spans_.lower_bound(FirstKeyOf(stream));
+       it != open_spans_.end() && std::get<0>(it->first) == stream;) {
+    it = open_spans_.erase(it);
+  }
+  (void)round;
+}
+
+void StreamQosLedger::OnComplete(int stream, std::int64_t round) {
+  State(stream).row.completed = true;
+  (void)round;
+}
+
+std::vector<StreamQosLedger::StreamRow> StreamQosLedger::Rows() const {
+  std::vector<StreamRow> rows;
+  rows.reserve(streams_.size());
+  for (const auto& [stream, state] : streams_) rows.push_back(state.row);
+  return rows;
+}
+
+std::string StreamQosLedger::TableString() const {
+  std::string out =
+      "stream pri admit   del clean retry recon hic shed glitch degr "
+      "jit_p50 jit_p99 slo\n";
+  char buf[200];
+  for (const auto& [stream, state] : streams_) {
+    const StreamRow& row = state.row;
+    std::snprintf(
+        buf, sizeof(buf),
+        "%6d %3d %5lld %5lld %5lld %5lld %5lld %3lld %4s %6lld %4lld "
+        "%7.1f %7.1f %s",
+        row.stream, row.priority, static_cast<long long>(row.admit_round),
+        static_cast<long long>(row.deliveries),
+        static_cast<long long>(row.clean),
+        static_cast<long long>(row.retried),
+        static_cast<long long>(row.reconstructed),
+        static_cast<long long>(row.hiccups), row.shed ? "yes" : "no",
+        static_cast<long long>(row.longest_glitch_run),
+        static_cast<long long>(row.rounds_degraded), row.jitter.p50(),
+        row.jitter.p99(), SloVerdictName(row.verdict));
+    out += buf;
+    if (!row.violation_cause.empty()) {
+      out += " <- ";
+      out += row.violation_cause;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void StreamQosLedger::ExportMetrics(MetricsRegistry* registry) const {
+  CMFS_CHECK(registry != nullptr);
+  registry->counter("qos.streams_admitted")
+      ->Set(static_cast<std::int64_t>(streams_.size()));
+  registry->counter("qos.slo_violations")->Set(slo_violations_);
+  std::int64_t shed = 0;
+  std::int64_t hiccup_streams = 0;
+  Histogram* glitch = registry->histogram("qos.longest_glitch_run");
+  for (const auto& [stream, state] : streams_) {
+    if (state.row.shed) ++shed;
+    if (state.row.hiccups > 0) ++hiccup_streams;
+    if (state.row.longest_glitch_run > 0) {
+      glitch->Add(static_cast<double>(state.row.longest_glitch_run));
+    }
+  }
+  registry->counter("qos.streams_shed")->Set(shed);
+  registry->counter("qos.hiccup_streams")->Set(hiccup_streams);
+  registry->counter("qos.spans_recorded")->Set(span_ring_.total_recorded());
+}
+
+}  // namespace cmfs

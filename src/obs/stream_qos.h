@@ -1,0 +1,212 @@
+#ifndef CMFS_OBS_STREAM_QOS_H_
+#define CMFS_OBS_STREAM_QOS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
+#include "obs/span_trace.h"
+
+// Per-stream QoS ledger: the paper's whole contract is per-stream — an
+// admitted client must receive exactly one block per round, even across
+// a single disk failure — but the round timeline and metrics registry
+// only aggregate per round. The ledger closes that gap: for every
+// admitted stream it tracks the delivery outcome of each round (clean /
+// retried / reconstructed / shed / hiccup), hiccup counts, the longest
+// glitch run, rounds spent degraded, and an inter-delivery jitter
+// histogram, and evaluates the paper's SLO per stream: zero hiccups and
+// no shed for the stream's whole admitted life.
+//
+// Attribution: every degraded outcome carries a `cause` naming the
+// fault that produced it. The scenario runner registers per-disk cause
+// labels from its FaultSchedule each round (transient window id, slow
+// window id, fail-stop); the server resolves the cause of each lost
+// read / hiccup / shed through CauseForDisk at the moment it happens.
+//
+// Flight recorder: every closed BlockSpan lands in a bounded SpanRing;
+// the first SLO violation of a stream snapshots the violating stream's
+// spans over the last `flight_recorder_rounds` rounds into a
+// FlightRecord — the "what exactly happened" dump an operator reads
+// after the alert fires.
+//
+// Determinism: the ledger is fed exclusively from the server's
+// sequential merge and delivery phases (in plan order), so tables,
+// span streams and exported JSON are byte-identical at any lane count.
+
+namespace cmfs {
+
+enum class SloVerdict {
+  kMet,       // zero hiccups, never shed
+  kViolated,  // at least one hiccup or the stream was shed
+};
+
+const char* SloVerdictName(SloVerdict verdict);
+
+class StreamQosLedger {
+ public:
+  struct Options {
+    // Span window depth (rounds) captured into a FlightRecord on the
+    // first SLO violation of a stream.
+    std::int64_t flight_recorder_rounds = 8;
+    // Closed spans retained by the ring (O(capacity) memory).
+    std::size_t span_capacity = 4096;
+    // Cap on captured flight records (first violations win).
+    std::size_t max_flight_records = 16;
+  };
+
+  // Everything the ledger knows about one stream at the end of a run.
+  struct StreamRow {
+    int stream = -1;
+    int priority = 0;
+    std::int64_t admit_round = -1;
+    std::int64_t deliveries = 0;
+    // Outcome breakdown; deliveries == clean + retried + reconstructed.
+    std::int64_t clean = 0;
+    std::int64_t retried = 0;
+    std::int64_t reconstructed = 0;
+    std::int64_t hiccups = 0;
+    bool shed = false;
+    std::int64_t shed_round = -1;
+    // Longest run of consecutive rounds with at least one hiccup.
+    std::int64_t longest_glitch_run = 0;
+    // Rounds in which any degraded-mode machinery touched the stream
+    // (retry, reconstruction, hiccup, shed).
+    std::int64_t rounds_degraded = 0;
+    bool completed = false;
+    // Inter-delivery gap distribution in rounds (1.0 every round is the
+    // paper's continuity ideal; pause/resume breaks the chain).
+    Histogram jitter;
+    SloVerdict verdict = SloVerdict::kMet;
+    // Cause of the first violation; empty while the SLO holds.
+    std::string violation_cause;
+  };
+
+  // Snapshot taken at a stream's first SLO violation.
+  struct FlightRecord {
+    int stream = -1;
+    std::int64_t round = -1;  // round of the violation
+    std::string cause;
+    // The violating stream's spans over the last K rounds, oldest first.
+    std::vector<BlockSpan> spans;
+
+    std::string ToString() const;
+  };
+
+  // Open-span map key: (stream, space, index).
+  using SpanKey = std::tuple<int, int, std::int64_t>;
+
+  StreamQosLedger();
+  explicit StreamQosLedger(Options options);
+
+  // --- Fault-context registration (cause attribution) -------------------
+  // The owner of the fault model (e.g. sim/failure_drill's scenario
+  // runner) re-registers per-disk cause labels every round; the server
+  // resolves causes through CauseForDisk as outcomes happen.
+  void ClearDiskCauses();
+  // First registration per disk wins within a round (deterministic when
+  // several windows overlap one disk).
+  void SetDiskCause(int disk, std::string cause);
+  // The registered cause for `disk`, or `fallback` when none (or when
+  // disk < 0).
+  const std::string& CauseForDisk(int disk, const std::string& fallback) const;
+
+  // --- Producer side (server merge/delivery phases, plan order) ---------
+  void OnAdmit(int stream, std::int64_t round, int priority);
+  // One successful planned read serving (stream, space, index): opens
+  // the block's span on first touch, accumulates retry accounting.
+  // `recovery` marks parity/peer reads scheduled to rebuild a block of
+  // a failed disk — the span's eventual delivery counts as
+  // reconstructed, attributed to `cause` (the failed disk's label).
+  void OnRead(int stream, int space, std::int64_t index, int disk,
+              std::int64_t round, int retries, int failed_attempts,
+              bool recovery = false,
+              const std::string& cause = std::string());
+  // The read was lost for good (retries and reconstruction exhausted);
+  // the block will hiccup at its delivery deadline.
+  void OnReadLost(int stream, int space, std::int64_t index, int disk,
+                  std::int64_t round, int retries, int failed_attempts,
+                  const std::string& cause);
+  // Inline parity reconstruction rebuilt the block after `retries`
+  // exhausted attempts, reading `peer_reads` surviving group members.
+  void OnReconstructed(int stream, int space, std::int64_t index, int disk,
+                       std::int64_t round, int retries, int failed_attempts,
+                       int peer_reads, const std::string& cause);
+  void OnDeliver(int stream, int space, std::int64_t index,
+                 std::int64_t round);
+  // Missed delivery deadline. `fallback_cause` attributes hiccups whose
+  // block never opened a span (e.g. the non-clustered transition, where
+  // the failed disk's blocks are simply not scheduled).
+  void OnHiccup(int stream, int space, std::int64_t index,
+                std::int64_t round, const std::string& fallback_cause);
+  // Stream dropped by the shedding policy; closes its open spans.
+  void OnShed(int stream, std::int64_t round, const std::string& cause);
+  void OnPause(int stream, std::int64_t round);   // breaks the jitter chain
+  void OnResume(int stream, std::int64_t round);  // (viewer asked for it)
+  void OnCancel(int stream, std::int64_t round);  // discards open spans
+  void OnComplete(int stream, std::int64_t round);
+
+  // --- Consumer side ----------------------------------------------------
+  // One row per stream ever admitted, in stream-id order.
+  std::vector<StreamRow> Rows() const;
+  std::size_t num_streams() const { return streams_.size(); }
+  std::int64_t slo_violations() const { return slo_violations_; }
+
+  const SpanRing& spans() const { return span_ring_; }
+  const std::vector<FlightRecord>& flight_records() const {
+    return flight_records_;
+  }
+
+  // Deterministic fixed-width per-stream table (ScenarioResult reports
+  // embed it; byte-identical across lane counts).
+  std::string TableString() const;
+
+  // Publishes ledger aggregates into a registry:
+  //   qos.streams_admitted / qos.slo_violations / qos.streams_shed /
+  //   qos.hiccup_streams / qos.spans_recorded (counters),
+  //   qos.longest_glitch_run (histogram over streams).
+  void ExportMetrics(MetricsRegistry* registry) const;
+
+ private:
+  struct StreamState {
+    StreamRow row;
+    // Jitter chain: last delivery round, invalid across pause/resume.
+    std::int64_t last_delivery_round = -1;
+    bool jitter_chain_valid = false;
+    // Glitch-run tracking (consecutive rounds with >= 1 hiccup).
+    std::int64_t last_hiccup_round = -2;
+    std::int64_t current_glitch_run = 0;
+    // Rounds counted into rounds_degraded (each round at most once).
+    std::int64_t last_degraded_round = -1;
+    bool violated = false;
+  };
+
+  StreamState& State(int stream);
+  // Marks `round` degraded for the stream (idempotent per round).
+  void TouchDegraded(StreamState& state, std::int64_t round);
+  // Records a hiccup round and updates the glitch-run maximum.
+  void TouchGlitch(StreamState& state, std::int64_t round);
+  // First violation wins: flips the verdict and captures the flight
+  // record for the stream.
+  void Violate(StreamState& state, std::int64_t round,
+               const std::string& cause);
+  // Closes the span (moving it into the ring) and returns its outcome.
+  void CloseSpan(const SpanKey& key, BlockSpan&& span);
+
+  Options options_;
+  std::map<int, StreamState> streams_;
+  // Blocks read but not yet delivered (prefetch window); ordered map so
+  // bulk close-outs (shed/cancel) walk in deterministic key order.
+  std::map<SpanKey, BlockSpan> open_spans_;
+  SpanRing span_ring_;
+  std::map<int, std::string> disk_causes_;
+  std::vector<FlightRecord> flight_records_;
+  std::int64_t slo_violations_ = 0;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_OBS_STREAM_QOS_H_

@@ -76,7 +76,14 @@ std::string EpochCounters::ToString() const {
       static_cast<long long>(reconstructions),
       static_cast<long long>(shed_streams),
       static_cast<long long>(lost_reads));
-  return buf;
+  std::string out = buf;
+  if (lane_critical.count() > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " lane_critical p50=%.0f p99=%.0f",
+                  lane_critical.p50(), lane_critical.p99());
+    out += buf;
+  }
+  return out;
 }
 
 std::string ScenarioResult::ToString() const {
@@ -92,6 +99,11 @@ std::string ScenarioResult::ToString() const {
          "\n";
   for (std::size_t i = 0; i < epochs.size(); ++i) {
     out += "epoch " + std::to_string(i) + ": " + epochs[i].ToString() + "\n";
+  }
+  out += "slo_violations=" + std::to_string(slo_violations) + "\n";
+  out += "per-stream QoS:\n" + qos_table;
+  for (const StreamQosLedger::FlightRecord& record : flight_records) {
+    out += record.ToString();
   }
   return out;
 }
@@ -172,6 +184,12 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
   server_config.lanes = config.lanes;
   server_config.metrics = config.metrics;
   server_config.trace = config.trace;
+  // Per-stream QoS ledger: caller's or an internal one — either way the
+  // round loop below registers per-disk cause labels from the schedule
+  // so every degraded outcome names the fault that produced it.
+  StreamQosLedger local_qos;
+  StreamQosLedger* qos = config.qos != nullptr ? config.qos : &local_qos;
+  server_config.qos = qos;
   server_config.seed = config.seed;
   Server server(&array, setup->controller.get(), server_config);
 
@@ -212,6 +230,51 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
     for (int d = 0; d < config.num_disks; ++d) {
       const int cap = injector.QuotaCap(d, config.q);
       if (cap < config.q) server.SetDiskQuotaCap(d, cap);
+    }
+    // Re-register this round's per-disk cause labels (most severe
+    // first; the ledger keeps the first registration per disk).
+    qos->ClearDiskCauses();
+    const int failed = array.failed_disk();
+    if (failed >= 0) {
+      std::string label;
+      if (rebuilder != nullptr && rebuild_target == failed) {
+        label = "swap";
+        for (std::size_t e = 0; e < config.schedule.swaps.size(); ++e) {
+          const SwapEvent& event = config.schedule.swaps[e];
+          if (event.disk == failed && event.round <= round) {
+            label = "swap[" + std::to_string(e) + "]";
+          }
+        }
+        label += " disk=" + std::to_string(failed) + " rebuilding";
+      } else {
+        label = "fail_stop";
+        for (std::size_t e = 0; e < config.schedule.fail_stops.size();
+             ++e) {
+          const FailStopEvent& event = config.schedule.fail_stops[e];
+          if (event.disk == failed && event.round <= round) {
+            label = "fail_stop[" + std::to_string(e) + "]";
+          }
+        }
+        label += " disk=" + std::to_string(failed);
+      }
+      qos->SetDiskCause(failed, std::move(label));
+    }
+    for (std::size_t w = 0; w < config.schedule.transients.size(); ++w) {
+      const TransientWindow& win = config.schedule.transients[w];
+      if (round >= win.first_round && round <= win.last_round) {
+        qos->SetDiskCause(win.disk,
+                          "transient_window[" + std::to_string(w) +
+                              "] disk=" + std::to_string(win.disk));
+      }
+    }
+    for (std::size_t w = 0; w < config.schedule.slow_windows.size(); ++w) {
+      const SlowWindow& win = config.schedule.slow_windows[w];
+      if (round >= win.first_round && round <= win.last_round) {
+        qos->SetDiskCause(win.disk,
+                          "slow_window[" + std::to_string(w) + "] disk=" +
+                              std::to_string(win.disk) +
+                              " cap=" + std::to_string(win.quota_cap));
+      }
     }
     if (Status st = server.RunRound(); !st.ok()) return st;
     if (rebuilder != nullptr && !rebuilder->done()) {
@@ -264,8 +327,18 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
     epoch.reconstructions += sample.reconstructions;
     epoch.shed_streams += sample.shed_streams;
     epoch.lost_reads += sample.lost_reads;
+    if (sample.lane_critical_reads > 0) {
+      epoch.lane_critical.Add(
+          static_cast<double>(sample.lane_critical_reads));
+    }
     if (sample.degraded) ++epoch.degraded_rounds;
   }
+
+  result.stream_rows = qos->Rows();
+  result.slo_violations = qos->slo_violations();
+  result.qos_table = qos->TableString();
+  result.flight_records = qos->flight_records();
+  if (config.metrics != nullptr) qos->ExportMetrics(config.metrics);
   return result;
 }
 

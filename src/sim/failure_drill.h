@@ -8,6 +8,8 @@
 #include "core/controller_factory.h"
 #include "core/rebuild.h"
 #include "core/server.h"
+#include "obs/histogram.h"
+#include "obs/stream_qos.h"
 #include "sim/fault_schedule.h"
 #include "sim/workload.h"
 
@@ -91,6 +93,12 @@ struct ScenarioConfig {
   MetricsRegistry* metrics = nullptr;
   // Optional trace sink forwarded to the server (caller-owned).
   TraceSink* trace = nullptr;
+  // Optional per-stream QoS ledger (caller-owned). When null the
+  // scenario runs an internal one; either way the runner registers
+  // per-disk cause labels from the schedule each round (window ids,
+  // fail-stop/swap events) so every degraded outcome in the result is
+  // attributed to the fault that produced it.
+  StreamQosLedger* qos = nullptr;
 };
 
 // Aggregates over one schedule epoch [first_round, last_round] — the
@@ -111,6 +119,10 @@ struct EpochCounters {
   std::int64_t shed_streams = 0;
   std::int64_t lost_reads = 0;
   std::int64_t degraded_rounds = 0;
+  // Busiest-disk planned-read depth per round across the epoch — the
+  // lane engine's critical path (admission headroom shows up as p99
+  // staying under the q-block quota).
+  Histogram lane_critical;
 
   std::string ToString() const;
 };
@@ -127,9 +139,17 @@ struct ScenarioResult {
   std::int64_t rebuild_transient_errors = 0;
   // One entry per schedule epoch, in round order.
   std::vector<EpochCounters> epochs;
+  // --- Per-stream QoS (from the run's ledger) ---------------------------
+  std::vector<StreamQosLedger::StreamRow> stream_rows;
+  std::int64_t slo_violations = 0;
+  // Deterministic per-stream table (also embedded in ToString()).
+  std::string qos_table;
+  // Flight-recorder dumps captured at each stream's first SLO violation.
+  std::vector<StreamQosLedger::FlightRecord> flight_records;
 
-  // Full deterministic rendering (metrics, per-disk loads, every epoch):
-  // two runs of the same scenario must produce identical strings.
+  // Full deterministic rendering (metrics, per-disk loads, every epoch,
+  // per-stream QoS table, flight records): two runs of the same scenario
+  // must produce identical strings.
   std::string ToString() const;
 };
 

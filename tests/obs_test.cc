@@ -265,6 +265,51 @@ TEST(RoundTimelineTest, NoFailureMeansEverythingIsBefore) {
   EXPECT_EQ(report.after.rounds, 0);
 }
 
+TEST(RoundTimelineTest, FailureAtRoundZeroLeavesBeforeEmpty) {
+  // A disk that is already dead when the server starts: the first
+  // sample is degraded, so the report has no "before" epoch at all.
+  RoundTimeline timeline;
+  for (int r = 1; r <= 12; ++r) timeline.Add(MakeSample(r, r <= 6));
+  const FailureEpochReport report = timeline.EpochReport();
+  EXPECT_TRUE(report.saw_failure());
+  EXPECT_EQ(report.before.rounds, 0);
+  EXPECT_EQ(report.during.rounds, 6);
+  EXPECT_EQ(report.during.first_round, 1);
+  EXPECT_EQ(report.during.last_round, 6);
+  EXPECT_EQ(report.after.rounds, 6);
+  EXPECT_EQ(report.after.first_round, 7);
+}
+
+TEST(RoundTimelineTest, SingleDegradedRoundIsAOneRoundDuringEpoch) {
+  // Swap and repair inside one round: exactly one degraded sample,
+  // bracketed by healthy rounds on both sides.
+  RoundTimeline timeline;
+  for (int r = 1; r <= 9; ++r) timeline.Add(MakeSample(r, r == 5));
+  const FailureEpochReport report = timeline.EpochReport();
+  EXPECT_TRUE(report.saw_failure());
+  EXPECT_EQ(report.before.rounds, 4);
+  EXPECT_EQ(report.before.last_round, 4);
+  EXPECT_EQ(report.during.rounds, 1);
+  EXPECT_EQ(report.during.first_round, 5);
+  EXPECT_EQ(report.during.last_round, 5);
+  EXPECT_EQ(report.after.rounds, 4);
+  EXPECT_EQ(report.after.first_round, 6);
+  EXPECT_EQ(report.degraded_rounds, 1);
+}
+
+TEST(RoundTimelineTest, ZeroFailuresKeepsDuringAndAfterEmpty) {
+  RoundTimeline timeline;
+  timeline.Add(MakeSample(1, false));
+  const FailureEpochReport report = timeline.EpochReport();
+  EXPECT_FALSE(report.saw_failure());
+  EXPECT_EQ(report.before.rounds, 1);
+  EXPECT_EQ(report.before.first_round, 1);
+  EXPECT_EQ(report.before.last_round, 1);
+  EXPECT_EQ(report.during.rounds, 0);
+  EXPECT_EQ(report.after.rounds, 0);
+  EXPECT_EQ(report.degraded_rounds, 0);
+}
+
 TEST(RoundTimelineTest, BoundedRingKeepsMostRecent) {
   RoundTimeline timeline(/*capacity=*/8);
   for (int r = 1; r <= 100; ++r) timeline.Add(MakeSample(r, r > 90));

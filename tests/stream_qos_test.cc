@@ -1,0 +1,421 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/span_trace.h"
+#include "obs/stream_qos.h"
+#include "sim/failure_drill.h"
+
+// Per-stream QoS ledger + causal block spans. Two layers of coverage:
+// unit behavior of the ledger (outcome classification, glitch runs,
+// jitter chains, cause registry, flight recorder, span ring bounds) and
+// end-to-end scenarios through the fault engine — including the
+// acceptance contract of the attribution layer: every hiccup and every
+// shed in a scripted FaultSchedule run carries a non-empty cause naming
+// the injecting window or the shedding quota, and every QoS observable
+// (table, span stream, registry JSON) is byte-identical at any lane
+// count.
+
+namespace cmfs {
+namespace {
+
+// ------------------------------------------------------------ unit layer
+
+TEST(StreamQosLedgerTest, ClassifiesCleanRetriedReconstructed) {
+  StreamQosLedger qos;
+  qos.OnAdmit(7, 1, /*priority=*/2);
+  // Round 1: plain read, delivered clean.
+  qos.OnRead(7, 0, 0, /*disk=*/3, 1, /*retries=*/0, /*failed=*/0);
+  qos.OnDeliver(7, 0, 0, 1);
+  // Round 2: recovered after one in-round retry.
+  qos.OnRead(7, 0, 1, 3, 2, /*retries=*/1, /*failed=*/1);
+  qos.OnDeliver(7, 0, 1, 2);
+  // Round 3: inline parity reconstruction.
+  qos.OnReconstructed(7, 0, 2, 3, 3, /*retries=*/1, /*failed=*/2,
+                      /*peer_reads=*/3, "transient_window[0] disk=3");
+  qos.OnDeliver(7, 0, 2, 3);
+  qos.OnComplete(7, 3);
+
+  const auto rows = qos.Rows();
+  ASSERT_EQ(rows.size(), 1u);
+  const auto& row = rows[0];
+  EXPECT_EQ(row.stream, 7);
+  EXPECT_EQ(row.priority, 2);
+  EXPECT_EQ(row.admit_round, 1);
+  EXPECT_EQ(row.deliveries, 3);
+  EXPECT_EQ(row.clean, 1);
+  EXPECT_EQ(row.retried, 1);
+  EXPECT_EQ(row.reconstructed, 1);
+  EXPECT_EQ(row.hiccups, 0);
+  EXPECT_FALSE(row.shed);
+  EXPECT_TRUE(row.completed);
+  EXPECT_EQ(row.verdict, SloVerdict::kMet);
+  EXPECT_TRUE(row.violation_cause.empty());
+  // Retry and reconstruction rounds are degraded; the clean one is not.
+  EXPECT_EQ(row.rounds_degraded, 2);
+  // Back-to-back deliveries: both inter-delivery gaps are exactly 1.
+  EXPECT_EQ(row.jitter.count(), 2);
+  EXPECT_DOUBLE_EQ(row.jitter.max(), 1.0);
+  EXPECT_EQ(qos.slo_violations(), 0);
+
+  // The spans carry the journey: outcome labels and retry accounting.
+  const auto spans = qos.spans().Window();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].outcome, DeliveryOutcome::kClean);
+  EXPECT_EQ(spans[1].outcome, DeliveryOutcome::kRetried);
+  EXPECT_EQ(spans[1].retries, 1);
+  EXPECT_EQ(spans[2].outcome, DeliveryOutcome::kReconstructed);
+  EXPECT_EQ(spans[2].recovery_reads, 3);
+  EXPECT_EQ(spans[2].cause, "transient_window[0] disk=3");
+}
+
+TEST(StreamQosLedgerTest, HiccupViolatesSloAndCapturesFlightRecord) {
+  StreamQosLedger qos;
+  qos.OnAdmit(1, 1, 0);
+  qos.OnRead(1, 0, 0, 2, 1, 0, 0);
+  qos.OnDeliver(1, 0, 0, 1);
+  // Round 2: the read is lost for good, then misses its deadline.
+  qos.OnReadLost(1, 0, 1, 2, 2, /*retries=*/2, /*failed=*/3,
+                 "transient_window[1] disk=2");
+  qos.OnHiccup(1, 0, 1, 2, "unattributed");
+
+  const auto rows = qos.Rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].hiccups, 1);
+  EXPECT_EQ(rows[0].verdict, SloVerdict::kViolated);
+  // The span's lost-read cause wins over the hiccup-time fallback.
+  EXPECT_EQ(rows[0].violation_cause, "transient_window[1] disk=2");
+  EXPECT_EQ(qos.slo_violations(), 1);
+
+  ASSERT_EQ(qos.flight_records().size(), 1u);
+  const auto& record = qos.flight_records()[0];
+  EXPECT_EQ(record.stream, 1);
+  EXPECT_EQ(record.round, 2);
+  EXPECT_EQ(record.cause, "transient_window[1] disk=2");
+  // Both closed spans of the stream fall inside the recorder window.
+  ASSERT_EQ(record.spans.size(), 2u);
+  EXPECT_EQ(record.spans[0].outcome, DeliveryOutcome::kClean);
+  EXPECT_EQ(record.spans[1].outcome, DeliveryOutcome::kHiccup);
+  EXPECT_TRUE(record.spans[1].lost);
+
+  // A second hiccup does not double-count the violation or re-record.
+  qos.OnHiccup(1, 0, 2, 3, "later");
+  EXPECT_EQ(qos.slo_violations(), 1);
+  EXPECT_EQ(qos.flight_records().size(), 1u);
+  EXPECT_EQ(qos.Rows()[0].hiccups, 2);
+}
+
+TEST(StreamQosLedgerTest, GlitchRunCountsConsecutiveHiccupRounds) {
+  StreamQosLedger qos;
+  qos.OnAdmit(0, 1, 0);
+  // Two hiccups in round 3 are one run step; rounds 3-4-5 make a run of
+  // 3; the isolated round 9 resets to 1.
+  qos.OnHiccup(0, 0, 0, 3, "f");
+  qos.OnHiccup(0, 0, 1, 3, "f");
+  qos.OnHiccup(0, 0, 2, 4, "f");
+  qos.OnHiccup(0, 0, 3, 5, "f");
+  qos.OnHiccup(0, 0, 4, 9, "f");
+  const auto row = qos.Rows()[0];
+  EXPECT_EQ(row.hiccups, 5);
+  EXPECT_EQ(row.longest_glitch_run, 3);
+  EXPECT_EQ(row.rounds_degraded, 4);  // rounds 3, 4, 5, 9
+}
+
+TEST(StreamQosLedgerTest, ShedClosesOpenSpansWithCause) {
+  StreamQosLedger qos;
+  qos.OnAdmit(4, 1, 1);
+  // Two blocks prefetched but never delivered.
+  qos.OnRead(4, 1, 10, 0, 2, 0, 0);
+  qos.OnRead(4, 1, 11, 5, 2, 0, 0);
+  qos.OnShed(4, 3, "slow_window[0] disk=5 cap=2");
+
+  const auto row = qos.Rows()[0];
+  EXPECT_TRUE(row.shed);
+  EXPECT_EQ(row.shed_round, 3);
+  EXPECT_EQ(row.verdict, SloVerdict::kViolated);
+  EXPECT_EQ(row.violation_cause, "slow_window[0] disk=5 cap=2");
+
+  const auto spans = qos.spans().Window();
+  ASSERT_EQ(spans.size(), 2u);
+  for (const BlockSpan& span : spans) {
+    EXPECT_EQ(span.outcome, DeliveryOutcome::kShed);
+    EXPECT_EQ(span.cause, "slow_window[0] disk=5 cap=2");
+    EXPECT_EQ(span.close_round, 3);
+  }
+  // Deterministic key order: index 10 before 11.
+  EXPECT_EQ(spans[0].index, 10);
+  EXPECT_EQ(spans[1].index, 11);
+}
+
+TEST(StreamQosLedgerTest, PauseBreaksJitterChainAndDiscardsOpenSpans) {
+  StreamQosLedger qos;
+  qos.OnAdmit(2, 1, 0);
+  qos.OnRead(2, 0, 0, 1, 1, 0, 0);
+  qos.OnDeliver(2, 0, 0, 1);
+  qos.OnRead(2, 0, 1, 1, 2, 0, 0);
+  qos.OnDeliver(2, 0, 1, 2);  // gap 1
+  qos.OnRead(2, 0, 2, 1, 3, 0, 0);  // prefetched, then the viewer pauses
+  qos.OnPause(2, 3);
+  qos.OnResume(2, 9);
+  qos.OnRead(2, 0, 2, 1, 10, 0, 0);
+  qos.OnDeliver(2, 0, 2, 10);  // chain broken: the 8-round gap is excluded
+  qos.OnRead(2, 0, 3, 1, 11, 0, 0);
+  qos.OnDeliver(2, 0, 3, 11);  // gap 1 again
+
+  const auto row = qos.Rows()[0];
+  EXPECT_EQ(row.deliveries, 4);
+  EXPECT_EQ(row.jitter.count(), 2);
+  EXPECT_DOUBLE_EQ(row.jitter.max(), 1.0);
+  EXPECT_EQ(row.verdict, SloVerdict::kMet);
+  // The paused-away prefetch did not leak a shed/hiccup span.
+  for (const BlockSpan& span : qos.spans().Window()) {
+    EXPECT_EQ(span.outcome, DeliveryOutcome::kClean);
+  }
+}
+
+TEST(StreamQosLedgerTest, CauseRegistryFirstRegistrationWins) {
+  StreamQosLedger qos;
+  const std::string fallback = "failed disk 3";
+  EXPECT_EQ(qos.CauseForDisk(3, fallback), fallback);
+  qos.SetDiskCause(3, "fail_stop[0] disk=3");
+  qos.SetDiskCause(3, "transient_window[9] disk=3");  // loses: first wins
+  EXPECT_EQ(qos.CauseForDisk(3, fallback), "fail_stop[0] disk=3");
+  qos.ClearDiskCauses();
+  EXPECT_EQ(qos.CauseForDisk(3, fallback), fallback);
+}
+
+TEST(SpanRingTest, BoundsMemoryAndReportsDrops) {
+  SpanRing ring(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    BlockSpan span;
+    span.stream = 0;
+    span.index = i;
+    span.close_round = i;
+    ring.Push(std::move(span));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_recorded(), 10);
+  EXPECT_EQ(ring.dropped(), 6);
+  const auto window = ring.Window();
+  ASSERT_EQ(window.size(), 4u);
+  EXPECT_EQ(window.front().index, 6);  // oldest retained
+  EXPECT_EQ(window.back().index, 9);
+  // The rendering names the drop so a too-small ring is visible.
+  EXPECT_NE(ring.ToString().find("6 older spans dropped"), std::string::npos);
+}
+
+TEST(StreamQosLedgerTest, ExportMetricsPublishesAggregates) {
+  StreamQosLedger qos;
+  qos.OnAdmit(0, 1, 0);
+  qos.OnAdmit(1, 1, 0);
+  qos.OnHiccup(0, 0, 0, 2, "f");
+  qos.OnShed(1, 2, "quota");
+  MetricsRegistry registry;
+  qos.ExportMetrics(&registry);
+  EXPECT_EQ(registry.counter("qos.streams_admitted")->value(), 2);
+  EXPECT_EQ(registry.counter("qos.slo_violations")->value(), 2);
+  EXPECT_EQ(registry.counter("qos.streams_shed")->value(), 1);
+  EXPECT_EQ(registry.counter("qos.hiccup_streams")->value(), 1);
+  EXPECT_EQ(registry.counter("qos.spans_recorded")->value(), 1);
+  EXPECT_EQ(registry.histogram("qos.longest_glitch_run")->count(), 1);
+}
+
+// ------------------------------------------------- end-to-end scenarios
+
+struct QosRun {
+  std::string table;       // per-stream QoS table
+  std::string spans;       // full span-stream rendering
+  std::string json;        // registry export (includes qos.* metrics)
+  ScenarioResult scenario;
+};
+
+QosRun RunWithLanes(ScenarioConfig config, int lanes) {
+  MetricsRegistry registry;
+  StreamQosLedger qos;
+  config.lanes = lanes;
+  config.metrics = &registry;
+  config.qos = &qos;
+  Result<ScenarioResult> run = RunScenario(config);
+  EXPECT_TRUE(run.ok()) << "lanes=" << lanes << ": "
+                        << run.status().ToString();
+  QosRun out;
+  if (!run.ok()) return out;
+  out.table = qos.TableString();
+  out.spans = FormatSpans(qos.spans().Window(), qos.spans().size(),
+                          qos.spans().total_recorded());
+  JsonWriter json;
+  json.BeginObject();
+  AppendRegistryJson(registry, &json);
+  json.EndObject();
+  out.json = json.TakeString();
+  out.scenario = *run;
+  return out;
+}
+
+// Byte-identity of every QoS observable at 1, 2, 8 and hardware-default
+// lanes; returns the single-lane run for structural checks.
+QosRun ExpectQosLaneInvariant(const ScenarioConfig& config) {
+  const QosRun baseline = RunWithLanes(config, 1);
+  for (int lanes : {2, 8, 0}) {
+    const QosRun parallel = RunWithLanes(config, lanes);
+    EXPECT_EQ(baseline.table, parallel.table) << "lanes=" << lanes;
+    EXPECT_EQ(baseline.spans, parallel.spans) << "lanes=" << lanes;
+    EXPECT_EQ(baseline.json, parallel.json) << "lanes=" << lanes;
+    EXPECT_EQ(baseline.scenario.ToString(), parallel.scenario.ToString())
+        << "lanes=" << lanes;
+  }
+  return baseline;
+}
+
+ScenarioConfig BaseConfig() {
+  ScenarioConfig config;
+  config.scheme = Scheme::kDeclustered;
+  config.num_disks = 8;
+  config.parity_group = 4;
+  config.q = 8;
+  config.f = 1;
+  config.block_size = 64;
+  config.num_streams = 16;
+  config.stream_blocks = 60;
+  config.total_rounds = 120;
+  return config;
+}
+
+TEST(StreamQosScenarioTest, CleanRunMeetsSloForEveryStream) {
+  const QosRun run = ExpectQosLaneInvariant(BaseConfig());
+  EXPECT_EQ(run.scenario.slo_violations, 0);
+  EXPECT_TRUE(run.scenario.flight_records.empty());
+  // One ledger row per *admitted* stream (rejected ones never play).
+  EXPECT_GT(run.scenario.admitted, 0);
+  ASSERT_EQ(run.scenario.stream_rows.size(),
+            static_cast<std::size_t>(run.scenario.admitted));
+  for (const auto& row : run.scenario.stream_rows) {
+    EXPECT_EQ(row.verdict, SloVerdict::kMet);
+    EXPECT_EQ(row.deliveries, row.clean);
+    EXPECT_EQ(row.hiccups, 0);
+    EXPECT_TRUE(row.completed);
+    EXPECT_DOUBLE_EQ(row.jitter.max(), 1.0);  // the paper's continuity
+  }
+}
+
+TEST(StreamQosScenarioTest, FaultStormTablesAreLaneInvariant) {
+  ScenarioConfig config = BaseConfig();
+  // Every fault class at once: transient storm (absorbed by retries),
+  // slow-disk shedding, fail-stop with swap + online rebuild.
+  config.schedule.transients.push_back(TransientWindow{1, 5, 15, 1.0, 2});
+  config.schedule.slow_windows.push_back(SlowWindow{2, 20, 28, 1});
+  config.schedule.fail_stops.push_back(FailStopEvent{3, 35});
+  config.schedule.swaps.push_back(SwapEvent{3, 45, 4});
+  config.priority_classes = 4;
+  config.max_read_retries = 2;
+  const QosRun run = ExpectQosLaneInvariant(config);
+  // The slow disk shed someone; every shed is an attributed violation.
+  EXPECT_GT(run.scenario.metrics.shed_streams, 0);
+  EXPECT_GT(run.scenario.slo_violations, 0);
+  std::int64_t shed_rows = 0;
+  for (const auto& row : run.scenario.stream_rows) {
+    if (!row.shed) continue;
+    ++shed_rows;
+    EXPECT_EQ(row.verdict, SloVerdict::kViolated);
+    EXPECT_FALSE(row.violation_cause.empty());
+  }
+  EXPECT_EQ(shed_rows, run.scenario.metrics.shed_streams);
+  // Surviving streams kept the paper's guarantee through the storm.
+  for (const auto& row : run.scenario.stream_rows) {
+    if (!row.shed) EXPECT_EQ(row.hiccups, 0);
+  }
+  // The scenario report embeds the table and is itself lane-invariant.
+  EXPECT_NE(run.scenario.ToString().find("per-stream QoS:"),
+            std::string::npos);
+}
+
+TEST(StreamQosScenarioTest, HiccupCausesNameTheInjectingWindow) {
+  ScenarioConfig config = BaseConfig();
+  // Blocks may fail 3 attempts but the budget is 1 retry and inline
+  // reconstruction is disabled: reads on disk 2 are lost for good and
+  // hiccup at their deadlines.
+  config.schedule.transients.push_back(TransientWindow{2, 8, 20, 1.0, 3});
+  config.max_read_retries = 1;
+  config.reconstruct_on_read_error = false;
+  config.allow_hiccups = true;
+  const QosRun run = ExpectQosLaneInvariant(config);
+  EXPECT_GT(run.scenario.metrics.lost_reads, 0);
+  EXPECT_GT(run.scenario.metrics.hiccups, 0);
+  EXPECT_GT(run.scenario.slo_violations, 0);
+  EXPECT_FALSE(run.scenario.flight_records.empty());
+
+  // Acceptance contract: every hiccup span names the injecting window.
+  std::int64_t hiccup_spans = 0;
+  for (const BlockSpan& span : run.scenario.flight_records.front().spans) {
+    if (span.outcome != DeliveryOutcome::kHiccup) continue;
+    ++hiccup_spans;
+    EXPECT_NE(span.cause.find("transient_window[0]"), std::string::npos)
+        << span.ToString();
+  }
+  EXPECT_GT(hiccup_spans, 0);
+  for (const auto& row : run.scenario.stream_rows) {
+    if (row.verdict != SloVerdict::kViolated) continue;
+    EXPECT_NE(row.violation_cause.find("transient_window[0]"),
+              std::string::npos)
+        << row.violation_cause;
+  }
+}
+
+TEST(StreamQosScenarioTest, ShedCausesNameTheSlowWindowQuota) {
+  ScenarioConfig config = BaseConfig();
+  config.schedule.slow_windows.push_back(SlowWindow{3, 15, 25, 1});
+  config.priority_classes = 4;
+  const QosRun run = ExpectQosLaneInvariant(config);
+  EXPECT_GT(run.scenario.metrics.shed_streams, 0);
+  for (const auto& row : run.scenario.stream_rows) {
+    if (!row.shed) continue;
+    EXPECT_NE(row.violation_cause.find("slow_window[0]"), std::string::npos)
+        << row.violation_cause;
+  }
+}
+
+TEST(StreamQosScenarioTest, FailStopHiccupsAttributeToTheFailedDisk) {
+  // Non-clustered has no parity: the failed disk's blocks simply miss
+  // their deadlines. Those hiccup spans were never opened by a read —
+  // the fallback attribution must still name the fail-stop event.
+  ScenarioConfig config = BaseConfig();
+  config.scheme = Scheme::kNonClustered;
+  // Disk 2 at round 20 cuts several streams mid-group — their partial
+  // groups are documented transition losses.
+  config.schedule.fail_stops.push_back(FailStopEvent{2, 20});
+  const QosRun run = ExpectQosLaneInvariant(config);
+  EXPECT_GT(run.scenario.metrics.hiccups, 0);
+  EXPECT_GT(run.scenario.slo_violations, 0);
+  ASSERT_FALSE(run.scenario.flight_records.empty());
+  for (const auto& record : run.scenario.flight_records) {
+    EXPECT_NE(record.cause.find("fail_stop[0]"), std::string::npos)
+        << record.cause;
+  }
+}
+
+TEST(StreamQosScenarioTest, EpochReportShowsLaneCriticalPercentiles) {
+  ScenarioConfig config = BaseConfig();
+  config.schedule.fail_stops.push_back(FailStopEvent{3, 35});
+  MetricsRegistry registry;
+  config.metrics = &registry;
+  Result<ScenarioResult> run = RunScenario(config);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_GE(run->epochs.size(), 2u);
+  for (const EpochCounters& epoch : run->epochs) {
+    if (epoch.rounds == 0) continue;
+    EXPECT_GT(epoch.lane_critical.count(), 0);
+    // The quota is the paper's cap on the busiest lane.
+    EXPECT_LE(epoch.lane_critical.max(), config.q);
+    EXPECT_NE(epoch.ToString().find("lane_critical p50="),
+              std::string::npos);
+  }
+  // The scenario exported the ledger's aggregates into the registry.
+  EXPECT_EQ(registry.counter("qos.streams_admitted")->value(),
+            run->admitted);
+}
+
+}  // namespace
+}  // namespace cmfs

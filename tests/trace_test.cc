@@ -250,6 +250,39 @@ TEST(TraceTest, RingBufferSinkBoundsMemoryOnLongRun) {
             std::string::npos);
 }
 
+// Satellite of the QoS ledger work: the ring's data loss is a metric,
+// not just a local accessor — dashboards watching `trace.dropped_events`
+// see a sink sized too small for its run.
+TEST(TraceTest, RingBufferSinkExportsDroppedEventsCounter) {
+  MetricsRegistry registry;
+  RingBufferTraceSink sink(/*capacity=*/3);
+  sink.AttachMetrics(&registry);
+  Counter* dropped = registry.counter("trace.dropped_events");
+  TraceEvent event;
+  for (int i = 0; i < 3; ++i) {
+    event.round = i;
+    sink.Record(event);
+  }
+  EXPECT_EQ(dropped->value(), 0);  // ring not yet full: nothing lost
+  for (int i = 3; i < 8; ++i) {
+    event.round = i;
+    sink.Record(event);
+  }
+  EXPECT_EQ(dropped->value(), 5);
+  EXPECT_EQ(dropped->value(), sink.dropped());
+
+  // A late attach reconciles the counter with overwrites that already
+  // happened before the registry existed.
+  RingBufferTraceSink late(/*capacity=*/2);
+  for (int i = 0; i < 6; ++i) {
+    event.round = i;
+    late.Record(event);
+  }
+  MetricsRegistry late_registry;
+  late.AttachMetrics(&late_registry);
+  EXPECT_EQ(late_registry.counter("trace.dropped_events")->value(), 4);
+}
+
 TEST(TraceTest, CountingSinkAggregatesAndStreamsDownstream) {
   Trace downstream;
   CountingTraceSink sink(&downstream);

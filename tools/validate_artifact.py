@@ -1,0 +1,290 @@
+#!/usr/bin/env python3
+"""Validate bench --json artifacts against the documented schema.
+
+Every bench writes a BenchReport artifact (docs/observability.md, "JSON
+artifact schema"). This validator is the schema's executable form: it is
+run by ctest over the artifacts the bench smoke tests produce, so schema
+drift -- a renamed key, a histogram digest missing a percentile, a table
+row with the wrong width -- fails tier-1 instead of silently breaking
+downstream tooling.
+
+Usage: validate_artifact.py ARTIFACT.json [ARTIFACT.json ...]
+
+Exits 0 iff every artifact parses and conforms. Stdlib only.
+"""
+
+import json
+import sys
+
+ALLOWED_TOP_LEVEL = {
+    "bench", "scheme", "params", "counters", "gauges", "histograms",
+    "per_disk", "timeline", "streams", "table",
+}
+
+HISTOGRAM_DIGEST_KEYS = {"min", "max", "mean", "p50", "p95", "p99"}
+
+STREAM_ROW_REQUIRED = {
+    "stream", "priority", "admit_round", "deliveries", "clean", "retried",
+    "reconstructed", "hiccups", "shed", "longest_glitch_run",
+    "rounds_degraded", "completed", "jitter", "slo",
+}
+STREAM_ROW_OPTIONAL = {"cause"}
+STREAM_ROW_BOOLS = {"shed", "completed"}
+
+EPOCH_NAMES = {"before", "during", "after"}
+
+SLO_VERDICTS = {"met", "VIOLATED"}
+
+
+class Validator:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+
+    def error(self, where, message):
+        self.errors.append(f"{self.path}: {where}: {message}")
+
+    # A JSON number or null (non-finite doubles serialize as null).
+    def check_number(self, value, where):
+        if value is None:
+            return
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            self.error(where, f"expected number or null, got {value!r}")
+
+    def check_histogram(self, digest, where):
+        if not isinstance(digest, dict):
+            self.error(where, "histogram digest must be an object")
+            return
+        if "count" not in digest:
+            self.error(where, "histogram digest missing 'count'")
+            return
+        count = digest["count"]
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            self.error(where, f"'count' must be a non-negative int, got {count!r}")
+            return
+        if count == 0:
+            extras = set(digest) - {"count"}
+            if extras:
+                self.error(where, f"empty digest has extra keys {sorted(extras)}")
+            return
+        missing = HISTOGRAM_DIGEST_KEYS - set(digest)
+        if missing:
+            self.error(where, f"digest missing {sorted(missing)}")
+        extras = set(digest) - HISTOGRAM_DIGEST_KEYS - {"count"}
+        if extras:
+            self.error(where, f"digest has unknown keys {sorted(extras)}")
+        for key in HISTOGRAM_DIGEST_KEYS & set(digest):
+            self.check_number(digest[key], f"{where}.{key}")
+
+    def check_scalar_map(self, section, name, value_check):
+        if not isinstance(section, dict):
+            self.error(name, "must be an object")
+            return
+        for key, value in section.items():
+            if not isinstance(key, str) or not key:
+                self.error(name, f"metric name must be a non-empty string, got {key!r}")
+            value_check(value, f"{name}.{key}")
+
+    def check_per_disk(self, section):
+        if not isinstance(section, dict):
+            self.error("per_disk", "must be an object")
+            return
+        for name, series in section.items():
+            where = f"per_disk.{name}"
+            if not isinstance(series, dict):
+                self.error(where, "must be an object")
+                continue
+            missing = {"values", "total", "load_imbalance"} - set(series)
+            if missing:
+                self.error(where, f"missing {sorted(missing)}")
+            extras = set(series) - {"values", "total", "load_imbalance"}
+            if extras:
+                self.error(where, f"unknown keys {sorted(extras)}")
+            values = series.get("values")
+            if not isinstance(values, list):
+                self.error(f"{where}.values", "must be an array")
+            else:
+                for i, v in enumerate(values):
+                    self.check_number(v, f"{where}.values[{i}]")
+            if "total" in series:
+                self.check_number(series["total"], f"{where}.total")
+            if "load_imbalance" in series:
+                self.check_number(series["load_imbalance"],
+                                  f"{where}.load_imbalance")
+
+    def check_timeline(self, section):
+        if not isinstance(section, dict):
+            self.error("timeline", "must be an object")
+            return
+        for key in ("rounds", "retained_rounds", "degraded_rounds"):
+            if key not in section:
+                self.error("timeline", f"missing '{key}'")
+            else:
+                self.check_number(section[key], f"timeline.{key}")
+        if "round_time_s" in section:
+            self.check_histogram(section["round_time_s"], "timeline.round_time_s")
+        epochs = section.get("epochs")
+        if epochs is not None:
+            if not isinstance(epochs, dict):
+                self.error("timeline.epochs", "must be an object")
+            else:
+                unknown = set(epochs) - EPOCH_NAMES
+                if unknown:
+                    self.error("timeline.epochs", f"unknown epochs {sorted(unknown)}")
+                for name, epoch in epochs.items():
+                    where = f"timeline.epochs.{name}"
+                    if not isinstance(epoch, dict):
+                        self.error(where, "must be an object")
+                        continue
+                    if "rounds" not in epoch:
+                        self.error(where, "missing 'rounds'")
+                    for key, value in epoch.items():
+                        if isinstance(value, dict):
+                            self.check_histogram(value, f"{where}.{key}")
+                        else:
+                            self.check_number(value, f"{where}.{key}")
+        spans = section.get("degraded_spans")
+        if spans is not None:
+            if not isinstance(spans, list):
+                self.error("timeline.degraded_spans", "must be an array")
+            else:
+                for i, span in enumerate(spans):
+                    where = f"timeline.degraded_spans[{i}]"
+                    if not isinstance(span, dict):
+                        self.error(where, "must be an object")
+                        continue
+                    missing = {"first_round", "last_round", "degraded"} - set(span)
+                    if missing:
+                        self.error(where, f"missing {sorted(missing)}")
+                    if not isinstance(span.get("degraded"), bool):
+                        self.error(where, "'degraded' must be a bool")
+
+    def check_streams(self, section):
+        if not isinstance(section, list):
+            self.error("streams", "must be an array")
+            return
+        for i, row in enumerate(section):
+            where = f"streams[{i}]"
+            if not isinstance(row, dict):
+                self.error(where, "must be an object")
+                continue
+            missing = STREAM_ROW_REQUIRED - set(row)
+            if missing:
+                self.error(where, f"missing {sorted(missing)}")
+            extras = set(row) - STREAM_ROW_REQUIRED - STREAM_ROW_OPTIONAL
+            if extras:
+                self.error(where, f"unknown keys {sorted(extras)}")
+            for key in STREAM_ROW_REQUIRED - {"jitter", "slo"} - STREAM_ROW_BOOLS:
+                if key in row:
+                    self.check_number(row[key], f"{where}.{key}")
+            for key in STREAM_ROW_BOOLS:
+                if key in row and not isinstance(row[key], bool):
+                    self.error(f"{where}.{key}", "must be a bool")
+            if "jitter" in row:
+                self.check_histogram(row["jitter"], f"{where}.jitter")
+            slo = row.get("slo")
+            if slo is not None and slo not in SLO_VERDICTS:
+                self.error(f"{where}.slo",
+                           f"must be one of {sorted(SLO_VERDICTS)}, got {slo!r}")
+            if slo == "VIOLATED":
+                cause = row.get("cause")
+                if not isinstance(cause, str) or not cause:
+                    self.error(where,
+                               "SLO-violated row must carry a non-empty 'cause'")
+            if "cause" in row and not isinstance(row["cause"], str):
+                self.error(f"{where}.cause", "must be a string")
+
+    def check_table(self, section):
+        if not isinstance(section, dict):
+            self.error("table", "must be an object")
+            return
+        missing = {"columns", "rows"} - set(section)
+        if missing:
+            self.error("table", f"missing {sorted(missing)}")
+            return
+        extras = set(section) - {"columns", "rows"}
+        if extras:
+            self.error("table", f"unknown keys {sorted(extras)}")
+        columns = section["columns"]
+        rows = section["rows"]
+        if not isinstance(columns, list) or not all(
+                isinstance(c, str) for c in columns):
+            self.error("table.columns", "must be an array of strings")
+            return
+        if not isinstance(rows, list):
+            self.error("table.rows", "must be an array")
+            return
+        for i, row in enumerate(rows):
+            if not isinstance(row, list):
+                self.error(f"table.rows[{i}]", "must be an array")
+            elif len(row) != len(columns):
+                self.error(f"table.rows[{i}]",
+                           f"width {len(row)} != {len(columns)} columns")
+
+    def validate(self, artifact):
+        if not isinstance(artifact, dict):
+            self.error("(root)", "artifact must be a JSON object")
+            return
+        if "bench" not in artifact:
+            self.error("(root)", "missing required key 'bench'")
+        elif not isinstance(artifact["bench"], str) or not artifact["bench"]:
+            self.error("bench", "must be a non-empty string")
+        unknown = set(artifact) - ALLOWED_TOP_LEVEL
+        if unknown:
+            self.error("(root)", f"unknown top-level keys {sorted(unknown)} "
+                       f"(allowed: {sorted(ALLOWED_TOP_LEVEL)})")
+        if "scheme" in artifact and not isinstance(artifact["scheme"], str):
+            self.error("scheme", "must be a string")
+        if "params" in artifact:
+            self.check_scalar_map(artifact["params"], "params", self.check_number)
+        if "counters" in artifact:
+            self.check_scalar_map(artifact["counters"], "counters",
+                                  self.check_number)
+        if "gauges" in artifact:
+            self.check_scalar_map(artifact["gauges"], "gauges", self.check_number)
+        if "histograms" in artifact:
+            self.check_scalar_map(artifact["histograms"], "histograms",
+                                  self.check_histogram)
+        if "per_disk" in artifact:
+            self.check_per_disk(artifact["per_disk"])
+        if "timeline" in artifact:
+            self.check_timeline(artifact["timeline"])
+        if "streams" in artifact:
+            self.check_streams(artifact["streams"])
+        if "table" in artifact:
+            self.check_table(artifact["table"])
+
+
+def validate_file(path):
+    validator = Validator(path)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            artifact = json.load(f)
+    except OSError as e:
+        validator.error("(file)", f"cannot read: {e}")
+        return validator.errors
+    except json.JSONDecodeError as e:
+        validator.error("(file)", f"invalid JSON: {e}")
+        return validator.errors
+    validator.validate(artifact)
+    return validator.errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = 0
+    for path in argv[1:]:
+        errors = validate_file(path)
+        if errors:
+            failed += 1
+            for line in errors:
+                print(f"FAIL {line}", file=sys.stderr)
+        else:
+            print(f"OK   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
