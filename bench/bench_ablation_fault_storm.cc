@@ -73,6 +73,14 @@ int g_lanes = 1;  // --lanes N; byte-identical output at any setting
 // artifact's `streams` section (the worst-case scenario's per-stream
 // QoS is what an operator wants in the report).
 StreamQosLedger g_storm_qos;
+// Wall-clock phase profile across every scenario run (the artifact's
+// `profile` section). A side channel: tables, QoS and counters stay
+// byte-identical with or without it.
+PhaseProfiler g_profiler;
+// --trace-out sink. Attached to the profiler only for the full-storm
+// block, so the bounded event budget covers the scenario worth looking
+// at (every lane track, the rebuild, both failures).
+ChromeTraceWriter g_trace;
 
 void RunRow(const char* scenario, const SchemeShape& shape,
             const FaultSchedule& schedule,
@@ -92,6 +100,7 @@ void RunRow(const char* scenario, const SchemeShape& shape,
   config.lanes = g_lanes;
   config.schedule = schedule;
   config.qos = qos;
+  config.profiler = &g_profiler;
   Result<ScenarioResult> result = RunScenario(config);
   if (!result.ok()) {
     std::printf("  %-28s FAILED: %s\n", shape.label,
@@ -157,7 +166,11 @@ int main(int argc, char** argv) {
   RunScenarioBlock("clean", CleanSchedule());
   RunScenarioBlock("transient-storm", TransientStorm());
   RunScenarioBlock("slow-disk", SlowDiskSchedule());
+  const bool want_trace =
+      !bench::PathFromArgs(argc, argv, "trace-out").empty();
+  if (want_trace) g_profiler.AttachChromeTrace(&g_trace);
   RunScenarioBlock("full-storm", FullStorm(), &g_storm_qos);
+  if (want_trace) g_profiler.AttachChromeTrace(nullptr);
 
   std::printf(
       "\ntransient errors are absorbed by in-round retries (recovered == "
@@ -175,5 +188,9 @@ int main(int argc, char** argv) {
                    {"lanes", g_lanes}};
   report.qos = &g_storm_qos;
   report.table = &g_table;
-  return bench::MaybeWriteJsonReport(argc, argv, report) ? 0 : 1;
+  report.profile = &g_profiler;
+  bool ok = bench::MaybeWriteJsonReport(argc, argv, report);
+  ok = bench::MaybeWriteChromeTrace(argc, argv, g_trace) && ok;
+  ok = bench::MaybeWriteQosCsv(argc, argv, g_storm_qos) && ok;
+  return ok ? 0 : 1;
 }

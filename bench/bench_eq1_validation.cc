@@ -76,10 +76,15 @@ bool WriteArtifact(int argc, char** argv) {
             .ok());
   }
   MetricsRegistry registry;
+  // Wall-clock phase profile (the artifact's `profile` section): the
+  // one section bench_compare.py gates with ratio thresholds rather
+  // than exactly, because it measures the host, not the simulation.
+  PhaseProfiler profiler;
   ServerConfig config;
   config.block_size = b;
   config.time_rounds = true;
   config.metrics = &registry;
+  config.profiler = &profiler;
   Server server(&array, setup->controller.get(), config);
   for (int i = 0; i < 8 * q; ++i) {
     server.TryAdmit(i, 0, (i % 12) * 2, 60);
@@ -106,6 +111,7 @@ bool WriteArtifact(int argc, char** argv) {
       PerDiskSeries{"reads", server.metrics().per_disk_reads},
       PerDiskSeries{"recovery_reads",
                     server.metrics().per_disk_recovery_reads}};
+  report.profile = &profiler;
   return bench::MaybeWriteJsonReport(argc, argv, report);
 }
 

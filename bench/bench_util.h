@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/capacity.h"
+#include "obs/chrome_trace.h"
 #include "obs/export.h"
 #include "util/units.h"
 
@@ -109,6 +110,43 @@ inline bool MaybeWriteJsonReport(int argc, char** argv,
     return false;
   }
   std::printf("\n[json] wrote %s\n", path.c_str());
+  return true;
+}
+
+// Chrome trace sink: "--trace-out <path>" writes the writer's
+// trace-event JSON there (openable directly in Perfetto /
+// chrome://tracing). Same contract as MaybeWriteJsonReport: true unless
+// the flag was given and the write failed.
+inline bool MaybeWriteChromeTrace(int argc, char** argv,
+                                  const ChromeTraceWriter& writer) {
+  const std::string path = PathFromArgs(argc, argv, "trace-out");
+  if (path.empty()) return true;
+  Status st = writer.WriteFile(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "--trace-out %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
+    return false;
+  }
+  std::printf("[trace] wrote %s (%zu events, %lld dropped)\n", path.c_str(),
+              writer.num_events(),
+              static_cast<long long>(writer.dropped_events()));
+  return true;
+}
+
+// Per-stream QoS CSV sink: "--qos-csv <path>" writes the ledger's table
+// as CSV (obs/export.h StreamQosCsvTable), the third form of the QoS
+// report next to its text table and `streams` JSON.
+inline bool MaybeWriteQosCsv(int argc, char** argv,
+                             const StreamQosLedger& ledger) {
+  const std::string path = PathFromArgs(argc, argv, "qos-csv");
+  if (path.empty()) return true;
+  Status st = StreamQosCsvTable(ledger).WriteFile(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "--qos-csv %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
+    return false;
+  }
+  std::printf("[qos-csv] wrote %s\n", path.c_str());
   return true;
 }
 

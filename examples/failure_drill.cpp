@@ -15,11 +15,22 @@
 // report):
 //
 //   $ ./examples/failure_drill storm [scheme]
+//
+// Storm mode also accepts "--trace-out <path>": it attaches a wall-clock
+// phase profiler to the run, prints the phase profile (where round time
+// went: plan/stage/lanes/merge/deliver, plus lane utilization), and
+// writes a Chrome trace-event JSON openable in Perfetto /
+// chrome://tracing — one track per disk lane, counter tracks for buffer
+// occupancy and the lane critical path. docs/performance.md ("Reading a
+// phase profile") interprets the output.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
+#include "obs/chrome_trace.h"
+#include "obs/phase_profiler.h"
 #include "sim/failure_drill.h"
 #include "sim/stats.h"
 
@@ -42,7 +53,7 @@ cmfs::Scheme ParseScheme(const char* name, bool* ok) {
   return Scheme::kDeclustered;
 }
 
-int RunStorm(cmfs::Scheme scheme) {
+int RunStorm(cmfs::Scheme scheme, const char* trace_out) {
   using namespace cmfs;
   ScenarioConfig config;
   config.scheme = scheme;
@@ -64,6 +75,15 @@ int RunStorm(cmfs::Scheme scheme) {
   config.schedule.swaps.push_back(SwapEvent{3, 60, 5});
   config.schedule.fail_stops.push_back(FailStopEvent{5, 130});
 
+  // Timing side channel: attached only when requested; the scenario
+  // result is byte-identical either way.
+  PhaseProfiler profiler;
+  ChromeTraceWriter trace;
+  if (trace_out != nullptr) {
+    profiler.AttachChromeTrace(&trace);
+    config.profiler = &profiler;
+  }
+
   std::printf("fault storm: %s, d=%d, p=%d\n%s\n", SchemeName(scheme),
               config.num_disks, config.parity_group,
               config.schedule.ToString().c_str());
@@ -74,6 +94,18 @@ int RunStorm(cmfs::Scheme scheme) {
     return 1;
   }
   std::printf("\n%s\n", result->ToString().c_str());
+  if (trace_out != nullptr) {
+    std::printf("\n%s\n", profiler.ToString().c_str());
+    Status st = trace.WriteFile(trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--trace-out %s: %s\n", trace_out,
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("[trace] wrote %s (%zu events, %lld dropped)\n", trace_out,
+                trace.num_events(),
+                static_cast<long long>(trace.dropped_events()));
+  }
   return 0;
 }
 
@@ -85,12 +117,21 @@ int main(int argc, char** argv) {
   Scheme scheme = Scheme::kDeclustered;
   bool scheme_ok = true;
   if (argc > 1 && std::strcmp(argv[1], "storm") == 0) {
-    if (argc > 2) scheme = ParseScheme(argv[2], &scheme_ok);
+    // Peel "--trace-out <path>" off the tail before the scheme arg.
+    const char* trace_out = nullptr;
+    int end = argc;
+    for (int i = 2; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace-out") == 0) {
+        trace_out = argv[i + 1];
+        if (i < end) end = i;
+      }
+    }
+    if (end > 2) scheme = ParseScheme(argv[2], &scheme_ok);
     if (!scheme_ok) {
       std::fprintf(stderr, "unknown scheme %s\n", argv[2]);
       return 1;
     }
-    return RunStorm(scheme);
+    return RunStorm(scheme, trace_out);
   }
   if (argc > 1) {
     scheme = ParseScheme(argv[1], &scheme_ok);

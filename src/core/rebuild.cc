@@ -64,6 +64,7 @@ void Rebuilder::AttachMetrics(MetricsRegistry* registry) {
 }
 
 Result<int> Rebuilder::RunRound() {
+  ScopedPhaseTimer round_timer(profiler_, "rebuild.round");
   if (done()) return 0;
   if (array_->disk(target_disk_).state() == SimDisk::State::kFailed) {
     return Status::FailedPrecondition(

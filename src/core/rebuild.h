@@ -8,6 +8,7 @@
 #include "disk/disk_array.h"
 #include "layout/layout.h"
 #include "obs/metrics_registry.h"
+#include "obs/phase_profiler.h"
 #include "util/status.h"
 
 // Online rebuild of a replaced disk (the operational step the paper's
@@ -71,6 +72,12 @@ class Rebuilder {
   // "how long until redundancy is restored?").
   void AttachMetrics(MetricsRegistry* registry);
 
+  // Attaches a wall-clock phase profiler (caller-owned, must outlive the
+  // rebuilder; nullptr detaches): every RunRound is recorded as a
+  // "rebuild.round" phase span. A side channel, like the server's — it
+  // never touches the metrics registry.
+  void AttachProfiler(PhaseProfiler* profiler) { profiler_ = profiler; }
+
   // Bounded in-round retry of transient (kUnavailable) source-read
   // failures during rebuild. Each retry re-XORs the block's sources and
   // advances at least one failing source past its fault window, so the
@@ -100,6 +107,7 @@ class Rebuilder {
   Histogram* blocks_per_round_hist_ = nullptr;  // owned by the registry
   Gauge* progress_gauge_ = nullptr;
   Gauge* eta_gauge_ = nullptr;
+  PhaseProfiler* profiler_ = nullptr;  // caller-owned
 };
 
 }  // namespace cmfs

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/content.h"
+#include "obs/phase_profiler.h"
 #include "util/xor.h"
 
 namespace cmfs {
@@ -64,7 +65,11 @@ Server::Server(DiskArray* array, Controller* controller,
   round_disk_reads_.assign(num_disks, 0);
   lane_positions_.assign(num_disks, {});
   lane_round_times_.assign(num_disks, 0.0);
+  lane_start_ns_.assign(num_disks, 0);
+  lane_busy_ns_.assign(num_disks, 0);
   active_lanes_.reserve(num_disks);
+  profiler_ = config.profiler;
+  if (profiler_ != nullptr) prof_clock_ = profiler_->clock();
   metrics_.per_disk_reads.assign(num_disks, 0);
   metrics_.per_disk_recovery_reads.assign(num_disks, 0);
   if (config_.metrics != nullptr) {
@@ -446,6 +451,11 @@ void Server::RunLane(const RoundPlan& plan, int disk) {
   const std::size_t block_size =
       static_cast<std::size_t>(config_.block_size);
   const SimDisk& sim = array_->disk(disk);
+  // Wall-clock busy span, written into this lane's own slot and folded
+  // into the profiler sequentially after the barrier (timing is a side
+  // channel; nothing determinism-checked depends on it).
+  const std::int64_t lane_t0 =
+      prof_clock_ != nullptr ? prof_clock_->NowNanos() : 0;
   for (std::int32_t pos :
        lane_positions_[static_cast<std::size_t>(disk)]) {
     const RoundRead& read = plan.reads[static_cast<std::size_t>(pos)];
@@ -489,6 +499,11 @@ void Server::RunLane(const RoundPlan& plan, int disk) {
         std::memset(dst, 0, block_size);
       }
     }
+  }
+  if (prof_clock_ != nullptr) {
+    const std::size_t d = static_cast<std::size_t>(disk);
+    lane_start_ns_[d] = lane_t0;
+    lane_busy_ns_[d] = prof_clock_->NowNanos() - lane_t0;
   }
 }
 
@@ -681,14 +696,39 @@ Status Server::ExecuteReads(const RoundPlan& plan) {
   for (auto& cyls : round_cylinders_) cyls.clear();
   std::fill(round_disk_reads_.begin(), round_disk_reads_.end(), 0);
   round_worst_time_ = 0.0;
-  PrepareLanes(plan);
-  LaneParallelFor(static_cast<std::int64_t>(active_lanes_.size()),
-                  [&](std::int64_t lane) {
-                    RunLane(plan,
-                            active_lanes_[static_cast<std::size_t>(lane)]);
-                  });
-  Status st = MergeOutcomes(plan);
-  ReleaseRoundStaging();
+  {
+    ScopedPhaseTimer stage_timer(profiler_, "server.stage");
+    PrepareLanes(plan);
+  }
+  {
+    ScopedPhaseTimer lanes_timer(profiler_, "server.lanes");
+    LaneParallelFor(static_cast<std::int64_t>(active_lanes_.size()),
+                    [&](std::int64_t lane) {
+                      RunLane(
+                          plan,
+                          active_lanes_[static_cast<std::size_t>(lane)]);
+                    });
+  }
+  // Fold the lanes' wall-clock spans sequentially (active_lanes_ order)
+  // and take the round's utilization sample: mean-lane / busiest-lane
+  // busy ratio, the imbalance the pipelined-round-engine roadmap item
+  // needs to see before it can be designed.
+  if (profiler_ != nullptr && !active_lanes_.empty()) {
+    lane_busy_scratch_.clear();
+    for (int disk : active_lanes_) {
+      const std::size_t d = static_cast<std::size_t>(disk);
+      profiler_->RecordLaneSpan(disk, lane_start_ns_[d],
+                                lane_start_ns_[d] + lane_busy_ns_[d]);
+      lane_busy_scratch_.push_back(lane_busy_ns_[d]);
+    }
+    profiler_->RecordLaneRound(lane_busy_scratch_);
+  }
+  Status st;
+  {
+    ScopedPhaseTimer merge_timer(profiler_, "server.merge");
+    st = MergeOutcomes(plan);
+    ReleaseRoundStaging();
+  }
   if (!st.ok()) return st;
   TimeRoundLanes(plan);
   // The busiest lane bounds the round's parallel service time — the
@@ -849,8 +889,12 @@ Status Server::CheckLoadWindow() {
 }
 
 Status Server::RunRound() {
+  ScopedPhaseTimer round_timer(profiler_, "server.round");
   RoundPlan plan;
-  controller_->Round(array_->failed_disk(), &plan);
+  {
+    ScopedPhaseTimer plan_timer(profiler_, "server.plan");
+    controller_->Round(array_->failed_disk(), &plan);
+  }
   ++metrics_.rounds;
   poisoned_.clear();
 
@@ -873,9 +917,15 @@ Status Server::RunRound() {
 
   Status st = ExecuteReads(plan);
   if (!st.ok()) return st;
-  st = Reconstruct();
+  {
+    ScopedPhaseTimer reconstruct_timer(profiler_, "server.reconstruct");
+    st = Reconstruct();
+  }
   if (!st.ok()) return st;
-  st = Deliver(plan);
+  {
+    ScopedPhaseTimer deliver_timer(profiler_, "server.deliver");
+    st = Deliver(plan);
+  }
   if (!st.ok()) return st;
 
   for (StreamId stream : plan.completed) {
@@ -917,6 +967,16 @@ Status Server::RunRound() {
                     sample.transient_errors > 0 ||
                     sample.shed_streams > 0;
   timeline_.Add(sample);
+
+  // Counter tracks for the Chrome trace (no-ops unless a writer is
+  // attached to the profiler).
+  if (profiler_ != nullptr) {
+    const std::int64_t now_ns = prof_clock_->NowNanos();
+    profiler_->RecordCounter("pool_occupancy_blocks", now_ns,
+                             static_cast<double>(pool_.resident_blocks()));
+    profiler_->RecordCounter("lane_critical", now_ns,
+                             static_cast<double>(round_critical_reads_));
+  }
 
   if (config_.metrics != nullptr) {
     MetricsRegistry* reg = config_.metrics;

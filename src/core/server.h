@@ -64,6 +64,9 @@
 
 namespace cmfs {
 
+class Clock;
+class PhaseProfiler;
+
 struct ServerConfig {
   std::int64_t block_size = 0;
   // Declared server buffer (for reporting; the analytic models guarantee
@@ -119,6 +122,16 @@ struct ServerConfig {
   // Per-round timeline retention: 0 keeps every RoundSample, N keeps a
   // ring of the most recent N (aggregates still cover the full run).
   std::size_t timeline_capacity = 0;
+  // Optional wall-clock phase profiler (caller-owned, must outlive the
+  // server). Timing is a side channel: the profiler keeps its own
+  // histograms (obs/phase_profiler.h) and never touches the metrics
+  // registry, trace or QoS ledger, so every determinism-checked output
+  // stays byte-identical with or without it. Records the round phases
+  // (server.plan/stage/lanes/merge/reconstruct/deliver/round), each
+  // lane's busy span, the per-round lane-utilization sample, and — when
+  // a ChromeTraceWriter is attached to the profiler — pool-occupancy and
+  // lane_critical counter tracks.
+  PhaseProfiler* profiler = nullptr;
   std::uint64_t seed = 0x5eedULL;
 };
 
@@ -345,6 +358,12 @@ class Server {
       recovery_slots_;
   // Per-disk RoundTiming totals for the parallel timing pass.
   std::vector<double> lane_round_times_;
+  // Per-disk lane wall-clock spans (profiler only): each lane writes its
+  // own slot; read sequentially after the barrier, like outcomes_.
+  std::vector<std::int64_t> lane_start_ns_;
+  std::vector<std::int64_t> lane_busy_ns_;
+  // Active-lane busy times gathered for the round's utilization sample.
+  std::vector<std::int64_t> lane_busy_scratch_;
   // Per-delivery verification verdicts (two-phase Deliver).
   std::vector<std::uint8_t> verify_ok_;
   // The current phase's trace shard.
@@ -368,6 +387,10 @@ class Server {
   Histogram* lane_critical_hist_ = nullptr;
   std::vector<Histogram*> disk_service_hists_;
   std::vector<Histogram*> disk_round_reads_hists_;
+  // Wall-clock side channel (both null without a profiler; the clock is
+  // the profiler's, resolved once so lanes read it without indirection).
+  PhaseProfiler* profiler_ = nullptr;
+  Clock* prof_clock_ = nullptr;
 };
 
 }  // namespace cmfs

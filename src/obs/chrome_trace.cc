@@ -1,0 +1,97 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "obs/export.h"
+
+namespace cmfs {
+
+void ChromeTraceWriter::SetThreadName(int tid, const std::string& name) {
+  thread_names_.emplace(tid, name);  // first name wins
+}
+
+void ChromeTraceWriter::AddComplete(int tid, const std::string& name,
+                                    std::int64_t start_ns,
+                                    std::int64_t duration_ns) {
+  if (Full()) return;
+  events_.push_back(Event{'X', tid, name, start_ns,
+                          std::max<std::int64_t>(0, duration_ns), 0.0});
+}
+
+void ChromeTraceWriter::AddCounter(const std::string& name,
+                                   std::int64_t ts_ns, double value) {
+  if (Full()) return;
+  events_.push_back(Event{'C', 0, name, ts_ns, 0, value});
+}
+
+std::string ChromeTraceWriter::ToJson() const {
+  // Re-base to the earliest timestamp so the trace opens at t=0.
+  std::int64_t base_ns = std::numeric_limits<std::int64_t>::max();
+  for (const Event& e : events_) base_ns = std::min(base_ns, e.ts_ns);
+  if (events_.empty()) base_ns = 0;
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("displayTimeUnit").Value("ms");
+  json.Key("traceEvents").BeginArray();
+  for (const auto& [tid, name] : thread_names_) {
+    json.BeginObject();
+    json.Key("ph").Value("M");
+    json.Key("pid").Value(1);
+    json.Key("tid").Value(tid);
+    json.Key("name").Value("thread_name");
+    json.Key("args").BeginObject();
+    json.Key("name").Value(name);
+    json.EndObject();
+    json.EndObject();
+  }
+  for (const Event& e : events_) {
+    const double ts_us = static_cast<double>(e.ts_ns - base_ns) / 1e3;
+    json.BeginObject();
+    json.Key("ph").Value(std::string_view(&e.phase, 1));
+    json.Key("pid").Value(1);
+    json.Key("tid").Value(e.tid);
+    json.Key("name").Value(e.name);
+    json.Key("ts").Value(ts_us);
+    if (e.phase == 'X') {
+      json.Key("dur").Value(static_cast<double>(e.dur_ns) / 1e3);
+    } else {
+      json.Key("args").BeginObject();
+      json.Key("value").Value(e.value);
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  if (dropped_ > 0) {
+    json.Key("metadata").BeginObject();
+    json.Key("dropped_events").Value(dropped_);
+    json.EndObject();
+  }
+  json.EndObject();
+  return json.TakeString();
+}
+
+namespace {
+
+Status WriteTraceFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != body.size() || !close_ok) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ChromeTraceWriter::WriteFile(const std::string& path) const {
+  return WriteTraceFile(path, ToJson() + "\n");
+}
+
+}  // namespace cmfs

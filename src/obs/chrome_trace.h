@@ -1,0 +1,83 @@
+#ifndef CMFS_OBS_CHROME_TRACE_H_
+#define CMFS_OBS_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+// Bounded Chrome trace-event JSON exporter: the profiler's spans as a
+// timeline you can open directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. One process (pid 1); tid 0 is the sequential control
+// track (plan/stage/merge/deliver/round spans), tid disk + 1 is that
+// disk's lane track, so lane imbalance is visible as ragged span ends
+// within a round.
+//
+// Event vocabulary (the JSON trace-event format's "ph" field):
+//   "X"  complete/duration event (ts + dur, microseconds)
+//   "C"  counter sample (pool occupancy, lane_critical)
+//   "M"  thread_name metadata naming a track
+//
+// The writer is bounded: past max_events, new spans/counters are counted
+// as dropped instead of growing without limit — a long soak keeps the
+// head of the run, and dropped_events() says how much is missing.
+// Timestamps are re-based to the earliest event at export time so the
+// trace starts at t=0 regardless of the clock's epoch.
+//
+// Not thread-safe on its own; the PhaseProfiler serializes all writes
+// behind its mutex.
+
+namespace cmfs {
+
+class ChromeTraceWriter {
+ public:
+  // max_events bounds "X" + "C" events (metadata is per-track and tiny).
+  explicit ChromeTraceWriter(std::size_t max_events = 65536)
+      : max_events_(max_events) {}
+
+  // Names a track; idempotent per tid (later names are ignored).
+  void SetThreadName(int tid, const std::string& name);
+
+  // Complete/duration event ("ph":"X") on `tid`.
+  void AddComplete(int tid, const std::string& name, std::int64_t start_ns,
+                   std::int64_t duration_ns);
+
+  // Counter sample ("ph":"C") on the control track.
+  void AddCounter(const std::string& name, std::int64_t ts_ns,
+                  double value);
+
+  std::size_t num_events() const { return events_.size(); }
+  std::int64_t dropped_events() const { return dropped_; }
+
+  // {"displayTimeUnit":"ms","traceEvents":[...]} — metadata first, then
+  // events in record order, timestamps re-based to the earliest event.
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase;  // 'X' or 'C'
+    int tid;
+    std::string name;
+    std::int64_t ts_ns;
+    std::int64_t dur_ns;  // 'X' only
+    double value;         // 'C' only
+  };
+
+  bool Full() {
+    if (events_.size() < max_events_) return false;
+    ++dropped_;
+    return true;
+  }
+
+  std::size_t max_events_;
+  std::int64_t dropped_ = 0;
+  std::map<int, std::string> thread_names_;
+  std::vector<Event> events_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_OBS_CHROME_TRACE_H_

@@ -242,6 +242,31 @@ void AppendStreamQosJson(const StreamQosLedger& ledger, JsonWriter* json) {
   json->EndArray();
 }
 
+void AppendProfileJson(const PhaseProfiler& profiler, JsonWriter* json) {
+  json->BeginObject();
+  json->Key("phases").BeginObject();
+  for (const auto& [name, stats] : profiler.phases()) {
+    json->Key(name).BeginObject();
+    json->Key("count").Value(stats.count);
+    json->Key("total_s").Value(stats.total_s);
+    json->Key("time_s");
+    AppendHistogramJson(stats.time_s, json);
+    json->EndObject();
+  }
+  json->EndObject();
+  const PhaseProfiler::LaneReport lanes = profiler.lanes();
+  json->Key("lanes").BeginObject();
+  json->Key("rounds").Value(lanes.rounds);
+  json->Key("busy_ratio");
+  AppendHistogramJson(lanes.busy_ratio, json);
+  json->Key("idle_fraction");
+  AppendHistogramJson(lanes.idle_fraction, json);
+  json->Key("busiest_s");
+  AppendHistogramJson(lanes.busiest_s, json);
+  json->EndObject();
+  json->EndObject();
+}
+
 void AppendPerDiskJson(const PerDiskSeries& series, JsonWriter* json) {
   json->BeginObject();
   json->Key("values").BeginArray();
@@ -301,6 +326,41 @@ Status CsvTable::WriteFile(const std::string& path) const {
   return WriteStringToFile(path, ToCsv());
 }
 
+CsvTable StreamQosCsvTable(const StreamQosLedger& ledger) {
+  CsvTable table;
+  table.columns = {"stream",        "priority", "admit_round",
+                   "deliveries",    "clean",    "retried",
+                   "reconstructed", "hiccups",  "shed",
+                   "longest_glitch_run",        "rounds_degraded",
+                   "completed",     "jitter_p50", "jitter_p99",
+                   "slo",           "cause"};
+  char buf[32];
+  for (const StreamQosLedger::StreamRow& row : ledger.Rows()) {
+    std::vector<std::string> cells;
+    cells.reserve(table.columns.size());
+    cells.push_back(std::to_string(row.stream));
+    cells.push_back(std::to_string(row.priority));
+    cells.push_back(std::to_string(row.admit_round));
+    cells.push_back(std::to_string(row.deliveries));
+    cells.push_back(std::to_string(row.clean));
+    cells.push_back(std::to_string(row.retried));
+    cells.push_back(std::to_string(row.reconstructed));
+    cells.push_back(std::to_string(row.hiccups));
+    cells.push_back(row.shed ? "1" : "0");
+    cells.push_back(std::to_string(row.longest_glitch_run));
+    cells.push_back(std::to_string(row.rounds_degraded));
+    cells.push_back(row.completed ? "1" : "0");
+    std::snprintf(buf, sizeof(buf), "%.3f", row.jitter.p50());
+    cells.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.3f", row.jitter.p99());
+    cells.emplace_back(buf);
+    cells.push_back(SloVerdictName(row.verdict));
+    cells.push_back(row.violation_cause);
+    table.AddRow(std::move(cells));
+  }
+  return table;
+}
+
 std::string BenchReport::ToJson() const {
   JsonWriter json;
   json.BeginObject();
@@ -341,6 +401,10 @@ std::string BenchReport::ToJson() const {
     }
     json.EndArray();
     json.EndObject();
+  }
+  if (profile != nullptr) {
+    json.Key("profile");
+    AppendProfileJson(*profile, &json);
   }
   json.EndObject();
   return json.TakeString();

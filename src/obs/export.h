@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/metrics_registry.h"
+#include "obs/phase_profiler.h"
 #include "obs/round_timeline.h"
 #include "obs/stream_qos.h"
 #include "util/status.h"
@@ -23,7 +24,15 @@
 //     "per_disk": {name: {values, total, load_imbalance}},
 //     "timeline": {rounds, degraded_rounds, round_time, epochs:{...}},
 //     "streams": [{stream, priority, ..., jitter:{...}, slo, cause}, ...],
-//     "table": {columns: [...], rows: [[...], ...]} }
+//     "table": {columns: [...], rows: [[...], ...]},
+//     "profile": {phases: {name: {count, total_s, time_s:{...}}},
+//                 lanes: {rounds, busy_ratio:{...}, idle_fraction:{...},
+//                         busiest_s:{...}}} }
+//
+// `profile` is the wall-clock side channel (obs/phase_profiler.h): the
+// only section whose numbers legitimately differ between two runs of
+// the same deterministic experiment. tools/bench_compare.py therefore
+// gates it with ratio thresholds while everything else is gated exactly.
 
 namespace cmfs {
 
@@ -69,6 +78,10 @@ void AppendTimelineJson(const RoundTimeline& timeline, JsonWriter* json);
 // when violated — the attributed cause.
 void AppendStreamQosJson(const StreamQosLedger& ledger, JsonWriter* json);
 
+// The wall-clock phase profile as the `profile` section: per-phase
+// counts/totals/digests plus the lane-utilization report.
+void AppendProfileJson(const PhaseProfiler& profiler, JsonWriter* json);
+
 // A per-disk integer series (reads, recovery reads, queue depth...);
 // exported with its total and LoadImbalance (cv).
 struct PerDiskSeries {
@@ -88,6 +101,12 @@ struct CsvTable {
   Status WriteFile(const std::string& path) const;
 };
 
+// The QoS ledger as a CsvTable — the machine-readable twin of
+// StreamQosLedger::TableString(), one row per admitted stream in stream
+// order, same fields as the `streams` JSON array (jitter reduced to its
+// p50/p99 digest values).
+CsvTable StreamQosCsvTable(const StreamQosLedger& ledger);
+
 // The bench artifact: everything optional except `bench`.
 struct BenchReport {
   std::string bench;
@@ -99,6 +118,8 @@ struct BenchReport {
   // Per-stream QoS ledger -> `streams` array (omitted when null).
   const StreamQosLedger* qos = nullptr;
   const CsvTable* table = nullptr;
+  // Wall-clock phase profile -> `profile` section (omitted when null).
+  const PhaseProfiler* profile = nullptr;
 
   std::string ToJson() const;
   Status WriteJsonFile(const std::string& path) const;

@@ -1,0 +1,164 @@
+#include "obs/phase_profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/chrome_trace.h"
+
+namespace cmfs {
+
+namespace {
+
+class SteadyClock : public Clock {
+ public:
+  std::int64_t NowNanos() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+constexpr double kNanosPerSecond = 1e9;
+
+// Control track for phase spans and counters; lane `disk` gets
+// tid disk + 1 (chrome_trace.h documents the layout).
+constexpr int kControlTid = 0;
+
+}  // namespace
+
+Clock* Clock::RealClock() {
+  static SteadyClock clock;
+  return &clock;
+}
+
+PhaseProfiler::PhaseProfiler(Clock* clock)
+    : clock_(clock != nullptr ? clock : Clock::RealClock()) {}
+
+void PhaseProfiler::AttachChromeTrace(ChromeTraceWriter* writer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  chrome_trace_ = writer;
+  if (writer != nullptr) {
+    writer->SetThreadName(kControlTid, "round engine");
+  }
+  // A new sink knows none of the lane tracks yet.
+  lane_named_.clear();
+}
+
+ChromeTraceWriter* PhaseProfiler::chrome_trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chrome_trace_;
+}
+
+void PhaseProfiler::RecordPhase(const std::string& phase,
+                                std::int64_t start_ns,
+                                std::int64_t end_ns) {
+  const std::int64_t dur = std::max<std::int64_t>(0, end_ns - start_ns);
+  std::lock_guard<std::mutex> lock(mu_);
+  PhaseStats& stats = phases_[phase];
+  ++stats.count;
+  const double seconds = static_cast<double>(dur) / kNanosPerSecond;
+  stats.total_s += seconds;
+  stats.time_s.Add(seconds);
+  if (chrome_trace_ != nullptr) {
+    chrome_trace_->AddComplete(kControlTid, phase, start_ns, dur);
+  }
+}
+
+void PhaseProfiler::RecordDuration(const std::string& phase,
+                                   std::int64_t duration_ns) {
+  const std::int64_t dur = std::max<std::int64_t>(0, duration_ns);
+  std::lock_guard<std::mutex> lock(mu_);
+  PhaseStats& stats = phases_[phase];
+  ++stats.count;
+  const double seconds = static_cast<double>(dur) / kNanosPerSecond;
+  stats.total_s += seconds;
+  stats.time_s.Add(seconds);
+}
+
+void PhaseProfiler::RecordLaneSpan(int disk, std::int64_t start_ns,
+                                   std::int64_t end_ns) {
+  const std::int64_t dur = std::max<std::int64_t>(0, end_ns - start_ns);
+  std::lock_guard<std::mutex> lock(mu_);
+  PhaseStats& stats = phases_["server.lane_busy"];
+  ++stats.count;
+  const double seconds = static_cast<double>(dur) / kNanosPerSecond;
+  stats.total_s += seconds;
+  stats.time_s.Add(seconds);
+  if (chrome_trace_ != nullptr) {
+    const int tid = disk + 1;
+    if (static_cast<std::size_t>(disk) >= lane_named_.size()) {
+      lane_named_.resize(static_cast<std::size_t>(disk) + 1, false);
+    }
+    if (!lane_named_[static_cast<std::size_t>(disk)]) {
+      chrome_trace_->SetThreadName(tid,
+                                   "lane disk " + std::to_string(disk));
+      lane_named_[static_cast<std::size_t>(disk)] = true;
+    }
+    chrome_trace_->AddComplete(tid, "lane", start_ns, dur);
+  }
+}
+
+void PhaseProfiler::RecordLaneRound(
+    const std::vector<std::int64_t>& busy_ns) {
+  if (busy_ns.empty()) return;
+  std::int64_t busiest = 0;
+  double sum = 0.0;
+  for (std::int64_t busy : busy_ns) {
+    const std::int64_t clamped = std::max<std::int64_t>(0, busy);
+    busiest = std::max(busiest, clamped);
+    sum += static_cast<double>(clamped);
+  }
+  const double mean = sum / static_cast<double>(busy_ns.size());
+  // A round whose lanes all measured zero (e.g. a FakeClock standing
+  // still) is perfectly balanced by definition.
+  const double ratio =
+      busiest > 0 ? mean / static_cast<double>(busiest) : 1.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++lanes_.rounds;
+  lanes_.busy_ratio.Add(ratio);
+  lanes_.idle_fraction.Add(1.0 - ratio);
+  lanes_.busiest_s.Add(static_cast<double>(busiest) / kNanosPerSecond);
+}
+
+void PhaseProfiler::RecordCounter(const std::string& name,
+                                  std::int64_t ts_ns, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (chrome_trace_ != nullptr) {
+    chrome_trace_->AddCounter(name, ts_ns, value);
+  }
+}
+
+std::map<std::string, PhaseProfiler::PhaseStats> PhaseProfiler::phases()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return phases_;
+}
+
+PhaseProfiler::LaneReport PhaseProfiler::lanes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lanes_;
+}
+
+std::string PhaseProfiler::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "PhaseProfile:\n";
+  char buf[256];
+  for (const auto& [name, stats] : phases_) {
+    std::snprintf(buf, sizeof(buf), "  %-22s n=%-8lld total=%.6fs %s\n",
+                  name.c_str(), static_cast<long long>(stats.count),
+                  stats.total_s, stats.time_s.ToString().c_str());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  lanes: rounds=%lld busy_ratio{%s}\n",
+                static_cast<long long>(lanes_.rounds),
+                lanes_.busy_ratio.ToString().c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "         idle_fraction{%s}\n",
+                lanes_.idle_fraction.ToString().c_str());
+  out += buf;
+  return out;
+}
+
+}  // namespace cmfs

@@ -1,0 +1,187 @@
+#ifndef CMFS_OBS_PHASE_PROFILER_H_
+#define CMFS_OBS_PHASE_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+
+// Wall-clock attribution for the round engine: where does round time
+// actually go (plan / stage / lanes / merge / deliver), and how
+// imbalanced do the per-disk lanes run?
+//
+// Timing is a *side channel*. The determinism contract (byte-identical
+// ScenarioResult, registry JSON and traces at any lane count) is about
+// the simulated system's outputs; wall-clock durations are a property of
+// the host, so the profiler keeps its own histograms and never publishes
+// into the shared MetricsRegistry. Attaching a profiler to a server must
+// not — and does not — change a single byte of any determinism-checked
+// artifact (tests/phase_profiler_test.cc proves it).
+//
+// The clock is injectable: production code uses the process-wide
+// monotonic Clock::RealClock(); tests inject a FakeClock and assert
+// exact phase totals. FakeClock is thread-safe (lanes read it in
+// parallel) and can auto-advance per reading so parallel spans still get
+// distinct, deterministic timestamps.
+//
+// Exported as the bench artifact's `profile` section
+// (docs/observability.md) and optionally mirrored into a Chrome
+// trace-event file (obs/chrome_trace.h) for Perfetto.
+
+namespace cmfs {
+
+class ChromeTraceWriter;
+
+// Monotonic nanosecond clock. Implementations must tolerate concurrent
+// NowNanos() calls (the lane pool reads the clock in parallel).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::int64_t NowNanos() = 0;
+
+  // Process-wide monotonic wall clock (std::chrono::steady_clock).
+  static Clock* RealClock();
+};
+
+// Deterministic test clock. NowNanos() returns the current reading and
+// then advances it by auto_step_ns (0 = stand still until Advance());
+// the atomic makes concurrent readers race-free and gives each reader a
+// distinct timestamp when auto-stepping.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(std::int64_t start_ns = 0,
+                     std::int64_t auto_step_ns = 0)
+      : now_ns_(start_ns), auto_step_ns_(auto_step_ns) {}
+
+  std::int64_t NowNanos() override {
+    return now_ns_.fetch_add(auto_step_ns_, std::memory_order_relaxed);
+  }
+
+  void Advance(std::int64_t ns) {
+    now_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  std::int64_t now_ns() const {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> now_ns_;
+  const std::int64_t auto_step_ns_;
+};
+
+// Accumulates per-phase wall-time histograms plus a per-round
+// lane-utilization report. Thread-safe: every mutating entry point takes
+// an internal mutex, so sweep cells may record their wall times straight
+// from worker threads. All durations are stored in seconds.
+class PhaseProfiler {
+ public:
+  // clock = nullptr selects Clock::RealClock(). The clock must outlive
+  // the profiler.
+  explicit PhaseProfiler(Clock* clock = nullptr);
+
+  Clock* clock() const { return clock_; }
+
+  // Optional Chrome trace sink (caller-owned, must outlive the profiler;
+  // nullptr detaches). Phase and lane spans recorded while attached are
+  // mirrored as duration events; RecordCounter forwards counter samples.
+  void AttachChromeTrace(ChromeTraceWriter* writer);
+  ChromeTraceWriter* chrome_trace() const;
+
+  // One completed phase span [start_ns, end_ns) on the control track.
+  void RecordPhase(const std::string& phase, std::int64_t start_ns,
+                   std::int64_t end_ns);
+  // Duration-only variant for spans whose absolute placement is
+  // meaningless (e.g. sweep cells that overlap on worker threads):
+  // accumulates the histogram, never emits a trace event.
+  void RecordDuration(const std::string& phase, std::int64_t duration_ns);
+
+  // One lane's busy span for `disk` within the current round; mirrored
+  // onto the lane's own trace track (tid = disk + 1) and accumulated
+  // into the "server.lane_busy" phase histogram.
+  void RecordLaneSpan(int disk, std::int64_t start_ns,
+                      std::int64_t end_ns);
+
+  // Per-round lane-utilization sample: the busy nanoseconds of every
+  // *active* lane this round. Records mean/busiest busy ratio, the idle
+  // fraction 1 - ratio, and the busiest lane's busy seconds. An empty
+  // round (no active lanes) is ignored — it has no utilization.
+  void RecordLaneRound(const std::vector<std::int64_t>& busy_ns);
+
+  // Counter sample forwarded to the attached Chrome trace (no local
+  // accumulation — time series belong in the trace, not a histogram).
+  void RecordCounter(const std::string& name, std::int64_t ts_ns,
+                     double value);
+
+  struct PhaseStats {
+    std::int64_t count = 0;
+    double total_s = 0.0;
+    Histogram time_s;
+  };
+
+  struct LaneReport {
+    // Rounds with at least one active lane.
+    std::int64_t rounds = 0;
+    // Per-round mean-lane / busiest-lane busy ratio, in (0, 1]; 1 means
+    // perfectly balanced lanes.
+    Histogram busy_ratio;
+    // Per-round 1 - busy_ratio: the fraction of the busiest lane's span
+    // the average lane spent idle.
+    Histogram idle_fraction;
+    // Busiest lane's busy time per round, seconds.
+    Histogram busiest_s;
+  };
+
+  // Snapshots (copied under the lock; call at export/report time).
+  std::map<std::string, PhaseStats> phases() const;
+  LaneReport lanes() const;
+
+  // Human-readable report: one line per phase (count, total, digest)
+  // plus the lane-utilization summary. Deterministic given a FakeClock.
+  std::string ToString() const;
+
+ private:
+  Clock* clock_;
+  mutable std::mutex mu_;
+  ChromeTraceWriter* chrome_trace_ = nullptr;
+  std::map<std::string, PhaseStats> phases_;
+  LaneReport lanes_;
+  // Lane tids already named on the trace writer (avoids re-sending
+  // thread_name metadata every round).
+  std::vector<bool> lane_named_;
+};
+
+// RAII phase span: reads the profiler's clock at construction and
+// records [start, now) into `phase` on destruction. A null profiler
+// makes the timer (and both clock reads) a no-op, so call sites can stay
+// unconditional.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(PhaseProfiler* profiler, const char* phase)
+      : profiler_(profiler),
+        phase_(phase),
+        start_ns_(profiler != nullptr ? profiler->clock()->NowNanos() : 0) {}
+
+  ~ScopedPhaseTimer() {
+    if (profiler_ != nullptr) {
+      profiler_->RecordPhase(phase_, start_ns_,
+                             profiler_->clock()->NowNanos());
+    }
+  }
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  PhaseProfiler* profiler_;
+  const char* phase_;
+  std::int64_t start_ns_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_OBS_PHASE_PROFILER_H_

@@ -190,8 +190,14 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
   StreamQosLedger local_qos;
   StreamQosLedger* qos = config.qos != nullptr ? config.qos : &local_qos;
   server_config.qos = qos;
+  server_config.profiler = config.profiler;
   server_config.seed = config.seed;
   Server server(&array, setup->controller.get(), server_config);
+
+  // All scenario wall-clock timing flows through the profiler's
+  // injectable Clock — never through ad-hoc std::chrono reads — so a
+  // FakeClock makes even the timing side channel deterministic.
+  ScopedPhaseTimer scenario_timer(config.profiler, "scenario.run");
 
   ScenarioResult result;
   for (int i = 0; i < config.num_streams; ++i) {
@@ -222,6 +228,9 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
           std::max<std::int64_t>(scan, 1), event.rebuild_budget);
       if (config.metrics != nullptr) {
         rebuilder->AttachMetrics(config.metrics);
+      }
+      if (config.profiler != nullptr) {
+        rebuilder->AttachProfiler(config.profiler);
       }
       rebuild_target = event.disk;
     }

@@ -99,6 +99,13 @@ struct ScenarioConfig {
   // fail-stop/swap events) so every degraded outcome in the result is
   // attributed to the fault that produced it.
   StreamQosLedger* qos = nullptr;
+  // Optional wall-clock phase profiler (caller-owned), forwarded to the
+  // server and any online rebuilder, plus a "scenario.run" span for the
+  // whole drill. Every wall-clock reading in the scenario goes through
+  // the profiler's injectable Clock (obs/phase_profiler.h) — there is no
+  // ad-hoc std::chrono in the runner — and timing stays a side channel:
+  // the ScenarioResult is byte-identical with or without it.
+  PhaseProfiler* profiler = nullptr;
 };
 
 // Aggregates over one schedule epoch [first_round, last_round] — the

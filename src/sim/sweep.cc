@@ -43,16 +43,29 @@ std::vector<SweepCell> ExpandGrid(const SweepSpec& spec) {
 
 std::vector<CellResult> RunSweepCells(const std::vector<SweepCell>& cells,
                                       int threads, const CellFn& fn,
-                                      MetricsRegistry* merged) {
+                                      MetricsRegistry* merged,
+                                      PhaseProfiler* profiler) {
   const std::size_t n = cells.size();
   std::vector<CellResult> results(n);
   std::vector<MetricsRegistry> shards(n);
+  // Per-cell wall times, one writer each (the cell's worker); folded
+  // into the profiler in cell order after the join so the profile is as
+  // deterministic as the clock allows.
+  std::vector<std::int64_t> cell_ns(profiler != nullptr ? n : 0, 0);
+  Clock* clock = profiler != nullptr ? profiler->clock() : nullptr;
   ThreadPool pool(threads);
   pool.ParallelFor(static_cast<std::int64_t>(n), [&](std::int64_t i) {
     const std::size_t slot = static_cast<std::size_t>(i);
+    const std::int64_t t0 = clock != nullptr ? clock->NowNanos() : 0;
     Rng rng(cells[slot].seed);
     results[slot] = fn(cells[slot], &rng, &shards[slot]);
+    if (clock != nullptr) cell_ns[slot] = clock->NowNanos() - t0;
   });
+  if (profiler != nullptr) {
+    for (std::int64_t ns : cell_ns) {
+      profiler->RecordDuration("sweep.cell", ns);
+    }
+  }
   if (merged != nullptr) {
     for (const MetricsRegistry& shard : shards) merged->MergeFrom(shard);
   }
@@ -60,8 +73,9 @@ std::vector<CellResult> RunSweepCells(const std::vector<SweepCell>& cells,
 }
 
 std::vector<CellResult> RunSweep(const SweepSpec& spec, int threads,
-                                 const CellFn& fn, MetricsRegistry* merged) {
-  return RunSweepCells(ExpandGrid(spec), threads, fn, merged);
+                                 const CellFn& fn, MetricsRegistry* merged,
+                                 PhaseProfiler* profiler) {
+  return RunSweepCells(ExpandGrid(spec), threads, fn, merged, profiler);
 }
 
 }  // namespace cmfs

@@ -8,6 +8,7 @@
 
 #include "analysis/capacity.h"
 #include "obs/metrics_registry.h"
+#include "obs/phase_profiler.h"
 #include "util/rng.h"
 
 // Parallel sweep engine for the evaluation grids (§7-§8): every cell of
@@ -75,15 +76,21 @@ std::uint64_t CellSeed(std::uint64_t base_seed, std::int64_t index);
 // Runs `fn` over explicit cells on `threads` threads (<= 0: the
 // CMFS_THREADS / hardware default; 1: sequential on the caller).
 // Returns results indexed by cell position; if `merged` is non-null,
-// the cells' registry shards are merged into it in cell order.
+// the cells' registry shards are merged into it in cell order. A
+// non-null `profiler` records each cell's wall time as a "sweep.cell"
+// phase sample — measured on the worker, folded in cell order after the
+// pool joins, so the profile is a side channel that cannot perturb the
+// byte-identical-results contract above.
 std::vector<CellResult> RunSweepCells(const std::vector<SweepCell>& cells,
                                       int threads, const CellFn& fn,
-                                      MetricsRegistry* merged = nullptr);
+                                      MetricsRegistry* merged = nullptr,
+                                      PhaseProfiler* profiler = nullptr);
 
 // ExpandGrid + RunSweepCells.
 std::vector<CellResult> RunSweep(const SweepSpec& spec, int threads,
                                  const CellFn& fn,
-                                 MetricsRegistry* merged = nullptr);
+                                 MetricsRegistry* merged = nullptr,
+                                 PhaseProfiler* profiler = nullptr);
 
 }  // namespace cmfs
 

@@ -1,0 +1,140 @@
+#include "obs/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/phase_profiler.h"
+
+// The trace-event exporter's format contract: the substrings asserted
+// here match the emitter's fixed key order (ph, pid, tid, name, ts,
+// dur/args), which is what tools/validate_trace.py and Perfetto parse.
+
+namespace cmfs {
+namespace {
+
+TEST(ChromeTraceTest, EmptyTraceIsWellFormed) {
+  ChromeTraceWriter trace;
+  EXPECT_EQ(trace.ToJson(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+  EXPECT_EQ(trace.num_events(), 0u);
+  EXPECT_EQ(trace.dropped_events(), 0);
+}
+
+TEST(ChromeTraceTest, CompleteEventsAndRebasing) {
+  ChromeTraceWriter trace;
+  // Earliest ts is 5000ns: both events re-base against it, so the trace
+  // opens at ts 0 regardless of the clock's epoch.
+  trace.AddComplete(0, "server.round", 7000, 2000);
+  trace.AddComplete(3, "lane", 5000, 1500);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("{\"ph\":\"X\",\"pid\":1,\"tid\":0,"
+                      "\"name\":\"server.round\",\"ts\":2,\"dur\":2}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"ph\":\"X\",\"pid\":1,\"tid\":3,"
+                      "\"name\":\"lane\",\"ts\":0,\"dur\":1.5}"),
+            std::string::npos);
+}
+
+TEST(ChromeTraceTest, ThreadNameMetadataFirstWins) {
+  ChromeTraceWriter trace;
+  trace.SetThreadName(2, "lane disk 1");
+  trace.SetThreadName(2, "renamed");  // ignored: first name wins
+  trace.AddComplete(2, "span", 0, 10);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("{\"ph\":\"M\",\"pid\":1,\"tid\":2,"
+                      "\"name\":\"thread_name\","
+                      "\"args\":{\"name\":\"lane disk 1\"}}"),
+            std::string::npos);
+  EXPECT_EQ(json.find("renamed"), std::string::npos);
+  // Metadata precedes duration events.
+  EXPECT_LT(json.find("thread_name"), json.find("\"span\""));
+}
+
+TEST(ChromeTraceTest, CounterEvents) {
+  ChromeTraceWriter trace;
+  trace.AddCounter("pool_occupancy_blocks", 1000, 64.0);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("{\"ph\":\"C\",\"pid\":1,\"tid\":0,"
+                      "\"name\":\"pool_occupancy_blocks\",\"ts\":0,"
+                      "\"args\":{\"value\":64}}"),
+            std::string::npos);
+}
+
+TEST(ChromeTraceTest, BoundedAtMaxEvents) {
+  ChromeTraceWriter trace(4);
+  for (int i = 0; i < 10; ++i) trace.AddComplete(0, "e", i * 100, 50);
+  trace.AddCounter("c", 0, 1.0);
+  EXPECT_EQ(trace.num_events(), 4u);
+  EXPECT_EQ(trace.dropped_events(), 7);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"metadata\":{\"dropped_events\":7}"),
+            std::string::npos);
+}
+
+TEST(ChromeTraceTest, NegativeDurationClampsToZero) {
+  ChromeTraceWriter trace;
+  trace.AddComplete(0, "e", 100, -5);
+  EXPECT_NE(trace.ToJson().find("\"dur\":0"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, ProfilerMirrorsSpansOntoLaneTracks) {
+  FakeClock clock;
+  PhaseProfiler profiler(&clock);
+  ChromeTraceWriter trace;
+  profiler.AttachChromeTrace(&trace);
+  {
+    ScopedPhaseTimer timer(&profiler, "server.round");
+    clock.Advance(2'000'000);
+  }
+  profiler.RecordLaneSpan(0, 0, 1'000'000);
+  profiler.RecordLaneSpan(3, 0, 1'500'000);
+  profiler.RecordCounter("lane_critical", 2'000'000, 5.0);
+  const std::string json = trace.ToJson();
+  // One tid track per lane: tid = disk + 1, named via metadata.
+  EXPECT_NE(json.find("\"args\":{\"name\":\"lane disk 0\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"lane disk 3\"}"),
+            std::string::npos);
+  // Lane duration events ride their disk's track; the track metadata,
+  // not the event name, carries the disk number.
+  EXPECT_NE(json.find("\"tid\":1,\"name\":\"lane\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":4,\"name\":\"lane\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":0,\"name\":\"server.round\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"lane_critical\""), std::string::npos);
+  // Detaching stops the mirroring (and duration-only records never
+  // produced trace events in the first place).
+  profiler.AttachChromeTrace(nullptr);
+  const std::size_t before = trace.num_events();
+  profiler.RecordLaneSpan(1, 0, 100);
+  profiler.RecordDuration("sweep.cell", 100);
+  EXPECT_EQ(trace.num_events(), before);
+}
+
+TEST(ChromeTraceTest, WriteFileRoundTrips) {
+  ChromeTraceWriter trace;
+  trace.SetThreadName(1, "lane disk 0");
+  trace.AddComplete(1, "span", 0, 10);
+  const std::string path =
+      testing::TempDir() + "/chrome_trace_test_out.json";
+  ASSERT_TRUE(trace.WriteFile(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream body;
+  body << in.rdbuf();
+  EXPECT_EQ(body.str(), trace.ToJson() + "\n");
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTraceTest, WriteFileToBadPathFails) {
+  ChromeTraceWriter trace;
+  EXPECT_FALSE(trace.WriteFile("/nonexistent-dir/trace.json").ok());
+}
+
+}  // namespace
+}  // namespace cmfs

@@ -1,0 +1,269 @@
+#include "obs/phase_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "sim/failure_drill.h"
+#include "util/thread_pool.h"
+
+// The profiler's two contracts: (1) under a FakeClock every phase total
+// is exact — no tolerance windows — so regressions in the timer wiring
+// are caught to the nanosecond; (2) attaching a profiler to a scenario
+// changes no determinism-checked byte (result string, registry JSON,
+// event trace), at any lane count. Carries the `tsan-parallel` label:
+// sweep cells and lane spans record from worker threads.
+
+namespace cmfs {
+namespace {
+
+constexpr std::int64_t kMillion = 1'000'000;
+
+TEST(FakeClockTest, AdvanceAndAutoStep) {
+  FakeClock manual(100);
+  EXPECT_EQ(manual.NowNanos(), 100);
+  EXPECT_EQ(manual.NowNanos(), 100);  // step 0: stands still
+  manual.Advance(42);
+  EXPECT_EQ(manual.NowNanos(), 142);
+
+  FakeClock stepping(0, 10);
+  // Returns the pre-advance reading, then steps: consecutive readers get
+  // distinct, deterministic timestamps.
+  EXPECT_EQ(stepping.NowNanos(), 0);
+  EXPECT_EQ(stepping.NowNanos(), 10);
+  EXPECT_EQ(stepping.now_ns(), 20);
+}
+
+TEST(PhaseProfilerTest, ScopedTimerRecordsExactTotals) {
+  FakeClock clock;
+  PhaseProfiler profiler(&clock);
+  {
+    ScopedPhaseTimer timer(&profiler, "x");
+    clock.Advance(5 * kMillion);
+  }
+  {
+    ScopedPhaseTimer timer(&profiler, "x");
+    clock.Advance(3 * kMillion);
+  }
+  {
+    ScopedPhaseTimer timer(&profiler, "y");
+    clock.Advance(kMillion);
+  }
+  const auto phases = profiler.phases();
+  ASSERT_EQ(phases.count("x"), 1u);
+  EXPECT_EQ(phases.at("x").count, 2);
+  EXPECT_DOUBLE_EQ(phases.at("x").total_s, 0.008);
+  EXPECT_EQ(phases.at("x").time_s.count(), 2);
+  EXPECT_DOUBLE_EQ(phases.at("x").time_s.max(), 0.005);
+  ASSERT_EQ(phases.count("y"), 1u);
+  EXPECT_DOUBLE_EQ(phases.at("y").total_s, 0.001);
+}
+
+TEST(PhaseProfilerTest, NullProfilerTimerIsNoOp) {
+  // Must not dereference anything; call sites stay unconditional.
+  ScopedPhaseTimer timer(nullptr, "x");
+}
+
+TEST(PhaseProfilerTest, LaneRoundUtilizationMath) {
+  FakeClock clock;
+  PhaseProfiler profiler(&clock);
+  // mean = 25ns, busiest = 40ns: ratio 0.625, idle 0.375.
+  profiler.RecordLaneRound({10, 20, 30, 40});
+  const auto lanes = profiler.lanes();
+  EXPECT_EQ(lanes.rounds, 1);
+  EXPECT_DOUBLE_EQ(lanes.busy_ratio.mean(), 0.625);
+  EXPECT_DOUBLE_EQ(lanes.idle_fraction.mean(), 0.375);
+  EXPECT_DOUBLE_EQ(lanes.busiest_s.mean(), 40e-9);
+}
+
+TEST(PhaseProfilerTest, EmptyAndIdleLaneRounds) {
+  FakeClock clock;
+  PhaseProfiler profiler(&clock);
+  profiler.RecordLaneRound({});  // no active lanes: no utilization
+  EXPECT_EQ(profiler.lanes().rounds, 0);
+  // All-zero busy times: perfectly balanced by convention (ratio 1).
+  profiler.RecordLaneRound({0, 0, 0});
+  const auto lanes = profiler.lanes();
+  EXPECT_EQ(lanes.rounds, 1);
+  EXPECT_DOUBLE_EQ(lanes.busy_ratio.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(lanes.idle_fraction.mean(), 0.0);
+}
+
+TEST(PhaseProfilerTest, ConcurrentRecordDurationIsSafe) {
+  FakeClock clock(0, 1);
+  PhaseProfiler profiler(&clock);
+  ThreadPool pool(8);
+  pool.ParallelFor(256, [&profiler](std::int64_t i) {
+    profiler.RecordDuration("sweep.cell", (i + 1) * 1000);
+  });
+  const auto phases = profiler.phases();
+  ASSERT_EQ(phases.count("sweep.cell"), 1u);
+  EXPECT_EQ(phases.at("sweep.cell").count, 256);
+  // sum_{i=1..256} i us = 32896 us.
+  EXPECT_DOUBLE_EQ(phases.at("sweep.cell").total_s, 32896e-6);
+}
+
+TEST(PhaseProfilerTest, ToStringIsDeterministicUnderFakeClock) {
+  FakeClock clock;
+  PhaseProfiler profiler(&clock);
+  {
+    ScopedPhaseTimer timer(&profiler, "server.round");
+    clock.Advance(2 * kMillion);
+  }
+  profiler.RecordLaneRound({10, 20, 30, 40});
+  const std::string report = profiler.ToString();
+  EXPECT_NE(report.find("server.round"), std::string::npos);
+  EXPECT_NE(report.find("lane"), std::string::npos);
+  EXPECT_EQ(report, profiler.ToString());
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: profiler attached to a real scenario run.
+
+ScenarioConfig StormConfig() {
+  ScenarioConfig config;
+  config.scheme = Scheme::kDeclustered;
+  config.num_disks = 8;
+  config.parity_group = 4;
+  config.q = 8;
+  config.f = 1;
+  config.block_size = 64;
+  config.num_streams = 16;
+  config.stream_blocks = 60;
+  config.total_rounds = 120;
+  config.schedule.transients.push_back(TransientWindow{1, 5, 15, 1.0, 2});
+  config.schedule.fail_stops.push_back(FailStopEvent{3, 35});
+  config.schedule.swaps.push_back(SwapEvent{3, 45, 4});
+  return config;
+}
+
+TEST(PhaseProfilerTest, ScenarioPhaseStructure) {
+  FakeClock clock(0, 1000);  // every clock reading 1us apart
+  PhaseProfiler profiler(&clock);
+  ScenarioConfig config = StormConfig();
+  config.profiler = &profiler;
+  Result<ScenarioResult> run = RunScenario(config);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  const auto phases = profiler.phases();
+  ASSERT_EQ(phases.count("server.round"), 1u);
+  const std::int64_t rounds = phases.at("server.round").count;
+  EXPECT_GT(rounds, 0);
+  // Every round plans and delivers exactly once.
+  ASSERT_EQ(phases.count("server.plan"), 1u);
+  EXPECT_EQ(phases.at("server.plan").count, rounds);
+  ASSERT_EQ(phases.count("server.deliver"), 1u);
+  EXPECT_EQ(phases.at("server.deliver").count, rounds);
+  ASSERT_EQ(phases.count("scenario.run"), 1u);
+  EXPECT_EQ(phases.at("scenario.run").count, 1);
+  // The swap triggers an online rebuild, so rebuild rounds ran.
+  ASSERT_EQ(phases.count("rebuild.round"), 1u);
+  EXPECT_GT(phases.at("rebuild.round").count, 0);
+  // Sub-phases nest inside the round span: under a monotonic clock
+  // their totals cannot exceed the round total.
+  double sub_total = 0.0;
+  for (const char* sub : {"server.plan", "server.stage", "server.lanes",
+                          "server.merge", "server.reconstruct",
+                          "server.deliver"}) {
+    auto it = phases.find(sub);
+    if (it != phases.end()) sub_total += it->second.total_s;
+  }
+  EXPECT_LE(sub_total, phases.at("server.round").total_s);
+  // Rounds with active lanes produced utilization samples.
+  EXPECT_GT(profiler.lanes().rounds, 0);
+  EXPECT_GT(phases.count("server.lane_busy"), 0u);
+}
+
+struct LaneRun {
+  std::string result;
+  std::string json;
+  std::string trace;
+};
+
+LaneRun RunProfiled(ScenarioConfig config, int lanes) {
+  MetricsRegistry registry;
+  Trace trace;
+  FakeClock clock(0, 1000);
+  PhaseProfiler profiler(&clock);
+  config.lanes = lanes;
+  config.metrics = &registry;
+  config.trace = &trace;
+  config.profiler = &profiler;
+  Result<ScenarioResult> run = RunScenario(config);
+  EXPECT_TRUE(run.ok()) << "lanes=" << lanes << ": "
+                        << run.status().ToString();
+  LaneRun out;
+  if (!run.ok()) return out;
+  out.result = run->ToString();
+  JsonWriter json;
+  json.BeginObject();
+  AppendRegistryJson(registry, &json);
+  json.EndObject();
+  out.json = json.TakeString();
+  out.trace = FormatEvents(trace.events(), trace.size());
+  return out;
+}
+
+TEST(PhaseProfilerTest, ProfiledRunStaysLaneInvariant) {
+  // The side-channel guarantee: with a profiler attached, every
+  // determinism-checked byte still matches across lane counts.
+  const ScenarioConfig config = StormConfig();
+  const LaneRun baseline = RunProfiled(config, 1);
+  for (int lanes : {2, 8}) {
+    const LaneRun parallel = RunProfiled(config, lanes);
+    EXPECT_EQ(baseline.result, parallel.result) << "lanes=" << lanes;
+    EXPECT_EQ(baseline.json, parallel.json) << "lanes=" << lanes;
+    EXPECT_EQ(baseline.trace, parallel.trace) << "lanes=" << lanes;
+  }
+}
+
+TEST(PhaseProfilerTest, ProfilerDoesNotChangeUnprofiledBytes) {
+  // Attach vs no-attach must also agree: the profiler may not perturb
+  // the simulation it observes.
+  ScenarioConfig config = StormConfig();
+  MetricsRegistry registry;
+  Trace trace;
+  config.metrics = &registry;
+  config.trace = &trace;
+  Result<ScenarioResult> bare = RunScenario(config);
+  ASSERT_TRUE(bare.ok());
+  JsonWriter json;
+  json.BeginObject();
+  AppendRegistryJson(registry, &json);
+  json.EndObject();
+  const std::string bare_json = json.TakeString();
+
+  const LaneRun profiled = RunProfiled(StormConfig(), 1);
+  EXPECT_EQ(bare->ToString(), profiled.result);
+  EXPECT_EQ(bare_json, profiled.json);
+}
+
+TEST(PhaseProfilerTest, ProfileJsonSectionShape) {
+  FakeClock clock;
+  PhaseProfiler profiler(&clock);
+  {
+    ScopedPhaseTimer timer(&profiler, "server.round");
+    clock.Advance(4 * kMillion);
+  }
+  profiler.RecordLaneRound({10, 20});
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("profile");
+  AppendProfileJson(profiler, &json);
+  json.EndObject();
+  const std::string out = json.TakeString();
+  EXPECT_NE(out.find("\"profile\":"), std::string::npos);
+  EXPECT_NE(out.find("\"server.round\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"lanes\":{\"rounds\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"busy_ratio\""), std::string::npos);
+  EXPECT_NE(out.find("\"idle_fraction\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmfs

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/phase_profiler.h"
 #include "sim/driver.h"
 
 namespace cmfs {
@@ -138,6 +139,25 @@ TEST(SweepRunTest, CapacitySimGridMatchesAcrossWorkerCounts) {
     }
     EXPECT_EQ(merged_n.ToString(), merged1.ToString());
   }
+}
+
+TEST(SweepRunTest, ProfilerRecordsOneSampleNanoPerCell) {
+  SweepSpec spec;
+  spec.parity_groups = {2, 4, 8};
+  spec.buffer_bytes = {1, 2};  // 6 cells
+  FakeClock clock(0, 1000);
+  PhaseProfiler profiler(&clock);
+  MetricsRegistry merged;
+  const std::vector<CellResult> results =
+      RunSweep(spec, 4, ExerciseCell, &merged, &profiler);
+  ASSERT_EQ(results.size(), 6u);
+  const auto phases = profiler.phases();
+  ASSERT_EQ(phases.count("sweep.cell"), 1u);
+  EXPECT_EQ(phases.at("sweep.cell").count, 6);
+  // Profiled and unprofiled runs merge to identical registries.
+  MetricsRegistry bare;
+  RunSweep(spec, 1, ExerciseCell, &bare);
+  EXPECT_EQ(merged.ToString(), bare.ToString());
 }
 
 TEST(SweepRunTest, EmptyCellListYieldsEmptyResults) {

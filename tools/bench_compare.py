@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Diff two bench --json artifacts and gate perf/behavior regressions.
+
+The repo's benches are deterministic simulations: counters, gauges,
+histograms of *simulated* time, tables and QoS rows must match the
+committed baseline exactly (any drift is a behavior change — regenerate
+the baseline deliberately, with the change that caused it). The one
+exception is the `profile` section (docs/observability.md): it measures
+host wall-clock, so it is gated with a ratio threshold instead — a phase
+whose total time grows past --time-threshold x baseline is a perf
+regression.
+
+Usage:
+  bench_compare.py BASELINE.json CANDIDATE.json [--time-threshold R]
+                   [--all]
+
+  --time-threshold R   max allowed candidate/baseline wall-time ratio
+                       for profile phase totals (default 1.5; ctest uses
+                       2.0 — generous for a loaded single-core CI box)
+  --all                print every compared metric, not just changes
+
+Prints a delta table and exits nonzero iff any regression was found.
+Regenerate the baseline with:
+  ./build/bench/bench_eq1_validation --json BENCH_baseline.json
+
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+# Relative tolerance for float metrics that are deterministic in theory
+# but travel through %.10g serialization (and may be recomputed by a
+# different compiler's FP contraction).
+REL_EPS = 1e-6
+
+# Wall-clock phases shorter than this (seconds) are noise-dominated on a
+# shared CI box; they are reported but never gated.
+MIN_GATED_SECONDS = 1e-3
+
+
+def rel_delta(base, cand):
+    if base == cand:
+        return 0.0
+    scale = max(abs(base), abs(cand), 1e-30)
+    return abs(cand - base) / scale
+
+
+class Comparison:
+    def __init__(self, time_threshold):
+        self.time_threshold = time_threshold
+        self.rows = []  # (status, metric, baseline, candidate, note)
+        self.regressions = 0
+
+    def add(self, status, metric, base, cand, note=""):
+        self.rows.append((status, metric, base, cand, note))
+        if status == "REGRESSION":
+            self.regressions += 1
+
+    def exact(self, metric, base, cand):
+        """Deterministic scalar: any difference beyond FP noise fails."""
+        if base is None and cand is None:
+            self.add("ok", metric, base, cand)
+        elif cand is None or base is None:
+            self.add("REGRESSION", metric, base, cand, "value vanished"
+                     if cand is None else "value appeared")
+        elif isinstance(base, (int, float)) and isinstance(cand, (int, float)):
+            if rel_delta(float(base), float(cand)) <= REL_EPS:
+                self.add("ok", metric, base, cand)
+            else:
+                self.add("REGRESSION", metric, base, cand,
+                         "deterministic metric drifted")
+        elif base == cand:
+            self.add("ok", metric, base, cand)
+        else:
+            self.add("REGRESSION", metric, base, cand,
+                     "deterministic metric drifted")
+
+    def walltime(self, metric, base, cand):
+        """Wall-clock total: candidate may not exceed threshold x base."""
+        if cand is None:
+            self.add("REGRESSION", metric, base, cand, "phase vanished")
+            return
+        if base is None:
+            self.add("new", metric, base, cand)
+            return
+        if base < MIN_GATED_SECONDS and cand < MIN_GATED_SECONDS:
+            self.add("ok", metric, base, cand, "below gating floor")
+            return
+        ratio = cand / base if base > 0 else float("inf")
+        if ratio > self.time_threshold:
+            self.add("REGRESSION", metric, base, cand,
+                     f"{ratio:.2f}x > {self.time_threshold:.2f}x budget")
+        else:
+            self.add("ok", metric, base, cand, f"{ratio:.2f}x")
+
+    def scalar_map(self, section, base, cand, check):
+        base = base or {}
+        cand = cand or {}
+        for key in sorted(base):
+            check(f"{section}.{key}", base.get(key), cand.get(key))
+        for key in sorted(set(cand) - set(base)):
+            self.add("new", f"{section}.{key}", None, cand[key])
+
+    def histogram(self, metric, base, cand):
+        """Deterministic digest: count exact, moments within FP noise."""
+        if not isinstance(base, dict) or not isinstance(cand, dict):
+            self.exact(metric, base, cand)
+            return
+        self.exact(f"{metric}.count", base.get("count"), cand.get("count"))
+        for key in ("mean", "p50", "p99"):
+            if key in base or key in cand:
+                self.exact(f"{metric}.{key}", base.get(key), cand.get(key))
+
+
+def compare(baseline, candidate, time_threshold):
+    c = Comparison(time_threshold)
+    if baseline.get("bench") != candidate.get("bench"):
+        c.add("REGRESSION", "bench", baseline.get("bench"),
+              candidate.get("bench"), "different benches are not comparable")
+        return c
+    c.exact("scheme", baseline.get("scheme"), candidate.get("scheme"))
+    c.scalar_map("params", baseline.get("params"), candidate.get("params"),
+                 c.exact)
+    c.scalar_map("counters", baseline.get("counters"),
+                 candidate.get("counters"), c.exact)
+    c.scalar_map("gauges", baseline.get("gauges"), candidate.get("gauges"),
+                 c.exact)
+    c.scalar_map("histograms", baseline.get("histograms"),
+                 candidate.get("histograms"), c.histogram)
+
+    b_tl = baseline.get("timeline") or {}
+    n_tl = candidate.get("timeline") or {}
+    for key in ("rounds", "degraded_rounds"):
+        if key in b_tl or key in n_tl:
+            c.exact(f"timeline.{key}", b_tl.get(key), n_tl.get(key))
+    if "round_time_s" in b_tl or "round_time_s" in n_tl:
+        c.histogram("timeline.round_time_s", b_tl.get("round_time_s"),
+                    n_tl.get("round_time_s"))
+
+    b_streams = baseline.get("streams")
+    n_streams = candidate.get("streams")
+    if b_streams is not None or n_streams is not None:
+        c.exact("streams.length",
+                len(b_streams) if b_streams is not None else None,
+                len(n_streams) if n_streams is not None else None)
+
+    b_table = baseline.get("table")
+    n_table = candidate.get("table")
+    if b_table is not None or n_table is not None:
+        c.exact("table.rows.length",
+                len((b_table or {}).get("rows", [])),
+                len((n_table or {}).get("rows", [])))
+
+    # --- profile: the wall-clock side channel, ratio-gated ---------------
+    b_prof = baseline.get("profile") or {}
+    n_prof = candidate.get("profile") or {}
+    b_phases = b_prof.get("phases") or {}
+    n_phases = n_prof.get("phases") or {}
+    for name in sorted(b_phases):
+        base_phase = b_phases[name]
+        cand_phase = n_phases.get(name)
+        c.exact(f"profile.{name}.count", base_phase.get("count"),
+                (cand_phase or {}).get("count"))
+        c.walltime(f"profile.{name}.total_s", base_phase.get("total_s"),
+                   (cand_phase or {}).get("total_s"))
+    for name in sorted(set(n_phases) - set(b_phases)):
+        c.add("new", f"profile.{name}.total_s", None,
+              n_phases[name].get("total_s"))
+    b_lanes = b_prof.get("lanes") or {}
+    n_lanes = n_prof.get("lanes") or {}
+    if b_lanes or n_lanes:
+        c.exact("profile.lanes.rounds", b_lanes.get("rounds"),
+                n_lanes.get("rounds"))
+    return c
+
+
+def fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--time-threshold", type=float, default=1.5)
+    parser.add_argument("--all", action="store_true",
+                        help="print unchanged metrics too")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as f:
+            baseline = json.load(f)
+        with open(args.candidate, "r", encoding="utf-8") as f:
+            candidate = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL cannot load artifacts: {e}", file=sys.stderr)
+        return 2
+
+    c = compare(baseline, candidate, args.time_threshold)
+
+    name_w = max((len(r[1]) for r in c.rows), default=10)
+    printed = 0
+    print(f"{'status':<12} {'metric':<{name_w}} {'baseline':>14} "
+          f"{'candidate':>14}  note")
+    for status, metric, base, cand, note in c.rows:
+        if status == "ok" and not args.all:
+            continue
+        printed += 1
+        print(f"{status:<12} {metric:<{name_w}} {fmt(base):>14} "
+              f"{fmt(cand):>14}  {note}")
+    if printed == 0:
+        print("(no changes)")
+    total = len(c.rows)
+    print(f"\ncompared {total} metrics: {c.regressions} regression(s), "
+          f"time threshold {args.time_threshold:.2f}x")
+    if c.regressions:
+        print("FAIL: regressions vs baseline — if intentional, regenerate "
+              "BENCH_baseline.json (see header)", file=sys.stderr)
+        return 1
+    print(f"OK   {args.candidate} within budget of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

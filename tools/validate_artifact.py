@@ -18,8 +18,17 @@ import sys
 
 ALLOWED_TOP_LEVEL = {
     "bench", "scheme", "params", "counters", "gauges", "histograms",
-    "per_disk", "timeline", "streams", "table",
+    "per_disk", "timeline", "streams", "table", "profile",
 }
+
+# profile.phases entries whose spans nest inside "server.round": their
+# totals can never exceed the round total under a monotonic clock.
+SERVER_SUB_PHASES = {
+    "server.plan", "server.stage", "server.lanes", "server.merge",
+    "server.reconstruct", "server.deliver",
+}
+# Tolerance for the nesting check: totals travel through %.10g.
+PROFILE_NESTING_SLACK = 1e-6
 
 HISTOGRAM_DIGEST_KEYS = {"min", "max", "mean", "p50", "p95", "p99"}
 
@@ -221,6 +230,88 @@ class Validator:
                 self.error(f"table.rows[{i}]",
                            f"width {len(row)} != {len(columns)} columns")
 
+    def check_profile(self, section):
+        if not isinstance(section, dict):
+            self.error("profile", "must be an object")
+            return
+        extras = set(section) - {"phases", "lanes"}
+        if extras:
+            self.error("profile", f"unknown keys {sorted(extras)}")
+        phases = section.get("phases")
+        if not isinstance(phases, dict):
+            self.error("profile.phases", "must be an object")
+            phases = {}
+        totals = {}
+        for name, phase in phases.items():
+            where = f"profile.phases.{name}"
+            if not isinstance(phase, dict):
+                self.error(where, "must be an object")
+                continue
+            missing = {"count", "total_s", "time_s"} - set(phase)
+            if missing:
+                self.error(where, f"missing {sorted(missing)}")
+                continue
+            extras = set(phase) - {"count", "total_s", "time_s"}
+            if extras:
+                self.error(where, f"unknown keys {sorted(extras)}")
+            count = phase["count"]
+            if (not isinstance(count, int) or isinstance(count, bool)
+                    or count < 0):
+                self.error(where,
+                           f"'count' must be a non-negative int, got "
+                           f"{count!r}")
+            total = phase["total_s"]
+            self.check_number(total, f"{where}.total_s")
+            if isinstance(total, (int, float)) and not isinstance(
+                    total, bool) and total < 0:
+                self.error(f"{where}.total_s", "must be >= 0")
+            else:
+                totals[name] = total
+            self.check_histogram(phase["time_s"], f"{where}.time_s")
+            digest = phase["time_s"]
+            if (isinstance(digest, dict) and isinstance(count, int)
+                    and digest.get("count") != count):
+                self.error(where,
+                           f"time_s.count {digest.get('count')!r} != "
+                           f"count {count!r}")
+        # Sub-phase spans nest inside the round span, so their wall-time
+        # totals cannot exceed it — a violation means the profiler's
+        # clock went backwards or phases were recorded outside a round.
+        round_total = totals.get("server.round")
+        if isinstance(round_total, (int, float)):
+            sub_total = sum(
+                totals[name] for name in SERVER_SUB_PHASES
+                if isinstance(totals.get(name), (int, float)))
+            budget = round_total * (1.0 + PROFILE_NESTING_SLACK) \
+                + PROFILE_NESTING_SLACK
+            if sub_total > budget:
+                self.error(
+                    "profile.phases",
+                    f"sub-phase totals {sub_total:.9g}s exceed "
+                    f"server.round total {round_total:.9g}s")
+        lanes = section.get("lanes")
+        if lanes is None:
+            return
+        if not isinstance(lanes, dict):
+            self.error("profile.lanes", "must be an object")
+            return
+        required = {"rounds", "busy_ratio", "idle_fraction", "busiest_s"}
+        missing = required - set(lanes)
+        if missing:
+            self.error("profile.lanes", f"missing {sorted(missing)}")
+        extras = set(lanes) - required
+        if extras:
+            self.error("profile.lanes", f"unknown keys {sorted(extras)}")
+        if "rounds" in lanes:
+            rounds = lanes["rounds"]
+            if (not isinstance(rounds, int) or isinstance(rounds, bool)
+                    or rounds < 0):
+                self.error("profile.lanes.rounds",
+                           f"must be a non-negative int, got {rounds!r}")
+        for key in ("busy_ratio", "idle_fraction", "busiest_s"):
+            if key in lanes:
+                self.check_histogram(lanes[key], f"profile.lanes.{key}")
+
     def validate(self, artifact):
         if not isinstance(artifact, dict):
             self.error("(root)", "artifact must be a JSON object")
@@ -253,6 +344,8 @@ class Validator:
             self.check_streams(artifact["streams"])
         if "table" in artifact:
             self.check_table(artifact["table"])
+        if "profile" in artifact:
+            self.check_profile(artifact["profile"])
 
 
 def validate_file(path):

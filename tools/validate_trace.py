@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate a --trace-out Chrome trace-event artifact.
+
+Checks that the JSON a bench wrote with --trace-out is actually loadable
+by Perfetto / chrome://tracing and carries the content the tentpole
+promises: well-formed trace events, at least --min-lanes lane tracks
+(thread_name metadata "lane disk N") each with at least one duration
+("X") event, and the pool-occupancy / lane_critical counter tracks.
+
+Usage: validate_trace.py TRACE.json [--min-lanes N]
+
+Exits 0 iff the trace conforms. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_COUNTERS = {"pool_occupancy_blocks", "lane_critical"}
+
+
+def validate(path, min_lanes):
+    errors = []
+
+    def error(msg):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        error(f"cannot load: {e}")
+        return errors
+
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        error("root must be an object with 'traceEvents'")
+        return errors
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        error("'traceEvents' must be an array")
+        return errors
+
+    lane_tids = {}  # tid -> lane name
+    duration_tids = set()
+    counters = set()
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            error(f"{where}: must be an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "C", "M"):
+            error(f"{where}: unknown ph {ph!r}")
+            continue
+        for key in ("pid", "tid", "name"):
+            if key not in event:
+                error(f"{where}: missing '{key}'")
+        if ph == "M":
+            if event.get("name") == "thread_name":
+                name = (event.get("args") or {}).get("name", "")
+                if isinstance(name, str) and name.startswith("lane "):
+                    lane_tids[event.get("tid")] = name
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            error(f"{where}: 'ts' must be a non-negative number")
+        if ph == "X":
+            dur = event.get("dur")
+            if (not isinstance(dur, (int, float)) or isinstance(dur, bool)
+                    or dur < 0):
+                error(f"{where}: 'dur' must be a non-negative number")
+            duration_tids.add(event.get("tid"))
+        else:  # counter
+            counters.add(event.get("name"))
+            if "value" not in (event.get("args") or {}):
+                error(f"{where}: counter missing args.value")
+
+    if len(lane_tids) < min_lanes:
+        error(f"expected >= {min_lanes} lane tracks, found {len(lane_tids)} "
+              f"({sorted(lane_tids.values())})")
+    for tid, name in sorted(lane_tids.items()):
+        if tid not in duration_tids:
+            error(f"lane track {name!r} (tid {tid}) has no duration event")
+    missing = REQUIRED_COUNTERS - counters
+    if missing:
+        error(f"missing counter tracks {sorted(missing)}")
+    return errors
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("trace")
+    parser.add_argument("--min-lanes", type=int, default=1)
+    args = parser.parse_args(argv[1:])
+    errors = validate(args.trace, args.min_lanes)
+    if errors:
+        for line in errors:
+            print(f"FAIL {line}", file=sys.stderr)
+        return 1
+    print(f"OK   {args.trace}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
