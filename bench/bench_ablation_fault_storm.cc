@@ -69,6 +69,8 @@ FaultSchedule FullStorm() {
 
 CsvTable g_table;
 int g_lanes = 1;  // --lanes N; byte-identical output at any setting
+// --double-buffer; overlaps produce/commit, byte-identical either way.
+bool g_double_buffer = false;
 // Ledger of the full-storm run of the first scheme: exported as the
 // artifact's `streams` section (the worst-case scenario's per-stream
 // QoS is what an operator wants in the report).
@@ -98,6 +100,7 @@ void RunRow(const char* scenario, const SchemeShape& shape,
   config.total_rounds = 170;
   config.priority_classes = 6;
   config.lanes = g_lanes;
+  config.double_buffer = g_double_buffer;
   config.schedule = schedule;
   config.qos = qos;
   config.profiler = &g_profiler;
@@ -157,6 +160,7 @@ int main(int argc, char** argv) {
   using namespace cmfs;
   bench::PrintHeader("A11: degraded-mode service under fault storms");
   g_lanes = bench::LanesFromArgs(argc, argv);
+  g_double_buffer = bench::DoubleBufferFromArgs(argc, argv);
   g_table.columns = {"scenario",  "scheme",    "admitted",
                      "deliveries", "hiccups",  "transient_errors",
                      "recovered",  "reconstructions", "shed_streams",
@@ -185,7 +189,8 @@ int main(int argc, char** argv) {
                    {"stream_blocks", 132},
                    {"total_rounds", 170},
                    {"priority_classes", 6},
-                   {"lanes", g_lanes}};
+                   {"lanes", g_lanes},
+                   {"double_buffer", g_double_buffer ? 1 : 0}};
   report.qos = &g_storm_qos;
   report.table = &g_table;
   report.profile = &g_profiler;

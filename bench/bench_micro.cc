@@ -21,6 +21,7 @@
 #include "disk/disk_array.h"
 #include "layout/declustered_layout.h"
 #include "layout/layout.h"
+#include "obs/phase_profiler.h"
 #include "sim/fault_schedule.h"
 #include "sim/workload.h"
 #include "util/rng.h"
@@ -206,14 +207,22 @@ void BM_VectorPoolPutFindErase(benchmark::State& state) {
 }
 BENCHMARK(BM_VectorPoolPutFindErase);
 
-// --- Round engine: intra-round per-disk lanes ---------------------------
+// --- Round engine: intra-round per-disk lanes + pipelined rounds --------
 //
 // One declustered serving cell driven directly (no scenario wrapper):
 // 16 streams on 8 disks, content verification on, K rounds per
-// iteration. The lane count is the benchmark argument — by the engine's
-// determinism contract the served bytes and metrics are identical at
-// every setting, so the ratio between Arg(1) and Arg(8) is pure
-// wall-clock speedup of the parallel disk service.
+// iteration. The lane count and the double-buffer flag are the benchmark
+// arguments — by the engine's determinism contract the served bytes and
+// metrics are identical at every setting, so the ratio between
+// lanes:1/db:0 and lanes:8/db:1 is pure wall-clock speedup of the
+// parallel disk service plus the round N/N+1 overlap.
+//
+// Each variant also reports `serial_fraction`: the share of total round
+// wall-clock spent in the phases that must stay sequential for
+// determinism (server.merge + server.commit + server.deliver), derived
+// from an attached PhaseProfiler. Sharding and pipelining attack exactly
+// this fraction, so it is the portable, core-count-independent signal of
+// the round engine's headroom (Amdahl's serial term).
 struct RoundEngineHarness {
   static constexpr int kNumDisks = 8;
   static constexpr int kParityGroup = 4;
@@ -257,29 +266,63 @@ struct RoundEngineHarness {
     }
   }
 
-  // Fresh injector + server on the persistent, populated array.
-  void StartIteration(int lanes, int fail_disk) {
+  // Fresh injector + server on the persistent, populated array. The
+  // server is always driven through its round hooks, like the scenario
+  // runner: the injector's per-round clock is the prolog, and the stall
+  // predicate fences the round N/N+1 overlap off the end of the
+  // iteration and off every open fault window.
+  void StartIteration(int lanes, bool double_buffer, int fail_disk) {
     injector_.emplace(&schedule_, 0x5eedULL);
     array_->AttachInjector(&*injector_);
     ServerConfig config;
     config.block_size = kBlockSize;
     config.lanes = lanes;
+    config.double_buffer = double_buffer;
+    config.profiler = &profiler_;
     server_.emplace(&*array_, setup_.controller.get(), config);
+    server_->SetRoundHooks(
+        [this](std::int64_t round) {
+          injector_->BeginRound(round);
+        },
+        [this](std::int64_t next) {
+          if (next >= kRoundsPerIteration) return true;
+          for (const TransientWindow& w : schedule_.transients) {
+            if (next >= w.first_round && next - 1 <= w.last_round) {
+              return true;
+            }
+          }
+          for (const SlowWindow& w : schedule_.slow_windows) {
+            if (next >= w.first_round && next - 1 <= w.last_round) {
+              return true;
+            }
+          }
+          return false;
+        });
+    admitted_ = 0;
     for (int i = 0; i < kNumStreams; ++i) {
-      server_->TryAdmit(i, placements_[static_cast<std::size_t>(i)].space,
-                        placements_[static_cast<std::size_t>(i)].start,
-                        kStreamBlocks);
+      if (server_->TryAdmit(i,
+                            placements_[static_cast<std::size_t>(i)].space,
+                            placements_[static_cast<std::size_t>(i)].start,
+                            kStreamBlocks)) {
+        ++admitted_;
+      }
     }
     if (fail_disk >= 0) server_->FailDisk(fail_disk);
   }
 
-  // K rounds of the hot path. Returns false on any violated guarantee.
+  // K rounds of the hot path. Returns false on any violated guarantee —
+  // including a wrong delivery count, so a variant can't look fast by
+  // silently serving less. Every admitted stream delivers once per
+  // round after the first (reads lead deliveries by one round) in all
+  // three schedules, and none completes or sheds within the iteration.
   bool RunTimedRounds() {
     for (int round = 0; round < kRoundsPerIteration; ++round) {
-      injector_->BeginRound(round);
       if (!server_->RunRound().ok()) return false;
     }
-    return true;
+    return server_->metrics().deliveries ==
+               static_cast<std::int64_t>(admitted_) *
+                   (kRoundsPerIteration - 1) &&
+           server_->metrics().hiccups == 0;
   }
 
   // Return the cell to its admitted-nothing state so the controller can
@@ -298,46 +341,74 @@ struct RoundEngineHarness {
   std::optional<DiskArray> array_;
   std::optional<ScheduledFaultInjector> injector_;
   std::optional<Server> server_;
+  PhaseProfiler profiler_;
+  int admitted_ = 0;
 };
 
 void RunRoundEngineBench(benchmark::State& state,
                          const FaultSchedule& schedule, int fail_disk) {
   RoundEngineHarness harness(schedule);
   const int lanes = static_cast<int>(state.range(0));
+  const bool double_buffer = state.range(1) != 0;
   for (auto _ : state) {
     state.PauseTiming();
-    harness.StartIteration(lanes, fail_disk);
+    harness.StartIteration(lanes, double_buffer, fail_disk);
     state.ResumeTiming();
     const bool ok = harness.RunTimedRounds();
     state.PauseTiming();
-    if (!ok) state.SkipWithError("round engine violated a guarantee");
     harness.EndIteration(fail_disk);
+    if (!ok) {
+      // No Resume after an error: the state machine forbids it.
+      state.SkipWithError("round engine violated a guarantee");
+      break;
+    }
     state.ResumeTiming();
+  }
+  const auto phases = harness.profiler_.phases();
+  const auto total = [&phases](const char* name) {
+    const auto it = phases.find(name);
+    return it == phases.end() ? 0.0 : it->second.total_s;
+  };
+  const double round_s = total("server.round");
+  if (round_s > 0.0) {
+    state.counters["serial_fraction"] =
+        (total("server.merge") + total("server.commit") +
+         total("server.deliver")) /
+        round_s;
+    state.counters["overlap_stall_s"] = total("server.overlap_stall");
   }
   state.SetItemsProcessed(state.iterations() *
                           RoundEngineHarness::kRoundsPerIteration);
 }
 
-// Fault-free service: every read succeeds first try.
+// Fault-free service: every read succeeds first try. The only case
+// where the double-buffer overlap runs unfenced for the whole
+// iteration.
 void BM_RoundEngineClean(benchmark::State& state) {
   RunRoundEngineBench(state, FaultSchedule{}, /*fail_disk=*/-1);
 }
 BENCHMARK(BM_RoundEngineClean)
-    ->Arg(1)->Arg(2)->Arg(8)
+    ->ArgNames({"lanes", "db"})
+    ->Args({1, 0})->Args({2, 0})->Args({8, 0})
+    ->Args({1, 1})->Args({8, 1})
     ->Unit(benchmark::kMillisecond);
 
 // Degraded mode: disk 0 failed throughout, so every group it hosts is
 // served via kRecovery reads and the lanes' partial-XOR accumulators.
+// With db:1 the server's own epoch barrier (failed disk) refuses every
+// overlap — the variant measures the cost of that refusal, not a win.
 void BM_RoundEngineDegraded(benchmark::State& state) {
   RunRoundEngineBench(state, FaultSchedule{}, /*fail_disk=*/0);
 }
 BENCHMARK(BM_RoundEngineDegraded)
-    ->Arg(1)->Arg(2)->Arg(8)
+    ->ArgNames({"lanes", "db"})
+    ->Args({1, 0})->Args({2, 0})->Args({8, 0})
+    ->Args({8, 1})
     ->Unit(benchmark::kMillisecond);
 
 // Fault storm: the failed disk plus a transient window on another, so
-// lanes also replay bounded retries and the merge replays the degraded
-// accounting.
+// lanes also replay bounded retries and the commit replays the degraded
+// accounting. Fully fenced under db:1, like Degraded.
 void BM_RoundEngineStorm(benchmark::State& state) {
   FaultSchedule schedule;
   schedule.transients.push_back(TransientWindow{
@@ -345,7 +416,9 @@ void BM_RoundEngineStorm(benchmark::State& state) {
   RunRoundEngineBench(state, schedule, /*fail_disk=*/0);
 }
 BENCHMARK(BM_RoundEngineStorm)
-    ->Arg(1)->Arg(2)->Arg(8)
+    ->ArgNames({"lanes", "db"})
+    ->Args({1, 0})->Args({2, 0})->Args({8, 0})
+    ->Args({8, 1})
     ->Unit(benchmark::kMillisecond);
 
 void BM_BuildDesign(benchmark::State& state) {

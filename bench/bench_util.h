@@ -84,6 +84,17 @@ inline int LanesFromArgs(int argc, char** argv) {
   return 1;
 }
 
+// True iff the bare flag "--double-buffer" is present. Overlaps round
+// N+1's produce with round N's commit (ScenarioConfig::double_buffer);
+// like --lanes, output is byte-identical either way — the flag trades
+// wall-clock only.
+inline bool DoubleBufferFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--double-buffer") return true;
+  }
+  return false;
+}
+
 // Value of "--<flag> <path>" if present, else "".
 inline std::string PathFromArgs(int argc, char** argv,
                                 std::string_view flag) {

@@ -24,6 +24,7 @@ void BlockArena::AddSlab() {
 }
 
 std::uint8_t* BlockArena::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (free_.empty()) AddSlab();
   std::uint8_t* block = free_.back();
   free_.pop_back();
@@ -34,6 +35,7 @@ std::uint8_t* BlockArena::Allocate() {
 
 void BlockArena::Release(std::uint8_t* block) {
   CMFS_CHECK(block != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
   CMFS_CHECK(outstanding_ > 0);
   --outstanding_;
   free_.push_back(block);

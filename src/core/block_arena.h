@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 // Slab allocator for fixed-size disk blocks.
@@ -22,8 +23,14 @@
 // read lanes stage bytes into arena blocks that the merge step then
 // adopts into buffer-pool entries without copying.
 //
-// Not thread-safe. The round engine keeps all Allocate/Release calls on
-// the merge thread; lanes only write *into* blocks handed to them.
+// Allocate/Release are serialized by an internal mutex: with the
+// pipelined round engine, round N+1's staging allocations (on the
+// produce thread) overlap round N's commit-time releases. The lock is
+// uncontended in the common case and tiny next to the block memcpy each
+// allocation exists to receive; lanes still only write *into* blocks
+// handed to them. The counters are plain reads — call them from one
+// thread at a time (quiescent points), as the tests and the round
+// engine's sequential commit do.
 
 namespace cmfs {
 
@@ -63,6 +70,7 @@ class BlockArena {
 
   std::int64_t block_size_;
   std::size_t blocks_per_slab_;
+  std::mutex mu_;
   std::size_t outstanding_ = 0;
   std::int64_t total_allocations_ = 0;
   std::vector<std::unique_ptr<std::uint8_t[]>> slabs_;

@@ -9,9 +9,20 @@
 
 namespace cmfs {
 
-BufferPool::BufferPool(std::int64_t block_size)
-    : block_size_(block_size), arena_(block_size) {
+BufferPool::BufferPool(std::int64_t block_size, int num_shards)
+    : block_size_(block_size) {
   CMFS_CHECK(block_size > 0);
+  CMFS_CHECK(num_shards >= 1);
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(block_size));
+  }
+}
+
+std::size_t BufferPool::ShardIndex(int shard) const {
+  CMFS_CHECK(shard >= 0 &&
+             static_cast<std::size_t>(shard) < shards_.size());
+  return static_cast<std::size_t>(shard);
 }
 
 void BufferPool::AttachMetrics(MetricsRegistry* registry) {
@@ -21,9 +32,9 @@ void BufferPool::AttachMetrics(MetricsRegistry* registry) {
 }
 
 void BufferPool::OnInsert() {
-  high_water_ = std::max(high_water_, resident_blocks());
+  high_water_ = std::max(high_water_, resident_);
   if (occupancy_hist_ != nullptr) {
-    occupancy_hist_->Add(static_cast<double>(resident_blocks()));
+    occupancy_hist_->Add(static_cast<double>(resident_));
   }
   if (high_water_gauge_ != nullptr) {
     high_water_gauge_->SetMax(static_cast<double>(high_water_));
@@ -31,9 +42,12 @@ void BufferPool::OnInsert() {
 }
 
 BufferPool::Entry& BufferPool::EnsureEntry(const Key& key, bool* inserted) {
-  auto [it, fresh] = entries_.try_emplace(key);
+  Shard& shard = ShardForKey(key);
+  auto [it, fresh] = shard.entries.try_emplace(key);
   if (fresh) {
-    it->second.data = ArenaBlock(arena_.Allocate(), block_size_);
+    it->second.data = ArenaBlock(shard.arena.Allocate(), block_size_);
+    shard.resident.fetch_add(1, std::memory_order_relaxed);
+    ++resident_;
   }
   *inserted = fresh;
   return it->second;
@@ -57,9 +71,16 @@ void BufferPool::Put(StreamId stream, int space, std::int64_t index,
 void BufferPool::PutAdopt(StreamId stream, int space, std::int64_t index,
                           std::uint8_t* block, bool parity_pending) {
   CMFS_CHECK(block != nullptr);
-  auto [it, inserted] = entries_.try_emplace(Key{stream, space, index});
+  const Key key{stream, space, index};
+  Shard& shard = ShardForKey(key);
+  auto [it, inserted] = shard.entries.try_emplace(key);
   Entry& entry = it->second;
-  if (!inserted) arena_.Release(entry.data.data());
+  if (!inserted) {
+    shard.arena.Release(entry.data.data());
+  } else {
+    shard.resident.fetch_add(1, std::memory_order_relaxed);
+    ++resident_;
+  }
   entry.data = ArenaBlock(block, block_size_);
   entry.parity_pending = parity_pending;
   OnInsert();
@@ -100,27 +121,103 @@ void BufferPool::AccumulateXor(StreamId stream, int space,
   XorBytes(entry.data.data(), partial, entry.data.size());
 }
 
+bool BufferPool::StagedPutAdopt(int shard_index, StreamId stream, int space,
+                                std::int64_t index, std::uint8_t* block,
+                                bool parity_pending) {
+  CMFS_CHECK(block != nullptr);
+  const Key key{stream, space, index};
+  Shard& shard = *shards_[ShardIndex(shard_index)];
+  CMFS_CHECK(&shard == &ShardForKey(key));
+  auto [it, inserted] = shard.entries.try_emplace(key);
+  Entry& entry = it->second;
+  if (!inserted) {
+    shard.arena.Release(entry.data.data());
+  } else {
+    shard.resident.fetch_add(1, std::memory_order_relaxed);
+  }
+  entry.data = ArenaBlock(block, block_size_);
+  entry.parity_pending = parity_pending;
+  return inserted;
+}
+
+bool BufferPool::StagedAccumulateXor(int shard_index, StreamId stream,
+                                     int space, std::int64_t index,
+                                     const std::uint8_t* partial) {
+  const Key key{stream, space, index};
+  Shard& shard = *shards_[ShardIndex(shard_index)];
+  CMFS_CHECK(&shard == &ShardForKey(key));
+  auto [it, inserted] = shard.entries.try_emplace(key);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.data = ArenaBlock(shard.arena.Allocate(), block_size_);
+    shard.resident.fetch_add(1, std::memory_order_relaxed);
+    entry.parity_pending = false;
+    std::memcpy(entry.data.data(), partial, entry.data.size());
+    return true;
+  }
+  XorBytes(entry.data.data(), partial, entry.data.size());
+  return false;
+}
+
+void BufferPool::ReplayStagedInsert(bool inserted) {
+  if (inserted) ++resident_;
+  OnInsert();
+}
+
+void BufferPool::ReplayStagedAccumulate(bool inserted) {
+  if (!inserted) return;
+  ++resident_;
+  OnInsert();
+}
+
+std::int64_t BufferPool::CheckShardGauges() const {
+  std::int64_t gauges = 0;
+  std::int64_t mapped = 0;
+  for (const auto& shard : shards_) {
+    gauges += shard->resident.load(std::memory_order_relaxed);
+    mapped += static_cast<std::int64_t>(shard->entries.size());
+  }
+  CMFS_CHECK(gauges == mapped);
+  CMFS_CHECK(gauges == resident_);
+  return gauges;
+}
+
 BufferPool::Entry* BufferPool::Find(StreamId stream, int space,
                                     std::int64_t index) {
-  auto it = entries_.find(Key{stream, space, index});
-  return it == entries_.end() ? nullptr : &it->second;
+  const Key key{stream, space, index};
+  Shard& shard = ShardForKey(key);
+  auto it = shard.entries.find(key);
+  return it == shard.entries.end() ? nullptr : &it->second;
+}
+
+void BufferPool::EraseFromShard(
+    Shard& shard,
+    std::unordered_map<Key, Entry, KeyHash>::iterator it) {
+  shard.arena.Release(it->second.data.data());
+  shard.entries.erase(it);
+  shard.resident.fetch_sub(1, std::memory_order_relaxed);
+  --resident_;
 }
 
 bool BufferPool::Erase(StreamId stream, int space, std::int64_t index) {
-  auto it = entries_.find(Key{stream, space, index});
-  if (it == entries_.end()) return false;
-  arena_.Release(it->second.data.data());
-  entries_.erase(it);
+  const Key key{stream, space, index};
+  Shard& shard = ShardForKey(key);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return false;
+  EraseFromShard(shard, it);
   return true;
 }
 
 void BufferPool::DropStream(StreamId stream) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (std::get<0>(it->first) == stream) {
-      arena_.Release(it->second.data.data());
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (std::get<0>(it->first) == stream) {
+        auto victim = it++;
+        EraseFromShard(shard, victim);
+      } else {
+        ++it;
+      }
     }
   }
 }

@@ -1,9 +1,12 @@
 #ifndef CMFS_CORE_BUFFER_POOL_H_
 #define CMFS_CORE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <tuple>
 #include <unordered_map>
+#include <vector>
 
 #include "core/block_arena.h"
 #include "core/round_plan.h"
@@ -17,23 +20,47 @@
 // (parity_pending); the server XORs the buffered group peers into it as
 // soon as they are all present, before the block's delivery round.
 //
-// The map is hashed, not ordered: every per-read operation (Put / Find /
-// Accumulate / Erase) is O(1), and Entry pointers stay valid across
-// inserts (the buckets rehash, the nodes don't move). DropStream — rare:
-// pause, cancel, completion — scans the whole pool instead of a key
-// range.
+// The pool is *sharded*: every key maps to exactly one PoolShard
+// (splitmix64 KeyHash mod num_shards), and each shard owns its own
+// hashed map, its own BlockArena free list and its own occupancy gauge.
+// Shard assignment depends only on the key — never on lane count,
+// thread schedule or round — so which shard holds a block is as
+// deterministic as the block itself. A single-shard pool (the default)
+// behaves exactly like the pre-sharding pool.
 //
-// Entry bytes live in a BlockArena the pool owns: Put/Erase recycle
-// fixed-stride arena blocks through a free list instead of churning a
-// std::vector per entry, and the round engine stages read bytes in
-// blocks from the same arena (arena()) so the merge step can adopt them
-// into entries without copying (PutAdopt).
+// Two families of mutators:
+//
+//   * The classic entry points (Put / PutAdopt / Accumulate /
+//     AccumulateXor / Find / Erase / DropStream) are sequential: they
+//     route to the key's shard and update the deterministic bookkeeping
+//     (resident count, high-water mark, occupancy histogram) inline, in
+//     call order.
+//
+//   * The staged entry points (StagedPutAdopt / StagedAccumulateXor)
+//     mutate *only* the key's shard — its map, its arena, its atomic
+//     occupancy gauge — and defer every piece of global bookkeeping.
+//     The round engine runs one staged stream per shard in parallel
+//     (zero shared mutation), then replays the deferred bookkeeping
+//     sequentially in plan order (ReplayStagedInsert /
+//     ReplayStagedAccumulate) so the occupancy histogram and high-water
+//     gauge see the exact sample sequence the sequential engine would
+//     have produced. CheckShardGauges() folds the per-shard atomic
+//     gauges and verifies they agree with the replayed count.
+//
+// Entry pointers stay valid across inserts (the buckets rehash, the
+// nodes don't move). Entry bytes live in the key's shard arena:
+// Put/Erase recycle fixed-stride arena blocks through the shard free
+// list, and the round engine stages read bytes in blocks from the same
+// shard arena (arena(shard)) so the merge step can adopt them into
+// entries without copying (PutAdopt / StagedPutAdopt).
 
 namespace cmfs {
 
 class BufferPool {
  public:
-  explicit BufferPool(std::int64_t block_size);
+  // num_shards = 1 gives the classic single-map pool; the round engine
+  // passes the disk count so staged merge parallelism matches the lanes.
+  explicit BufferPool(std::int64_t block_size, int num_shards = 1);
 
   using Key = std::tuple<StreamId, int, std::int64_t>;
 
@@ -58,6 +85,14 @@ class BufferPool {
     bool parity_pending = false;
   };
 
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  // The shard every operation on this key routes to (pure function of
+  // the key and the shard count).
+  int ShardOf(StreamId stream, int space, std::int64_t index) const {
+    return static_cast<int>(KeyHash{}(Key{stream, space, index}) %
+                            shards_.size());
+  }
+
   // Inserts (or replaces) an entry, copying from `data`; nullptr stands
   // for a never-written block (all zeros). Replacing reuses the existing
   // arena block.
@@ -70,7 +105,7 @@ class BufferPool {
   }
 
   // Inserts (or replaces) an entry, adopting `block` — storage obtained
-  // from this pool's arena() — without copying. The entry owns it from
+  // from the key's shard arena — without copying. The entry owns it from
   // here on (a replaced entry's old block is released).
   void PutAdopt(StreamId stream, int space, std::int64_t index,
                 std::uint8_t* block, bool parity_pending);
@@ -92,6 +127,32 @@ class BufferPool {
   void AccumulateXor(StreamId stream, int space, std::int64_t index,
                      const std::uint8_t* partial);
 
+  // --- Staged (parallel-merge) entry points ------------------------------
+  // Shard-scoped PutAdopt: mutates only shard `shard` (which must be
+  // ShardOf the key) and its atomic gauge; no histogram sample, no
+  // high-water update, no global count. Returns whether a fresh entry
+  // was inserted (false = replace). Safe to call concurrently with
+  // staged calls on *other* shards; one caller per shard at a time.
+  bool StagedPutAdopt(int shard, StreamId stream, int space,
+                      std::int64_t index, std::uint8_t* block,
+                      bool parity_pending);
+  // Shard-scoped AccumulateXor, same contract. Returns whether the
+  // entry was freshly created.
+  bool StagedAccumulateXor(int shard, StreamId stream, int space,
+                           std::int64_t index, const std::uint8_t* partial);
+  // Sequential replay of one staged PutAdopt's deferred bookkeeping, in
+  // plan order: advances the deterministic resident count and feeds the
+  // occupancy histogram / high-water gauge exactly as the sequential
+  // PutAdopt would have (which samples on insert *and* replace).
+  void ReplayStagedInsert(bool inserted);
+  // Replay of one staged AccumulateXor: samples only on a fresh insert,
+  // like the sequential Accumulate/AccumulateXor.
+  void ReplayStagedAccumulate(bool inserted);
+  // Folds the per-shard atomic gauges and CHECKs they agree with both
+  // the replayed resident count and the shard map sizes — the commit-
+  // time consistency point for the staged path. Returns the total.
+  std::int64_t CheckShardGauges() const;
+
   // nullptr if absent. The pointer stays valid until the entry is erased.
   Entry* Find(StreamId stream, int space, std::int64_t index);
 
@@ -101,18 +162,25 @@ class BufferPool {
   // Drops everything a stream still holds.
   void DropStream(StreamId stream);
 
-  // The backing block storage. The round engine allocates its staging
-  // blocks here so PutAdopt is a pointer move; all arena calls must stay
-  // on one thread (the merge thread).
-  BlockArena* arena() { return &arena_; }
-  const BlockArena& arena() const { return arena_; }
+  // A shard's backing block storage (thread-safe Allocate/Release). The
+  // round engine allocates the staging block for a key from the *key's*
+  // shard arena so StagedPutAdopt is a pointer move within one shard.
+  BlockArena* arena(int shard = 0) { return &shards_[ShardIndex(shard)]->arena; }
+  const BlockArena& arena(int shard = 0) const {
+    return shards_[ShardIndex(shard)]->arena;
+  }
 
   std::int64_t block_size() const { return block_size_; }
-  // Blocks currently resident / the max ever resident.
-  std::int64_t resident_blocks() const {
-    return static_cast<std::int64_t>(entries_.size());
-  }
+  // Blocks currently resident (the deterministic, replayed count) / the
+  // max ever resident.
+  std::int64_t resident_blocks() const { return resident_; }
   std::int64_t high_water_blocks() const { return high_water_; }
+  // One shard's atomic occupancy gauge (staged inserts update it
+  // immediately; the deterministic bookkeeping catches up at replay).
+  std::int64_t shard_resident_blocks(int shard) const {
+    return shards_[ShardIndex(shard)]->resident.load(
+        std::memory_order_relaxed);
+  }
 
   // Publishes an occupancy histogram ("buffer.occupancy_blocks", sampled
   // at every insert) and a high-water gauge
@@ -121,16 +189,38 @@ class BufferPool {
   void AttachMetrics(MetricsRegistry* registry);
 
  private:
+  // One shard: its own map, its own arena free list, its own occupancy
+  // gauge. The gauge is a plain atomic precisely because staged inserts
+  // on different shards race each other by design; the deterministic
+  // numbers (resident_ / high_water_ / the histogram) are only ever
+  // advanced by the sequential replay.
+  struct Shard {
+    explicit Shard(std::int64_t block_size) : arena(block_size) {}
+    BlockArena arena;
+    std::unordered_map<Key, Entry, KeyHash> entries;
+    std::atomic<std::int64_t> resident{0};
+  };
+
+  std::size_t ShardIndex(int shard) const;
+  Shard& ShardForKey(const Key& key) {
+    return *shards_[static_cast<std::size_t>(KeyHash{}(key) %
+                                             shards_.size())];
+  }
   void OnInsert();
-  // The entry's arena block, allocating on first insert.
+  // The entry's arena block, allocating on first insert. Updates the
+  // shard gauge and the deterministic count for a fresh insert.
   Entry& EnsureEntry(const Key& key, bool* inserted);
+  void EraseFromShard(Shard& shard,
+                      std::unordered_map<Key, Entry, KeyHash>::iterator it);
 
   std::int64_t block_size_;
+  std::int64_t resident_ = 0;
   std::int64_t high_water_ = 0;
   Histogram* occupancy_hist_ = nullptr;  // owned by the registry
   Gauge* high_water_gauge_ = nullptr;
-  BlockArena arena_;
-  std::unordered_map<Key, Entry, KeyHash> entries_;
+  // unique_ptr: shards hold an atomic and a mutex-bearing arena, neither
+  // movable, and Entry pointers must stay stable regardless.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace cmfs

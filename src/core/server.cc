@@ -47,7 +47,9 @@ Server::Server(DiskArray* array, Controller* controller,
     : array_(array),
       controller_(controller),
       config_(config),
-      pool_(config.block_size),
+      // One pool shard per disk: the staged merge's parallelism matches
+      // the lane count, and shard assignment stays a pure key property.
+      pool_(config.block_size, array->num_disks()),
       scheduler_(array->disk(0).params(), config.seek_curve),
       rng_(config.seed),
       timeline_(config.timeline_capacity) {
@@ -63,11 +65,17 @@ Server::Server(DiskArray* array, Controller* controller,
   quota_caps_.assign(num_disks, std::numeric_limits<int>::max());
   round_cylinders_.assign(num_disks, {});
   round_disk_reads_.assign(num_disks, 0);
-  lane_positions_.assign(num_disks, {});
   lane_round_times_.assign(num_disks, 0.0);
-  lane_start_ns_.assign(num_disks, 0);
-  lane_busy_ns_.assign(num_disks, 0);
-  active_lanes_.reserve(num_disks);
+  for (RoundBuffer& buf : buffers_) {
+    buf.lane_positions.assign(num_disks, {});
+    buf.shard_positions.assign(
+        static_cast<std::size_t>(pool_.num_shards()), {});
+    buf.active_lanes.reserve(num_disks);
+    buf.active_shards.reserve(
+        static_cast<std::size_t>(pool_.num_shards()));
+    buf.lane_start_ns.assign(num_disks, 0);
+    buf.lane_busy_ns.assign(num_disks, 0);
+  }
   profiler_ = config.profiler;
   if (profiler_ != nullptr) prof_clock_ = profiler_->clock();
   metrics_.per_disk_reads.assign(num_disks, 0);
@@ -92,8 +100,38 @@ Server::Server(DiskArray* array, Controller* controller,
   }
 }
 
+Server::~Server() {
+  // A produce can only be in flight mid-RunRound; by destruction time the
+  // pipeline thread (if ever started) is idle and just needs shutdown.
+  PipelineJoin();
+  if (pipe_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(pipe_mu_);
+      pipe_shutdown_ = true;
+    }
+    pipe_cv_.notify_all();
+    pipe_thread_.join();
+  }
+}
+
+void Server::AssertQuiescent() const {
+  CMFS_CHECK(!produce_outstanding_ && !buffers_[0].ready &&
+             !buffers_[1].ready);
+}
+
+void Server::SetRoundHooks(std::function<void(std::int64_t)> prolog,
+                           std::function<bool(std::int64_t)> stall) {
+  CMFS_CHECK(prolog != nullptr && stall != nullptr);
+  // Hooks index rounds from zero; installing mid-run would skip prologs
+  // already owed, so require a fresh server.
+  CMFS_CHECK(metrics_.rounds == 0 && rounds_planned_ == 0);
+  round_prolog_ = std::move(prolog);
+  stall_hook_ = std::move(stall);
+}
+
 bool Server::TryAdmit(StreamId id, int space, std::int64_t start,
                       std::int64_t length, int priority) {
+  AssertQuiescent();
   CMFS_CHECK(streams_.find(id) == streams_.end());
   if (!controller_->TryAdmit(id, space, start, length)) return false;
   streams_[id] = StreamRecord{space, start, length, 0, false, priority};
@@ -110,6 +148,7 @@ bool Server::TryAdmit(StreamId id, int space, std::int64_t start,
 }
 
 Status Server::PauseStream(StreamId id) {
+  AssertQuiescent();
   auto it = streams_.find(id);
   if (it == streams_.end()) {
     return Status::NotFound("unknown stream " + std::to_string(id));
@@ -142,17 +181,36 @@ void Server::DropStreamBuffers(StreamId id) {
       ++it;
     }
   }
+  // The stream's outstanding deliveries die with it — its lost blocks
+  // will never hiccup, so they must not keep blocking the overlap.
+  for (auto it = lost_delivery_keys_.begin();
+       it != lost_delivery_keys_.end();) {
+    if (std::get<0>(*it) == id) {
+      it = lost_delivery_keys_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void Server::SetDiskQuotaCap(int disk, int cap) {
+  AssertQuiescent();
   CMFS_CHECK(disk >= 0 && disk < array_->num_disks());
   quota_caps_[static_cast<std::size_t>(disk)] =
       cap < 1 ? 1 : cap;
 }
 
 void Server::ClearDiskQuotaCaps() {
+  AssertQuiescent();
   std::fill(quota_caps_.begin(), quota_caps_.end(),
             std::numeric_limits<int>::max());
+}
+
+bool Server::AnyQuotaCap() const {
+  for (int cap : quota_caps_) {
+    if (cap != std::numeric_limits<int>::max()) return true;
+  }
+  return false;
 }
 
 std::string Server::DegradedCauseFor(int disk) const {
@@ -205,14 +263,7 @@ void Server::ShedStream(StreamId id, const std::string& reason,
 }
 
 void Server::ShedForQuotaCaps(RoundPlan* plan) {
-  bool any_cap = false;
-  for (int cap : quota_caps_) {
-    if (cap != std::numeric_limits<int>::max()) {
-      any_cap = true;
-      break;
-    }
-  }
-  if (!any_cap) return;
+  if (!AnyQuotaCap()) return;
   std::vector<int> planned(quota_caps_.size(), 0);
   for (;;) {
     std::fill(planned.begin(), planned.end(), 0);
@@ -255,6 +306,7 @@ void Server::ShedForQuotaCaps(RoundPlan* plan) {
 }
 
 Status Server::ResumeStream(StreamId id) {
+  AssertQuiescent();
   auto it = streams_.find(id);
   if (it == streams_.end()) {
     return Status::NotFound("unknown stream " + std::to_string(id));
@@ -299,6 +351,7 @@ Status Server::ResumeStream(StreamId id) {
 }
 
 Status Server::CancelStream(StreamId id) {
+  AssertQuiescent();
   auto it = streams_.find(id);
   if (it == streams_.end()) {
     return Status::NotFound("unknown stream " + std::to_string(id));
@@ -382,7 +435,11 @@ bool Server::ReconstructInline(const RoundRead& read) {
 
 void Server::LaneParallelFor(std::int64_t n,
                              const std::function<void(std::int64_t)>& fn) {
-  if (lane_pool_ == nullptr || n <= 1) {
+  // While a produce is in flight the pipeline thread owns the lane pool
+  // (ParallelFor is not reentrant and not two-caller safe), so the
+  // commit side runs its parallel passes inline — the documented cost of
+  // overlapping rounds on a shared pool.
+  if (lane_pool_ == nullptr || produce_outstanding_ || n <= 1) {
     for (std::int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -396,33 +453,47 @@ void Server::FlushTraceBatch() {
   trace_batch_.clear();
 }
 
-void Server::PrepareLanes(const RoundPlan& plan) {
+void Server::PrepareLanes(RoundBuffer& buf) {
+  const RoundPlan& plan = buf.plan;
   const std::size_t n = plan.reads.size();
-  for (auto& lane : lane_positions_) lane.clear();
-  active_lanes_.clear();
-  outcomes_.assign(n, ReadOutcome{});
-  staged_.assign(n, nullptr);
-  partial_slot_.assign(n, -1);
-  partials_.clear();
-  partial_init_.clear();
-  recovery_slots_.clear();
-  BlockArena* arena = pool_.arena();
+  for (auto& lane : buf.lane_positions) lane.clear();
+  for (auto& shard : buf.shard_positions) shard.clear();
+  buf.active_lanes.clear();
+  buf.active_shards.clear();
+  buf.outcomes.assign(n, ReadOutcome{});
+  buf.staged.assign(n, nullptr);
+  buf.partial_slot.assign(n, -1);
+  buf.shard_of.assign(n, 0);
+  buf.pool_event.assign(n, static_cast<std::uint8_t>(kPoolDeferred));
+  buf.partials.clear();
+  buf.partial_init.clear();
+  buf.partial_shard.clear();
+  buf.recovery_slots.clear();
+  buf.any_error = false;
   for (std::size_t i = 0; i < n; ++i) {
     const RoundRead& read = plan.reads[i];
-    auto& lane = lane_positions_[static_cast<std::size_t>(read.addr.disk)];
-    if (lane.empty()) active_lanes_.push_back(read.addr.disk);
+    auto& lane = buf.lane_positions[static_cast<std::size_t>(read.addr.disk)];
+    if (lane.empty()) buf.active_lanes.push_back(read.addr.disk);
     lane.push_back(static_cast<std::int32_t>(i));
+    // The key's shard is a pure key property: staging storage comes from
+    // that shard's arena so the merge adopts pointers within one shard.
+    const int shard = pool_.ShardOf(read.stream, read.space, read.index);
+    buf.shard_of[i] = shard;
+    auto& merge_stream =
+        buf.shard_positions[static_cast<std::size_t>(shard)];
+    if (merge_stream.empty()) buf.active_shards.push_back(shard);
+    merge_stream.push_back(static_cast<std::int32_t>(i));
     switch (read.kind) {
       case ReadKind::kData:
       case ReadKind::kParity:
         // Staged here, adopted into the pool entry at merge (zero-copy).
-        staged_[i] = arena->Allocate();
+        buf.staged[i] = pool_.arena(shard)->Allocate();
         break;
       case ReadKind::kRecovery: {
         // One partial-XOR accumulator per (disk, key): the disk's lane
         // folds its own reads into it; the merge folds the slots.
         const Key key{read.stream, read.space, read.index};
-        auto& slots = recovery_slots_[key];
+        auto& slots = buf.recovery_slots[key];
         std::int32_t slot = -1;
         for (const auto& [disk, existing] : slots) {
           if (disk == read.addr.disk) {
@@ -431,23 +502,26 @@ void Server::PrepareLanes(const RoundPlan& plan) {
           }
         }
         if (slot < 0) {
-          slot = static_cast<std::int32_t>(partials_.size());
-          partials_.push_back(arena->Allocate());
-          partial_init_.push_back(0);
+          slot = static_cast<std::int32_t>(buf.partials.size());
+          buf.partials.push_back(pool_.arena(shard)->Allocate());
+          buf.partial_init.push_back(0);
+          buf.partial_shard.push_back(shard);
           slots.emplace_back(read.addr.disk, slot);
         }
-        partial_slot_[i] = slot;
+        buf.partial_slot[i] = slot;
         break;
       }
     }
   }
 }
 
-void Server::RunLane(const RoundPlan& plan, int disk) {
+void Server::RunLane(RoundBuffer& buf, int disk) {
   // Lane contract: this thread is the only one touching `disk` (its
   // SimDisk, its injector shard) and the only writer of the outcomes,
   // staged blocks and partial slots of the positions below. Everything
-  // else — metrics, histograms, traces, the pool — waits for the merge.
+  // else — metrics, histograms, traces, the pool maps — waits for the
+  // merge/commit.
+  const RoundPlan& plan = buf.plan;
   const std::size_t block_size =
       static_cast<std::size_t>(config_.block_size);
   const SimDisk& sim = array_->disk(disk);
@@ -457,11 +531,11 @@ void Server::RunLane(const RoundPlan& plan, int disk) {
   const std::int64_t lane_t0 =
       prof_clock_ != nullptr ? prof_clock_->NowNanos() : 0;
   for (std::int32_t pos :
-       lane_positions_[static_cast<std::size_t>(disk)]) {
+       buf.lane_positions[static_cast<std::size_t>(disk)]) {
     const RoundRead& read = plan.reads[static_cast<std::size_t>(pos)];
-    ReadOutcome& out = outcomes_[static_cast<std::size_t>(pos)];
+    ReadOutcome& out = buf.outcomes[static_cast<std::size_t>(pos)];
     // ReadWithRetry's loop, with the bookkeeping recorded instead of
-    // applied (the merge replays it in plan order).
+    // applied (the commit replays it in plan order).
     Result<const Block*> block = array_->ReadView(read.addr);
     while (!block.ok() &&
            block.status().code() == StatusCode::kUnavailable) {
@@ -479,20 +553,21 @@ void Server::RunLane(const RoundPlan& plan, int disk) {
     }
     const Block* data = *block;  // nullptr = unwritten = all zeros
     if (read.kind == ReadKind::kRecovery) {
-      const std::int32_t slot = partial_slot_[static_cast<std::size_t>(pos)];
-      std::uint8_t* dst = partials_[static_cast<std::size_t>(slot)];
-      if (!partial_init_[static_cast<std::size_t>(slot)]) {
+      const std::int32_t slot =
+          buf.partial_slot[static_cast<std::size_t>(pos)];
+      std::uint8_t* dst = buf.partials[static_cast<std::size_t>(slot)];
+      if (!buf.partial_init[static_cast<std::size_t>(slot)]) {
         if (data != nullptr) {
           std::memcpy(dst, data->data(), block_size);
         } else {
           std::memset(dst, 0, block_size);
         }
-        partial_init_[static_cast<std::size_t>(slot)] = 1;
+        buf.partial_init[static_cast<std::size_t>(slot)] = 1;
       } else if (data != nullptr) {
         XorBytes(dst, data->data(), block_size);
       }
     } else {
-      std::uint8_t* dst = staged_[static_cast<std::size_t>(pos)];
+      std::uint8_t* dst = buf.staged[static_cast<std::size_t>(pos)];
       if (data != nullptr) {
         std::memcpy(dst, data->data(), block_size);
       } else {
@@ -502,12 +577,216 @@ void Server::RunLane(const RoundPlan& plan, int disk) {
   }
   if (prof_clock_ != nullptr) {
     const std::size_t d = static_cast<std::size_t>(disk);
-    lane_start_ns_[d] = lane_t0;
-    lane_busy_ns_[d] = prof_clock_->NowNanos() - lane_t0;
+    buf.lane_start_ns[d] = lane_t0;
+    buf.lane_busy_ns[d] = prof_clock_->NowNanos() - lane_t0;
   }
 }
 
-Status Server::MergeOutcomes(const RoundPlan& plan) {
+void Server::StageAndRunLanes(RoundBuffer& buf, bool on_main_thread) {
+  {
+    ScopedPhaseTimer stage_timer(on_main_thread ? profiler_ : nullptr,
+                                 "server.stage");
+    PrepareLanes(buf);
+  }
+  {
+    ScopedPhaseTimer lanes_timer(on_main_thread ? profiler_ : nullptr,
+                                 "server.lanes");
+    const std::int64_t n =
+        static_cast<std::int64_t>(buf.active_lanes.size());
+    auto run_one = [&](std::int64_t lane) {
+      RunLane(buf, buf.active_lanes[static_cast<std::size_t>(lane)]);
+    };
+    if (on_main_thread) {
+      LaneParallelFor(n, run_one);
+    } else if (lane_pool_ == nullptr || n <= 1) {
+      for (std::int64_t i = 0; i < n; ++i) run_one(i);
+    } else {
+      // The pipeline thread owns the lane pool for the whole produce
+      // (the main thread inlines its parallel passes meanwhile).
+      lane_pool_->ParallelFor(n, run_one);
+    }
+  }
+  for (const ReadOutcome& out : buf.outcomes) {
+    if (!out.error.ok()) {
+      buf.any_error = true;
+      break;
+    }
+  }
+}
+
+void Server::ProduceInto(RoundBuffer* buf) {
+  const std::int64_t t0 =
+      prof_clock_ != nullptr ? prof_clock_->NowNanos() : 0;
+  buf->plan = RoundPlan{};
+  controller_->Round(array_->failed_disk(), &buf->plan);
+  buf->num_active_after_plan = controller_->num_active();
+  StageAndRunLanes(*buf, /*on_main_thread=*/false);
+  if (profiler_ != nullptr) {
+    profiler_->RecordPipelineSpan("server.prefetch", t0,
+                                  prof_clock_->NowNanos());
+  }
+  buf->ready = true;
+}
+
+void Server::PipeThreadMain() {
+  for (;;) {
+    RoundBuffer* buf = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(pipe_mu_);
+      pipe_cv_.wait(lock,
+                    [this] { return pipe_has_job_ || pipe_shutdown_; });
+      if (pipe_shutdown_) return;
+      buf = pipe_buf_;
+    }
+    ProduceInto(buf);
+    {
+      std::lock_guard<std::mutex> lock(pipe_mu_);
+      pipe_has_job_ = false;
+    }
+    pipe_cv_.notify_all();
+  }
+}
+
+void Server::RunProlog(std::int64_t round) {
+  if (round_prolog_ == nullptr) return;
+  if (prolog_done_round_ >= round) return;
+  // Prologs run exactly once per round, in order — a skipped round would
+  // silently drop fault-schedule events.
+  CMFS_CHECK(prolog_done_round_ == round - 1);
+  prolog_done_round_ = round;
+  round_prolog_(round);
+}
+
+void Server::MaybeLaunchPrefetch() {
+  if (!pipeline_enabled()) return;
+  RoundBuffer& cur = buffers_[cur_];
+  // Epoch barrier: produce the next round early only when this round's
+  // commit cannot observe anything the next prolog changes. Any read
+  // error, failed disk or active cap routes commit through the degraded
+  // paths (injector reads, cause resolution); an outstanding lost block
+  // or pending parity can hiccup at delivery, which also resolves
+  // causes; the stall hook vetoes rounds whose prolog mutates the world.
+  if (cur.any_error || array_->failed_disk() >= 0 || AnyQuotaCap() ||
+      !pending_parity_.empty() || !lost_delivery_keys_.empty()) {
+    return;
+  }
+  const std::int64_t next = rounds_planned_;
+  if (stall_hook_(next)) return;
+  RunProlog(next);
+  // The prolog ran (and stays run — the inline path skips it next
+  // round); re-check the world it may have changed before overlapping.
+  if (array_->failed_disk() >= 0 || AnyQuotaCap()) return;
+  RoundBuffer& nxt = buffers_[1 - cur_];
+  CMFS_CHECK(!nxt.ready);
+  ++rounds_planned_;
+  if (!pipe_thread_.joinable()) {
+    pipe_thread_ = std::thread([this] { PipeThreadMain(); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(pipe_mu_);
+    pipe_buf_ = &nxt;
+    pipe_has_job_ = true;
+  }
+  pipe_cv_.notify_all();
+  produce_outstanding_ = true;
+}
+
+void Server::PipelineJoin() {
+  if (!produce_outstanding_) return;
+  std::int64_t wait_ns = 0;
+  {
+    std::unique_lock<std::mutex> lock(pipe_mu_);
+    if (pipe_has_job_) {
+      const std::int64_t t0 =
+          prof_clock_ != nullptr ? prof_clock_->NowNanos() : 0;
+      pipe_cv_.wait(lock, [this] { return !pipe_has_job_; });
+      if (prof_clock_ != nullptr) {
+        wait_ns = prof_clock_->NowNanos() - t0;
+      }
+    }
+  }
+  if (profiler_ != nullptr && wait_ns > 0) {
+    // The produce outlived merge+commit+deliver: the main thread
+    // stalled on the pipeline for this long.
+    profiler_->RecordDuration("server.overlap_stall", wait_ns);
+  }
+  produce_outstanding_ = false;
+}
+
+void Server::ShardApplyOne(RoundBuffer& buf, int shard) {
+  const RoundPlan& plan = buf.plan;
+  // All positions of a key live in this shard (key → exactly one shard),
+  // in plan order, so per-key ordering decisions are local. Keys with
+  // any errored position are left entirely to the sequential commit:
+  // their semantics (poisoning, inline reconstruction, erase) depend on
+  // global state.
+  std::unordered_set<Key, BufferPool::KeyHash> blocked;
+  std::unordered_set<Key, BufferPool::KeyHash> folded;
+  for (std::int32_t pos :
+       buf.shard_positions[static_cast<std::size_t>(shard)]) {
+    const RoundRead& read = plan.reads[static_cast<std::size_t>(pos)];
+    const ReadOutcome& out = buf.outcomes[static_cast<std::size_t>(pos)];
+    const Key key{read.stream, read.space, read.index};
+    if (buf.any_error) {
+      if (!out.error.ok()) {
+        blocked.insert(key);
+        continue;  // stays kPoolDeferred
+      }
+      if (blocked.count(key) > 0) continue;
+    }
+    std::uint8_t event = kPoolDeferred;
+    switch (read.kind) {
+      case ReadKind::kData:
+      case ReadKind::kParity: {
+        const bool inserted = pool_.StagedPutAdopt(
+            shard, read.stream, read.space, read.index,
+            buf.staged[static_cast<std::size_t>(pos)],
+            /*parity_pending=*/read.kind == ReadKind::kParity);
+        buf.staged[static_cast<std::size_t>(pos)] = nullptr;
+        event = inserted ? kPoolAdoptInsert : kPoolAdoptReplace;
+        break;
+      }
+      case ReadKind::kRecovery: {
+        if (folded.count(key) > 0) {
+          // The key's partials were folded at its first recovery
+          // position; this one is bookkeeping-only at commit.
+          event = kPoolRecoveryLater;
+          break;
+        }
+        folded.insert(key);
+        bool inserted = false;
+        auto it = buf.recovery_slots.find(key);
+        if (it != buf.recovery_slots.end()) {
+          for (const auto& [disk, slot] : it->second) {
+            if (!buf.partial_init[static_cast<std::size_t>(slot)]) {
+              continue;
+            }
+            if (pool_.StagedAccumulateXor(
+                    shard, read.stream, read.space, read.index,
+                    buf.partials[static_cast<std::size_t>(slot)])) {
+              inserted = true;
+            }
+          }
+        }
+        event = inserted ? kPoolFoldInsert : kPoolFoldExisting;
+        break;
+      }
+    }
+    buf.pool_event[static_cast<std::size_t>(pos)] = event;
+  }
+}
+
+void Server::ShardApply(RoundBuffer& buf) {
+  LaneParallelFor(static_cast<std::int64_t>(buf.active_shards.size()),
+                  [&](std::int64_t i) {
+                    ShardApplyOne(
+                        buf,
+                        buf.active_shards[static_cast<std::size_t>(i)]);
+                  });
+}
+
+Status Server::CommitOutcomes(RoundBuffer& buf) {
+  const RoundPlan& plan = buf.plan;
   const bool tracing = config_.trace != nullptr;
   for (std::size_t i = 0; i < plan.reads.size(); ++i) {
     const RoundRead& read = plan.reads[i];
@@ -516,7 +795,7 @@ Status Server::MergeOutcomes(const RoundPlan& plan) {
     // lane did touch the disk, but a stray recovery read must not
     // resurrect a partial buffer entry).
     if (!poisoned_.empty() && poisoned_.count(key) > 0) continue;
-    const ReadOutcome& out = outcomes_[i];
+    const ReadOutcome& out = buf.outcomes[i];
     // Replay the lane's retry accounting exactly as ReadWithRetry
     // would have applied it in place.
     if (out.failed_attempts > 0) {
@@ -557,7 +836,7 @@ Status Server::MergeOutcomes(const RoundPlan& plan) {
               last_reconstruct_peer_reads_,
               DegradedCauseFor(read.addr.disk));
         }
-        continue;  // Recovered from the group peers at merge time.
+        continue;  // Recovered from the group peers at commit time.
       }
       ++metrics_.lost_reads;
       if (config_.metrics != nullptr) {
@@ -570,6 +849,7 @@ Status Server::MergeOutcomes(const RoundPlan& plan) {
                                 DegradedCauseFor(read.addr.disk));
       }
       poisoned_.insert(key);
+      lost_delivery_keys_.insert(key);
       pending_parity_.erase(key);
       pool_.Erase(read.stream, read.space, read.index);
       continue;
@@ -599,34 +879,58 @@ Status Server::MergeOutcomes(const RoundPlan& plan) {
       round_cylinders_[static_cast<std::size_t>(read.addr.disk)].push_back(
           out.cylinder);
     }
+    const PoolEvent event = static_cast<PoolEvent>(buf.pool_event[i]);
     switch (read.kind) {
       case ReadKind::kData:
-        pool_.PutAdopt(read.stream, read.space, read.index, staged_[i],
-                       /*parity_pending=*/false);
-        staged_[i] = nullptr;
+        if (event == kPoolDeferred) {
+          // The key saw an error this round; run the sequential path
+          // live (the staging block is still ours to adopt).
+          pool_.PutAdopt(read.stream, read.space, read.index,
+                         buf.staged[i], /*parity_pending=*/false);
+          buf.staged[i] = nullptr;
+        } else {
+          pool_.ReplayStagedInsert(event == kPoolAdoptInsert);
+        }
         break;
       case ReadKind::kParity:
         ++metrics_.recovery_reads;
-        pool_.PutAdopt(read.stream, read.space, read.index, staged_[i],
-                       /*parity_pending=*/true);
-        staged_[i] = nullptr;
+        if (event == kPoolDeferred) {
+          pool_.PutAdopt(read.stream, read.space, read.index,
+                         buf.staged[i], /*parity_pending=*/true);
+          buf.staged[i] = nullptr;
+        } else {
+          pool_.ReplayStagedInsert(event == kPoolAdoptInsert);
+        }
         pending_parity_.insert(key);
         break;
       case ReadKind::kRecovery: {
         ++metrics_.recovery_reads;
-        // Fold every per-disk partial at the key's first live recovery
-        // position — XOR is commutative, so the result is byte-identical
-        // to the sequential per-read accumulation, and the pool entry
-        // appears at the same walk position it always did.
-        auto it = recovery_slots_.find(key);
-        if (it != recovery_slots_.end()) {
-          for (const auto& [disk, slot] : it->second) {
-            if (!partial_init_[static_cast<std::size_t>(slot)]) continue;
-            pool_.AccumulateXor(read.stream, read.space, read.index,
-                                partials_[static_cast<std::size_t>(slot)]);
+        if (event == kPoolDeferred) {
+          // Fold every per-disk partial at the key's first live recovery
+          // position — XOR is commutative, so the result is
+          // byte-identical to the sequential per-read accumulation, and
+          // the pool entry appears at the same walk position it always
+          // did.
+          auto it = buf.recovery_slots.find(key);
+          if (it != buf.recovery_slots.end()) {
+            for (const auto& [disk, slot] : it->second) {
+              if (!buf.partial_init[static_cast<std::size_t>(slot)]) {
+                continue;
+              }
+              pool_.AccumulateXor(
+                  read.stream, read.space, read.index,
+                  buf.partials[static_cast<std::size_t>(slot)]);
+            }
+            buf.recovery_slots.erase(it);
           }
-          recovery_slots_.erase(it);
+        } else if (event == kPoolFoldInsert ||
+                   event == kPoolFoldExisting) {
+          pool_.ReplayStagedAccumulate(event == kPoolFoldInsert);
+          buf.recovery_slots.erase(key);
         }
+        // kPoolRecoveryLater: the fold already ran at an earlier
+        // position; this read is bookkeeping-only, like the sequential
+        // walk after recovery_slots was erased.
         break;
       }
     }
@@ -635,17 +939,34 @@ Status Server::MergeOutcomes(const RoundPlan& plan) {
   return Status::Ok();
 }
 
-void Server::ReleaseRoundStaging() {
-  BlockArena* arena = pool_.arena();
-  for (std::uint8_t*& block : staged_) {
-    if (block != nullptr) {
-      arena->Release(block);
-      block = nullptr;
+void Server::ReleaseRoundStaging(RoundBuffer& buf) {
+  for (std::size_t i = 0; i < buf.staged.size(); ++i) {
+    if (buf.staged[i] != nullptr) {
+      pool_.arena(buf.shard_of[i])->Release(buf.staged[i]);
+      buf.staged[i] = nullptr;
     }
   }
-  for (std::uint8_t* block : partials_) arena->Release(block);
-  partials_.clear();
-  partial_init_.clear();
+  for (std::size_t slot = 0; slot < buf.partials.size(); ++slot) {
+    pool_.arena(buf.partial_shard[slot])->Release(buf.partials[slot]);
+  }
+  buf.partials.clear();
+  buf.partial_init.clear();
+  buf.partial_shard.clear();
+}
+
+void Server::FoldLaneSpans(const RoundBuffer& buf) {
+  // Fold the lanes' wall-clock spans sequentially (active-lane order)
+  // and take the round's utilization sample: mean-lane / busiest-lane
+  // busy ratio.
+  if (profiler_ == nullptr || buf.active_lanes.empty()) return;
+  lane_busy_scratch_.clear();
+  for (int disk : buf.active_lanes) {
+    const std::size_t d = static_cast<std::size_t>(disk);
+    profiler_->RecordLaneSpan(disk, buf.lane_start_ns[d],
+                              buf.lane_start_ns[d] + buf.lane_busy_ns[d]);
+    lane_busy_scratch_.push_back(buf.lane_busy_ns[d]);
+  }
+  profiler_->RecordLaneRound(lane_busy_scratch_);
 }
 
 void Server::TimeRoundLanes(const RoundPlan& plan) {
@@ -690,71 +1011,6 @@ void Server::TimeRoundLanes(const RoundPlan& plan) {
       disk_service_hists_[static_cast<std::size_t>(disk)]->Add(total);
     }
   }
-}
-
-Status Server::ExecuteReads(const RoundPlan& plan) {
-  for (auto& cyls : round_cylinders_) cyls.clear();
-  std::fill(round_disk_reads_.begin(), round_disk_reads_.end(), 0);
-  round_worst_time_ = 0.0;
-  {
-    ScopedPhaseTimer stage_timer(profiler_, "server.stage");
-    PrepareLanes(plan);
-  }
-  {
-    ScopedPhaseTimer lanes_timer(profiler_, "server.lanes");
-    LaneParallelFor(static_cast<std::int64_t>(active_lanes_.size()),
-                    [&](std::int64_t lane) {
-                      RunLane(
-                          plan,
-                          active_lanes_[static_cast<std::size_t>(lane)]);
-                    });
-  }
-  // Fold the lanes' wall-clock spans sequentially (active_lanes_ order)
-  // and take the round's utilization sample: mean-lane / busiest-lane
-  // busy ratio, the imbalance the pipelined-round-engine roadmap item
-  // needs to see before it can be designed.
-  if (profiler_ != nullptr && !active_lanes_.empty()) {
-    lane_busy_scratch_.clear();
-    for (int disk : active_lanes_) {
-      const std::size_t d = static_cast<std::size_t>(disk);
-      profiler_->RecordLaneSpan(disk, lane_start_ns_[d],
-                                lane_start_ns_[d] + lane_busy_ns_[d]);
-      lane_busy_scratch_.push_back(lane_busy_ns_[d]);
-    }
-    profiler_->RecordLaneRound(lane_busy_scratch_);
-  }
-  Status st;
-  {
-    ScopedPhaseTimer merge_timer(profiler_, "server.merge");
-    st = MergeOutcomes(plan);
-    ReleaseRoundStaging();
-  }
-  if (!st.ok()) return st;
-  TimeRoundLanes(plan);
-  // The busiest lane bounds the round's parallel service time — the
-  // q-block quota is exactly the paper's cap on this number. Computed
-  // unconditionally so the round timeline sees it even without a
-  // metrics registry attached.
-  round_critical_reads_ = 0;
-  for (int disk = 0; disk < array_->num_disks(); ++disk) {
-    const int reads = round_disk_reads_[static_cast<std::size_t>(disk)];
-    round_critical_reads_ = std::max(round_critical_reads_, reads);
-  }
-  if (config_.metrics != nullptr) {
-    round_reads_hist_->Add(static_cast<double>(plan.reads.size()));
-    if (config_.time_rounds) round_time_hist_->Add(round_worst_time_);
-    for (int disk = 0; disk < array_->num_disks(); ++disk) {
-      const int reads = round_disk_reads_[static_cast<std::size_t>(disk)];
-      if (reads > 0) {
-        disk_round_reads_hists_[static_cast<std::size_t>(disk)]->Add(
-            static_cast<double>(reads));
-      }
-    }
-    if (round_critical_reads_ > 0) {
-      lane_critical_hist_->Add(static_cast<double>(round_critical_reads_));
-    }
-  }
-  return Status::Ok();
 }
 
 Status Server::Reconstruct() {
@@ -839,6 +1095,8 @@ Status Server::Deliver(const RoundPlan& plan) {
             "missed delivery: stream " + std::to_string(delivery.stream) +
             " block " + std::to_string(delivery.index));
       }
+      lost_delivery_keys_.erase(
+          {delivery.stream, delivery.space, delivery.index});
       pending_parity_.erase(
           {delivery.stream, delivery.space, delivery.index});
       pool_.Erase(delivery.stream, delivery.space, delivery.index);
@@ -889,16 +1147,22 @@ Status Server::CheckLoadWindow() {
 }
 
 Status Server::RunRound() {
+  // The previous round always joined its produce before returning; a
+  // violated invariant here means a reentrant or cross-thread RunRound.
+  CMFS_CHECK(!produce_outstanding_);
   ScopedPhaseTimer round_timer(profiler_, "server.round");
-  RoundPlan plan;
-  {
-    ScopedPhaseTimer plan_timer(profiler_, "server.plan");
-    controller_->Round(array_->failed_disk(), &plan);
-  }
-  ++metrics_.rounds;
-  poisoned_.clear();
+  // Whatever path exits this round — success or error — the produce
+  // launched below must be joined first: the server is quiescent between
+  // RunRound calls.
+  struct PipelineJoinGuard {
+    Server* server;
+    ~PipelineJoinGuard() { server->PipelineJoin(); }
+  } join_guard{this};
 
   // Snapshot the cumulative counters so the round's sample is a delta.
+  // Taken before the inline produce so the shed pass (which runs during
+  // planning now) still lands inside this round's delta, exactly as in
+  // the pre-pipelining engine.
   const std::int64_t reads0 = metrics_.total_reads;
   const std::int64_t recovery0 = metrics_.recovery_reads;
   const std::int64_t deliveries0 = metrics_.deliveries;
@@ -910,13 +1174,99 @@ Status Server::RunRound() {
   const std::int64_t shed0 = metrics_.shed_streams;
   const std::int64_t lost0 = metrics_.lost_reads;
 
-  // Latency-degraded disks first: if the plan no longer fits an active
-  // quota cap, shed the lowest-priority streams now rather than miss
-  // deadlines across the board mid-round.
-  ShedForQuotaCaps(&plan);
+  // Adopt the prefetched round if the pipeline produced one; otherwise
+  // produce inline into the current buffer.
+  if (buffers_[1 - cur_].ready) cur_ = 1 - cur_;
+  RoundBuffer& buf = buffers_[cur_];
+  const bool prefetched = buf.ready;
+  buf.ready = false;
 
-  Status st = ExecuteReads(plan);
+  if (!prefetched) {
+    // With the pipeline armed, producing inline means the overlap was
+    // refused last round (epoch barrier) — surface the serial produce
+    // as stall time so serial_fraction attributes it.
+    const std::int64_t stall_t0 =
+        profiler_ != nullptr && pipeline_enabled()
+            ? prof_clock_->NowNanos()
+            : -1;
+    RunProlog(rounds_planned_);
+    {
+      ScopedPhaseTimer plan_timer(profiler_, "server.plan");
+      buf.plan = RoundPlan{};
+      controller_->Round(array_->failed_disk(), &buf.plan);
+    }
+    ++rounds_planned_;
+    ++metrics_.rounds;
+    poisoned_.clear();
+    // Latency-degraded disks first: if the plan no longer fits an
+    // active quota cap, shed the lowest-priority streams now rather
+    // than miss deadlines across the board mid-round. (Prefetched
+    // rounds skipped this: the overlap never launches with a cap
+    // active, so the shed pass would have been a no-op.)
+    ShedForQuotaCaps(&buf.plan);
+    buf.num_active_after_plan = controller_->num_active();
+    StageAndRunLanes(buf, /*on_main_thread=*/true);
+    if (stall_t0 >= 0) {
+      profiler_->RecordPhase("server.overlap_stall", stall_t0,
+                             prof_clock_->NowNanos());
+    }
+  } else {
+    ++metrics_.rounds;
+    poisoned_.clear();
+  }
+  const RoundPlan& plan = buf.plan;
+
+  FoldLaneSpans(buf);
+
+  // Commit-side round scratch.
+  for (auto& cyls : round_cylinders_) cyls.clear();
+  std::fill(round_disk_reads_.begin(), round_disk_reads_.end(), 0);
+  round_worst_time_ = 0.0;
+
+  // Launch round N+1's produce before the serial tail; from here until
+  // the join, parallel passes go inline (the pipeline owns the pool).
+  MaybeLaunchPrefetch();
+
+  {
+    ScopedPhaseTimer merge_timer(profiler_, "server.merge");
+    ShardApply(buf);
+  }
+  Status st;
+  {
+    ScopedPhaseTimer commit_timer(profiler_, "server.commit");
+    st = CommitOutcomes(buf);
+    ReleaseRoundStaging(buf);
+    if (st.ok()) {
+      // The staged/replayed split must reconcile exactly: per-shard
+      // atomic gauges vs. shard map sizes vs. the replayed count.
+      pool_.CheckShardGauges();
+    }
+  }
   if (!st.ok()) return st;
+  TimeRoundLanes(plan);
+  // The busiest lane bounds the round's parallel service time — the
+  // q-block quota is exactly the paper's cap on this number. Computed
+  // unconditionally so the round timeline sees it even without a
+  // metrics registry attached.
+  round_critical_reads_ = 0;
+  for (int disk = 0; disk < array_->num_disks(); ++disk) {
+    const int reads = round_disk_reads_[static_cast<std::size_t>(disk)];
+    round_critical_reads_ = std::max(round_critical_reads_, reads);
+  }
+  if (config_.metrics != nullptr) {
+    round_reads_hist_->Add(static_cast<double>(plan.reads.size()));
+    if (config_.time_rounds) round_time_hist_->Add(round_worst_time_);
+    for (int disk = 0; disk < array_->num_disks(); ++disk) {
+      const int reads = round_disk_reads_[static_cast<std::size_t>(disk)];
+      if (reads > 0) {
+        disk_round_reads_hists_[static_cast<std::size_t>(disk)]->Add(
+            static_cast<double>(reads));
+      }
+    }
+    if (round_critical_reads_ > 0) {
+      lane_critical_hist_->Add(static_cast<double>(round_critical_reads_));
+    }
+  }
   {
     ScopedPhaseTimer reconstruct_timer(profiler_, "server.reconstruct");
     st = Reconstruct();
@@ -989,7 +1339,7 @@ Status Server::RunRound() {
         ->Inc(sample.completed_streams);
     if (sample.degraded) reg->counter("server.degraded_rounds")->Inc();
     reg->gauge("server.active_streams")
-        ->Set(static_cast<double>(controller_->num_active()));
+        ->Set(static_cast<double>(buf.num_active_after_plan));
   }
   return CheckLoadWindow();
 }

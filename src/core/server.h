@@ -1,9 +1,13 @@
 #ifndef CMFS_CORE_SERVER_H_
 #define CMFS_CORE_SERVER_H_
 
+#include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <unordered_map>
 #include <unordered_set>
@@ -32,17 +36,38 @@
 //   * every delivery is on time and bit-exact, except the non-clustered
 //     baseline's documented transition hiccups, which are counted.
 //
-// Intra-round parallel service (the paper's §3 premise that disks are
-// independent service queues within a round): ExecuteReads partitions
-// the round's planned reads into per-disk *lanes* — one lane per disk,
-// reads in plan order — and executes the lanes on a thread pool sized by
-// ServerConfig::lanes. Each lane touches only its own disk, its own
-// injector shard and its own staging/outcome storage; every shared
-// effect (metrics, histograms, trace events, buffer-pool and key-set
-// updates) is applied afterwards by a sequential merge walk in original
-// plan order. Metrics, traces, epoch reports and exported JSON are
-// therefore byte-identical at any lane count — the same determinism
-// contract sim/sweep gives across cells, now inside one cell.
+// Pipelined round engine (the paper's §3 premise that disks are
+// independent service queues, carried through the whole loop):
+//
+//   produce(N):  plan -> shed -> stage -> per-disk lanes (parallel reads)
+//   merge(N):    per-*shard* parallel apply of clean pool mutations
+//   commit(N):   sequential replay of every shared effect in plan order
+//   deliver(N):  parallel verification, sequential delivery apply
+//
+// Each planned read's key maps to exactly one buffer-pool shard
+// (BufferPool::ShardOf — a pure function of the key), so the merge phase
+// runs one stream of StagedPutAdopt/StagedAccumulateXor per shard with
+// zero shared mutation; the commit phase then replays outcomes in
+// original plan order — metrics, histograms, trace events, QoS calls,
+// occupancy samples, and the degraded paths (retry accounting, inline
+// reconstruction, poisoning) that must see the world sequentially.
+// Metrics, traces, epoch reports and exported JSON are therefore
+// byte-identical at any lane count and with double-buffering on or off —
+// the same determinism contract sim/sweep gives across cells.
+//
+// Double-buffered rounds (ServerConfig::double_buffer + SetRoundHooks):
+// when round N's lanes come back clean and the caller's stall hook
+// approves, the server runs round N+1's prolog on the calling thread,
+// then produces round N+1 (plan + stage + lanes) on a dedicated pipeline
+// thread while round N merges/commits/delivers; the produce is joined
+// before RunRound(N) returns, so between RunRound calls the server is
+// quiescent. Overlap is *refused* — an epoch barrier — whenever round N
+// saw any read error, a disk is failed, a quota cap is active, or the
+// stall hook says the next round's world will differ (fault-schedule
+// events, rebuild in progress, schedule horizon). Refusals and join
+// waits surface as the "server.overlap_stall" profiler phase; a
+// prefetched round's produce surfaces as "server.prefetch" on its own
+// trace track.
 //
 // Degraded-mode service path (docs/fault_model.md): when a fault
 // injector is attached beneath the array, a read attempt may fail with a
@@ -100,6 +125,12 @@ struct ServerConfig {
   // with sweep-level parallelism (lanes within a cell, cells within a
   // grid), so sweeps normally keep lanes = 1.
   int lanes = 1;
+  // Overlap round N+1's produce (plan + stage + lanes) with round N's
+  // merge/commit/deliver on a dedicated pipeline thread. Requires
+  // SetRoundHooks (without hooks the flag is inert — the server cannot
+  // know it is safe to advance the outside world a round early). Every
+  // observable output is byte-identical with this on or off.
+  bool double_buffer = false;
   // Optional event trace sink (owned by the caller, must outlive the
   // server). Records admissions, reads, deliveries, hiccups and stream
   // lifecycle events for offline QoS analysis (core/trace.h). Any
@@ -113,7 +144,7 @@ struct ServerConfig {
   // occupancy (names in docs/observability.md).
   MetricsRegistry* metrics = nullptr;
   // Optional per-stream QoS ledger (caller-owned, must outlive the
-  // server). Fed exclusively from the sequential merge and delivery
+  // server). Fed exclusively from the sequential commit and delivery
   // phases, in plan order: delivery outcomes, causal block spans, shed
   // and hiccup attribution (obs/stream_qos.h). The caller registers
   // per-disk fault causes on the ledger each round; the server resolves
@@ -127,10 +158,11 @@ struct ServerConfig {
   // histograms (obs/phase_profiler.h) and never touches the metrics
   // registry, trace or QoS ledger, so every determinism-checked output
   // stays byte-identical with or without it. Records the round phases
-  // (server.plan/stage/lanes/merge/reconstruct/deliver/round), each
-  // lane's busy span, the per-round lane-utilization sample, and — when
-  // a ChromeTraceWriter is attached to the profiler — pool-occupancy and
-  // lane_critical counter tracks.
+  // (server.plan/stage/lanes/merge/commit/reconstruct/deliver/round,
+  // plus server.prefetch and server.overlap_stall under
+  // double-buffering), each lane's busy span, the per-round
+  // lane-utilization sample, and — when a ChromeTraceWriter is attached
+  // to the profiler — pool-occupancy and lane_critical counter tracks.
   PhaseProfiler* profiler = nullptr;
   std::uint64_t seed = 0x5eedULL;
 };
@@ -180,6 +212,7 @@ class Server {
   // controller's layout; `controller` and `array` must outlive the server.
   Server(DiskArray* array, Controller* controller,
          const ServerConfig& config);
+  ~Server();
 
   // Admission passthrough (takes effect next round). `priority` only
   // matters to the shedding policy: 0 is the most important class;
@@ -197,7 +230,10 @@ class Server {
   Status ResumeStream(StreamId id);
   Status CancelStream(StreamId id);
 
-  Status FailDisk(int disk) { return array_->FailDisk(disk); }
+  Status FailDisk(int disk) {
+    AssertQuiescent();
+    return array_->FailDisk(disk);
+  }
 
   // Caps `disk`'s effective round quota (a latency-degraded epoch);
   // q() or more = uncapped. Before executing a plan whose per-disk read
@@ -206,6 +242,29 @@ class Server {
   // changed or ClearDiskQuotaCaps().
   void SetDiskQuotaCap(int disk, int cap);
   void ClearDiskQuotaCaps();
+
+  // Installs the round hooks the double-buffered engine needs to safely
+  // run a round ahead:
+  //
+  //   * prolog(r) performs the caller's per-round side effects for
+  //     0-based round r — injector BeginRound, lifecycle events, quota
+  //     caps, QoS cause labels. The server calls it exactly once per
+  //     round, in increasing round order, on the RunRound caller's
+  //     thread, immediately before planning round r (which may be one
+  //     round before RunRound(r) when overlapping).
+  //   * stall(r) is a *pure* predicate: return true if round r must not
+  //     be produced early — its prolog will change the world (a
+  //     scheduled fault event, a window opening or closing, an active
+  //     rebuild) or r is past the run's horizon. The server adds its own
+  //     barrier conditions (any read error in the current round, a
+  //     failed disk, an active quota cap) on top.
+  //
+  // With hooks installed, callers must not mutate server state between
+  // rounds outside the prolog while double-buffering is on. Hooks also
+  // work with double_buffer off (the prolog simply runs inline at the
+  // top of every RunRound), which is how callers keep one code path.
+  void SetRoundHooks(std::function<void(std::int64_t)> prolog,
+                     std::function<bool(std::int64_t)> stall);
 
   // Executes one round. Fails (kInternal) on any invariant violation:
   // quota overrun, missed/corrupt delivery (unless allow_hiccups), read
@@ -220,6 +279,11 @@ class Server {
   int num_active() const { return controller_->num_active(); }
   // Lane threads actually in use (1 = sequential).
   int lanes() const { return lanes_; }
+  // Whether the round N/N+1 overlap is armed (double_buffer + hooks).
+  bool pipeline_enabled() const {
+    return config_.double_buffer && round_prolog_ != nullptr &&
+           stall_hook_ != nullptr;
+  }
 
   // Per-round telemetry timeline (always captured; one RoundSample per
   // round). timeline().EpochReport() slices it before/during/after the
@@ -229,13 +293,13 @@ class Server {
  private:
   using Key = BufferPool::Key;
 
-  // What one lane recorded for one planned read: everything the merge
+  // What one lane recorded for one planned read: everything the commit
   // walk needs to replay the sequential engine's bookkeeping without
   // touching the disk again. Plain data, one writer (the lane), read
   // after the barrier.
   struct ReadOutcome {
     // kUnavailable = transient loss (retries exhausted); any other
-    // non-ok code aborts the round at merge time.
+    // non-ok code aborts the round at commit time.
     Status error = Status::Ok();
     int retries = 0;
     // Failed attempts observed (== retries on success, retries + 1 on a
@@ -245,29 +309,142 @@ class Server {
     int cylinder = 0;
   };
 
-  Status ExecuteReads(const RoundPlan& plan);
-  // Builds the per-disk lanes and the staging storage for one plan.
-  void PrepareLanes(const RoundPlan& plan);
+  // What the parallel shard-apply pass did (or deliberately did not do)
+  // to the pool for one planned read; the sequential commit replays the
+  // matching bookkeeping, or runs the full sequential logic live for
+  // deferred positions.
+  enum PoolEvent : std::uint8_t {
+    // Shard apply skipped this position: its key saw an error at or
+    // before it this round. Commit runs the exact sequential path
+    // (retry accounting, inline reconstruction, poisoning, live pool
+    // ops) — byte-identical to the pre-sharding engine.
+    kPoolDeferred = 0,
+    kPoolAdoptInsert,     // StagedPutAdopt inserted a fresh entry
+    kPoolAdoptReplace,    // StagedPutAdopt replaced an existing entry
+    kPoolFoldInsert,      // recovery fold created the entry here
+    kPoolFoldExisting,    // recovery fold found the entry (or no slots)
+    kPoolRecoveryLater,   // successful recovery read after its key's fold
+  };
+
+  // One round's produce-side state: the plan plus every per-position
+  // scratch the lanes and the shard apply write. Two of these exist so
+  // round N+1 can be produced while round N commits; nothing in here is
+  // shared between the buffers.
+  struct RoundBuffer {
+    RoundPlan plan;
+    // Plan positions per disk, in plan order: the lanes.
+    std::vector<std::vector<std::int32_t>> lane_positions;
+    // Disks with at least one planned read this round.
+    std::vector<int> active_lanes;
+    // Per plan position.
+    std::vector<ReadOutcome> outcomes;
+    // Staging block (from the key's pool-shard arena) for kData/kParity
+    // positions; nullptr for kRecovery and after adoption.
+    std::vector<std::uint8_t*> staged;
+    // kRecovery: index into partials of this position's (disk, key)
+    // accumulator; -1 otherwise.
+    std::vector<std::int32_t> partial_slot;
+    // Partial-XOR accumulator blocks, released after every commit.
+    std::vector<std::uint8_t*> partials;
+    // Per slot: 1 once a successful read initialized it. Written only by
+    // the slot's own lane; read at merge (a slot whose reads all failed
+    // stays uninitialized and must not be folded).
+    std::vector<std::uint8_t> partial_init;
+    // Per slot: the pool shard whose arena owns the accumulator block.
+    std::vector<int> partial_shard;
+    // Key -> its accumulator slots as (disk, slot), in first-touch plan
+    // order. XOR is exact, so folding per-disk partials produces the
+    // same bytes as the sequential per-read accumulation.
+    std::unordered_map<Key, std::vector<std::pair<int, std::int32_t>>,
+                       BufferPool::KeyHash>
+        recovery_slots;
+    // Per position: the key's pool shard (BufferPool::ShardOf).
+    std::vector<std::int32_t> shard_of;
+    // Plan positions per pool shard, in plan order: the merge streams.
+    std::vector<std::vector<std::int32_t>> shard_positions;
+    // Shards with at least one position this round.
+    std::vector<int> active_shards;
+    // Per position: what shard apply did (PoolEvent).
+    std::vector<std::uint8_t> pool_event;
+    // Any lane outcome carries an error (set when the lanes finish; the
+    // overlap decision and the shard apply's fast path read it).
+    bool any_error = false;
+    // controller_->num_active() right after planning (+ shedding, on the
+    // inline path): the value the round's registry gauge publishes.
+    // Snapshotted because the overlapped produce advances the controller
+    // a round ahead of the committing round.
+    int num_active_after_plan = 0;
+    // Per-disk lane wall-clock spans (profiler only): each lane writes
+    // its own slot; folded sequentially at commit.
+    std::vector<std::int64_t> lane_start_ns;
+    std::vector<std::int64_t> lane_busy_ns;
+    // Produce completed; awaiting commit.
+    bool ready = false;
+  };
+
+  // --- Produce side (runs inline or on the pipeline thread) -----------
+  // Builds the per-disk lanes, the per-shard merge streams and the
+  // staging storage for one plan.
+  void PrepareLanes(RoundBuffer& buf);
   // Executes one disk's lane: reads with bounded retry, stages bytes
   // into preallocated arena blocks / partial-XOR accumulators, records
   // ReadOutcomes. Touches nothing shared.
-  void RunLane(const RoundPlan& plan, int disk);
-  // Sequential replay of the round's bookkeeping from the lane
-  // outcomes, in original plan order.
-  Status MergeOutcomes(const RoundPlan& plan);
+  void RunLane(RoundBuffer& buf, int disk);
+  // stage + lanes + the any_error scan. on_main_thread selects both the
+  // phase timers (the prefetch path wraps the whole produce in one
+  // server.prefetch span instead) and the lane dispatch (the pipeline
+  // thread owns the lane pool exclusively while it produces, so it calls
+  // ParallelFor directly; the main thread goes through LaneParallelFor).
+  void StageAndRunLanes(RoundBuffer& buf, bool on_main_thread);
+  // Full produce of one prefetched round on the pipeline thread.
+  void ProduceInto(RoundBuffer* buf);
+
+  // --- Merge / commit side (always on the RunRound thread) ------------
+  // Parallel per-shard apply of clean pool mutations (staged ops only;
+  // errored keys deferred). One task per active shard; inline while a
+  // produce is in flight (the lane pool is not reentrant).
+  void ShardApply(RoundBuffer& buf);
+  // One shard's apply stream, positions in plan order.
+  void ShardApplyOne(RoundBuffer& buf, int shard);
+  // Sequential replay of the round's bookkeeping in original plan
+  // order: metrics, histograms, traces, QoS, occupancy samples, key
+  // sets — plus the live sequential path for deferred positions.
+  Status CommitOutcomes(RoundBuffer& buf);
+  // Sequential fold of the lanes' wall-clock spans into the profiler
+  // (active-lane order) plus the round's utilization sample.
+  void FoldLaneSpans(const RoundBuffer& buf);
   // Per-disk C-SCAN timing + histogram publication for the round.
   void TimeRoundLanes(const RoundPlan& plan);
   // Returns every still-unadopted staging block and every partial
-  // accumulator (always copied, never adopted) to the pool's arena.
-  void ReleaseRoundStaging();
+  // accumulator (always copied, never adopted) to its shard arena.
+  void ReleaseRoundStaging(RoundBuffer& buf);
   Status Reconstruct();
   Status Deliver(const RoundPlan& plan);
   Status CheckLoadWindow();
+
+  // --- Pipeline (double-buffer) machinery ------------------------------
+  // Runs the caller's prolog for `round` exactly once.
+  void RunProlog(std::int64_t round);
+  // Launches the produce of the next round on the pipeline thread if
+  // the current round was clean and no barrier condition holds.
+  void MaybeLaunchPrefetch();
+  // Waits for an in-flight produce (recording server.overlap_stall for
+  // any wait) and clears the outstanding flag. Idempotent.
+  void PipelineJoin();
+  void PipeThreadMain();
+  bool AnyQuotaCap() const;
+  // External mutators (admission, pause/resume/cancel, FailDisk, quota
+  // caps) may only run while no produce is in flight and no prefetched
+  // plan is pending — a round planned under the old world would be
+  // stale. The scenario runner's prolog/stall contract guarantees this;
+  // the check catches callers that bypass it.
+  void AssertQuiescent() const;
+
   // Evicts a stream's buffered blocks and pending reconstructions.
   void DropStreamBuffers(StreamId id);
   // Bounded-retry read (transient errors only); counts attempts into the
-  // degraded-mode metrics. Any terminal error is returned as-is. Merge
-  // thread only (ReconstructInline's peer reads).
+  // degraded-mode metrics. Any terminal error is returned as-is. Commit
+  // walk only (ReconstructInline's peer reads).
   Result<const Block*> ReadWithRetry(const BlockAddress& addr);
   // Retry-exhaustion fallback for a data read: XOR the surviving group
   // peers into the buffer entry. False if reconstruction is impossible
@@ -283,7 +460,9 @@ class Server {
   // the ledger's registered fault context if any, else what the server
   // itself can see (the failed disk).
   std::string DegradedCauseFor(int disk) const;
-  // Runs fn(i) for i in [0, n) on the lane pool (inline when lanes_ == 1).
+  // Runs fn(i) for i in [0, n) on the lane pool; inline when lanes_ == 1
+  // or while a produce owns the pool (ThreadPool::ParallelFor is not
+  // safe to enter from two threads).
   void LaneParallelFor(std::int64_t n,
                        const std::function<void(std::int64_t)>& fn);
   // Appends to the current phase's trace shard (flushed via RecordAll).
@@ -320,6 +499,11 @@ class Server {
   // hiccups and same-round recovery reads stop touching them. Cleared
   // every round.
   std::unordered_set<Key, BufferPool::KeyHash> poisoned_;
+  // Lost blocks whose delivery is still outstanding (each will hiccup in
+  // its due round). Non-empty blocks the round overlap: the hiccup path
+  // resolves fault causes against the QoS ledger's per-round labels, and
+  // an early prolog would have relabeled them.
+  std::unordered_set<Key, BufferPool::KeyHash> lost_delivery_keys_;
   // Per-disk effective quota caps (INT_MAX = uncapped).
   std::vector<int> quota_caps_;
   // Scratch for inline parity reconstruction.
@@ -331,37 +515,30 @@ class Server {
   // Cylinders touched per disk this round (for timing).
   std::vector<std::vector<int>> round_cylinders_;
 
-  // --- Round-engine scratch (reserved once, reused every round) ---
-  // Plan positions per disk, in plan order: the lanes.
-  std::vector<std::vector<std::int32_t>> lane_positions_;
-  // Disks with at least one planned read this round.
-  std::vector<int> active_lanes_;
-  // Per plan position.
-  std::vector<ReadOutcome> outcomes_;
-  // Staging block (from the pool's arena) for kData/kParity positions;
-  // nullptr for kRecovery and after the merge adopts it.
-  std::vector<std::uint8_t*> staged_;
-  // kRecovery: index into partials_ of this position's (disk, key)
-  // accumulator; -1 otherwise.
-  std::vector<std::int32_t> partial_slot_;
-  // Partial-XOR accumulator blocks, released after every merge.
-  std::vector<std::uint8_t*> partials_;
-  // Per slot: 1 once a successful read initialized it. Written only by
-  // the slot's own lane; read at merge (a slot whose reads all failed
-  // stays uninitialized and must not be folded).
-  std::vector<std::uint8_t> partial_init_;
-  // Key -> its accumulator slots as (disk, slot), in first-touch plan
-  // order. XOR is exact, so folding per-disk partials produces the same
-  // bytes as the sequential per-read accumulation.
-  std::unordered_map<Key, std::vector<std::pair<int, std::int32_t>>,
-                     BufferPool::KeyHash>
-      recovery_slots_;
+  // --- Round buffers (reserved once, reused every round) ---
+  RoundBuffer buffers_[2];
+  int cur_ = 0;
+  // 0-based count of rounds whose prolog + plan have run (the next
+  // round to produce). metrics_.rounds is the 1-based committed count.
+  std::int64_t rounds_planned_ = 0;
+  std::int64_t prolog_done_round_ = -1;
+
+  // --- Pipeline thread (created lazily on first prefetch) ---
+  std::function<void(std::int64_t)> round_prolog_;
+  std::function<bool(std::int64_t)> stall_hook_;
+  std::thread pipe_thread_;
+  std::mutex pipe_mu_;
+  std::condition_variable pipe_cv_;
+  bool pipe_has_job_ = false;   // guarded by pipe_mu_
+  bool pipe_shutdown_ = false;  // guarded by pipe_mu_
+  RoundBuffer* pipe_buf_ = nullptr;
+  // A produce is in flight (RunRound thread only; LaneParallelFor goes
+  // inline while set because the produce owns the lane pool).
+  bool produce_outstanding_ = false;
+
+  // --- Commit-side scratch ---
   // Per-disk RoundTiming totals for the parallel timing pass.
   std::vector<double> lane_round_times_;
-  // Per-disk lane wall-clock spans (profiler only): each lane writes its
-  // own slot; read sequentially after the barrier, like outcomes_.
-  std::vector<std::int64_t> lane_start_ns_;
-  std::vector<std::int64_t> lane_busy_ns_;
   // Active-lane busy times gathered for the round's utilization sample.
   std::vector<std::int64_t> lane_busy_scratch_;
   // Per-delivery verification verdicts (two-phase Deliver).

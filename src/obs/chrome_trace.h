@@ -11,9 +11,12 @@
 // Bounded Chrome trace-event JSON exporter: the profiler's spans as a
 // timeline you can open directly in Perfetto (ui.perfetto.dev) or
 // chrome://tracing. One process (pid 1); tid 0 is the sequential control
-// track (plan/stage/merge/deliver/round spans), tid disk + 1 is that
-// disk's lane track, so lane imbalance is visible as ragged span ends
-// within a round.
+// track (plan/stage/merge/commit/deliver/round spans), tid disk + 1 is
+// that disk's lane track, so lane imbalance is visible as ragged span
+// ends within a round. Tid 1000000 is the "pipeline produce" track:
+// server.prefetch spans from the double-buffer thread land there
+// because they overlap the control track's round span, and overlapping
+// complete events on one tid render as garbage in trace viewers.
 //
 // Event vocabulary (the JSON trace-event format's "ph" field):
 //   "X"  complete/duration event (ts + dur, microseconds)

@@ -22,8 +22,10 @@ class SteadyClock : public Clock {
 constexpr double kNanosPerSecond = 1e9;
 
 // Control track for phase spans and counters; lane `disk` gets
-// tid disk + 1 (chrome_trace.h documents the layout).
+// tid disk + 1 (chrome_trace.h documents the layout). The pipeline
+// produce track sits far above any plausible lane tid.
 constexpr int kControlTid = 0;
+constexpr int kPipelineTid = 1000000;
 
 }  // namespace
 
@@ -43,6 +45,7 @@ void PhaseProfiler::AttachChromeTrace(ChromeTraceWriter* writer) {
   }
   // A new sink knows none of the lane tracks yet.
   lane_named_.clear();
+  pipeline_named_ = false;
 }
 
 ChromeTraceWriter* PhaseProfiler::chrome_trace() const {
@@ -62,6 +65,25 @@ void PhaseProfiler::RecordPhase(const std::string& phase,
   stats.time_s.Add(seconds);
   if (chrome_trace_ != nullptr) {
     chrome_trace_->AddComplete(kControlTid, phase, start_ns, dur);
+  }
+}
+
+void PhaseProfiler::RecordPipelineSpan(const std::string& phase,
+                                       std::int64_t start_ns,
+                                       std::int64_t end_ns) {
+  const std::int64_t dur = std::max<std::int64_t>(0, end_ns - start_ns);
+  std::lock_guard<std::mutex> lock(mu_);
+  PhaseStats& stats = phases_[phase];
+  ++stats.count;
+  const double seconds = static_cast<double>(dur) / kNanosPerSecond;
+  stats.total_s += seconds;
+  stats.time_s.Add(seconds);
+  if (chrome_trace_ != nullptr) {
+    if (!pipeline_named_) {
+      chrome_trace_->SetThreadName(kPipelineTid, "pipeline produce");
+      pipeline_named_ = true;
+    }
+    chrome_trace_->AddComplete(kPipelineTid, phase, start_ns, dur);
   }
 }
 

@@ -95,6 +95,14 @@ class PhaseProfiler {
   // One completed phase span [start_ns, end_ns) on the control track.
   void RecordPhase(const std::string& phase, std::int64_t start_ns,
                    std::int64_t end_ns);
+  // One completed span on the dedicated *pipeline* track ("pipeline
+  // produce", its own tid): the double-buffered round engine records a
+  // prefetched round's produce work (plan + stage + lanes) here, because
+  // it overlaps the control track's commit span by design and two
+  // overlapping complete events on one tid break trace viewers.
+  // Accumulates into the phase histogram like RecordPhase.
+  void RecordPipelineSpan(const std::string& phase, std::int64_t start_ns,
+                          std::int64_t end_ns);
   // Duration-only variant for spans whose absolute placement is
   // meaningless (e.g. sweep cells that overlap on worker threads):
   // accumulates the histogram, never emits a trace event.
@@ -153,6 +161,8 @@ class PhaseProfiler {
   // Lane tids already named on the trace writer (avoids re-sending
   // thread_name metadata every round).
   std::vector<bool> lane_named_;
+  // Whether the pipeline track's thread_name metadata has been sent.
+  bool pipeline_named_ = false;
 };
 
 // RAII phase span: reads the profiler's clock at construction and

@@ -182,6 +182,7 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
   server_config.max_read_retries = config.max_read_retries;
   server_config.reconstruct_on_read_error = config.reconstruct_on_read_error;
   server_config.lanes = config.lanes;
+  server_config.double_buffer = config.double_buffer;
   server_config.metrics = config.metrics;
   server_config.trace = config.trace;
   // Per-stream QoS ledger: caller's or an internal one — either way the
@@ -210,11 +211,23 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
 
   std::unique_ptr<Rebuilder> rebuilder;
   int rebuild_target = -1;
-  for (std::int64_t round = 0; round < config.total_rounds; ++round) {
+  // The per-round loop head — injector clock, lifecycle events, quota
+  // caps, cause labels — runs as the server's round *prolog* so the
+  // double-buffered engine can execute it one round early when it
+  // overlaps. The server calls it exactly once per round, in order, on
+  // this thread, whether double_buffer is on or off; a failed event
+  // parks its status in prolog_status and the loop aborts after the
+  // round.
+  Status prolog_status = Status::Ok();
+  auto prolog = [&](std::int64_t round) {
+    if (!prolog_status.ok()) return;
     injector.BeginRound(round);
     for (const FailStopEvent& event : config.schedule.fail_stops) {
       if (event.round != round) continue;
-      if (Status st = server.FailDisk(event.disk); !st.ok()) return st;
+      if (Status st = server.FailDisk(event.disk); !st.ok()) {
+        prolog_status = st;
+        return;
+      }
     }
     for (const SwapEvent& event : config.schedule.swaps) {
       if (event.round != round) continue;
@@ -222,7 +235,10 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
       // replacement's content metadata.
       const std::int64_t scan =
           array.disk(event.disk).HighestWrittenBlock() + 1;
-      if (Status st = array.StartRebuild(event.disk); !st.ok()) return st;
+      if (Status st = array.StartRebuild(event.disk); !st.ok()) {
+        prolog_status = st;
+        return;
+      }
       rebuilder = std::make_unique<Rebuilder>(
           setup->layout.get(), &array, event.disk,
           std::max<std::int64_t>(scan, 1), event.rebuild_budget);
@@ -285,7 +301,45 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
                               " cap=" + std::to_string(win.quota_cap));
       }
     }
-    if (Status st = server.RunRound(); !st.ok()) return st;
+  };
+  // Epoch barrier: forbid producing round `next` early whenever its
+  // prolog fires a lifecycle event, any fault window is open at `next`
+  // or was still open the round before (its boundary), a rebuild is in
+  // flight (the rebuilder shares the disks between rounds), a disk is
+  // down, or the schedule horizon is reached. Conservative on purpose:
+  // overlapping only provably clean rounds is what keeps DB on/off
+  // byte-identical.
+  auto stall = [&](std::int64_t next) {
+    if (!prolog_status.ok()) return true;
+    if (next >= config.total_rounds) return true;
+    if (rebuilder != nullptr) return true;
+    if (array.failed_disk() >= 0) return true;
+    for (const FailStopEvent& event : config.schedule.fail_stops) {
+      if (event.round == next) return true;
+    }
+    for (const SwapEvent& event : config.schedule.swaps) {
+      if (event.round == next) return true;
+    }
+    for (const TransientWindow& win : config.schedule.transients) {
+      if (next >= win.first_round && next - 1 <= win.last_round) {
+        return true;
+      }
+    }
+    for (const SlowWindow& win : config.schedule.slow_windows) {
+      if (next >= win.first_round && next - 1 <= win.last_round) {
+        return true;
+      }
+    }
+    return false;
+  };
+  server.SetRoundHooks(prolog, stall);
+
+  for (std::int64_t round = 0; round < config.total_rounds; ++round) {
+    const Status st = server.RunRound();
+    // A failed lifecycle event outranks whatever the half-updated round
+    // went on to report.
+    if (!prolog_status.ok()) return prolog_status;
+    if (!st.ok()) return st;
     if (rebuilder != nullptr && !rebuilder->done()) {
       Result<int> rebuilt = rebuilder->RunRound();
       if (!rebuilt.ok()) return rebuilt.status();
@@ -381,6 +435,7 @@ Result<DrillResult> RunFailureDrill(const DrillConfig& config) {
   scenario.total_rounds = config.total_rounds;
   scenario.allow_hiccups = config.allow_hiccups;
   scenario.lanes = config.lanes;
+  scenario.double_buffer = config.double_buffer;
   scenario.seed = config.seed;
   if (config.fail_round >= 0) {
     scenario.schedule.fail_stops.push_back(

@@ -46,6 +46,9 @@ struct DrillConfig {
   // Intra-round lane threads (ServerConfig::lanes): results are
   // byte-identical at any setting.
   int lanes = 1;
+  // Overlap round N+1's produce with round N's commit
+  // (ServerConfig::double_buffer): byte-identical on or off.
+  bool double_buffer = false;
   std::uint64_t seed = 0x5eedULL;
 };
 
@@ -84,6 +87,14 @@ struct ScenarioConfig {
   // byte-identical at any setting — crank it for wall-clock, not for
   // different answers.
   int lanes = 1;
+  // Double-buffered rounds (ServerConfig::double_buffer): overlap the
+  // next round's plan + lane staging with the current round's
+  // merge/commit/deliver. The runner always drives the server through
+  // its round hooks, so the per-round event sequencing (injector clock,
+  // fail-stops, swaps, caps, cause labels) is identical either way, and
+  // the epoch barrier stalls the overlap around every schedule event,
+  // open window and active rebuild. Byte-identical on or off.
+  bool double_buffer = false;
   std::uint64_t seed = 0x5eedULL;
   // The scripted fault timeline (validated against num_disks /
   // total_rounds before anything runs).

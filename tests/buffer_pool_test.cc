@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <thread>
+#include <vector>
+
 #include "core/content.h"
+#include "obs/export.h"
 
 namespace cmfs {
 namespace {
@@ -126,6 +131,169 @@ TEST(BufferPoolTest, DropStreamRegressionOverHashedMap) {
   pool.DropStream(3);
   pool.DropStream(99);
   EXPECT_EQ(pool.resident_blocks(), 5 * 3 * 5);
+}
+
+// --- Sharded pool: staged merge + sequential replay ---------------------
+
+std::string RegistryJson(const MetricsRegistry& registry) {
+  JsonWriter json;
+  json.BeginObject();
+  AppendRegistryJson(registry, &json);
+  json.EndObject();
+  return json.TakeString();
+}
+
+TEST(BufferPoolShardTest, ShardOfIsAPureKeyProperty) {
+  // Shard routing must depend on the key alone — two pools with the
+  // same shard count agree on every key, and a single-shard pool (the
+  // classic configuration) routes everything to shard 0.
+  BufferPool pool(16, 8);
+  BufferPool other(16, 8);
+  std::vector<int> hits(8, 0);
+  for (std::int64_t index = 0; index < 256; ++index) {
+    const int shard = pool.ShardOf(3, 1, index);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, pool.num_shards());
+    EXPECT_EQ(shard, other.ShardOf(3, 1, index));
+    ++hits[static_cast<std::size_t>(shard)];
+  }
+  for (int shard = 0; shard < 8; ++shard) {
+    EXPECT_GT(hits[static_cast<std::size_t>(shard)], 0) << shard;
+  }
+  BufferPool single(16);
+  EXPECT_EQ(single.num_shards(), 1);
+  EXPECT_EQ(single.ShardOf(3, 1, 77), 0);
+}
+
+TEST(BufferPoolShardTest, StagedAdoptReplayMatchesSequential) {
+  // The staged path (shard-scoped mutation now, global bookkeeping
+  // replayed later in the same order) must be observationally identical
+  // to the sequential PutAdopt path: same entries, same resident and
+  // high-water counts, same occupancy-histogram sample sequence.
+  MetricsRegistry seq_registry;
+  MetricsRegistry staged_registry;
+  BufferPool seq(8, 4);
+  BufferPool staged(8, 4);
+  seq.AttachMetrics(&seq_registry);
+  staged.AttachMetrics(&staged_registry);
+  struct Op {
+    StreamId stream;
+    int space;
+    std::int64_t index;
+  };
+  std::vector<Op> ops;
+  for (std::int64_t index = 0; index < 24; ++index) {
+    ops.push_back({static_cast<StreamId>(index % 3), 0, index});
+  }
+  // Duplicates exercise the replace path (adopt releases the old block).
+  ops.push_back({0, 0, 0});
+  ops.push_back({2, 0, 23});
+  const auto fill = [](std::uint8_t* block, const Op& op) {
+    const Block bytes = PatternBlock(op.space, op.index, 8);
+    std::memcpy(block, bytes.data(), bytes.size());
+  };
+  for (const Op& op : ops) {
+    const int shard = seq.ShardOf(op.stream, op.space, op.index);
+    std::uint8_t* block = seq.arena(shard)->Allocate();
+    fill(block, op);
+    seq.PutAdopt(op.stream, op.space, op.index, block, false);
+  }
+  std::vector<bool> inserted;
+  for (const Op& op : ops) {
+    const int shard = staged.ShardOf(op.stream, op.space, op.index);
+    std::uint8_t* block = staged.arena(shard)->Allocate();
+    fill(block, op);
+    inserted.push_back(staged.StagedPutAdopt(shard, op.stream, op.space,
+                                             op.index, block, false));
+  }
+  for (const bool fresh : inserted) staged.ReplayStagedInsert(fresh);
+  EXPECT_EQ(staged.resident_blocks(), seq.resident_blocks());
+  EXPECT_EQ(staged.high_water_blocks(), seq.high_water_blocks());
+  EXPECT_EQ(staged.CheckShardGauges(), staged.resident_blocks());
+  EXPECT_EQ(RegistryJson(staged_registry), RegistryJson(seq_registry));
+  for (const Op& op : ops) {
+    BufferPool::Entry* a = seq.Find(op.stream, op.space, op.index);
+    BufferPool::Entry* b = staged.Find(op.stream, op.space, op.index);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(0, std::memcmp(a->data.data(), b->data.data(), 8));
+  }
+}
+
+TEST(BufferPoolShardTest, StagedAccumulateReplayMatchesSequential) {
+  MetricsRegistry seq_registry;
+  MetricsRegistry staged_registry;
+  BufferPool seq(8, 4);
+  BufferPool staged(8, 4);
+  seq.AttachMetrics(&seq_registry);
+  staged.AttachMetrics(&staged_registry);
+  const Block partial_a = PatternBlock(0, 1, 8);
+  const Block partial_b = PatternBlock(0, 2, 8);
+  std::vector<bool> inserted;
+  for (std::int64_t index = 0; index < 16; ++index) {
+    seq.AccumulateXor(5, 0, index, partial_a.data());
+    seq.AccumulateXor(5, 0, index, partial_b.data());  // existing entry
+    const int shard = staged.ShardOf(5, 0, index);
+    inserted.push_back(
+        staged.StagedAccumulateXor(shard, 5, 0, index, partial_a.data()));
+    inserted.push_back(
+        staged.StagedAccumulateXor(shard, 5, 0, index, partial_b.data()));
+  }
+  for (const bool fresh : inserted) staged.ReplayStagedAccumulate(fresh);
+  EXPECT_EQ(staged.resident_blocks(), seq.resident_blocks());
+  EXPECT_EQ(staged.CheckShardGauges(), staged.resident_blocks());
+  EXPECT_EQ(RegistryJson(staged_registry), RegistryJson(seq_registry));
+  for (std::int64_t index = 0; index < 16; ++index) {
+    EXPECT_EQ(0, std::memcmp(seq.Find(5, 0, index)->data.data(),
+                             staged.Find(5, 0, index)->data.data(), 8));
+  }
+}
+
+TEST(BufferPoolShardTest, ConcurrentStagedInsertsAcrossShardsAreRaceFree) {
+  // Regression for the occupancy-gauge race: the pre-sharding pool
+  // bumped one shared occupancy gauge outside any lock on the adopt
+  // path, so parallel lane adoption could lose updates. The gauge is
+  // now a per-shard atomic folded (and CHECKed) at commit. One thread
+  // per shard hammers staged adopts concurrently; under the
+  // tsan-parallel label ThreadSanitizer proves the path race-free, and
+  // the folded gauges must equal the replayed deterministic count.
+  constexpr int kShards = 4;
+  constexpr int kKeysPerShard = 64;
+  BufferPool pool(16, kShards);
+  std::vector<std::vector<std::int64_t>> keys(kShards);
+  bool done = false;
+  for (std::int64_t index = 0; !done; ++index) {
+    const int shard = pool.ShardOf(9, 0, index);
+    if (keys[static_cast<std::size_t>(shard)].size() < kKeysPerShard) {
+      keys[static_cast<std::size_t>(shard)].push_back(index);
+    }
+    done = true;
+    for (const auto& bucket : keys) {
+      if (bucket.size() < kKeysPerShard) done = false;
+    }
+  }
+  std::vector<std::vector<bool>> inserted(kShards);
+  std::vector<std::thread> threads;
+  for (int shard = 0; shard < kShards; ++shard) {
+    threads.emplace_back([&pool, &keys, &inserted, shard] {
+      for (const std::int64_t index :
+           keys[static_cast<std::size_t>(shard)]) {
+        std::uint8_t* block = pool.arena(shard)->Allocate();
+        std::memset(block, shard + 1, 16);
+        inserted[static_cast<std::size_t>(shard)].push_back(
+            pool.StagedPutAdopt(shard, 9, 0, index, block, false));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const auto& bucket : inserted) {
+    for (const bool fresh : bucket) pool.ReplayStagedInsert(fresh);
+  }
+  EXPECT_EQ(pool.resident_blocks(), kShards * kKeysPerShard);
+  EXPECT_EQ(pool.CheckShardGauges(), kShards * kKeysPerShard);
+  for (int shard = 0; shard < kShards; ++shard) {
+    EXPECT_EQ(pool.shard_resident_blocks(shard), kKeysPerShard) << shard;
+  }
 }
 
 TEST(ContentTest, DeterministicAndDistinct) {

@@ -6,16 +6,19 @@
 #include "core/trace.h"
 #include "obs/export.h"
 #include "obs/metrics_registry.h"
+#include "obs/phase_profiler.h"
 #include "sim/failure_drill.h"
 
-// The lane engine's determinism contract: ServerConfig::lanes changes
-// wall-clock only. For every fault class — clean rounds, transient
-// storms with in-round retry, retry exhaustion with inline parity
-// reconstruction, slow-disk shedding, fail-stop, swap + online rebuild —
-// the scenario result, the full metrics-registry JSON and the event
-// trace must be byte-identical at 1, 2 and 8 lanes. These tests carry
-// the `tsan-parallel` ctest label: under ThreadSanitizer they also prove
-// the lanes are race-free.
+// The round engine's determinism contract: ServerConfig::lanes and
+// ServerConfig::double_buffer change wall-clock only. For every fault
+// class — clean rounds, transient storms with in-round retry, retry
+// exhaustion with inline parity reconstruction, slow-disk shedding,
+// fail-stop, swap + online rebuild — the scenario result, the full
+// metrics-registry JSON, the event trace and the per-stream QoS table
+// must be byte-identical across 1/2/8/hardware-default lanes with the
+// round N/N+1 overlap both off and on. These tests carry the
+// `tsan-parallel` ctest label: under ThreadSanitizer they also prove
+// the lanes and the pipeline produce thread are race-free.
 
 namespace cmfs {
 namespace {
@@ -24,6 +27,7 @@ struct LaneRun {
   std::string result;  // ScenarioResult::ToString()
   std::string json;    // full registry export
   std::string trace;   // FormatEvents over every event
+  std::string qos;     // deterministic per-stream QoS table
   ScenarioResult scenario;
 };
 
@@ -35,33 +39,46 @@ std::string RegistryJson(const MetricsRegistry& registry) {
   return json.TakeString();
 }
 
-LaneRun RunWithLanes(ScenarioConfig config, int lanes) {
+LaneRun RunWithLanes(ScenarioConfig config, int lanes,
+                     bool double_buffer = false) {
   MetricsRegistry registry;
   Trace trace;
   config.lanes = lanes;
+  config.double_buffer = double_buffer;
   config.metrics = &registry;
   config.trace = &trace;
   Result<ScenarioResult> run = RunScenario(config);
-  EXPECT_TRUE(run.ok()) << "lanes=" << lanes << ": "
-                        << run.status().ToString();
+  EXPECT_TRUE(run.ok()) << "lanes=" << lanes << " db=" << double_buffer
+                        << ": " << run.status().ToString();
   LaneRun out;
   if (!run.ok()) return out;
   out.result = run->ToString();
   out.json = RegistryJson(registry);
   out.trace = FormatEvents(trace.events(), trace.size());
+  out.qos = run->qos_table;
   out.scenario = *run;
   return out;
 }
 
-// Runs the scenario at 1, 2 and 8 lanes and checks byte-identity of
-// every observable; returns the single-lane run for structural checks.
+// Runs the scenario across the full engine matrix — lanes
+// {1, 2, 8, hardware default} x double-buffering {off, on} — and checks
+// byte-identity of every observable against the sequential
+// single-buffered run; returns that baseline for structural checks.
 LaneRun ExpectLaneInvariant(const ScenarioConfig& config) {
-  const LaneRun baseline = RunWithLanes(config, 1);
-  for (int lanes : {2, 8}) {
-    const LaneRun parallel = RunWithLanes(config, lanes);
-    EXPECT_EQ(baseline.result, parallel.result) << "lanes=" << lanes;
-    EXPECT_EQ(baseline.json, parallel.json) << "lanes=" << lanes;
-    EXPECT_EQ(baseline.trace, parallel.trace) << "lanes=" << lanes;
+  const LaneRun baseline = RunWithLanes(config, 1, false);
+  for (int lanes : {1, 2, 8, 0}) {
+    for (bool db : {false, true}) {
+      if (lanes == 1 && !db) continue;  // the baseline itself
+      const LaneRun parallel = RunWithLanes(config, lanes, db);
+      EXPECT_EQ(baseline.result, parallel.result)
+          << "lanes=" << lanes << " db=" << db;
+      EXPECT_EQ(baseline.json, parallel.json)
+          << "lanes=" << lanes << " db=" << db;
+      EXPECT_EQ(baseline.trace, parallel.trace)
+          << "lanes=" << lanes << " db=" << db;
+      EXPECT_EQ(baseline.qos, parallel.qos)
+          << "lanes=" << lanes << " db=" << db;
+    }
   }
   return baseline;
 }
@@ -139,6 +156,24 @@ TEST(LaneEngineTest, FullStormWithRebuildIsLaneInvariant) {
   EXPECT_EQ(run.scenario.completed_rebuilds, 1);
   EXPECT_GT(run.scenario.rebuilt_blocks, 0);
   EXPECT_EQ(run.scenario.metrics.hiccups, 0);
+}
+
+TEST(LaneEngineTest, DoubleBufferOverlapEngagesOnCleanRounds) {
+  // Guards against the overlap silently never arming: on a fault-free
+  // schedule the epoch barrier has nothing to fence, so nearly every
+  // round's successor must be produced on the pipeline thread (visible
+  // as server.prefetch spans in the wall-clock side channel).
+  ScenarioConfig config = BaseConfig();
+  PhaseProfiler profiler;
+  config.profiler = &profiler;
+  config.double_buffer = true;
+  config.lanes = 2;
+  Result<ScenarioResult> run = RunScenario(config);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const auto phases = profiler.phases();
+  const auto it = phases.find("server.prefetch");
+  ASSERT_NE(it, phases.end());
+  EXPECT_GE(it->second.count, config.total_rounds - 20);
 }
 
 TEST(LaneEngineTest, HardwareDefaultLaneCountMatchesSequential) {

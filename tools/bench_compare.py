@@ -8,7 +8,11 @@ the baseline deliberately, with the change that caused it). The one
 exception is the `profile` section (docs/observability.md): it measures
 host wall-clock, so it is gated with a ratio threshold instead — a phase
 whose total time grows past --time-threshold x baseline is a perf
-regression.
+regression. A phase present only in the candidate (a newly
+instrumented sub-phase, e.g. server.commit when the engine split the
+merge) is reported as informational ("new"), never a failure — only a
+phase that *disappears* from the candidate is a regression, because
+the baseline said it should be there.
 
 Usage:
   bench_compare.py BASELINE.json CANDIDATE.json [--time-threshold R]
@@ -165,6 +169,10 @@ def compare(baseline, candidate, time_threshold):
                 (cand_phase or {}).get("count"))
         c.walltime(f"profile.{name}.total_s", base_phase.get("total_s"),
                    (cand_phase or {}).get("total_s"))
+    # Candidate-only phases are informational by policy: new
+    # instrumentation must not fail the gate (the next deliberate
+    # baseline regeneration starts gating them). Dropped phases are
+    # caught above — the baseline's count compares against None.
     for name in sorted(set(n_phases) - set(b_phases)):
         c.add("new", f"profile.{name}.total_s", None,
               n_phases[name].get("total_s"))

@@ -23,9 +23,14 @@ ALLOWED_TOP_LEVEL = {
 
 # profile.phases entries whose spans nest inside "server.round": their
 # totals can never exceed the round total under a monotonic clock.
+# Deliberately absent: "server.prefetch" runs on the pipeline produce
+# thread concurrently with the round span, and "server.overlap_stall"
+# measures time the round spends waiting for that thread — both overlap
+# the sub-phases above by design, so adding them to the sum would make
+# the nesting bound fail on any pipelined run.
 SERVER_SUB_PHASES = {
     "server.plan", "server.stage", "server.lanes", "server.merge",
-    "server.reconstruct", "server.deliver",
+    "server.commit", "server.reconstruct", "server.deliver",
 }
 # Tolerance for the nesting check: totals travel through %.10g.
 PROFILE_NESTING_SLACK = 1e-6
