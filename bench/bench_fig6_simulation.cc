@@ -17,6 +17,7 @@
 //                  (scheme,p,buffer_mb,admitted,drill_hiccups,drill_slo)
 //   --json <path>  full BenchReport artifact (docs/observability.md)
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -80,7 +81,11 @@ int main(int argc, char** argv) {
       drill.parity_group = cell.parity_group;
       drill.q = cap->q;
       drill.f = cap->f;
-      drill.num_streams = 8;
+      // Never ask for more than the cell's structural stream ceiling
+      // (tiny optimized q can push it under 8).
+      drill.num_streams = std::min(
+          8, SchemeStreamCeiling(drill.scheme, drill.num_disks,
+                                 drill.parity_group, drill.q, drill.f));
       drill.stream_blocks = 30;
       drill.total_rounds = 40;
       // Count hiccups instead of aborting: schemes whose optimizer

@@ -24,6 +24,7 @@
 // occupancy and the lane critical path. docs/performance.md ("Reading a
 // phase profile") interprets the output.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -161,7 +162,12 @@ int main(int argc, char** argv) {
       break;
   }
   config.q = 8;
-  config.num_streams = 24;
+  // As many streams as fit this scheme's structural ceiling, up to 24
+  // (streaming-raid's two 8-stream clusters cap it at 16 here).
+  config.num_streams = std::min(
+      24, cmfs::SchemeStreamCeiling(scheme, config.num_disks,
+                                    config.parity_group, config.q,
+                                    config.f));
   config.stream_blocks = 60;
   config.fail_round = 20;
   config.fail_disk = argc > 2 ? std::atoi(argv[2]) : 1;

@@ -1,0 +1,351 @@
+#include "core/admission.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "obs/export.h"
+#include "util/status.h"
+
+namespace cmfs {
+
+const char* AdmissionBoundName(AdmissionBound bound) {
+  switch (bound) {
+    case AdmissionBound::kDiskSum:
+      return "disk-sum";
+    case AdmissionBound::kBusiestDisk:
+      return "busiest-disk";
+  }
+  return "unknown";
+}
+
+int SchemeStreamCeiling(Scheme scheme, int num_disks, int parity_group,
+                        int q, int f) {
+  CMFS_CHECK(num_disks >= 2 && parity_group >= 2 && q >= 1 && f >= 0);
+  const int parity_disks = num_disks / parity_group;
+  switch (scheme) {
+    case Scheme::kDeclustered:
+    case Scheme::kDynamic:
+      // Per-disk service list holds at most q - lambda*f streams and
+      // lambda >= 1 for every design.
+      return num_disks * std::max(0, q - f);
+    case Scheme::kPrefetchFlat:
+      // Per-disk list cap q - f (plus the f-per-class row cap, which
+      // only lowers the reachable count).
+      return num_disks * std::max(0, q - f);
+    case Scheme::kPrefetchParityDisk:
+      // Dedicated parity disks serve no data; q streams per data disk.
+      return (num_disks - parity_disks) * q;
+    case Scheme::kStreamingRaid:
+      // q streams per cluster of p disks.
+      return parity_disks * q;
+    case Scheme::kNonClustered:
+      return num_disks * q;
+  }
+  return num_disks * q;
+}
+
+int DiskSumStreamBound(Scheme scheme, int num_disks, int parity_group,
+                       int q, int f) {
+  const int ceiling =
+      SchemeStreamCeiling(scheme, num_disks, parity_group, q, f);
+  switch (scheme) {
+    case Scheme::kDeclustered:
+    case Scheme::kDynamic: {
+      // An aggregate bound cannot prove that a failed disk's recovery
+      // fan-out spreads over p-1 *different* survivors — that argument
+      // needs per-disk accounting. Summing reservations therefore
+      // charges every stream its worst-case degraded cost of p-1 reads
+      // in a round.
+      const int worst_cost = std::max(1, parity_group - 1);
+      return ceiling / worst_cost;
+    }
+    case Scheme::kPrefetchFlat:
+    case Scheme::kPrefetchParityDisk:
+    case Scheme::kStreamingRaid:
+    case Scheme::kNonClustered:
+      // Degraded service substitutes parity 1-for-1 (peers are already
+      // buffered), so the aggregate and structural numbers coincide.
+      return ceiling;
+  }
+  return ceiling;
+}
+
+double AdmissionEpoch::RejectionRate() const {
+  if (requests <= 0) return 0.0;
+  return static_cast<double>(rejected + timeouts) /
+         static_cast<double>(requests);
+}
+
+std::string AdmissionSummary::ToString() const {
+  if (policy.empty()) return "";
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "admission policy=%s requests=%lld (arrivals=%lld seeks=%lld "
+      "resumes=%lld) admitted=%lld rejected=%lld timeouts=%lld "
+      "withdrawn=%lld dropped=%lld queued_end=%lld\n",
+      policy.c_str(), static_cast<long long>(requests),
+      static_cast<long long>(arrivals), static_cast<long long>(seeks),
+      static_cast<long long>(resumes), static_cast<long long>(admitted),
+      static_cast<long long>(rejected), static_cast<long long>(timeouts),
+      static_cast<long long>(withdrawn), static_cast<long long>(dropped),
+      static_cast<long long>(final_queue_depth));
+  std::string out = buf;
+  std::snprintf(buf, sizeof(buf),
+                "admission wait p50=%.1f p99=%.1f occupancy peak=%lld "
+                "mean=%.1f\n",
+                wait_rounds.p50(), wait_rounds.p99(),
+                static_cast<long long>(peak_occupancy),
+                occupancy.count() > 0 ? occupancy.mean() : 0.0);
+  out += buf;
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    const AdmissionEpoch& e = epochs[i];
+    std::snprintf(buf, sizeof(buf),
+                  "admission epoch %zu: rounds %lld-%lld requests=%lld "
+                  "admitted=%lld rejected=%lld timeouts=%lld rate=%.2f\n",
+                  i, static_cast<long long>(e.first_round),
+                  static_cast<long long>(e.last_round),
+                  static_cast<long long>(e.requests),
+                  static_cast<long long>(e.admitted),
+                  static_cast<long long>(e.rejected),
+                  static_cast<long long>(e.timeouts), e.RejectionRate());
+    out += buf;
+  }
+  return out;
+}
+
+AdmissionEngine::AdmissionEngine(Scheme scheme, int num_disks,
+                                 int parity_group, int q, int f,
+                                 const AdmissionConfig& config, GateFn gate)
+    : config_(config), gate_(std::move(gate)) {
+  CMFS_CHECK(gate_ != nullptr);
+  CMFS_CHECK(config_.queue_capacity >= 0);
+  CMFS_CHECK(config_.queue_timeout_rounds >= 0);
+  disk_sum_bound_ =
+      DiskSumStreamBound(scheme, num_disks, parity_group, q, f);
+  per_disk_budget_ = std::max(0, q - f);
+  signals_.min_quota_cap = q;
+  totals_.policy = AdmissionBoundName(config_.bound);
+}
+
+int AdmissionEngine::CurrentBudget() const {
+  // Effective per-disk depth budget this round: the static q - f budget
+  // shrunk by any slow-window quota cap and by the rebuilder's per-disk
+  // read budget while a rebuild is in flight.
+  int budget = std::min(per_disk_budget_, signals_.min_quota_cap);
+  if (signals_.rebuilding) budget -= signals_.rebuild_budget;
+  budget -= signals_.lane_critical_reads + granted_this_round_;
+  return budget;
+}
+
+bool AdmissionEngine::BoundAdmits() const {
+  switch (config_.bound) {
+    case AdmissionBound::kDiskSum:
+      return signals_.active_streams + granted_this_round_ <
+             disk_sum_bound_;
+    case AdmissionBound::kBusiestDisk:
+      return CurrentBudget() >= 1;
+  }
+  return false;
+}
+
+AdmitGate AdmissionEngine::TryOnce(const AdmissionRequest& request,
+                                   std::int64_t wait) {
+  if (!BoundAdmits()) return AdmitGate::kDefer;
+  const AdmitGate gate = gate_(request);
+  if (gate == AdmitGate::kAccept) {
+    ++granted_this_round_;
+    ++totals_.admitted;
+    ++history_.back().admitted;
+    totals_.wait_rounds.Add(static_cast<double>(wait));
+    totals_.peak_occupancy = std::max<std::int64_t>(
+        totals_.peak_occupancy,
+        signals_.active_streams + granted_this_round_);
+    if (admit_hook_) admit_hook_(request, wait);
+  }
+  return gate;
+}
+
+void AdmissionEngine::BeginRound(const AdmissionRoundSignals& signals) {
+  signals_ = signals;
+  granted_this_round_ = 0;
+  RoundStats stats;
+  stats.round = signals.round;
+  stats.occupancy = signals.active_streams;
+  history_.push_back(stats);
+  totals_.occupancy.Add(static_cast<double>(signals.active_streams));
+  totals_.peak_occupancy = std::max<std::int64_t>(totals_.peak_occupancy,
+                                                  signals.active_streams);
+
+  // Expire timed-out entries first, in FIFO order, so a stale head
+  // never blocks a fresh retry behind it.
+  while (!queue_.empty() &&
+         signals.round - queue_.front().enqueue_round >
+             config_.queue_timeout_rounds) {
+    QueueEntry entry = std::move(queue_.front());
+    queue_.pop_front();
+    ++totals_.timeouts;
+    ++history_.back().timeouts;
+    totals_.wait_rounds.Add(
+        static_cast<double>(signals.round - entry.enqueue_round));
+    if (evict_) evict_(entry.request);
+  }
+
+  // Retry the survivors head-first; stop at the first entry that still
+  // does not fit (strict FIFO — no overtaking).
+  while (!queue_.empty()) {
+    const QueueEntry& head = queue_.front();
+    const AdmitGate gate =
+        TryOnce(head.request, signals.round - head.enqueue_round);
+    if (gate == AdmitGate::kDefer) break;
+    if (gate == AdmitGate::kDrop) ++totals_.dropped;
+    queue_.pop_front();
+  }
+  history_.back().queue_depth = static_cast<std::int64_t>(queue_.size());
+}
+
+AdmissionOutcome AdmissionEngine::Offer(const AdmissionRequest& request) {
+  CMFS_CHECK(!history_.empty());  // BeginRound first
+  ++totals_.requests;
+  ++history_.back().requests;
+  switch (request.kind) {
+    case AdmissionKind::kArrival:
+      ++totals_.arrivals;
+      break;
+    case AdmissionKind::kSeek:
+      ++totals_.seeks;
+      break;
+    case AdmissionKind::kResume:
+      ++totals_.resumes;
+      break;
+  }
+  // Strict FIFO: a non-empty queue means earlier requests are still
+  // waiting, so a newcomer may not overtake them even if it would fit.
+  if (queue_.empty()) {
+    const AdmitGate gate = TryOnce(request, 0);
+    if (gate == AdmitGate::kAccept) {
+      history_.back().queue_depth =
+          static_cast<std::int64_t>(queue_.size());
+      return AdmissionOutcome::kAdmitted;
+    }
+    if (gate == AdmitGate::kDrop) {
+      ++totals_.dropped;
+      return AdmissionOutcome::kRejected;
+    }
+  }
+  if (static_cast<int>(queue_.size()) >= config_.queue_capacity) {
+    ++totals_.rejected;
+    ++history_.back().rejected;
+    return AdmissionOutcome::kRejected;
+  }
+  queue_.push_back(QueueEntry{request, signals_.round});
+  history_.back().queue_depth = static_cast<std::int64_t>(queue_.size());
+  return AdmissionOutcome::kQueued;
+}
+
+void AdmissionEngine::Withdraw(StreamId id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->request.id == id) {
+      ++totals_.withdrawn;
+      queue_.erase(it);
+      if (!history_.empty()) {
+        history_.back().queue_depth =
+            static_cast<std::int64_t>(queue_.size());
+      }
+      return;
+    }
+  }
+}
+
+AdmissionSummary AdmissionEngine::Summary() const {
+  AdmissionSummary summary = totals_;
+  summary.final_queue_depth = static_cast<std::int64_t>(queue_.size());
+  return summary;
+}
+
+void AdmissionEngine::ExportMetrics(MetricsRegistry* registry) const {
+  CMFS_CHECK(registry != nullptr);
+  const AdmissionSummary summary = Summary();
+  registry->counter("admission.requests")->Set(summary.requests);
+  registry->counter("admission.arrivals")->Set(summary.arrivals);
+  registry->counter("admission.seeks")->Set(summary.seeks);
+  registry->counter("admission.resumes")->Set(summary.resumes);
+  registry->counter("admission.admitted")->Set(summary.admitted);
+  registry->counter("admission.rejected")->Set(summary.rejected);
+  registry->counter("admission.timeouts")->Set(summary.timeouts);
+  registry->counter("admission.withdrawn")->Set(summary.withdrawn);
+  registry->counter("admission.dropped")->Set(summary.dropped);
+  registry->gauge("admission.queue_depth")
+      ->Set(static_cast<double>(summary.final_queue_depth));
+  registry->gauge("admission.peak_occupancy")
+      ->Set(static_cast<double>(summary.peak_occupancy));
+  Histogram* wait = registry->histogram("admission.wait_rounds");
+  wait->Merge(summary.wait_rounds);
+  Histogram* occupancy = registry->histogram("admission.occupancy");
+  occupancy->Merge(summary.occupancy);
+}
+
+std::string AdmissionSummaryJson(const AdmissionSummary& summary) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("policy").Value(summary.policy);
+  json.Key("requests").Value(summary.requests);
+  json.Key("arrivals").Value(summary.arrivals);
+  json.Key("seeks").Value(summary.seeks);
+  json.Key("resumes").Value(summary.resumes);
+  json.Key("admitted").Value(summary.admitted);
+  json.Key("rejected").Value(summary.rejected);
+  json.Key("timeouts").Value(summary.timeouts);
+  json.Key("withdrawn").Value(summary.withdrawn);
+  json.Key("dropped").Value(summary.dropped);
+  json.Key("final_queue_depth").Value(summary.final_queue_depth);
+  json.Key("peak_occupancy").Value(summary.peak_occupancy);
+  json.Key("wait_rounds");
+  AppendHistogramJson(summary.wait_rounds, &json);
+  json.Key("occupancy");
+  AppendHistogramJson(summary.occupancy, &json);
+  json.Key("epochs").BeginArray();
+  for (const AdmissionEpoch& epoch : summary.epochs) {
+    json.BeginObject();
+    json.Key("first_round").Value(epoch.first_round);
+    json.Key("last_round").Value(epoch.last_round);
+    json.Key("requests").Value(epoch.requests);
+    json.Key("admitted").Value(epoch.admitted);
+    json.Key("rejected").Value(epoch.rejected);
+    json.Key("timeouts").Value(epoch.timeouts);
+    json.Key("rejection_rate").Value(epoch.RejectionRate());
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.TakeString();
+}
+
+std::vector<AdmissionEpoch> FoldAdmissionEpochs(
+    const std::vector<AdmissionEngine::RoundStats>& history,
+    const std::vector<std::int64_t>& bounds, std::int64_t total_rounds) {
+  std::vector<AdmissionEpoch> epochs;
+  if (bounds.empty()) return epochs;
+  epochs.reserve(bounds.size());
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    AdmissionEpoch epoch;
+    epoch.first_round = bounds[i];
+    epoch.last_round =
+        (i + 1 < bounds.size() ? bounds[i + 1] : total_rounds) - 1;
+    epochs.push_back(epoch);
+  }
+  for (const AdmissionEngine::RoundStats& stats : history) {
+    auto it = std::upper_bound(bounds.begin(), bounds.end(), stats.round);
+    if (it == bounds.begin()) continue;
+    AdmissionEpoch& epoch =
+        epochs[static_cast<std::size_t>(it - bounds.begin()) - 1];
+    epoch.requests += stats.requests;
+    epoch.admitted += stats.admitted;
+    epoch.rejected += stats.rejected;
+    epoch.timeouts += stats.timeouts;
+  }
+  return epochs;
+}
+
+}  // namespace cmfs

@@ -1,0 +1,252 @@
+#ifndef CMFS_CORE_ADMISSION_H_
+#define CMFS_CORE_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/capacity.h"
+#include "core/round_plan.h"
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
+
+// Online admission control (docs/admission.md).
+//
+// The paper (§6/§7) sizes each scheme offline: pick (q, f) so that a
+// *fixed* stream set survives one disk failure, then pin that set for
+// the whole run. This module turns admission into an online per-round
+// decision: arrivals are tested against a capacity bound, admitted
+// through the scheme controller's exact reservation math (which stays
+// the final arbiter — a stream the controller accepts can never cause
+// an SLO violation in a clean run), or parked in a bounded FIFO wait
+// queue that times out to rejection.
+//
+// Two bounds are offered:
+//  - kDiskSum: the offline planner's aggregate number. It sums the
+//    post-reservation bandwidth of all disks and, because an aggregate
+//    bound cannot localize recovery fan-out to specific survivors, it
+//    must charge every stream its worst-case degraded cost (p-1 reads
+//    for the declustered/dynamic schemes). Conservative but needs no
+//    runtime signal.
+//  - kBusiestDisk: the lane-aware bound. It watches the deterministic
+//    `server.lane_critical_reads` depth (the busiest disk's planned
+//    reads in the last committed round, recovery included) and admits
+//    while that depth leaves headroom under the effective per-disk
+//    round budget — shrunk by slow-window quota caps and by an online
+//    rebuild's per-disk read budget. Per-disk observation is exactly
+//    what recovers the capacity the aggregate worst case wastes.
+//
+// Every decision runs in the sequential round prolog on the caller's
+// thread, so admission streams are bit-identical at any lane count and
+// with double-buffering on or off.
+
+namespace cmfs {
+
+enum class AdmissionBound {
+  kDiskSum,
+  kBusiestDisk,
+};
+
+const char* AdmissionBoundName(AdmissionBound bound);
+
+// Hard structural ceiling on *concurrently active* streams: no schedule
+// can keep more than this many admitted at once, whatever the
+// placement. A necessary condition only — phase collisions can saturate
+// the scheme controller well below it. Config validation rejects
+// requests above the ceiling (sim/failure_drill.h).
+int SchemeStreamCeiling(Scheme scheme, int num_disks, int parity_group,
+                        int q, int f);
+
+// The disk-sum planning bound: aggregate post-reservation bandwidth
+// divided by the worst-case per-stream round cost the reservation math
+// plans for. Always <= SchemeStreamCeiling.
+int DiskSumStreamBound(Scheme scheme, int num_disks, int parity_group,
+                       int q, int f);
+
+struct AdmissionConfig {
+  AdmissionBound bound = AdmissionBound::kBusiestDisk;
+  // Wait-queue capacity; an arrival that finds the queue full is
+  // rejected immediately.
+  int queue_capacity = 16;
+  // An entry still queued after waiting more than this many rounds is
+  // rejected (timeout). The check runs at the head of each round,
+  // before retries.
+  std::int64_t queue_timeout_rounds = 8;
+};
+
+// What kind of session event is asking for capacity.
+enum class AdmissionKind {
+  kArrival,  // fresh session
+  kSeek,     // VCR seek: the session re-enters at a new position
+  kResume,   // VCR resume of a paused stream (re-runs reservation math)
+};
+
+struct AdmissionRequest {
+  StreamId id = -1;
+  int space = 0;
+  std::int64_t start = 0;
+  std::int64_t length = 0;
+  int priority = 0;
+  AdmissionKind kind = AdmissionKind::kArrival;
+};
+
+enum class AdmissionOutcome { kAdmitted, kQueued, kRejected };
+
+// Result of the final (exact) gate for one attempt.
+enum class AdmitGate {
+  kAccept,  // stream is in
+  kDefer,   // no room right now; retrying later can succeed
+  kDrop,    // the session no longer exists (completed/shed); stop trying
+};
+
+// Deterministic per-round signals the scenario runner feeds the engine.
+struct AdmissionRoundSignals {
+  std::int64_t round = 0;
+  // Busiest-disk planned-read depth of the last committed round
+  // (Server::last_lane_critical_reads()).
+  int lane_critical_reads = 0;
+  // min over disks of the effective round quota (q, or the slow-window
+  // cap where one is active).
+  int min_quota_cap = 0;
+  // Online rebuild in flight and its per-disk read budget per round.
+  bool rebuilding = false;
+  int rebuild_budget = 0;
+  bool disk_failed = false;
+  // Active streams at the head of this round.
+  int active_streams = 0;
+};
+
+// Per-epoch admission slice for the rejection-rate report.
+struct AdmissionEpoch {
+  std::int64_t first_round = 0;
+  std::int64_t last_round = 0;
+  std::int64_t requests = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t timeouts = 0;
+  double RejectionRate() const;
+};
+
+// End-of-run totals, exported as the BenchReport `admission` section.
+// Identities the artifact validator enforces:
+//   requests == arrivals + seeks + resumes
+//   requests == admitted + rejected + timeouts + withdrawn + dropped
+//               + final_queue_depth
+struct AdmissionSummary {
+  std::string policy;  // empty <=> no admission engine ran
+  std::int64_t requests = 0;
+  std::int64_t arrivals = 0;
+  std::int64_t seeks = 0;
+  std::int64_t resumes = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t withdrawn = 0;
+  std::int64_t dropped = 0;
+  std::int64_t final_queue_depth = 0;
+  std::int64_t peak_occupancy = 0;
+  // Rounds spent in the wait queue, recorded when a request leaves the
+  // pipeline (0 for a direct admit; timeouts record their full wait).
+  Histogram wait_rounds;
+  // Active-stream count sampled at each round head.
+  Histogram occupancy;
+  std::vector<AdmissionEpoch> epochs;
+  std::string ToString() const;
+};
+
+// The online admission engine. Owns the wait queue and the bound math;
+// the exact scheme controller stays behind the `gate` callback.
+class AdmissionEngine {
+ public:
+  using GateFn = std::function<AdmitGate(const AdmissionRequest&)>;
+  // Called when a queued request times out, so the runner can release
+  // whatever server state the session still holds (a paused stream
+  // whose resume timed out is cancelled).
+  using EvictFn = std::function<void(const AdmissionRequest&)>;
+  // Called on every successful admission with the rounds waited.
+  using AdmitHookFn =
+      std::function<void(const AdmissionRequest&, std::int64_t wait)>;
+
+  struct RoundStats {
+    std::int64_t round = 0;
+    std::int64_t requests = 0;
+    std::int64_t admitted = 0;
+    std::int64_t rejected = 0;
+    std::int64_t timeouts = 0;
+    std::int64_t queue_depth = 0;  // at the end of the round's decisions
+    std::int64_t occupancy = 0;    // active streams at the round head
+  };
+
+  AdmissionEngine(Scheme scheme, int num_disks, int parity_group, int q,
+                  int f, const AdmissionConfig& config, GateFn gate);
+
+  void SetEvictFn(EvictFn evict) { evict_ = std::move(evict); }
+  void SetAdmitHook(AdmitHookFn hook) { admit_hook_ = std::move(hook); }
+
+  // Round prolog: records the signals, expires timed-out entries in
+  // FIFO order, then retries the queue head-first. Retrying stops at
+  // the first entry that still does not fit — strict FIFO, no
+  // overtaking (head-of-line blocking is the documented trade).
+  void BeginRound(const AdmissionRoundSignals& signals);
+
+  // Offer one request during the current round.
+  AdmissionOutcome Offer(const AdmissionRequest& request);
+
+  // The session left (depart/pause) while still queued; drop its entry.
+  void Withdraw(StreamId id);
+
+  bool HasQueuedWork() const { return !queue_.empty(); }
+  int queue_depth() const { return static_cast<int>(queue_.size()); }
+
+  // The busiest-disk headroom for the current round (admissions already
+  // granted this round subtracted); exposed for tests. Meaningful only
+  // under kBusiestDisk.
+  int CurrentBudget() const;
+  int disk_sum_bound() const { return disk_sum_bound_; }
+
+  const std::vector<RoundStats>& history() const { return history_; }
+  AdmissionSummary Summary() const;  // epochs left empty; see FoldEpochs
+  void ExportMetrics(MetricsRegistry* registry) const;
+
+ private:
+  struct QueueEntry {
+    AdmissionRequest request;
+    std::int64_t enqueue_round = 0;
+  };
+
+  bool BoundAdmits() const;
+  // One attempt: bound check then exact gate. Updates stats; returns
+  // the outcome (kDefer mapped to kQueued by callers).
+  AdmitGate TryOnce(const AdmissionRequest& request, std::int64_t wait);
+
+  AdmissionConfig config_;
+  GateFn gate_;
+  EvictFn evict_;
+  AdmitHookFn admit_hook_;
+  int disk_sum_bound_ = 0;
+  int per_disk_budget_ = 0;  // q - f: the busiest-disk depth budget
+
+  AdmissionRoundSignals signals_;
+  int granted_this_round_ = 0;
+  std::deque<QueueEntry> queue_;
+  std::vector<RoundStats> history_;
+
+  AdmissionSummary totals_;
+};
+
+// Renders the summary as a standalone JSON object — the bench artifact's
+// `admission` section (spliced in via BenchReport::extra_json; schema in
+// docs/observability.md, enforced by tools/validate_artifact.py).
+std::string AdmissionSummaryJson(const AdmissionSummary& summary);
+
+// Slices per-round stats at the fault schedule's epoch boundaries
+// (FaultSchedule::EpochBoundaries grid, 0-based rounds).
+std::vector<AdmissionEpoch> FoldAdmissionEpochs(
+    const std::vector<AdmissionEngine::RoundStats>& history,
+    const std::vector<std::int64_t>& bounds, std::int64_t total_rounds);
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_ADMISSION_H_

@@ -277,6 +277,15 @@ class Server {
   const ServerMetrics& metrics() const { return metrics_; }
   const Controller& controller() const { return *controller_; }
   int num_active() const { return controller_->num_active(); }
+
+  // Busiest-disk planned-read depth (max over disks, recovery reads
+  // included) of the most recently committed round; 0 before the first
+  // round. Deterministic at any lane count — this is the lane-aware
+  // admission signal (core/admission.h). Callers that consult it from a
+  // round prolog must stall double-buffered overlap for rounds that
+  // make admission decisions, so the value read is always the
+  // immediately preceding round's.
+  int last_lane_critical_reads() const { return round_critical_reads_; }
   // Lane threads actually in use (1 = sequential).
   int lanes() const { return lanes_; }
   // Whether the round N/N+1 overlap is armed (double_buffer + hooks).

@@ -121,6 +121,13 @@ JsonWriter& JsonWriter::Value(std::string_view v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::RawJson(std::string_view v) {
+  CMFS_CHECK(!v.empty());
+  BeforeValue();
+  out_ += v;
+  return *this;
+}
+
 std::string JsonWriter::TakeString() {
   CMFS_CHECK(has_value_.empty() && !pending_key_);
   return std::move(out_);
@@ -222,6 +229,7 @@ void AppendStreamQosJson(const StreamQosLedger& ledger, JsonWriter* json) {
     json->Key("stream").Value(row.stream);
     json->Key("priority").Value(row.priority);
     json->Key("admit_round").Value(row.admit_round);
+    json->Key("wait_rounds").Value(row.wait_rounds);
     json->Key("deliveries").Value(row.deliveries);
     json->Key("clean").Value(row.clean);
     json->Key("retried").Value(row.retried);
@@ -329,7 +337,7 @@ Status CsvTable::WriteFile(const std::string& path) const {
 CsvTable StreamQosCsvTable(const StreamQosLedger& ledger) {
   CsvTable table;
   table.columns = {"stream",        "priority", "admit_round",
-                   "deliveries",    "clean",    "retried",
+                   "wait_rounds",   "deliveries", "clean",  "retried",
                    "reconstructed", "hiccups",  "shed",
                    "longest_glitch_run",        "rounds_degraded",
                    "completed",     "jitter_p50", "jitter_p99",
@@ -341,6 +349,7 @@ CsvTable StreamQosCsvTable(const StreamQosLedger& ledger) {
     cells.push_back(std::to_string(row.stream));
     cells.push_back(std::to_string(row.priority));
     cells.push_back(std::to_string(row.admit_round));
+    cells.push_back(std::to_string(row.wait_rounds));
     cells.push_back(std::to_string(row.deliveries));
     cells.push_back(std::to_string(row.clean));
     cells.push_back(std::to_string(row.retried));
@@ -405,6 +414,9 @@ std::string BenchReport::ToJson() const {
   if (profile != nullptr) {
     json.Key("profile");
     AppendProfileJson(*profile, &json);
+  }
+  for (const auto& [key, value] : extra_json) {
+    json.Key(key).RawJson(value);
   }
   json.EndObject();
   return json.TakeString();

@@ -51,6 +51,9 @@ class JsonWriter {
   JsonWriter& Value(bool v);
   JsonWriter& Value(std::string_view v);
   JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  // Splices pre-serialized JSON in verbatim (comma handling included);
+  // the caller guarantees `v` is a well-formed JSON value.
+  JsonWriter& RawJson(std::string_view v);
 
   // The finished document; CHECK-fails if containers are still open.
   std::string TakeString();
@@ -120,6 +123,11 @@ struct BenchReport {
   const CsvTable* table = nullptr;
   // Wall-clock phase profile -> `profile` section (omitted when null).
   const PhaseProfiler* profile = nullptr;
+  // Extra top-level sections from higher layers, as (key, JSON value)
+  // pairs spliced in verbatim — e.g. the `admission` section a churn
+  // bench renders with AdmissionSummaryJson (core/admission.h). The obs
+  // layer cannot name core types, so the value arrives pre-serialized.
+  std::vector<std::pair<std::string, std::string>> extra_json;
 
   std::string ToJson() const;
   Status WriteJsonFile(const std::string& path) const;

@@ -111,6 +111,10 @@ void StreamQosLedger::OnAdmit(int stream, std::int64_t round, int priority) {
   // Re-admission after pause/resume keeps the original admit round.
 }
 
+void StreamQosLedger::SetAdmitWait(int stream, std::int64_t wait_rounds) {
+  State(stream).row.wait_rounds += wait_rounds;
+}
+
 void StreamQosLedger::OnRead(int stream, int space, std::int64_t index,
                              int disk, std::int64_t round, int retries,
                              int failed_attempts, bool recovery,
@@ -307,16 +311,17 @@ std::vector<StreamQosLedger::StreamRow> StreamQosLedger::Rows() const {
 
 std::string StreamQosLedger::TableString() const {
   std::string out =
-      "stream pri admit   del clean retry recon hic shed glitch degr "
+      "stream pri admit  wait   del clean retry recon hic shed glitch degr "
       "jit_p50 jit_p99 slo\n";
   char buf[200];
   for (const auto& [stream, state] : streams_) {
     const StreamRow& row = state.row;
     std::snprintf(
         buf, sizeof(buf),
-        "%6d %3d %5lld %5lld %5lld %5lld %5lld %3lld %4s %6lld %4lld "
+        "%6d %3d %5lld %5lld %5lld %5lld %5lld %5lld %3lld %4s %6lld %4lld "
         "%7.1f %7.1f %s",
         row.stream, row.priority, static_cast<long long>(row.admit_round),
+        static_cast<long long>(row.wait_rounds),
         static_cast<long long>(row.deliveries),
         static_cast<long long>(row.clean),
         static_cast<long long>(row.retried),

@@ -63,6 +63,9 @@ class StreamQosLedger {
     int stream = -1;
     int priority = 0;
     std::int64_t admit_round = -1;
+    // Rounds spent in the admission wait queue before the first admit
+    // (0 = admitted directly; only churn scenarios ever set it).
+    std::int64_t wait_rounds = 0;
     std::int64_t deliveries = 0;
     // Outcome breakdown; deliveries == clean + retried + reconstructed.
     std::int64_t clean = 0;
@@ -116,6 +119,9 @@ class StreamQosLedger {
 
   // --- Producer side (server merge/delivery phases, plan order) ---------
   void OnAdmit(int stream, std::int64_t round, int priority);
+  // Rounds the stream waited in the admission queue before this admit
+  // (accumulates across re-admissions: seek / resume re-queues add up).
+  void SetAdmitWait(int stream, std::int64_t wait_rounds);
   // One successful planned read serving (stream, space, index): opens
   // the block's span on first touch, accumulates retry accounting.
   // `recovery` marks parity/peer reads scheduled to rebuild a block of

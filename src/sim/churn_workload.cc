@@ -1,0 +1,270 @@
+#include "sim/churn_workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace cmfs {
+
+namespace {
+
+// splitmix64 finalizer — the same coordinate-hash idiom the fault
+// injector uses (fault_schedule.cc): every draw is a pure function of
+// its coordinates, so no consumer can perturb another's stream.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Draw tags: one lane per knob so knobs never share coordinates.
+enum : std::uint64_t {
+  kTagGap = 1,
+  kTagClip = 2,
+  kTagHold = 3,
+  kTagPauseRoll = 4,
+  kTagPauseAt = 5,
+  kTagPauseLen = 6,
+  kTagSeekRoll = 7,
+  kTagSeekAt = 8,
+  kTagSeekTo = 9,
+};
+
+double UniformDraw(std::uint64_t seed, std::uint64_t tag,
+                   std::uint64_t index) {
+  std::uint64_t h = Mix(seed);
+  h = Mix(h ^ tag);
+  h = Mix(h ^ index);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double ExpDraw(std::uint64_t seed, std::uint64_t tag, std::uint64_t index,
+               double mean) {
+  const double u = UniformDraw(seed, tag, index);
+  return -std::log(1.0 - u) * mean;
+}
+
+std::int64_t AlignDown(std::int64_t value, int span) {
+  return value - value % span;
+}
+
+}  // namespace
+
+Status ChurnConfig::Validate() const {
+  if (num_clips < 1) {
+    return Status::InvalidArgument("churn num_clips must be >= 1");
+  }
+  if (clip_blocks < 1) {
+    return Status::InvalidArgument("churn clip_blocks must be >= 1");
+  }
+  if (arrivals_per_round <= 0.0) {
+    return Status::InvalidArgument(
+        "churn arrivals_per_round must be > 0");
+  }
+  if (zipf_theta < 0.0) {
+    return Status::InvalidArgument("churn zipf_theta must be >= 0");
+  }
+  if (mean_hold_rounds < 0.0) {
+    return Status::InvalidArgument("churn mean_hold_rounds must be >= 0");
+  }
+  if (pause_prob < 0.0 || pause_prob > 1.0 || seek_prob < 0.0 ||
+      seek_prob > 1.0) {
+    return Status::InvalidArgument(
+        "churn pause_prob/seek_prob must be in [0, 1]");
+  }
+  if (mean_pause_rounds <= 0.0 && pause_prob > 0.0) {
+    return Status::InvalidArgument(
+        "churn mean_pause_rounds must be > 0 when pauses are enabled");
+  }
+  if (first_round < 0) {
+    return Status::InvalidArgument("churn first_round must be >= 0");
+  }
+  if (last_round >= 0 && last_round < first_round) {
+    return Status::InvalidArgument(
+        "churn last_round must be >= first_round (or < 0 for the "
+        "horizon)");
+  }
+  return Status::Ok();
+}
+
+const char* ChurnEventTypeName(ChurnEventType type) {
+  switch (type) {
+    case ChurnEventType::kArrive:
+      return "arrive";
+    case ChurnEventType::kDepart:
+      return "depart";
+    case ChurnEventType::kPause:
+      return "pause";
+    case ChurnEventType::kResume:
+      return "resume";
+    case ChurnEventType::kSeek:
+      return "seek";
+  }
+  return "unknown";
+}
+
+ChurnWorkload::ChurnWorkload(const ChurnConfig& config,
+                             std::int64_t horizon_rounds, int span) {
+  CMFS_CHECK(config.Validate().ok());
+  CMFS_CHECK(horizon_rounds >= 1);
+  CMFS_CHECK(span >= 1);
+
+  std::int64_t clip_len = config.clip_blocks;
+  if (clip_len % span != 0) clip_len += span - clip_len % span;
+
+  const std::int64_t window_end =
+      std::min(horizon_rounds - 1, config.last_round >= 0
+                                       ? config.last_round
+                                       : horizon_rounds - 1);
+  const ZipfSampler sampler(static_cast<std::size_t>(config.num_clips),
+                            config.zipf_theta);
+
+  // Events carry a generation sequence so the final ordering is
+  // (round, session, arrival-before-VCR) — fully deterministic.
+  struct Keyed {
+    ChurnEvent event;
+    std::int64_t seq;
+  };
+  std::vector<Keyed> keyed;
+
+  double t = static_cast<double>(config.first_round);
+  for (int session = 0;; ++session) {
+    t += ExpDraw(config.seed, kTagGap,
+                 static_cast<std::uint64_t>(session),
+                 1.0 / config.arrivals_per_round);
+    const std::int64_t arrive_round = static_cast<std::int64_t>(t);
+    if (arrive_round > window_end) break;
+    const std::uint64_t idx = static_cast<std::uint64_t>(session);
+    const std::int64_t seq_base = static_cast<std::int64_t>(session) * 8;
+
+    ChurnEvent arrive;
+    arrive.type = ChurnEventType::kArrive;
+    arrive.round = arrive_round;
+    arrive.session = session;
+    arrive.clip = static_cast<int>(
+        sampler.SampleAt(UniformDraw(config.seed, kTagClip, idx)));
+    keyed.push_back(Keyed{arrive, seq_base});
+    session_clips_.push_back(arrive.clip);
+
+    // Natural lifetime in rounds: one block per round.
+    const std::int64_t lifetime = clip_len;
+
+    if (config.mean_hold_rounds > 0.0) {
+      const std::int64_t hold = 1 + static_cast<std::int64_t>(ExpDraw(
+                                        config.seed, kTagHold, idx,
+                                        config.mean_hold_rounds));
+      if (hold < lifetime && arrive_round + hold < horizon_rounds) {
+        ChurnEvent depart;
+        depart.type = ChurnEventType::kDepart;
+        depart.round = arrive_round + hold;
+        depart.session = session;
+        depart.clip = arrive.clip;
+        keyed.push_back(Keyed{depart, seq_base + 1});
+      }
+    }
+
+    if (lifetime > 2 &&
+        UniformDraw(config.seed, kTagPauseRoll, idx) < config.pause_prob) {
+      const std::int64_t at =
+          arrive_round + 1 +
+          static_cast<std::int64_t>(
+              UniformDraw(config.seed, kTagPauseAt, idx) *
+              static_cast<double>(lifetime - 2));
+      const std::int64_t len =
+          1 + static_cast<std::int64_t>(ExpDraw(
+                  config.seed, kTagPauseLen, idx,
+                  config.mean_pause_rounds));
+      if (at < horizon_rounds) {
+        ChurnEvent pause;
+        pause.type = ChurnEventType::kPause;
+        pause.round = at;
+        pause.session = session;
+        pause.clip = arrive.clip;
+        keyed.push_back(Keyed{pause, seq_base + 2});
+        if (at + len < horizon_rounds) {
+          ChurnEvent resume;
+          resume.type = ChurnEventType::kResume;
+          resume.round = at + len;
+          resume.session = session;
+          resume.clip = arrive.clip;
+          keyed.push_back(Keyed{resume, seq_base + 3});
+        }
+      }
+    }
+
+    if (lifetime > span + 1 &&
+        UniformDraw(config.seed, kTagSeekRoll, idx) < config.seek_prob) {
+      const std::int64_t at =
+          arrive_round + 1 +
+          static_cast<std::int64_t>(
+              UniformDraw(config.seed, kTagSeekAt, idx) *
+              static_cast<double>(lifetime - 2));
+      if (at < horizon_rounds) {
+        ChurnEvent seek;
+        seek.type = ChurnEventType::kSeek;
+        seek.round = at;
+        seek.session = session;
+        seek.clip = arrive.clip;
+        // Span-aligned target strictly inside the clip, leaving at
+        // least one span to play.
+        seek.position = AlignDown(
+            static_cast<std::int64_t>(
+                UniformDraw(config.seed, kTagSeekTo, idx) *
+                static_cast<double>(clip_len - span)),
+            span);
+        keyed.push_back(Keyed{seek, seq_base + 4});
+      }
+    }
+  }
+  num_sessions_ = static_cast<int>(session_clips_.size());
+
+  std::sort(keyed.begin(), keyed.end(),
+            [](const Keyed& a, const Keyed& b) {
+              if (a.event.round != b.event.round) {
+                return a.event.round < b.event.round;
+              }
+              return a.seq < b.seq;
+            });
+  events_.reserve(keyed.size());
+  for (const Keyed& k : keyed) events_.push_back(k.event);
+}
+
+bool ChurnWorkload::HasEventsAt(std::int64_t round) const {
+  const auto it = std::lower_bound(
+      events_.begin(), events_.end(), round,
+      [](const ChurnEvent& e, std::int64_t r) { return e.round < r; });
+  return it != events_.end() && it->round == round;
+}
+
+std::vector<ChurnEvent> ChurnWorkload::EventsAt(std::int64_t round) const {
+  std::vector<ChurnEvent> out;
+  auto it = std::lower_bound(
+      events_.begin(), events_.end(), round,
+      [](const ChurnEvent& e, std::int64_t r) { return e.round < r; });
+  for (; it != events_.end() && it->round == round; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::string ChurnWorkload::ToString() const {
+  std::int64_t counts[5] = {0, 0, 0, 0, 0};
+  for (const ChurnEvent& e : events_) {
+    ++counts[static_cast<int>(e.type)];
+  }
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "churn{sessions=%d arrivals=%lld departs=%lld "
+                "pauses=%lld resumes=%lld seeks=%lld}",
+                num_sessions_, static_cast<long long>(counts[0]),
+                static_cast<long long>(counts[1]),
+                static_cast<long long>(counts[2]),
+                static_cast<long long>(counts[3]),
+                static_cast<long long>(counts[4]));
+  return buf;
+}
+
+}  // namespace cmfs

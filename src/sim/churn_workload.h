@@ -1,0 +1,95 @@
+#ifndef CMFS_SIM_CHURN_WORKLOAD_H_
+#define CMFS_SIM_CHURN_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+// Deterministic session-churn generator for the scenario engine
+// (docs/admission.md). Sessions arrive as a Poisson process, pick clips
+// by zipf popularity, hold exponentially or watch to completion, and
+// fire VCR operations (pause/resume/seek) mid-life. Every random draw
+// is a pure splitmix64 function of (seed, stream-tag, session-index) —
+// never a shared generator stream — so the event timeline is a function
+// of the config alone: replays are bit-identical at any thread or lane
+// count, and adding one knob never perturbs the draws of another.
+//
+// The generator emits the full timeline up front, sorted by round;
+// liveness is resolved at execution time (an event for a session that
+// already completed, shed or departed is a no-op there), which keeps
+// generation free of any feedback from the server.
+
+namespace cmfs {
+
+struct ChurnConfig {
+  // Clip catalog: every clip is `clip_blocks` long (aligned up to the
+  // scheme's group span by the scenario runner).
+  int num_clips = 16;
+  std::int64_t clip_blocks = 60;
+  // Poisson arrival rate, sessions per round.
+  double arrivals_per_round = 1.0;
+  // Clip popularity skew; 0 = uniform.
+  double zipf_theta = 0.0;
+  // Mean of the exponential holding time in rounds; 0 = fixed holding
+  // (every session watches its clip to completion, no depart events).
+  double mean_hold_rounds = 0.0;
+  // Per-session probability of one pause/resume cycle; the pause lasts
+  // 1 + Exp(mean_pause_rounds) rounds.
+  double pause_prob = 0.0;
+  double mean_pause_rounds = 4.0;
+  // Per-session probability of one seek to a uniformly random
+  // (span-aligned) position in the clip.
+  double seek_prob = 0.0;
+  // Arrivals are generated in [first_round, last_round]; last_round < 0
+  // means "until the horizon" (the runner's total_rounds - 1).
+  std::int64_t first_round = 0;
+  std::int64_t last_round = -1;
+  std::uint64_t seed = 0;
+
+  Status Validate() const;
+};
+
+enum class ChurnEventType { kArrive, kDepart, kPause, kResume, kSeek };
+
+const char* ChurnEventTypeName(ChurnEventType type);
+
+struct ChurnEvent {
+  ChurnEventType type = ChurnEventType::kArrive;
+  std::int64_t round = 0;
+  int session = 0;  // session id == arrival index, unique per run
+  int clip = 0;
+  // kSeek: the new block offset within the clip (span-aligned).
+  std::int64_t position = 0;
+};
+
+class ChurnWorkload {
+ public:
+  // `horizon_rounds` caps the arrival window (and drops events at or
+  // past it); `span` is the position-alignment granularity — the
+  // clustered schemes' parity-group span, 1 for declustered/dynamic.
+  ChurnWorkload(const ChurnConfig& config, std::int64_t horizon_rounds,
+                int span);
+
+  const std::vector<ChurnEvent>& events() const { return events_; }
+  int num_sessions() const { return num_sessions_; }
+  // Clip chosen by session (index = session id).
+  int clip_of(int session) const { return session_clips_[session]; }
+
+  bool HasEventsAt(std::int64_t round) const;
+  // Events of one round, in deterministic order (by session, arrivals
+  // before that session's VCR ops).
+  std::vector<ChurnEvent> EventsAt(std::int64_t round) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ChurnEvent> events_;  // sorted by (round, sequence)
+  std::vector<int> session_clips_;
+  int num_sessions_ = 0;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_SIM_CHURN_WORKLOAD_H_

@@ -53,6 +53,38 @@ Status ValidateScenarioConfig(const ScenarioConfig& config) {
   if (config.priority_classes < 1) {
     return Status::InvalidArgument("priority_classes must be >= 1");
   }
+  if (config.churn) {
+    if (Status st = config.churn_config.Validate(); !st.ok()) return st;
+    if (config.admission.queue_capacity < 0) {
+      return Status::InvalidArgument(
+          "admission queue_capacity must be >= 0");
+    }
+    if (config.admission.queue_timeout_rounds < 0) {
+      return Status::InvalidArgument(
+          "admission queue_timeout_rounds must be >= 0");
+    }
+  } else {
+    // Config-time capacity guard: more streams than the scheme's
+    // structural ceiling can never be concurrently active, whatever the
+    // placement — fail fast with the computed bound instead of silently
+    // admitting a subset (online over-subscription is what churn mode's
+    // admission engine is for).
+    const int ceiling =
+        SchemeStreamCeiling(config.scheme, config.num_disks,
+                            config.parity_group, config.q, config.f);
+    if (config.num_streams > ceiling) {
+      return Status::InvalidArgument(
+          "num_streams " + std::to_string(config.num_streams) +
+          " exceeds the scheme's stream ceiling " +
+          std::to_string(ceiling) +
+          " (= SchemeStreamCeiling(scheme, d=" +
+          std::to_string(config.num_disks) +
+          ", p=" + std::to_string(config.parity_group) +
+          ", q=" + std::to_string(config.q) +
+          ", f=" + std::to_string(config.f) +
+          "); see docs/admission.md)");
+    }
+  }
   return config.schedule.Validate(config.num_disks, config.total_rounds);
 }
 
@@ -105,6 +137,8 @@ std::string ScenarioResult::ToString() const {
   for (const StreamQosLedger::FlightRecord& record : flight_records) {
     out += record.ToString();
   }
+  // Empty string unless the scenario ran with churn admission.
+  out += admission.ToString();
   return out;
 }
 
@@ -113,8 +147,14 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
 
   Rng rng(config.seed);
 
+  // Under churn the catalog is churn_config's clip set; otherwise one
+  // clip per statically pre-admitted stream.
+  const int num_clips = config.churn ? config.churn_config.num_clips
+                                     : config.num_streams;
   // Clip lengths in the clustered schemes must be whole parity groups.
-  std::int64_t stream_blocks = config.stream_blocks;
+  std::int64_t stream_blocks =
+      config.churn ? config.churn_config.clip_blocks
+                   : config.stream_blocks;
   const int span = config.parity_group - 1;
   if (config.scheme != Scheme::kDeclustered &&
       config.scheme != Scheme::kDynamic && stream_blocks % span != 0) {
@@ -133,7 +173,7 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
   }
 
   WorkloadConfig workload;
-  workload.num_clips = config.num_streams;
+  workload.num_clips = num_clips;
   workload.clip_blocks = stream_blocks;
   const std::vector<ClipPlacement> placements =
       GeneratePlacements(config.scheme, config.num_disks, rows,
@@ -201,12 +241,63 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
   ScopedPhaseTimer scenario_timer(config.profiler, "scenario.run");
 
   ScenarioResult result;
-  for (int i = 0; i < config.num_streams; ++i) {
-    const ClipPlacement& placement = placements[static_cast<std::size_t>(i)];
-    if (server.TryAdmit(i, placement.space, placement.start, stream_blocks,
-                        i % config.priority_classes)) {
-      ++result.admitted;
+  if (!config.churn) {
+    for (int i = 0; i < config.num_streams; ++i) {
+      const ClipPlacement& placement =
+          placements[static_cast<std::size_t>(i)];
+      if (server.TryAdmit(i, placement.space, placement.start,
+                          stream_blocks, i % config.priority_classes)) {
+        ++result.admitted;
+      }
     }
+  }
+
+  // --- Online admission under churn (docs/admission.md) -----------------
+  // The churn timeline and every admission decision run inside the
+  // sequential round prolog; the stall hook below additionally blocks
+  // double-buffered overlap into any round with churn events or queued
+  // work, so the lane_critical signal the engine reads is always exactly
+  // one round old. Decisions are therefore bit-identical across lanes
+  // and double-buffer settings.
+  std::optional<ChurnWorkload> churn;
+  std::optional<AdmissionEngine> engine;
+  int rebuild_budget_now = 0;
+  if (config.churn) {
+    const int align = (config.scheme == Scheme::kDeclustered ||
+                       config.scheme == Scheme::kDynamic)
+                          ? 1
+                          : span;
+    ChurnConfig churn_config = config.churn_config;
+    churn_config.seed ^= config.seed;
+    churn.emplace(churn_config, config.total_rounds, align);
+    auto gate = [&](const AdmissionRequest& req) {
+      if (req.kind == AdmissionKind::kResume) {
+        const Status st = server.ResumeStream(req.id);
+        if (st.ok()) return AdmitGate::kAccept;
+        if (st.code() == StatusCode::kResourceExhausted) {
+          return AdmitGate::kDefer;
+        }
+        // Session is gone (completed, shed or cancelled meanwhile).
+        return AdmitGate::kDrop;
+      }
+      return server.TryAdmit(req.id, req.space, req.start, req.length,
+                             req.priority)
+                 ? AdmitGate::kAccept
+                 : AdmitGate::kDefer;
+    };
+    engine.emplace(config.scheme, config.num_disks, config.parity_group,
+                   config.q, config.f, config.admission, std::move(gate));
+    engine->SetEvictFn([&](const AdmissionRequest& req) {
+      // A resume that times out abandons the paused session entirely;
+      // arrivals and seeks that time out simply never (re)start.
+      if (req.kind == AdmissionKind::kResume) {
+        (void)server.CancelStream(req.id);
+      }
+    });
+    engine->SetAdmitHook(
+        [&](const AdmissionRequest& req, std::int64_t wait) {
+          if (wait > 0) qos->SetAdmitWait(req.id, wait);
+        });
   }
 
   std::unique_ptr<Rebuilder> rebuilder;
@@ -249,12 +340,76 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
         rebuilder->AttachProfiler(config.profiler);
       }
       rebuild_target = event.disk;
+      rebuild_budget_now = event.rebuild_budget;
     }
     // Refresh the slow-window quota caps for this round.
     server.ClearDiskQuotaCaps();
+    int min_quota_cap = config.q;
     for (int d = 0; d < config.num_disks; ++d) {
       const int cap = injector.QuotaCap(d, config.q);
       if (cap < config.q) server.SetDiskQuotaCap(d, cap);
+      min_quota_cap = std::min(min_quota_cap, cap);
+    }
+    // Online admission: feed the engine this round's deterministic
+    // signals, retry the wait queue, then play the churn timeline.
+    if (config.churn) {
+      AdmissionRoundSignals signals;
+      signals.round = round;
+      signals.lane_critical_reads = server.last_lane_critical_reads();
+      signals.min_quota_cap = min_quota_cap;
+      signals.rebuilding = rebuilder != nullptr;
+      signals.rebuild_budget = rebuild_budget_now;
+      signals.disk_failed = array.failed_disk() >= 0;
+      signals.active_streams = server.num_active();
+      engine->BeginRound(signals);
+      for (const ChurnEvent& event : churn->EventsAt(round)) {
+        const ClipPlacement& placement =
+            placements[static_cast<std::size_t>(event.clip)];
+        switch (event.type) {
+          case ChurnEventType::kArrive: {
+            AdmissionRequest req;
+            req.id = event.session;
+            req.space = placement.space;
+            req.start = placement.start;
+            req.length = stream_blocks;
+            req.priority = event.session % config.priority_classes;
+            req.kind = AdmissionKind::kArrival;
+            engine->Offer(req);
+            break;
+          }
+          case ChurnEventType::kDepart:
+            engine->Withdraw(event.session);
+            (void)server.CancelStream(event.session);
+            break;
+          case ChurnEventType::kPause:
+            engine->Withdraw(event.session);
+            (void)server.PauseStream(event.session);
+            break;
+          case ChurnEventType::kResume: {
+            AdmissionRequest req;
+            req.id = event.session;
+            req.priority = event.session % config.priority_classes;
+            req.kind = AdmissionKind::kResume;
+            engine->Offer(req);
+            break;
+          }
+          case ChurnEventType::kSeek: {
+            engine->Withdraw(event.session);
+            // Seek = cancel + re-admit at the (span-aligned) target;
+            // a session that is already gone has nothing to seek.
+            if (!server.CancelStream(event.session).ok()) break;
+            AdmissionRequest req;
+            req.id = event.session;
+            req.space = placement.space;
+            req.start = placement.start + event.position;
+            req.length = stream_blocks - event.position;
+            req.priority = event.session % config.priority_classes;
+            req.kind = AdmissionKind::kSeek;
+            engine->Offer(req);
+            break;
+          }
+        }
+      }
     }
     // Re-register this round's per-disk cause labels (most severe
     // first; the ledger keeps the first registration per disk).
@@ -313,6 +468,13 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
     if (!prolog_status.ok()) return true;
     if (next >= config.total_rounds) return true;
     if (rebuilder != nullptr) return true;
+    // Any round that will make an admission decision must see a
+    // lane_critical signal exactly one round old — never the two-round-
+    // stale value an early (overlapped) prolog would read.
+    if (config.churn &&
+        (engine->HasQueuedWork() || churn->HasEventsAt(next))) {
+      return true;
+    }
     if (array.failed_disk() >= 0) return true;
     for (const FailStopEvent& event : config.schedule.fail_stops) {
       if (event.round == next) return true;
@@ -353,6 +515,7 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
             rebuilder->stats().transient_errors;
         rebuilder.reset();
         rebuild_target = -1;
+        rebuild_budget_now = 0;
       }
     }
   }
@@ -395,6 +558,14 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
           static_cast<double>(sample.lane_critical_reads));
     }
     if (sample.degraded) ++epoch.degraded_rounds;
+  }
+
+  if (config.churn) {
+    result.admission = engine->Summary();
+    result.admission.epochs = FoldAdmissionEpochs(
+        engine->history(), bounds, config.total_rounds);
+    result.admitted = static_cast<int>(result.admission.admitted);
+    if (config.metrics != nullptr) engine->ExportMetrics(config.metrics);
   }
 
   result.stream_rows = qos->Rows();

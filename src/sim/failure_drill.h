@@ -5,11 +5,13 @@
 #include <string>
 #include <vector>
 
+#include "core/admission.h"
 #include "core/controller_factory.h"
 #include "core/rebuild.h"
 #include "core/server.h"
 #include "obs/histogram.h"
 #include "obs/stream_qos.h"
+#include "sim/churn_workload.h"
 #include "sim/fault_schedule.h"
 #include "sim/workload.h"
 
@@ -117,6 +119,19 @@ struct ScenarioConfig {
   // ad-hoc std::chrono in the runner — and timing stays a side channel:
   // the ScenarioResult is byte-identical with or without it.
   PhaseProfiler* profiler = nullptr;
+  // --- Online admission under churn (docs/admission.md) -----------------
+  // When true the static pre-admitted stream set (num_streams /
+  // stream_blocks) is replaced by churn_config's session timeline:
+  // sessions arrive, pause, resume, seek and depart mid-run, each
+  // arrival passing through an AdmissionEngine (bounded FIFO wait queue,
+  // timeout-to-reject) whose capacity bound is `admission.bound`. All
+  // decisions run in the sequential round prolog, and the epoch barrier
+  // additionally stalls double-buffered overlap for any round with
+  // churn events or queued work — so results stay byte-identical across
+  // lanes and double-buffer settings.
+  bool churn = false;
+  ChurnConfig churn_config;
+  AdmissionConfig admission;
 };
 
 // Aggregates over one schedule epoch [first_round, last_round] — the
@@ -164,6 +179,9 @@ struct ScenarioResult {
   std::string qos_table;
   // Flight-recorder dumps captured at each stream's first SLO violation.
   std::vector<StreamQosLedger::FlightRecord> flight_records;
+  // Online-admission outcome (policy empty unless config.churn): totals,
+  // wait/occupancy histograms, per-epoch rejection rates.
+  AdmissionSummary admission;
 
   // Full deterministic rendering (metrics, per-disk loads, every epoch,
   // per-stream QoS table, flight records): two runs of the same scenario

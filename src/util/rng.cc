@@ -81,7 +81,10 @@ ZipfSampler::ZipfSampler(std::size_t n, double theta) : n_(n), theta_(theta) {
 }
 
 std::size_t ZipfSampler::Sample(Rng& rng) const {
-  const double u = rng.NextDouble();
+  return SampleAt(rng.NextDouble());
+}
+
+std::size_t ZipfSampler::SampleAt(double u) const {
   // First index with cdf_[i] > u.
   std::size_t lo = 0;
   std::size_t hi = n_ - 1;

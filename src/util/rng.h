@@ -47,6 +47,11 @@ class ZipfSampler {
 
   std::size_t Sample(Rng& rng) const;
 
+  // Inverse CDF at u in [0, 1): the pure-function form of Sample, for
+  // callers whose randomness is a splitmix64 hash of coordinates rather
+  // than a shared generator stream (sim/churn_workload.h).
+  std::size_t SampleAt(double u) const;
+
   std::size_t n() const { return n_; }
   double theta() const { return theta_; }
 

@@ -18,7 +18,7 @@ import sys
 
 ALLOWED_TOP_LEVEL = {
     "bench", "scheme", "params", "counters", "gauges", "histograms",
-    "per_disk", "timeline", "streams", "table", "profile",
+    "per_disk", "timeline", "streams", "table", "profile", "admission",
 }
 
 # profile.phases entries whose spans nest inside "server.round": their
@@ -38,14 +38,28 @@ PROFILE_NESTING_SLACK = 1e-6
 HISTOGRAM_DIGEST_KEYS = {"min", "max", "mean", "p50", "p95", "p99"}
 
 STREAM_ROW_REQUIRED = {
-    "stream", "priority", "admit_round", "deliveries", "clean", "retried",
-    "reconstructed", "hiccups", "shed", "longest_glitch_run",
-    "rounds_degraded", "completed", "jitter", "slo",
+    "stream", "priority", "admit_round", "wait_rounds", "deliveries",
+    "clean", "retried", "reconstructed", "hiccups", "shed",
+    "longest_glitch_run", "rounds_degraded", "completed", "jitter", "slo",
 }
 STREAM_ROW_OPTIONAL = {"cause"}
 STREAM_ROW_BOOLS = {"shed", "completed"}
 
 EPOCH_NAMES = {"before", "during", "after"}
+
+ADMISSION_COUNTS = (
+    "requests", "arrivals", "seeks", "resumes", "admitted", "rejected",
+    "timeouts", "withdrawn", "dropped", "final_queue_depth",
+    "peak_occupancy",
+)
+ADMISSION_REQUIRED = set(ADMISSION_COUNTS) | {
+    "policy", "wait_rounds", "occupancy", "epochs",
+}
+ADMISSION_POLICIES = {"disk-sum", "busiest-disk"}
+ADMISSION_EPOCH_REQUIRED = {
+    "first_round", "last_round", "requests", "admitted", "rejected",
+    "timeouts", "rejection_rate",
+}
 
 SLO_VERDICTS = {"met", "VIOLATED"}
 
@@ -317,6 +331,88 @@ class Validator:
             if key in lanes:
                 self.check_histogram(lanes[key], f"profile.lanes.{key}")
 
+    def check_admission(self, section):
+        if not isinstance(section, dict):
+            self.error("admission", "must be an object")
+            return
+        missing = ADMISSION_REQUIRED - set(section)
+        if missing:
+            self.error("admission", f"missing {sorted(missing)}")
+        extras = set(section) - ADMISSION_REQUIRED
+        if extras:
+            self.error("admission", f"unknown keys {sorted(extras)}")
+        policy = section.get("policy")
+        if policy is not None and policy not in ADMISSION_POLICIES:
+            self.error("admission.policy",
+                       f"must be one of {sorted(ADMISSION_POLICIES)}, "
+                       f"got {policy!r}")
+        counts = {}
+        for key in ADMISSION_COUNTS:
+            value = section.get(key)
+            if value is None:
+                continue
+            if not isinstance(value, int) or isinstance(value, bool):
+                self.error(f"admission.{key}",
+                           f"must be an int, got {value!r}")
+            elif value < 0:
+                self.error(f"admission.{key}",
+                           f"must be >= 0, got {value}")
+            else:
+                counts[key] = value
+        # The two conservation identities every run must satisfy: each
+        # request is exactly one of arrival/seek/resume, and leaves the
+        # pipeline exactly once (or is still queued at the end).
+        kinds = ("arrivals", "seeks", "resumes")
+        if all(k in counts for k in kinds + ("requests",)):
+            total = sum(counts[k] for k in kinds)
+            if total != counts["requests"]:
+                self.error("admission",
+                           f"arrivals+seeks+resumes = {total} != "
+                           f"requests = {counts['requests']}")
+        outcomes = ("admitted", "rejected", "timeouts", "withdrawn",
+                    "dropped", "final_queue_depth")
+        if all(k in counts for k in outcomes + ("requests",)):
+            total = sum(counts[k] for k in outcomes)
+            if total != counts["requests"]:
+                self.error("admission",
+                           f"admitted+rejected+timeouts+withdrawn+dropped"
+                           f"+final_queue_depth = {total} != "
+                           f"requests = {counts['requests']}")
+        if "wait_rounds" in section:
+            self.check_histogram(section["wait_rounds"],
+                                 "admission.wait_rounds")
+        if "occupancy" in section:
+            self.check_histogram(section["occupancy"],
+                                 "admission.occupancy")
+        epochs = section.get("epochs")
+        if epochs is None:
+            return
+        if not isinstance(epochs, list):
+            self.error("admission.epochs", "must be an array")
+            return
+        for i, epoch in enumerate(epochs):
+            where = f"admission.epochs[{i}]"
+            if not isinstance(epoch, dict):
+                self.error(where, "must be an object")
+                continue
+            missing = ADMISSION_EPOCH_REQUIRED - set(epoch)
+            if missing:
+                self.error(where, f"missing {sorted(missing)}")
+            extras = set(epoch) - ADMISSION_EPOCH_REQUIRED
+            if extras:
+                self.error(where, f"unknown keys {sorted(extras)}")
+            for key in ADMISSION_EPOCH_REQUIRED - {"rejection_rate"}:
+                if key in epoch:
+                    self.check_number(epoch[key], f"{where}.{key}")
+            rate = epoch.get("rejection_rate")
+            if rate is not None:
+                self.check_number(rate, f"{where}.rejection_rate")
+                if (isinstance(rate, (int, float))
+                        and not isinstance(rate, bool)
+                        and not 0.0 <= rate <= 1.0):
+                    self.error(f"{where}.rejection_rate",
+                               f"must be in [0, 1], got {rate}")
+
     def validate(self, artifact):
         if not isinstance(artifact, dict):
             self.error("(root)", "artifact must be a JSON object")
@@ -351,6 +447,8 @@ class Validator:
             self.check_table(artifact["table"])
         if "profile" in artifact:
             self.check_profile(artifact["profile"])
+        if "admission" in artifact:
+            self.check_admission(artifact["admission"])
 
 
 def validate_file(path):
