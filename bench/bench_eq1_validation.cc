@@ -14,6 +14,7 @@
 #include "core/content.h"
 #include "core/controller_factory.h"
 #include "core/server.h"
+#include "core/stream_cache.h"
 #include "layout/layout.h"
 
 namespace {
@@ -80,11 +81,24 @@ bool WriteArtifact(int argc, char** argv) {
   // one section bench_compare.py gates with ratio thresholds rather
   // than exactly, because it measures the host, not the simulation.
   PhaseProfiler profiler;
+  // Stream cache on, so the baseline-gated artifact covers the cache
+  // data path too: the q=8 streams stagger through the same clip two
+  // blocks apart, so follower merge serves most trailing reads and the
+  // `server.cache` phase, the cache counters and the reduced read
+  // totals are all diffed against BENCH_baseline.json.
+  StreamCacheConfig cache_config;
+  cache_config.budget_blocks = 64;
+  cache_config.window_rounds = 8;
+  cache_config.prefix_blocks = 8;
+  cache_config.hot_clips = 1;
+  StreamCache cache(cache_config);
+  cache.RegisterClip(0, 0, 600, /*rank=*/0);
   ServerConfig config;
   config.block_size = b;
   config.time_rounds = true;
   config.metrics = &registry;
   config.profiler = &profiler;
+  config.cache = &cache;
   Server server(&array, setup->controller.get(), config);
   for (int i = 0; i < 8 * q; ++i) {
     server.TryAdmit(i, 0, (i % 12) * 2, 60);
@@ -95,6 +109,7 @@ bool WriteArtifact(int argc, char** argv) {
   CMFS_CHECK(server.FailDisk(1).ok());
   CMFS_CHECK(server.RunRounds(50).ok());
   array.ExportMetrics(&registry);
+  cache.ExportMetrics(&registry);
 
   BenchReport report;
   report.bench = "bench_eq1_validation";
@@ -104,7 +119,8 @@ bool WriteArtifact(int argc, char** argv) {
                    {"q", q},
                    {"block_size", static_cast<double>(b)},
                    {"fail_round", 20},
-                   {"fail_disk", 1}};
+                   {"fail_disk", 1},
+                   {"cache_budget", 64}};
   report.metrics = &registry;
   report.timeline = &server.timeline();
   report.per_disk = {

@@ -29,6 +29,35 @@ void BufferPool::AttachMetrics(MetricsRegistry* registry) {
   CMFS_CHECK(registry != nullptr);
   occupancy_hist_ = registry->histogram("buffer.occupancy_blocks");
   high_water_gauge_ = registry->gauge("buffer.high_water_blocks");
+  pinned_gauge_ = registry->gauge("buffer.pinned_blocks");
+}
+
+void BufferPool::PinOne(int shard) {
+  shards_[ShardIndex(shard)]->pinned.fetch_add(1, std::memory_order_relaxed);
+  ++pinned_;
+  if (pinned_gauge_ != nullptr) {
+    pinned_gauge_->Set(static_cast<double>(pinned_));
+  }
+}
+
+void BufferPool::UnpinOne(int shard) {
+  const std::int64_t prev = shards_[ShardIndex(shard)]->pinned.fetch_sub(
+      1, std::memory_order_relaxed);
+  CMFS_CHECK(prev > 0);
+  --pinned_;
+  if (pinned_gauge_ != nullptr) {
+    pinned_gauge_->Set(static_cast<double>(pinned_));
+  }
+}
+
+std::int64_t BufferPool::CheckPinnedGauges(std::int64_t expected) const {
+  std::int64_t gauges = 0;
+  for (const auto& shard : shards_) {
+    gauges += shard->pinned.load(std::memory_order_relaxed);
+  }
+  CMFS_CHECK(gauges == pinned_);
+  CMFS_CHECK(gauges == expected);
+  return gauges;
 }
 
 void BufferPool::OnInsert() {

@@ -153,6 +153,22 @@ class BufferPool {
   // time consistency point for the staged path. Returns the total.
   std::int64_t CheckShardGauges() const;
 
+  // --- Pin accounting (stream-cache residency) ---------------------------
+  // The stream cache parks block bytes in shard arenas outside the entry
+  // maps; each such block holds one *pin* on its shard so occupancy
+  // accounting can't silently leak them. Pin/Unpin bump the shard's
+  // atomic pin gauge, the deterministic total and the
+  // "buffer.pinned_blocks" registry gauge; both are called only on the
+  // cache's sequential produce timeline (mutex-ordered across threads).
+  void PinOne(int shard);
+  void UnpinOne(int shard);
+  std::int64_t pinned_blocks() const { return pinned_; }
+  // Folds the per-shard atomic pin gauges and CHECKs they agree with the
+  // deterministic total and with `expected` (the cache's own resident
+  // count). Called at pin-quiescent points only (round head) — the
+  // companion of CheckShardGauges for pinned blocks. Returns the total.
+  std::int64_t CheckPinnedGauges(std::int64_t expected) const;
+
   // nullptr if absent. The pointer stays valid until the entry is erased.
   Entry* Find(StreamId stream, int space, std::int64_t index);
 
@@ -199,6 +215,9 @@ class BufferPool {
     BlockArena arena;
     std::unordered_map<Key, Entry, KeyHash> entries;
     std::atomic<std::int64_t> resident{0};
+    // Cache-pinned blocks whose bytes live in this shard's arena but not
+    // in `entries` (stream-cache residency).
+    std::atomic<std::int64_t> pinned{0};
   };
 
   std::size_t ShardIndex(int shard) const;
@@ -216,8 +235,10 @@ class BufferPool {
   std::int64_t block_size_;
   std::int64_t resident_ = 0;
   std::int64_t high_water_ = 0;
+  std::int64_t pinned_ = 0;
   Histogram* occupancy_hist_ = nullptr;  // owned by the registry
   Gauge* high_water_gauge_ = nullptr;
+  Gauge* pinned_gauge_ = nullptr;
   // unique_ptr: shards hold an atomic and a mutex-bearing arena, neither
   // movable, and Entry pointers must stay stable regardless.
   std::vector<std::unique_ptr<Shard>> shards_;

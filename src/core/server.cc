@@ -39,6 +39,11 @@ std::string ServerMetrics::ToString() const {
         static_cast<long long>(degraded_extra_reads));
     out += buf;
   }
+  if (cache_served_reads > 0) {
+    std::snprintf(buf, sizeof(buf), " cache{served=%lld}",
+                  static_cast<long long>(cache_served_reads));
+    out += buf;
+  }
   return out;
 }
 
@@ -98,9 +103,14 @@ Server::Server(DiskArray* array, Controller* controller,
           config_.metrics->histogram(prefix + "round_reads"));
     }
   }
+  if (config_.cache != nullptr) config_.cache->Bind(&pool_);
 }
 
 Server::~Server() {
+  // The cache's resident bytes live in this server's pool arenas, which
+  // die with the server — release them now, while the pool is alive
+  // (the cache object itself may outlive the server).
+  if (config_.cache != nullptr) config_.cache->ReleaseAll();
   // A produce can only be in flight mid-RunRound; by destruction time the
   // pipeline thread (if ever started) is idle and just needs shutdown.
   PipelineJoin();
@@ -135,6 +145,9 @@ bool Server::TryAdmit(StreamId id, int space, std::int64_t start,
   CMFS_CHECK(streams_.find(id) == streams_.end());
   if (!controller_->TryAdmit(id, space, start, length)) return false;
   streams_[id] = StreamRecord{space, start, length, 0, false, priority};
+  if (config_.cache != nullptr) {
+    config_.cache->OnAdmit(id, space, start, length);
+  }
   if (config_.qos != nullptr) {
     config_.qos->OnAdmit(id, metrics_.rounds, priority);
   }
@@ -162,6 +175,7 @@ Status Server::PauseStream(StreamId id) {
   // Buffered-but-undelivered blocks are re-fetched on resume.
   DropStreamBuffers(id);
   it->second.paused = true;
+  if (config_.cache != nullptr) config_.cache->OnStreamGone(id);
   if (config_.qos != nullptr) config_.qos->OnPause(id, metrics_.rounds);
   if (config_.trace != nullptr) {
     config_.trace->Record(TraceEvent{metrics_.rounds,
@@ -239,6 +253,7 @@ void Server::ShedStream(StreamId id, const std::string& reason,
   auto it = streams_.find(id);
   const int space = it != streams_.end() ? it->second.space : 0;
   streams_.erase(id);
+  if (config_.cache != nullptr) config_.cache->OnStreamGone(id);
   if (config_.qos != nullptr) {
     config_.qos->OnShed(id, metrics_.rounds, cause);
   }
@@ -340,6 +355,12 @@ Status Server::ResumeStream(StreamId id) {
   record.length = remaining;
   record.delivered = 0;
   record.paused = false;
+  if (config_.cache != nullptr) {
+    // The resume extent is a fresh viewing position — re-target the
+    // cache's follower tracking at it (a VCR seek past a cached
+    // interval must not leave the old watermark behind).
+    config_.cache->OnAdmit(id, record.space, resume_at, remaining);
+  }
   if (config_.qos != nullptr) config_.qos->OnResume(id, metrics_.rounds);
   if (config_.trace != nullptr) {
     config_.trace->Record(TraceEvent{metrics_.rounds,
@@ -361,6 +382,7 @@ Status Server::CancelStream(StreamId id) {
   }
   DropStreamBuffers(id);
   streams_.erase(it);
+  if (config_.cache != nullptr) config_.cache->OnStreamGone(id);
   if (config_.qos != nullptr) config_.qos->OnCancel(id, metrics_.rounds);
   if (config_.trace != nullptr) {
     config_.trace->Record(TraceEvent{metrics_.rounds,
@@ -612,6 +634,34 @@ void Server::StageAndRunLanes(RoundBuffer& buf, bool on_main_thread) {
       break;
     }
   }
+  CaptureCleanReads(buf);
+}
+
+void Server::FilterPlanThroughCache(RoundBuffer& buf) {
+  if (config_.cache == nullptr) {
+    // Buffers are reused round to round; stale serves from a previous
+    // configuration must not leak into this round's commit.
+    buf.cache_serves.clear();
+    buf.cache_captures.clear();
+    return;
+  }
+  config_.cache->FilterPlan(buf.plan_round, &buf.plan, &buf.cache_serves,
+                            &buf.cache_captures);
+}
+
+void Server::CaptureCleanReads(RoundBuffer& buf) {
+  // Capture-marked positions whose read came back clean enter the cache
+  // here, on the produce timeline, in plan order — before commit, so a
+  // same-round follower planned next round already hits. Errored
+  // positions are left to the commit path: a successful inline
+  // reconstruction captures there with its degraded provenance.
+  if (config_.cache == nullptr || buf.cache_captures.empty()) return;
+  for (std::int32_t pos : buf.cache_captures) {
+    const std::size_t i = static_cast<std::size_t>(pos);
+    if (!buf.outcomes[i].error.ok()) continue;
+    config_.cache->CaptureClean(buf.plan.reads[i], buf.staged[i],
+                                buf.plan_round);
+  }
 }
 
 void Server::ProduceInto(RoundBuffer* buf) {
@@ -619,6 +669,7 @@ void Server::ProduceInto(RoundBuffer* buf) {
       prof_clock_ != nullptr ? prof_clock_->NowNanos() : 0;
   buf->plan = RoundPlan{};
   controller_->Round(array_->failed_disk(), &buf->plan);
+  FilterPlanThroughCache(*buf);
   buf->num_active_after_plan = controller_->num_active();
   StageAndRunLanes(*buf, /*on_main_thread=*/false);
   if (profiler_ != nullptr) {
@@ -678,6 +729,7 @@ void Server::MaybeLaunchPrefetch() {
   if (array_->failed_disk() >= 0 || AnyQuotaCap()) return;
   RoundBuffer& nxt = buffers_[1 - cur_];
   CMFS_CHECK(!nxt.ready);
+  nxt.plan_round = next;
   ++rounds_planned_;
   if (!pipe_thread_.joinable()) {
     pipe_thread_ = std::thread([this] { PipeThreadMain(); });
@@ -836,6 +888,24 @@ Status Server::CommitOutcomes(RoundBuffer& buf) {
               last_reconstruct_peer_reads_,
               DegradedCauseFor(read.addr.disk));
         }
+        if (config_.cache != nullptr &&
+            std::binary_search(buf.cache_captures.begin(),
+                               buf.cache_captures.end(),
+                               static_cast<std::int32_t>(i))) {
+          // A capture whose source read died but was rebuilt from the
+          // group peers still enters the cache — with its degraded
+          // provenance, so a later serve replays the reconstruction
+          // (classification and causal span) instead of a clean read.
+          // Safe here: an errored round never overlaps the next produce,
+          // so this is still the sequential produce/commit timeline.
+          BufferPool::Entry* entry =
+              pool_.Find(read.stream, read.space, read.index);
+          CMFS_CHECK(entry != nullptr);
+          config_.cache->CaptureReconstructed(
+              read, entry->data.data(), buf.plan_round, out.retries,
+              out.failed_attempts, last_reconstruct_peer_reads_,
+              DegradedCauseFor(read.addr.disk));
+        }
         continue;  // Recovered from the group peers at commit time.
       }
       ++metrics_.lost_reads;
@@ -939,6 +1009,51 @@ Status Server::CommitOutcomes(RoundBuffer& buf) {
   return Status::Ok();
 }
 
+void Server::CommitCacheServes(RoundBuffer& buf) {
+  if (buf.cache_serves.empty()) return;
+  const bool tracing = config_.trace != nullptr;
+  for (CacheServe& serve : buf.cache_serves) {
+    const RoundRead& read = serve.read;
+    const Key key{read.stream, read.space, read.index};
+    if (!poisoned_.empty() && poisoned_.count(key) > 0) continue;
+    // Adopt the bytes staged at filter time. Deliberately *not* counted
+    // in total_reads / window_reads_ / round_disk_reads_ / per-disk
+    // reads: no disk saw this block, so it must not tighten the load
+    // window or the lane-critical admission signal.
+    pool_.PutAdopt(read.stream, read.space, read.index, serve.staged,
+                   /*parity_pending=*/false);
+    serve.staged = nullptr;
+    ++metrics_.cache_served_reads;
+    if (tracing) {
+      TraceBatch(TraceEvent{metrics_.rounds, TraceEventType::kCacheServe,
+                            read.stream, read.addr, read.kind, read.space,
+                            read.index});
+    }
+    if (config_.qos != nullptr) {
+      if (serve.reconstructed) {
+        // Replay the source block's degraded provenance so the follower
+        // inherits the reconstruction's QoS classification and causal
+        // span — a cached copy must not launder a degraded block clean.
+        config_.qos->OnReconstructed(
+            read.stream, read.space, read.index,
+            serve.source_disk >= 0 ? serve.source_disk : read.addr.disk,
+            metrics_.rounds, serve.retries, serve.failed_attempts,
+            serve.peer_reads, serve.cause);
+      } else {
+        // Clean source (including retried-then-clean: the follower's
+        // copy needed no retries of its own) — a plain clean read.
+        config_.qos->OnRead(read.stream, read.space, read.index,
+                            serve.source_disk >= 0 ? serve.source_disk
+                                                   : read.addr.disk,
+                            metrics_.rounds, /*retries=*/0,
+                            /*failed_attempts=*/0, /*recovery=*/false,
+                            std::string());
+      }
+    }
+  }
+  FlushTraceBatch();
+}
+
 void Server::ReleaseRoundStaging(RoundBuffer& buf) {
   for (std::size_t i = 0; i < buf.staged.size(); ++i) {
     if (buf.staged[i] != nullptr) {
@@ -952,6 +1067,16 @@ void Server::ReleaseRoundStaging(RoundBuffer& buf) {
   buf.partials.clear();
   buf.partial_init.clear();
   buf.partial_shard.clear();
+  // Serves not adopted by CommitCacheServes (commit error, poisoned key)
+  // still own their staging blocks.
+  for (CacheServe& serve : buf.cache_serves) {
+    if (serve.staged != nullptr) {
+      pool_.arena(serve.shard)->Release(serve.staged);
+      serve.staged = nullptr;
+    }
+  }
+  buf.cache_serves.clear();
+  buf.cache_captures.clear();
 }
 
 void Server::FoldLaneSpans(const RoundBuffer& buf) {
@@ -1150,6 +1275,12 @@ Status Server::RunRound() {
   // The previous round always joined its produce before returning; a
   // violated invariant here means a reentrant or cross-thread RunRound.
   CMFS_CHECK(!produce_outstanding_);
+  if (config_.cache != nullptr) {
+    // Pin-quiescent reconciliation point: the shard pin gauges, the
+    // pool's deterministic pin total and the cache's resident count must
+    // agree here, or a cache pin leaked.
+    pool_.CheckPinnedGauges(config_.cache->resident_blocks());
+  }
   ScopedPhaseTimer round_timer(profiler_, "server.round");
   // Whatever path exits this round — success or error — the produce
   // launched below must be joined first: the server is quiescent between
@@ -1190,6 +1321,7 @@ Status Server::RunRound() {
             ? prof_clock_->NowNanos()
             : -1;
     RunProlog(rounds_planned_);
+    buf.plan_round = rounds_planned_;
     {
       ScopedPhaseTimer plan_timer(profiler_, "server.plan");
       buf.plan = RoundPlan{};
@@ -1204,6 +1336,14 @@ Status Server::RunRound() {
     // rounds skipped this: the overlap never launches with a cap
     // active, so the shed pass would have been a no-op.)
     ShedForQuotaCaps(&buf.plan);
+    {
+      // Cache filter after shedding, before lane partitioning: served
+      // reads never reach the lanes, the disks or the lane-critical
+      // admission signal.
+      ScopedPhaseTimer cache_timer(
+          config_.cache != nullptr ? profiler_ : nullptr, "server.cache");
+      FilterPlanThroughCache(buf);
+    }
     buf.num_active_after_plan = controller_->num_active();
     StageAndRunLanes(buf, /*on_main_thread=*/true);
     if (stall_t0 >= 0) {
@@ -1235,6 +1375,7 @@ Status Server::RunRound() {
   {
     ScopedPhaseTimer commit_timer(profiler_, "server.commit");
     st = CommitOutcomes(buf);
+    if (st.ok()) CommitCacheServes(buf);
     ReleaseRoundStaging(buf);
     if (st.ok()) {
       // The staged/replayed split must reconcile exactly: per-shard

@@ -16,6 +16,7 @@
 
 #include "core/buffer_pool.h"
 #include "core/controller.h"
+#include "core/stream_cache.h"
 #include "core/trace.h"
 #include "disk/cscan_scheduler.h"
 #include "disk/disk_array.h"
@@ -153,6 +154,17 @@ struct ServerConfig {
   // Per-round timeline retention: 0 keeps every RoundSample, N keeps a
   // ring of the most recent N (aggregates still cover the full run).
   std::size_t timeline_capacity = 0;
+  // Optional popularity-aware stream cache (caller-owned, must outlive
+  // the server). When set, the server binds it to the buffer pool,
+  // filters every planned round through it before lane partitioning
+  // (FilterPlan removes cache-served reads, so they never reach the
+  // disks, the lanes, or the lane-critical admission signal), feeds it
+  // captures on the produce timeline, and adopts its serves at the
+  // sequential commit with full QoS/trace replay (core/stream_cache.h).
+  // Cache decisions are pure functions of sequential prolog state, so
+  // every determinism-checked output stays byte-identical across lanes
+  // and double-buffering.
+  StreamCache* cache = nullptr;
   // Optional wall-clock phase profiler (caller-owned, must outlive the
   // server). Timing is a side channel: the profiler keeps its own
   // histograms (obs/phase_profiler.h) and never touches the metrics
@@ -195,6 +207,10 @@ struct ServerMetrics {
   // Extra media accesses beyond the plan: retries plus reconstruction
   // peer reads (not charged against the round quota; see class comment).
   std::int64_t degraded_extra_reads = 0;
+  // Planned data reads served from the stream cache instead of disk
+  // (excluded from total_reads and every per-disk count: no disk was
+  // touched).
+  std::int64_t cache_served_reads = 0;
   // Worst per-disk round service time observed (seconds; only when
   // time_rounds). Compare against block_size / playback_rate.
   double max_round_time = 0.0;
@@ -383,6 +399,15 @@ class Server {
     // Snapshotted because the overlapped produce advances the controller
     // a round ahead of the committing round.
     int num_active_after_plan = 0;
+    // 0-based round this plan belongs to (set before the produce so the
+    // cache filter sees the right round on either path).
+    std::int64_t plan_round = 0;
+    // Reads FilterPlan removed from the plan, staged for the sequential
+    // commit (pool adoption + kCacheServe trace + QoS provenance replay).
+    std::vector<CacheServe> cache_serves;
+    // Filtered-plan positions whose clean bytes the cache wants
+    // (ascending; reconstructed captures resolve at commit).
+    std::vector<std::int32_t> cache_captures;
     // Per-disk lane wall-clock spans (profiler only): each lane writes
     // its own slot; folded sequentially at commit.
     std::vector<std::int64_t> lane_start_ns;
@@ -399,6 +424,12 @@ class Server {
   // into preallocated arena blocks / partial-XOR accumulators, records
   // ReadOutcomes. Touches nothing shared.
   void RunLane(RoundBuffer& buf, int disk);
+  // Runs the cache filter for the buffer's planned round (no-op without
+  // an attached cache): removes served reads, records captures.
+  void FilterPlanThroughCache(RoundBuffer& buf);
+  // Feeds capture-marked clean outcomes to the cache (produce timeline,
+  // plan order, right after the lanes).
+  void CaptureCleanReads(RoundBuffer& buf);
   // stage + lanes + the any_error scan. on_main_thread selects both the
   // phase timers (the prefetch path wraps the whole produce in one
   // server.prefetch span instead) and the lane dispatch (the pipeline
@@ -419,6 +450,10 @@ class Server {
   // order: metrics, histograms, traces, QoS, occupancy samples, key
   // sets — plus the live sequential path for deferred positions.
   Status CommitOutcomes(RoundBuffer& buf);
+  // Adopts the round's cache serves into the pool in serve order —
+  // sequential commit only: pool insert, kCacheServe trace event, QoS
+  // replay of the source provenance.
+  void CommitCacheServes(RoundBuffer& buf);
   // Sequential fold of the lanes' wall-clock spans into the profiler
   // (active-lane order) plus the round's utilization sample.
   void FoldLaneSpans(const RoundBuffer& buf);

@@ -1,0 +1,522 @@
+#include "core/stream_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "util/status.h"
+
+namespace cmfs {
+
+namespace {
+
+constexpr std::int64_t kInfiniteInterval =
+    std::numeric_limits<std::int64_t>::max();
+
+// Pseudo stream id folding cache-owned block bytes onto a pool shard
+// (pure function of the key, like every shard assignment).
+constexpr StreamId kCacheOwner = -1;
+
+bool ExtentCovers(std::int64_t start, std::int64_t length,
+                  std::int64_t index) {
+  return index >= start && index < start + length;
+}
+
+}  // namespace
+
+std::string StreamCacheSummary::ToString() const {
+  std::ostringstream os;
+  os << "cache: ";
+  if (!enabled) {
+    os << "disabled";
+    return os.str();
+  }
+  os << "budget=" << budget_blocks << " window=" << window_rounds
+     << " prefix=" << prefix_blocks << " hot=" << hot_clips
+     << " demand=" << follower_demand << " hits=" << hits
+     << " misses=" << misses << " evict_fallbacks=" << evict_fallbacks
+     << " served=" << served_reads << " (" << served_reconstructed
+     << " reconstructed) captures=" << captures << " evictions=" << evictions
+     << " (" << evicted_mid_interval << " mid-interval) rejected="
+     << rejected_full << " releases=" << releases << " resident peak/final="
+     << resident_peak << "/" << resident_final;
+  return os.str();
+}
+
+std::string StreamCacheSummaryJson(const StreamCacheSummary& summary) {
+  std::ostringstream os;
+  os << "{";
+  os << "\"enabled\": " << (summary.enabled ? "true" : "false") << ", ";
+  os << "\"budget_blocks\": " << summary.budget_blocks << ", ";
+  os << "\"window_rounds\": " << summary.window_rounds << ", ";
+  os << "\"prefix_blocks\": " << summary.prefix_blocks << ", ";
+  os << "\"hot_clips\": " << summary.hot_clips << ", ";
+  os << "\"follower_demand\": " << summary.follower_demand << ", ";
+  os << "\"hits\": " << summary.hits << ", ";
+  os << "\"misses\": " << summary.misses << ", ";
+  os << "\"evict_fallbacks\": " << summary.evict_fallbacks << ", ";
+  os << "\"served_reads\": " << summary.served_reads << ", ";
+  os << "\"served_reconstructed\": " << summary.served_reconstructed << ", ";
+  os << "\"captures\": " << summary.captures << ", ";
+  os << "\"evictions\": " << summary.evictions << ", ";
+  os << "\"evicted_mid_interval\": " << summary.evicted_mid_interval << ", ";
+  os << "\"rejected_full\": " << summary.rejected_full << ", ";
+  os << "\"releases\": " << summary.releases << ", ";
+  os << "\"resident_peak\": " << summary.resident_peak << ", ";
+  os << "\"resident_final\": " << summary.resident_final;
+  os << "}";
+  return os.str();
+}
+
+StreamCache::StreamCache(const StreamCacheConfig& config) : config_(config) {
+  CMFS_CHECK(config_.budget_blocks >= 0);
+  CMFS_CHECK(config_.window_rounds >= 0);
+  CMFS_CHECK(config_.prefix_blocks >= 0);
+  CMFS_CHECK(config_.hot_clips >= 0);
+}
+
+StreamCache::~StreamCache() { ReleaseAll(); }
+
+void StreamCache::Bind(BufferPool* pool) {
+  CMFS_CHECK(pool != nullptr);
+  CMFS_CHECK(pool_ == nullptr || pool_ == pool);
+  pool_ = pool;
+}
+
+void StreamCache::RegisterClip(int space, std::int64_t start,
+                               std::int64_t length, int rank) {
+  CMFS_CHECK(length > 0);
+  Clip& clip = clips_[ClipKey{space, start}];
+  // Re-registering an implicit clip upgrades it in place (sessions keep
+  // their membership).
+  clip.space = space;
+  clip.start = start;
+  clip.length = std::max(clip.length, length);
+  clip.rank = rank;
+  clip.registered = true;
+  clip.retired = false;
+}
+
+void StreamCache::RetireClip(int space, std::int64_t start) {
+  auto it = clips_.find(ClipKey{space, start});
+  if (it == clips_.end()) return;
+  Clip& clip = it->second;
+  clip.retired = true;
+  // Unpin the prefix; blocks nobody is still riding release immediately.
+  for (auto bit = blocks_.begin(); bit != blocks_.end();) {
+    CachedBlock& block = bit->second;
+    if (block.clip != it->first) {
+      ++bit;
+      continue;
+    }
+    block.prefix_pinned = false;
+    if (!HasConsumer(clip, -1, bit->first.second)) {
+      ++releases_;
+      ReleaseBlock(bit->first, block);
+      bit = blocks_.erase(bit);
+    } else {
+      ++bit;
+    }
+  }
+}
+
+void StreamCache::OnAdmit(StreamId id, int space, std::int64_t start,
+                          std::int64_t length) {
+  if (!enabled()) return;
+  // A resume/seek re-admission re-targets the stream's extent; drop the
+  // old clip membership first.
+  OnStreamGone(id);
+  Clip* clip = FindClipContaining(space, start, length);
+  if (clip == nullptr) {
+    // Implicit clip: exactly this extent, never hot. Interval caching
+    // still merges same-extent sessions without a catalog.
+    Clip& fresh = clips_[ClipKey{space, start}];
+    fresh.space = space;
+    fresh.start = start;
+    fresh.length = std::max(fresh.length, length);
+    clip = &fresh;
+  }
+  clip->streams.insert(id);
+  StreamState state;
+  state.space = space;
+  state.start = start;
+  state.length = length;
+  state.watermark = start;
+  state.clip = ClipKey{clip->space, clip->start};
+  streams_[id] = state;
+}
+
+void StreamCache::OnStreamGone(StreamId id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) return;
+  auto cit = clips_.find(it->second.clip);
+  if (cit != clips_.end()) {
+    cit->second.streams.erase(id);
+    // An implicit clip with no sessions and no resident blocks is gone
+    // for good (its key may be reused by a later, different extent).
+    if (!cit->second.registered && cit->second.streams.empty()) {
+      bool has_blocks = false;
+      for (const auto& kv : blocks_) {
+        if (kv.second.clip == cit->first) {
+          has_blocks = true;
+          break;
+        }
+      }
+      if (!has_blocks) clips_.erase(cit);
+    }
+  }
+  streams_.erase(it);
+}
+
+StreamCache::Clip* StreamCache::FindClipContaining(int space,
+                                                   std::int64_t start,
+                                                   std::int64_t length) {
+  // Clips are keyed (space, start); the candidate is the last clip at or
+  // before `start` in the same space.
+  auto it = clips_.upper_bound(ClipKey{space, start});
+  while (it != clips_.begin()) {
+    --it;
+    if (it->first.first != space) return nullptr;
+    const Clip& clip = it->second;
+    if (start >= clip.start && start + length <= clip.start + clip.length) {
+      return &it->second;
+    }
+    // Clips don't nest in practice; one step back is enough to decide,
+    // but walking further is harmless and handles overlapping extents.
+    if (clip.start + clip.length <= start) return nullptr;
+  }
+  return nullptr;
+}
+
+bool StreamCache::HasLeaderPast(const Clip& clip, StreamId self,
+                                std::int64_t index) const {
+  for (StreamId id : clip.streams) {
+    if (id == self) continue;
+    auto it = streams_.find(id);
+    if (it == streams_.end()) continue;
+    const StreamState& s = it->second;
+    if (ExtentCovers(s.start, s.length, index) && s.watermark > index) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StreamCache::HasConsumer(const Clip& clip, StreamId self,
+                              std::int64_t index) const {
+  for (StreamId id : clip.streams) {
+    if (id == self) continue;
+    auto it = streams_.find(id);
+    if (it == streams_.end()) continue;
+    const StreamState& s = it->second;
+    if (ExtentCovers(s.start, s.length, index) && s.watermark <= index) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t StreamCache::IntervalTo(const BlockKey& key,
+                                     const CachedBlock& block) const {
+  auto cit = clips_.find(block.clip);
+  if (cit == clips_.end()) return -1;
+  std::int64_t best = -1;
+  for (StreamId id : cit->second.streams) {
+    auto it = streams_.find(id);
+    if (it == streams_.end()) continue;
+    const StreamState& s = it->second;
+    if (!ExtentCovers(s.start, s.length, key.second)) continue;
+    if (s.watermark > key.second) continue;  // already past it
+    const std::int64_t gap = key.second - s.watermark;
+    if (best < 0 || gap < best) best = gap;
+  }
+  return best;
+}
+
+void StreamCache::FilterPlan(std::int64_t round, RoundPlan* plan,
+                             std::vector<CacheServe>* serves,
+                             std::vector<std::int32_t>* captures) {
+  serves->clear();
+  captures->clear();
+  if (!enabled()) return;
+  CMFS_CHECK(pool_ != nullptr);
+  const std::int64_t block_size = pool_->block_size();
+
+  std::vector<RoundRead> kept;
+  kept.reserve(plan->reads.size());
+  for (const RoundRead& read : plan->reads) {
+    auto sit = streams_.find(read.stream);
+    if (sit == streams_.end() || read.index < 0) {
+      kept.push_back(read);
+      continue;
+    }
+    StreamState& st = sit->second;
+    bool served = false;
+    if (read.kind == ReadKind::kData) {
+      Clip& clip = clips_.at(st.clip);
+      const BlockKey key{read.space, read.index};
+      const bool demand = HasLeaderPast(clip, read.stream, read.index);
+      if (demand) ++follower_demand_;
+      auto bit = blocks_.find(key);
+      if (bit != blocks_.end()) {
+        // Serve from cache: stage the bytes into the read key's pool
+        // shard arena; the commit phase adopts the block in plan order.
+        const CachedBlock& block = bit->second;
+        const int shard =
+            pool_->ShardOf(read.stream, read.space, read.index);
+        std::uint8_t* staged = pool_->arena(shard)->Allocate();
+        std::memcpy(staged, block.bytes,
+                    static_cast<std::size_t>(block_size));
+        CacheServe serve;
+        serve.read = read;
+        serve.staged = staged;
+        serve.shard = shard;
+        serve.reconstructed = block.reconstructed;
+        serve.retries = block.retries;
+        serve.failed_attempts = block.failed_attempts;
+        serve.peer_reads = block.peer_reads;
+        serve.source_disk = block.source_disk;
+        serve.cause = block.cause;
+        serves->push_back(std::move(serve));
+        ++served_reads_;
+        if (block.reconstructed) ++served_reconstructed_;
+        if (demand) ++hits_;
+        served = true;
+      } else {
+        if (demand) {
+          if (evicted_pending_.count(key) > 0) {
+            ++evict_fallbacks_;
+          } else {
+            ++misses_;
+          }
+        }
+        // Capture decision for the disk read we are keeping: pin the hot
+        // prefix, retain for a live behind-follower, or retain
+        // speculatively inside a hot clip's batching window.
+        const bool prefix = ClipIsHot(clip) &&
+                            read.index < clip.start + config_.prefix_blocks;
+        const bool interval = HasConsumer(clip, read.stream, read.index);
+        const bool window =
+            config_.window_rounds > 0 && ClipIsHot(clip);
+        if (prefix || interval || window) {
+          captures->push_back(static_cast<std::int32_t>(kept.size()));
+        }
+      }
+    }
+    st.watermark = std::max(st.watermark, read.index + 1);
+    if (!served) kept.push_back(read);
+  }
+  plan->reads = std::move(kept);
+
+  // --- Retention sweep ---------------------------------------------------
+  // Streams that have fetched their whole extent stop being consumers.
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    const StreamState& s = it->second;
+    if (s.watermark >= s.start + s.length) {
+      const StreamId done = it->first;
+      ++it;
+      OnStreamGone(done);
+    } else {
+      ++it;
+    }
+  }
+  // Drop blocks no retention rule still wants.
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    CachedBlock& block = it->second;
+    auto cit = clips_.find(block.clip);
+    bool keep = false;
+    if (cit != clips_.end()) {
+      const Clip& clip = cit->second;
+      if (clip.retired) block.prefix_pinned = false;
+      if (block.prefix_pinned) {
+        keep = true;
+      } else if (HasConsumer(clip, -1, it->first.second)) {
+        keep = true;
+      } else if (config_.window_rounds > 0 && ClipIsHot(clip) &&
+                 round < block.retain_round + config_.window_rounds) {
+        keep = true;
+      }
+    }
+    if (keep) {
+      ++it;
+    } else {
+      ++releases_;
+      ReleaseBlock(it->first, block);
+      it = blocks_.erase(it);
+    }
+  }
+  // An evicted-pending key whose last consumer moved past it (or left)
+  // can no longer produce a fallback read.
+  for (auto it = evicted_pending_.begin(); it != evicted_pending_.end();) {
+    bool wanted = false;
+    for (const auto& kv : clips_) {
+      if (kv.first.first != it->first) continue;
+      if (HasConsumer(kv.second, -1, it->second)) {
+        wanted = true;
+        break;
+      }
+    }
+    it = wanted ? std::next(it) : evicted_pending_.erase(it);
+  }
+}
+
+void StreamCache::CaptureClean(const RoundRead& read,
+                               const std::uint8_t* bytes,
+                               std::int64_t round) {
+  if (!enabled()) return;
+  CachedBlock provenance;
+  provenance.reconstructed = false;
+  provenance.source_disk = read.addr.disk;
+  Insert(read, bytes, round, std::move(provenance));
+}
+
+void StreamCache::CaptureReconstructed(const RoundRead& read,
+                                       const std::uint8_t* bytes,
+                                       std::int64_t round, int retries,
+                                       int failed_attempts, int peer_reads,
+                                       const std::string& cause) {
+  if (!enabled()) return;
+  CachedBlock provenance;
+  provenance.reconstructed = true;
+  provenance.retries = retries;
+  provenance.failed_attempts = failed_attempts;
+  provenance.peer_reads = peer_reads;
+  provenance.source_disk = read.addr.disk;
+  provenance.cause = cause;
+  Insert(read, bytes, round, std::move(provenance));
+}
+
+bool StreamCache::Insert(const RoundRead& read, const std::uint8_t* bytes,
+                         std::int64_t round, CachedBlock provenance) {
+  CMFS_CHECK(pool_ != nullptr);
+  const BlockKey key{read.space, read.index};
+  auto sit = streams_.find(read.stream);
+  ClipKey clip_key;
+  if (sit != streams_.end()) {
+    clip_key = sit->second.clip;
+  } else {
+    // The stream finished (or left) between filter and capture; the clip
+    // containing the block still identifies the retention owner.
+    Clip* clip = FindClipContaining(read.space, read.index, 1);
+    if (clip == nullptr) return false;
+    clip_key = ClipKey{clip->space, clip->start};
+  }
+  auto cit = clips_.find(clip_key);
+  if (cit == clips_.end()) return false;
+  Clip& clip = cit->second;
+
+  auto existing = blocks_.find(key);
+  if (existing != blocks_.end()) {
+    // Already resident (captured by an earlier reader this round):
+    // refresh the retention round, keep the first capture's bytes.
+    existing->second.retain_round = round;
+    return true;
+  }
+  while (resident_blocks() >= config_.budget_blocks) {
+    if (!EvictOne()) {
+      ++rejected_full_;
+      return false;
+    }
+  }
+  const int shard = pool_->ShardOf(kCacheOwner, read.space, read.index);
+  CachedBlock block = std::move(provenance);
+  block.bytes = pool_->arena(shard)->Allocate();
+  std::memcpy(block.bytes, bytes,
+              static_cast<std::size_t>(pool_->block_size()));
+  block.shard = shard;
+  block.clip = clip_key;
+  block.retain_round = round;
+  block.prefix_pinned = ClipIsHot(clip) &&
+                        read.index < clip.start + config_.prefix_blocks;
+  pool_->PinOne(shard);
+  blocks_.emplace(key, std::move(block));
+  evicted_pending_.erase(key);
+  ++captures_;
+  resident_peak_ = std::max(resident_peak_, resident_blocks());
+  return true;
+}
+
+bool StreamCache::EvictOne() {
+  auto victim = blocks_.end();
+  std::int64_t victim_interval = -1;
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->second.prefix_pinned) continue;
+    std::int64_t interval = IntervalTo(it->first, it->second);
+    if (interval < 0) interval = kInfiniteInterval;
+    if (victim == blocks_.end() || interval > victim_interval) {
+      victim = it;
+      victim_interval = interval;
+    }
+  }
+  if (victim == blocks_.end()) return false;
+  if (victim_interval != kInfiniteInterval) {
+    // A live follower was riding this block; its future read of the key
+    // is a counted fallback to disk, not a plain miss.
+    evicted_pending_.insert(victim->first);
+    ++evicted_mid_interval_;
+  }
+  ++evictions_;
+  ReleaseBlock(victim->first, victim->second);
+  blocks_.erase(victim);
+  return true;
+}
+
+void StreamCache::ReleaseBlock(const BlockKey& /*key*/,
+                               const CachedBlock& block) {
+  pool_->arena(block.shard)->Release(block.bytes);
+  pool_->UnpinOne(block.shard);
+}
+
+StreamCacheSummary StreamCache::Summary() const {
+  StreamCacheSummary summary;
+  summary.enabled = enabled();
+  summary.budget_blocks = config_.budget_blocks;
+  summary.window_rounds = config_.window_rounds;
+  summary.prefix_blocks = config_.prefix_blocks;
+  summary.hot_clips = config_.hot_clips;
+  summary.follower_demand = follower_demand_;
+  summary.hits = hits_;
+  summary.misses = misses_;
+  summary.evict_fallbacks = evict_fallbacks_;
+  summary.served_reads = served_reads_;
+  summary.served_reconstructed = served_reconstructed_;
+  summary.captures = captures_;
+  summary.evictions = evictions_;
+  summary.evicted_mid_interval = evicted_mid_interval_;
+  summary.rejected_full = rejected_full_;
+  summary.releases = releases_;
+  summary.resident_peak = resident_peak_;
+  summary.resident_final = resident_blocks();
+  return summary;
+}
+
+void StreamCache::ExportMetrics(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->counter("cache.follower_demand")->Set(follower_demand_);
+  registry->counter("cache.hits")->Set(hits_);
+  registry->counter("cache.misses")->Set(misses_);
+  registry->counter("cache.evict_fallbacks")->Set(evict_fallbacks_);
+  registry->counter("cache.served_reads")->Set(served_reads_);
+  registry->counter("cache.served_reconstructed")->Set(served_reconstructed_);
+  registry->counter("cache.captures")->Set(captures_);
+  registry->counter("cache.evictions")->Set(evictions_);
+  registry->counter("cache.evicted_mid_interval")->Set(evicted_mid_interval_);
+  registry->counter("cache.rejected_full")->Set(rejected_full_);
+  registry->counter("cache.releases")->Set(releases_);
+  registry->gauge("cache.resident_peak")->Set(
+      static_cast<double>(resident_peak_));
+  registry->gauge("cache.resident_blocks")->Set(
+      static_cast<double>(resident_blocks()));
+}
+
+void StreamCache::ReleaseAll() {
+  if (pool_ != nullptr) {
+    for (auto& kv : blocks_) ReleaseBlock(kv.first, kv.second);
+  }
+  blocks_.clear();
+  evicted_pending_.clear();
+}
+
+}  // namespace cmfs

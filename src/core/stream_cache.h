@@ -1,0 +1,310 @@
+#ifndef CMFS_CORE_STREAM_CACHE_H_
+#define CMFS_CORE_STREAM_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/buffer_pool.h"
+#include "core/round_plan.h"
+#include "obs/metrics_registry.h"
+
+// Popularity-aware interval cache & stream batching (docs/caching.md).
+//
+// The paper serves every admitted stream from disk each round, so disk
+// bandwidth — not buffer capacity — is the binding constraint in §7's
+// buffer/bandwidth optimization. With zipf-skewed popularity the same
+// hot-clip blocks are fetched over and over: a *follower* session re-reads
+// what a *leader* fetched rounds ago. This layer sits between the round
+// prolog and the scheme controllers and converts that redundancy into
+// served-from-RAM reads, three ways:
+//
+//   1. Follower merge — a session starting within `window_rounds` of an
+//      in-flight stream of the same clip rides the leader's blocks: the
+//      leader's fetches are retained speculatively for the window, and the
+//      follower's planned reads are served from the cache instead of disk.
+//   2. Interval caching — while a follower is actively behind a leader
+//      (leader fetch watermark past a block, follower watermark not yet),
+//      the leader's blocks are retained until the follower consumes them.
+//      Under budget pressure the block whose nearest consumer is furthest
+//      away (largest interval) is evicted first; a consumer-less block is
+//      an infinite interval and goes before any mid-interval block.
+//   3. Hot-prefix pinning — the leading `prefix_blocks` blocks of the top
+//      `hot_clips` clips by popularity rank stay pinned (until the clip is
+//      retired), so every new session of a hot clip starts on cache hits
+//      and the effective batching window widens by the prefix length.
+//
+// Round-plan integration: FilterPlan runs after the controller plans a
+// round and removes every cache-served kData read *before* lane
+// partitioning — the lane engine, merge/commit and double-buffer pipeline
+// never see served reads, and the lane-aware admission signal
+// (server.lane_critical_reads, the busiest-disk planned depth) drops
+// automatically, which is exactly how cache hits convert into admitted
+// streams under AdmissionBound::kBusiestDisk. kParity/kRecovery reads are
+// never served: a degraded group fetch carries reconstruction state the
+// cache must not short-circuit.
+//
+// Determinism contract: every decision (merge, capture, pin, evict) is a
+// pure function of state mutated only on the server's sequential produce
+// timeline — FilterPlan and CaptureClean run once per round in round
+// order (inline or on the pipeline thread, hand-off ordered by the
+// pipeline mutex); CaptureReconstructed runs only at commit of an error
+// round, which the double-buffer barrier never overlaps; lifecycle
+// notifications only at quiescent points. Served blocks keep their source
+// provenance: a cached block whose source read was reconstructed replays
+// OnReconstructed (same retries / peer reads / cause) into each follower's
+// QoS ledger, so classification and causal spans survive the cache.
+// Results are therefore byte-identical across lanes × double-buffer,
+// including under a full fault storm.
+//
+// Block bytes live in the owning pool shard's BlockArena (thread-safe
+// Allocate/Release); each resident block holds one pin counted by the
+// pool's "buffer.pinned_blocks" gauge, reconciled per shard by
+// BufferPool::CheckPinnedGauges at every round head.
+
+namespace cmfs {
+
+struct StreamCacheConfig {
+  // Max cache-resident blocks; 0 disables the cache entirely (FilterPlan
+  // becomes a no-op that serves and captures nothing).
+  std::int64_t budget_blocks = 0;
+  // Follower-merge window W: a hot clip's fetched blocks are retained for
+  // W rounds even with no follower yet behind them (speculative batching).
+  // 0 = interval caching and prefix pinning only.
+  int window_rounds = 0;
+  // Leading blocks of each hot clip to pin (mechanism 3); 0 disables.
+  std::int64_t prefix_blocks = 0;
+  // Clips with popularity rank < hot_clips count as hot (rank 0 = most
+  // popular). Gates both prefix pinning and the speculative window.
+  int hot_clips = 0;
+};
+
+// One cache-served read, staged for the commit phase: `staged` is a block
+// from `shard`'s pool arena already holding the cached bytes; the commit
+// walk adopts it into the buffer pool (PutAdopt), emits the kCacheServe
+// trace event and replays the source provenance into the QoS ledger — all
+// sequentially, in plan order, exactly like a disk read's bookkeeping.
+struct CacheServe {
+  RoundRead read;
+  std::uint8_t* staged = nullptr;
+  int shard = 0;
+  // Source provenance (QoS replay): how the bytes originally got here.
+  bool reconstructed = false;
+  int retries = 0;
+  int failed_attempts = 0;
+  int peer_reads = 0;
+  int source_disk = -1;
+  std::string cause;
+};
+
+// End-of-run totals, exported as the BenchReport `cache` section.
+// Identity the artifact validator enforces:
+//   hits + misses + evict_fallbacks == follower_demand
+struct StreamCacheSummary {
+  bool enabled = false;
+  std::int64_t budget_blocks = 0;
+  int window_rounds = 0;
+  std::int64_t prefix_blocks = 0;
+  int hot_clips = 0;
+  // kData reads by a stream whose block some clip-mate already fetched
+  // (the batching opportunity), split three ways: served from cache /
+  // never captured / captured but evicted before the follower arrived.
+  std::int64_t follower_demand = 0;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evict_fallbacks = 0;
+  // All reads served from cache (>= hits: a clip's first stream hitting a
+  // pinned prefix is a served read but not follower demand).
+  std::int64_t served_reads = 0;
+  // Served reads whose source block was parity-reconstructed.
+  std::int64_t served_reconstructed = 0;
+  std::int64_t captures = 0;
+  std::int64_t evictions = 0;
+  // Evictions that orphaned a live follower mid-interval.
+  std::int64_t evicted_mid_interval = 0;
+  // Inserts rejected because every resident block was pinned.
+  std::int64_t rejected_full = 0;
+  // Blocks released by the retention sweep (consumed / window expired).
+  std::int64_t releases = 0;
+  std::int64_t resident_peak = 0;
+  std::int64_t resident_final = 0;
+
+  std::string ToString() const;
+};
+
+// Renders the summary as a standalone JSON object — the bench artifact's
+// `cache` section (schema in docs/observability.md, enforced by
+// tools/validate_artifact.py).
+std::string StreamCacheSummaryJson(const StreamCacheSummary& summary);
+
+class StreamCache {
+ public:
+  explicit StreamCache(const StreamCacheConfig& config);
+  ~StreamCache();
+
+  StreamCache(const StreamCache&) = delete;
+  StreamCache& operator=(const StreamCache&) = delete;
+
+  bool enabled() const { return config_.budget_blocks > 0; }
+  const StreamCacheConfig& config() const { return config_; }
+
+  // The server binds the cache to its pool at construction; cached bytes
+  // live in pool shard arenas and every resident block pins its shard
+  // (BufferPool::PinOne/UnpinOne). The pool must outlive the cache's last
+  // resident block (ReleaseAll in the destructor handles shutdown).
+  void Bind(BufferPool* pool);
+  bool bound() const { return pool_ != nullptr; }
+
+  // --- Clip catalog -----------------------------------------------------
+  // Declares a clip extent with its popularity rank (0 = most popular;
+  // rank < hot_clips makes it hot). Admissions whose extent no registered
+  // clip contains get an implicit cold clip, so interval caching works
+  // without a catalog; only prefix pinning and the speculative window
+  // need ranks. Sequential contexts only (round prolog / setup).
+  void RegisterClip(int space, std::int64_t start, std::int64_t length,
+                    int rank);
+  // The clip leaves the catalog: its pinned prefix unpins, and prefix
+  // blocks with no live follower release immediately.
+  void RetireClip(int space, std::int64_t start);
+
+  // --- Stream lifecycle (server admission/churn, quiescent points) ------
+  void OnAdmit(StreamId id, int space, std::int64_t start,
+               std::int64_t length);
+  // Pause / cancel / shed: the stream stops being a cache consumer. (A
+  // resume re-enters through OnAdmit at the resumed extent.)
+  void OnStreamGone(StreamId id);
+
+  // --- Round path (sequential produce timeline) -------------------------
+  // Runs once per planned round, in round order, after shedding and
+  // before lane partitioning. Removes every servable kData read from
+  // `plan` (appending a CacheServe per removed read), marks retained
+  // positions of the *filtered* plan for capture (ascending positions in
+  // `captures`), advances fetch watermarks, and runs the retention sweep.
+  void FilterPlan(std::int64_t round, RoundPlan* plan,
+                  std::vector<CacheServe>* serves,
+                  std::vector<std::int32_t>* captures);
+
+  // A capture-marked read completed clean in the lanes: copy `bytes` into
+  // the cache with clean provenance. Produce timeline, plan order.
+  void CaptureClean(const RoundRead& read, const std::uint8_t* bytes,
+                    std::int64_t round);
+  // A capture-marked read lost its disk block but was rebuilt inline from
+  // parity at commit: capture with reconstructed provenance so follower
+  // serves replay the degraded classification. Error-round commit only
+  // (never concurrent with a produce — the overlap barrier refuses error
+  // rounds).
+  void CaptureReconstructed(const RoundRead& read, const std::uint8_t* bytes,
+                            std::int64_t round, int retries,
+                            int failed_attempts, int peer_reads,
+                            const std::string& cause);
+
+  // --- Introspection ----------------------------------------------------
+  std::int64_t resident_blocks() const {
+    return static_cast<std::int64_t>(blocks_.size());
+  }
+  StreamCacheSummary Summary() const;
+  // Publishes cache.* counters/gauges (docs/observability.md). End of
+  // run, sequential.
+  void ExportMetrics(MetricsRegistry* registry) const;
+
+  // Releases every resident block back to its arena (destructor path;
+  // also lets tests reset between phases).
+  void ReleaseAll();
+
+ private:
+  using ClipKey = std::pair<int, std::int64_t>;    // (space, start)
+  using BlockKey = std::pair<int, std::int64_t>;   // (space, index)
+
+  struct Clip {
+    int space = 0;
+    std::int64_t start = 0;
+    std::int64_t length = 0;
+    int rank = 0;
+    bool registered = false;  // false = implicit (auto-created, never hot)
+    bool retired = false;
+    // Active sessions currently playing this clip.
+    std::set<StreamId> streams;
+  };
+
+  struct StreamState {
+    int space = 0;
+    std::int64_t start = 0;
+    std::int64_t length = 0;
+    // First block index not yet fetched (planned) by this stream.
+    std::int64_t watermark = 0;
+    ClipKey clip;
+  };
+
+  struct CachedBlock {
+    std::uint8_t* bytes = nullptr;
+    int shard = 0;
+    ClipKey clip;
+    // Round of capture; the speculative window retains until
+    // retain_round + window_rounds.
+    std::int64_t retain_round = 0;
+    bool prefix_pinned = false;
+    // Source provenance, replayed into every serve.
+    bool reconstructed = false;
+    int retries = 0;
+    int failed_attempts = 0;
+    int peer_reads = 0;
+    int source_disk = -1;
+    std::string cause;
+  };
+
+  Clip* FindClipContaining(int space, std::int64_t start,
+                           std::int64_t length);
+  Clip& ClipAt(const ClipKey& key) { return clips_.at(key); }
+  bool ClipIsHot(const Clip& clip) const {
+    return clip.registered && !clip.retired && clip.rank < config_.hot_clips;
+  }
+  // Another active stream of `clip` has already fetched past `index`.
+  bool HasLeaderPast(const Clip& clip, StreamId self,
+                     std::int64_t index) const;
+  // Another active stream of `clip` still needs `index`.
+  bool HasConsumer(const Clip& clip, StreamId self, std::int64_t index) const;
+  // Distance from `index` to its nearest consumer's watermark; -1 when no
+  // consumer exists (treated as an infinite interval by eviction).
+  std::int64_t IntervalTo(const BlockKey& key, const CachedBlock& block) const;
+  // True if the capture landed (may evict); false if budget is exhausted
+  // by pins.
+  bool Insert(const RoundRead& read, const std::uint8_t* bytes,
+              std::int64_t round, CachedBlock provenance);
+  // Evicts the largest-interval unpinned block; false if all pinned.
+  bool EvictOne();
+  void ReleaseBlock(const BlockKey& key, const CachedBlock& block);
+
+  StreamCacheConfig config_;
+  BufferPool* pool_ = nullptr;
+
+  // Ordered maps: eviction scans and sweeps iterate in key order, so the
+  // victim choice is deterministic.
+  std::map<ClipKey, Clip> clips_;
+  std::map<StreamId, StreamState> streams_;
+  std::map<BlockKey, CachedBlock> blocks_;
+  // Keys evicted while a follower still needed them: the follower's later
+  // read is an evict-fallback (disk read), not a plain miss. Purged when
+  // the last consumer passes.
+  std::set<BlockKey> evicted_pending_;
+
+  // Counters (plain ints: mutated only on the sequential produce
+  // timeline; published to the registry once at end of run).
+  std::int64_t follower_demand_ = 0;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evict_fallbacks_ = 0;
+  std::int64_t served_reads_ = 0;
+  std::int64_t served_reconstructed_ = 0;
+  std::int64_t captures_ = 0;
+  std::int64_t evictions_ = 0;
+  std::int64_t evicted_mid_interval_ = 0;
+  std::int64_t rejected_full_ = 0;
+  std::int64_t releases_ = 0;
+  std::int64_t resident_peak_ = 0;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_CORE_STREAM_CACHE_H_

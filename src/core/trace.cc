@@ -27,6 +27,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "cancel";
     case TraceEventType::kShed:
       return "shed";
+    case TraceEventType::kCacheServe:
+      return "cache_serve";
   }
   return "unknown";
 }

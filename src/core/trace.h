@@ -38,11 +38,15 @@ enum class TraceEventType {
   // Stream dropped by the server's degraded-mode shedding policy (a
   // latency epoch made its continuity infeasible).
   kShed,
+  // Planned data read served from the stream cache instead of disk
+  // (follower merge / interval cache / hot-prefix hit). Carries the same
+  // fields as kRead; the disk never saw it.
+  kCacheServe,
 };
 
 // Number of TraceEventType values (keep in sync with the enum; the
 // exhaustiveness test in trace_test.cc catches drift).
-inline constexpr int kNumTraceEventTypes = 9;
+inline constexpr int kNumTraceEventTypes = 10;
 
 const char* TraceEventTypeName(TraceEventType type);
 

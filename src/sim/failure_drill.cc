@@ -85,6 +85,14 @@ Status ValidateScenarioConfig(const ScenarioConfig& config) {
           "); see docs/admission.md)");
     }
   }
+  if (config.cache) {
+    const StreamCacheConfig& cc = config.cache_config;
+    if (cc.budget_blocks < 0 || cc.window_rounds < 0 ||
+        cc.prefix_blocks < 0 || cc.hot_clips < 0) {
+      return Status::InvalidArgument(
+          "stream cache knobs must be non-negative");
+    }
+  }
   return config.schedule.Validate(config.num_disks, config.total_rounds);
 }
 
@@ -132,6 +140,7 @@ std::string ScenarioResult::ToString() const {
   for (std::size_t i = 0; i < epochs.size(); ++i) {
     out += "epoch " + std::to_string(i) + ": " + epochs[i].ToString() + "\n";
   }
+  if (cache.enabled) out += cache.ToString() + "\n";
   out += "slo_violations=" + std::to_string(slo_violations) + "\n";
   out += "per-stream QoS:\n" + qos_table;
   for (const StreamQosLedger::FlightRecord& record : flight_records) {
@@ -233,6 +242,19 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
   server_config.qos = qos;
   server_config.profiler = config.profiler;
   server_config.seed = config.seed;
+  // Popularity-aware stream cache: clip rank = clip index (the churn
+  // zipf sampler makes low indices hottest; the static workload's
+  // ordering is arbitrary but deterministic). The server binds the
+  // cache to its pool at construction.
+  std::optional<StreamCache> cache;
+  if (config.cache) {
+    cache.emplace(config.cache_config);
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+      cache->RegisterClip(placements[i].space, placements[i].start,
+                          stream_blocks, static_cast<int>(i));
+    }
+    server_config.cache = &*cache;
+  }
   Server server(&array, setup->controller.get(), server_config);
 
   // All scenario wall-clock timing flows through the profiler's
@@ -568,6 +590,10 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
     if (config.metrics != nullptr) engine->ExportMetrics(config.metrics);
   }
 
+  if (config.cache) {
+    result.cache = cache->Summary();
+    if (config.metrics != nullptr) cache->ExportMetrics(config.metrics);
+  }
   result.stream_rows = qos->Rows();
   result.slo_violations = qos->slo_violations();
   result.qos_table = qos->TableString();

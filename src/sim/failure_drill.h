@@ -7,6 +7,7 @@
 
 #include "core/admission.h"
 #include "core/controller_factory.h"
+#include "core/stream_cache.h"
 #include "core/rebuild.h"
 #include "core/server.h"
 #include "obs/histogram.h"
@@ -132,6 +133,17 @@ struct ScenarioConfig {
   bool churn = false;
   ChurnConfig churn_config;
   AdmissionConfig admission;
+  // --- Popularity-aware stream cache (docs/caching.md) ------------------
+  // When true a StreamCache sits between the round prolog and the
+  // controllers (ServerConfig::cache): every clip placement is registered
+  // with its popularity rank (= clip index — churn's zipf sampler makes
+  // low indices hottest), servable reads are removed from the plan
+  // before lane partitioning, and the run's cache summary lands in
+  // ScenarioResult::cache. Cache decisions are pure functions of
+  // sequential prolog state, so the byte-identity contract across
+  // lanes × double-buffer is unchanged.
+  bool cache = false;
+  StreamCacheConfig cache_config;
 };
 
 // Aggregates over one schedule epoch [first_round, last_round] — the
@@ -182,6 +194,8 @@ struct ScenarioResult {
   // Online-admission outcome (policy empty unless config.churn): totals,
   // wait/occupancy histograms, per-epoch rejection rates.
   AdmissionSummary admission;
+  // Stream-cache outcome (enabled=false unless config.cache).
+  StreamCacheSummary cache;
 
   // Full deterministic rendering (metrics, per-disk loads, every epoch,
   // per-stream QoS table, flight records): two runs of the same scenario

@@ -249,6 +249,42 @@ TEST(BufferPoolShardTest, StagedAccumulateReplayMatchesSequential) {
   }
 }
 
+TEST(BufferPoolShardTest, PinAccountingReconcilesPerShard) {
+  BufferPool pool(64, 4);
+  MetricsRegistry registry;
+  pool.AttachMetrics(&registry);
+  // Pins land on specific shards and fold to the deterministic total;
+  // the registry gauge mirrors every change.
+  pool.PinOne(0);
+  pool.PinOne(0);
+  pool.PinOne(3);
+  EXPECT_EQ(pool.pinned_blocks(), 3);
+  EXPECT_EQ(registry.gauge("buffer.pinned_blocks")->value(), 3.0);
+  EXPECT_EQ(pool.CheckPinnedGauges(3), 3);
+  pool.UnpinOne(0);
+  pool.UnpinOne(3);
+  EXPECT_EQ(pool.pinned_blocks(), 1);
+  EXPECT_EQ(registry.gauge("buffer.pinned_blocks")->value(), 1.0);
+  EXPECT_EQ(pool.CheckPinnedGauges(1), 1);
+  pool.UnpinOne(0);
+  EXPECT_EQ(pool.CheckPinnedGauges(0), 0);
+}
+
+TEST(BufferPoolShardTest, PinsAreIndependentOfOccupancy) {
+  // Pinned blocks live outside the entry maps; CheckShardGauges (entry
+  // occupancy) and CheckPinnedGauges (cache pins) reconcile separately.
+  BufferPool pool(64, 2);
+  pool.PinOne(1);
+  pool.Put(0, 0, 0, PatternBlock(0, 0, 64), false);
+  EXPECT_EQ(pool.resident_blocks(), 1);
+  EXPECT_EQ(pool.pinned_blocks(), 1);
+  EXPECT_EQ(pool.CheckShardGauges(), 1);
+  EXPECT_EQ(pool.CheckPinnedGauges(1), 1);
+  pool.UnpinOne(1);
+  EXPECT_EQ(pool.CheckShardGauges(), 1);
+  EXPECT_EQ(pool.CheckPinnedGauges(0), 0);
+}
+
 TEST(BufferPoolShardTest, ConcurrentStagedInsertsAcrossShardsAreRaceFree) {
   // Regression for the occupancy-gauge race: the pre-sharding pool
   // bumped one shared occupancy gauge outside any lock on the adopt

@@ -158,6 +158,68 @@ TEST(LaneEngineTest, FullStormWithRebuildIsLaneInvariant) {
   EXPECT_EQ(run.scenario.metrics.hiccups, 0);
 }
 
+TEST(LaneEngineTest, CacheOnCleanChurnIsLaneInvariant) {
+  // Popularity-aware stream cache on a zipf churn workload: cache
+  // decisions (merge, capture, pin, evict) are pure functions of the
+  // sequential prolog state, so every observable — including the
+  // cache.* registry counters and the kCacheServe trace events — must
+  // stay byte-identical across the engine matrix.
+  ScenarioConfig config = BaseConfig();
+  config.num_streams = 0;
+  config.churn = true;
+  config.churn_config.num_clips = 8;
+  config.churn_config.clip_blocks = 40;
+  config.churn_config.arrivals_per_round = 1.5;
+  config.churn_config.zipf_theta = 1.0;
+  config.cache = true;
+  config.cache_config.budget_blocks = 128;
+  config.cache_config.window_rounds = 8;
+  config.cache_config.prefix_blocks = 8;
+  config.cache_config.hot_clips = 4;
+  const LaneRun run = ExpectLaneInvariant(config);
+  EXPECT_GT(run.scenario.cache.hits, 0)
+      << run.scenario.cache.ToString();
+  EXPECT_GT(run.scenario.metrics.cache_served_reads, 0);
+  EXPECT_EQ(run.scenario.metrics.hiccups, 0);
+}
+
+TEST(LaneEngineTest, CacheOnFullStormIsLaneInvariant) {
+  // The acceptance matrix: cache on x lanes {1,2,8,hw} x double-buffer
+  // {off,on} under every fault class at once — transient storm (with
+  // inline reconstruction feeding the cache degraded provenance), slow
+  // disk, fail-stop, swap + online rebuild — plus VCR churn. A cached
+  // block whose source read was reconstructed must keep its QoS
+  // classification through every follower serve, on every engine
+  // configuration, byte for byte.
+  ScenarioConfig config = BaseConfig();
+  config.num_streams = 0;
+  config.total_rounds = 160;
+  config.churn = true;
+  config.churn_config.num_clips = 8;
+  config.churn_config.clip_blocks = 40;
+  config.churn_config.arrivals_per_round = 1.5;
+  config.churn_config.zipf_theta = 1.0;
+  config.churn_config.pause_prob = 0.2;
+  config.churn_config.seek_prob = 0.2;
+  config.cache = true;
+  config.cache_config.budget_blocks = 128;
+  config.cache_config.window_rounds = 8;
+  config.cache_config.prefix_blocks = 8;
+  config.cache_config.hot_clips = 4;
+  config.max_read_retries = 1;
+  config.schedule.transients.push_back(TransientWindow{1, 5, 15, 1.0, 2});
+  config.schedule.slow_windows.push_back(SlowWindow{2, 20, 28, 1});
+  config.schedule.fail_stops.push_back(FailStopEvent{3, 35});
+  config.schedule.swaps.push_back(SwapEvent{3, 45, 4});
+  config.priority_classes = 4;
+  const LaneRun run = ExpectLaneInvariant(config);
+  EXPECT_GT(run.scenario.cache.hits, 0)
+      << run.scenario.cache.ToString();
+  EXPECT_GT(run.scenario.metrics.transient_read_errors, 0);
+  EXPECT_EQ(run.scenario.completed_rebuilds, 1);
+  EXPECT_EQ(run.scenario.metrics.hiccups, 0);
+}
+
 TEST(LaneEngineTest, DoubleBufferOverlapEngagesOnCleanRounds) {
   // Guards against the overlap silently never arming: on a fault-free
   // schedule the epoch barrier has nothing to fence, so nearly every

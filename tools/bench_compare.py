@@ -52,8 +52,9 @@ def rel_delta(base, cand):
 
 
 class Comparison:
-    def __init__(self, time_threshold):
+    def __init__(self, time_threshold, time_gate=True):
         self.time_threshold = time_threshold
+        self.time_gate = time_gate
         self.rows = []  # (status, metric, baseline, candidate, note)
         self.regressions = 0
 
@@ -84,6 +85,8 @@ class Comparison:
     def walltime(self, metric, base, cand):
         """Wall-clock total: candidate may not exceed threshold x base."""
         if cand is None:
+            # Structural, not timing: a phase the baseline says should
+            # exist is gone — gated even with --no-time-gate.
             self.add("REGRESSION", metric, base, cand, "phase vanished")
             return
         if base is None:
@@ -93,6 +96,9 @@ class Comparison:
             self.add("ok", metric, base, cand, "below gating floor")
             return
         ratio = cand / base if base > 0 else float("inf")
+        if not self.time_gate:
+            self.add("ok", metric, base, cand, f"{ratio:.2f}x (ungated)")
+            return
         if ratio > self.time_threshold:
             self.add("REGRESSION", metric, base, cand,
                      f"{ratio:.2f}x > {self.time_threshold:.2f}x budget")
@@ -118,8 +124,8 @@ class Comparison:
                 self.exact(f"{metric}.{key}", base.get(key), cand.get(key))
 
 
-def compare(baseline, candidate, time_threshold):
-    c = Comparison(time_threshold)
+def compare(baseline, candidate, time_threshold, time_gate=True):
+    c = Comparison(time_threshold, time_gate)
     if baseline.get("bench") != candidate.get("bench"):
         c.add("REGRESSION", "bench", baseline.get("bench"),
               candidate.get("bench"), "different benches are not comparable")
@@ -198,6 +204,11 @@ def main(argv):
     parser.add_argument("baseline")
     parser.add_argument("candidate")
     parser.add_argument("--time-threshold", type=float, default=1.5)
+    parser.add_argument("--no-time-gate", action="store_true",
+                        help="report wall-time ratios but never fail on "
+                             "them (sanitizer builds: instrumentation "
+                             "overhead swamps any honest budget; the "
+                             "deterministic diff still gates exactly)")
     parser.add_argument("--all", action="store_true",
                         help="print unchanged metrics too")
     args = parser.parse_args(argv[1:])
@@ -211,7 +222,8 @@ def main(argv):
         print(f"FAIL cannot load artifacts: {e}", file=sys.stderr)
         return 2
 
-    c = compare(baseline, candidate, args.time_threshold)
+    c = compare(baseline, candidate, args.time_threshold,
+                time_gate=not args.no_time_gate)
 
     name_w = max((len(r[1]) for r in c.rows), default=10)
     printed = 0

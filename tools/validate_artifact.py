@@ -19,6 +19,7 @@ import sys
 ALLOWED_TOP_LEVEL = {
     "bench", "scheme", "params", "counters", "gauges", "histograms",
     "per_disk", "timeline", "streams", "table", "profile", "admission",
+    "cache",
 }
 
 # profile.phases entries whose spans nest inside "server.round": their
@@ -31,6 +32,7 @@ ALLOWED_TOP_LEVEL = {
 SERVER_SUB_PHASES = {
     "server.plan", "server.stage", "server.lanes", "server.merge",
     "server.commit", "server.reconstruct", "server.deliver",
+    "server.cache",
 }
 # Tolerance for the nesting check: totals travel through %.10g.
 PROFILE_NESTING_SLACK = 1e-6
@@ -62,6 +64,15 @@ ADMISSION_EPOCH_REQUIRED = {
 }
 
 SLO_VERDICTS = {"met", "VIOLATED"}
+
+CACHE_COUNTS = (
+    "budget_blocks", "window_rounds", "prefix_blocks", "hot_clips",
+    "follower_demand", "hits", "misses", "evict_fallbacks",
+    "served_reads", "served_reconstructed", "captures", "evictions",
+    "evicted_mid_interval", "rejected_full", "releases", "resident_peak",
+    "resident_final",
+)
+CACHE_REQUIRED = set(CACHE_COUNTS) | {"enabled"}
 
 
 class Validator:
@@ -413,6 +424,58 @@ class Validator:
                     self.error(f"{where}.rejection_rate",
                                f"must be in [0, 1], got {rate}")
 
+    def check_cache(self, section):
+        if not isinstance(section, dict):
+            self.error("cache", "must be an object")
+            return
+        missing = CACHE_REQUIRED - set(section)
+        if missing:
+            self.error("cache", f"missing {sorted(missing)}")
+        extras = set(section) - CACHE_REQUIRED
+        if extras:
+            self.error("cache", f"unknown keys {sorted(extras)}")
+        enabled = section.get("enabled")
+        if enabled is not None and not isinstance(enabled, bool):
+            self.error("cache.enabled", "must be a bool")
+        counts = {}
+        for key in CACHE_COUNTS:
+            value = section.get(key)
+            if value is None:
+                continue
+            if not isinstance(value, int) or isinstance(value, bool):
+                self.error(f"cache.{key}", f"must be an int, got {value!r}")
+            elif value < 0:
+                self.error(f"cache.{key}", f"must be >= 0, got {value}")
+            else:
+                counts[key] = value
+        # Conservation: every follower-demand read is exactly one of
+        # served-from-cache, never-captured, or evicted-before-consumed;
+        # and served_reads can only exceed hits via non-demand serves
+        # (a clip's first stream hitting a pinned prefix).
+        split = ("hits", "misses", "evict_fallbacks")
+        if all(k in counts for k in split + ("follower_demand",)):
+            total = sum(counts[k] for k in split)
+            if total != counts["follower_demand"]:
+                self.error("cache",
+                           f"hits+misses+evict_fallbacks = {total} != "
+                           f"follower_demand = "
+                           f"{counts['follower_demand']}")
+        if ("served_reads" in counts and "hits" in counts
+                and counts["served_reads"] < counts["hits"]):
+            self.error("cache",
+                       f"served_reads = {counts['served_reads']} < "
+                       f"hits = {counts['hits']}")
+        if ("resident_peak" in counts and "resident_final" in counts
+                and counts["resident_final"] > counts["resident_peak"]):
+            self.error("cache",
+                       f"resident_final = {counts['resident_final']} > "
+                       f"resident_peak = {counts['resident_peak']}")
+        if ("resident_peak" in counts and "budget_blocks" in counts
+                and counts["resident_peak"] > counts["budget_blocks"]):
+            self.error("cache",
+                       f"resident_peak = {counts['resident_peak']} > "
+                       f"budget_blocks = {counts['budget_blocks']}")
+
     def validate(self, artifact):
         if not isinstance(artifact, dict):
             self.error("(root)", "artifact must be a JSON object")
@@ -449,6 +512,8 @@ class Validator:
             self.check_profile(artifact["profile"])
         if "admission" in artifact:
             self.check_admission(artifact["admission"])
+        if "cache" in artifact:
+            self.check_cache(artifact["cache"])
 
 
 def validate_file(path):
