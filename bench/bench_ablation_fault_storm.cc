@@ -79,14 +79,40 @@ StreamQosLedger g_storm_qos;
 // `profile` section). A side channel: tables, QoS and counters stay
 // byte-identical with or without it.
 PhaseProfiler g_profiler;
+// Health monitor of the full-storm run of the first scheme: exported as
+// the artifact's `health` section (series, events, incidents).
+HealthMonitor g_storm_health;
+// Self-gate bookkeeping: every full-storm cell must raise >= 1 incident
+// attributing an injected fault; every clean cell must raise zero.
+int g_gate_failures = 0;
+
+enum class HealthGate {
+  kNone,             // intermediate scenarios: report, don't gate
+  kRequireIncident,  // full storm: >= 1 incident naming an injected fault
+  kRequireClean,     // clean baseline: any incident is a false positive
+};
+
+// Does the incident's cause attribute one of the schedule's injected
+// fault windows/events (the labels RunScenario registers)?
+bool CauseNamesInjectedFault(const std::string& cause) {
+  return cause.find("transient_window[") != std::string::npos ||
+         cause.find("slow_window[") != std::string::npos ||
+         cause.find("fail_stop[") != std::string::npos ||
+         cause.find("swap[") != std::string::npos;
+}
 // --trace-out sink. Attached to the profiler only for the full-storm
 // block, so the bounded event budget covers the scenario worth looking
 // at (every lane track, the rebuild, both failures).
 ChromeTraceWriter g_trace;
 
 void RunRow(const char* scenario, const SchemeShape& shape,
-            const FaultSchedule& schedule,
-            StreamQosLedger* qos = nullptr) {
+            const FaultSchedule& schedule, HealthGate gate,
+            StreamQosLedger* qos = nullptr,
+            HealthMonitor* health = nullptr) {
+  // Every cell runs with a monitor attached (default rules installed by
+  // the runner); the gated cells also assert on its incidents.
+  HealthMonitor local_health;
+  HealthMonitor* monitor = health != nullptr ? health : &local_health;
   ScenarioConfig config;
   config.scheme = shape.scheme;
   config.num_disks = shape.num_disks;
@@ -104,12 +130,14 @@ void RunRow(const char* scenario, const SchemeShape& shape,
   config.schedule = schedule;
   config.qos = qos;
   config.profiler = &g_profiler;
+  config.health = monitor;
   Result<ScenarioResult> result = RunScenario(config);
   if (!result.ok()) {
     std::printf("  %-28s FAILED: %s\n", shape.label,
                 result.status().ToString().c_str());
     g_table.AddRow({scenario, shape.label, "error", "", "", "", "", "",
-                    "", "", "", "", ""});
+                    "", "", "", "", "", "", ""});
+    ++g_gate_failures;
     return;
   }
   const ServerMetrics& m = result->metrics;
@@ -120,7 +148,7 @@ void RunRow(const char* scenario, const SchemeShape& shape,
   std::printf(
       "  %-28s adm=%2d del=%5lld hic=%3lld | transient=%4lld "
       "retries=%4lld recovered=%4lld recon=%3lld | shed=%2lld lost=%3lld "
-      "rebuilds=%d slo_viol=%lld glitch=%lld\n",
+      "rebuilds=%d slo_viol=%lld glitch=%lld | health ev=%lld inc=%lld\n",
       shape.label, result->admitted, static_cast<long long>(m.deliveries),
       static_cast<long long>(m.hiccups),
       static_cast<long long>(m.transient_read_errors),
@@ -130,7 +158,9 @@ void RunRow(const char* scenario, const SchemeShape& shape,
       static_cast<long long>(m.shed_streams),
       static_cast<long long>(m.lost_reads), result->completed_rebuilds,
       static_cast<long long>(result->slo_violations),
-      static_cast<long long>(max_glitch_run));
+      static_cast<long long>(max_glitch_run),
+      static_cast<long long>(result->health_events),
+      static_cast<long long>(result->health_incidents));
   g_table.AddRow({scenario, shape.label, std::to_string(result->admitted),
                   std::to_string(m.deliveries), std::to_string(m.hiccups),
                   std::to_string(m.transient_read_errors),
@@ -140,16 +170,51 @@ void RunRow(const char* scenario, const SchemeShape& shape,
                   std::to_string(m.lost_reads),
                   std::to_string(result->completed_rebuilds),
                   std::to_string(result->slo_violations),
-                  std::to_string(max_glitch_run)});
+                  std::to_string(max_glitch_run),
+                  std::to_string(result->health_events),
+                  std::to_string(result->health_incidents)});
+
+  // Self-gates (ISSUE 10): the monitor must attribute injected faults
+  // and stay silent on clean cells.
+  if (gate == HealthGate::kRequireIncident) {
+    bool attributed = false;
+    for (const IncidentReport& incident : monitor->incidents()) {
+      if (CauseNamesInjectedFault(incident.cause)) {
+        attributed = true;
+        break;
+      }
+    }
+    if (!attributed) {
+      std::printf(
+          "  %-28s GATE FAILED: no incident attributing an injected "
+          "fault (incidents=%zu)\n",
+          shape.label, monitor->incidents().size());
+      ++g_gate_failures;
+    }
+  } else if (gate == HealthGate::kRequireClean) {
+    if (!monitor->incidents().empty()) {
+      std::printf(
+          "  %-28s GATE FAILED: %zu false-positive incident(s) on a "
+          "clean cell (first cause: %s)\n",
+          shape.label, monitor->incidents().size(),
+          monitor->incidents()[0].cause.empty()
+              ? "-"
+              : monitor->incidents()[0].cause.c_str());
+      ++g_gate_failures;
+    }
+  }
 }
 
 void RunScenarioBlock(const char* scenario, const FaultSchedule& schedule,
-                      StreamQosLedger* first_scheme_qos = nullptr) {
+                      HealthGate gate = HealthGate::kNone,
+                      StreamQosLedger* first_scheme_qos = nullptr,
+                      HealthMonitor* first_scheme_health = nullptr) {
   std::printf("\n-- %s: %s\n", scenario, schedule.ToString().c_str());
   bool first = true;
   for (const SchemeShape& shape : Shapes()) {
-    RunRow(scenario, shape, schedule,
-           first ? first_scheme_qos : nullptr);
+    RunRow(scenario, shape, schedule, gate,
+           first ? first_scheme_qos : nullptr,
+           first ? first_scheme_health : nullptr);
     first = false;
   }
 }
@@ -165,16 +230,28 @@ int main(int argc, char** argv) {
                      "deliveries", "hiccups",  "transient_errors",
                      "recovered",  "reconstructions", "shed_streams",
                      "lost_reads", "completed_rebuilds",
-                     "slo_violations", "max_glitch_run"};
+                     "slo_violations", "max_glitch_run",
+                     "health_events", "health_incidents"};
 
-  RunScenarioBlock("clean", CleanSchedule());
+  RunScenarioBlock("clean", CleanSchedule(), HealthGate::kRequireClean);
   RunScenarioBlock("transient-storm", TransientStorm());
   RunScenarioBlock("slow-disk", SlowDiskSchedule());
   const bool want_trace =
       !bench::PathFromArgs(argc, argv, "trace-out").empty();
   if (want_trace) g_profiler.AttachChromeTrace(&g_trace);
-  RunScenarioBlock("full-storm", FullStorm(), &g_storm_qos);
+  RunScenarioBlock("full-storm", FullStorm(), HealthGate::kRequireIncident,
+                   &g_storm_qos, &g_storm_health);
   if (want_trace) g_profiler.AttachChromeTrace(nullptr);
+
+  if (g_gate_failures > 0) {
+    std::printf("\nHEALTH GATE FAILED: %d cell(s) — see above\n",
+                g_gate_failures);
+  } else {
+    std::printf(
+        "\nhealth gate OK: every full-storm cell raised an incident "
+        "attributing an injected fault; every clean cell stayed "
+        "incident-free\n");
+  }
 
   std::printf(
       "\ntransient errors are absorbed by in-round retries (recovered == "
@@ -194,8 +271,9 @@ int main(int argc, char** argv) {
   report.qos = &g_storm_qos;
   report.table = &g_table;
   report.profile = &g_profiler;
+  report.health = &g_storm_health;
   bool ok = bench::MaybeWriteJsonReport(argc, argv, report);
   ok = bench::MaybeWriteChromeTrace(argc, argv, g_trace) && ok;
   ok = bench::MaybeWriteQosCsv(argc, argv, g_storm_qos) && ok;
-  return ok ? 0 : 1;
+  return (ok && g_gate_failures == 0) ? 0 : 1;
 }

@@ -23,6 +23,13 @@
 // chrome://tracing — one track per disk lane, counter tracks for buffer
 // occupancy and the lane critical path. docs/performance.md ("Reading a
 // phase profile") interprets the output.
+//
+// "--health-out <path>" attaches a deterministic health monitor sized
+// so no downsampling occurs (stride 1 at this run length) and writes
+// every per-round signal series as CSV — the full-resolution twin of
+// the bench artifact's `health` section, for offline plotting.
+// docs/operations.md ("Reading an incident report") walks the printed
+// report.
 
 #include <algorithm>
 #include <cstdio>
@@ -31,6 +38,8 @@
 #include <string>
 
 #include "obs/chrome_trace.h"
+#include "obs/export.h"
+#include "obs/health_monitor.h"
 #include "obs/phase_profiler.h"
 #include "sim/failure_drill.h"
 #include "sim/stats.h"
@@ -54,7 +63,8 @@ cmfs::Scheme ParseScheme(const char* name, bool* ok) {
   return Scheme::kDeclustered;
 }
 
-int RunStorm(cmfs::Scheme scheme, const char* trace_out) {
+int RunStorm(cmfs::Scheme scheme, const char* trace_out,
+             const char* health_out) {
   using namespace cmfs;
   ScenarioConfig config;
   config.scheme = scheme;
@@ -85,6 +95,14 @@ int RunStorm(cmfs::Scheme scheme, const char* trace_out) {
     config.profiler = &profiler;
   }
 
+  // Full-resolution health series: capacity comfortably above
+  // total_rounds keeps the stride at 1, so the CSV is the raw per-round
+  // signal, not a downsampled digest.
+  HealthConfig health_config;
+  health_config.series_capacity = 512;
+  HealthMonitor health(health_config);
+  config.health = &health;
+
   std::printf("fault storm: %s, d=%d, p=%d\n%s\n", SchemeName(scheme),
               config.num_disks, config.parity_group,
               config.schedule.ToString().c_str());
@@ -107,6 +125,18 @@ int RunStorm(cmfs::Scheme scheme, const char* trace_out) {
                 trace.num_events(),
                 static_cast<long long>(trace.dropped_events()));
   }
+  if (health_out != nullptr) {
+    const CsvTable series = HealthSeriesCsvTable(health);
+    Status st = series.WriteFile(health_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--health-out %s: %s\n", health_out,
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("[health] wrote %s (%zu series rows, %lld samples)\n",
+                health_out, series.rows.size(),
+                static_cast<long long>(health.samples()));
+  }
   return 0;
 }
 
@@ -118,12 +148,17 @@ int main(int argc, char** argv) {
   Scheme scheme = Scheme::kDeclustered;
   bool scheme_ok = true;
   if (argc > 1 && std::strcmp(argv[1], "storm") == 0) {
-    // Peel "--trace-out <path>" off the tail before the scheme arg.
+    // Peel "--trace-out <path>" / "--health-out <path>" off the tail
+    // before the scheme arg.
     const char* trace_out = nullptr;
+    const char* health_out = nullptr;
     int end = argc;
     for (int i = 2; i + 1 < argc; ++i) {
       if (std::strcmp(argv[i], "--trace-out") == 0) {
         trace_out = argv[i + 1];
+        if (i < end) end = i;
+      } else if (std::strcmp(argv[i], "--health-out") == 0) {
+        health_out = argv[i + 1];
         if (i < end) end = i;
       }
     }
@@ -132,7 +167,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown scheme %s\n", argv[2]);
       return 1;
     }
-    return RunStorm(scheme, trace_out);
+    return RunStorm(scheme, trace_out, health_out);
   }
   if (argc > 1) {
     scheme = ParseScheme(argv[1], &scheme_ok);

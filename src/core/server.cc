@@ -1304,6 +1304,7 @@ Status Server::RunRound() {
   const std::int64_t recon0 = metrics_.inline_reconstructions;
   const std::int64_t shed0 = metrics_.shed_streams;
   const std::int64_t lost0 = metrics_.lost_reads;
+  const std::int64_t cache_served0 = metrics_.cache_served_reads;
 
   // Adopt the prefetched round if the pipeline produced one; otherwise
   // produce inline into the current buffer.
@@ -1458,6 +1459,61 @@ Status Server::RunRound() {
                     sample.transient_errors > 0 ||
                     sample.shed_streams > 0;
   timeline_.Add(sample);
+
+  if (config_.health != nullptr) {
+    HealthMonitor* health = config_.health;
+    const std::int64_t round = sample.round;
+    health->Observe(round, "server.round_time_s", sample.worst_disk_time);
+    health->Observe(round, "server.lane_critical_reads",
+                    static_cast<double>(sample.lane_critical_reads));
+    // Deterministic lane imbalance: busiest-disk planned reads over the
+    // mean per-active-disk planned reads. The wall-clock busy ratio the
+    // profiler reports cannot appear here — health output must stay
+    // byte-identical across lane counts.
+    std::int64_t planned_total = 0;
+    int active_disks = 0;
+    for (int disk = 0; disk < array_->num_disks(); ++disk) {
+      const int reads = round_disk_reads_[static_cast<std::size_t>(disk)];
+      planned_total += reads;
+      if (reads > 0) ++active_disks;
+    }
+    const double imbalance =
+        planned_total > 0
+            ? static_cast<double>(round_critical_reads_) * active_disks /
+                  static_cast<double>(planned_total)
+            : 0.0;
+    health->Observe(round, "server.lane_imbalance", imbalance);
+    health->Observe(round, "server.reads",
+                    static_cast<double>(sample.reads));
+    health->Observe(round, "server.hiccups",
+                    static_cast<double>(sample.hiccups));
+    health->Observe(round, "server.shed_streams",
+                    static_cast<double>(sample.shed_streams));
+    health->Observe(round, "server.lost_reads",
+                    static_cast<double>(sample.lost_reads));
+    health->Observe(round, "buffer.occupancy_blocks",
+                    static_cast<double>(sample.buffer_blocks));
+    health->Observe(round, "buffer.pinned_blocks",
+                    static_cast<double>(pool_.pinned_blocks()));
+    if (config_.cache != nullptr) {
+      const std::int64_t cache_served =
+          metrics_.cache_served_reads - cache_served0;
+      health->Observe(round, "cache.served_reads",
+                      static_cast<double>(cache_served));
+      // Commit-side hit rate: the fraction of this round's demand the
+      // cache absorbed (disk reads + cache serves = total demand). The
+      // cache's own produce-side counters cannot be sampled here — the
+      // overlapped prefetch mutates them mid-commit.
+      const std::int64_t demand = cache_served + sample.reads;
+      health->Observe(round, "cache.hit_rate",
+                      demand > 0 ? static_cast<double>(cache_served) /
+                                       static_cast<double>(demand)
+                                 : 0.0);
+    }
+    // Burn-rate accounting: hiccups and sheds spend the error budget.
+    health->ObserveSlo(round, sample.deliveries,
+                       sample.hiccups + sample.shed_streams);
+  }
 
   // Counter tracks for the Chrome trace (no-ops unless a writer is
   // attached to the profiler).

@@ -20,6 +20,7 @@
 #include "core/trace.h"
 #include "disk/cscan_scheduler.h"
 #include "disk/disk_array.h"
+#include "obs/health_monitor.h"
 #include "obs/metrics_registry.h"
 #include "obs/round_timeline.h"
 #include "obs/stream_qos.h"
@@ -176,6 +177,17 @@ struct ServerConfig {
   // lane-utilization sample, and — when a ChromeTraceWriter is attached
   // to the profiler — pool-occupancy and lane_critical counter tracks.
   PhaseProfiler* profiler = nullptr;
+  // Optional health monitor (caller-owned, must outlive the server).
+  // The sequential commit feeds it one sample per signal per round —
+  // service time, lane critical path, deterministic lane imbalance,
+  // pool occupancy/pins, degraded-mode deltas — plus the per-round SLO
+  // accounting its burn-rate rule consumes (obs/health_monitor.h).
+  // Signals derive only from committed deterministic state (never the
+  // profiler's wall clock), so series, events and incidents are
+  // byte-identical across lane counts and double-buffering. The caller
+  // closes rounds (HealthMonitor::CloseRound / Finish) after observing
+  // any signals of its own, e.g. rebuild progress.
+  HealthMonitor* health = nullptr;
   std::uint64_t seed = 0x5eedULL;
 };
 

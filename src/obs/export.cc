@@ -275,6 +275,71 @@ void AppendProfileJson(const PhaseProfiler& profiler, JsonWriter* json) {
   json->EndObject();
 }
 
+void AppendHealthJson(const HealthMonitor& monitor, JsonWriter* json) {
+  json->BeginObject();
+  json->Key("rounds").Value(monitor.rounds());
+  json->Key("samples").Value(monitor.samples());
+  json->Key("error_budget").Value(monitor.config().error_budget);
+  json->Key("series").BeginArray();
+  for (const auto& [signal, series] : monitor.series()) {
+    json->BeginObject();
+    json->Key("signal").Value(signal);
+    json->Key("capacity").Value(static_cast<std::int64_t>(series.capacity()));
+    json->Key("stride").Value(series.stride());
+    json->Key("samples").Value(series.samples());
+    json->Key("buckets_merged").Value(series.buckets_merged());
+    json->Key("samples_folded").Value(series.samples_folded());
+    json->Key("points").BeginArray();
+    for (const SeriesBucket& b : series.buckets()) {
+      json->BeginObject();
+      json->Key("r0").Value(b.first_round);
+      json->Key("r1").Value(b.last_round);
+      json->Key("count").Value(b.count);
+      json->Key("min").Value(b.min);
+      json->Key("max").Value(b.max);
+      json->Key("last").Value(b.last);
+      json->EndObject();
+    }
+    json->EndArray();
+    json->EndObject();
+  }
+  json->EndArray();
+  json->Key("events").BeginArray();
+  for (const HealthEvent& event : monitor.events()) {
+    json->BeginObject();
+    json->Key("round").Value(event.round);
+    json->Key("severity").Value(HealthSeverityName(event.severity));
+    json->Key("rule").Value(event.rule);
+    json->Key("signal").Value(event.signal);
+    json->Key("value").Value(event.value);
+    json->Key("bound").Value(event.bound);
+    json->Key("window").Value(event.window);
+    json->Key("cause").Value(event.cause);
+    json->EndObject();
+  }
+  json->EndArray();
+  json->Key("events_dropped").Value(monitor.events_dropped());
+  json->Key("incidents").BeginArray();
+  for (const IncidentReport& incident : monitor.incidents()) {
+    json->BeginObject();
+    json->Key("round").Value(incident.round);
+    json->Key("event").Value(incident.event_index);
+    json->Key("cause").Value(incident.cause);
+    json->Key("window").BeginArray();
+    for (const auto& [round, value] : incident.window) {
+      json->BeginObject();
+      json->Key("round").Value(round);
+      json->Key("value").Value(value);
+      json->EndObject();
+    }
+    json->EndArray();
+    json->Key("spans").Value(incident.spans);
+    json->EndObject();
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
 void AppendPerDiskJson(const PerDiskSeries& series, JsonWriter* json) {
   json->BeginObject();
   json->Key("values").BeginArray();
@@ -370,6 +435,32 @@ CsvTable StreamQosCsvTable(const StreamQosLedger& ledger) {
   return table;
 }
 
+CsvTable HealthSeriesCsvTable(const HealthMonitor& monitor) {
+  CsvTable table;
+  table.columns = {"signal", "stride", "first_round", "last_round",
+                   "count",  "min",    "max",         "last"};
+  char buf[32];
+  for (const auto& [signal, series] : monitor.series()) {
+    for (const SeriesBucket& b : series.buckets()) {
+      std::vector<std::string> cells;
+      cells.reserve(table.columns.size());
+      cells.push_back(signal);
+      cells.push_back(std::to_string(series.stride()));
+      cells.push_back(std::to_string(b.first_round));
+      cells.push_back(std::to_string(b.last_round));
+      cells.push_back(std::to_string(b.count));
+      std::snprintf(buf, sizeof(buf), "%.10g", b.min);
+      cells.emplace_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.10g", b.max);
+      cells.emplace_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.10g", b.last);
+      cells.emplace_back(buf);
+      table.AddRow(std::move(cells));
+    }
+  }
+  return table;
+}
+
 std::string BenchReport::ToJson() const {
   JsonWriter json;
   json.BeginObject();
@@ -414,6 +505,10 @@ std::string BenchReport::ToJson() const {
   if (profile != nullptr) {
     json.Key("profile");
     AppendProfileJson(*profile, &json);
+  }
+  if (health != nullptr) {
+    json.Key("health");
+    AppendHealthJson(*health, &json);
   }
   for (const auto& [key, value] : extra_json) {
     json.Key(key).RawJson(value);

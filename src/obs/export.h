@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/health_monitor.h"
 #include "obs/metrics_registry.h"
 #include "obs/phase_profiler.h"
 #include "obs/round_timeline.h"
@@ -85,6 +86,17 @@ void AppendStreamQosJson(const StreamQosLedger& ledger, JsonWriter* json);
 // counts/totals/digests plus the lane-utilization report.
 void AppendProfileJson(const PhaseProfiler& profiler, JsonWriter* json);
 
+// The health monitor as the `health` section: downsampled series with
+// their fold accounting, the event log and the incident reports.
+// Schema (docs/observability.md):
+//   {rounds, samples, error_budget, events_dropped,
+//    series: [{signal, capacity, stride, samples, buckets_merged,
+//              samples_folded, points: [{r0,r1,count,min,max,last}]}],
+//    events: [{round, severity, rule, signal, value, bound, window,
+//              cause}],
+//    incidents: [{round, event, cause, window: [{round,value}], spans}]}
+void AppendHealthJson(const HealthMonitor& monitor, JsonWriter* json);
+
 // A per-disk integer series (reads, recovery reads, queue depth...);
 // exported with its total and LoadImbalance (cv).
 struct PerDiskSeries {
@@ -110,6 +122,12 @@ struct CsvTable {
 // p50/p99 digest values).
 CsvTable StreamQosCsvTable(const StreamQosLedger& ledger);
 
+// The monitor's series as a CsvTable for offline plotting — one row per
+// retained bucket (at stride 1 this is the full-resolution series):
+// signal,stride,first_round,last_round,count,min,max,last. Written with
+// the same CsvTable::WriteFile writer the QoS CSV artifact uses.
+CsvTable HealthSeriesCsvTable(const HealthMonitor& monitor);
+
 // The bench artifact: everything optional except `bench`.
 struct BenchReport {
   std::string bench;
@@ -123,6 +141,10 @@ struct BenchReport {
   const CsvTable* table = nullptr;
   // Wall-clock phase profile -> `profile` section (omitted when null).
   const PhaseProfiler* profile = nullptr;
+  // Health monitor -> `health` section (omitted when null). Fully
+  // deterministic — round-indexed, never wall clock — so
+  // tools/bench_compare.py gates its events/incidents exactly.
+  const HealthMonitor* health = nullptr;
   // Extra top-level sections from higher layers, as (key, JSON value)
   // pairs spliced in verbatim — e.g. the `admission` section a churn
   // bench renders with AdmissionSummaryJson (core/admission.h). The obs

@@ -1,0 +1,370 @@
+#include "obs/health_monitor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/status.h"
+
+namespace cmfs {
+namespace {
+
+const std::string kEmptyLabel;
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* HealthSeverityName(HealthSeverity severity) {
+  switch (severity) {
+    case HealthSeverity::kInfo:
+      return "info";
+    case HealthSeverity::kWarning:
+      return "warning";
+    case HealthSeverity::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+std::string HealthEvent::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[r%lld] %-8s %-10s ",
+                static_cast<long long>(round), HealthSeverityName(severity),
+                rule.c_str());
+  std::string out = buf;
+  out += signal;
+  out += " value=" + FormatDouble(value) + " bound=" + FormatDouble(bound);
+  std::snprintf(buf, sizeof(buf), " window=%lld",
+                static_cast<long long>(window));
+  out += buf;
+  out += " cause=";
+  out += cause.empty() ? "-" : cause;
+  return out;
+}
+
+std::string IncidentReport::ToString() const {
+  std::string out = "incident @r" + std::to_string(round) + " event#" +
+                    std::to_string(event_index) + "\n";
+  out += "  " + event.ToString() + "\n";
+  out += "  window:";
+  for (const auto& [r, v] : window) {
+    out += " r" + std::to_string(r) + "=" + FormatDouble(v);
+  }
+  out += "\n";
+  if (!spans.empty()) {
+    out += "  spans:\n";
+    // Indent the FormatSpans block two spaces per line.
+    std::size_t pos = 0;
+    while (pos < spans.size()) {
+      std::size_t eol = spans.find('\n', pos);
+      if (eol == std::string::npos) eol = spans.size();
+      out += "    " + spans.substr(pos, eol - pos) + "\n";
+      pos = eol + 1;
+    }
+  }
+  return out;
+}
+
+HealthMonitor::HealthMonitor() : HealthMonitor(HealthConfig{}) {}
+
+HealthMonitor::HealthMonitor(HealthConfig config) : config_(config) {
+  CMFS_CHECK(config_.short_window > 0);
+  CMFS_CHECK(config_.long_window >= config_.short_window);
+  CMFS_CHECK(config_.error_budget > 0.0);
+}
+
+void HealthMonitor::AddThresholdRule(std::string signal, double bound,
+                                     HealthSeverity severity) {
+  thresholds_.push_back(ThresholdRule{std::move(signal), bound, severity});
+}
+
+void HealthMonitor::AddDriftRule(std::string signal) {
+  drifts_.push_back(std::move(signal));
+}
+
+void HealthMonitor::SetRoundLabel(std::int64_t round, std::string label) {
+  CMFS_CHECK(round >= 0);
+  if (label.empty()) return;
+  round_labels_[round] = std::move(label);
+}
+
+MetricSeries& HealthMonitor::SeriesFor(const std::string& signal) {
+  auto it = series_.find(signal);
+  if (it == series_.end()) {
+    it = series_
+             .emplace(signal, MetricSeries(signal, config_.series_capacity,
+                                           config_.raw_tail))
+             .first;
+  }
+  return it->second;
+}
+
+const std::string& HealthMonitor::LabelFor(std::int64_t round) const {
+  auto it = round_labels_.find(round);
+  return it == round_labels_.end() ? kEmptyLabel : it->second;
+}
+
+void HealthMonitor::Observe(std::int64_t round, const std::string& signal,
+                            double value) {
+  CMFS_CHECK(round >= 0);
+  if (current_round_ >= 0 && round > current_round_) {
+    CloseRound(current_round_);
+  }
+  // Never observe backwards, and never into an already-closed round.
+  CMFS_CHECK(current_round_ < 0 || round == current_round_);
+  CMFS_CHECK(round + 1 >= rounds_);
+  current_round_ = round;
+  rounds_ = std::max(rounds_, round + 1);
+  ++samples_;
+  SeriesFor(signal).Record(round, value);
+  current_[signal] = value;
+}
+
+void HealthMonitor::ObserveSlo(std::int64_t round, std::int64_t deliveries,
+                               std::int64_t errors) {
+  CMFS_CHECK(round >= 0);
+  if (current_round_ >= 0 && round > current_round_) {
+    CloseRound(current_round_);
+  }
+  CMFS_CHECK(current_round_ < 0 || round == current_round_);
+  CMFS_CHECK(round + 1 >= rounds_);
+  current_round_ = round;
+  rounds_ = std::max(rounds_, round + 1);
+  slo_active_ = true;
+  if (!slo_window_.empty() && slo_window_.back().round == round) {
+    slo_window_.back().deliveries += deliveries;
+    slo_window_.back().errors += errors;
+  } else {
+    slo_window_.push_back(SloRound{round, deliveries, errors});
+    while (static_cast<std::int64_t>(slo_window_.size()) >
+           config_.long_window) {
+      slo_window_.pop_front();
+    }
+  }
+}
+
+void HealthMonitor::CloseRound(std::int64_t round) {
+  CMFS_CHECK(round >= 0);
+  CMFS_CHECK(current_round_ < 0 || round >= current_round_);
+  rounds_ = std::max(rounds_, round + 1);
+
+  // Threshold rules, in registration order.
+  for (const ThresholdRule& rule : thresholds_) {
+    auto it = current_.find(rule.signal);
+    if (it == current_.end()) continue;
+    if (it->second > rule.bound) {
+      HealthEvent event;
+      event.round = round;
+      event.severity = rule.severity;
+      event.rule = "threshold";
+      event.signal = rule.signal;
+      event.value = it->second;
+      event.bound = rule.bound;
+      event.window = 1;
+      event.cause = LabelFor(round);
+      Emit(std::move(event));
+    }
+  }
+
+  // EWMA drift rules, in registration order. The bound is checked
+  // against the pre-excursion baseline: while a value sits above the
+  // bound the EWMA is frozen (the baseline must not learn from the
+  // anomaly), and only an excursion sustained for drift_persistence
+  // consecutive rounds fires — isolated periodic spikes stay silent.
+  for (const std::string& signal : drifts_) {
+    auto it = current_.find(signal);
+    if (it == current_.end()) continue;
+    const double value = it->second;
+    DriftState& state = drift_states_[signal];
+    const double bound =
+        config_.drift_factor * state.ewma + config_.drift_margin;
+    if (state.samples >= config_.warmup_rounds && value > bound) {
+      ++state.above;
+      if (state.above >= config_.drift_persistence) {
+        HealthEvent event;
+        event.round = round;
+        event.severity = HealthSeverity::kWarning;
+        event.rule = "ewma_drift";
+        event.signal = signal;
+        event.value = value;
+        event.bound = bound;
+        event.window = state.above;
+        event.cause = LabelFor(round);
+        Emit(std::move(event));
+      }
+    } else {
+      state.above = 0;
+      state.ewma = (state.samples == 0)
+                       ? value
+                       : config_.ewma_alpha * value +
+                             (1.0 - config_.ewma_alpha) * state.ewma;
+      ++state.samples;
+    }
+  }
+
+  if (slo_active_) EvaluateBurnRate(round);
+
+  current_.clear();
+  current_round_ = -1;
+}
+
+void HealthMonitor::EvaluateBurnRate(std::int64_t round) {
+  std::int64_t short_deliveries = 0, short_errors = 0;
+  std::int64_t long_deliveries = 0, long_errors = 0;
+  for (const SloRound& slo : slo_window_) {
+    if (slo.round > round) continue;  // not yet committed (paranoia)
+    if (slo.round > round - config_.long_window) {
+      long_deliveries += slo.deliveries;
+      long_errors += slo.errors;
+    }
+    if (slo.round > round - config_.short_window) {
+      short_deliveries += slo.deliveries;
+      short_errors += slo.errors;
+    }
+  }
+  if (long_deliveries <= 0 || short_deliveries <= 0) return;
+  const double burn_short =
+      (static_cast<double>(short_errors) / short_deliveries) /
+      config_.error_budget;
+  const double burn_long =
+      (static_cast<double>(long_errors) / long_deliveries) /
+      config_.error_budget;
+  // The artifact carries the long-window burn as its own series so
+  // incidents have a window to show and sparklines have a shape.
+  SeriesFor("slo.burn_rate").Record(round, burn_long);
+  if (burn_short > config_.burn_threshold &&
+      burn_long > config_.burn_threshold) {
+    HealthEvent event;
+    event.round = round;
+    event.severity = HealthSeverity::kCritical;
+    event.rule = "burn_rate";
+    event.signal = "slo.burn_rate";
+    event.value = burn_long;
+    event.bound = config_.burn_threshold;
+    event.window = config_.long_window;
+    event.cause = LabelFor(round);
+    Emit(std::move(event));
+  }
+}
+
+void HealthMonitor::Emit(HealthEvent event) {
+  const bool stored = events_.size() < config_.max_events;
+  std::int64_t event_index = -1;
+  if (stored) {
+    event_index = static_cast<std::int64_t>(events_.size());
+    events_.push_back(event);
+  } else {
+    ++events_dropped_;
+  }
+
+  if (event.severity != HealthSeverity::kCritical) return;
+  if (incidents_.size() >= config_.max_incidents) return;
+  const auto key = std::make_pair(event.rule, event.signal);
+  auto it = last_incident_round_.find(key);
+  if (it != last_incident_round_.end() &&
+      event.round - it->second < config_.incident_cooldown_rounds) {
+    return;
+  }
+  last_incident_round_[key] = event.round;
+
+  IncidentReport incident;
+  incident.round = event.round;
+  incident.event_index = event_index;
+  incident.cause = event.cause;
+  const std::int64_t from_round =
+      std::max<std::int64_t>(0, event.round - config_.incident_window_rounds);
+  auto series_it = series_.find(event.signal);
+  if (series_it != series_.end()) {
+    incident.window = series_it->second.Tail(from_round);
+  }
+  if (ledger_ != nullptr) {
+    std::vector<BlockSpan> recent;
+    for (const BlockSpan& span : ledger_->spans().Window()) {
+      if (span.close_round >= from_round && span.close_round <= event.round) {
+        recent.push_back(span);
+      }
+    }
+    if (recent.size() > config_.incident_span_limit) {
+      recent.erase(recent.begin(),
+                   recent.end() - static_cast<std::ptrdiff_t>(
+                                      config_.incident_span_limit));
+    }
+    incident.spans = FormatSpans(recent, config_.incident_span_limit);
+  }
+  incident.event = std::move(event);
+  incidents_.push_back(std::move(incident));
+}
+
+void HealthMonitor::Finish() {
+  if (current_round_ >= 0) CloseRound(current_round_);
+}
+
+void HealthMonitor::ExportMetrics(MetricsRegistry* registry) const {
+  CMFS_CHECK(registry != nullptr);
+  std::int64_t buckets_merged = 0, samples_folded = 0;
+  for (const auto& [signal, series] : series_) {
+    buckets_merged += series.buckets_merged();
+    samples_folded += series.samples_folded();
+  }
+  registry->counter("health.samples")->Set(samples_);
+  registry->counter("health.events")
+      ->Set(static_cast<std::int64_t>(events_.size()));
+  registry->counter("health.events_dropped")->Set(events_dropped_);
+  registry->counter("health.incidents")
+      ->Set(static_cast<std::int64_t>(incidents_.size()));
+  registry->counter("health.buckets_merged")->Set(buckets_merged);
+  registry->counter("health.samples_folded")->Set(samples_folded);
+  registry->gauge("health.rounds")->Set(static_cast<double>(rounds_));
+}
+
+std::string HealthMonitor::ToString() const {
+  std::string out = "health: rounds=" + std::to_string(rounds_) +
+                    " samples=" + std::to_string(samples_) +
+                    " events=" + std::to_string(events_.size());
+  if (events_dropped_ > 0) {
+    out += " (+" + std::to_string(events_dropped_) + " dropped)";
+  }
+  out += " incidents=" + std::to_string(incidents_.size()) + "\n";
+  if (!series_.empty()) {
+    out += "series (signal stride samples min max last):\n";
+    for (const auto& [signal, series] : series_) {
+      double min_v = 0.0, max_v = 0.0;
+      bool first = true;
+      for (const SeriesBucket& b : series.buckets()) {
+        min_v = first ? b.min : std::min(min_v, b.min);
+        max_v = first ? b.max : std::max(max_v, b.max);
+        first = false;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "  %-28s x%-4lld %6lld ",
+                    signal.c_str(),
+                    static_cast<long long>(series.stride()),
+                    static_cast<long long>(series.samples()));
+      out += buf;
+      out += FormatDouble(min_v) + " " + FormatDouble(max_v) + " " +
+             FormatDouble(series.last_value());
+      if (series.buckets_merged() > 0) {
+        out += " (folded " + std::to_string(series.samples_folded()) +
+               " samples / " + std::to_string(series.buckets_merged()) +
+               " merges)";
+      }
+      out += "\n";
+    }
+  }
+  if (!events_.empty()) {
+    out += "events:\n";
+    for (const HealthEvent& event : events_) {
+      out += "  " + event.ToString() + "\n";
+    }
+  }
+  for (const IncidentReport& incident : incidents_) {
+    out += incident.ToString();
+  }
+  return out;
+}
+
+}  // namespace cmfs

@@ -1,0 +1,229 @@
+#ifndef CMFS_OBS_HEALTH_MONITOR_H_
+#define CMFS_OBS_HEALTH_MONITOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/stream_qos.h"
+#include "obs/timeseries.h"
+
+// Deterministic health monitor: the longitudinal alerting layer on top
+// of the per-round signals (obs/timeseries.h). The paper's continuity
+// guarantee is a property of *every* round of a fail -> swap -> rebuild
+// epoch, so health is evaluated per round, on the round index — never
+// on wall clock — keeping verdicts byte-identical across lane counts
+// and double-buffer modes (the same contract as the metrics registry
+// and the QoS ledger).
+//
+// Three rule families:
+//   threshold   — static bound on a signal's per-round value (e.g. any
+//                 shed stream is critical when shedding is disallowed).
+//   ewma_drift  — exponentially weighted moving average per signal;
+//                 fires when a round's value exceeds
+//                 drift_factor * EWMA + drift_margin after warmup.
+//                 Catches slow degradation before an SLO is blown.
+//   burn_rate   — SRE-style multi-window burn rate over the run's error
+//                 budget: errors/deliveries relative to `error_budget`,
+//                 evaluated over a short and a long round window; fires
+//                 critical only when BOTH exceed burn_threshold (the
+//                 short window gives fast detection, the long window
+//                 filters one-round blips).
+//
+// Every firing emits a HealthEvent carrying the active fault label for
+// that round (RunScenario registers its cause-registry labels per round
+// — round-keyed, because the double-buffer prolog for round N+1 runs
+// before round N commits). Critical events escalate (per-rule cooldown,
+// global cap) into IncidentReports bundling the triggering event, the
+// raw recent window of the signal, and the QoS flight-recorder span
+// window — a self-contained "what exactly happened" narrative.
+
+namespace cmfs {
+
+enum class HealthSeverity { kInfo, kWarning, kCritical };
+
+const char* HealthSeverityName(HealthSeverity severity);
+
+struct HealthEvent {
+  std::int64_t round = 0;
+  HealthSeverity severity = HealthSeverity::kInfo;
+  std::string rule;    // "threshold" | "ewma_drift" | "burn_rate"
+  std::string signal;
+  double value = 0.0;  // observed value that fired the rule
+  double bound = 0.0;  // the bound it crossed
+  // Rounds of evidence behind the firing (1 for thresholds, the sample
+  // count for drift, the long window for burn rate).
+  std::int64_t window = 1;
+  // Active fault label at `round` (empty when no fault was injected —
+  // a non-empty cause on a clean run is a false-positive smoking gun).
+  std::string cause;
+
+  std::string ToString() const;
+};
+
+// Escalation of a critical event: the event plus enough surrounding
+// context to read the incident without re-running the scenario.
+struct IncidentReport {
+  std::int64_t round = 0;
+  // Index of the triggering event in HealthMonitor::events().
+  std::int64_t event_index = -1;
+  HealthEvent event;
+  std::string cause;
+  // Raw (round, value) samples of the triggering signal over the
+  // incident window, full resolution, oldest first.
+  std::vector<std::pair<std::int64_t, double>> window;
+  // FormatSpans rendering of the QoS flight-recorder window (empty when
+  // no ledger is attached).
+  std::string spans;
+
+  std::string ToString() const;
+};
+
+struct HealthConfig {
+  // MetricSeries sizing (see obs/timeseries.h).
+  std::size_t series_capacity = 256;
+  std::size_t raw_tail = 64;
+  // EWMA drift detection.
+  double ewma_alpha = 0.25;
+  double drift_factor = 2.0;
+  // Absolute slack added to the drift bound so near-zero baselines
+  // (e.g. an idle signal) don't fire on the first nonzero sample.
+  double drift_margin = 1.0;
+  // Consecutive rounds above the bound before a drift event fires. A
+  // periodic workload (e.g. streaming-raid's every-span bulk reads)
+  // produces isolated one-round excursions forever; only *sustained*
+  // elevation is drift. While above the bound the EWMA is frozen — the
+  // baseline must not learn from the anomaly it is flagging.
+  std::int64_t drift_persistence = 2;
+  std::int64_t warmup_rounds = 8;
+  // SLO burn rate: fraction of deliveries allowed to be errors.
+  double error_budget = 1e-3;
+  std::int64_t short_window = 8;
+  std::int64_t long_window = 32;
+  double burn_threshold = 4.0;
+  // Event / incident bounding (O(max_*) memory on any run length).
+  std::size_t max_events = 512;
+  std::size_t max_incidents = 8;
+  std::int64_t incident_cooldown_rounds = 16;
+  std::int64_t incident_window_rounds = 16;
+  std::size_t incident_span_limit = 12;
+};
+
+class HealthMonitor {
+ public:
+  HealthMonitor();
+  explicit HealthMonitor(HealthConfig config);
+
+  const HealthConfig& config() const { return config_; }
+
+  // --- Rule registration (before the run) -------------------------------
+  void AddThresholdRule(std::string signal, double bound,
+                        HealthSeverity severity);
+  void AddDriftRule(std::string signal);
+  bool has_rules() const { return !thresholds_.empty() || !drifts_.empty(); }
+
+  // Flight-recorder linkage: incidents snapshot this ledger's span ring
+  // (caller-owned; may be null).
+  void SetQosLedger(const StreamQosLedger* ledger) { ledger_ = ledger; }
+
+  // --- Producer side ----------------------------------------------------
+  // Fault label for `round`, from the scenario's cause registry. Keyed
+  // by round (not "current") because the pipelined prolog registers
+  // round N+1's causes before round N commits.
+  void SetRoundLabel(std::int64_t round, std::string label);
+
+  // Record one signal sample. Rounds are non-decreasing; an Observe for
+  // a later round auto-closes the previous one (so a bare Server with a
+  // monitor attached needs no explicit CloseRound per round).
+  void Observe(std::int64_t round, const std::string& signal, double value);
+  // Per-round SLO accounting for the burn-rate rule (errors = hiccups +
+  // sheds; the rule is active iff this is called).
+  void ObserveSlo(std::int64_t round, std::int64_t deliveries,
+                  std::int64_t errors);
+  // Evaluate all rules against the samples observed for `round`.
+  void CloseRound(std::int64_t round);
+  // Close the last pending round (idempotent).
+  void Finish();
+
+  // --- Consumer side ----------------------------------------------------
+  // Signal -> series, deterministic (signal-name) order.
+  const std::map<std::string, MetricSeries>& series() const {
+    return series_;
+  }
+  const std::vector<HealthEvent>& events() const { return events_; }
+  const std::vector<IncidentReport>& incidents() const { return incidents_; }
+  // Events discarded after max_events (never silent).
+  std::int64_t events_dropped() const { return events_dropped_; }
+  std::int64_t events_total() const {
+    return static_cast<std::int64_t>(events_.size()) + events_dropped_;
+  }
+  // Exclusive upper bound of observed rounds (last observed round + 1).
+  std::int64_t rounds() const { return rounds_; }
+  std::int64_t samples() const { return samples_; }
+
+  // Publishes health.* aggregates: health.samples / health.events /
+  // health.incidents / health.events_dropped / health.buckets_merged /
+  // health.samples_folded (counters), health.rounds (gauge).
+  void ExportMetrics(MetricsRegistry* registry) const;
+
+  // Deterministic fixed-width report: per-series digest, event log,
+  // incident narratives (ScenarioResult reports embed it).
+  std::string ToString() const;
+
+ private:
+  struct ThresholdRule {
+    std::string signal;
+    double bound = 0.0;
+    HealthSeverity severity = HealthSeverity::kWarning;
+  };
+  struct DriftState {
+    double ewma = 0.0;
+    std::int64_t samples = 0;  // rounds folded into the EWMA
+    std::int64_t above = 0;    // consecutive rounds above the bound
+  };
+  struct SloRound {
+    std::int64_t round = 0;
+    std::int64_t deliveries = 0;
+    std::int64_t errors = 0;
+  };
+
+  MetricSeries& SeriesFor(const std::string& signal);
+  const std::string& LabelFor(std::int64_t round) const;
+  // Appends the event (bounded) and escalates criticals to incidents.
+  void Emit(HealthEvent event);
+  void EvaluateBurnRate(std::int64_t round);
+
+  HealthConfig config_;
+  const StreamQosLedger* ledger_ = nullptr;
+
+  std::vector<ThresholdRule> thresholds_;
+  std::vector<std::string> drifts_;  // signals with an EWMA drift rule
+  std::map<std::string, DriftState> drift_states_;
+
+  std::map<std::string, MetricSeries> series_;
+  // Samples observed for the round currently being assembled.
+  std::map<std::string, double> current_;
+  std::int64_t current_round_ = -1;
+  std::int64_t rounds_ = 0;
+  std::int64_t samples_ = 0;
+
+  bool slo_active_ = false;
+  std::deque<SloRound> slo_window_;  // last long_window rounds
+
+  std::map<std::int64_t, std::string> round_labels_;
+
+  std::vector<HealthEvent> events_;
+  std::int64_t events_dropped_ = 0;
+  std::vector<IncidentReport> incidents_;
+  // (rule, signal) -> round of the last incident, for cooldown.
+  std::map<std::pair<std::string, std::string>, std::int64_t>
+      last_incident_round_;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_OBS_HEALTH_MONITOR_H_

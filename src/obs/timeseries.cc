@@ -1,0 +1,118 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace cmfs {
+
+MetricSeries::MetricSeries(std::string signal, std::size_t capacity,
+                           std::size_t raw_tail)
+    : signal_(std::move(signal)),
+      capacity_(std::max<std::size_t>(capacity, 2)),
+      raw_tail_capacity_(std::max<std::size_t>(raw_tail, 1)) {
+  buckets_.reserve(capacity_);
+}
+
+void MetricSeries::Record(std::int64_t round, double value) {
+  CMFS_CHECK(round >= 0);
+  if (!buckets_.empty()) {
+    // Rounds are non-decreasing by construction (sequential commit).
+    CMFS_CHECK(round >= buckets_.back().last_round);
+  }
+  ++samples_;
+
+  // Full-resolution tail ring.
+  if (raw_tail_.size() < raw_tail_capacity_) {
+    raw_tail_.emplace_back(round, value);
+  } else {
+    raw_tail_[raw_next_] = {round, value};
+  }
+  raw_next_ = (raw_next_ + 1) % raw_tail_capacity_;
+
+  const std::int64_t slot = round / stride_;
+  if (!buckets_.empty() && buckets_.back().slot == slot) {
+    SeriesBucket& b = buckets_.back();
+    b.last_round = round;
+    b.last = value;
+    b.min = std::min(b.min, value);
+    b.max = std::max(b.max, value);
+    ++b.count;
+    return;
+  }
+  if (buckets_.size() == capacity_) {
+    Fold();
+    // One fold always frees slots (capacity >= 2), and the new stride
+    // may even land `round` in the (merged) tail bucket.
+    const std::int64_t folded_slot = round / stride_;
+    if (!buckets_.empty() && buckets_.back().slot == folded_slot) {
+      SeriesBucket& b = buckets_.back();
+      b.last_round = round;
+      b.last = value;
+      b.min = std::min(b.min, value);
+      b.max = std::max(b.max, value);
+      ++b.count;
+      return;
+    }
+  }
+  SeriesBucket b;
+  b.slot = round / stride_;
+  b.first_round = round;
+  b.last_round = round;
+  b.count = 1;
+  b.min = value;
+  b.max = value;
+  b.last = value;
+  buckets_.push_back(b);
+}
+
+void MetricSeries::Fold() {
+  std::vector<SeriesBucket> folded;
+  folded.reserve((buckets_.size() + 1) / 2);
+  stride_ *= 2;
+  for (const SeriesBucket& b : buckets_) {
+    const std::int64_t slot = b.slot / 2;
+    if (!folded.empty() && folded.back().slot == slot) {
+      SeriesBucket& dst = folded.back();
+      // `b` is absorbed: its samples lose per-round resolution.
+      ++buckets_merged_;
+      samples_folded_ += b.count;
+      dst.last_round = b.last_round;
+      dst.last = b.last;
+      dst.min = std::min(dst.min, b.min);
+      dst.max = std::max(dst.max, b.max);
+      dst.count += b.count;
+    } else {
+      SeriesBucket widened = b;
+      widened.slot = slot;
+      folded.push_back(widened);
+    }
+  }
+  buckets_ = std::move(folded);
+}
+
+std::vector<std::pair<std::int64_t, double>> MetricSeries::Tail(
+    std::int64_t from_round) const {
+  std::vector<std::pair<std::int64_t, double>> out;
+  out.reserve(raw_tail_.size());
+  // Ring order: oldest entry sits at raw_next_ once the ring is full.
+  const std::size_t n = raw_tail_.size();
+  const std::size_t start = (n < raw_tail_capacity_) ? 0 : raw_next_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& sample = raw_tail_[(start + i) % n];
+    if (sample.first >= from_round) out.push_back(sample);
+  }
+  return out;
+}
+
+double MetricSeries::last_value() const {
+  CMFS_CHECK(!buckets_.empty());
+  return buckets_.back().last;
+}
+
+std::int64_t MetricSeries::last_round() const {
+  CMFS_CHECK(!buckets_.empty());
+  return buckets_.back().last_round;
+}
+
+}  // namespace cmfs

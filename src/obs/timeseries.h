@@ -1,0 +1,98 @@
+#ifndef CMFS_OBS_TIMESERIES_H_
+#define CMFS_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+// Fixed-capacity, stride-downsampling per-round metric series — the
+// longitudinal layer under the health monitor (obs/health_monitor.h).
+// A RoundTimeline keeps whole RoundSamples in a ring (recent window
+// wins); a MetricSeries instead keeps the *full run* of one scalar
+// signal at bounded memory by doubling its bucket stride whenever the
+// bucket array fills: capacity 256 holds rounds 0..255 at per-round
+// resolution, a 10^6-round run at stride 4096. Each bucket keeps
+// min/max/last/count so spikes survive decimation — a one-round
+// service-time excursion is still visible in the max envelope after
+// any number of folds.
+//
+// Downsampling is never silent (the trace.dropped_events rule):
+// buckets_merged() and samples_folded() count exactly how much
+// per-round resolution was given up, and the `health` artifact section
+// carries both.
+//
+// Determinism: buckets are a pure function of the (round, value)
+// sequence — no wall clock, no allocation-order dependence — so series
+// recorded from the server's sequential commit are byte-identical
+// across lane counts and double-buffer modes.
+
+namespace cmfs {
+
+// One downsampled bucket covering rounds [slot*stride, (slot+1)*stride).
+// first/last_round are the rounds actually observed (the nominal window
+// may be partially empty at the tail).
+struct SeriesBucket {
+  std::int64_t slot = 0;
+  std::int64_t first_round = 0;
+  std::int64_t last_round = 0;
+  std::int64_t count = 0;  // samples folded into this bucket
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;  // value of the latest sample (ties: last wins)
+};
+
+class MetricSeries {
+ public:
+  // `capacity` buckets (>= 2); `raw_tail` most-recent raw samples are
+  // additionally retained at full resolution for incident windows.
+  explicit MetricSeries(std::string signal, std::size_t capacity = 256,
+                        std::size_t raw_tail = 64);
+
+  // Record one sample. Rounds must be non-decreasing (CHECK-enforced):
+  // the series is fed from the sequential commit, which runs in round
+  // order by construction.
+  void Record(std::int64_t round, double value);
+
+  const std::string& signal() const { return signal_; }
+  std::size_t capacity() const { return capacity_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t samples() const { return samples_; }
+  // Cumulative pairwise bucket merges performed by folds.
+  std::int64_t buckets_merged() const { return buckets_merged_; }
+  // Cumulative samples that lost per-round resolution: every sample
+  // living in a bucket that was merged into a surviving partner.
+  std::int64_t samples_folded() const { return samples_folded_; }
+
+  // Retained buckets, oldest first.
+  const std::vector<SeriesBucket>& buckets() const { return buckets_; }
+
+  // Raw (round, value) samples from the full-resolution tail ring with
+  // round >= from_round, oldest first (at most raw_tail entries).
+  std::vector<std::pair<std::int64_t, double>> Tail(
+      std::int64_t from_round) const;
+
+  // Most recent sample (CHECK: samples() > 0).
+  double last_value() const;
+  std::int64_t last_round() const;
+
+ private:
+  // Halves the bucket array by merging slot-adjacent pairs; stride x= 2.
+  void Fold();
+
+  std::string signal_;
+  std::size_t capacity_;
+  std::int64_t stride_ = 1;
+  std::int64_t samples_ = 0;
+  std::int64_t buckets_merged_ = 0;
+  std::int64_t samples_folded_ = 0;
+  std::vector<SeriesBucket> buckets_;
+  // Full-resolution tail: ring of the last raw_tail_ samples.
+  std::size_t raw_tail_capacity_;
+  std::vector<std::pair<std::int64_t, double>> raw_tail_;
+  std::size_t raw_next_ = 0;
+};
+
+}  // namespace cmfs
+
+#endif  // CMFS_OBS_TIMESERIES_H_

@@ -148,6 +148,8 @@ std::string ScenarioResult::ToString() const {
   }
   // Empty string unless the scenario ran with churn admission.
   out += admission.ToString();
+  // Empty unless the scenario ran with a health monitor attached.
+  out += health_report;
   return out;
 }
 
@@ -242,6 +244,29 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
   server_config.qos = qos;
   server_config.profiler = config.profiler;
   server_config.seed = config.seed;
+  // Health monitor: default rule set when the caller's monitor arrives
+  // empty — any lost read or shed stream is an incident; hiccups are
+  // critical only for schemes that promise none (the non-clustered
+  // baseline's transition hiccups are a documented warning, not an
+  // incident); slow degradation of the round's critical path is caught
+  // by EWMA drift before a threshold is blown.
+  HealthMonitor* health = config.health;
+  if (health != nullptr) {
+    if (!health->has_rules()) {
+      health->AddThresholdRule("server.lost_reads", 0.0,
+                               HealthSeverity::kCritical);
+      health->AddThresholdRule("server.shed_streams", 0.0,
+                               HealthSeverity::kCritical);
+      health->AddThresholdRule("server.hiccups", 0.0,
+                               server_config.allow_hiccups
+                                   ? HealthSeverity::kWarning
+                                   : HealthSeverity::kCritical);
+      health->AddDriftRule("server.round_time_s");
+      health->AddDriftRule("server.lane_critical_reads");
+    }
+    health->SetQosLedger(qos);
+    server_config.health = health;
+  }
   // Popularity-aware stream cache: clip rank = clip index (the churn
   // zipf sampler makes low indices hottest; the static workload's
   // ordering is arbitrary but deterministic). The server binds the
@@ -434,8 +459,16 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
       }
     }
     // Re-register this round's per-disk cause labels (most severe
-    // first; the ledger keeps the first registration per disk).
+    // first; the ledger keeps the first registration per disk). The
+    // health monitor gets the same labels folded into one round label —
+    // keyed by the *server's 1-based* round stamp, because the
+    // double-buffered prolog for round N+1 runs before round N commits.
     qos->ClearDiskCauses();
+    std::string health_label;
+    auto add_health_label = [&](const std::string& label) {
+      if (!health_label.empty()) health_label += "; ";
+      health_label += label;
+    };
     const int failed = array.failed_disk();
     if (failed >= 0) {
       std::string label;
@@ -459,24 +492,31 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
         }
         label += " disk=" + std::to_string(failed);
       }
+      add_health_label(label);
       qos->SetDiskCause(failed, std::move(label));
     }
     for (std::size_t w = 0; w < config.schedule.transients.size(); ++w) {
       const TransientWindow& win = config.schedule.transients[w];
       if (round >= win.first_round && round <= win.last_round) {
-        qos->SetDiskCause(win.disk,
-                          "transient_window[" + std::to_string(w) +
-                              "] disk=" + std::to_string(win.disk));
+        std::string label = "transient_window[" + std::to_string(w) +
+                            "] disk=" + std::to_string(win.disk);
+        add_health_label(label);
+        qos->SetDiskCause(win.disk, std::move(label));
       }
     }
     for (std::size_t w = 0; w < config.schedule.slow_windows.size(); ++w) {
       const SlowWindow& win = config.schedule.slow_windows[w];
       if (round >= win.first_round && round <= win.last_round) {
-        qos->SetDiskCause(win.disk,
-                          "slow_window[" + std::to_string(w) + "] disk=" +
-                              std::to_string(win.disk) +
-                              " cap=" + std::to_string(win.quota_cap));
+        std::string label = "slow_window[" + std::to_string(w) + "] disk=" +
+                            std::to_string(win.disk) +
+                            " cap=" + std::to_string(win.quota_cap);
+        add_health_label(label);
+        qos->SetDiskCause(win.disk, std::move(label));
       }
+    }
+    if (health != nullptr && !health_label.empty()) {
+      // round + 1: schedule clock is 0-based, server stamps are 1-based.
+      health->SetRoundLabel(round + 1, std::move(health_label));
     }
   };
   // Epoch barrier: forbid producing round `next` early whenever its
@@ -524,9 +564,15 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
     // went on to report.
     if (!prolog_status.ok()) return prolog_status;
     if (!st.ok()) return st;
+    // The server's commit stamped this round's samples as round + 1.
+    const std::int64_t server_round = round + 1;
     if (rebuilder != nullptr && !rebuilder->done()) {
       Result<int> rebuilt = rebuilder->RunRound();
       if (!rebuilt.ok()) return rebuilt.status();
+      if (health != nullptr) {
+        health->Observe(server_round, "rebuild.progress",
+                        rebuilder->progress());
+      }
       if (rebuilder->done()) {
         if (Status st = array.RepairDisk(rebuild_target); !st.ok()) {
           return st;
@@ -539,6 +585,24 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
         rebuild_target = -1;
         rebuild_budget_now = 0;
       }
+    }
+    if (health != nullptr) {
+      if (config.churn) {
+        // This round's stats by round stamp — never history().back():
+        // under double-buffering the next round's prolog (and its
+        // BeginRound) may already have appended an entry.
+        const auto& history = engine->history();
+        for (auto it = history.rbegin(); it != history.rend(); ++it) {
+          if (it->round > round) continue;
+          if (it->round < round) break;
+          health->Observe(server_round, "admission.queue_depth",
+                          static_cast<double>(it->queue_depth));
+          health->Observe(server_round, "admission.rejected",
+                          static_cast<double>(it->rejected));
+          break;
+        }
+      }
+      health->CloseRound(server_round);
     }
   }
 
@@ -599,6 +663,14 @@ Result<ScenarioResult> RunScenario(const ScenarioConfig& config) {
   result.qos_table = qos->TableString();
   result.flight_records = qos->flight_records();
   if (config.metrics != nullptr) qos->ExportMetrics(config.metrics);
+  if (health != nullptr) {
+    health->Finish();
+    result.health_events = health->events_total();
+    result.health_incidents =
+        static_cast<std::int64_t>(health->incidents().size());
+    result.health_report = health->ToString();
+    if (config.metrics != nullptr) health->ExportMetrics(config.metrics);
+  }
   return result;
 }
 

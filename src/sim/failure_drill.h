@@ -10,6 +10,7 @@
 #include "core/stream_cache.h"
 #include "core/rebuild.h"
 #include "core/server.h"
+#include "obs/health_monitor.h"
 #include "obs/histogram.h"
 #include "obs/stream_qos.h"
 #include "sim/churn_workload.h"
@@ -144,6 +145,21 @@ struct ScenarioConfig {
   // lanes × double-buffer is unchanged.
   bool cache = false;
   StreamCacheConfig cache_config;
+  // --- Deterministic health monitor (docs/observability.md) -------------
+  // Optional caller-owned HealthMonitor, forwarded to the server. The
+  // runner wires the full loop: registers a default rule set when the
+  // monitor arrives empty (lost reads / sheds / hiccups thresholds,
+  // service-time and lane-critical drift), attaches the QoS ledger for
+  // incident span capture, labels every round with the schedule's
+  // active fault causes (round-keyed, so the double-buffer prolog
+  // running early cannot mislabel), observes rebuild progress and
+  // admission queue signals, and closes each round after the rebuilder
+  // has run. Rounds are the server's 1-based round stamps — the same
+  // domain as RoundSample.round and the QoS span rounds — so incident
+  // windows and flight-recorder spans line up. Everything is evaluated
+  // on round indices (never wall clock): events, incidents and series
+  // are byte-identical across lanes x double-buffer.
+  HealthMonitor* health = nullptr;
 };
 
 // Aggregates over one schedule epoch [first_round, last_round] — the
@@ -196,6 +212,11 @@ struct ScenarioResult {
   AdmissionSummary admission;
   // Stream-cache outcome (enabled=false unless config.cache).
   StreamCacheSummary cache;
+  // --- Health-monitor outcome (zeros/empty unless config.health) --------
+  std::int64_t health_events = 0;
+  std::int64_t health_incidents = 0;
+  // HealthMonitor::ToString() — series digest, event log, incidents.
+  std::string health_report;
 
   // Full deterministic rendering (metrics, per-disk loads, every epoch,
   // per-stream QoS table, flight records): two runs of the same scenario

@@ -51,6 +51,12 @@ void ThreadPool::WorkerMain() {
                   [&] { return shutdown_ || generation_ != seen; });
     if (shutdown_) return;
     seen = generation_;
+    // Stale wake-up: the generation this worker missed already
+    // completed (the caller cleared fn_ under the lock when its done
+    // predicate — which counts a never-woken worker as idle — passed).
+    // Joining now would dip idle_workers_ below full between jobs and
+    // trip the next caller's entry check; just go back to sleep.
+    if (fn_ == nullptr) continue;
     --idle_workers_;
     lock.unlock();
     RunItems();

@@ -1,0 +1,390 @@
+#include "obs/health_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/timeseries.h"
+#include "sim/failure_drill.h"
+
+// The deterministic health monitor: per-round metric series with
+// spike-preserving downsampling, the three rule families (threshold,
+// EWMA drift, multi-window SLO burn rate), incident escalation with
+// fault attribution, and the end-to-end determinism contract — health
+// output is byte-identical across lane counts and double-buffer modes
+// because every signal derives from committed sequential state and
+// every rule evaluates on the round index, never wall clock.
+
+namespace cmfs {
+namespace {
+
+// --- MetricSeries ---------------------------------------------------------
+
+TEST(MetricSeriesTest, RecordsFullResolutionUnderCapacity) {
+  MetricSeries series("sig", /*capacity=*/64, /*raw_tail=*/16);
+  for (std::int64_t r = 1; r <= 10; ++r) {
+    series.Record(r, static_cast<double>(r) * 2.0);
+  }
+  EXPECT_EQ(series.stride(), 1);
+  EXPECT_EQ(series.samples(), 10);
+  EXPECT_EQ(series.buckets_merged(), 0);
+  EXPECT_EQ(series.samples_folded(), 0);
+  ASSERT_EQ(series.buckets().size(), 10u);
+  for (std::size_t i = 0; i < series.buckets().size(); ++i) {
+    const SeriesBucket& b = series.buckets()[i];
+    EXPECT_EQ(b.first_round, static_cast<std::int64_t>(i) + 1);
+    EXPECT_EQ(b.last_round, b.first_round);
+    EXPECT_EQ(b.count, 1);
+    EXPECT_EQ(b.min, b.max);
+  }
+  EXPECT_EQ(series.last_round(), 10);
+  EXPECT_EQ(series.last_value(), 20.0);
+}
+
+TEST(MetricSeriesTest, DownsamplingPreservesSpikesAndAccountsFolds) {
+  // Capacity 8 forces several stride-doubling folds over 64 rounds. The
+  // lone max spike and the lone min dip must both survive every merge —
+  // that is the whole point of keeping min/max per bucket.
+  MetricSeries series("sig", /*capacity=*/8, /*raw_tail=*/8);
+  for (std::int64_t r = 0; r < 64; ++r) {
+    double value = 1.0;
+    if (r == 37) value = 100.0;
+    if (r == 50) value = -5.0;
+    series.Record(r, value);
+  }
+  EXPECT_GT(series.stride(), 1);
+  EXPECT_LE(series.buckets().size(), 8u);
+  EXPECT_GT(series.buckets_merged(), 0);
+  EXPECT_GT(series.samples_folded(), 0);
+
+  double max_seen = 0.0, min_seen = 0.0;
+  std::int64_t total_count = 0;
+  std::int64_t prev_last = -1;
+  for (const SeriesBucket& b : series.buckets()) {
+    max_seen = std::max(max_seen, b.max);
+    min_seen = std::min(min_seen, b.min);
+    total_count += b.count;
+    EXPECT_LE(b.first_round, b.last_round);
+    EXPECT_GT(b.first_round, prev_last);
+    prev_last = b.last_round;
+  }
+  EXPECT_EQ(max_seen, 100.0);
+  EXPECT_EQ(min_seen, -5.0);
+  // Folding merges buckets, never loses samples.
+  EXPECT_EQ(total_count, series.samples());
+}
+
+TEST(MetricSeriesTest, TailReturnsRawRecentWindow) {
+  MetricSeries series("sig", /*capacity=*/4, /*raw_tail=*/8);
+  for (std::int64_t r = 0; r < 100; ++r) {
+    series.Record(r, static_cast<double>(r));
+  }
+  // Even after heavy folding, the raw tail keeps the last 8 rounds at
+  // full resolution (the incident window's data source).
+  const auto tail = series.Tail(/*from_round=*/95);
+  ASSERT_EQ(tail.size(), 5u);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].first, 95 + static_cast<std::int64_t>(i));
+    EXPECT_EQ(tail[i].second, static_cast<double>(tail[i].first));
+  }
+}
+
+// --- Rule families --------------------------------------------------------
+
+TEST(HealthMonitorTest, ThresholdRuleFiresWithRoundAndBound) {
+  HealthMonitor monitor;
+  monitor.AddThresholdRule("sig", 2.0, HealthSeverity::kCritical);
+  for (std::int64_t r = 0; r < 5; ++r) monitor.Observe(r, "sig", 1.0);
+  monitor.Observe(5, "sig", 3.5);
+  for (std::int64_t r = 6; r < 10; ++r) monitor.Observe(r, "sig", 1.0);
+  monitor.Finish();
+
+  ASSERT_EQ(monitor.events().size(), 1u);
+  const HealthEvent& event = monitor.events()[0];
+  EXPECT_EQ(event.round, 5);
+  EXPECT_EQ(event.severity, HealthSeverity::kCritical);
+  EXPECT_EQ(event.rule, "threshold");
+  EXPECT_EQ(event.signal, "sig");
+  EXPECT_EQ(event.value, 3.5);
+  EXPECT_EQ(event.bound, 2.0);
+  // Critical events escalate to incidents.
+  ASSERT_EQ(monitor.incidents().size(), 1u);
+  EXPECT_EQ(monitor.incidents()[0].round, 5);
+  EXPECT_EQ(monitor.incidents()[0].event_index, 0);
+}
+
+TEST(HealthMonitorTest, DriftRuleIgnoresIsolatedSpikes) {
+  // An isolated one-round excursion (a periodic bulk read, not drift)
+  // must stay silent: only drift_persistence consecutive rounds above
+  // the EWMA bound fire. The EWMA is frozen during the excursion, so
+  // the baseline never learns from the anomaly it is flagging.
+  HealthConfig config;
+  config.warmup_rounds = 4;
+  config.drift_persistence = 2;
+  HealthMonitor monitor(config);
+  monitor.AddDriftRule("sig");
+  std::int64_t round = 0;
+  for (; round < 10; ++round) monitor.Observe(round, "sig", 1.0);
+  // Isolated spike: far above 2*ewma + 1, but only one round.
+  monitor.Observe(round++, "sig", 50.0);
+  for (int i = 0; i < 5; ++i) monitor.Observe(round++, "sig", 1.0);
+  monitor.Finish();
+  EXPECT_TRUE(monitor.events().empty());
+
+  // The same spike sustained for two rounds is drift.
+  HealthMonitor sustained(config);
+  sustained.AddDriftRule("sig");
+  round = 0;
+  for (; round < 10; ++round) sustained.Observe(round, "sig", 1.0);
+  sustained.Observe(round++, "sig", 50.0);
+  sustained.Observe(round++, "sig", 50.0);
+  sustained.Finish();
+  ASSERT_EQ(sustained.events().size(), 1u);
+  const HealthEvent& event = sustained.events()[0];
+  EXPECT_EQ(event.rule, "ewma_drift");
+  EXPECT_EQ(event.severity, HealthSeverity::kWarning);
+  EXPECT_EQ(event.round, 11);
+  EXPECT_EQ(event.window, 2);
+  // Frozen baseline: the bound still reflects the pre-excursion EWMA
+  // of 1.0 (2 * 1 + 1), not one polluted by the 50s.
+  EXPECT_NEAR(event.bound, 3.0, 1e-9);
+}
+
+TEST(HealthMonitorTest, BurnRateNeedsBothWindowsAboveThreshold) {
+  // Budget 1% of deliveries. A short error burst blows the short
+  // window immediately but the long window filters it; only sustained
+  // errors push both windows past the threshold.
+  HealthConfig config;
+  config.error_budget = 0.01;
+  config.short_window = 8;
+  config.long_window = 32;
+  config.burn_threshold = 4.0;
+  HealthMonitor monitor(config);
+  std::int64_t round = 0;
+  for (; round < 32; ++round) monitor.ObserveSlo(round, 10, 0);
+  // Two error rounds: short burn = (4/80)/0.01 = 50 > 4, but long burn
+  // = (4/320)/0.01 = 1.25 < 4 — no event.
+  monitor.ObserveSlo(round++, 10, 2);
+  monitor.ObserveSlo(round++, 10, 2);
+  monitor.Finish();
+  EXPECT_TRUE(monitor.events().empty());
+  // The burn series still recorded every evaluated round.
+  ASSERT_TRUE(monitor.series().count("slo.burn_rate"));
+
+  // Sustained errors: by round 6 of the run of 2-error rounds the long
+  // burn is (14/320)/0.01 = 4.375 > 4 with the short window saturated —
+  // a critical burn-rate event fires and escalates.
+  HealthMonitor sustained(config);
+  round = 0;
+  for (; round < 32; ++round) sustained.ObserveSlo(round, 10, 0);
+  for (int i = 0; i < 10; ++i) sustained.ObserveSlo(round++, 10, 2);
+  sustained.Finish();
+  ASSERT_FALSE(sustained.events().empty());
+  const HealthEvent& event = sustained.events()[0];
+  EXPECT_EQ(event.rule, "burn_rate");
+  EXPECT_EQ(event.severity, HealthSeverity::kCritical);
+  EXPECT_EQ(event.signal, "slo.burn_rate");
+  EXPECT_EQ(event.round, 38);
+  EXPECT_FALSE(sustained.incidents().empty());
+}
+
+// --- Attribution, escalation, bounding ------------------------------------
+
+TEST(HealthMonitorTest, EventsCarryTheRoundsFaultLabel) {
+  HealthConfig config;
+  config.incident_cooldown_rounds = 1;  // escalate every firing round
+  HealthMonitor monitor(config);
+  monitor.AddThresholdRule("sig", 0.0, HealthSeverity::kCritical);
+  // Round-keyed labels: registered before the rounds commit (the
+  // double-buffer prolog order), consumed at CloseRound.
+  monitor.SetRoundLabel(3, "fail_stop[0] disk=2");
+  monitor.Observe(2, "sig", 1.0);
+  monitor.Observe(3, "sig", 1.0);
+  monitor.Observe(4, "sig", 1.0);
+  monitor.Finish();
+  ASSERT_EQ(monitor.events().size(), 3u);
+  EXPECT_EQ(monitor.events()[0].cause, "");
+  EXPECT_EQ(monitor.events()[1].cause, "fail_stop[0] disk=2");
+  EXPECT_EQ(monitor.events()[2].cause, "");
+  ASSERT_EQ(monitor.incidents().size(), 3u);
+  EXPECT_EQ(monitor.incidents()[0].cause, "");
+  EXPECT_EQ(monitor.incidents()[1].cause, "fail_stop[0] disk=2");
+}
+
+TEST(HealthMonitorTest, IncidentCooldownAndCapBoundEscalation) {
+  HealthConfig config;
+  config.incident_cooldown_rounds = 16;
+  config.max_incidents = 8;
+  HealthMonitor monitor(config);
+  monitor.AddThresholdRule("sig", 0.0, HealthSeverity::kCritical);
+  for (std::int64_t r = 0; r < 40; ++r) monitor.Observe(r, "sig", 1.0);
+  monitor.Finish();
+  // Every round fired an event...
+  EXPECT_EQ(monitor.events().size(), 40u);
+  // ...but the per-(rule, signal) cooldown spaces incidents 16 rounds
+  // apart: rounds 0, 16, 32.
+  ASSERT_EQ(monitor.incidents().size(), 3u);
+  EXPECT_EQ(monitor.incidents()[0].round, 0);
+  EXPECT_EQ(monitor.incidents()[1].round, 16);
+  EXPECT_EQ(monitor.incidents()[2].round, 32);
+  // Each incident's event reference resolves to a matching event.
+  for (const IncidentReport& incident : monitor.incidents()) {
+    ASSERT_GE(incident.event_index, 0);
+    ASSERT_LT(incident.event_index,
+              static_cast<std::int64_t>(monitor.events().size()));
+    const HealthEvent& event =
+        monitor.events()[static_cast<std::size_t>(incident.event_index)];
+    EXPECT_EQ(event.round, incident.round);
+    EXPECT_EQ(event.severity, HealthSeverity::kCritical);
+  }
+  // The incident window is the raw recent tail of the signal.
+  EXPECT_FALSE(monitor.incidents()[2].window.empty());
+  EXPECT_EQ(monitor.incidents()[2].window.back().first, 32);
+}
+
+TEST(HealthMonitorTest, EventCapDropsAreCountedNeverSilent) {
+  HealthConfig config;
+  config.max_events = 4;
+  config.incident_cooldown_rounds = 1000;
+  HealthMonitor monitor(config);
+  monitor.AddThresholdRule("sig", 0.0, HealthSeverity::kCritical);
+  for (std::int64_t r = 0; r < 10; ++r) monitor.Observe(r, "sig", 1.0);
+  monitor.Finish();
+  EXPECT_EQ(monitor.events().size(), 4u);
+  EXPECT_EQ(monitor.events_dropped(), 6);
+  EXPECT_EQ(monitor.events_total(), 10);
+}
+
+TEST(HealthMonitorTest, ExportMetricsPublishesAggregates) {
+  HealthMonitor monitor;
+  monitor.AddThresholdRule("sig", 5.0, HealthSeverity::kWarning);
+  for (std::int64_t r = 0; r < 20; ++r) {
+    monitor.Observe(r, "sig", r == 7 ? 9.0 : 1.0);
+    monitor.Observe(r, "other", 2.0);
+  }
+  monitor.Finish();
+  MetricsRegistry registry;
+  monitor.ExportMetrics(&registry);
+  EXPECT_EQ(registry.counter("health.samples")->value(), 40);
+  EXPECT_EQ(registry.counter("health.events")->value(), 1);
+  EXPECT_EQ(registry.counter("health.incidents")->value(), 0);
+  EXPECT_EQ(registry.counter("health.events_dropped")->value(), 0);
+  EXPECT_EQ(registry.gauge("health.rounds")->value(), 20);
+}
+
+// --- Scenario integration -------------------------------------------------
+
+FaultSchedule SmallStorm() {
+  FaultSchedule schedule;
+  schedule.transients.push_back(TransientWindow{1, 5, 15, 1.0, 2});
+  schedule.slow_windows.push_back(SlowWindow{2, 20, 28, 1});
+  schedule.fail_stops.push_back(FailStopEvent{3, 35});
+  schedule.swaps.push_back(SwapEvent{3, 45, 4});
+  return schedule;
+}
+
+ScenarioConfig StormConfig(HealthMonitor* health) {
+  ScenarioConfig config;
+  config.scheme = Scheme::kDeclustered;
+  config.num_disks = 8;
+  config.parity_group = 4;
+  config.q = 8;
+  config.f = 2;
+  config.num_streams = 12;
+  config.stream_blocks = 100;
+  config.total_rounds = 120;
+  config.priority_classes = 4;
+  config.schedule = SmallStorm();
+  config.health = health;
+  return config;
+}
+
+TEST(HealthScenarioTest, CleanRunStaysEventFree) {
+  HealthMonitor monitor;
+  ScenarioConfig config = StormConfig(&monitor);
+  config.schedule = FaultSchedule{};
+  Result<ScenarioResult> result = RunScenario(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->health_events, 0);
+  EXPECT_EQ(result->health_incidents, 0);
+  EXPECT_TRUE(monitor.incidents().empty());
+  // The monitor still observed the whole run.
+  EXPECT_GT(monitor.samples(), 0);
+  EXPECT_EQ(monitor.rounds(), config.total_rounds + 1);
+}
+
+TEST(HealthScenarioTest, StormIncidentAttributesInjectedFault) {
+  HealthMonitor monitor;
+  ScenarioConfig config = StormConfig(&monitor);
+  Result<ScenarioResult> result = RunScenario(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->health_incidents, 0);
+  // At least one incident names the injected fault window/event that
+  // was active when it fired, and bundles the flight-recorder spans.
+  bool attributed = false;
+  for (const IncidentReport& incident : monitor.incidents()) {
+    if (incident.cause.find("slow_window[") != std::string::npos ||
+        incident.cause.find("transient_window[") != std::string::npos ||
+        incident.cause.find("fail_stop[") != std::string::npos ||
+        incident.cause.find("swap[") != std::string::npos) {
+      attributed = true;
+      EXPECT_NE(incident.spans.find("stream="), std::string::npos);
+      EXPECT_FALSE(incident.window.empty());
+    }
+  }
+  EXPECT_TRUE(attributed);
+  // The report embeds the monitor's rendering.
+  EXPECT_NE(result->health_report.find("health:"), std::string::npos);
+  EXPECT_NE(result->ToString().find("health:"), std::string::npos);
+}
+
+std::string HealthJson(const HealthMonitor& monitor) {
+  JsonWriter json;
+  AppendHealthJson(monitor, &json);
+  return json.TakeString();
+}
+
+TEST(HealthScenarioTest, ByteIdenticalAcrossLanesAndDoubleBuffer) {
+  // The determinism matrix from the acceptance bar: the full health
+  // output — scenario report, monitor rendering, and the health JSON
+  // artifact section — must be byte-identical across lane counts
+  // (including the hardware default) and both double-buffer modes.
+  struct Cell {
+    int lanes;
+    bool double_buffer;
+  };
+  const std::vector<Cell> cells = {{1, false}, {2, false}, {8, false},
+                                   {0, false}, {1, true},  {2, true},
+                                   {8, true},  {0, true}};
+  std::string reference_text;
+  std::string reference_json;
+  for (const Cell& cell : cells) {
+    HealthMonitor monitor;
+    ScenarioConfig config = StormConfig(&monitor);
+    config.lanes = cell.lanes;
+    config.double_buffer = cell.double_buffer;
+    Result<ScenarioResult> result = RunScenario(config);
+    ASSERT_TRUE(result.ok())
+        << "lanes=" << cell.lanes << " db=" << cell.double_buffer << ": "
+        << result.status().ToString();
+    const std::string text = result->ToString();
+    const std::string json = HealthJson(monitor);
+    if (reference_text.empty()) {
+      reference_text = text;
+      reference_json = json;
+      EXPECT_GT(monitor.events_total(), 0);
+      continue;
+    }
+    EXPECT_EQ(text, reference_text)
+        << "lanes=" << cell.lanes << " db=" << cell.double_buffer;
+    EXPECT_EQ(json, reference_json)
+        << "lanes=" << cell.lanes << " db=" << cell.double_buffer;
+  }
+}
+
+}  // namespace
+}  // namespace cmfs

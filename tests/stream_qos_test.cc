@@ -207,6 +207,55 @@ TEST(SpanRingTest, BoundsMemoryAndReportsDrops) {
   EXPECT_NE(ring.ToString().find("6 older spans dropped"), std::string::npos);
 }
 
+// FormatSpans windowing at the ring's wraparound boundary: the header
+// must report exactly how many older spans the window no longer holds,
+// the rendered spans must be the oldest retained ones in order, and the
+// truncation footer must count what the max_spans cut elided — all
+// stable as the ring wraps repeatedly.
+TEST(SpanRingTest, FormatSpansWindowsAcrossWraparound) {
+  SpanRing ring(/*capacity=*/4);
+  auto push = [&ring](int i) {
+    BlockSpan span;
+    span.stream = i;
+    span.index = i;
+    span.open_round = i;
+    span.close_round = i;
+    ring.Push(std::move(span));
+  };
+  // Exactly full: no drop header, every span rendered.
+  for (int i = 0; i < 4; ++i) push(i);
+  std::string out = FormatSpans(ring.Window(), 10, ring.total_recorded());
+  EXPECT_EQ(out.find("older spans dropped"), std::string::npos);
+  EXPECT_NE(out.find("stream=0"), std::string::npos);
+  EXPECT_NE(out.find("stream=3"), std::string::npos);
+
+  // One past full: the wrap begins — drop header appears, the oldest
+  // rendered span is now stream 1.
+  push(4);
+  out = FormatSpans(ring.Window(), 10, ring.total_recorded());
+  EXPECT_NE(out.find("(window of 4 of 5 spans; 1 older spans dropped)"),
+            std::string::npos);
+  EXPECT_EQ(out.find("stream=0"), std::string::npos);
+  EXPECT_NE(out.find("stream=1"), std::string::npos);
+
+  // Deep wrap plus a max_spans cut: header counts the ring's loss, the
+  // footer counts the render cut, and the two compose.
+  for (int i = 5; i < 11; ++i) push(i);
+  out = FormatSpans(ring.Window(), 2, ring.total_recorded());
+  EXPECT_NE(out.find("(window of 4 of 11 spans; 7 older spans dropped)"),
+            std::string::npos);
+  EXPECT_NE(out.find("stream=7"), std::string::npos);  // oldest retained
+  EXPECT_NE(out.find("stream=8"), std::string::npos);
+  EXPECT_EQ(out.find("stream=9"), std::string::npos);  // beyond the cut
+  EXPECT_NE(out.find("... (2 more)"), std::string::npos);
+
+  // The spans themselves stay oldest-first through the wrap.
+  const auto window = ring.Window();
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    EXPECT_GT(window[i].close_round, window[i - 1].close_round);
+  }
+}
+
 TEST(StreamQosLedgerTest, ExportMetricsPublishesAggregates) {
   StreamQosLedger qos;
   qos.OnAdmit(0, 1, 0);

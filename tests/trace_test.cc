@@ -283,6 +283,56 @@ TEST(TraceTest, RingBufferSinkExportsDroppedEventsCounter) {
   EXPECT_EQ(late_registry.counter("trace.dropped_events")->value(), 4);
 }
 
+// The batched splice path the round engine actually uses: one
+// RecordAll per phase instead of one virtual call per event. The ring's
+// overflow accounting — size, dropped, total_recorded, and the exported
+// trace.dropped_events counter — must come out identical to the
+// per-event path, including when one batch is larger than the whole
+// ring.
+TEST(TraceTest, RingBufferSinkRecordAllAccountsBatchedOverflow) {
+  MetricsRegistry registry;
+  RingBufferTraceSink sink(/*capacity=*/4);
+  sink.AttachMetrics(&registry);
+  Counter* dropped = registry.counter("trace.dropped_events");
+
+  std::vector<TraceEvent> batch(3);
+  for (int i = 0; i < 3; ++i) batch[static_cast<std::size_t>(i)].round = i;
+  sink.RecordAll(batch.data(), batch.size());
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.dropped(), 0);
+  EXPECT_EQ(dropped->value(), 0);
+
+  // Second batch crosses the full boundary mid-batch: one event fills
+  // the ring, two overwrite.
+  for (int i = 0; i < 3; ++i) {
+    batch[static_cast<std::size_t>(i)].round = 3 + i;
+  }
+  sink.RecordAll(batch.data(), batch.size());
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.total_recorded(), 6);
+  EXPECT_EQ(sink.dropped(), 2);
+  EXPECT_EQ(dropped->value(), 2);
+
+  // A single batch larger than the whole ring: only the last
+  // `capacity` events survive, oldest first, and every overwrite is
+  // counted.
+  std::vector<TraceEvent> flood(10);
+  for (int i = 0; i < 10; ++i) {
+    flood[static_cast<std::size_t>(i)].round = 100 + i;
+  }
+  sink.RecordAll(flood.data(), flood.size());
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.total_recorded(), 16);
+  EXPECT_EQ(sink.dropped(), 12);
+  EXPECT_EQ(dropped->value(), 12);
+  const std::vector<TraceEvent> window = sink.Window();
+  ASSERT_EQ(window.size(), 4u);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    EXPECT_EQ(window[i].round,
+              106 + static_cast<std::int64_t>(i));
+  }
+}
+
 TEST(TraceTest, CountingSinkAggregatesAndStreamsDownstream) {
   Trace downstream;
   CountingTraceSink sink(&downstream);

@@ -163,6 +163,88 @@ def compare(baseline, candidate, time_threshold, time_gate=True):
                 len((b_table or {}).get("rows", [])),
                 len((n_table or {}).get("rows", [])))
 
+    # --- admission / cache: deterministic scalar sections ----------------
+    b_adm = baseline.get("admission")
+    n_adm = candidate.get("admission")
+    if b_adm is not None or n_adm is not None:
+        b_adm = b_adm or {}
+        n_adm = n_adm or {}
+        c.exact("admission.policy", b_adm.get("policy"), n_adm.get("policy"))
+        for key in ("requests", "arrivals", "seeks", "resumes", "admitted",
+                    "rejected", "timeouts", "withdrawn", "dropped",
+                    "final_queue_depth", "peak_occupancy"):
+            c.exact(f"admission.{key}", b_adm.get(key), n_adm.get(key))
+        c.histogram("admission.wait_rounds", b_adm.get("wait_rounds"),
+                    n_adm.get("wait_rounds"))
+        c.histogram("admission.occupancy", b_adm.get("occupancy"),
+                    n_adm.get("occupancy"))
+        c.exact("admission.epochs.length",
+                len(b_adm.get("epochs") or []),
+                len(n_adm.get("epochs") or []))
+
+    b_cache = baseline.get("cache")
+    n_cache = candidate.get("cache")
+    if b_cache is not None or n_cache is not None:
+        c.scalar_map("cache", b_cache, n_cache, c.exact)
+
+    # --- health: deterministic series digests, exact events/incidents ----
+    # Every health signal derives from committed simulated state (even
+    # server.round_time_s is the simulated worst-disk service time), so
+    # the event log and incident reports must match the baseline exactly
+    # — a new or vanished event is a behavior change. Series are
+    # compared by their fold-accounting digest (samples, stride,
+    # buckets_merged), not bucket-by-bucket: the digest pins the same
+    # rounds were observed the same number of times without replaying
+    # every retained point here.
+    b_health = baseline.get("health")
+    n_health = candidate.get("health")
+    if b_health is not None or n_health is not None:
+        b_health = b_health or {}
+        n_health = n_health or {}
+        for key in ("rounds", "samples", "events_dropped"):
+            c.exact(f"health.{key}", b_health.get(key), n_health.get(key))
+        b_series = {s.get("signal"): s
+                    for s in b_health.get("series") or []}
+        n_series = {s.get("signal"): s
+                    for s in n_health.get("series") or []}
+        for signal in sorted(b_series):
+            base_s = b_series[signal]
+            cand_s = n_series.get(signal)
+            for key in ("samples", "stride", "buckets_merged"):
+                c.exact(f"health.series.{signal}.{key}", base_s.get(key),
+                        (cand_s or {}).get(key))
+        for signal in sorted(set(n_series) - set(b_series)):
+            c.add("new", f"health.series.{signal}.samples", None,
+                  n_series[signal].get("samples"))
+        b_events = b_health.get("events") or []
+        n_events = n_health.get("events") or []
+        c.exact("health.events.length", len(b_events), len(n_events))
+        for i, (base_e, cand_e) in enumerate(zip(b_events, n_events)):
+            if base_e != cand_e:
+                c.add("REGRESSION", f"health.events[{i}]",
+                      base_e.get("signal"), cand_e.get("signal"),
+                      "event drifted from baseline")
+        b_inc = b_health.get("incidents") or []
+        n_inc = n_health.get("incidents") or []
+        c.exact("health.incidents.length", len(b_inc), len(n_inc))
+        for i, (base_i, cand_i) in enumerate(zip(b_inc, n_inc)):
+            if base_i != cand_i:
+                c.add("REGRESSION", f"health.incidents[{i}]",
+                      base_i.get("round"), cand_i.get("round"),
+                      "incident drifted from baseline")
+
+    # Top-level sections neither handler above knows are surfaced as
+    # informational — a silent fall-through is how a new section escapes
+    # gating forever.
+    known = {"bench", "scheme", "params", "counters", "gauges",
+             "histograms", "per_disk", "timeline", "streams", "table",
+             "profile", "admission", "cache", "health"}
+    for key in sorted(set(candidate) - known):
+        c.add("new", key, None, "(uncompared section)")
+    for key in sorted(set(baseline) - known - set(candidate)):
+        c.add("REGRESSION", key, "(uncompared section)", None,
+              "baseline section vanished from candidate")
+
     # --- profile: the wall-clock side channel, ratio-gated ---------------
     b_prof = baseline.get("profile") or {}
     n_prof = candidate.get("profile") or {}

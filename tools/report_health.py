@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Render a bench artifact's `health` section as a terminal report.
+
+The health monitor (docs/observability.md, "Health monitor & incidents")
+exports per-round metric series, the rule-engine event log, and the
+escalated incident reports into the bench JSON artifact. This tool turns
+that section into something a human scans in seconds: one ASCII
+sparkline per signal (drawn from each retained bucket's max, so spikes
+that survived downsampling survive rendering too), the event log grouped
+by severity, and a digest of every incident with its cause and raw
+signal window.
+
+Usage: report_health.py ARTIFACT.json [ARTIFACT.json ...]
+       report_health.py --check ARTIFACT.json [...]
+
+--check prints nothing on success and exits nonzero if any artifact is
+missing a health section or the section is malformed — the smoke-test
+mode ctest runs against the storm bench artifact. Stdlib only.
+"""
+
+import json
+import sys
+
+SPARK = "▁▂▃▄▅▆▇█"
+SPARK_WIDTH = 64
+
+SEVERITY_ORDER = ("critical", "warning", "info")
+
+
+def sparkline(values, width=SPARK_WIDTH):
+    """Downsample `values` to `width` columns, max-preserving."""
+    if not values:
+        return ""
+    if len(values) > width:
+        folded = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            folded.append(max(values[lo:hi]))
+        values = folded
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span <= 0:
+        return SPARK[0] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(SPARK) - 1))
+        out.append(SPARK[max(0, min(len(SPARK) - 1, idx))])
+    return "".join(out)
+
+
+def fmt(value):
+    if value is None:
+        return "nan"
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.6g}"
+
+
+class MalformedHealth(Exception):
+    pass
+
+
+def get(obj, key, types, where):
+    if not isinstance(obj, dict) or key not in obj:
+        raise MalformedHealth(f"{where}: missing '{key}'")
+    value = obj[key]
+    if not isinstance(value, types) or isinstance(value, bool):
+        raise MalformedHealth(f"{where}.{key}: unexpected {value!r}")
+    return value
+
+
+def load_health(path):
+    with open(path, "r", encoding="utf-8") as f:
+        artifact = json.load(f)
+    if not isinstance(artifact, dict) or "health" not in artifact:
+        raise MalformedHealth("no 'health' section in artifact")
+    health = artifact["health"]
+    # Touch every structural field so --check catches schema drift even
+    # when the rendering path would happen not to.
+    get(health, "rounds", int, "health")
+    get(health, "samples", int, "health")
+    get(health, "events_dropped", int, "health")
+    for i, series in enumerate(get(health, "series", list, "health")):
+        where = f"health.series[{i}]"
+        get(series, "signal", str, where)
+        get(series, "stride", int, where)
+        get(series, "samples", int, where)
+        for j, point in enumerate(get(series, "points", list, where)):
+            pwhere = f"{where}.points[{j}]"
+            get(point, "r0", int, pwhere)
+            get(point, "r1", int, pwhere)
+            get(point, "max", (int, float), pwhere)
+    for i, event in enumerate(get(health, "events", list, "health")):
+        where = f"health.events[{i}]"
+        get(event, "round", int, where)
+        get(event, "severity", str, where)
+        get(event, "rule", str, where)
+        get(event, "signal", str, where)
+    for i, incident in enumerate(get(health, "incidents", list, "health")):
+        where = f"health.incidents[{i}]"
+        get(incident, "round", int, where)
+        get(incident, "event", int, where)
+        get(incident, "cause", str, where)
+        get(incident, "window", list, where)
+        get(incident, "spans", str, where)
+    return artifact.get("bench", "?"), health
+
+
+def render(bench, health):
+    lines = []
+    lines.append(
+        f"health report: {bench} — rounds={health['rounds']} "
+        f"samples={health['samples']} events={len(health['events'])} "
+        f"(+{health['events_dropped']} dropped) "
+        f"incidents={len(health['incidents'])}")
+
+    lines.append("")
+    lines.append("signals (sparkline of per-bucket max):")
+    for series in health["series"]:
+        maxes = [p["max"] for p in series["points"]]
+        note = f" x{series['stride']}" if series["stride"] > 1 else ""
+        lo = min(maxes) if maxes else None
+        hi = max(maxes) if maxes else None
+        lines.append(
+            f"  {series['signal']:<28} {sparkline(maxes):<{SPARK_WIDTH}} "
+            f"[{fmt(lo)}, {fmt(hi)}]{note}")
+
+    by_severity = {}
+    for event in health["events"]:
+        by_severity.setdefault(event["severity"], []).append(event)
+    lines.append("")
+    if health["events"]:
+        lines.append("events:")
+        for severity in SEVERITY_ORDER:
+            for event in by_severity.pop(severity, []):
+                lines.append(
+                    f"  [{severity:>8}] r{event['round']:<4} "
+                    f"{event['rule']:<10} {event['signal']:<28} "
+                    f"value={fmt(event.get('value'))} "
+                    f"bound={fmt(event.get('bound'))} "
+                    f"cause={event.get('cause') or '-'}")
+        for severity in sorted(by_severity):  # unknown severities last
+            for event in by_severity[severity]:
+                lines.append(
+                    f"  [{severity:>8}] r{event['round']:<4} "
+                    f"{event['rule']:<10} {event['signal']}")
+    else:
+        lines.append("events: none")
+
+    lines.append("")
+    if health["incidents"]:
+        lines.append("incidents:")
+        for i, incident in enumerate(health["incidents"]):
+            event = {}
+            ref = incident["event"]
+            if 0 <= ref < len(health["events"]):
+                event = health["events"][ref]
+            lines.append(
+                f"  incident {i}: round {incident['round']} — "
+                f"{event.get('rule', '?')} on "
+                f"{event.get('signal', '?')} "
+                f"(cause: {incident['cause'] or '-'})")
+            window = incident["window"]
+            if window:
+                values = [p.get("value", 0) for p in window]
+                r0 = window[0].get("round")
+                r1 = window[-1].get("round")
+                lines.append(
+                    f"    window r{r0}..r{r1}: {sparkline(values, 32)} "
+                    f"[{fmt(min(values))}, {fmt(max(values))}]")
+            for line in incident["spans"].splitlines():
+                lines.append(f"    {line}")
+    else:
+        lines.append("incidents: none")
+    return "\n".join(lines)
+
+
+def main(argv):
+    args = list(argv[1:])
+    check = "--check" in args
+    if check:
+        args.remove("--check")
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = 0
+    for path in args:
+        try:
+            bench, health = load_health(path)
+        except (OSError, json.JSONDecodeError, MalformedHealth) as e:
+            print(f"FAIL {path}: {e}", file=sys.stderr)
+            failed += 1
+            continue
+        if check:
+            print(f"OK   {path} (events={len(health['events'])}, "
+                  f"incidents={len(health['incidents'])})")
+        else:
+            print(render(bench, health))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -19,7 +19,7 @@ import sys
 ALLOWED_TOP_LEVEL = {
     "bench", "scheme", "params", "counters", "gauges", "histograms",
     "per_disk", "timeline", "streams", "table", "profile", "admission",
-    "cache",
+    "cache", "health",
 }
 
 # profile.phases entries whose spans nest inside "server.round": their
@@ -64,6 +64,23 @@ ADMISSION_EPOCH_REQUIRED = {
 }
 
 SLO_VERDICTS = {"met", "VIOLATED"}
+
+HEALTH_REQUIRED = {
+    "rounds", "samples", "error_budget", "series", "events",
+    "events_dropped", "incidents",
+}
+HEALTH_SERIES_REQUIRED = {
+    "signal", "capacity", "stride", "samples", "buckets_merged",
+    "samples_folded", "points",
+}
+HEALTH_POINT_REQUIRED = {"r0", "r1", "count", "min", "max", "last"}
+HEALTH_EVENT_REQUIRED = {
+    "round", "severity", "rule", "signal", "value", "bound", "window",
+    "cause",
+}
+HEALTH_SEVERITIES = {"info", "warning", "critical"}
+HEALTH_RULES = {"threshold", "ewma_drift", "burn_rate"}
+HEALTH_INCIDENT_REQUIRED = {"round", "event", "cause", "window", "spans"}
 
 CACHE_COUNTS = (
     "budget_blocks", "window_rounds", "prefix_blocks", "hot_clips",
@@ -476,6 +493,207 @@ class Validator:
                        f"resident_peak = {counts['resident_peak']} > "
                        f"budget_blocks = {counts['budget_blocks']}")
 
+    def check_nonneg_int(self, value, where):
+        if (not isinstance(value, int) or isinstance(value, bool)
+                or value < 0):
+            self.error(where, f"must be a non-negative int, got {value!r}")
+            return None
+        return value
+
+    def check_health(self, section):
+        if not isinstance(section, dict):
+            self.error("health", "must be an object")
+            return
+        missing = HEALTH_REQUIRED - set(section)
+        if missing:
+            self.error("health", f"missing {sorted(missing)}")
+        extras = set(section) - HEALTH_REQUIRED
+        if extras:
+            self.error("health", f"unknown keys {sorted(extras)}")
+        rounds = self.check_nonneg_int(section.get("rounds", 0),
+                                       "health.rounds")
+        self.check_nonneg_int(section.get("samples", 0), "health.samples")
+        self.check_nonneg_int(section.get("events_dropped", 0),
+                              "health.events_dropped")
+        self.check_number(section.get("error_budget"), "health.error_budget")
+
+        series = section.get("series", [])
+        if not isinstance(series, list):
+            self.error("health.series", "must be an array")
+            series = []
+        for i, entry in enumerate(series):
+            where = f"health.series[{i}]"
+            if not isinstance(entry, dict):
+                self.error(where, "must be an object")
+                continue
+            missing = HEALTH_SERIES_REQUIRED - set(entry)
+            if missing:
+                self.error(where, f"missing {sorted(missing)}")
+                continue
+            extras = set(entry) - HEALTH_SERIES_REQUIRED
+            if extras:
+                self.error(where, f"unknown keys {sorted(extras)}")
+            if not isinstance(entry["signal"], str) or not entry["signal"]:
+                self.error(f"{where}.signal", "must be a non-empty string")
+            capacity = self.check_nonneg_int(entry["capacity"],
+                                             f"{where}.capacity")
+            stride = self.check_nonneg_int(entry["stride"],
+                                           f"{where}.stride")
+            if stride is not None and (stride < 1 or stride & (stride - 1)):
+                self.error(f"{where}.stride",
+                           f"must be a power of two >= 1, got {stride}")
+            samples = self.check_nonneg_int(entry["samples"],
+                                            f"{where}.samples")
+            self.check_nonneg_int(entry["buckets_merged"],
+                                  f"{where}.buckets_merged")
+            folded = self.check_nonneg_int(entry["samples_folded"],
+                                           f"{where}.samples_folded")
+            points = entry["points"]
+            if not isinstance(points, list):
+                self.error(f"{where}.points", "must be an array")
+                continue
+            # Downsampling invariants: the retained buckets never exceed
+            # the configured capacity, and folding only merges — every
+            # recorded sample is still counted by exactly one bucket.
+            if capacity is not None and len(points) > capacity:
+                self.error(f"{where}.points",
+                           f"{len(points)} buckets exceed capacity "
+                           f"{capacity}")
+            total_count = 0
+            prev_r1 = None
+            for j, point in enumerate(points):
+                pwhere = f"{where}.points[{j}]"
+                if not isinstance(point, dict):
+                    self.error(pwhere, "must be an object")
+                    continue
+                missing = HEALTH_POINT_REQUIRED - set(point)
+                if missing:
+                    self.error(pwhere, f"missing {sorted(missing)}")
+                    continue
+                extras = set(point) - HEALTH_POINT_REQUIRED
+                if extras:
+                    self.error(pwhere, f"unknown keys {sorted(extras)}")
+                count = self.check_nonneg_int(point["count"],
+                                              f"{pwhere}.count")
+                if count is not None:
+                    total_count += count
+                for key in ("min", "max", "last"):
+                    self.check_number(point[key], f"{pwhere}.{key}")
+                r0, r1 = point["r0"], point["r1"]
+                self.check_number(r0, f"{pwhere}.r0")
+                self.check_number(r1, f"{pwhere}.r1")
+                if isinstance(r0, int) and isinstance(r1, int):
+                    if r0 > r1:
+                        self.error(pwhere, f"r0 {r0} > r1 {r1}")
+                    if prev_r1 is not None and r0 <= prev_r1:
+                        self.error(pwhere,
+                                   f"r0 {r0} does not advance past "
+                                   f"previous bucket's r1 {prev_r1}")
+                    prev_r1 = r1
+            if samples is not None and total_count != samples:
+                self.error(f"{where}.points",
+                           f"bucket counts sum to {total_count} != "
+                           f"samples {samples}")
+
+        events = section.get("events", [])
+        if not isinstance(events, list):
+            self.error("health.events", "must be an array")
+            events = []
+        for i, event in enumerate(events):
+            where = f"health.events[{i}]"
+            if not isinstance(event, dict):
+                self.error(where, "must be an object")
+                continue
+            missing = HEALTH_EVENT_REQUIRED - set(event)
+            if missing:
+                self.error(where, f"missing {sorted(missing)}")
+                continue
+            extras = set(event) - HEALTH_EVENT_REQUIRED
+            if extras:
+                self.error(where, f"unknown keys {sorted(extras)}")
+            round_ = self.check_nonneg_int(event["round"], f"{where}.round")
+            # rounds is the exclusive upper bound of observed rounds.
+            if (round_ is not None and rounds is not None
+                    and round_ >= rounds):
+                self.error(f"{where}.round",
+                           f"{round_} out of bounds (rounds={rounds})")
+            if event["severity"] not in HEALTH_SEVERITIES:
+                self.error(f"{where}.severity",
+                           f"must be one of {sorted(HEALTH_SEVERITIES)}, "
+                           f"got {event['severity']!r}")
+            if event["rule"] not in HEALTH_RULES:
+                self.error(f"{where}.rule",
+                           f"must be one of {sorted(HEALTH_RULES)}, "
+                           f"got {event['rule']!r}")
+            if not isinstance(event["signal"], str) or not event["signal"]:
+                self.error(f"{where}.signal", "must be a non-empty string")
+            self.check_number(event["value"], f"{where}.value")
+            self.check_number(event["bound"], f"{where}.bound")
+            self.check_nonneg_int(event["window"], f"{where}.window")
+            if not isinstance(event["cause"], str):
+                self.error(f"{where}.cause", "must be a string")
+
+        incidents = section.get("incidents", [])
+        if not isinstance(incidents, list):
+            self.error("health.incidents", "must be an array")
+            incidents = []
+        for i, incident in enumerate(incidents):
+            where = f"health.incidents[{i}]"
+            if not isinstance(incident, dict):
+                self.error(where, "must be an object")
+                continue
+            missing = HEALTH_INCIDENT_REQUIRED - set(incident)
+            if missing:
+                self.error(where, f"missing {sorted(missing)}")
+                continue
+            extras = set(incident) - HEALTH_INCIDENT_REQUIRED
+            if extras:
+                self.error(where, f"unknown keys {sorted(extras)}")
+            self.check_nonneg_int(incident["round"], f"{where}.round")
+            # Every incident references its triggering event by index
+            # (-1 iff the event itself was dropped at the max_events cap).
+            ref = incident["event"]
+            if not isinstance(ref, int) or isinstance(ref, bool):
+                self.error(f"{where}.event", f"must be an int, got {ref!r}")
+            elif ref < -1 or ref >= len(events):
+                self.error(f"{where}.event",
+                           f"index {ref} out of range "
+                           f"(events={len(events)})")
+            elif ref >= 0 and isinstance(events[ref], dict):
+                event = events[ref]
+                if event.get("round") != incident["round"]:
+                    self.error(f"{where}.event",
+                               f"event round {event.get('round')!r} != "
+                               f"incident round {incident['round']!r}")
+                if event.get("severity") != "critical":
+                    self.error(f"{where}.event",
+                               "incident references a non-critical event")
+            elif ref == -1:
+                dropped = section.get("events_dropped", 0)
+                if isinstance(dropped, int) and dropped == 0:
+                    self.error(f"{where}.event",
+                               "-1 (dropped event) but events_dropped is 0")
+            if not isinstance(incident["cause"], str):
+                self.error(f"{where}.cause", "must be a string")
+            window = incident["window"]
+            if not isinstance(window, list):
+                self.error(f"{where}.window", "must be an array")
+                window = []
+            for j, point in enumerate(window):
+                pwhere = f"{where}.window[{j}]"
+                if not isinstance(point, dict):
+                    self.error(pwhere, "must be an object")
+                    continue
+                if set(point) != {"round", "value"}:
+                    self.error(pwhere,
+                               f"must have exactly round/value, got "
+                               f"{sorted(point)}")
+                    continue
+                self.check_number(point["round"], f"{pwhere}.round")
+                self.check_number(point["value"], f"{pwhere}.value")
+            if not isinstance(incident["spans"], str):
+                self.error(f"{where}.spans", "must be a string")
+
     def validate(self, artifact):
         if not isinstance(artifact, dict):
             self.error("(root)", "artifact must be a JSON object")
@@ -514,6 +732,8 @@ class Validator:
             self.check_admission(artifact["admission"])
         if "cache" in artifact:
             self.check_cache(artifact["cache"])
+        if "health" in artifact:
+            self.check_health(artifact["health"])
 
 
 def validate_file(path):
